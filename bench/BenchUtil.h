@@ -1,0 +1,63 @@
+//===- bench/BenchUtil.h - Shared harness helpers --------------*- C++ -*-===//
+//
+// Part of the ipra project (Chow, PLDI 1988 reproduction).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Helpers shared by the table/figure reproduction binaries: compile+run a
+/// benchmark under a paper configuration, compute the percentage
+/// reductions the paper reports, and format fixed-width table rows.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef IPRA_BENCH_BENCHUTIL_H
+#define IPRA_BENCH_BENCHUTIL_H
+
+#include "driver/Pipeline.h"
+#include "programs/Programs.h"
+
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+
+namespace ipra {
+namespace bench {
+
+/// Compile + simulate; aborts the bench with a message on any failure (a
+/// bench with a broken program must not print a plausible-looking table).
+inline RunStats mustRun(const std::string &Source,
+                        const CompileOptions &Opts) {
+  RunStats Stats = compileAndRun(Source, Opts);
+  if (!Stats.OK) {
+    std::fprintf(stderr, "bench: program failed: %s\n", Stats.Error.c_str());
+    std::exit(1);
+  }
+  return Stats;
+}
+
+inline RunStats mustRun(const std::string &Source, PaperConfig Config) {
+  return mustRun(Source, optionsFor(Config));
+}
+
+/// The paper's "% reduction" metric: positive = improvement over base.
+inline double pctReduction(uint64_t Base, uint64_t Value) {
+  if (Base == 0)
+    return 0.0;
+  return 100.0 * (double(Base) - double(Value)) / double(Base);
+}
+
+/// Verifies two configurations computed the same thing before their
+/// counters are compared.
+inline void checkSameOutput(const RunStats &A, const RunStats &B,
+                            const char *What) {
+  if (A.Output != B.Output) {
+    std::fprintf(stderr, "bench: output mismatch for %s\n", What);
+    std::exit(1);
+  }
+}
+
+} // namespace bench
+} // namespace ipra
+
+#endif // IPRA_BENCH_BENCHUTIL_H

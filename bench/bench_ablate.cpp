@@ -1,0 +1,84 @@
+//===- bench/bench_ablate.cpp - Ablations of the design choices ------------===//
+//
+// Ablation benches for the design decisions DESIGN.md calls out, run over
+// the full 13-program suite against configuration C:
+//   1. Section-6 combined strategy off (pure bottom-up propagation),
+//   2. register parameter passing off (fixed a0..a3 protocol),
+//   3. loop extension off (shrink-wrapped pairs may land inside loops).
+// Positive deltas mean the feature reduces scalar memory traffic.
+//
+//===----------------------------------------------------------------------===//
+
+#include "bench/BenchUtil.h"
+
+#include <benchmark/benchmark.h>
+
+using namespace ipra;
+using namespace ipra::bench;
+
+namespace {
+
+struct Ablation {
+  const char *Name;
+  void (*Disable)(CompileOptions &);
+};
+
+const Ablation Ablations[] = {
+    {"combined-strategy (Section 6)",
+     [](CompileOptions &O) { O.CombinedStrategy = false; }},
+    {"register parameter passing (Section 4)",
+     [](CompileOptions &O) { O.RegisterParams = false; }},
+    {"loop extension (Section 5)",
+     [](CompileOptions &O) { O.LoopExtension = false; }},
+};
+
+void printAblations() {
+  std::printf("Ablations against configuration C (-O3 + shrink-wrap)\n");
+  std::printf("(positive = feature helps; scalar ops for memory-traffic "
+              "features, cycles where the\n feature saves moves rather "
+              "than memory operations)\n\n");
+  std::printf("  %-10s", "program");
+  for (const Ablation &A : Ablations)
+    std::printf(" | %24.24s", A.Name);
+  std::printf("\n  %-10s", "");
+  for (int I = 0; I < 3; ++I)
+    std::printf(" | %10s %12s", "cycles", "scalar ops");
+  std::printf("\n");
+  for (const BenchmarkProgram &B : benchmarkSuite()) {
+    RunStats Full = mustRun(B.Source, PaperConfig::C);
+    std::printf("  %-10s", B.Name);
+    for (const Ablation &A : Ablations) {
+      CompileOptions Opts = optionsFor(PaperConfig::C);
+      A.Disable(Opts);
+      RunStats Without = mustRun(B.Source, Opts);
+      checkSameOutput(Full, Without, B.Name);
+      std::printf(" | %9.2f%% %11.2f%%",
+                  pctReduction(Without.Cycles, Full.Cycles),
+                  pctReduction(Without.scalarMemOps(), Full.scalarMemOps()));
+    }
+    std::printf("\n");
+  }
+  std::printf("\n");
+}
+
+void BM_AblationCompile(benchmark::State &State) {
+  const Ablation &A = Ablations[State.range(0)];
+  const BenchmarkProgram *Prog = findBenchmark("tex");
+  CompileOptions Opts = optionsFor(PaperConfig::C);
+  A.Disable(Opts);
+  for (auto _ : State) {
+    RunStats Stats = mustRun(Prog->Source, Opts);
+    benchmark::DoNotOptimize(Stats.Cycles);
+  }
+}
+BENCHMARK(BM_AblationCompile)->Arg(0)->Arg(1)->Arg(2)->Unit(
+    benchmark::kMillisecond);
+
+} // namespace
+
+int main(int argc, char **argv) {
+  printAblations();
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  return 0;
+}

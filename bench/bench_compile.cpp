@@ -1,0 +1,98 @@
+//===- bench/bench_compile.cpp - Compiler throughput benchmarks ------------===//
+//
+// google-benchmark timings of the pipeline phases themselves: the paper
+// stresses that the inter-procedural extension "does not add noticeably to
+// the running time of the coloring algorithm". These benchmarks measure
+// that claim on the largest suite program.
+//
+//===----------------------------------------------------------------------===//
+
+#include "bench/BenchUtil.h"
+
+#include "frontend/Frontend.h"
+#include "opt/Passes.h"
+
+#include <benchmark/benchmark.h>
+
+using namespace ipra;
+
+namespace {
+
+const char *bigProgram() { return findBenchmark("uopt")->Source; }
+
+void BM_Frontend(benchmark::State &State) {
+  for (auto _ : State) {
+    DiagnosticEngine Diags;
+    auto M = compileToIR(bigProgram(), Diags);
+    benchmark::DoNotOptimize(M);
+  }
+}
+BENCHMARK(BM_Frontend)->Unit(benchmark::kMicrosecond);
+
+void BM_MidEnd(benchmark::State &State) {
+  DiagnosticEngine Diags;
+  auto Pristine = compileToIR(bigProgram(), Diags);
+  for (auto _ : State) {
+    State.PauseTiming();
+    DiagnosticEngine D2;
+    auto M = compileToIR(bigProgram(), D2);
+    State.ResumeTiming();
+    optimize(*M);
+    benchmark::DoNotOptimize(M);
+  }
+}
+BENCHMARK(BM_MidEnd)->Unit(benchmark::kMicrosecond);
+
+/// The paper's claim under test: intra (-O2) vs inter (-O3) allocation
+/// cost on the same module.
+void BM_RegAlloc(benchmark::State &State) {
+  bool Inter = State.range(0);
+  DiagnosticEngine Diags;
+  auto M = compileToIR(bigProgram(), Diags);
+  optimize(*M);
+  MachineDesc MD;
+  RegAllocOptions Opts;
+  Opts.InterProcedural = Inter;
+  Opts.ShrinkWrap = true;
+  for (auto _ : State) {
+    SummaryTable Summaries(MD, M->numProcedures());
+    auto Results = allocateModule(*M, MD, Summaries, Opts);
+    benchmark::DoNotOptimize(Results);
+  }
+}
+BENCHMARK(BM_RegAlloc)
+    ->Arg(0)
+    ->Arg(1)
+    ->ArgName("inter")
+    ->Unit(benchmark::kMicrosecond);
+
+void BM_FullPipeline(benchmark::State &State) {
+  PaperConfig Config = PaperConfig(State.range(0));
+  for (auto _ : State) {
+    DiagnosticEngine Diags;
+    auto Compiled =
+        compileProgram(bigProgram(), optionsFor(Config), Diags);
+    benchmark::DoNotOptimize(Compiled);
+  }
+}
+BENCHMARK(BM_FullPipeline)
+    ->Arg(int(PaperConfig::Base))
+    ->Arg(int(PaperConfig::C))
+    ->Unit(benchmark::kMicrosecond);
+
+void BM_Simulator(benchmark::State &State) {
+  DiagnosticEngine Diags;
+  auto Compiled = compileProgram(findBenchmark("dhrystone")->Source,
+                                 optionsFor(PaperConfig::C), Diags);
+  for (auto _ : State) {
+    RunStats Stats = runProgram(Compiled->Program);
+    benchmark::DoNotOptimize(Stats.Cycles);
+    State.SetItemsProcessed(State.items_processed() +
+                            int64_t(Stats.Instructions));
+  }
+}
+BENCHMARK(BM_Simulator)->Unit(benchmark::kMillisecond);
+
+} // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,120 @@
+//===- bench/bench_fig3.cpp - Reproduce Figure 3 ---------------------------===//
+//
+// Figure 3 of the paper: two consecutive diamonds whose "then" arms use a
+// callee-saved register. Shrink-wrapping moves the save/restore from
+// procedure entry/exit into the arms, so of the four equiprobable paths:
+//   neither arm  -> shrink-wrap wins (no saves at all),
+//   both arms    -> shrink-wrap loses (two pairs instead of one),
+//   one arm only -> no net effect.
+// The bench drives each path separately and prints the measured
+// save/restore traffic with shrink-wrap off (base) and on (config A).
+//
+//===----------------------------------------------------------------------===//
+
+#include "bench/BenchUtil.h"
+
+#include <benchmark/benchmark.h>
+
+using namespace ipra;
+using namespace ipra::bench;
+
+namespace {
+
+std::string fig3Program(int TakeA, int TakeB) {
+  std::string Src = R"MC(
+func helper(x) { return x + 1; }
+func f(takeA, takeB, n) {
+  var result = n;
+  if (takeA) {
+    // a1 lives across two calls: a callee-saved register is the right
+    // choice, and its save/restore can wrap just this arm.
+    var a1 = n * 2;
+    var a2 = helper(n);
+    var a3 = helper(n + a1);
+    result = result + a1 + a2 + a3;
+  }
+  if (takeB) {
+    var b1 = n * 5;
+    var b2 = helper(n + 1);
+    var b3 = helper(n + b1);
+    result = result + b1 + b2 + b3;
+  }
+  return result;
+}
+func main() {
+  var s = 0;
+  for (var i = 0; i < 2000; i = i + 1) {
+    s = s + f(TAKE_A, TAKE_B, i);
+  }
+  print(s);
+  return 0;
+}
+)MC";
+  auto ReplaceAll = [&Src](const std::string &From, const std::string &To) {
+    for (size_t Pos = Src.find(From); Pos != std::string::npos;
+         Pos = Src.find(From, Pos + To.size()))
+      Src.replace(Pos, From.size(), To);
+  };
+  ReplaceAll("TAKE_A", std::to_string(TakeA));
+  ReplaceAll("TAKE_B", std::to_string(TakeB));
+  return Src;
+}
+
+void printFig3() {
+  std::printf("Figure 3. Effects of shrink-wrap depend on the path taken\n");
+  std::printf("(scalar loads+stores per run; lower is better)\n\n");
+  std::printf("  %-12s %12s %12s %10s\n", "path", "no shrink", "shrink-wrap",
+              "effect");
+  int Wins = 0;
+  int Losses = 0;
+  int Neutral = 0;
+  for (int TakeA : {0, 1}) {
+    for (int TakeB : {0, 1}) {
+      std::string Src = fig3Program(TakeA, TakeB);
+      CompileOptions NoSW = optionsFor(PaperConfig::Base);
+      NoSW.MidEndOpt = false; // keep the branches: the paths are the point
+      CompileOptions SW = optionsFor(PaperConfig::A);
+      SW.MidEndOpt = false;
+      RunStats Off = mustRun(Src, NoSW);
+      RunStats On = mustRun(Src, SW);
+      checkSameOutput(Off, On, "fig3");
+      const char *Effect = "none";
+      if (On.scalarMemOps() < Off.scalarMemOps()) {
+        Effect = "positive";
+        ++Wins;
+      } else if (On.scalarMemOps() > Off.scalarMemOps()) {
+        Effect = "negative";
+        ++Losses;
+      } else {
+        ++Neutral;
+      }
+      std::printf("  arms=(%d,%d)   %12llu %12llu %10s\n", TakeA, TakeB,
+                  (unsigned long long)Off.scalarMemOps(),
+                  (unsigned long long)On.scalarMemOps(), Effect);
+    }
+  }
+  std::printf("\n  positive on %d path(s), negative on %d, neutral on %d "
+              "(paper: 1 positive, 1 negative, 2 no net effect)\n\n",
+              Wins, Losses, Neutral);
+}
+
+void BM_Fig3Path(benchmark::State &State) {
+  std::string Src = fig3Program(int(State.range(0)), int(State.range(1)));
+  for (auto _ : State) {
+    RunStats Stats = mustRun(Src, PaperConfig::A);
+    benchmark::DoNotOptimize(Stats.Cycles);
+  }
+}
+BENCHMARK(BM_Fig3Path)
+    ->Args({0, 0})
+    ->Args({1, 1})
+    ->Unit(benchmark::kMillisecond);
+
+} // namespace
+
+int main(int argc, char **argv) {
+  printFig3();
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  return 0;
+}

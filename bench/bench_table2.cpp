@@ -1,0 +1,73 @@
+//===- bench/bench_table2.cpp - Reproduce Table 2 --------------------------===//
+//
+// Table 2 of the paper: the two register classes compared under register
+// scarcity. D = configuration C restricted to 7 caller-saved registers,
+// E = C restricted to 7 callee-saved registers; both against the full-set
+// -O2 base. The paper's reading: callee-saved registers win on the large
+// programs (saves/restores migrate up the call graph under pressure),
+// caller-saved win on the small ones (free while registers last).
+//
+//===----------------------------------------------------------------------===//
+
+#include "bench/BenchUtil.h"
+
+#include <benchmark/benchmark.h>
+
+using namespace ipra;
+using namespace ipra::bench;
+
+namespace {
+
+void printTable2() {
+  std::printf("Table 2. Effects of the two register classes\n");
+  std::printf("(base: -O2 full register set, no shrink-wrap; "
+              "D: C w/ 7 caller-saved; E: C w/ 7 callee-saved)\n\n");
+  std::printf("%-10s | %8s %8s | %9s %9s\n", "program", "I.D%", "I.E%",
+              "II.D%", "II.E%");
+  std::printf("%.*s\n", 56,
+              "--------------------------------------------------------");
+  int CallerBetter = 0;
+  int CalleeBetter = 0;
+  for (const BenchmarkProgram &B : benchmarkSuite()) {
+    RunStats Base = mustRun(B.Source, PaperConfig::Base);
+    RunStats D = mustRun(B.Source, PaperConfig::D);
+    RunStats E = mustRun(B.Source, PaperConfig::E);
+    checkSameOutput(Base, D, B.Name);
+    checkSameOutput(Base, E, B.Name);
+    double IID = pctReduction(Base.scalarMemOps(), D.scalarMemOps());
+    double IIE = pctReduction(Base.scalarMemOps(), E.scalarMemOps());
+    std::printf("%-10s | %7.1f%% %7.1f%% | %8.1f%% %8.1f%%\n", B.Name,
+                pctReduction(Base.Cycles, D.Cycles),
+                pctReduction(Base.Cycles, E.Cycles), IID, IIE);
+    if (IID > IIE + 0.05)
+      ++CallerBetter;
+    else if (IIE > IID + 0.05)
+      ++CalleeBetter;
+  }
+  std::printf("\ncaller-saved better on %d programs, callee-saved better "
+              "on %d (paper: 4 vs 8 with one tie)\n\n",
+              CallerBetter, CalleeBetter);
+}
+
+void BM_RestrictedAllocation(benchmark::State &State) {
+  PaperConfig Config = PaperConfig(State.range(0));
+  const BenchmarkProgram *Prog = findBenchmark("calcc");
+  for (auto _ : State) {
+    RunStats Stats = mustRun(Prog->Source, Config);
+    benchmark::DoNotOptimize(Stats.Cycles);
+    State.counters["scalar_ops"] = double(Stats.scalarMemOps());
+  }
+}
+BENCHMARK(BM_RestrictedAllocation)
+    ->Arg(int(PaperConfig::D))
+    ->Arg(int(PaperConfig::E))
+    ->Unit(benchmark::kMillisecond);
+
+} // namespace
+
+int main(int argc, char **argv) {
+  printTable2();
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  return 0;
+}

@@ -1,0 +1,86 @@
+//===- examples/open_closed.cpp - Open/closed procedures and summaries ----===//
+//
+// Shows the paper's Section 3 in action: one module mixing closed
+// procedures (precise register-usage summaries, allocator-chosen parameter
+// registers) with open ones -- recursive, address-taken, exported, and
+// main -- which fall back to the default linkage protocol.
+//
+// Build & run:  cmake --build build && ./build/examples/open_closed
+//
+//===----------------------------------------------------------------------===//
+
+#include "analysis/CallGraph.h"
+#include "driver/Pipeline.h"
+
+#include <cstdio>
+
+using namespace ipra;
+
+static const char *Program = R"MC(
+// Closed: only called directly from inside this module.
+func helper(x) { return x * 2 + 1; }
+func chain(x) { return helper(helper(x)); }
+
+// Open: self-recursive (a cycle in the call graph).
+func fact(n) { if (n <= 1) { return 1; } return n * fact(n - 1); }
+
+// Open: address taken, so it may be called indirectly.
+func callback(x) { return x - 1; }
+
+// Open: exported to other compilation units.
+export func api(x) { return chain(x) + 1; }
+
+// Open: main is invoked by the operating system.
+func main() {
+  var f = &callback;
+  print(chain(5));
+  print(fact(6));
+  print(f(10));
+  print(api(3));
+  return 0;
+}
+)MC";
+
+int main() {
+  DiagnosticEngine Diags;
+  auto Compiled = compileProgram(Program, optionsFor(PaperConfig::C), Diags);
+  if (!Compiled) {
+    std::fprintf(stderr, "compile error:\n%s", Diags.str().c_str());
+    return 1;
+  }
+  CallGraph CG = CallGraph::build(*Compiled->IR);
+
+  std::printf("%-10s %-7s %-28s %-14s %s\n", "procedure", "class",
+              "clobber mask (callers see)", "param regs",
+              "callee-saved saved locally");
+  for (const auto &Proc : *Compiled->IR) {
+    const AllocationResult &R = Compiled->Alloc[Proc->id()];
+    const RegUsageSummary &S = Compiled->Summaries->lookup(Proc->id());
+    std::string Params;
+    for (unsigned Loc : R.IncomingParamLocs)
+      Params += (Loc == StackParamLoc ? std::string("stack")
+                                      : std::string(regName(Loc))) +
+                " ";
+    std::printf("%-10s %-7s %-28s %-14s %s\n", Proc->name().c_str(),
+                CG.isOpen(Proc->id()) ? "open" : "closed",
+                S.Precise ? S.Clobbered.str().c_str()
+                          : "(default protocol)",
+                Params.c_str(), R.CalleeSavedToPreserve.str().c_str());
+  }
+
+  std::printf("\nNote how the closed procedures publish precise summaries "
+              "and take parameters in\nallocator-chosen registers, while "
+              "every open procedure reverts to the a0..a3 protocol\nand "
+              "preserves the callee-saved registers its subtree damages.\n");
+
+  RunStats Stats = runProgram(Compiled->Program);
+  if (!Stats.OK) {
+    std::fprintf(stderr, "runtime error: %s\n", Stats.Error.c_str());
+    return 1;
+  }
+  std::printf("\nprogram output:");
+  for (int64_t V : Stats.Output)
+    std::printf(" %lld", (long long)V);
+  std::printf("\n");
+  return 0;
+}

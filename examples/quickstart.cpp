@@ -1,0 +1,81 @@
+//===- examples/quickstart.cpp - Five-minute tour of the public API -------===//
+//
+// Compiles a miniC program twice -- intra-procedural (-O2) and
+// inter-procedural with shrink-wrapping (-O3) -- runs both on the
+// simulator, and shows what changed: the machine code of one procedure and
+// the pixie-style counters.
+//
+// Build & run:  cmake --build build && ./build/examples/quickstart
+//
+//===----------------------------------------------------------------------===//
+
+#include "driver/Pipeline.h"
+
+#include <cstdio>
+
+using namespace ipra;
+
+static const char *Program = R"MC(
+// A tiny call-intensive program: sum of squares via helper calls.
+func square(x) { return x * x; }
+func sumSquares(n) {
+  var total = 0;
+  for (var i = 1; i <= n; i = i + 1) {
+    total = total + square(i);
+  }
+  return total;
+}
+func main() {
+  print(sumSquares(100));
+  return 0;
+}
+)MC";
+
+int main() {
+  DiagnosticEngine Diags;
+
+  // 1. Compile with the two headline configurations.
+  auto O2 = compileProgram(Program, optionsFor(PaperConfig::Base), Diags);
+  auto O3 = compileProgram(Program, optionsFor(PaperConfig::C), Diags);
+  if (!O2 || !O3) {
+    std::fprintf(stderr, "compile error:\n%s", Diags.str().c_str());
+    return 1;
+  }
+
+  // 2. Inspect the allocation of sumSquares under -O3: the allocator knows
+  //    exactly which registers square() touches.
+  Procedure *Callee = O3->IR->findProcedure("square");
+  std::printf("square() clobbers: %s (published usage summary)\n",
+              O3->Summaries->lookup(Callee->id()).Clobbered.str().c_str());
+
+  // 3. Show the generated machine code for sumSquares in both modes.
+  for (auto *Result : {O2.get(), O3.get()}) {
+    const MProc &MP =
+        Result->Program.Procs[Result->IR->findProcedure("sumSquares")->id()];
+    std::printf("\n--- sumSquares, %s ---\n%s",
+                Result == O2.get() ? "-O2 (intra-procedural)"
+                                   : "-O3 + shrink-wrap",
+                toString(MP).c_str());
+  }
+
+  // 4. Run both and compare the paper's metrics.
+  RunStats StatsO2 = runProgram(O2->Program);
+  RunStats StatsO3 = runProgram(O3->Program);
+  if (!StatsO2.OK || !StatsO3.OK) {
+    std::fprintf(stderr, "runtime error: %s%s\n", StatsO2.Error.c_str(),
+                 StatsO3.Error.c_str());
+    return 1;
+  }
+  std::printf("\noutput (both configs): %lld\n",
+              (long long)StatsO2.Output.at(0));
+  std::printf("%-28s %12s %12s\n", "", "-O2", "-O3+SW");
+  std::printf("%-28s %12llu %12llu\n", "executed cycles",
+              (unsigned long long)StatsO2.Cycles,
+              (unsigned long long)StatsO3.Cycles);
+  std::printf("%-28s %12llu %12llu\n", "scalar loads/stores",
+              (unsigned long long)StatsO2.scalarMemOps(),
+              (unsigned long long)StatsO3.scalarMemOps());
+  std::printf("%-28s %12.1f %12.1f\n", "cycles per call",
+              StatsO2.cyclesPerCall(), StatsO3.cyclesPerCall());
+  return 0;
+}

@@ -1,0 +1,100 @@
+//===- examples/shrinkwrap_tour.cpp - Using the shrink-wrap solver --------===//
+//
+// Drives the shrink-wrapping data-flow solver directly on a hand-built
+// CFG, the way a compiler back end would: build blocks, mark where each
+// callee-saved register appears (APP), and read back the save/restore
+// placement. Demonstrates the plain case, the loop rule, and the Fig. 2
+// range extension.
+//
+// Build & run:  cmake --build build && ./build/examples/shrinkwrap_tour
+//
+//===----------------------------------------------------------------------===//
+
+#include "ir/IRBuilder.h"
+#include "shrinkwrap/ShrinkWrap.h"
+
+#include <cstdio>
+
+using namespace ipra;
+
+namespace {
+
+constexpr unsigned NumRegs = 4;
+
+/// Builds a CFG from adjacency lists (0/1/2 successors per block).
+Procedure *buildCFG(Module &M, const char *Name,
+                    const std::vector<std::vector<int>> &Succs) {
+  Procedure *P = M.makeProcedure(Name);
+  for (unsigned I = 0; I < Succs.size(); ++I)
+    P->makeBlock();
+  IRBuilder B(P);
+  for (unsigned I = 0; I < Succs.size(); ++I) {
+    B.setInsertBlock(P->block(int(I)));
+    if (Succs[I].empty())
+      B.ret();
+    else if (Succs[I].size() == 1)
+      B.br(P->block(Succs[I][0]));
+    else
+      B.condBr(B.loadImm(1), P->block(Succs[I][0]), P->block(Succs[I][1]));
+  }
+  P->recomputeCFG();
+  return P;
+}
+
+void show(const char *Title, const Procedure &P,
+          const std::vector<BitVector> &APP, const ShrinkWrapOptions &Opts) {
+  LoopInfo LI = LoopInfo::compute(P);
+  ShrinkWrapResult R = placeSavesRestores(P, APP, NumRegs, LI, Opts);
+  std::printf("%s\n", Title);
+  for (unsigned B = 0; B < P.numBlocks(); ++B) {
+    std::printf("  bb%u: app=%-10s save=%-10s restore=%s\n", B,
+                APP[B].str().c_str(), R.SaveAtEntry[B].str().c_str(),
+                R.RestoreAtExit[B].str().c_str());
+  }
+  std::string Err = verifyPlacement(P, R.ExtendedAPP, NumRegs, R);
+  std::printf("  verified: %s\n\n", Err.empty() ? "yes" : Err.c_str());
+}
+
+} // namespace
+
+int main() {
+  Module M;
+
+  // Case 1: a diamond with register 0 used on one arm only. The classic
+  // convention saves at entry; shrink-wrapping confines the cost to the
+  // arm that needs it.
+  {
+    Procedure *P = buildCFG(M, "diamond", {{1, 2}, {3}, {3}, {}});
+    std::vector<BitVector> APP(P->numBlocks(), BitVector(NumRegs));
+    APP[1].set(0);
+    ShrinkWrapOptions Off;
+    Off.Enable = false;
+    show("diamond, shrink-wrap disabled (entry/exit convention):", *P, APP,
+         Off);
+    show("diamond, shrink-wrapped (cost moved into the arm):", *P, APP, {});
+  }
+
+  // Case 2: use inside a loop. Loop extension hoists the pair out so it
+  // never executes once per iteration.
+  {
+    Procedure *P = buildCFG(M, "loop", {{1}, {2, 3}, {1}, {}});
+    std::vector<BitVector> APP(P->numBlocks(), BitVector(NumRegs));
+    APP[2].set(1);
+    ShrinkWrapOptions NoLoopExt;
+    NoLoopExt.LoopExtension = false;
+    show("loop, naive placement (pair inside the loop!):", *P, APP,
+         NoLoopExt);
+    show("loop, with loop extension (pair hoisted out):", *P, APP, {});
+  }
+
+  // Case 3: the Fig. 2 join: naive placement would need an edge split;
+  // range extension grows the region instead and re-solves.
+  {
+    Procedure *P = buildCFG(M, "fig2", {{1, 2}, {4}, {3, 4}, {}, {}});
+    std::vector<BitVector> APP(P->numBlocks(), BitVector(NumRegs));
+    APP[1].set(2);
+    APP[4].set(2);
+    show("figure-2 join, range extension engaged:", *P, APP, {});
+  }
+  return 0;
+}

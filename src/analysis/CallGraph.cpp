@@ -1,0 +1,146 @@
+//===- analysis/CallGraph.cpp ----------------------------------------------===//
+
+#include "analysis/CallGraph.h"
+
+#include <algorithm>
+
+using namespace ipra;
+
+namespace {
+
+/// Iterative Tarjan SCC; marks nodes in non-trivial SCCs (or with self
+/// edges) as cycle members.
+class SCCFinder {
+public:
+  SCCFinder(const std::vector<CallGraph::Node> &Nodes) : Nodes(Nodes) {
+    unsigned N = Nodes.size();
+    Index.assign(N, -1);
+    LowLink.assign(N, 0);
+    OnStack.assign(N, 0);
+    InCycle.assign(N, 0);
+    for (unsigned I = 0; I < N; ++I)
+      if (Index[I] < 0)
+        strongConnect(int(I));
+  }
+
+  std::vector<char> takeResult() { return std::move(InCycle); }
+
+private:
+  void strongConnect(int Root) {
+    struct Frame {
+      int Node;
+      unsigned NextEdge;
+    };
+    std::vector<Frame> CallStack{{Root, 0}};
+    while (!CallStack.empty()) {
+      Frame &F = CallStack.back();
+      int V = F.Node;
+      if (F.NextEdge == 0) {
+        Index[V] = LowLink[V] = NextIndex++;
+        Stack.push_back(V);
+        OnStack[V] = 1;
+      }
+      bool Descended = false;
+      while (F.NextEdge < Nodes[V].Callees.size()) {
+        int W = Nodes[V].Callees[F.NextEdge++];
+        if (Index[W] < 0) {
+          CallStack.push_back({W, 0});
+          Descended = true;
+          break;
+        }
+        if (OnStack[W])
+          LowLink[V] = std::min(LowLink[V], Index[W]);
+      }
+      if (Descended)
+        continue;
+      if (LowLink[V] == Index[V]) {
+        // Pop one SCC.
+        std::vector<int> Component;
+        while (true) {
+          int W = Stack.back();
+          Stack.pop_back();
+          OnStack[W] = 0;
+          Component.push_back(W);
+          if (W == V)
+            break;
+        }
+        bool SelfEdge =
+            std::find(Nodes[V].Callees.begin(), Nodes[V].Callees.end(), V) !=
+            Nodes[V].Callees.end();
+        if (Component.size() > 1 || SelfEdge)
+          for (int W : Component)
+            InCycle[W] = 1;
+      }
+      CallStack.pop_back();
+      if (!CallStack.empty()) {
+        int Parent = CallStack.back().Node;
+        LowLink[Parent] = std::min(LowLink[Parent], LowLink[V]);
+      }
+    }
+  }
+
+  const std::vector<CallGraph::Node> &Nodes;
+  std::vector<int> Index;
+  std::vector<int> LowLink;
+  std::vector<char> OnStack;
+  std::vector<char> InCycle;
+  std::vector<int> Stack;
+  int NextIndex = 0;
+};
+
+} // namespace
+
+CallGraph CallGraph::build(const Module &M) {
+  CallGraph CG;
+  unsigned N = M.numProcedures();
+  CG.Nodes.assign(N, Node());
+
+  for (unsigned P = 0; P < N; ++P) {
+    const Procedure *Proc = M.procedure(int(P));
+    Node &Nd = CG.Nodes[P];
+    for (const auto &BB : *Proc) {
+      for (const Instruction &Inst : BB->Insts) {
+        if (Inst.Op == Opcode::Call) {
+          if (std::find(Nd.Callees.begin(), Nd.Callees.end(), Inst.Callee) ==
+              Nd.Callees.end())
+            Nd.Callees.push_back(Inst.Callee);
+        } else if (Inst.Op == Opcode::CallIndirect) {
+          Nd.HasIndirectCalls = true;
+        }
+      }
+    }
+  }
+
+  std::vector<char> InCycle = SCCFinder(CG.Nodes).takeResult();
+  for (unsigned P = 0; P < N; ++P) {
+    const Procedure *Proc = M.procedure(int(P));
+    Node &Nd = CG.Nodes[P];
+    Nd.InCycle = InCycle[P];
+    Nd.Open = Proc->IsMain || Proc->Exported || Proc->AddressTaken ||
+              Proc->IsExternal || Nd.InCycle;
+  }
+
+  // Depth-first post-order over every procedure: callees before callers
+  // (except along cycle edges, whose members are open anyway).
+  std::vector<char> Visited(N, 0);
+  for (unsigned Root = 0; Root < N; ++Root) {
+    if (Visited[Root])
+      continue;
+    std::vector<std::pair<int, unsigned>> Stack{{int(Root), 0}};
+    Visited[Root] = 1;
+    while (!Stack.empty()) {
+      auto &[V, NextEdge] = Stack.back();
+      if (NextEdge < CG.Nodes[V].Callees.size()) {
+        int W = CG.Nodes[V].Callees[NextEdge++];
+        if (!Visited[W]) {
+          Visited[W] = 1;
+          Stack.push_back({W, 0});
+        }
+      } else {
+        CG.BottomUp.push_back(V);
+        Stack.pop_back();
+      }
+    }
+  }
+  return CG;
+}

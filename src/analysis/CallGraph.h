@@ -1,0 +1,60 @@
+//===- analysis/CallGraph.h - Call graph, DFS order, open/closed -*- C++ -*-===//
+//
+// Part of the ipra project (Chow, PLDI 1988 reproduction).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The program call graph with the two facts the paper's one-pass scheme
+/// needs: a depth-first bottom-up processing order (callees before callers)
+/// and the open/closed classification of Section 3. A procedure is *open*
+/// when some caller is unknown or unavoidably processed before it:
+/// main (called by the OS), exported procedures (unknown external callers),
+/// address-taken procedures (indirect callers), externals, and members of
+/// call-graph cycles (recursion, including self-recursion).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef IPRA_ANALYSIS_CALLGRAPH_H
+#define IPRA_ANALYSIS_CALLGRAPH_H
+
+#include "ir/Procedure.h"
+
+#include <vector>
+
+namespace ipra {
+
+class CallGraph {
+public:
+  struct Node {
+    /// Unique direct callee procedure ids.
+    std::vector<int> Callees;
+    /// True if the procedure contains any indirect call.
+    bool HasIndirectCalls = false;
+    /// True if the procedure participates in a call-graph cycle.
+    bool InCycle = false;
+    /// Open/closed classification (see file comment).
+    bool Open = false;
+  };
+
+  static CallGraph build(const Module &M);
+
+  const Node &node(int ProcId) const {
+    assert(ProcId >= 0 && ProcId < int(Nodes.size()) && "bad proc id");
+    return Nodes[ProcId];
+  }
+
+  bool isOpen(int ProcId) const { return node(ProcId).Open; }
+
+  /// Procedure ids in depth-first bottom-up order: every closed procedure
+  /// appears after all of its callees. Includes every procedure.
+  const std::vector<int> &bottomUpOrder() const { return BottomUp; }
+
+private:
+  std::vector<Node> Nodes;
+  std::vector<int> BottomUp;
+};
+
+} // namespace ipra
+
+#endif // IPRA_ANALYSIS_CALLGRAPH_H

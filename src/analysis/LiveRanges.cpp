@@ -1,0 +1,76 @@
+//===- analysis/LiveRanges.cpp ---------------------------------------------===//
+
+#include "analysis/LiveRanges.h"
+
+using namespace ipra;
+
+LiveRangeInfo LiveRangeInfo::compute(const Procedure &Proc,
+                                     const Liveness &LV) {
+  LiveRangeInfo Info;
+  unsigned NumVRegs = Proc.NumVRegs;
+  unsigned NumBlocks = Proc.numBlocks();
+  Info.Ranges.assign(NumVRegs, LiveRange());
+  for (VReg R = 0; R < NumVRegs; ++R) {
+    Info.Ranges[R].Reg = R;
+    Info.Ranges[R].LiveBlocks.resize(NumBlocks);
+  }
+
+  for (const auto &BB : Proc) {
+    int B = BB->id();
+    double Freq = BB->Freq;
+    // Defs/uses contribute savings regardless of liveness structure.
+    for (const Instruction &Inst : BB->Insts) {
+      auto Tally = [&Info, Freq](VReg R) {
+        Info.Ranges[R].SpillSavings += Freq;
+        ++Info.Ranges[R].NumDefsUses;
+      };
+      if (VReg D = Inst.def())
+        Tally(D);
+      Inst.forEachUse(Tally);
+    }
+    // Point-by-point liveness: span, live blocks, call crossings.
+    LV.forEachInstLiveAfter(
+        Proc, B, [&](int InstIdx, const BitVector &LiveAfter) {
+          const Instruction &Inst = BB->Insts[InstIdx];
+          for (int R = LiveAfter.findFirst(); R >= 0;
+               R = LiveAfter.findNext(R)) {
+            LiveRange &LR = Info.Ranges[R];
+            LR.Span += 1;
+            LR.LiveBlocks.set(B);
+            if (Inst.isCall() && VReg(R) != Inst.def())
+              LR.Crossings.push_back({B, InstIdx, Inst.Callee, Freq});
+          }
+        });
+    // Upward-exposed liveness marks the block too.
+    const BitVector &In = LV.liveIn(B);
+    for (int R = In.findFirst(); R >= 0; R = In.findNext(R))
+      Info.Ranges[R].LiveBlocks.set(B);
+  }
+  return Info;
+}
+
+InterferenceGraph InterferenceGraph::compute(const Procedure &Proc,
+                                             const Liveness &LV) {
+  InterferenceGraph G(Proc.NumVRegs);
+  for (const auto &BB : Proc) {
+    LV.forEachInstLiveAfter(
+        Proc, BB->id(), [&](int InstIdx, const BitVector &LiveAfter) {
+          const Instruction &Inst = BB->Insts[InstIdx];
+          VReg D = Inst.def();
+          if (!D)
+            return;
+          for (int R = LiveAfter.findFirst(); R >= 0;
+               R = LiveAfter.findNext(R)) {
+            // Copy destination may share a register with its source.
+            if (Inst.Op == Opcode::Copy && VReg(R) == Inst.Src1)
+              continue;
+            G.addEdge(D, VReg(R));
+          }
+        });
+  }
+  // Parameters arrive simultaneously at entry: they must not share.
+  for (unsigned I = 0; I < Proc.ParamVRegs.size(); ++I)
+    for (unsigned J = I + 1; J < Proc.ParamVRegs.size(); ++J)
+      G.addEdge(Proc.ParamVRegs[I], Proc.ParamVRegs[J]);
+  return G;
+}

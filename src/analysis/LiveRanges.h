@@ -1,0 +1,96 @@
+//===- analysis/LiveRanges.h - Live ranges and interference ----*- C++ -*-===//
+//
+// Part of the ipra project (Chow, PLDI 1988 reproduction).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Per-virtual-register live ranges with the statistics priority-based
+/// coloring needs: spill savings, span, crossed call sites, and the
+/// interference graph. One live range per virtual register (the paper's
+/// live-range splitting is orthogonal to the techniques reproduced here).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef IPRA_ANALYSIS_LIVERANGES_H
+#define IPRA_ANALYSIS_LIVERANGES_H
+
+#include "analysis/Liveness.h"
+#include "ir/Procedure.h"
+#include "support/BitVector.h"
+
+#include <vector>
+
+namespace ipra {
+
+/// A call site some live range spans: the register's value must survive it.
+struct CallCrossing {
+  int Block = -1;
+  int InstIdx = -1;
+  /// Direct callee procedure id, or -1 for indirect/unknown calls.
+  int CalleeId = -1;
+  /// Estimated execution frequency of the call.
+  double Freq = 1.0;
+};
+
+struct LiveRange {
+  VReg Reg = 0;
+  /// Blocks in which the register is live at some point.
+  BitVector LiveBlocks;
+  /// Σ block frequency over all defs and uses: the memory traffic avoided
+  /// per run by keeping the value in a register (Chow's "savings").
+  double SpillSavings = 0;
+  unsigned NumDefsUses = 0;
+  /// Number of instruction points at which the range is live; the priority
+  /// denominator, so short hot ranges beat long sparse ones.
+  double Span = 0;
+  /// Every call instruction whose execution the range spans.
+  std::vector<CallCrossing> Crossings;
+
+  bool exists() const { return NumDefsUses > 0 || !Crossings.empty(); }
+  bool crossesAnyCall() const { return !Crossings.empty(); }
+};
+
+class LiveRangeInfo {
+public:
+  /// Builds live ranges for \p Proc. Block frequencies must already be
+  /// estimated (see estimateFrequencies).
+  static LiveRangeInfo compute(const Procedure &Proc, const Liveness &LV);
+
+  const LiveRange &range(VReg R) const {
+    assert(R < Ranges.size() && "vreg out of range");
+    return Ranges[R];
+  }
+  unsigned numVRegs() const { return Ranges.size(); }
+
+private:
+  std::vector<LiveRange> Ranges;
+};
+
+/// Symmetric interference relation over virtual registers: two ranges
+/// interfere when one is live at a definition point of the other (with the
+/// usual copy exception so moves do not force distinct registers).
+class InterferenceGraph {
+public:
+  static InterferenceGraph compute(const Procedure &Proc, const Liveness &LV);
+
+  bool interfere(VReg A, VReg B) const { return Adj[A].test(B); }
+  const BitVector &neighbors(VReg R) const { return Adj[R]; }
+
+  void addEdge(VReg A, VReg B) {
+    if (A == B)
+      return;
+    Adj[A].set(B);
+    Adj[B].set(A);
+  }
+
+private:
+  explicit InterferenceGraph(unsigned NumVRegs)
+      : Adj(NumVRegs, BitVector(NumVRegs)) {}
+
+  std::vector<BitVector> Adj;
+};
+
+} // namespace ipra
+
+#endif // IPRA_ANALYSIS_LIVERANGES_H

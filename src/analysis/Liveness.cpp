@@ -1,0 +1,50 @@
+//===- analysis/Liveness.cpp -----------------------------------------------===//
+
+#include "analysis/Liveness.h"
+
+using namespace ipra;
+
+Liveness Liveness::compute(const Procedure &Proc) {
+  Liveness Result;
+  unsigned NumBlocks = Proc.numBlocks();
+  unsigned NumVRegs = Proc.NumVRegs;
+  Result.LiveIn.assign(NumBlocks, BitVector(NumVRegs));
+  Result.LiveOut.assign(NumBlocks, BitVector(NumVRegs));
+
+  // Local GEN (upward-exposed uses) and KILL (defs) per block.
+  std::vector<BitVector> Gen(NumBlocks, BitVector(NumVRegs));
+  std::vector<BitVector> Kill(NumBlocks, BitVector(NumVRegs));
+  for (const auto &BB : Proc) {
+    BitVector &G = Gen[BB->id()];
+    BitVector &K = Kill[BB->id()];
+    for (const Instruction &Inst : BB->Insts) {
+      Inst.forEachUse([&G, &K](VReg R) {
+        if (!K.test(R))
+          G.set(R);
+      });
+      if (VReg D = Inst.def())
+        K.set(D);
+    }
+  }
+
+  // Iterate to fixed point over blocks in reverse id order (a decent
+  // approximation of post-order for the CFGs the front end emits).
+  bool Changed = true;
+  while (Changed) {
+    Changed = false;
+    for (int B = int(NumBlocks) - 1; B >= 0; --B) {
+      BitVector Out(NumVRegs);
+      for (int S : Proc.block(B)->successors())
+        Out |= Result.LiveIn[S];
+      BitVector In = Out;
+      In.andNot(Kill[B]);
+      In |= Gen[B];
+      if (Out != Result.LiveOut[B] || In != Result.LiveIn[B]) {
+        Result.LiveOut[B] = std::move(Out);
+        Result.LiveIn[B] = std::move(In);
+        Changed = true;
+      }
+    }
+  }
+  return Result;
+}

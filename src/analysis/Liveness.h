@@ -1,0 +1,56 @@
+//===- analysis/Liveness.h - Live-variable analysis ------------*- C++ -*-===//
+//
+// Part of the ipra project (Chow, PLDI 1988 reproduction).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Classic backward bit-vector live-variable analysis over virtual
+/// registers. Feeds live-range construction and dead-code elimination.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef IPRA_ANALYSIS_LIVENESS_H
+#define IPRA_ANALYSIS_LIVENESS_H
+
+#include "ir/Procedure.h"
+#include "support/BitVector.h"
+
+#include <vector>
+
+namespace ipra {
+
+/// Per-block live-in/live-out sets over virtual registers.
+class Liveness {
+public:
+  /// Runs the analysis on \p Proc to a fixed point.
+  static Liveness compute(const Procedure &Proc);
+
+  const BitVector &liveIn(int Block) const { return LiveIn[Block]; }
+  const BitVector &liveOut(int Block) const { return LiveOut[Block]; }
+
+  /// Walks \p Block backwards invoking \p Fn(InstIndex, LiveAfter) with the
+  /// set of vregs live immediately *after* each instruction. LiveAfter is
+  /// reused storage: do not retain the reference.
+  template <typename CallableT>
+  void forEachInstLiveAfter(const Procedure &Proc, int Block,
+                            CallableT Fn) const {
+    const BasicBlock *BB = Proc.block(Block);
+    BitVector Live = LiveOut[Block];
+    for (int I = int(BB->Insts.size()) - 1; I >= 0; --I) {
+      const Instruction &Inst = BB->Insts[I];
+      Fn(I, static_cast<const BitVector &>(Live));
+      if (VReg D = Inst.def())
+        Live.reset(D);
+      Inst.forEachUse([&Live](VReg R) { Live.set(R); });
+    }
+  }
+
+private:
+  std::vector<BitVector> LiveIn;
+  std::vector<BitVector> LiveOut;
+};
+
+} // namespace ipra
+
+#endif // IPRA_ANALYSIS_LIVENESS_H

@@ -1,0 +1,93 @@
+//===- analysis/Loops.cpp --------------------------------------------------===//
+
+#include "analysis/Loops.h"
+
+#include <algorithm>
+#include <cmath>
+
+using namespace ipra;
+
+namespace {
+
+/// DFS edge classification state for back-edge detection.
+struct DFSState {
+  std::vector<char> Visited;
+  std::vector<char> OnStack;
+  std::vector<std::pair<int, int>> BackEdges; // (tail, header)
+};
+
+void dfs(const Procedure &Proc, int Node, DFSState &S) {
+  S.Visited[Node] = 1;
+  S.OnStack[Node] = 1;
+  for (int Succ : Proc.block(Node)->successors()) {
+    if (S.OnStack[Succ])
+      S.BackEdges.push_back({Node, Succ});
+    else if (!S.Visited[Succ])
+      dfs(Proc, Succ, S);
+  }
+  S.OnStack[Node] = 0;
+}
+
+} // namespace
+
+LoopInfo LoopInfo::compute(const Procedure &Proc) {
+  LoopInfo LI;
+  unsigned NumBlocks = Proc.numBlocks();
+  LI.Depth.assign(NumBlocks, 0);
+  if (NumBlocks == 0)
+    return LI;
+
+  DFSState S;
+  S.Visited.assign(NumBlocks, 0);
+  S.OnStack.assign(NumBlocks, 0);
+  dfs(Proc, 0, S);
+
+  // Natural loop of back edge (Tail -> Header): Header plus all nodes that
+  // reach Tail without passing through Header (reverse reachability).
+  for (auto [Tail, Header] : S.BackEdges) {
+    BitVector Body(NumBlocks);
+    Body.set(Header);
+    std::vector<int> Work;
+    if (!Body.test(Tail)) {
+      Body.set(Tail);
+      Work.push_back(Tail);
+    }
+    while (!Work.empty()) {
+      int Node = Work.back();
+      Work.pop_back();
+      for (int Pred : Proc.block(Node)->Preds) {
+        if (!Body.test(Pred)) {
+          Body.set(Pred);
+          Work.push_back(Pred);
+        }
+      }
+    }
+    // Merge with an existing loop that has the same header.
+    auto Existing =
+        std::find_if(LI.Loops.begin(), LI.Loops.end(),
+                     [Header](const Loop &L) { return L.Header == Header; });
+    if (Existing != LI.Loops.end()) {
+      Existing->Blocks |= Body;
+    } else {
+      Loop L;
+      L.Header = Header;
+      L.Blocks = std::move(Body);
+      LI.Loops.push_back(std::move(L));
+    }
+  }
+
+  for (const Loop &L : LI.Loops)
+    for (int B = L.Blocks.findFirst(); B >= 0; B = L.Blocks.findNext(B))
+      ++LI.Depth[B];
+  return LI;
+}
+
+void ipra::estimateFrequencies(Procedure &Proc, const LoopInfo &LI) {
+  for (auto &BB : Proc) {
+    BB->LoopDepth = LI.loopDepth(BB->id());
+    // Cap the exponent so deeply nested synthetic loops cannot overflow the
+    // priority arithmetic.
+    int Depth = std::min(BB->LoopDepth, 8);
+    BB->Freq = std::pow(10.0, Depth);
+  }
+}

@@ -1,0 +1,56 @@
+//===- analysis/Loops.h - Natural loops and block frequencies --*- C++ -*-===//
+//
+// Part of the ipra project (Chow, PLDI 1988 reproduction).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Natural-loop detection via back edges, per-block loop depth, and the
+/// static execution-frequency estimate (10^depth) used by priority-based
+/// coloring, plus the loop-region information the shrink-wrap pass needs to
+/// keep saves/restores out of loops.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef IPRA_ANALYSIS_LOOPS_H
+#define IPRA_ANALYSIS_LOOPS_H
+
+#include "ir/Procedure.h"
+#include "support/BitVector.h"
+
+#include <vector>
+
+namespace ipra {
+
+/// One natural loop: the header plus every block in its body.
+struct Loop {
+  int Header = -1;
+  /// Blocks in the loop, header included.
+  BitVector Blocks;
+};
+
+class LoopInfo {
+public:
+  /// Finds natural loops of \p Proc. Loops sharing a header are merged.
+  static LoopInfo compute(const Procedure &Proc);
+
+  const std::vector<Loop> &loops() const { return Loops; }
+
+  int loopDepth(int Block) const { return Depth[Block]; }
+
+  /// \returns true if \p Block is inside any loop.
+  bool inAnyLoop(int Block) const { return Depth[Block] > 0; }
+
+private:
+  std::vector<Loop> Loops;
+  std::vector<int> Depth;
+};
+
+/// Writes Freq = 10^loopDepth (and LoopDepth) into each block of \p Proc.
+/// This is the static estimate Chow's priority function uses in the absence
+/// of profile data.
+void estimateFrequencies(Procedure &Proc, const LoopInfo &LI);
+
+} // namespace ipra
+
+#endif // IPRA_ANALYSIS_LOOPS_H

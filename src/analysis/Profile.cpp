@@ -1,0 +1,20 @@
+//===- analysis/Profile.cpp ------------------------------------------------===//
+
+#include "analysis/Profile.h"
+
+#include <algorithm>
+
+using namespace ipra;
+
+void ipra::applyProfile(Procedure &Proc, const ProfileData &Profile) {
+  assert(Profile.covers(Proc.id(), Proc.numBlocks()) &&
+         "profile does not match the module");
+  const std::vector<uint64_t> &Counts = Profile.BlockCounts[Proc.id()];
+  double EntryCount = double(std::max<uint64_t>(Counts[0], 1));
+  for (auto &BB : Proc) {
+    uint64_t C = Counts[BB->id()];
+    // Per-activation frequency; unexecuted blocks keep a whisper of weight
+    // so correctness-relevant placement still considers them.
+    BB->Freq = C ? double(C) / EntryCount : 0.01;
+  }
+}

@@ -1,0 +1,52 @@
+//===- analysis/Profile.h - Execution profiles for the allocator -*- C++ -*-===//
+//
+// Part of the ipra project (Chow, PLDI 1988 reproduction).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Dynamic block-execution profiles. The paper closes its measurement
+/// discussion with: "The feedback of profile data to the register
+/// allocator is a capability that we plan to add in the future" -- the
+/// missing information blamed for ccom's slowdown (saves/restores
+/// migrated to a region that turned out to be the hot one). This module
+/// implements that future work: the simulator collects per-block counts,
+/// and the allocator consumes them in place of the static 10^loop-depth
+/// estimate.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef IPRA_ANALYSIS_PROFILE_H
+#define IPRA_ANALYSIS_PROFILE_H
+
+#include "ir/Procedure.h"
+
+#include <cstdint>
+#include <vector>
+
+namespace ipra {
+
+/// Per-procedure, per-block execution counts from a training run.
+/// Indexed [procedure id][block id]; valid only against the exact module
+/// whose code produced it (block ids must match).
+struct ProfileData {
+  std::vector<std::vector<uint64_t>> BlockCounts;
+
+  bool empty() const { return BlockCounts.empty(); }
+
+  /// True if the profile covers \p ProcId with the expected block count.
+  bool covers(int ProcId, unsigned NumBlocks) const {
+    return ProcId >= 0 && ProcId < int(BlockCounts.size()) &&
+           BlockCounts[ProcId].size() == NumBlocks;
+  }
+};
+
+/// Overwrites the blocks' Freq fields of \p Proc with per-activation
+/// frequencies derived from the profile: count(block) / count(entry).
+/// Blocks the training run never reached get a small nonzero frequency so
+/// their code is not starved of registers entirely.
+void applyProfile(Procedure &Proc, const ProfileData &Profile);
+
+} // namespace ipra
+
+#endif // IPRA_ANALYSIS_PROFILE_H

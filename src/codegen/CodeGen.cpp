@@ -1,0 +1,643 @@
+//===- codegen/CodeGen.cpp - IR to machine code lowering -------------------===//
+
+#include "codegen/CodeGen.h"
+
+#include "analysis/Liveness.h"
+#include "codegen/ParallelMove.h"
+
+#include <algorithm>
+#include <map>
+
+using namespace ipra;
+
+namespace {
+
+MOpcode aluOpcode(Opcode Op) {
+  switch (Op) {
+  case Opcode::Add:
+    return MOpcode::Add;
+  case Opcode::Sub:
+    return MOpcode::Sub;
+  case Opcode::Mul:
+    return MOpcode::Mul;
+  case Opcode::Div:
+    return MOpcode::Div;
+  case Opcode::Rem:
+    return MOpcode::Rem;
+  case Opcode::And:
+    return MOpcode::And;
+  case Opcode::Or:
+    return MOpcode::Or;
+  case Opcode::Xor:
+    return MOpcode::Xor;
+  case Opcode::Shl:
+    return MOpcode::Shl;
+  case Opcode::Shr:
+    return MOpcode::Shr;
+  case Opcode::CmpEq:
+    return MOpcode::CmpEq;
+  case Opcode::CmpNe:
+    return MOpcode::CmpNe;
+  case Opcode::CmpLt:
+    return MOpcode::CmpLt;
+  case Opcode::CmpLe:
+    return MOpcode::CmpLe;
+  case Opcode::CmpGt:
+    return MOpcode::CmpGt;
+  case Opcode::CmpGe:
+    return MOpcode::CmpGe;
+  default:
+    assert(false && "not a binary ALU opcode");
+    return MOpcode::Add;
+  }
+}
+
+/// Emits a set of register-to-register moves that must appear to happen in
+/// parallel (argument setup, parameter arrival). Cycles are broken through
+/// \p Scratch.
+void emitParallelMoves(std::vector<RegMove> Moves, unsigned Scratch,
+                       MBlock &Out) {
+  for (RegMove M : sequentializeMoves(std::move(Moves), Scratch)) {
+    MInst Mv(MOpcode::Move);
+    Mv.Rd = uint8_t(M.first);
+    Mv.Rs = uint8_t(M.second);
+    Out.Insts.push_back(Mv);
+  }
+}
+
+class ProcCodeGen {
+public:
+  ProcCodeGen(const Procedure &P, const AllocationResult &A,
+              const SummaryTable &Summaries, const CodeGenOptions &Opts,
+              const std::vector<int64_t> &GlobalOffsets)
+      : P(P), A(A), Summaries(Summaries), M(Summaries.machine()), Opts(Opts),
+        GlobalOffsets(GlobalOffsets), LV(Liveness::compute(P)) {}
+
+  MProc run() {
+    Out.Name = P.name();
+    Out.Id = P.id();
+    Out.NumParams = P.ParamVRegs.size();
+    layoutFrame();
+    for (const auto &BB : P) {
+      Out.Blocks.push_back(MBlock());
+      MBlock &MB = Out.Blocks.back();
+      MB.Id = BB->id();
+      if (BB->id() == 0)
+        emitPrologue(MB);
+      emitBlockEntrySaves(*BB, MB);
+      if (BB->id() == 0)
+        emitParamArrival(MB);
+      emitBody(*BB, MB);
+    }
+    Out.FrameWords = FrameWords;
+    return std::move(Out);
+  }
+
+private:
+  //===--------------------------------------------------------------------===
+  // Frame layout
+  //===--------------------------------------------------------------------===
+
+  bool hasCalls() const {
+    for (const auto &BB : P)
+      for (const Instruction &I : BB->Insts)
+        if (I.isCall())
+          return true;
+    return false;
+  }
+
+  /// Registers holding values live across \p Call that the callee may
+  /// clobber: the caller-side save set.
+  std::vector<unsigned> saveSetAt(const BasicBlock &BB, int InstIdx,
+                                  const Instruction &Call) const {
+    const BitVector &Clob = Summaries.effectiveClobber(Call, Opts.InterMode);
+    std::vector<unsigned> Regs;
+    // Reconstruct the live-after set at this instruction.
+    LV.forEachInstLiveAfter(P, BB.id(), [&](int Idx, const BitVector &Live) {
+      if (Idx != InstIdx)
+        return;
+      for (int V = Live.findFirst(); V >= 0; V = Live.findNext(V)) {
+        if (VReg(V) == Call.def())
+          continue;
+        int Reg = A.Assignment[V];
+        if (Reg >= 0 && Clob.test(unsigned(Reg)))
+          Regs.push_back(unsigned(Reg));
+      }
+    });
+    std::sort(Regs.begin(), Regs.end());
+    Regs.erase(std::unique(Regs.begin(), Regs.end()), Regs.end());
+    return Regs;
+  }
+
+  std::vector<unsigned> argLocsFor(const Instruction &Call) const {
+    return Summaries.paramLocsForCall(Call,
+                                      Opts.InterMode && Opts.RegisterParams);
+  }
+
+  void layoutFrame() {
+    // Outgoing stack-argument area.
+    int64_t OutArgWords = 0;
+    for (const auto &BB : P) {
+      for (const Instruction &I : BB->Insts) {
+        if (!I.isCall())
+          continue;
+        int64_t StackArgs = 0;
+        for (unsigned Loc : argLocsFor(I))
+          StackArgs += Loc == StackParamLoc;
+        OutArgWords = std::max(OutArgWords, StackArgs);
+      }
+    }
+    int64_t Next = OutArgWords;
+
+    // Caller-side save slots: one per register ever saved around a call.
+    for (const auto &BB : P) {
+      for (unsigned Idx = 0; Idx < BB->Insts.size(); ++Idx) {
+        const Instruction &I = BB->Insts[Idx];
+        if (!I.isCall())
+          continue;
+        for (unsigned Reg : saveSetAt(*BB, int(Idx), I))
+          if (!ASlot.count(Reg))
+            ASlot[Reg] = Next++;
+      }
+    }
+
+    // Callee-saved preservation slots.
+    const BitVector &Pres = A.CalleeSavedToPreserve;
+    for (int Reg = Pres.findFirst(); Reg >= 0; Reg = Pres.findNext(Reg))
+      BSlot[unsigned(Reg)] = Next++;
+
+    if (hasCalls())
+      RASlot = Next++;
+
+    // Spill slots for unassigned virtual registers that appear in code.
+    auto NeedsSlot = [this](VReg V) {
+      if (V && A.Assignment[V] < 0 && !SpillSlot.count(V))
+        SpillSlot[V] = -1; // patched below
+    };
+    for (const auto &BB : P) {
+      for (const Instruction &I : BB->Insts) {
+        NeedsSlot(I.def());
+        I.forEachUse(NeedsSlot);
+      }
+    }
+    for (VReg V : P.ParamVRegs)
+      NeedsSlot(V);
+    for (auto &[V, Slot] : SpillSlot)
+      Slot = Next++;
+
+    // Local aggregates.
+    for (const FrameObject &FO : P.FrameObjects) {
+      FrameObjOffset.push_back(Next);
+      Next += FO.SizeWords;
+    }
+    FrameWords = Next;
+  }
+
+  //===--------------------------------------------------------------------===
+  // Emission helpers
+  //===--------------------------------------------------------------------===
+
+  void emit(MBlock &MB, MInst I) { MB.Insts.push_back(I); }
+
+  void emitLoadSlot(MBlock &MB, unsigned Reg, int64_t Slot, MemKind Kind) {
+    MInst I(MOpcode::Load);
+    I.Rd = uint8_t(Reg);
+    I.Rs = RegSP;
+    I.Imm = Slot;
+    I.Mem = Kind;
+    emit(MB, I);
+  }
+
+  void emitStoreSlot(MBlock &MB, unsigned Reg, int64_t Slot, MemKind Kind) {
+    MInst I(MOpcode::Store);
+    I.Rs = RegSP;
+    I.Imm = Slot;
+    I.Rt = uint8_t(Reg);
+    I.Mem = Kind;
+    emit(MB, I);
+  }
+
+  void emitMove(MBlock &MB, unsigned Dst, unsigned Src) {
+    if (Dst == Src)
+      return;
+    MInst I(MOpcode::Move);
+    I.Rd = uint8_t(Dst);
+    I.Rs = uint8_t(Src);
+    emit(MB, I);
+  }
+
+  /// Materializes the value of \p V into a register: its assigned register,
+  /// or a load of its spill slot into \p Scratch.
+  unsigned srcReg(MBlock &MB, VReg V, unsigned Scratch) {
+    assert(V && "reading the null vreg");
+    int Reg = A.Assignment[V];
+    if (Reg >= 0)
+      return unsigned(Reg);
+    emitLoadSlot(MB, Scratch, SpillSlot.at(V), MemKind::Scalar);
+    return Scratch;
+  }
+
+  /// Register a definition of \p V should be computed into.
+  unsigned defReg(VReg V) {
+    int Reg = A.Assignment[V];
+    return Reg >= 0 ? unsigned(Reg) : unsigned(RegAT);
+  }
+
+  /// Completes a definition: spills to the stack when unassigned.
+  void finishDef(MBlock &MB, VReg V, unsigned Reg) {
+    if (A.Assignment[V] < 0)
+      emitStoreSlot(MB, Reg, SpillSlot.at(V), MemKind::Scalar);
+  }
+
+  //===--------------------------------------------------------------------===
+  // Prologue / epilogue / parameter arrival
+  //===--------------------------------------------------------------------===
+
+  void emitPrologue(MBlock &MB) {
+    if (FrameWords > 0) {
+      MInst I(MOpcode::AddImm);
+      I.Rd = RegSP;
+      I.Rs = RegSP;
+      I.Imm = -FrameWords;
+      emit(MB, I);
+    }
+    if (RASlot >= 0)
+      emitStoreSlot(MB, RegRA, RASlot, MemKind::Scalar);
+  }
+
+  void emitBlockEntrySaves(const BasicBlock &BB, MBlock &MB) {
+    const BitVector &Save = A.Placement.SaveAtEntry[BB.id()];
+    for (int Reg = Save.findFirst(); Reg >= 0; Reg = Save.findNext(Reg))
+      emitStoreSlot(MB, unsigned(Reg), BSlot.at(unsigned(Reg)),
+                    MemKind::Scalar);
+  }
+
+  void emitParamArrival(MBlock &MB) {
+    // 1. Spilled parameters: store their arrival registers.
+    // 2. Register parameters: parallel move arrival -> assigned.
+    // 3. Stack parameters: load from the caller's outgoing area.
+    std::vector<std::pair<unsigned, unsigned>> RegMoves;
+    std::vector<std::pair<VReg, int64_t>> StackParams; // vreg, incoming idx
+    int64_t StackIdx = 0;
+    for (unsigned I = 0; I < P.ParamVRegs.size(); ++I) {
+      VReg V = P.ParamVRegs[I];
+      unsigned Loc = A.IncomingParamLocs[I];
+      if (Loc == StackParamLoc) {
+        StackParams.push_back({V, StackIdx++});
+        continue;
+      }
+      if (A.Assignment[V] < 0)
+        emitStoreSlot(MB, Loc, SpillSlot.at(V), MemKind::Scalar);
+      else
+        RegMoves.push_back({unsigned(A.Assignment[V]), Loc});
+    }
+    emitParallelMoves(std::move(RegMoves), RegAT, MB);
+    for (auto [V, Idx] : StackParams) {
+      // Incoming stack args live just above our frame.
+      unsigned Dst = defReg(V);
+      MInst I(MOpcode::Load);
+      I.Rd = uint8_t(Dst);
+      I.Rs = RegSP;
+      I.Imm = FrameWords + Idx;
+      I.Mem = MemKind::Scalar;
+      emit(MB, I);
+      finishDef(MB, V, Dst);
+    }
+  }
+
+  void emitEpilogue(MBlock &MB) {
+    if (RASlot >= 0)
+      emitLoadSlot(MB, RegRA, RASlot, MemKind::Scalar);
+    if (FrameWords > 0) {
+      MInst I(MOpcode::AddImm);
+      I.Rd = RegSP;
+      I.Rs = RegSP;
+      I.Imm = FrameWords;
+      emit(MB, I);
+    }
+  }
+
+  //===--------------------------------------------------------------------===
+  // Instruction lowering
+  //===--------------------------------------------------------------------===
+
+  void emitBody(const BasicBlock &BB, MBlock &MB) {
+    for (unsigned Idx = 0; Idx < BB.Insts.size(); ++Idx) {
+      const Instruction &I = BB.Insts[Idx];
+      if (I.isTerminator()) {
+        emitTerminator(BB, I, MB);
+        continue;
+      }
+      lowerInst(BB, int(Idx), I, MB);
+    }
+  }
+
+  void lowerInst(const BasicBlock &BB, int Idx, const Instruction &I,
+                 MBlock &MB) {
+    switch (I.Op) {
+    case Opcode::LoadImm: {
+      unsigned D = defReg(I.Dst);
+      MInst MI(MOpcode::LoadImm);
+      MI.Rd = uint8_t(D);
+      MI.Imm = I.Imm;
+      emit(MB, MI);
+      finishDef(MB, I.Dst, D);
+      return;
+    }
+    case Opcode::AddImm: {
+      unsigned S = srcReg(MB, I.Src1, RegAT);
+      unsigned D = defReg(I.Dst);
+      MInst MI(MOpcode::AddImm);
+      MI.Rd = uint8_t(D);
+      MI.Rs = uint8_t(S);
+      MI.Imm = I.Imm;
+      emit(MB, MI);
+      finishDef(MB, I.Dst, D);
+      return;
+    }
+    case Opcode::Copy: {
+      unsigned S = srcReg(MB, I.Src1, RegAT);
+      if (A.Assignment[I.Dst] >= 0)
+        emitMove(MB, unsigned(A.Assignment[I.Dst]), S);
+      else
+        emitStoreSlot(MB, S, SpillSlot.at(I.Dst), MemKind::Scalar);
+      return;
+    }
+    case Opcode::Neg:
+    case Opcode::Not: {
+      unsigned S = srcReg(MB, I.Src1, RegAT);
+      unsigned D = defReg(I.Dst);
+      MInst MI(I.Op == Opcode::Neg ? MOpcode::Neg : MOpcode::Not);
+      MI.Rd = uint8_t(D);
+      MI.Rs = uint8_t(S);
+      emit(MB, MI);
+      finishDef(MB, I.Dst, D);
+      return;
+    }
+    case Opcode::AddrGlobal: {
+      unsigned D = defReg(I.Dst);
+      MInst MI(MOpcode::LoadImm);
+      MI.Rd = uint8_t(D);
+      MI.Imm = GlobalOffsets[I.Global];
+      emit(MB, MI);
+      finishDef(MB, I.Dst, D);
+      return;
+    }
+    case Opcode::AddrLocal: {
+      unsigned D = defReg(I.Dst);
+      MInst MI(MOpcode::AddImm);
+      MI.Rd = uint8_t(D);
+      MI.Rs = RegSP;
+      MI.Imm = FrameObjOffset[I.Frame];
+      emit(MB, MI);
+      finishDef(MB, I.Dst, D);
+      return;
+    }
+    case Opcode::LoadGlobal: {
+      unsigned D = defReg(I.Dst);
+      MInst MI(MOpcode::Load);
+      MI.Rd = uint8_t(D);
+      MI.Rs = RegZero;
+      MI.Imm = GlobalOffsets[I.Global];
+      MI.Mem = MemKind::Scalar;
+      emit(MB, MI);
+      finishDef(MB, I.Dst, D);
+      return;
+    }
+    case Opcode::StoreGlobal: {
+      unsigned S = srcReg(MB, I.Src1, RegAT);
+      MInst MI(MOpcode::Store);
+      MI.Rs = RegZero;
+      MI.Imm = GlobalOffsets[I.Global];
+      MI.Rt = uint8_t(S);
+      MI.Mem = MemKind::Scalar;
+      emit(MB, MI);
+      return;
+    }
+    case Opcode::Load: {
+      unsigned Base = srcReg(MB, I.Src1, RegAT);
+      unsigned D = defReg(I.Dst);
+      MInst MI(MOpcode::Load);
+      MI.Rd = uint8_t(D);
+      MI.Rs = uint8_t(Base);
+      MI.Imm = I.Imm;
+      MI.Mem = MemKind::Data;
+      emit(MB, MI);
+      finishDef(MB, I.Dst, D);
+      return;
+    }
+    case Opcode::Store: {
+      unsigned Base = srcReg(MB, I.Src1, RegAT);
+      unsigned Val = srcReg(MB, I.Src2, RegV1);
+      MInst MI(MOpcode::Store);
+      MI.Rs = uint8_t(Base);
+      MI.Imm = I.Imm;
+      MI.Rt = uint8_t(Val);
+      MI.Mem = MemKind::Data;
+      emit(MB, MI);
+      return;
+    }
+    case Opcode::FuncAddr: {
+      unsigned D = defReg(I.Dst);
+      MInst MI(MOpcode::LoadImm);
+      MI.Rd = uint8_t(D);
+      MI.Imm = I.Callee;
+      emit(MB, MI);
+      finishDef(MB, I.Dst, D);
+      return;
+    }
+    case Opcode::Call:
+    case Opcode::CallIndirect:
+      lowerCall(BB, Idx, I, MB);
+      return;
+    case Opcode::Print: {
+      unsigned S = srcReg(MB, I.Src1, RegAT);
+      MInst MI(MOpcode::Print);
+      MI.Rs = uint8_t(S);
+      emit(MB, MI);
+      return;
+    }
+    default: {
+      assert(I.isBinaryALU() && "unhandled opcode in codegen");
+      unsigned S1 = srcReg(MB, I.Src1, RegAT);
+      unsigned S2 = srcReg(MB, I.Src2, RegV1);
+      unsigned D = defReg(I.Dst);
+      MInst MI(aluOpcode(I.Op));
+      MI.Rd = uint8_t(D);
+      MI.Rs = uint8_t(S1);
+      MI.Rt = uint8_t(S2);
+      emit(MB, MI);
+      finishDef(MB, I.Dst, D);
+      return;
+    }
+    }
+  }
+
+  void lowerCall(const BasicBlock &BB, int Idx, const Instruction &I,
+                 MBlock &MB) {
+    std::vector<unsigned> Saves = saveSetAt(BB, Idx, I);
+    for (unsigned Reg : Saves)
+      emitStoreSlot(MB, Reg, ASlot.at(Reg), MemKind::Scalar);
+
+    std::vector<unsigned> Locs = argLocsFor(I);
+
+    // Indirect-call target: stash it in V1 if argument setup would
+    // overwrite its register.
+    unsigned TargetReg = 0;
+    if (I.Op == Opcode::CallIndirect) {
+      TargetReg = srcReg(MB, I.Src1, RegV1);
+      bool Clobbered = false;
+      for (unsigned J = 0; J < Locs.size(); ++J)
+        Clobbered |= Locs[J] != StackParamLoc && Locs[J] == TargetReg;
+      if (Clobbered) {
+        emitMove(MB, RegV1, TargetReg);
+        TargetReg = RegV1;
+      }
+    }
+
+    // Stack arguments first (they only read), then register arguments as
+    // one parallel move, then spilled-argument loads straight into their
+    // destination registers.
+    int64_t StackIdx = 0;
+    std::vector<std::pair<unsigned, unsigned>> RegMoves;
+    std::vector<std::pair<unsigned, VReg>> MemArgs;
+    for (unsigned J = 0; J < I.Args.size(); ++J) {
+      VReg Arg = I.Args[J];
+      if (Locs[J] == StackParamLoc) {
+        unsigned S = srcReg(MB, Arg, RegAT);
+        emitStoreSlot(MB, S, StackIdx++, MemKind::Scalar);
+        continue;
+      }
+      if (A.Assignment[Arg] >= 0)
+        RegMoves.push_back({Locs[J], unsigned(A.Assignment[Arg])});
+      else
+        MemArgs.push_back({Locs[J], Arg});
+    }
+    emitParallelMoves(std::move(RegMoves), RegAT, MB);
+    for (auto [Loc, Arg] : MemArgs)
+      emitLoadSlot(MB, Loc, SpillSlot.at(Arg), MemKind::Scalar);
+
+    if (I.Op == Opcode::Call) {
+      MInst MI(MOpcode::Call);
+      MI.Callee = I.Callee;
+      emit(MB, MI);
+    } else {
+      MInst MI(MOpcode::CallInd);
+      MI.Rs = uint8_t(TargetReg);
+      emit(MB, MI);
+    }
+
+    if (I.Dst) {
+      if (A.Assignment[I.Dst] >= 0)
+        emitMove(MB, unsigned(A.Assignment[I.Dst]), RegV0);
+      else
+        emitStoreSlot(MB, RegV0, SpillSlot.at(I.Dst), MemKind::Scalar);
+    }
+    for (unsigned Reg : Saves)
+      emitLoadSlot(MB, Reg, ASlot.at(Reg), MemKind::Scalar);
+  }
+
+  void emitTerminator(const BasicBlock &BB, const Instruction &I,
+                      MBlock &MB) {
+    const BitVector &Restore = A.Placement.RestoreAtExit[BB.id()];
+    auto EmitRestores = [&] {
+      for (int Reg = Restore.findFirst(); Reg >= 0;
+           Reg = Restore.findNext(Reg))
+        emitLoadSlot(MB, unsigned(Reg), BSlot.at(unsigned(Reg)),
+                     MemKind::Scalar);
+    };
+    switch (I.Op) {
+    case Opcode::Br: {
+      EmitRestores();
+      MInst MI(MOpcode::Br);
+      MI.Target1 = I.Target1;
+      emit(MB, MI);
+      return;
+    }
+    case Opcode::CondBr: {
+      unsigned Cond = srcReg(MB, I.Src1, RegAT);
+      if (Restore.test(Cond)) {
+        // The restore would clobber the condition; park it in scratch.
+        emitMove(MB, RegV1, Cond);
+        Cond = RegV1;
+      }
+      EmitRestores();
+      MInst MI(MOpcode::CondBr);
+      MI.Rs = uint8_t(Cond);
+      MI.Target1 = I.Target1;
+      MI.Target2 = I.Target2;
+      emit(MB, MI);
+      return;
+    }
+    case Opcode::Ret: {
+      if (I.Src1) {
+        unsigned S = srcReg(MB, I.Src1, RegAT);
+        emitMove(MB, RegV0, S);
+      }
+      EmitRestores();
+      emitEpilogue(MB);
+      emit(MB, MInst(MOpcode::Ret));
+      return;
+    }
+    default:
+      assert(false && "not a terminator");
+    }
+  }
+
+  const Procedure &P;
+  const AllocationResult &A;
+  const SummaryTable &Summaries;
+  const MachineDesc &M;
+  const CodeGenOptions &Opts;
+  const std::vector<int64_t> &GlobalOffsets;
+  Liveness LV;
+
+  MProc Out;
+  int64_t FrameWords = 0;
+  int64_t RASlot = -1;
+  std::map<unsigned, int64_t> ASlot;
+  std::map<unsigned, int64_t> BSlot;
+  std::map<VReg, int64_t> SpillSlot;
+  std::vector<int64_t> FrameObjOffset;
+};
+
+} // namespace
+
+MProgram ipra::generateCode(const Module &Mod,
+                            const std::vector<AllocationResult> &Alloc,
+                            const SummaryTable &Summaries,
+                            const CodeGenOptions &Opts) {
+  MProgram Prog;
+  // Globals segment at word address 0.
+  int64_t Next = 0;
+  for (const GlobalVar &G : Mod.Globals) {
+    Prog.GlobalOffsets.push_back(Next);
+    for (int64_t W = 0; W < G.SizeWords; ++W)
+      Prog.GlobalImage.push_back(W < int64_t(G.Init.size()) ? G.Init[W] : 0);
+    Next += G.SizeWords;
+  }
+  for (unsigned Id = 0; Id < Mod.numProcedures(); ++Id) {
+    const Procedure *P = Mod.procedure(int(Id));
+    // What a call to this procedure may destroy, for the simulator's
+    // dynamic convention checker. Default-protocol (open) procedures use
+    // the default mask.
+    {
+      const RegUsageSummary &S = Summaries.lookup(int(Id));
+      Prog.ClobberMasks.push_back(
+          S.Precise ? S.Clobbered : Summaries.machine().defaultClobber());
+    }
+    if (P->IsExternal) {
+      MProc MP;
+      MP.Name = P->name();
+      MP.Id = int(Id);
+      MP.IsExternal = true;
+      Prog.Procs.push_back(std::move(MP));
+      continue;
+    }
+    ProcCodeGen CG(*P, Alloc[Id], Summaries, Opts, Prog.GlobalOffsets);
+    Prog.Procs.push_back(CG.run());
+    if (P->IsMain)
+      Prog.MainProcId = int(Id);
+  }
+  return Prog;
+}

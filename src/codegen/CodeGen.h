@@ -1,0 +1,42 @@
+//===- codegen/CodeGen.h - IR to machine code lowering ---------*- C++ -*-===//
+//
+// Part of the ipra project (Chow, PLDI 1988 reproduction).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Lowers allocated IR procedures to machine code: stack frames, spill
+/// code, caller-side save/restore around calls priced by the callee's
+/// usage summary, parameter passing (register or stack), and the
+/// (shrink-wrapped) callee-saved save/restore placement chosen by the
+/// allocator.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef IPRA_CODEGEN_CODEGEN_H
+#define IPRA_CODEGEN_CODEGEN_H
+
+#include "codegen/MIR.h"
+#include "ir/Procedure.h"
+#include "regalloc/RegAlloc.h"
+
+namespace ipra {
+
+struct CodeGenOptions {
+  /// Must match the allocator's InterProcedural setting: controls which
+  /// clobber masks and parameter locations call lowering assumes.
+  bool InterMode = false;
+  /// Must match the allocator's RegisterParams setting.
+  bool RegisterParams = true;
+};
+
+/// Lowers the whole module. \p Alloc is indexed by procedure id (the
+/// result of allocateModule).
+MProgram generateCode(const Module &Mod,
+                      const std::vector<AllocationResult> &Alloc,
+                      const SummaryTable &Summaries,
+                      const CodeGenOptions &Opts);
+
+} // namespace ipra
+
+#endif // IPRA_CODEGEN_CODEGEN_H

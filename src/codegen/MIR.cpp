@@ -1,0 +1,118 @@
+//===- codegen/MIR.cpp -----------------------------------------------------===//
+
+#include "codegen/MIR.h"
+
+using namespace ipra;
+
+const char *ipra::mopcodeName(MOpcode Op) {
+  switch (Op) {
+  case MOpcode::Add:
+    return "add";
+  case MOpcode::Sub:
+    return "sub";
+  case MOpcode::Mul:
+    return "mul";
+  case MOpcode::Div:
+    return "div";
+  case MOpcode::Rem:
+    return "rem";
+  case MOpcode::And:
+    return "and";
+  case MOpcode::Or:
+    return "or";
+  case MOpcode::Xor:
+    return "xor";
+  case MOpcode::Shl:
+    return "shl";
+  case MOpcode::Shr:
+    return "shr";
+  case MOpcode::CmpEq:
+    return "cmpeq";
+  case MOpcode::CmpNe:
+    return "cmpne";
+  case MOpcode::CmpLt:
+    return "cmplt";
+  case MOpcode::CmpLe:
+    return "cmple";
+  case MOpcode::CmpGt:
+    return "cmpgt";
+  case MOpcode::CmpGe:
+    return "cmpge";
+  case MOpcode::Neg:
+    return "neg";
+  case MOpcode::Not:
+    return "not";
+  case MOpcode::Move:
+    return "move";
+  case MOpcode::LoadImm:
+    return "li";
+  case MOpcode::AddImm:
+    return "addi";
+  case MOpcode::Load:
+    return "lw";
+  case MOpcode::Store:
+    return "sw";
+  case MOpcode::Call:
+    return "jal";
+  case MOpcode::CallInd:
+    return "jalr";
+  case MOpcode::Ret:
+    return "jr";
+  case MOpcode::Br:
+    return "j";
+  case MOpcode::CondBr:
+    return "bnez";
+  case MOpcode::Print:
+    return "print";
+  }
+  return "<bad-mop>";
+}
+
+std::string ipra::toString(const MInst &I) {
+  std::string Out;
+  auto R = [](uint8_t Reg) { return std::string(regName(Reg)); };
+  switch (I.Op) {
+  case MOpcode::Neg:
+  case MOpcode::Not:
+  case MOpcode::Move:
+    return R(I.Rd) + " = " + mopcodeName(I.Op) + " " + R(I.Rs);
+  case MOpcode::LoadImm:
+    return R(I.Rd) + " = li " + std::to_string(I.Imm);
+  case MOpcode::AddImm:
+    return R(I.Rd) + " = addi " + R(I.Rs) + ", " + std::to_string(I.Imm);
+  case MOpcode::Load:
+    return R(I.Rd) + " = lw [" + R(I.Rs) + " + " + std::to_string(I.Imm) +
+           "]" + (I.Mem == MemKind::Scalar ? " ;scalar" : "");
+  case MOpcode::Store:
+    return "sw [" + R(I.Rs) + " + " + std::to_string(I.Imm) + "], " +
+           R(I.Rt) + (I.Mem == MemKind::Scalar ? " ;scalar" : "");
+  case MOpcode::Call:
+    return "jal proc" + std::to_string(I.Callee);
+  case MOpcode::CallInd:
+    return "jalr " + R(I.Rs);
+  case MOpcode::Ret:
+    return "jr $ra";
+  case MOpcode::Br:
+    return "j mbb" + std::to_string(I.Target1);
+  case MOpcode::CondBr:
+    return "bnez " + R(I.Rs) + ", mbb" + std::to_string(I.Target1) +
+           ", mbb" + std::to_string(I.Target2);
+  case MOpcode::Print:
+    return "print " + R(I.Rs);
+  default:
+    return R(I.Rd) + " = " + mopcodeName(I.Op) + " " + R(I.Rs) + ", " +
+           R(I.Rt);
+  }
+}
+
+std::string ipra::toString(const MProc &P) {
+  std::string Out = "mproc " + P.Name + " (frame " +
+                    std::to_string(P.FrameWords) + " words) {\n";
+  for (const MBlock &B : P.Blocks) {
+    Out += "mbb" + std::to_string(B.Id) + ":\n";
+    for (const MInst &I : B.Insts)
+      Out += "  " + toString(I) + "\n";
+  }
+  Out += "}\n";
+  return Out;
+}

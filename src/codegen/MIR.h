@@ -1,0 +1,142 @@
+//===- codegen/MIR.h - Machine IR for the R2000-like target ----*- C++ -*-===//
+//
+// Part of the ipra project (Chow, PLDI 1988 reproduction).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The machine-level program representation the simulator executes: one
+/// instruction per cycle, physical registers, word-addressed memory.
+/// Every load/store carries the MemKind tag that drives the pixie-style
+/// "scalar loads/stores" counter from the paper's measurements section.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef IPRA_CODEGEN_MIR_H
+#define IPRA_CODEGEN_MIR_H
+
+#include "ir/Instruction.h" // for MemKind
+#include "target/Machine.h"
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace ipra {
+
+enum class MOpcode {
+  // Rd = Rs op Rt.
+  Add,
+  Sub,
+  Mul,
+  Div,
+  Rem,
+  And,
+  Or,
+  Xor,
+  Shl,
+  Shr,
+  CmpEq,
+  CmpNe,
+  CmpLt,
+  CmpLe,
+  CmpGt,
+  CmpGe,
+  // Rd = op Rs.
+  Neg,
+  Not,
+  Move,
+  // Rd = Imm.
+  LoadImm,
+  // Rd = Rs + Imm.
+  AddImm,
+  // Rd = mem[Rs + Imm].
+  Load,
+  // mem[Rs + Imm] = Rt.
+  Store,
+  // Direct call of procedure #Callee.
+  Call,
+  // Indirect call of the procedure whose id is in Rs.
+  CallInd,
+  Ret,
+  // Jump to block #Target1.
+  Br,
+  // If Rs != 0 jump to #Target1, else #Target2.
+  CondBr,
+  // Emit Rs to the observable output stream.
+  Print
+};
+
+const char *mopcodeName(MOpcode Op);
+
+struct MInst {
+  MOpcode Op;
+  uint8_t Rd = 0;
+  uint8_t Rs = 0;
+  uint8_t Rt = 0;
+  int64_t Imm = 0;
+  int Callee = -1;
+  int Target1 = -1;
+  int Target2 = -1;
+  /// Accounting category for Load/Store.
+  MemKind Mem = MemKind::Data;
+
+  explicit MInst(MOpcode Op) : Op(Op) {}
+
+  bool isTerminator() const {
+    return Op == MOpcode::Ret || Op == MOpcode::Br || Op == MOpcode::CondBr;
+  }
+};
+
+struct MBlock {
+  int Id = 0;
+  std::vector<MInst> Insts;
+};
+
+struct MProc {
+  std::string Name;
+  int Id = 0;
+  bool IsExternal = false;
+  int64_t FrameWords = 0;
+  unsigned NumParams = 0;
+  std::vector<MBlock> Blocks;
+
+  unsigned instructionCount() const {
+    unsigned N = 0;
+    for (const MBlock &B : Blocks)
+      N += B.Insts.size();
+    return N;
+  }
+};
+
+/// A fully lowered program: machine procedures plus the initial data-memory
+/// image for the globals segment (based at word address 0).
+struct MProgram {
+  std::vector<MProc> Procs;
+  std::vector<int64_t> GlobalImage;
+  /// Word offset of each module global within GlobalImage.
+  std::vector<int64_t> GlobalOffsets;
+  int MainProcId = -1;
+
+  /// Per-procedure effective clobber masks (from the usage summaries the
+  /// allocator published). Registers *not* in a procedure's mask must hold
+  /// their pre-call values when it returns; the simulator's convention
+  /// checker enforces this dynamically (see SimOptions::CheckConventions).
+  std::vector<BitVector> ClobberMasks;
+
+  unsigned instructionCount() const {
+    unsigned N = 0;
+    for (const MProc &P : Procs)
+      N += P.instructionCount();
+    return N;
+  }
+};
+
+/// Renders one machine instruction, e.g. "$t0 = add $a0, $a1".
+std::string toString(const MInst &I);
+/// Renders a procedure with block labels.
+std::string toString(const MProc &P);
+
+} // namespace ipra
+
+#endif // IPRA_CODEGEN_MIR_H

@@ -1,0 +1,49 @@
+//===- codegen/ParallelMove.cpp --------------------------------------------===//
+
+#include "codegen/ParallelMove.h"
+
+#include <algorithm>
+#include <cassert>
+
+using namespace ipra;
+
+std::vector<RegMove> ipra::sequentializeMoves(std::vector<RegMove> Moves,
+                                              unsigned Scratch) {
+#ifndef NDEBUG
+  for (unsigned I = 0; I < Moves.size(); ++I) {
+    assert(Moves[I].first != Scratch && Moves[I].second != Scratch &&
+           "scratch register participates in the parallel move");
+    for (unsigned J = I + 1; J < Moves.size(); ++J)
+      assert(Moves[I].first != Moves[J].first && "duplicate destination");
+  }
+#endif
+  std::vector<RegMove> Out;
+  Moves.erase(std::remove_if(
+                  Moves.begin(), Moves.end(),
+                  [](const RegMove &M) { return M.first == M.second; }),
+              Moves.end());
+  while (!Moves.empty()) {
+    bool Emitted = false;
+    for (unsigned I = 0; I < Moves.size(); ++I) {
+      auto [Dst, Src] = Moves[I];
+      bool DstIsSource = false;
+      for (const RegMove &Other : Moves)
+        DstIsSource |= Other.second == Dst;
+      if (DstIsSource)
+        continue;
+      Out.push_back({Dst, Src});
+      Moves.erase(Moves.begin() + I);
+      Emitted = true;
+      break;
+    }
+    if (Emitted)
+      continue;
+    // Every destination is also a source: break the cycle via scratch.
+    unsigned Victim = Moves.front().second;
+    Out.push_back({Scratch, Victim});
+    for (RegMove &M : Moves)
+      if (M.second == Victim)
+        M.second = Scratch;
+  }
+  return Out;
+}

@@ -1,0 +1,37 @@
+//===- codegen/ParallelMove.h - Parallel register-move resolution -*- C++ -*-===//
+//
+// Part of the ipra project (Chow, PLDI 1988 reproduction).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Resolves a set of register-to-register moves that must appear to happen
+/// simultaneously (argument setup at calls, parameter arrival at entry)
+/// into a sequence of single moves, breaking cycles through a scratch
+/// register. Standard sequentialization: repeatedly emit a move whose
+/// destination is no pending source; when none exists every destination is
+/// also a source (a permutation cycle), so one value is parked in scratch.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef IPRA_CODEGEN_PARALLELMOVE_H
+#define IPRA_CODEGEN_PARALLELMOVE_H
+
+#include <cstdint>
+#include <utility>
+#include <vector>
+
+namespace ipra {
+
+/// One (destination, source) register pair.
+using RegMove = std::pair<unsigned, unsigned>;
+
+/// Sequentializes \p Moves (destinations must be pairwise distinct; \p
+/// Scratch must be neither a source nor a destination). \returns the move
+/// sequence to execute in order.
+std::vector<RegMove> sequentializeMoves(std::vector<RegMove> Moves,
+                                        unsigned Scratch);
+
+} // namespace ipra
+
+#endif // IPRA_CODEGEN_PARALLELMOVE_H

@@ -1,0 +1,145 @@
+//===- driver/Linker.cpp ---------------------------------------------------===//
+
+#include "driver/Linker.h"
+
+#include <unordered_map>
+
+using namespace ipra;
+
+namespace {
+
+/// Copies the body and metadata of \p From into the fresh procedure
+/// \p To, remapping global and callee ids.
+void cloneProcedure(const Procedure &From, Procedure *To,
+                    const std::vector<int64_t> &GlobalMap,
+                    const std::vector<int> &ProcMap) {
+  To->ParamVRegs = From.ParamVRegs;
+  To->NumVRegs = From.NumVRegs;
+  To->FrameObjects = From.FrameObjects;
+  To->IsExternal = From.IsExternal;
+  To->AddressTaken = From.AddressTaken;
+  To->Exported = From.Exported;
+  To->IsMain = From.IsMain;
+  for (const auto &BB : From) {
+    BasicBlock *NewBB = To->makeBlock();
+    NewBB->Insts = BB->Insts;
+    for (Instruction &I : NewBB->Insts) {
+      if (I.Global >= 0)
+        I.Global = int(GlobalMap[I.Global]);
+      if (I.Callee >= 0) {
+        assert(ProcMap[I.Callee] >= 0 && "callee not mapped");
+        I.Callee = ProcMap[I.Callee];
+      }
+    }
+  }
+  if (!To->IsExternal)
+    To->recomputeCFG();
+}
+
+} // namespace
+
+std::unique_ptr<Module> ipra::linkModules(
+    std::vector<std::unique_ptr<Module>> Units, DiagnosticEngine &Diags,
+    const LinkOptions &Opts) {
+  auto Out = std::make_unique<Module>();
+
+  // Pass 1: place every definition, renaming internal (non-exported) name
+  // clashes; exported names and main must be unique program-wide.
+  struct Placement {
+    int NewId = -1;
+  };
+  std::vector<std::vector<Placement>> Placed(Units.size());
+  std::unordered_map<std::string, int> ExportedDefs; // name -> new id
+  std::unordered_map<std::string, int> AnyName;      // uniqueness helper
+  int MainCount = 0;
+
+  for (unsigned U = 0; U < Units.size(); ++U) {
+    Module &Unit = *Units[U];
+    Placed[U].resize(Unit.numProcedures());
+    for (unsigned Id = 0; Id < Unit.numProcedures(); ++Id) {
+      const Procedure *P = Unit.procedure(int(Id));
+      if (P->IsExternal)
+        continue; // resolved in pass 2
+      std::string Name = P->name();
+      if (P->Exported || P->IsMain) {
+        if (ExportedDefs.count(Name) || (P->IsMain && MainCount)) {
+          Diags.error("duplicate exported symbol '" + Name + "'");
+          continue;
+        }
+      }
+      if (AnyName.count(Name))
+        Name += "$u" + std::to_string(U);
+      Procedure *NewProc = Out->makeProcedure(Name);
+      AnyName[Name] = NewProc->id();
+      Placed[U][Id].NewId = NewProc->id();
+      if (P->Exported || P->IsMain)
+        ExportedDefs[P->name()] = NewProc->id();
+      MainCount += P->IsMain;
+    }
+  }
+  if (MainCount == 0)
+    Diags.warning({}, "linked program has no main procedure");
+
+  // Pass 2: resolve externs against exported definitions; keep one
+  // external stub per unresolved name.
+  std::unordered_map<std::string, int> Unresolved;
+  for (unsigned U = 0; U < Units.size(); ++U) {
+    Module &Unit = *Units[U];
+    for (unsigned Id = 0; Id < Unit.numProcedures(); ++Id) {
+      const Procedure *P = Unit.procedure(int(Id));
+      if (!P->IsExternal)
+        continue;
+      auto Def = ExportedDefs.find(P->name());
+      if (Def != ExportedDefs.end()) {
+        Placed[U][Id].NewId = Def->second;
+        continue;
+      }
+      auto Stub = Unresolved.find(P->name());
+      if (Stub != Unresolved.end()) {
+        Placed[U][Id].NewId = Stub->second;
+        continue;
+      }
+      // A file-local definition may already own this name; externs refer
+      // to the (missing) exported symbol, not to it.
+      std::string StubName = P->name();
+      if (Out->findProcedure(StubName))
+        StubName += "$ext";
+      Procedure *NewProc = Out->makeProcedure(StubName);
+      NewProc->IsExternal = true;
+      NewProc->ParamVRegs = P->ParamVRegs;
+      NewProc->NumVRegs = P->NumVRegs;
+      Unresolved[P->name()] = NewProc->id();
+      Placed[U][Id].NewId = NewProc->id();
+      Diags.warning({}, "procedure '" + P->name() +
+                            "' remains external after linking");
+    }
+  }
+  if (Diags.hasErrors())
+    return nullptr;
+
+  // Pass 3: merge globals and clone bodies with remapped ids.
+  for (unsigned U = 0; U < Units.size(); ++U) {
+    Module &Unit = *Units[U];
+    std::vector<int64_t> GlobalMap(Unit.Globals.size());
+    for (unsigned G = 0; G < Unit.Globals.size(); ++G) {
+      GlobalMap[G] = Out->Globals.size();
+      Out->Globals.push_back(Unit.Globals[G]);
+    }
+    std::vector<int> ProcMap(Unit.numProcedures());
+    for (unsigned Id = 0; Id < Unit.numProcedures(); ++Id)
+      ProcMap[Id] = Placed[U][Id].NewId;
+    for (unsigned Id = 0; Id < Unit.numProcedures(); ++Id) {
+      const Procedure *P = Unit.procedure(int(Id));
+      if (P->IsExternal)
+        continue;
+      cloneProcedure(*P, Out->procedure(ProcMap[Id]), GlobalMap, ProcMap);
+    }
+  }
+
+  // Whole-program assumption: every caller is now visible.
+  if (Opts.InternalizeExports)
+    for (auto &P : *Out)
+      P->Exported = false;
+
+  return Out;
+}

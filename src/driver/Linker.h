@@ -1,0 +1,46 @@
+//===- driver/Linker.h - Cross-module linking ------------------*- C++ -*-===//
+//
+// Part of the ipra project (Chow, PLDI 1988 reproduction).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The paper's compilation setting (Section 7) links the Ucode of separate
+/// program units before optimization so the inter-procedural allocator
+/// sees the whole call graph. This linker merges translation units:
+/// procedure ids and global ids are remapped, extern declarations resolve
+/// against definitions by name, and (optionally) exported procedures are
+/// internalized under a whole-program assumption so only main and
+/// address-taken procedures remain open.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef IPRA_DRIVER_LINKER_H
+#define IPRA_DRIVER_LINKER_H
+
+#include "ir/Procedure.h"
+#include "support/Diagnostics.h"
+
+#include <memory>
+#include <vector>
+
+namespace ipra {
+
+struct LinkOptions {
+  /// Treat the linked image as the whole program: clear Exported on every
+  /// procedure (their callers are all visible now). main stays open, as do
+  /// address-taken and recursive procedures.
+  bool InternalizeExports = true;
+};
+
+/// Links \p Units into one module. Non-exported procedures with clashing
+/// names are renamed ("name$u<N>"); duplicate *exported* definitions and
+/// unresolved externs that are actually called are reported as errors.
+/// \returns nullptr if errors were reported.
+std::unique_ptr<Module> linkModules(
+    std::vector<std::unique_ptr<Module>> Units, DiagnosticEngine &Diags,
+    const LinkOptions &Opts = {});
+
+} // namespace ipra
+
+#endif // IPRA_DRIVER_LINKER_H

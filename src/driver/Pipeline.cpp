@@ -1,0 +1,155 @@
+//===- driver/Pipeline.cpp -------------------------------------------------===//
+
+#include "driver/Pipeline.h"
+
+#include "frontend/Frontend.h"
+#include "opt/Passes.h"
+
+#include "driver/Linker.h"
+#include "ir/Verifier.h"
+
+using namespace ipra;
+
+CompileOptions ipra::optionsFor(PaperConfig Config) {
+  CompileOptions O;
+  switch (Config) {
+  case PaperConfig::Base:
+    O.OptLevel = 2;
+    O.ShrinkWrap = false;
+    break;
+  case PaperConfig::A:
+    O.OptLevel = 2;
+    O.ShrinkWrap = true;
+    break;
+  case PaperConfig::B:
+    O.OptLevel = 3;
+    O.ShrinkWrap = false;
+    break;
+  case PaperConfig::C:
+    O.OptLevel = 3;
+    O.ShrinkWrap = true;
+    break;
+  case PaperConfig::D:
+    O.OptLevel = 3;
+    O.ShrinkWrap = true;
+    O.Restriction = RegSetRestriction::CallerOnly7;
+    break;
+  case PaperConfig::E:
+    O.OptLevel = 3;
+    O.ShrinkWrap = true;
+    O.Restriction = RegSetRestriction::CalleeOnly7;
+    break;
+  }
+  return O;
+}
+
+const char *ipra::paperConfigName(PaperConfig Config) {
+  switch (Config) {
+  case PaperConfig::Base:
+    return "base (-O2, no shrink-wrap)";
+  case PaperConfig::A:
+    return "A (-O2 + shrink-wrap)";
+  case PaperConfig::B:
+    return "B (-O3, no shrink-wrap)";
+  case PaperConfig::C:
+    return "C (-O3 + shrink-wrap)";
+  case PaperConfig::D:
+    return "D (C, 7 caller-saved regs)";
+  case PaperConfig::E:
+    return "E (C, 7 callee-saved regs)";
+  }
+  return "?";
+}
+
+namespace {
+
+/// Shared back end: mid-end cleanup, allocation, code generation.
+std::unique_ptr<CompileResult> runBackEnd(std::unique_ptr<Module> IR,
+                                          const CompileOptions &Opts) {
+  auto Result = std::make_unique<CompileResult>();
+  Result->IR = std::move(IR);
+  if (Opts.MidEndOpt)
+    optimize(*Result->IR);
+
+  Result->Machine = MachineDesc(Opts.Restriction);
+  Result->Summaries = std::make_unique<SummaryTable>(
+      Result->Machine, Result->IR->numProcedures());
+  Result->Alloc = allocateModule(*Result->IR, Result->Machine,
+                                 *Result->Summaries, Opts.regAllocOptions());
+
+  CodeGenOptions CGOpts;
+  CGOpts.InterMode = Opts.OptLevel >= 3;
+  CGOpts.RegisterParams = Opts.RegisterParams;
+  Result->Program = generateCode(*Result->IR, Result->Alloc,
+                                 *Result->Summaries, CGOpts);
+  Result->StaticInstructions = Result->Program.instructionCount();
+  return Result;
+}
+
+} // namespace
+
+std::unique_ptr<CompileResult> ipra::compileProgram(const std::string &Source,
+                                                    const CompileOptions &Opts,
+                                                    DiagnosticEngine &Diags) {
+  auto IR = compileToIR(Source, Diags);
+  if (!IR)
+    return nullptr;
+  return runBackEnd(std::move(IR), Opts);
+}
+
+std::unique_ptr<CompileResult> ipra::compileUnits(
+    const std::vector<std::string> &Sources, const CompileOptions &Opts,
+    DiagnosticEngine &Diags, bool InternalizeExports) {
+  std::vector<std::unique_ptr<Module>> Units;
+  for (const std::string &Source : Sources) {
+    auto Unit = compileToIR(Source, Diags);
+    if (!Unit)
+      return nullptr;
+    Units.push_back(std::move(Unit));
+  }
+  LinkOptions LOpts;
+  LOpts.InternalizeExports = InternalizeExports;
+  auto Linked = linkModules(std::move(Units), Diags, LOpts);
+  if (!Linked)
+    return nullptr;
+  {
+    DiagnosticEngine VerifyDiags;
+    if (!verify(*Linked, VerifyDiags)) {
+      Diags.error("linked module failed verification:\n" +
+                  VerifyDiags.str());
+      return nullptr;
+    }
+  }
+  return runBackEnd(std::move(Linked), Opts);
+}
+
+std::unique_ptr<CompileResult> ipra::compileWithProfile(
+    const std::string &Source, CompileOptions Opts, DiagnosticEngine &Diags) {
+  Opts.Profile = nullptr;
+  auto Training = compileProgram(Source, Opts, Diags);
+  if (!Training)
+    return nullptr;
+  SimOptions SimOpts;
+  SimOpts.CollectBlockProfile = true;
+  RunStats TrainingStats = runProgram(Training->Program, SimOpts);
+  if (!TrainingStats.OK) {
+    Diags.error("profile training run failed: " + TrainingStats.Error);
+    return nullptr;
+  }
+  Opts.Profile = &TrainingStats.Profile;
+  return compileProgram(Source, Opts, Diags);
+}
+
+RunStats ipra::compileAndRun(const std::string &Source,
+                             const CompileOptions &Opts,
+                             const SimOptions &SimOpts) {
+  DiagnosticEngine Diags;
+  auto Compiled = compileProgram(Source, Opts, Diags);
+  if (!Compiled) {
+    RunStats Stats;
+    Stats.OK = false;
+    Stats.Error = "compilation failed:\n" + Diags.str();
+    return Stats;
+  }
+  return runProgram(Compiled->Program, SimOpts);
+}

@@ -1,0 +1,111 @@
+//===- driver/Pipeline.h - Whole-compiler driver ---------------*- C++ -*-===//
+//
+// Part of the ipra project (Chow, PLDI 1988 reproduction).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// End-to-end compilation: miniC source -> IR -> mid-end optimization ->
+/// register allocation (intra- or inter-procedural, matching the paper's
+/// -O2/-O3 flags) -> shrink-wrapped code generation -> machine program,
+/// plus the convenience of running the result on the simulator. The
+/// configuration mirrors the experiment axes of the paper's Tables 1 and 2.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef IPRA_DRIVER_PIPELINE_H
+#define IPRA_DRIVER_PIPELINE_H
+
+#include "codegen/CodeGen.h"
+#include "regalloc/RegAlloc.h"
+#include "sim/Simulator.h"
+#include "support/Diagnostics.h"
+
+#include <memory>
+#include <string>
+
+namespace ipra {
+
+struct CompileOptions {
+  /// 2 = intra-procedural allocation (-O2); 3 = inter-procedural (-O3).
+  int OptLevel = 2;
+  /// Shrink-wrap callee-saved saves/restores.
+  bool ShrinkWrap = false;
+  /// Register-set restriction (Table 2 experiments).
+  RegSetRestriction Restriction = RegSetRestriction::None;
+  /// Section-6 combined strategy (ablation switch).
+  bool CombinedStrategy = true;
+  /// IPRA register parameter passing (ablation switch).
+  bool RegisterParams = true;
+  /// Keep shrink-wrapped pairs out of loops (ablation switch).
+  bool LoopExtension = true;
+  /// Run the mid-end cleanup passes ("Uopt").
+  bool MidEndOpt = true;
+  /// Optional block profile from a training run (see compileWithProfile).
+  const ProfileData *Profile = nullptr;
+
+  RegAllocOptions regAllocOptions() const {
+    RegAllocOptions O;
+    O.InterProcedural = OptLevel >= 3;
+    O.ShrinkWrap = ShrinkWrap;
+    O.CombinedStrategy = CombinedStrategy;
+    O.RegisterParams = RegisterParams;
+    O.LoopExtension = LoopExtension;
+    O.Profile = Profile;
+    return O;
+  }
+};
+
+/// The paper's experiment configurations.
+/// Base: -O2 with shrink-wrap disabled (the comparison baseline).
+/// A: -O2 + shrink-wrap. B: -O3 without shrink-wrap. C: -O3 + shrink-wrap.
+/// D: C with only 7 caller-saved registers. E: C with only 7 callee-saved.
+enum class PaperConfig { Base, A, B, C, D, E };
+
+CompileOptions optionsFor(PaperConfig Config);
+const char *paperConfigName(PaperConfig Config);
+
+/// All compiler artifacts for one translation unit.
+struct CompileResult {
+  std::unique_ptr<Module> IR;
+  MachineDesc Machine{RegSetRestriction::None};
+  std::unique_ptr<SummaryTable> Summaries;
+  std::vector<AllocationResult> Alloc;
+  MProgram Program;
+
+  /// Static-code statistics useful for reports.
+  unsigned StaticInstructions = 0;
+};
+
+/// Compiles \p Source end to end. \returns nullptr on any front-end error
+/// (details in \p Diags).
+std::unique_ptr<CompileResult> compileProgram(const std::string &Source,
+                                              const CompileOptions &Opts,
+                                              DiagnosticEngine &Diags);
+
+/// Separate compilation: compiles each source as its own translation
+/// unit, links them (see driver/Linker.h), then runs the back end over
+/// the linked image -- the paper's Section 7 setting. With
+/// \p InternalizeExports false, exported procedures stay open across the
+/// link, modelling a library boundary.
+std::unique_ptr<CompileResult> compileUnits(
+    const std::vector<std::string> &Sources, const CompileOptions &Opts,
+    DiagnosticEngine &Diags, bool InternalizeExports = true);
+
+/// Compile + simulate in one call. RunStats.OK is false on compile errors
+/// (with Error filled in).
+RunStats compileAndRun(const std::string &Source, const CompileOptions &Opts,
+                       const SimOptions &SimOpts = {});
+
+/// Profile-guided compilation (the paper's stated future work): compiles
+/// \p Source, executes a training run collecting block counts, then
+/// recompiles with measured frequencies driving every allocation decision.
+/// \returns the final build, or nullptr on errors (including a failing
+/// training run, reported through \p Diags).
+std::unique_ptr<CompileResult> compileWithProfile(const std::string &Source,
+                                                  CompileOptions Opts,
+                                                  DiagnosticEngine &Diags);
+
+} // namespace ipra
+
+#endif // IPRA_DRIVER_PIPELINE_H

@@ -1,0 +1,274 @@
+//===- frontend/AST.h - miniC abstract syntax tree -------------*- C++ -*-===//
+//
+// Part of the ipra project (Chow, PLDI 1988 reproduction).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// AST node definitions for miniC. Nodes carry a Kind discriminator in the
+/// LLVM style; Sema annotates name references with resolved Symbol pointers
+/// that lowering consumes.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef IPRA_FRONTEND_AST_H
+#define IPRA_FRONTEND_AST_H
+
+#include "frontend/Lexer.h"
+
+#include <memory>
+#include <string>
+#include <vector>
+
+namespace ipra {
+
+/// A resolved program entity. Owned by the Sema-built symbol table; AST
+/// nodes reference symbols without owning them.
+struct Symbol {
+  enum class Kind {
+    GlobalScalar,
+    GlobalArray,
+    LocalScalar, // includes parameters
+    LocalArray,
+    Function
+  };
+  Kind K;
+  std::string Name;
+  /// GlobalScalar/GlobalArray: module global id. Function: procedure id.
+  /// LocalArray: frame object id. Assigned during lowering for locals.
+  int Index = -1;
+  /// LocalScalar: the dedicated virtual register. Assigned during lowering.
+  unsigned Reg = 0;
+  /// Function symbols: declared parameter count, extern/export flags.
+  int ParamCount = 0;
+  bool IsExtern = false;
+  bool IsExport = false;
+
+  bool isScalarValue() const {
+    return K == Kind::GlobalScalar || K == Kind::LocalScalar;
+  }
+  bool isArray() const {
+    return K == Kind::GlobalArray || K == Kind::LocalArray;
+  }
+};
+
+//===----------------------------------------------------------------------===//
+// Expressions
+//===----------------------------------------------------------------------===//
+
+struct Expr {
+  enum class Kind { IntLit, VarRef, Index, Unary, Binary, Call, AddrOf };
+  const Kind K;
+  SourceLoc Loc;
+
+  virtual ~Expr() = default;
+
+protected:
+  Expr(Kind K, SourceLoc Loc) : K(K), Loc(Loc) {}
+};
+
+using ExprPtr = std::unique_ptr<Expr>;
+
+struct IntLitExpr : Expr {
+  int64_t Value;
+  IntLitExpr(SourceLoc Loc, int64_t Value)
+      : Expr(Kind::IntLit, Loc), Value(Value) {}
+};
+
+/// A bare name: scalar variable, array (decays to its address), or function
+/// (only valid as a call target or under '&').
+struct VarRefExpr : Expr {
+  std::string Name;
+  Symbol *Sym = nullptr; // filled by Sema
+  VarRefExpr(SourceLoc Loc, std::string Name)
+      : Expr(Kind::VarRef, Loc), Name(std::move(Name)) {}
+};
+
+/// Base[Idx] where Base evaluates to a word address.
+struct IndexExpr : Expr {
+  ExprPtr Base;
+  ExprPtr Idx;
+  IndexExpr(SourceLoc Loc, ExprPtr Base, ExprPtr Idx)
+      : Expr(Kind::Index, Loc), Base(std::move(Base)), Idx(std::move(Idx)) {}
+};
+
+struct UnaryExpr : Expr {
+  TokKind Op; // Minus or Bang
+  ExprPtr Sub;
+  UnaryExpr(SourceLoc Loc, TokKind Op, ExprPtr Sub)
+      : Expr(Kind::Unary, Loc), Op(Op), Sub(std::move(Sub)) {}
+};
+
+struct BinaryExpr : Expr {
+  TokKind Op;
+  ExprPtr LHS;
+  ExprPtr RHS;
+  BinaryExpr(SourceLoc Loc, TokKind Op, ExprPtr LHS, ExprPtr RHS)
+      : Expr(Kind::Binary, Loc), Op(Op), LHS(std::move(LHS)),
+        RHS(std::move(RHS)) {}
+};
+
+/// Callee(Args...). If Callee resolves to a function symbol this is a direct
+/// call; if it resolves to a scalar variable the call is indirect through
+/// the function address stored in it.
+struct CallExpr : Expr {
+  ExprPtr Callee;
+  std::vector<ExprPtr> Args;
+  CallExpr(SourceLoc Loc, ExprPtr Callee, std::vector<ExprPtr> Args)
+      : Expr(Kind::Call, Loc), Callee(std::move(Callee)),
+        Args(std::move(Args)) {}
+};
+
+/// &func — takes the address of a function for later indirect calls.
+struct AddrOfExpr : Expr {
+  std::string Name;
+  Symbol *Sym = nullptr; // filled by Sema; must be a Function
+  AddrOfExpr(SourceLoc Loc, std::string Name)
+      : Expr(Kind::AddrOf, Loc), Name(std::move(Name)) {}
+};
+
+//===----------------------------------------------------------------------===//
+// Statements
+//===----------------------------------------------------------------------===//
+
+struct Stmt {
+  enum class Kind {
+    Block,
+    VarDecl,
+    Assign,
+    If,
+    While,
+    For,
+    Return,
+    Print,
+    ExprStmt,
+    Break,
+    Continue
+  };
+  const Kind K;
+  SourceLoc Loc;
+
+  virtual ~Stmt() = default;
+
+protected:
+  Stmt(Kind K, SourceLoc Loc) : K(K), Loc(Loc) {}
+};
+
+using StmtPtr = std::unique_ptr<Stmt>;
+
+struct BlockStmt : Stmt {
+  std::vector<StmtPtr> Stmts;
+  explicit BlockStmt(SourceLoc Loc) : Stmt(Kind::Block, Loc) {}
+};
+
+/// var x; / var x = init; / var a[N];
+struct VarDeclStmt : Stmt {
+  std::string Name;
+  int64_t ArraySize; // -1 for scalars
+  ExprPtr Init;      // scalars only, may be null
+  Symbol *Sym = nullptr;
+  VarDeclStmt(SourceLoc Loc, std::string Name, int64_t ArraySize, ExprPtr Init)
+      : Stmt(Kind::VarDecl, Loc), Name(std::move(Name)), ArraySize(ArraySize),
+        Init(std::move(Init)) {}
+};
+
+/// Target = Value; Target is a VarRef (scalar) or Index expression.
+struct AssignStmt : Stmt {
+  ExprPtr Target;
+  ExprPtr Value;
+  AssignStmt(SourceLoc Loc, ExprPtr Target, ExprPtr Value)
+      : Stmt(Kind::Assign, Loc), Target(std::move(Target)),
+        Value(std::move(Value)) {}
+};
+
+struct IfStmt : Stmt {
+  ExprPtr Cond;
+  StmtPtr Then;
+  StmtPtr Else; // may be null
+  IfStmt(SourceLoc Loc, ExprPtr Cond, StmtPtr Then, StmtPtr Else)
+      : Stmt(Kind::If, Loc), Cond(std::move(Cond)), Then(std::move(Then)),
+        Else(std::move(Else)) {}
+};
+
+struct WhileStmt : Stmt {
+  ExprPtr Cond;
+  StmtPtr Body;
+  WhileStmt(SourceLoc Loc, ExprPtr Cond, StmtPtr Body)
+      : Stmt(Kind::While, Loc), Cond(std::move(Cond)), Body(std::move(Body)) {}
+};
+
+struct ForStmt : Stmt {
+  StmtPtr Init; // may be null; Assign or VarDecl
+  ExprPtr Cond; // may be null (infinite)
+  StmtPtr Step; // may be null; Assign or ExprStmt
+  StmtPtr Body;
+  ForStmt(SourceLoc Loc, StmtPtr Init, ExprPtr Cond, StmtPtr Step,
+          StmtPtr Body)
+      : Stmt(Kind::For, Loc), Init(std::move(Init)), Cond(std::move(Cond)),
+        Step(std::move(Step)), Body(std::move(Body)) {}
+};
+
+struct ReturnStmt : Stmt {
+  ExprPtr Value; // may be null
+  ReturnStmt(SourceLoc Loc, ExprPtr Value)
+      : Stmt(Kind::Return, Loc), Value(std::move(Value)) {}
+};
+
+struct PrintStmt : Stmt {
+  ExprPtr Value;
+  PrintStmt(SourceLoc Loc, ExprPtr Value)
+      : Stmt(Kind::Print, Loc), Value(std::move(Value)) {}
+};
+
+struct ExprStmt : Stmt {
+  ExprPtr E;
+  ExprStmt(SourceLoc Loc, ExprPtr E) : Stmt(Kind::ExprStmt, Loc), E(std::move(E)) {}
+};
+
+struct BreakStmt : Stmt {
+  explicit BreakStmt(SourceLoc Loc) : Stmt(Kind::Break, Loc) {}
+};
+
+struct ContinueStmt : Stmt {
+  explicit ContinueStmt(SourceLoc Loc) : Stmt(Kind::Continue, Loc) {}
+};
+
+//===----------------------------------------------------------------------===//
+// Declarations
+//===----------------------------------------------------------------------===//
+
+struct ParamDecl {
+  std::string Name;
+  SourceLoc Loc;
+  Symbol *Sym = nullptr;
+};
+
+struct FuncDecl {
+  SourceLoc Loc;
+  std::string Name;
+  std::vector<ParamDecl> Params;
+  StmtPtr Body; // null for extern declarations
+  bool IsExtern = false;
+  bool IsExport = false;
+  Symbol *Sym = nullptr;
+};
+
+struct GlobalDecl {
+  SourceLoc Loc;
+  std::string Name;
+  int64_t ArraySize = -1;  // -1 for scalars
+  int64_t ScalarInit = 0;  // constant initializer for scalars
+  Symbol *Sym = nullptr;
+};
+
+/// A parsed translation unit.
+struct Program {
+  std::vector<GlobalDecl> Globals;
+  std::vector<FuncDecl> Funcs;
+  /// Symbol storage (stable addresses); populated by Sema.
+  std::vector<std::unique_ptr<Symbol>> Symbols;
+};
+
+} // namespace ipra
+
+#endif // IPRA_FRONTEND_AST_H

@@ -1,0 +1,31 @@
+//===- frontend/Frontend.cpp -----------------------------------------------===//
+
+#include "frontend/Frontend.h"
+
+#include "frontend/Lexer.h"
+#include "frontend/Lower.h"
+#include "frontend/Parser.h"
+#include "frontend/Sema.h"
+#include "ir/Verifier.h"
+
+using namespace ipra;
+
+std::unique_ptr<Module> ipra::compileToIR(const std::string &Source,
+                                          DiagnosticEngine &Diags) {
+  Lexer Lex(Source, Diags);
+  std::vector<Token> Tokens = Lex.lex();
+  if (Diags.hasErrors())
+    return nullptr;
+  Parser P(std::move(Tokens), Diags);
+  Program Prog = P.parseProgram();
+  if (Diags.hasErrors())
+    return nullptr;
+  if (!analyze(Prog, Diags))
+    return nullptr;
+  auto M = std::make_unique<Module>();
+  if (!lower(Prog, *M, Diags))
+    return nullptr;
+  if (!verify(*M, Diags))
+    return nullptr;
+  return M;
+}

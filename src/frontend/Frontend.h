@@ -1,0 +1,25 @@
+//===- frontend/Frontend.h - One-call compilation entry point --*- C++ -*-===//
+//
+// Part of the ipra project (Chow, PLDI 1988 reproduction).
+//
+//===----------------------------------------------------------------------===//
+
+#ifndef IPRA_FRONTEND_FRONTEND_H
+#define IPRA_FRONTEND_FRONTEND_H
+
+#include "ir/Procedure.h"
+#include "support/Diagnostics.h"
+
+#include <memory>
+#include <string>
+
+namespace ipra {
+
+/// Compiles miniC \p Source through lex/parse/sema/lower into a fresh
+/// module. \returns nullptr if any phase reported errors.
+std::unique_ptr<Module> compileToIR(const std::string &Source,
+                                    DiagnosticEngine &Diags);
+
+} // namespace ipra
+
+#endif // IPRA_FRONTEND_FRONTEND_H

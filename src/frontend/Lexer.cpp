@@ -1,0 +1,275 @@
+//===- frontend/Lexer.cpp --------------------------------------------------===//
+
+#include "frontend/Lexer.h"
+
+#include <cctype>
+#include <unordered_map>
+
+using namespace ipra;
+
+const char *ipra::tokKindName(TokKind K) {
+  switch (K) {
+  case TokKind::Eof:
+    return "end of input";
+  case TokKind::Ident:
+    return "identifier";
+  case TokKind::IntLit:
+    return "integer literal";
+  case TokKind::KwVar:
+    return "'var'";
+  case TokKind::KwFunc:
+    return "'func'";
+  case TokKind::KwExtern:
+    return "'extern'";
+  case TokKind::KwExport:
+    return "'export'";
+  case TokKind::KwIf:
+    return "'if'";
+  case TokKind::KwElse:
+    return "'else'";
+  case TokKind::KwWhile:
+    return "'while'";
+  case TokKind::KwFor:
+    return "'for'";
+  case TokKind::KwReturn:
+    return "'return'";
+  case TokKind::KwPrint:
+    return "'print'";
+  case TokKind::KwBreak:
+    return "'break'";
+  case TokKind::KwContinue:
+    return "'continue'";
+  case TokKind::LParen:
+    return "'('";
+  case TokKind::RParen:
+    return "')'";
+  case TokKind::LBrace:
+    return "'{'";
+  case TokKind::RBrace:
+    return "'}'";
+  case TokKind::LBracket:
+    return "'['";
+  case TokKind::RBracket:
+    return "']'";
+  case TokKind::Semi:
+    return "';'";
+  case TokKind::Comma:
+    return "','";
+  case TokKind::Plus:
+    return "'+'";
+  case TokKind::Minus:
+    return "'-'";
+  case TokKind::Star:
+    return "'*'";
+  case TokKind::Slash:
+    return "'/'";
+  case TokKind::Percent:
+    return "'%'";
+  case TokKind::Bang:
+    return "'!'";
+  case TokKind::Amp:
+    return "'&'";
+  case TokKind::AmpAmp:
+    return "'&&'";
+  case TokKind::PipePipe:
+    return "'||'";
+  case TokKind::EqEq:
+    return "'=='";
+  case TokKind::BangEq:
+    return "'!='";
+  case TokKind::Lt:
+    return "'<'";
+  case TokKind::Le:
+    return "'<='";
+  case TokKind::Gt:
+    return "'>'";
+  case TokKind::Ge:
+    return "'>='";
+  case TokKind::Assign:
+    return "'='";
+  }
+  return "<bad-token>";
+}
+
+Lexer::Lexer(std::string Source, DiagnosticEngine &Diags)
+    : Src(std::move(Source)), Diags(Diags) {}
+
+char Lexer::peek(unsigned Ahead) const {
+  return Pos + Ahead < Src.size() ? Src[Pos + Ahead] : '\0';
+}
+
+char Lexer::advance() {
+  char C = Src[Pos++];
+  if (C == '\n') {
+    ++Line;
+    Col = 1;
+  } else {
+    ++Col;
+  }
+  return C;
+}
+
+static const std::unordered_map<std::string, TokKind> &keywordTable() {
+  static const std::unordered_map<std::string, TokKind> Table = {
+      {"var", TokKind::KwVar},         {"func", TokKind::KwFunc},
+      {"extern", TokKind::KwExtern},   {"export", TokKind::KwExport},
+      {"if", TokKind::KwIf},           {"else", TokKind::KwElse},
+      {"while", TokKind::KwWhile},     {"for", TokKind::KwFor},
+      {"return", TokKind::KwReturn},   {"print", TokKind::KwPrint},
+      {"break", TokKind::KwBreak},     {"continue", TokKind::KwContinue}};
+  return Table;
+}
+
+std::vector<Token> Lexer::lex() {
+  std::vector<Token> Out;
+  auto Emit = [&Out](TokKind K, SourceLoc Loc) {
+    Token T;
+    T.Kind = K;
+    T.Loc = Loc;
+    Out.push_back(std::move(T));
+  };
+
+  while (!atEnd()) {
+    char C = peek();
+    // Whitespace.
+    if (std::isspace(static_cast<unsigned char>(C))) {
+      advance();
+      continue;
+    }
+    // Line comments.
+    if (C == '/' && peek(1) == '/') {
+      while (!atEnd() && peek() != '\n')
+        advance();
+      continue;
+    }
+    SourceLoc Loc = here();
+    // Numbers.
+    if (std::isdigit(static_cast<unsigned char>(C))) {
+      int64_t Value = 0;
+      while (!atEnd() && std::isdigit(static_cast<unsigned char>(peek())))
+        Value = Value * 10 + (advance() - '0');
+      Token T;
+      T.Kind = TokKind::IntLit;
+      T.Loc = Loc;
+      T.IntValue = Value;
+      Out.push_back(std::move(T));
+      continue;
+    }
+    // Identifiers / keywords.
+    if (std::isalpha(static_cast<unsigned char>(C)) || C == '_') {
+      std::string Text;
+      while (!atEnd() && (std::isalnum(static_cast<unsigned char>(peek())) ||
+                          peek() == '_'))
+        Text += advance();
+      auto It = keywordTable().find(Text);
+      Token T;
+      T.Loc = Loc;
+      if (It != keywordTable().end()) {
+        T.Kind = It->second;
+      } else {
+        T.Kind = TokKind::Ident;
+        T.Text = std::move(Text);
+      }
+      Out.push_back(std::move(T));
+      continue;
+    }
+    advance();
+    switch (C) {
+    case '(':
+      Emit(TokKind::LParen, Loc);
+      break;
+    case ')':
+      Emit(TokKind::RParen, Loc);
+      break;
+    case '{':
+      Emit(TokKind::LBrace, Loc);
+      break;
+    case '}':
+      Emit(TokKind::RBrace, Loc);
+      break;
+    case '[':
+      Emit(TokKind::LBracket, Loc);
+      break;
+    case ']':
+      Emit(TokKind::RBracket, Loc);
+      break;
+    case ';':
+      Emit(TokKind::Semi, Loc);
+      break;
+    case ',':
+      Emit(TokKind::Comma, Loc);
+      break;
+    case '+':
+      Emit(TokKind::Plus, Loc);
+      break;
+    case '-':
+      Emit(TokKind::Minus, Loc);
+      break;
+    case '*':
+      Emit(TokKind::Star, Loc);
+      break;
+    case '/':
+      Emit(TokKind::Slash, Loc);
+      break;
+    case '%':
+      Emit(TokKind::Percent, Loc);
+      break;
+    case '!':
+      if (peek() == '=') {
+        advance();
+        Emit(TokKind::BangEq, Loc);
+      } else {
+        Emit(TokKind::Bang, Loc);
+      }
+      break;
+    case '&':
+      if (peek() == '&') {
+        advance();
+        Emit(TokKind::AmpAmp, Loc);
+      } else {
+        Emit(TokKind::Amp, Loc);
+      }
+      break;
+    case '|':
+      if (peek() == '|') {
+        advance();
+        Emit(TokKind::PipePipe, Loc);
+      } else {
+        Diags.error(Loc, "unexpected character '|'");
+      }
+      break;
+    case '=':
+      if (peek() == '=') {
+        advance();
+        Emit(TokKind::EqEq, Loc);
+      } else {
+        Emit(TokKind::Assign, Loc);
+      }
+      break;
+    case '<':
+      if (peek() == '=') {
+        advance();
+        Emit(TokKind::Le, Loc);
+      } else {
+        Emit(TokKind::Lt, Loc);
+      }
+      break;
+    case '>':
+      if (peek() == '=') {
+        advance();
+        Emit(TokKind::Ge, Loc);
+      } else {
+        Emit(TokKind::Gt, Loc);
+      }
+      break;
+    default:
+      Diags.error(Loc, std::string("unexpected character '") + C + "'");
+      break;
+    }
+  }
+  Token Eof;
+  Eof.Kind = TokKind::Eof;
+  Eof.Loc = here();
+  Out.push_back(std::move(Eof));
+  return Out;
+}

@@ -1,0 +1,103 @@
+//===- frontend/Lexer.h - miniC tokenizer ----------------------*- C++ -*-===//
+//
+// Part of the ipra project (Chow, PLDI 1988 reproduction).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Tokenizer for miniC, the small imperative language this repo's benchmark
+/// suite is written in (standing in for the paper's Pascal/C front ends).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef IPRA_FRONTEND_LEXER_H
+#define IPRA_FRONTEND_LEXER_H
+
+#include "support/Diagnostics.h"
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace ipra {
+
+enum class TokKind {
+  Eof,
+  Ident,
+  IntLit,
+  // Keywords.
+  KwVar,
+  KwFunc,
+  KwExtern,
+  KwExport,
+  KwIf,
+  KwElse,
+  KwWhile,
+  KwFor,
+  KwReturn,
+  KwPrint,
+  KwBreak,
+  KwContinue,
+  // Punctuation.
+  LParen,
+  RParen,
+  LBrace,
+  RBrace,
+  LBracket,
+  RBracket,
+  Semi,
+  Comma,
+  // Operators.
+  Plus,
+  Minus,
+  Star,
+  Slash,
+  Percent,
+  Bang,
+  Amp,
+  AmpAmp,
+  PipePipe,
+  EqEq,
+  BangEq,
+  Lt,
+  Le,
+  Gt,
+  Ge,
+  Assign
+};
+
+/// \returns a human-readable spelling for diagnostics ("'&&'", "identifier").
+const char *tokKindName(TokKind K);
+
+struct Token {
+  TokKind Kind = TokKind::Eof;
+  SourceLoc Loc;
+  std::string Text;   // identifier spelling
+  int64_t IntValue = 0;
+};
+
+/// Tokenizes an entire buffer up front. Lexical errors are reported to the
+/// diagnostic engine and the offending characters skipped.
+class Lexer {
+public:
+  Lexer(std::string Source, DiagnosticEngine &Diags);
+
+  /// \returns all tokens, ending with one Eof token.
+  std::vector<Token> lex();
+
+private:
+  char peek(unsigned Ahead = 0) const;
+  char advance();
+  bool atEnd() const { return Pos >= Src.size(); }
+  SourceLoc here() const { return {Line, Col}; }
+
+  std::string Src;
+  DiagnosticEngine &Diags;
+  size_t Pos = 0;
+  int Line = 1;
+  int Col = 1;
+};
+
+} // namespace ipra
+
+#endif // IPRA_FRONTEND_LEXER_H

@@ -1,0 +1,373 @@
+//===- frontend/Lower.cpp --------------------------------------------------===//
+
+#include "frontend/Lower.h"
+
+#include "ir/IRBuilder.h"
+
+using namespace ipra;
+
+namespace {
+
+class LowerImpl {
+public:
+  LowerImpl(Program &P, Module &M, DiagnosticEngine &Diags)
+      : P(P), M(M), Diags(Diags) {}
+
+  bool run() {
+    for (GlobalDecl &G : P.Globals) {
+      int Id = M.makeGlobal(G.Name, G.ArraySize >= 0 ? G.ArraySize : 1);
+      assert((!G.Sym || G.Sym->Index == Id) && "global id drifted from sema");
+      if (G.ArraySize < 0 && G.ScalarInit != 0)
+        M.Globals[Id].Init = {G.ScalarInit};
+    }
+    // Create all procedures first so call sites can reference ids.
+    for (FuncDecl &F : P.Funcs) {
+      Procedure *Proc = M.makeProcedure(F.Name);
+      assert((!F.Sym || F.Sym->Index == Proc->id()) && "proc id drifted");
+      Proc->IsExternal = F.IsExtern;
+      Proc->Exported = F.IsExport;
+      Proc->IsMain = F.Name == "main";
+    }
+    for (FuncDecl &F : P.Funcs)
+      if (!F.IsExtern)
+        lowerFunction(F);
+    return !Diags.hasErrors();
+  }
+
+private:
+  void lowerFunction(FuncDecl &F) {
+    Proc = M.procedure(F.Sym->Index);
+    Builder = std::make_unique<IRBuilder>(Proc);
+    Builder->setInsertBlock(Proc->makeBlock());
+    for (ParamDecl &PD : F.Params) {
+      VReg R = Proc->makeVReg();
+      PD.Sym->Reg = R;
+      Proc->ParamVRegs.push_back(R);
+    }
+    lowerStmt(*F.Body);
+    // Any block left unterminated (fall off the end, or an empty join)
+    // returns without a value.
+    for (auto &BB : *Proc) {
+      if (!BB->hasTerminator()) {
+        Builder->setInsertBlock(BB.get());
+        Builder->ret();
+      }
+    }
+    Proc->recomputeCFG();
+  }
+
+  /// Starts a fresh block if the current one is already terminated (code
+  /// after return/break; becomes unreachable and is cleaned up by opt).
+  void ensureOpenBlock() {
+    if (Builder->insertBlock()->hasTerminator())
+      Builder->setInsertBlock(Proc->makeBlock());
+  }
+
+  void lowerStmt(Stmt &S) {
+    ensureOpenBlock();
+    switch (S.K) {
+    case Stmt::Kind::Block: {
+      for (StmtPtr &Sub : static_cast<BlockStmt &>(S).Stmts)
+        lowerStmt(*Sub);
+      return;
+    }
+    case Stmt::Kind::VarDecl: {
+      auto &D = static_cast<VarDeclStmt &>(S);
+      if (D.Sym->K == Symbol::Kind::LocalArray) {
+        D.Sym->Index = Proc->makeFrameObject(D.Name, D.ArraySize);
+        return;
+      }
+      D.Sym->Reg = Proc->makeVReg();
+      if (D.Init)
+        Builder->copyTo(D.Sym->Reg, lowerExpr(*D.Init));
+      return;
+    }
+    case Stmt::Kind::Assign: {
+      auto &A = static_cast<AssignStmt &>(S);
+      lowerAssign(*A.Target, *A.Value);
+      return;
+    }
+    case Stmt::Kind::If: {
+      auto &I = static_cast<IfStmt &>(S);
+      BasicBlock *ThenBB = Proc->makeBlock();
+      BasicBlock *ElseBB = I.Else ? Proc->makeBlock() : nullptr;
+      BasicBlock *MergeBB = Proc->makeBlock();
+      lowerCondBranch(*I.Cond, ThenBB, ElseBB ? ElseBB : MergeBB);
+      Builder->setInsertBlock(ThenBB);
+      lowerStmt(*I.Then);
+      if (!Builder->insertBlock()->hasTerminator())
+        Builder->br(MergeBB);
+      if (I.Else) {
+        Builder->setInsertBlock(ElseBB);
+        lowerStmt(*I.Else);
+        if (!Builder->insertBlock()->hasTerminator())
+          Builder->br(MergeBB);
+      }
+      Builder->setInsertBlock(MergeBB);
+      return;
+    }
+    case Stmt::Kind::While: {
+      auto &W = static_cast<WhileStmt &>(S);
+      BasicBlock *CondBB = Proc->makeBlock();
+      BasicBlock *BodyBB = Proc->makeBlock();
+      BasicBlock *ExitBB = Proc->makeBlock();
+      Builder->br(CondBB);
+      Builder->setInsertBlock(CondBB);
+      lowerCondBranch(*W.Cond, BodyBB, ExitBB);
+      BreakTargets.push_back(ExitBB);
+      ContinueTargets.push_back(CondBB);
+      Builder->setInsertBlock(BodyBB);
+      lowerStmt(*W.Body);
+      if (!Builder->insertBlock()->hasTerminator())
+        Builder->br(CondBB);
+      BreakTargets.pop_back();
+      ContinueTargets.pop_back();
+      Builder->setInsertBlock(ExitBB);
+      return;
+    }
+    case Stmt::Kind::For: {
+      auto &F = static_cast<ForStmt &>(S);
+      if (F.Init)
+        lowerStmt(*F.Init);
+      BasicBlock *CondBB = Proc->makeBlock();
+      BasicBlock *BodyBB = Proc->makeBlock();
+      BasicBlock *StepBB = Proc->makeBlock();
+      BasicBlock *ExitBB = Proc->makeBlock();
+      ensureOpenBlock();
+      Builder->br(CondBB);
+      Builder->setInsertBlock(CondBB);
+      if (F.Cond)
+        lowerCondBranch(*F.Cond, BodyBB, ExitBB);
+      else
+        Builder->br(BodyBB);
+      BreakTargets.push_back(ExitBB);
+      ContinueTargets.push_back(StepBB);
+      Builder->setInsertBlock(BodyBB);
+      lowerStmt(*F.Body);
+      if (!Builder->insertBlock()->hasTerminator())
+        Builder->br(StepBB);
+      Builder->setInsertBlock(StepBB);
+      if (F.Step)
+        lowerStmt(*F.Step);
+      if (!Builder->insertBlock()->hasTerminator())
+        Builder->br(CondBB);
+      BreakTargets.pop_back();
+      ContinueTargets.pop_back();
+      Builder->setInsertBlock(ExitBB);
+      return;
+    }
+    case Stmt::Kind::Return: {
+      auto &R = static_cast<ReturnStmt &>(S);
+      Builder->ret(R.Value ? lowerExpr(*R.Value) : 0);
+      return;
+    }
+    case Stmt::Kind::Print: {
+      Builder->print(lowerExpr(*static_cast<PrintStmt &>(S).Value));
+      return;
+    }
+    case Stmt::Kind::ExprStmt: {
+      lowerExpr(*static_cast<ExprStmt &>(S).E);
+      return;
+    }
+    case Stmt::Kind::Break: {
+      assert(!BreakTargets.empty() && "sema lets no stray break through");
+      Builder->br(BreakTargets.back());
+      return;
+    }
+    case Stmt::Kind::Continue: {
+      assert(!ContinueTargets.empty() && "sema checked continue placement");
+      Builder->br(ContinueTargets.back());
+      return;
+    }
+    }
+  }
+
+  void lowerAssign(Expr &Target, Expr &Value) {
+    if (Target.K == Expr::Kind::VarRef) {
+      Symbol *Sym = static_cast<VarRefExpr &>(Target).Sym;
+      VReg V = lowerExpr(Value);
+      if (Sym->K == Symbol::Kind::GlobalScalar)
+        Builder->storeGlobal(Sym->Index, V);
+      else
+        Builder->copyTo(Sym->Reg, V);
+      return;
+    }
+    assert(Target.K == Expr::Kind::Index && "sema checked lvalue kinds");
+    auto &I = static_cast<IndexExpr &>(Target);
+    VReg Addr = lowerElementAddr(I);
+    VReg V = lowerExpr(Value);
+    Builder->store(Addr, V);
+  }
+
+  /// Computes the word address of Base[Idx].
+  VReg lowerElementAddr(IndexExpr &I) {
+    VReg Base = lowerExpr(*I.Base);
+    if (I.Idx->K == Expr::Kind::IntLit) {
+      // Constant index folds into the memory-op offset via AddImm-free form.
+      int64_t Off = static_cast<IntLitExpr &>(*I.Idx).Value;
+      return Builder->addImm(Base, Off);
+    }
+    VReg Idx = lowerExpr(*I.Idx);
+    return Builder->binary(Opcode::Add, Base, Idx);
+  }
+
+  static bool isShortCircuit(const Expr &E) {
+    if (E.K == Expr::Kind::Binary) {
+      TokKind Op = static_cast<const BinaryExpr &>(E).Op;
+      return Op == TokKind::AmpAmp || Op == TokKind::PipePipe;
+    }
+    return false;
+  }
+
+  VReg lowerExpr(Expr &E) {
+    switch (E.K) {
+    case Expr::Kind::IntLit:
+      return Builder->loadImm(static_cast<IntLitExpr &>(E).Value);
+    case Expr::Kind::VarRef: {
+      Symbol *Sym = static_cast<VarRefExpr &>(E).Sym;
+      switch (Sym->K) {
+      case Symbol::Kind::LocalScalar:
+        return Sym->Reg;
+      case Symbol::Kind::GlobalScalar:
+        return Builder->loadGlobal(Sym->Index);
+      case Symbol::Kind::GlobalArray:
+        return Builder->addrGlobal(Sym->Index);
+      case Symbol::Kind::LocalArray:
+        return Builder->addrLocal(Sym->Index);
+      case Symbol::Kind::Function:
+        assert(false && "sema rejects functions as values");
+        return 0;
+      }
+      return 0;
+    }
+    case Expr::Kind::Index: {
+      VReg Addr = lowerElementAddr(static_cast<IndexExpr &>(E));
+      return Builder->load(Addr);
+    }
+    case Expr::Kind::Unary: {
+      auto &U = static_cast<UnaryExpr &>(E);
+      if (U.Op == TokKind::Minus)
+        return Builder->unary(Opcode::Neg, lowerExpr(*U.Sub));
+      assert(U.Op == TokKind::Bang && "unknown unary operator");
+      VReg Zero = Builder->loadImm(0);
+      return Builder->binary(Opcode::CmpEq, lowerExpr(*U.Sub), Zero);
+    }
+    case Expr::Kind::Binary: {
+      auto &B = static_cast<BinaryExpr &>(E);
+      if (isShortCircuit(B))
+        return materializeBool(B);
+      return Builder->binary(binOpcode(B.Op), lowerExpr(*B.LHS),
+                             lowerExpr(*B.RHS));
+    }
+    case Expr::Kind::Call:
+      return lowerCall(static_cast<CallExpr &>(E));
+    case Expr::Kind::AddrOf: {
+      auto &A = static_cast<AddrOfExpr &>(E);
+      M.procedure(A.Sym->Index)->AddressTaken = true;
+      return Builder->funcAddr(A.Sym->Index);
+    }
+    }
+    return 0;
+  }
+
+  VReg lowerCall(CallExpr &C) {
+    std::vector<VReg> Args;
+    Args.reserve(C.Args.size());
+    for (ExprPtr &Arg : C.Args)
+      Args.push_back(lowerExpr(*Arg));
+    if (C.Callee->K == Expr::Kind::VarRef) {
+      Symbol *Sym = static_cast<VarRefExpr &>(*C.Callee).Sym;
+      if (Sym->K == Symbol::Kind::Function)
+        return Builder->call(Sym->Index, Args);
+    }
+    return Builder->callIndirect(lowerExpr(*C.Callee), Args);
+  }
+
+  /// Lowers a short-circuit operator in value context: 0/1 into a vreg.
+  VReg materializeBool(Expr &E) {
+    VReg Result = Proc->makeVReg();
+    BasicBlock *TrueBB = Proc->makeBlock();
+    BasicBlock *FalseBB = Proc->makeBlock();
+    BasicBlock *MergeBB = Proc->makeBlock();
+    lowerCondBranch(E, TrueBB, FalseBB);
+    Builder->setInsertBlock(TrueBB);
+    Builder->loadImmTo(Result, 1);
+    Builder->br(MergeBB);
+    Builder->setInsertBlock(FalseBB);
+    Builder->loadImmTo(Result, 0);
+    Builder->br(MergeBB);
+    Builder->setInsertBlock(MergeBB);
+    return Result;
+  }
+
+  /// Lowers \p E as a branch condition with short-circuit evaluation.
+  void lowerCondBranch(Expr &E, BasicBlock *TrueBB, BasicBlock *FalseBB) {
+    if (E.K == Expr::Kind::Binary) {
+      auto &B = static_cast<BinaryExpr &>(E);
+      if (B.Op == TokKind::AmpAmp) {
+        BasicBlock *MidBB = Proc->makeBlock();
+        lowerCondBranch(*B.LHS, MidBB, FalseBB);
+        Builder->setInsertBlock(MidBB);
+        lowerCondBranch(*B.RHS, TrueBB, FalseBB);
+        return;
+      }
+      if (B.Op == TokKind::PipePipe) {
+        BasicBlock *MidBB = Proc->makeBlock();
+        lowerCondBranch(*B.LHS, TrueBB, MidBB);
+        Builder->setInsertBlock(MidBB);
+        lowerCondBranch(*B.RHS, TrueBB, FalseBB);
+        return;
+      }
+    }
+    if (E.K == Expr::Kind::Unary &&
+        static_cast<UnaryExpr &>(E).Op == TokKind::Bang) {
+      lowerCondBranch(*static_cast<UnaryExpr &>(E).Sub, FalseBB, TrueBB);
+      return;
+    }
+    Builder->condBr(lowerExpr(E), TrueBB, FalseBB);
+  }
+
+  static Opcode binOpcode(TokKind Op) {
+    switch (Op) {
+    case TokKind::Plus:
+      return Opcode::Add;
+    case TokKind::Minus:
+      return Opcode::Sub;
+    case TokKind::Star:
+      return Opcode::Mul;
+    case TokKind::Slash:
+      return Opcode::Div;
+    case TokKind::Percent:
+      return Opcode::Rem;
+    case TokKind::EqEq:
+      return Opcode::CmpEq;
+    case TokKind::BangEq:
+      return Opcode::CmpNe;
+    case TokKind::Lt:
+      return Opcode::CmpLt;
+    case TokKind::Le:
+      return Opcode::CmpLe;
+    case TokKind::Gt:
+      return Opcode::CmpGt;
+    case TokKind::Ge:
+      return Opcode::CmpGe;
+    default:
+      assert(false && "not a value binary operator");
+      return Opcode::Add;
+    }
+  }
+
+  Program &P;
+  Module &M;
+  DiagnosticEngine &Diags;
+  Procedure *Proc = nullptr;
+  std::unique_ptr<IRBuilder> Builder;
+  std::vector<BasicBlock *> BreakTargets;
+  std::vector<BasicBlock *> ContinueTargets;
+};
+
+} // namespace
+
+bool ipra::lower(Program &P, Module &M, DiagnosticEngine &Diags) {
+  return LowerImpl(P, M, Diags).run();
+}

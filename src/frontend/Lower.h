@@ -1,0 +1,22 @@
+//===- frontend/Lower.h - AST to IR lowering -------------------*- C++ -*-===//
+//
+// Part of the ipra project (Chow, PLDI 1988 reproduction).
+//
+//===----------------------------------------------------------------------===//
+
+#ifndef IPRA_FRONTEND_LOWER_H
+#define IPRA_FRONTEND_LOWER_H
+
+#include "frontend/AST.h"
+#include "ir/Procedure.h"
+
+namespace ipra {
+
+/// Lowers an analyzed \p P into \p M: one global per GlobalDecl (ids match
+/// symbol indices) and one procedure per FuncDecl. Requires analyze() to
+/// have succeeded. \returns true on success (errors go to \p Diags).
+bool lower(Program &P, Module &M, DiagnosticEngine &Diags);
+
+} // namespace ipra
+
+#endif // IPRA_FRONTEND_LOWER_H

@@ -1,0 +1,338 @@
+//===- frontend/Parser.cpp -------------------------------------------------===//
+
+#include "frontend/Parser.h"
+
+using namespace ipra;
+
+const Token &Parser::expect(TokKind K, const char *Context) {
+  if (check(K))
+    return advance();
+  Diags.error(peek().Loc, std::string("expected ") + tokKindName(K) +
+                              " in " + Context + ", found " +
+                              tokKindName(peek().Kind));
+  return peek();
+}
+
+void Parser::syncToStmtBoundary() {
+  while (!check(TokKind::Eof) && !check(TokKind::Semi) &&
+         !check(TokKind::RBrace))
+    advance();
+  accept(TokKind::Semi);
+}
+
+Program Parser::parseProgram() {
+  Program P;
+  while (!check(TokKind::Eof)) {
+    if (check(TokKind::KwVar)) {
+      parseGlobal(P);
+      continue;
+    }
+    bool IsExtern = accept(TokKind::KwExtern);
+    bool IsExport = !IsExtern && accept(TokKind::KwExport);
+    if (check(TokKind::KwFunc)) {
+      parseFunc(P, IsExtern, IsExport);
+      continue;
+    }
+    Diags.error(peek().Loc, std::string("expected declaration, found ") +
+                                tokKindName(peek().Kind));
+    syncToStmtBoundary();
+  }
+  return P;
+}
+
+void Parser::parseGlobal(Program &P) {
+  GlobalDecl G;
+  G.Loc = advance().Loc; // 'var'
+  G.Name = expect(TokKind::Ident, "global declaration").Text;
+  if (accept(TokKind::LBracket)) {
+    G.ArraySize = expect(TokKind::IntLit, "array size").IntValue;
+    expect(TokKind::RBracket, "array declaration");
+  } else if (accept(TokKind::Assign)) {
+    bool Negative = accept(TokKind::Minus);
+    int64_t V = expect(TokKind::IntLit, "global initializer").IntValue;
+    G.ScalarInit = Negative ? -V : V;
+  }
+  expect(TokKind::Semi, "global declaration");
+  P.Globals.push_back(std::move(G));
+}
+
+void Parser::parseFunc(Program &P, bool IsExtern, bool IsExport) {
+  FuncDecl F;
+  F.IsExtern = IsExtern;
+  F.IsExport = IsExport;
+  F.Loc = advance().Loc; // 'func'
+  F.Name = expect(TokKind::Ident, "function declaration").Text;
+  expect(TokKind::LParen, "function declaration");
+  if (!check(TokKind::RParen)) {
+    do {
+      ParamDecl PD;
+      const Token &T = expect(TokKind::Ident, "parameter list");
+      PD.Name = T.Text;
+      PD.Loc = T.Loc;
+      F.Params.push_back(std::move(PD));
+    } while (accept(TokKind::Comma));
+  }
+  expect(TokKind::RParen, "function declaration");
+  if (IsExtern)
+    expect(TokKind::Semi, "extern declaration");
+  else
+    F.Body = parseBlock();
+  P.Funcs.push_back(std::move(F));
+}
+
+StmtPtr Parser::parseBlock() {
+  SourceLoc Loc = expect(TokKind::LBrace, "block").Loc;
+  auto Block = std::make_unique<BlockStmt>(Loc);
+  while (!check(TokKind::RBrace) && !check(TokKind::Eof))
+    if (StmtPtr S = parseStmt())
+      Block->Stmts.push_back(std::move(S));
+  expect(TokKind::RBrace, "block");
+  return Block;
+}
+
+StmtPtr Parser::parseStmt() {
+  switch (peek().Kind) {
+  case TokKind::LBrace:
+    return parseBlock();
+  case TokKind::KwVar:
+    return parseVarDecl();
+  case TokKind::KwIf:
+    return parseIf();
+  case TokKind::KwWhile:
+    return parseWhile();
+  case TokKind::KwFor:
+    return parseFor();
+  case TokKind::KwReturn: {
+    SourceLoc Loc = advance().Loc;
+    ExprPtr Value;
+    if (!check(TokKind::Semi))
+      Value = parseExpr();
+    expect(TokKind::Semi, "return statement");
+    return std::make_unique<ReturnStmt>(Loc, std::move(Value));
+  }
+  case TokKind::KwPrint: {
+    SourceLoc Loc = advance().Loc;
+    expect(TokKind::LParen, "print statement");
+    ExprPtr Value = parseExpr();
+    expect(TokKind::RParen, "print statement");
+    expect(TokKind::Semi, "print statement");
+    return std::make_unique<PrintStmt>(Loc, std::move(Value));
+  }
+  case TokKind::KwBreak: {
+    SourceLoc Loc = advance().Loc;
+    expect(TokKind::Semi, "break statement");
+    return std::make_unique<BreakStmt>(Loc);
+  }
+  case TokKind::KwContinue: {
+    SourceLoc Loc = advance().Loc;
+    expect(TokKind::Semi, "continue statement");
+    return std::make_unique<ContinueStmt>(Loc);
+  }
+  default: {
+    StmtPtr S = parseSimpleStmt();
+    if (!S) {
+      syncToStmtBoundary();
+      return nullptr;
+    }
+    expect(TokKind::Semi, "statement");
+    return S;
+  }
+  }
+}
+
+StmtPtr Parser::parseVarDecl() {
+  SourceLoc Loc = advance().Loc; // 'var'
+  std::string Name = expect(TokKind::Ident, "variable declaration").Text;
+  int64_t ArraySize = -1;
+  ExprPtr Init;
+  if (accept(TokKind::LBracket)) {
+    ArraySize = expect(TokKind::IntLit, "array size").IntValue;
+    expect(TokKind::RBracket, "array declaration");
+  } else if (accept(TokKind::Assign)) {
+    Init = parseExpr();
+  }
+  expect(TokKind::Semi, "variable declaration");
+  return std::make_unique<VarDeclStmt>(Loc, std::move(Name), ArraySize,
+                                       std::move(Init));
+}
+
+StmtPtr Parser::parseIf() {
+  SourceLoc Loc = advance().Loc; // 'if'
+  expect(TokKind::LParen, "if statement");
+  ExprPtr Cond = parseExpr();
+  expect(TokKind::RParen, "if statement");
+  StmtPtr Then = parseStmt();
+  StmtPtr Else;
+  if (accept(TokKind::KwElse))
+    Else = parseStmt();
+  return std::make_unique<IfStmt>(Loc, std::move(Cond), std::move(Then),
+                                  std::move(Else));
+}
+
+StmtPtr Parser::parseWhile() {
+  SourceLoc Loc = advance().Loc; // 'while'
+  expect(TokKind::LParen, "while statement");
+  ExprPtr Cond = parseExpr();
+  expect(TokKind::RParen, "while statement");
+  StmtPtr Body = parseStmt();
+  return std::make_unique<WhileStmt>(Loc, std::move(Cond), std::move(Body));
+}
+
+StmtPtr Parser::parseFor() {
+  SourceLoc Loc = advance().Loc; // 'for'
+  expect(TokKind::LParen, "for statement");
+  StmtPtr Init;
+  if (!check(TokKind::Semi)) {
+    if (check(TokKind::KwVar))
+      Init = parseVarDecl(); // consumes its own ';'
+    else {
+      Init = parseSimpleStmt();
+      expect(TokKind::Semi, "for statement");
+    }
+  } else {
+    advance();
+  }
+  ExprPtr Cond;
+  if (!check(TokKind::Semi))
+    Cond = parseExpr();
+  expect(TokKind::Semi, "for statement");
+  StmtPtr Step;
+  if (!check(TokKind::RParen))
+    Step = parseSimpleStmt();
+  expect(TokKind::RParen, "for statement");
+  StmtPtr Body = parseStmt();
+  return std::make_unique<ForStmt>(Loc, std::move(Init), std::move(Cond),
+                                   std::move(Step), std::move(Body));
+}
+
+StmtPtr Parser::parseSimpleStmt() {
+  SourceLoc Loc = peek().Loc;
+  ExprPtr E = parseExpr();
+  if (!E)
+    return nullptr;
+  if (accept(TokKind::Assign)) {
+    ExprPtr Value = parseExpr();
+    return std::make_unique<AssignStmt>(Loc, std::move(E), std::move(Value));
+  }
+  return std::make_unique<ExprStmt>(Loc, std::move(E));
+}
+
+/// Binary operator precedence; higher binds tighter. -1 = not a binop.
+static int precedence(TokKind K) {
+  switch (K) {
+  case TokKind::PipePipe:
+    return 1;
+  case TokKind::AmpAmp:
+    return 2;
+  case TokKind::EqEq:
+  case TokKind::BangEq:
+    return 3;
+  case TokKind::Lt:
+  case TokKind::Le:
+  case TokKind::Gt:
+  case TokKind::Ge:
+    return 4;
+  case TokKind::Plus:
+  case TokKind::Minus:
+    return 5;
+  case TokKind::Star:
+  case TokKind::Slash:
+  case TokKind::Percent:
+    return 6;
+  default:
+    return -1;
+  }
+}
+
+ExprPtr Parser::parseExpr() {
+  ExprPtr LHS = parseUnary();
+  if (!LHS)
+    return nullptr;
+  return parseBinaryRHS(1, std::move(LHS));
+}
+
+ExprPtr Parser::parseBinaryRHS(int MinPrec, ExprPtr LHS) {
+  while (true) {
+    int Prec = precedence(peek().Kind);
+    if (Prec < MinPrec)
+      return LHS;
+    Token Op = advance();
+    ExprPtr RHS = parseUnary();
+    if (!RHS)
+      return LHS;
+    int NextPrec = precedence(peek().Kind);
+    if (NextPrec > Prec)
+      RHS = parseBinaryRHS(Prec + 1, std::move(RHS));
+    LHS = std::make_unique<BinaryExpr>(Op.Loc, Op.Kind, std::move(LHS),
+                                       std::move(RHS));
+  }
+}
+
+ExprPtr Parser::parseUnary() {
+  if (check(TokKind::Minus) || check(TokKind::Bang)) {
+    Token Op = advance();
+    ExprPtr Sub = parseUnary();
+    if (!Sub)
+      return nullptr;
+    return std::make_unique<UnaryExpr>(Op.Loc, Op.Kind, std::move(Sub));
+  }
+  if (check(TokKind::Amp)) {
+    SourceLoc Loc = advance().Loc;
+    std::string Name = expect(TokKind::Ident, "address-of expression").Text;
+    return std::make_unique<AddrOfExpr>(Loc, std::move(Name));
+  }
+  return parsePostfix();
+}
+
+ExprPtr Parser::parsePostfix() {
+  ExprPtr E = parsePrimary();
+  while (E) {
+    if (check(TokKind::LBracket)) {
+      SourceLoc Loc = advance().Loc;
+      ExprPtr Idx = parseExpr();
+      expect(TokKind::RBracket, "index expression");
+      E = std::make_unique<IndexExpr>(Loc, std::move(E), std::move(Idx));
+      continue;
+    }
+    if (check(TokKind::LParen)) {
+      SourceLoc Loc = advance().Loc;
+      std::vector<ExprPtr> Args;
+      if (!check(TokKind::RParen)) {
+        do {
+          if (ExprPtr Arg = parseExpr())
+            Args.push_back(std::move(Arg));
+          else
+            break;
+        } while (accept(TokKind::Comma));
+      }
+      expect(TokKind::RParen, "call expression");
+      E = std::make_unique<CallExpr>(Loc, std::move(E), std::move(Args));
+      continue;
+    }
+    break;
+  }
+  return E;
+}
+
+ExprPtr Parser::parsePrimary() {
+  switch (peek().Kind) {
+  case TokKind::IntLit: {
+    const Token &T = advance();
+    return std::make_unique<IntLitExpr>(T.Loc, T.IntValue);
+  }
+  case TokKind::Ident: {
+    const Token &T = advance();
+    return std::make_unique<VarRefExpr>(T.Loc, T.Text);
+  }
+  case TokKind::LParen: {
+    advance();
+    ExprPtr E = parseExpr();
+    expect(TokKind::RParen, "parenthesized expression");
+    return E;
+  }
+  default:
+    Diags.error(peek().Loc, std::string("expected expression, found ") +
+                                tokKindName(peek().Kind));
+    return nullptr;
+  }
+}

@@ -1,0 +1,71 @@
+//===- frontend/Parser.h - miniC recursive-descent parser ------*- C++ -*-===//
+//
+// Part of the ipra project (Chow, PLDI 1988 reproduction).
+//
+//===----------------------------------------------------------------------===//
+
+#ifndef IPRA_FRONTEND_PARSER_H
+#define IPRA_FRONTEND_PARSER_H
+
+#include "frontend/AST.h"
+
+namespace ipra {
+
+/// Parses a token stream into a Program. Syntax errors are reported to the
+/// diagnostic engine; the parser recovers by skipping to the next ';' or '}'.
+class Parser {
+public:
+  Parser(std::vector<Token> Tokens, DiagnosticEngine &Diags)
+      : Tokens(std::move(Tokens)), Diags(Diags) {}
+
+  /// \returns the parsed program; check Diags.hasErrors() before using it.
+  Program parseProgram();
+
+private:
+  const Token &peek(unsigned Ahead = 0) const {
+    unsigned Idx = Pos + Ahead;
+    return Idx < Tokens.size() ? Tokens[Idx] : Tokens.back();
+  }
+  const Token &advance() {
+    const Token &T = Tokens[Pos];
+    if (Pos + 1 < Tokens.size())
+      ++Pos;
+    return T;
+  }
+  bool check(TokKind K) const { return peek().Kind == K; }
+  bool accept(TokKind K) {
+    if (!check(K))
+      return false;
+    advance();
+    return true;
+  }
+  /// Consumes a token of kind \p K or reports an error. \returns the token.
+  const Token &expect(TokKind K, const char *Context);
+  void syncToStmtBoundary();
+
+  void parseGlobal(Program &P);
+  void parseFunc(Program &P, bool IsExtern, bool IsExport);
+
+  StmtPtr parseStmt();
+  StmtPtr parseBlock();
+  StmtPtr parseVarDecl();
+  StmtPtr parseIf();
+  StmtPtr parseWhile();
+  StmtPtr parseFor();
+  /// Assignment or expression statement, without the trailing ';'.
+  StmtPtr parseSimpleStmt();
+
+  ExprPtr parseExpr();
+  ExprPtr parseBinaryRHS(int MinPrec, ExprPtr LHS);
+  ExprPtr parseUnary();
+  ExprPtr parsePostfix();
+  ExprPtr parsePrimary();
+
+  std::vector<Token> Tokens;
+  DiagnosticEngine &Diags;
+  unsigned Pos = 0;
+};
+
+} // namespace ipra
+
+#endif // IPRA_FRONTEND_PARSER_H

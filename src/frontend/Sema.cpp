@@ -1,0 +1,285 @@
+//===- frontend/Sema.cpp ---------------------------------------------------===//
+
+#include "frontend/Sema.h"
+
+#include <unordered_map>
+
+using namespace ipra;
+
+namespace {
+
+class SemaImpl {
+public:
+  SemaImpl(Program &P, DiagnosticEngine &Diags) : P(P), Diags(Diags) {}
+
+  bool run() {
+    declareGlobals();
+    declareFunctions();
+    for (FuncDecl &F : P.Funcs)
+      checkFunction(F);
+    return !Diags.hasErrors();
+  }
+
+private:
+  using Scope = std::unordered_map<std::string, Symbol *>;
+
+  Symbol *makeSymbol(Symbol::Kind K, const std::string &Name) {
+    P.Symbols.push_back(std::make_unique<Symbol>());
+    Symbol *S = P.Symbols.back().get();
+    S->K = K;
+    S->Name = Name;
+    return S;
+  }
+
+  void declareGlobals() {
+    int NextGlobalId = 0;
+    for (GlobalDecl &G : P.Globals) {
+      if (GlobalScope.count(G.Name)) {
+        Diags.error(G.Loc, "redefinition of '" + G.Name + "'");
+        continue;
+      }
+      Symbol *S = makeSymbol(G.ArraySize >= 0 ? Symbol::Kind::GlobalArray
+                                              : Symbol::Kind::GlobalScalar,
+                             G.Name);
+      S->Index = NextGlobalId++;
+      G.Sym = S;
+      GlobalScope[G.Name] = S;
+    }
+  }
+
+  void declareFunctions() {
+    int NextFuncId = 0;
+    for (FuncDecl &F : P.Funcs) {
+      if (GlobalScope.count(F.Name)) {
+        Diags.error(F.Loc, "redefinition of '" + F.Name + "'");
+        continue;
+      }
+      Symbol *S = makeSymbol(Symbol::Kind::Function, F.Name);
+      S->Index = NextFuncId++;
+      S->ParamCount = int(F.Params.size());
+      S->IsExtern = F.IsExtern;
+      S->IsExport = F.IsExport;
+      F.Sym = S;
+      GlobalScope[F.Name] = S;
+    }
+  }
+
+  Symbol *lookup(const std::string &Name) {
+    for (auto It = Scopes.rbegin(); It != Scopes.rend(); ++It) {
+      auto Found = It->find(Name);
+      if (Found != It->end())
+        return Found->second;
+    }
+    auto Found = GlobalScope.find(Name);
+    return Found == GlobalScope.end() ? nullptr : Found->second;
+  }
+
+  void declareLocal(SourceLoc Loc, const std::string &Name, Symbol *S) {
+    if (Scopes.back().count(Name)) {
+      Diags.error(Loc, "redefinition of '" + Name + "'");
+      return;
+    }
+    Scopes.back()[Name] = S;
+  }
+
+  void checkFunction(FuncDecl &F) {
+    if (F.IsExtern)
+      return;
+    Scopes.clear();
+    Scopes.emplace_back();
+    LoopDepth = 0;
+    for (ParamDecl &PD : F.Params) {
+      Symbol *S = makeSymbol(Symbol::Kind::LocalScalar, PD.Name);
+      PD.Sym = S;
+      declareLocal(PD.Loc, PD.Name, S);
+    }
+    checkStmt(*F.Body);
+    Scopes.pop_back();
+  }
+
+  void checkStmt(Stmt &S) {
+    switch (S.K) {
+    case Stmt::Kind::Block: {
+      auto &B = static_cast<BlockStmt &>(S);
+      Scopes.emplace_back();
+      for (StmtPtr &Sub : B.Stmts)
+        checkStmt(*Sub);
+      Scopes.pop_back();
+      return;
+    }
+    case Stmt::Kind::VarDecl: {
+      auto &D = static_cast<VarDeclStmt &>(S);
+      if (D.Init)
+        checkValueExpr(*D.Init);
+      Symbol *Sym = makeSymbol(D.ArraySize >= 0 ? Symbol::Kind::LocalArray
+                                                : Symbol::Kind::LocalScalar,
+                               D.Name);
+      D.Sym = Sym;
+      declareLocal(D.Loc, D.Name, Sym);
+      if (D.ArraySize == 0)
+        Diags.error(D.Loc, "array '" + D.Name + "' has zero size");
+      return;
+    }
+    case Stmt::Kind::Assign: {
+      auto &A = static_cast<AssignStmt &>(S);
+      checkLValue(*A.Target);
+      checkValueExpr(*A.Value);
+      return;
+    }
+    case Stmt::Kind::If: {
+      auto &I = static_cast<IfStmt &>(S);
+      checkValueExpr(*I.Cond);
+      checkStmt(*I.Then);
+      if (I.Else)
+        checkStmt(*I.Else);
+      return;
+    }
+    case Stmt::Kind::While: {
+      auto &W = static_cast<WhileStmt &>(S);
+      checkValueExpr(*W.Cond);
+      ++LoopDepth;
+      checkStmt(*W.Body);
+      --LoopDepth;
+      return;
+    }
+    case Stmt::Kind::For: {
+      auto &F = static_cast<ForStmt &>(S);
+      Scopes.emplace_back(); // for-init declarations scope over the loop
+      if (F.Init)
+        checkStmt(*F.Init);
+      if (F.Cond)
+        checkValueExpr(*F.Cond);
+      ++LoopDepth;
+      if (F.Step)
+        checkStmt(*F.Step);
+      checkStmt(*F.Body);
+      --LoopDepth;
+      Scopes.pop_back();
+      return;
+    }
+    case Stmt::Kind::Return: {
+      auto &R = static_cast<ReturnStmt &>(S);
+      if (R.Value)
+        checkValueExpr(*R.Value);
+      return;
+    }
+    case Stmt::Kind::Print: {
+      checkValueExpr(*static_cast<PrintStmt &>(S).Value);
+      return;
+    }
+    case Stmt::Kind::ExprStmt: {
+      auto &E = static_cast<ExprStmt &>(S);
+      if (E.E->K != Expr::Kind::Call)
+        Diags.warning(E.Loc, "expression statement has no effect");
+      checkValueExpr(*E.E);
+      return;
+    }
+    case Stmt::Kind::Break:
+      if (LoopDepth == 0)
+        Diags.error(S.Loc, "'break' outside of a loop");
+      return;
+    case Stmt::Kind::Continue:
+      if (LoopDepth == 0)
+        Diags.error(S.Loc, "'continue' outside of a loop");
+      return;
+    }
+  }
+
+  void checkLValue(Expr &E) {
+    if (E.K == Expr::Kind::VarRef) {
+      auto &V = static_cast<VarRefExpr &>(E);
+      resolveVarRef(V);
+      if (V.Sym && !V.Sym->isScalarValue())
+        Diags.error(E.Loc, "cannot assign to '" + V.Name + "'");
+      return;
+    }
+    if (E.K == Expr::Kind::Index) {
+      auto &I = static_cast<IndexExpr &>(E);
+      checkValueExpr(*I.Base);
+      checkValueExpr(*I.Idx);
+      return;
+    }
+    Diags.error(E.Loc, "assignment target is not an lvalue");
+  }
+
+  void resolveVarRef(VarRefExpr &V) {
+    V.Sym = lookup(V.Name);
+    if (!V.Sym)
+      Diags.error(V.Loc, "use of undeclared identifier '" + V.Name + "'");
+  }
+
+  /// Checks \p E in a context that needs a scalar value. Arrays decay to
+  /// their address; bare function names are not values (use '&').
+  void checkValueExpr(Expr &E) {
+    switch (E.K) {
+    case Expr::Kind::IntLit:
+      return;
+    case Expr::Kind::VarRef: {
+      auto &V = static_cast<VarRefExpr &>(E);
+      resolveVarRef(V);
+      if (V.Sym && V.Sym->K == Symbol::Kind::Function)
+        Diags.error(E.Loc, "function '" + V.Name +
+                               "' is not a value; use '&" + V.Name + "'");
+      return;
+    }
+    case Expr::Kind::Index: {
+      auto &I = static_cast<IndexExpr &>(E);
+      checkValueExpr(*I.Base);
+      checkValueExpr(*I.Idx);
+      return;
+    }
+    case Expr::Kind::Unary: {
+      checkValueExpr(*static_cast<UnaryExpr &>(E).Sub);
+      return;
+    }
+    case Expr::Kind::Binary: {
+      auto &B = static_cast<BinaryExpr &>(E);
+      checkValueExpr(*B.LHS);
+      checkValueExpr(*B.RHS);
+      return;
+    }
+    case Expr::Kind::Call: {
+      auto &C = static_cast<CallExpr &>(E);
+      // Direct call through a function name; anything else is indirect.
+      if (C.Callee->K == Expr::Kind::VarRef) {
+        auto &V = static_cast<VarRefExpr &>(*C.Callee);
+        resolveVarRef(V);
+        if (V.Sym && V.Sym->K == Symbol::Kind::Function &&
+            int(C.Args.size()) != V.Sym->ParamCount)
+          Diags.error(C.Loc, "call to '" + V.Name + "' with " +
+                                 std::to_string(C.Args.size()) +
+                                 " arguments; expected " +
+                                 std::to_string(V.Sym->ParamCount));
+        if (V.Sym && V.Sym->isArray())
+          Diags.error(C.Loc, "'" + V.Name + "' is not callable");
+      } else {
+        checkValueExpr(*C.Callee);
+      }
+      for (ExprPtr &Arg : C.Args)
+        checkValueExpr(*Arg);
+      return;
+    }
+    case Expr::Kind::AddrOf: {
+      auto &A = static_cast<AddrOfExpr &>(E);
+      A.Sym = lookup(A.Name);
+      if (!A.Sym)
+        Diags.error(A.Loc, "use of undeclared identifier '" + A.Name + "'");
+      else if (A.Sym->K != Symbol::Kind::Function)
+        Diags.error(A.Loc, "'&' requires a function name");
+      return;
+    }
+    }
+  }
+
+  Program &P;
+  DiagnosticEngine &Diags;
+  Scope GlobalScope;
+  std::vector<Scope> Scopes;
+  int LoopDepth = 0;
+};
+
+} // namespace
+
+bool ipra::analyze(Program &P, DiagnosticEngine &Diags) {
+  return SemaImpl(P, Diags).run();
+}

@@ -1,0 +1,21 @@
+//===- frontend/Sema.h - miniC semantic analysis ---------------*- C++ -*-===//
+//
+// Part of the ipra project (Chow, PLDI 1988 reproduction).
+//
+//===----------------------------------------------------------------------===//
+
+#ifndef IPRA_FRONTEND_SEMA_H
+#define IPRA_FRONTEND_SEMA_H
+
+#include "frontend/AST.h"
+
+namespace ipra {
+
+/// Resolves names, builds the symbol table inside \p P, and checks static
+/// rules (arity, lvalues, break/continue placement, duplicate/undefined
+/// names). \returns true if no errors were reported.
+bool analyze(Program &P, DiagnosticEngine &Diags);
+
+} // namespace ipra
+
+#endif // IPRA_FRONTEND_SEMA_H

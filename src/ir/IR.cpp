@@ -1,0 +1,161 @@
+//===- ir/IR.cpp - IR container implementations ---------------------------===//
+
+#include "ir/Procedure.h"
+
+#include <algorithm>
+
+using namespace ipra;
+
+const char *ipra::opcodeName(Opcode Op) {
+  switch (Op) {
+  case Opcode::Add:
+    return "add";
+  case Opcode::Sub:
+    return "sub";
+  case Opcode::Mul:
+    return "mul";
+  case Opcode::Div:
+    return "div";
+  case Opcode::Rem:
+    return "rem";
+  case Opcode::And:
+    return "and";
+  case Opcode::Or:
+    return "or";
+  case Opcode::Xor:
+    return "xor";
+  case Opcode::Shl:
+    return "shl";
+  case Opcode::Shr:
+    return "shr";
+  case Opcode::CmpEq:
+    return "cmpeq";
+  case Opcode::CmpNe:
+    return "cmpne";
+  case Opcode::CmpLt:
+    return "cmplt";
+  case Opcode::CmpLe:
+    return "cmple";
+  case Opcode::CmpGt:
+    return "cmpgt";
+  case Opcode::CmpGe:
+    return "cmpge";
+  case Opcode::Neg:
+    return "neg";
+  case Opcode::Not:
+    return "not";
+  case Opcode::Copy:
+    return "copy";
+  case Opcode::LoadImm:
+    return "loadimm";
+  case Opcode::AddImm:
+    return "addimm";
+  case Opcode::AddrGlobal:
+    return "addrglobal";
+  case Opcode::AddrLocal:
+    return "addrlocal";
+  case Opcode::LoadGlobal:
+    return "loadglobal";
+  case Opcode::StoreGlobal:
+    return "storeglobal";
+  case Opcode::Load:
+    return "load";
+  case Opcode::Store:
+    return "store";
+  case Opcode::FuncAddr:
+    return "funcaddr";
+  case Opcode::Call:
+    return "call";
+  case Opcode::CallIndirect:
+    return "calli";
+  case Opcode::Ret:
+    return "ret";
+  case Opcode::Br:
+    return "br";
+  case Opcode::CondBr:
+    return "condbr";
+  case Opcode::Print:
+    return "print";
+  }
+  return "<bad-opcode>";
+}
+
+void Procedure::recomputeCFG() {
+  for (auto &BB : Blocks)
+    BB->Preds.clear();
+  for (auto &BB : Blocks)
+    for (int Succ : BB->successors())
+      Blocks[Succ]->Preds.push_back(BB->id());
+}
+
+std::vector<int> Procedure::reversePostOrder() const {
+  std::vector<int> Order;
+  if (Blocks.empty())
+    return Order;
+  std::vector<char> Visited(Blocks.size(), 0);
+  // Iterative post-order DFS.
+  std::vector<std::pair<int, unsigned>> Stack;
+  Stack.push_back({0, 0});
+  Visited[0] = 1;
+  std::vector<std::vector<int>> Succs(Blocks.size());
+  for (auto &BB : Blocks)
+    Succs[BB->id()] = BB->successors();
+  while (!Stack.empty()) {
+    auto &[Node, NextSucc] = Stack.back();
+    if (NextSucc < Succs[Node].size()) {
+      int S = Succs[Node][NextSucc++];
+      if (!Visited[S]) {
+        Visited[S] = 1;
+        Stack.push_back({S, 0});
+      }
+    } else {
+      Order.push_back(Node);
+      Stack.pop_back();
+    }
+  }
+  std::reverse(Order.begin(), Order.end());
+  return Order;
+}
+
+unsigned Procedure::removeBlocks(const std::vector<char> &Keep) {
+  assert(Keep.size() == Blocks.size() && "keep mask size mismatch");
+  assert(Keep[0] && "cannot remove the entry block");
+  std::vector<int> NewId(Blocks.size(), -1);
+  int Next = 0;
+  for (unsigned I = 0; I < Blocks.size(); ++I)
+    if (Keep[I])
+      NewId[I] = Next++;
+
+  unsigned Removed = Blocks.size() - unsigned(Next);
+  if (Removed == 0)
+    return 0;
+
+  std::vector<std::unique_ptr<BasicBlock>> Survivors;
+  Survivors.reserve(Next);
+  for (unsigned I = 0; I < Blocks.size(); ++I) {
+    if (!Keep[I])
+      continue;
+    Blocks[I]->Id = NewId[I];
+    for (Instruction &Inst : Blocks[I]->Insts) {
+      if (Inst.Target1 >= 0) {
+        assert(NewId[Inst.Target1] >= 0 && "branch into removed block");
+        Inst.Target1 = NewId[Inst.Target1];
+      }
+      if (Inst.Target2 >= 0) {
+        assert(NewId[Inst.Target2] >= 0 && "branch into removed block");
+        Inst.Target2 = NewId[Inst.Target2];
+      }
+    }
+    Survivors.push_back(std::move(Blocks[I]));
+  }
+  Blocks = std::move(Survivors);
+  recomputeCFG();
+  return Removed;
+}
+
+unsigned Procedure::instructionCount() const {
+  unsigned N = 0;
+  for (const auto &BB : Blocks)
+    N += BB->Insts.size();
+  return N;
+}

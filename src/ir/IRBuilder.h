@@ -1,0 +1,198 @@
+//===- ir/IRBuilder.h - Convenience IR construction ------------*- C++ -*-===//
+//
+// Part of the ipra project (Chow, PLDI 1988 reproduction).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A cursor-style builder that appends instructions to a basic block. Used
+/// by the front end's lowering and by tests that construct IR by hand.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef IPRA_IR_IRBUILDER_H
+#define IPRA_IR_IRBUILDER_H
+
+#include "ir/Procedure.h"
+
+namespace ipra {
+
+class IRBuilder {
+public:
+  explicit IRBuilder(Procedure *Proc) : Proc(Proc) {}
+
+  Procedure *procedure() { return Proc; }
+
+  void setInsertBlock(BasicBlock *Block) { BB = Block; }
+  BasicBlock *insertBlock() { return BB; }
+
+  VReg makeVReg() { return Proc->makeVReg(); }
+
+  VReg binary(Opcode Op, VReg A, VReg B) {
+    assert(Instruction(Op).isBinaryALU() && "not a binary ALU opcode");
+    Instruction I(Op);
+    I.Dst = makeVReg();
+    I.Src1 = A;
+    I.Src2 = B;
+    return append(I).Dst;
+  }
+
+  VReg unary(Opcode Op, VReg A) {
+    assert((Op == Opcode::Neg || Op == Opcode::Not) && "not a unary opcode");
+    Instruction I(Op);
+    I.Dst = makeVReg();
+    I.Src1 = A;
+    return append(I).Dst;
+  }
+
+  /// Emits a copy into a *specific* destination vreg (the way the non-SSA
+  /// front end assigns user variables).
+  void copyTo(VReg Dst, VReg Src) {
+    Instruction I(Opcode::Copy);
+    I.Dst = Dst;
+    I.Src1 = Src;
+    append(I);
+  }
+
+  VReg copy(VReg Src) {
+    Instruction I(Opcode::Copy);
+    I.Dst = makeVReg();
+    I.Src1 = Src;
+    return append(I).Dst;
+  }
+
+  VReg loadImm(int64_t Value) {
+    Instruction I(Opcode::LoadImm);
+    I.Dst = makeVReg();
+    I.Imm = Value;
+    return append(I).Dst;
+  }
+
+  void loadImmTo(VReg Dst, int64_t Value) {
+    Instruction I(Opcode::LoadImm);
+    I.Dst = Dst;
+    I.Imm = Value;
+    append(I);
+  }
+
+  VReg addImm(VReg A, int64_t Value) {
+    Instruction I(Opcode::AddImm);
+    I.Dst = makeVReg();
+    I.Src1 = A;
+    I.Imm = Value;
+    return append(I).Dst;
+  }
+
+  VReg addrGlobal(int GlobalId) {
+    Instruction I(Opcode::AddrGlobal);
+    I.Dst = makeVReg();
+    I.Global = GlobalId;
+    return append(I).Dst;
+  }
+
+  VReg addrLocal(int FrameId) {
+    Instruction I(Opcode::AddrLocal);
+    I.Dst = makeVReg();
+    I.Frame = FrameId;
+    return append(I).Dst;
+  }
+
+  VReg loadGlobal(int GlobalId) {
+    Instruction I(Opcode::LoadGlobal);
+    I.Dst = makeVReg();
+    I.Global = GlobalId;
+    return append(I).Dst;
+  }
+
+  void storeGlobal(int GlobalId, VReg Value) {
+    Instruction I(Opcode::StoreGlobal);
+    I.Global = GlobalId;
+    I.Src1 = Value;
+    append(I);
+  }
+
+  VReg load(VReg Addr, int64_t Offset = 0) {
+    Instruction I(Opcode::Load);
+    I.Dst = makeVReg();
+    I.Src1 = Addr;
+    I.Imm = Offset;
+    return append(I).Dst;
+  }
+
+  void store(VReg Addr, VReg Value, int64_t Offset = 0) {
+    Instruction I(Opcode::Store);
+    I.Src1 = Addr;
+    I.Src2 = Value;
+    I.Imm = Offset;
+    append(I);
+  }
+
+  VReg funcAddr(int ProcId) {
+    Instruction I(Opcode::FuncAddr);
+    I.Dst = makeVReg();
+    I.Callee = ProcId;
+    return append(I).Dst;
+  }
+
+  /// Direct call. \p WantResult selects whether a result vreg is allocated.
+  VReg call(int ProcId, const std::vector<VReg> &Args,
+            bool WantResult = true) {
+    Instruction I(Opcode::Call);
+    I.Callee = ProcId;
+    I.Args = Args;
+    if (WantResult)
+      I.Dst = makeVReg();
+    return append(I).Dst;
+  }
+
+  VReg callIndirect(VReg Target, const std::vector<VReg> &Args,
+                    bool WantResult = true) {
+    Instruction I(Opcode::CallIndirect);
+    I.Src1 = Target;
+    I.Args = Args;
+    if (WantResult)
+      I.Dst = makeVReg();
+    return append(I).Dst;
+  }
+
+  void ret(VReg Value = 0) {
+    Instruction I(Opcode::Ret);
+    I.Src1 = Value;
+    append(I);
+  }
+
+  void br(BasicBlock *Target) {
+    Instruction I(Opcode::Br);
+    I.Target1 = Target->id();
+    append(I);
+  }
+
+  void condBr(VReg Cond, BasicBlock *TrueBB, BasicBlock *FalseBB) {
+    Instruction I(Opcode::CondBr);
+    I.Src1 = Cond;
+    I.Target1 = TrueBB->id();
+    I.Target2 = FalseBB->id();
+    append(I);
+  }
+
+  void print(VReg Value) {
+    Instruction I(Opcode::Print);
+    I.Src1 = Value;
+    append(I);
+  }
+
+private:
+  Instruction &append(Instruction I) {
+    assert(BB && "no insertion block set");
+    assert(!BB->hasTerminator() && "appending past a terminator");
+    BB->Insts.push_back(std::move(I));
+    return BB->Insts.back();
+  }
+
+  Procedure *Proc;
+  BasicBlock *BB = nullptr;
+};
+
+} // namespace ipra
+
+#endif // IPRA_IR_IRBUILDER_H

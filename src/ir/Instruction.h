@@ -1,0 +1,202 @@
+//===- ir/Instruction.h - Three-address IR instructions --------*- C++ -*-===//
+//
+// Part of the ipra project (Chow, PLDI 1988 reproduction).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The non-SSA three-address intermediate representation. It plays the role
+/// of Ucode in the paper's MIPS compiler suite: an unbounded supply of
+/// virtual registers over a control-flow graph, with explicit call/return
+/// and word-addressed memory. Priority-based coloring maps virtual
+/// registers onto the machine register file.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef IPRA_IR_INSTRUCTION_H
+#define IPRA_IR_INSTRUCTION_H
+
+#include <cassert>
+#include <cstdint>
+#include <vector>
+
+namespace ipra {
+
+/// A virtual register id. 0 is the invalid/absent register; real virtual
+/// registers are numbered from 1.
+using VReg = unsigned;
+
+/// Classification of a memory access for the pixie-style counters. The paper
+/// separates "scalar loads/stores" (scalar variables, common subexpressions,
+/// register saves/restores -- everything a perfect register allocator could
+/// remove) from data traffic through arrays and pointers.
+enum class MemKind { Scalar, Data };
+
+enum class Opcode {
+  // Arithmetic / logic, Dst = Src1 op Src2.
+  Add,
+  Sub,
+  Mul,
+  Div,
+  Rem,
+  And,
+  Or,
+  Xor,
+  Shl,
+  Shr,
+  // Comparisons producing 0/1 in Dst.
+  CmpEq,
+  CmpNe,
+  CmpLt,
+  CmpLe,
+  CmpGt,
+  CmpGe,
+  // Unary, Dst = op Src1.
+  Neg,
+  Not,
+  Copy,
+  // Dst = Imm.
+  LoadImm,
+  // Dst = Src1 + Imm.
+  AddImm,
+  // Dst = word address of global object #Global.
+  AddrGlobal,
+  // Dst = word address of frame object #Frame.
+  AddrLocal,
+  // Dst = value of scalar global #Global (a MemKind::Scalar access).
+  LoadGlobal,
+  // scalar global #Global = Src1.
+  StoreGlobal,
+  // Dst = mem[Src1 + Imm] (a MemKind::Data access).
+  Load,
+  // mem[Src1 + Imm] = Src2.
+  Store,
+  // Dst = "address" of procedure #Callee (for indirect calls).
+  FuncAddr,
+  // Dst(optional) = call procedure #Callee(Args).
+  Call,
+  // Dst(optional) = call *Src1(Args).
+  CallIndirect,
+  // Return Src1 (optional; 0 means no value).
+  Ret,
+  // Unconditional jump to block #Target1.
+  Br,
+  // If Src1 != 0 jump to #Target1 else #Target2.
+  CondBr,
+  // Observable output of Src1; keeps benchmark results alive.
+  Print
+};
+
+/// \returns a stable mnemonic for \p Op (used by the printer and tests).
+const char *opcodeName(Opcode Op);
+
+/// One IR instruction. A plain struct: passes mutate instruction lists
+/// freely and the simulator never sees this level (it runs machine code).
+struct Instruction {
+  Opcode Op;
+  VReg Dst = 0;
+  VReg Src1 = 0;
+  VReg Src2 = 0;
+  /// Immediate: LoadImm/AddImm value, Load/Store word offset, ...
+  int64_t Imm = 0;
+  /// Global object id for AddrGlobal/LoadGlobal/StoreGlobal.
+  int Global = -1;
+  /// Frame object id for AddrLocal.
+  int Frame = -1;
+  /// Procedure id for Call/FuncAddr.
+  int Callee = -1;
+  /// Branch targets (block ids within the procedure).
+  int Target1 = -1;
+  int Target2 = -1;
+  /// Call arguments.
+  std::vector<VReg> Args;
+
+  Instruction() : Op(Opcode::Copy) {}
+  explicit Instruction(Opcode Op) : Op(Op) {}
+
+  bool isTerminator() const {
+    return Op == Opcode::Ret || Op == Opcode::Br || Op == Opcode::CondBr;
+  }
+  bool isCall() const {
+    return Op == Opcode::Call || Op == Opcode::CallIndirect;
+  }
+  bool isBinaryALU() const {
+    return Op >= Opcode::Add && Op <= Opcode::CmpGe;
+  }
+
+  /// \returns the virtual register defined by this instruction, or 0.
+  VReg def() const {
+    switch (Op) {
+    case Opcode::StoreGlobal:
+    case Opcode::Store:
+    case Opcode::Ret:
+    case Opcode::Br:
+    case Opcode::CondBr:
+    case Opcode::Print:
+      return 0;
+    default:
+      return Dst;
+    }
+  }
+
+  /// Invokes \p Fn for every virtual register read by this instruction.
+  template <typename CallableT> void forEachUse(CallableT Fn) const {
+    switch (Op) {
+    case Opcode::LoadImm:
+    case Opcode::AddrGlobal:
+    case Opcode::AddrLocal:
+    case Opcode::LoadGlobal:
+    case Opcode::FuncAddr:
+    case Opcode::Br:
+      break;
+    case Opcode::StoreGlobal:
+    case Opcode::Neg:
+    case Opcode::Not:
+    case Opcode::Copy:
+    case Opcode::AddImm:
+    case Opcode::Load:
+    case Opcode::CondBr:
+    case Opcode::Print:
+      if (Src1)
+        Fn(Src1);
+      break;
+    case Opcode::Store:
+      if (Src1)
+        Fn(Src1);
+      if (Src2)
+        Fn(Src2);
+      break;
+    case Opcode::Ret:
+      if (Src1)
+        Fn(Src1);
+      break;
+    case Opcode::Call:
+      break;
+    case Opcode::CallIndirect:
+      if (Src1)
+        Fn(Src1);
+      break;
+    default:
+      assert(isBinaryALU() && "unhandled opcode in forEachUse");
+      if (Src1)
+        Fn(Src1);
+      if (Src2)
+        Fn(Src2);
+      break;
+    }
+    if (isCall())
+      for (VReg Arg : Args)
+        Fn(Arg);
+  }
+
+  /// Collects forEachUse results into a vector (convenience for tests).
+  std::vector<VReg> uses() const {
+    std::vector<VReg> Out;
+    forEachUse([&Out](VReg R) { Out.push_back(R); });
+    return Out;
+  }
+};
+
+} // namespace ipra
+
+#endif // IPRA_IR_INSTRUCTION_H

@@ -1,0 +1,123 @@
+//===- ir/Printer.cpp ------------------------------------------------------===//
+
+#include "ir/Printer.h"
+
+#include "ir/Procedure.h"
+
+using namespace ipra;
+
+static std::string vr(VReg R) { return "%" + std::to_string(R); }
+static std::string bb(int Id) { return "bb" + std::to_string(Id); }
+
+std::string ipra::toString(const Instruction &I) {
+  std::string Out;
+  if (I.def())
+    Out += vr(I.Dst) + " = ";
+  Out += opcodeName(I.Op);
+  switch (I.Op) {
+  case Opcode::LoadImm:
+    Out += " " + std::to_string(I.Imm);
+    break;
+  case Opcode::AddImm:
+    Out += " " + vr(I.Src1) + ", " + std::to_string(I.Imm);
+    break;
+  case Opcode::AddrGlobal:
+  case Opcode::LoadGlobal:
+    Out += " @" + std::to_string(I.Global);
+    break;
+  case Opcode::StoreGlobal:
+    Out += " @" + std::to_string(I.Global) + ", " + vr(I.Src1);
+    break;
+  case Opcode::AddrLocal:
+    Out += " $" + std::to_string(I.Frame);
+    break;
+  case Opcode::Load:
+    Out += " [" + vr(I.Src1) + " + " + std::to_string(I.Imm) + "]";
+    break;
+  case Opcode::Store:
+    Out += " [" + vr(I.Src1) + " + " + std::to_string(I.Imm) + "], " +
+           vr(I.Src2);
+    break;
+  case Opcode::FuncAddr:
+    Out += " proc" + std::to_string(I.Callee);
+    break;
+  case Opcode::Call:
+  case Opcode::CallIndirect: {
+    Out += I.Op == Opcode::Call ? " proc" + std::to_string(I.Callee)
+                                : " *" + vr(I.Src1);
+    Out += "(";
+    for (unsigned J = 0; J < I.Args.size(); ++J) {
+      if (J)
+        Out += ", ";
+      Out += vr(I.Args[J]);
+    }
+    Out += ")";
+    break;
+  }
+  case Opcode::Ret:
+    if (I.Src1)
+      Out += " " + vr(I.Src1);
+    break;
+  case Opcode::Br:
+    Out += " " + bb(I.Target1);
+    break;
+  case Opcode::CondBr:
+    Out += " " + vr(I.Src1) + ", " + bb(I.Target1) + ", " + bb(I.Target2);
+    break;
+  case Opcode::Neg:
+  case Opcode::Not:
+  case Opcode::Copy:
+  case Opcode::Print:
+    Out += " " + vr(I.Src1);
+    break;
+  default:
+    assert(I.isBinaryALU() && "unhandled opcode in printer");
+    Out += " " + vr(I.Src1) + ", " + vr(I.Src2);
+    break;
+  }
+  return Out;
+}
+
+std::string ipra::toString(const Procedure &Proc) {
+  std::string Out = "proc " + Proc.name() + "(";
+  for (unsigned J = 0; J < Proc.ParamVRegs.size(); ++J) {
+    if (J)
+      Out += ", ";
+    Out += vr(Proc.ParamVRegs[J]);
+  }
+  Out += ")";
+  if (Proc.IsExternal)
+    return Out + " external\n";
+  if (Proc.IsMain)
+    Out += " main";
+  if (Proc.AddressTaken)
+    Out += " addrtaken";
+  if (Proc.Exported)
+    Out += " exported";
+  Out += " {\n";
+  for (const auto &BB : Proc) {
+    Out += bb(BB->id()) + ":";
+    if (!BB->Preds.empty()) {
+      Out += "  ; preds:";
+      for (int P : BB->Preds)
+        Out += " " + bb(P);
+    }
+    Out += "\n";
+    for (const Instruction &I : BB->Insts)
+      Out += "  " + toString(I) + "\n";
+  }
+  Out += "}\n";
+  return Out;
+}
+
+std::string ipra::toString(const Module &M) {
+  std::string Out;
+  for (unsigned J = 0; J < M.Globals.size(); ++J) {
+    const GlobalVar &G = M.Globals[J];
+    Out += "global @" + std::to_string(J) + " " + G.Name + "[" +
+           std::to_string(G.SizeWords) + "]\n";
+  }
+  for (const auto &Proc : M)
+    Out += toString(*Proc);
+  return Out;
+}

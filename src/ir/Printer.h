@@ -1,0 +1,29 @@
+//===- ir/Printer.h - Textual IR dumping -----------------------*- C++ -*-===//
+//
+// Part of the ipra project (Chow, PLDI 1988 reproduction).
+//
+//===----------------------------------------------------------------------===//
+
+#ifndef IPRA_IR_PRINTER_H
+#define IPRA_IR_PRINTER_H
+
+#include <string>
+
+namespace ipra {
+
+struct Instruction;
+class Procedure;
+class Module;
+
+/// Renders one instruction, e.g. "%5 = add %3, %4".
+std::string toString(const Instruction &Inst);
+
+/// Renders a whole procedure with block labels and linkage flags.
+std::string toString(const Procedure &Proc);
+
+/// Renders globals followed by every procedure.
+std::string toString(const Module &M);
+
+} // namespace ipra
+
+#endif // IPRA_IR_PRINTER_H

@@ -1,0 +1,222 @@
+//===- ir/Procedure.h - Basic blocks, procedures, modules ------*- C++ -*-===//
+//
+// Part of the ipra project (Chow, PLDI 1988 reproduction).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Containers of the IR: BasicBlock, Procedure (with frame objects and the
+/// open/closed-relevant linkage flags), GlobalVar and Module.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef IPRA_IR_PROCEDURE_H
+#define IPRA_IR_PROCEDURE_H
+
+#include "ir/Instruction.h"
+
+#include <memory>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+namespace ipra {
+
+/// A straight-line sequence of instructions ending in one terminator.
+class BasicBlock {
+public:
+  BasicBlock(int Id) : Id(Id) {}
+
+  int id() const { return Id; }
+
+  std::vector<Instruction> Insts;
+
+  /// Predecessor block ids; filled by Procedure::recomputeCFG().
+  std::vector<int> Preds;
+
+  /// Estimated execution frequency (relative, loop-nesting based); filled by
+  /// analysis::estimateFrequencies. Used by allocation priorities.
+  double Freq = 1.0;
+
+  /// Loop nesting depth; filled alongside Freq.
+  int LoopDepth = 0;
+
+  friend class Procedure;
+
+  const Instruction &terminator() const {
+    assert(!Insts.empty() && Insts.back().isTerminator() &&
+           "block has no terminator");
+    return Insts.back();
+  }
+
+  bool hasTerminator() const {
+    return !Insts.empty() && Insts.back().isTerminator();
+  }
+
+  /// Successor block ids in branch order (taken target first).
+  std::vector<int> successors() const {
+    const Instruction &T = terminator();
+    switch (T.Op) {
+    case Opcode::Ret:
+      return {};
+    case Opcode::Br:
+      return {T.Target1};
+    case Opcode::CondBr:
+      return {T.Target1, T.Target2};
+    default:
+      assert(false && "invalid terminator");
+      return {};
+    }
+  }
+
+private:
+  int Id;
+};
+
+/// A stack-allocated aggregate (local array) of a procedure.
+struct FrameObject {
+  std::string Name;
+  int64_t SizeWords = 0;
+};
+
+/// A procedure: CFG + parameters + frame + linkage flags. The linkage flags
+/// feed the paper's open/closed classification (Section 3): a procedure is
+/// open when a caller is unknown or already processed.
+class Procedure {
+public:
+  Procedure(std::string Name, int Id) : Name(std::move(Name)), Id(Id) {}
+
+  const std::string &name() const { return Name; }
+  int id() const { return Id; }
+
+  /// Parameter virtual registers; params arrive pre-set in these vregs.
+  std::vector<VReg> ParamVRegs;
+
+  /// One past the highest virtual register id in use.
+  VReg NumVRegs = 1;
+
+  /// Local aggregates.
+  std::vector<FrameObject> FrameObjects;
+
+  /// True for declarations without a body (library/externals).
+  bool IsExternal = false;
+  /// True if the procedure's address is taken (may be called indirectly).
+  bool AddressTaken = false;
+  /// True if visible to other compilation units (unknown external callers).
+  bool Exported = false;
+  /// True for the program entry; always open (called by the OS).
+  bool IsMain = false;
+
+  VReg makeVReg() { return NumVRegs++; }
+
+  BasicBlock *makeBlock() {
+    Blocks.push_back(std::make_unique<BasicBlock>(int(Blocks.size())));
+    return Blocks.back().get();
+  }
+
+  BasicBlock *entry() {
+    assert(!Blocks.empty() && "procedure has no blocks");
+    return Blocks.front().get();
+  }
+  const BasicBlock *entry() const {
+    assert(!Blocks.empty() && "procedure has no blocks");
+    return Blocks.front().get();
+  }
+
+  BasicBlock *block(int Id) {
+    assert(Id >= 0 && Id < int(Blocks.size()) && "block id out of range");
+    return Blocks[Id].get();
+  }
+  const BasicBlock *block(int Id) const {
+    assert(Id >= 0 && Id < int(Blocks.size()) && "block id out of range");
+    return Blocks[Id].get();
+  }
+
+  unsigned numBlocks() const { return Blocks.size(); }
+
+  /// Iteration over blocks in id order.
+  auto begin() { return Blocks.begin(); }
+  auto end() { return Blocks.end(); }
+  auto begin() const { return Blocks.begin(); }
+  auto end() const { return Blocks.end(); }
+
+  int makeFrameObject(std::string ObjName, int64_t SizeWords) {
+    FrameObjects.push_back({std::move(ObjName), SizeWords});
+    return int(FrameObjects.size()) - 1;
+  }
+
+  /// Recomputes predecessor lists from the terminators.
+  void recomputeCFG();
+
+  /// Drops every block whose \p Keep entry is false, renumbers the
+  /// survivors, and rewrites branch targets. The entry block must be kept.
+  /// \returns the number of blocks removed.
+  unsigned removeBlocks(const std::vector<char> &Keep);
+
+  /// \returns block ids in reverse post-order from the entry.
+  std::vector<int> reversePostOrder() const;
+
+  /// \returns total instruction count (size metric for reports).
+  unsigned instructionCount() const;
+
+private:
+  std::string Name;
+  int Id;
+  std::vector<std::unique_ptr<BasicBlock>> Blocks;
+};
+
+/// A module-level variable. SizeWords == 1 scalars are register-allocation
+/// candidates accessed via LoadGlobal/StoreGlobal; larger objects are data
+/// arrays accessed through AddrGlobal + Load/Store.
+struct GlobalVar {
+  std::string Name;
+  int64_t SizeWords = 1;
+  std::vector<int64_t> Init; // missing entries are zero
+};
+
+/// A translation unit (or, after linking, the whole program).
+class Module {
+public:
+  Procedure *makeProcedure(const std::string &Name) {
+    assert(!ProcByName.count(Name) && "duplicate procedure name");
+    Procs.push_back(std::make_unique<Procedure>(Name, int(Procs.size())));
+    ProcByName[Name] = Procs.back().get();
+    return Procs.back().get();
+  }
+
+  int makeGlobal(const std::string &Name, int64_t SizeWords = 1) {
+    Globals.push_back({Name, SizeWords, {}});
+    return int(Globals.size()) - 1;
+  }
+
+  Procedure *findProcedure(const std::string &Name) {
+    auto It = ProcByName.find(Name);
+    return It == ProcByName.end() ? nullptr : It->second;
+  }
+
+  Procedure *procedure(int Id) {
+    assert(Id >= 0 && Id < int(Procs.size()) && "procedure id out of range");
+    return Procs[Id].get();
+  }
+  const Procedure *procedure(int Id) const {
+    assert(Id >= 0 && Id < int(Procs.size()) && "procedure id out of range");
+    return Procs[Id].get();
+  }
+
+  unsigned numProcedures() const { return Procs.size(); }
+
+  auto begin() { return Procs.begin(); }
+  auto end() { return Procs.end(); }
+  auto begin() const { return Procs.begin(); }
+  auto end() const { return Procs.end(); }
+
+  std::vector<GlobalVar> Globals;
+
+private:
+  std::vector<std::unique_ptr<Procedure>> Procs;
+  std::unordered_map<std::string, Procedure *> ProcByName;
+};
+
+} // namespace ipra
+
+#endif // IPRA_IR_PROCEDURE_H

@@ -1,0 +1,126 @@
+//===- ir/Verifier.cpp -----------------------------------------------------===//
+
+#include "ir/Verifier.h"
+
+#include "ir/Printer.h"
+#include "ir/Procedure.h"
+
+using namespace ipra;
+
+namespace {
+
+class VerifierImpl {
+public:
+  VerifierImpl(const Procedure &Proc, const Module &M, DiagnosticEngine &Diags)
+      : Proc(Proc), M(M), Diags(Diags) {}
+
+  bool run() {
+    if (Proc.IsExternal) {
+      if (Proc.numBlocks() != 0)
+        fail("external procedure has a body");
+      return OK;
+    }
+    if (Proc.numBlocks() == 0) {
+      fail("procedure has no blocks");
+      return OK;
+    }
+    for (VReg P : Proc.ParamVRegs)
+      checkVReg(P, "parameter");
+    for (const auto &BB : Proc)
+      verifyBlock(*BB);
+    return OK;
+  }
+
+private:
+  void fail(const std::string &Message) {
+    Diags.error("in " + Proc.name() + ": " + Message);
+    OK = false;
+  }
+
+  void checkVReg(VReg R, const char *What) {
+    if (R == 0 || R >= Proc.NumVRegs)
+      fail(std::string(What) + " vreg %" + std::to_string(R) +
+           " out of range");
+  }
+
+  void checkTarget(int Id) {
+    if (Id < 0 || Id >= int(Proc.numBlocks()))
+      fail("branch target bb" + std::to_string(Id) + " out of range");
+  }
+
+  void verifyBlock(const BasicBlock &BB) {
+    if (!BB.hasTerminator()) {
+      fail("bb" + std::to_string(BB.id()) + " lacks a terminator");
+      return;
+    }
+    for (unsigned J = 0; J + 1 < BB.Insts.size(); ++J)
+      if (BB.Insts[J].isTerminator())
+        fail("bb" + std::to_string(BB.id()) +
+             " has a terminator before the end: " + toString(BB.Insts[J]));
+    for (const Instruction &I : BB.Insts)
+      verifyInst(I);
+  }
+
+  void verifyInst(const Instruction &I) {
+    if (VReg D = I.def())
+      checkVReg(D, "defined");
+    I.forEachUse([this](VReg R) { checkVReg(R, "used"); });
+    switch (I.Op) {
+    case Opcode::AddrGlobal:
+    case Opcode::LoadGlobal:
+    case Opcode::StoreGlobal:
+      if (I.Global < 0 || I.Global >= int(M.Globals.size()))
+        fail("global id out of range in: " + toString(I));
+      else if (I.Op != Opcode::AddrGlobal &&
+               M.Globals[I.Global].SizeWords != 1)
+        fail("scalar access to aggregate global in: " + toString(I));
+      break;
+    case Opcode::AddrLocal:
+      if (I.Frame < 0 || I.Frame >= int(Proc.FrameObjects.size()))
+        fail("frame id out of range in: " + toString(I));
+      break;
+    case Opcode::Call:
+    case Opcode::FuncAddr: {
+      if (I.Callee < 0 || I.Callee >= int(M.numProcedures())) {
+        fail("callee id out of range in: " + toString(I));
+        break;
+      }
+      const Procedure *Callee = M.procedure(I.Callee);
+      if (I.Op == Opcode::Call &&
+          I.Args.size() != Callee->ParamVRegs.size() && !Callee->IsExternal)
+        fail("arity mismatch calling " + Callee->name() + ": " + toString(I));
+      if (I.Op == Opcode::FuncAddr && !Callee->AddressTaken)
+        fail("funcaddr of " + Callee->name() + " not marked address-taken");
+      break;
+    }
+    case Opcode::Br:
+      checkTarget(I.Target1);
+      break;
+    case Opcode::CondBr:
+      checkTarget(I.Target1);
+      checkTarget(I.Target2);
+      break;
+    default:
+      break;
+    }
+  }
+
+  const Procedure &Proc;
+  const Module &M;
+  DiagnosticEngine &Diags;
+  bool OK = true;
+};
+
+} // namespace
+
+bool ipra::verify(const Procedure &Proc, const Module &M,
+                  DiagnosticEngine &Diags) {
+  return VerifierImpl(Proc, M, Diags).run();
+}
+
+bool ipra::verify(const Module &M, DiagnosticEngine &Diags) {
+  bool OK = true;
+  for (const auto &Proc : M)
+    OK &= verify(*Proc, M, Diags);
+  return OK;
+}

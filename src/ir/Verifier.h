@@ -1,0 +1,27 @@
+//===- ir/Verifier.h - IR well-formedness checks ---------------*- C++ -*-===//
+//
+// Part of the ipra project (Chow, PLDI 1988 reproduction).
+//
+//===----------------------------------------------------------------------===//
+
+#ifndef IPRA_IR_VERIFIER_H
+#define IPRA_IR_VERIFIER_H
+
+#include "support/Diagnostics.h"
+
+namespace ipra {
+
+class Module;
+class Procedure;
+
+/// Checks structural invariants of \p Proc (terminators, target/operand
+/// ranges, frame ids). \returns true if no errors were reported.
+bool verify(const Procedure &Proc, const Module &M, DiagnosticEngine &Diags);
+
+/// Verifies every procedure with a body, plus module-level invariants
+/// (call target arities, global ids). \returns true on success.
+bool verify(const Module &M, DiagnosticEngine &Diags);
+
+} // namespace ipra
+
+#endif // IPRA_IR_VERIFIER_H

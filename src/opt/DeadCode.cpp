@@ -1,0 +1,84 @@
+//===- opt/DeadCode.cpp - Dead code elimination ----------------------------===//
+
+#include "opt/Passes.h"
+
+#include "analysis/Liveness.h"
+
+#include <algorithm>
+
+using namespace ipra;
+
+namespace {
+
+/// True if removing the instruction (given a dead result) cannot change
+/// observable behaviour. Calls stay: callees may print or write globals.
+bool isRemovableWhenDead(const Instruction &I) {
+  switch (I.Op) {
+  case Opcode::StoreGlobal:
+  case Opcode::Store:
+  case Opcode::Call:
+  case Opcode::CallIndirect:
+  case Opcode::Ret:
+  case Opcode::Br:
+  case Opcode::CondBr:
+  case Opcode::Print:
+    return false;
+  default:
+    return true;
+  }
+}
+
+} // namespace
+
+bool ipra::eliminateDeadCode(Procedure &Proc) {
+  bool EverChanged = false;
+  bool Changed = true;
+  while (Changed) {
+    Changed = false;
+    Liveness LV = Liveness::compute(Proc);
+    for (auto &BB : Proc) {
+      std::vector<char> Dead(BB->Insts.size(), 0);
+      LV.forEachInstLiveAfter(Proc, BB->id(), [&](int InstIdx,
+                                                  const BitVector &LiveAfter) {
+        const Instruction &I = BB->Insts[InstIdx];
+        VReg D = I.def();
+        if (D && !LiveAfter.test(D) && isRemovableWhenDead(I))
+          Dead[InstIdx] = 1;
+      });
+      // forEachInstLiveAfter treats removed defs as still live within this
+      // sweep; that only delays removal to the next iteration.
+      if (std::find(Dead.begin(), Dead.end(), 1) == Dead.end())
+        continue;
+      std::vector<Instruction> Kept;
+      Kept.reserve(BB->Insts.size());
+      for (unsigned J = 0; J < BB->Insts.size(); ++J)
+        if (!Dead[J])
+          Kept.push_back(std::move(BB->Insts[J]));
+      BB->Insts = std::move(Kept);
+      Changed = true;
+    }
+    EverChanged |= Changed;
+  }
+  return EverChanged;
+}
+
+void ipra::optimize(Procedure &Proc) {
+  if (Proc.IsExternal || Proc.numBlocks() == 0)
+    return;
+  // Bounded fixed point; each pass is cheap and the benchmarks are small.
+  for (int Round = 0; Round < 8; ++Round) {
+    bool Changed = false;
+    Changed |= foldConstants(Proc);
+    Changed |= propagateCopies(Proc);
+    Changed |= simplifyCFG(Proc);
+    Changed |= eliminateDeadCode(Proc);
+    if (!Changed)
+      break;
+  }
+  Proc.recomputeCFG();
+}
+
+void ipra::optimize(Module &M) {
+  for (auto &Proc : M)
+    optimize(*Proc);
+}

@@ -1,0 +1,145 @@
+//===- opt/LocalOpt.cpp - Constant folding and copy propagation -----------===//
+
+#include "opt/Passes.h"
+
+#include <optional>
+#include <unordered_map>
+
+using namespace ipra;
+
+namespace {
+
+int64_t evalBinary(Opcode Op, int64_t A, int64_t B) {
+  // Two's-complement wrap-around semantics, matching the simulator.
+  switch (Op) {
+  case Opcode::Add:
+    return int64_t(uint64_t(A) + uint64_t(B));
+  case Opcode::Sub:
+    return int64_t(uint64_t(A) - uint64_t(B));
+  case Opcode::Mul:
+    return int64_t(uint64_t(A) * uint64_t(B));
+  case Opcode::Div:
+    if (B == 0)
+      return 0;
+    return (A == INT64_MIN && B == -1) ? A : A / B;
+  case Opcode::Rem:
+    if (B == 0)
+      return 0;
+    return (A == INT64_MIN && B == -1) ? 0 : A % B;
+  case Opcode::And:
+    return A & B;
+  case Opcode::Or:
+    return A | B;
+  case Opcode::Xor:
+    return A ^ B;
+  case Opcode::Shl:
+    return B < 0 || B > 62 ? 0 : A << B;
+  case Opcode::Shr:
+    return B < 0 || B > 62 ? 0 : A >> B;
+  case Opcode::CmpEq:
+    return A == B;
+  case Opcode::CmpNe:
+    return A != B;
+  case Opcode::CmpLt:
+    return A < B;
+  case Opcode::CmpLe:
+    return A <= B;
+  case Opcode::CmpGt:
+    return A > B;
+  case Opcode::CmpGe:
+    return A >= B;
+  default:
+    assert(false && "not a foldable binary opcode");
+    return 0;
+  }
+}
+
+} // namespace
+
+bool ipra::foldConstants(Procedure &Proc) {
+  bool Changed = false;
+  for (auto &BB : Proc) {
+    std::unordered_map<VReg, int64_t> Known;
+    for (Instruction &I : BB->Insts) {
+      auto Const = [&Known](VReg R) -> std::optional<int64_t> {
+        auto It = Known.find(R);
+        if (It == Known.end())
+          return std::nullopt;
+        return It->second;
+      };
+      std::optional<int64_t> Folded;
+      if (I.isBinaryALU()) {
+        auto A = Const(I.Src1);
+        auto B = Const(I.Src2);
+        if (A && B) {
+          Folded = evalBinary(I.Op, *A, *B);
+        }
+      } else if (I.Op == Opcode::AddImm) {
+        if (auto A = Const(I.Src1))
+          Folded = int64_t(uint64_t(*A) + uint64_t(I.Imm));
+      } else if (I.Op == Opcode::Neg) {
+        if (auto A = Const(I.Src1))
+          Folded = int64_t(0 - uint64_t(*A));
+      } else if (I.Op == Opcode::Not) {
+        if (auto A = Const(I.Src1))
+          Folded = ~*A;
+      } else if (I.Op == Opcode::Copy) {
+        if (auto A = Const(I.Src1))
+          Folded = *A;
+      }
+      if (Folded) {
+        I.Op = Opcode::LoadImm;
+        I.Imm = *Folded;
+        I.Src1 = I.Src2 = 0;
+        Changed = true;
+      }
+      // Update the known-constants map after the (possibly rewritten) def.
+      if (VReg D = I.def()) {
+        if (I.Op == Opcode::LoadImm)
+          Known[D] = I.Imm;
+        else
+          Known.erase(D);
+      }
+    }
+  }
+  return Changed;
+}
+
+bool ipra::propagateCopies(Procedure &Proc) {
+  bool Changed = false;
+  for (auto &BB : Proc) {
+    // CopyOf[d] = s when "d = copy s" holds at this point.
+    std::unordered_map<VReg, VReg> CopyOf;
+    auto InvalidateDef = [&CopyOf](VReg D) {
+      CopyOf.erase(D);
+      // Any mapping whose source is overwritten is stale.
+      for (auto It = CopyOf.begin(); It != CopyOf.end();) {
+        if (It->second == D)
+          It = CopyOf.erase(It);
+        else
+          ++It;
+      }
+    };
+    for (Instruction &I : BB->Insts) {
+      auto Rewrite = [&CopyOf, &Changed](VReg &R) {
+        auto It = CopyOf.find(R);
+        if (It != CopyOf.end() && It->second != R) {
+          R = It->second;
+          Changed = true;
+        }
+      };
+      if (I.Src1)
+        Rewrite(I.Src1);
+      if (I.Src2)
+        Rewrite(I.Src2);
+      for (VReg &Arg : I.Args)
+        Rewrite(Arg);
+      if (VReg D = I.def()) {
+        InvalidateDef(D);
+        if (I.Op == Opcode::Copy && I.Src1 != D)
+          CopyOf[D] = I.Src1;
+      }
+    }
+  }
+  return Changed;
+}

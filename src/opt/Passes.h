@@ -1,0 +1,47 @@
+//===- opt/Passes.h - Mid-end cleanup passes -------------------*- C++ -*-===//
+//
+// Part of the ipra project (Chow, PLDI 1988 reproduction).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The "Uopt" stand-in: a small set of machine-independent cleanups run
+/// before register allocation so the -O2 baseline is competent (the paper
+/// stresses that its base already removed most scalar memory traffic).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef IPRA_OPT_PASSES_H
+#define IPRA_OPT_PASSES_H
+
+#include "ir/Procedure.h"
+
+namespace ipra {
+
+/// Removes blocks unreachable from the entry, folds constant conditional
+/// branches, collapses condbr with identical targets, and merges
+/// single-successor/single-predecessor block pairs. \returns true if
+/// anything changed.
+bool simplifyCFG(Procedure &Proc);
+
+/// Block-local constant folding: propagates LoadImm values through ALU
+/// operations and copies. \returns true if anything changed.
+bool foldConstants(Procedure &Proc);
+
+/// Block-local copy propagation: rewrites uses of copy destinations to the
+/// source while both stay unchanged. \returns true if anything changed.
+bool propagateCopies(Procedure &Proc);
+
+/// Removes side-effect-free instructions whose results are dead (uses
+/// liveness; iterates to a fixed point). \returns true if anything changed.
+bool eliminateDeadCode(Procedure &Proc);
+
+/// Runs the full cleanup pipeline to a fixed point (bounded).
+void optimize(Procedure &Proc);
+
+/// optimize() on every procedure with a body.
+void optimize(Module &M);
+
+} // namespace ipra
+
+#endif // IPRA_OPT_PASSES_H

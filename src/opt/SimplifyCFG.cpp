@@ -1,0 +1,110 @@
+//===- opt/SimplifyCFG.cpp - CFG cleanup -----------------------------------===//
+
+#include "opt/Passes.h"
+
+using namespace ipra;
+
+namespace {
+
+/// Folds CondBr with statically-known condition or equal targets into Br.
+/// The condition is known when the defining instruction in the same block
+/// is a LoadImm (the common shape after foldConstants).
+bool foldBranches(Procedure &Proc) {
+  bool Changed = false;
+  for (auto &BB : Proc) {
+    if (BB->Insts.empty())
+      continue;
+    Instruction &T = BB->Insts.back();
+    if (T.Op != Opcode::CondBr)
+      continue;
+    if (T.Target1 == T.Target2) {
+      T.Op = Opcode::Br;
+      T.Src1 = 0;
+      T.Target2 = -1;
+      Changed = true;
+      continue;
+    }
+    // Scan backwards for the definition of the condition in this block.
+    for (int I = int(BB->Insts.size()) - 2; I >= 0; --I) {
+      const Instruction &Def = BB->Insts[I];
+      if (Def.def() != T.Src1)
+        continue;
+      if (Def.Op == Opcode::LoadImm) {
+        T.Target1 = Def.Imm != 0 ? T.Target1 : T.Target2;
+        T.Op = Opcode::Br;
+        T.Src1 = 0;
+        T.Target2 = -1;
+        Changed = true;
+      }
+      break;
+    }
+  }
+  return Changed;
+}
+
+bool removeUnreachable(Procedure &Proc) {
+  unsigned NumBlocks = Proc.numBlocks();
+  std::vector<char> Reachable(NumBlocks, 0);
+  std::vector<int> Work{0};
+  Reachable[0] = 1;
+  while (!Work.empty()) {
+    int B = Work.back();
+    Work.pop_back();
+    for (int S : Proc.block(B)->successors()) {
+      if (!Reachable[S]) {
+        Reachable[S] = 1;
+        Work.push_back(S);
+      }
+    }
+  }
+  return Proc.removeBlocks(Reachable) > 0;
+}
+
+/// Merges B into its unique predecessor P when P's terminator is an
+/// unconditional branch to B and B is P's only way in.
+bool mergeChains(Procedure &Proc) {
+  Proc.recomputeCFG();
+  bool Changed = false;
+  std::vector<char> Keep(Proc.numBlocks(), 1);
+  for (unsigned B = 1; B < Proc.numBlocks(); ++B) {
+    BasicBlock *BB = Proc.block(int(B));
+    if (!Keep[B] || BB->Preds.size() != 1)
+      continue;
+    int P = BB->Preds[0];
+    if (!Keep[P] || P == int(B))
+      continue;
+    BasicBlock *Pred = Proc.block(P);
+    const Instruction &T = Pred->terminator();
+    if (T.Op != Opcode::Br || T.Target1 != int(B))
+      continue;
+    // Splice: drop Pred's Br, append B's instructions.
+    Pred->Insts.pop_back();
+    for (Instruction &I : BB->Insts)
+      Pred->Insts.push_back(std::move(I));
+    BB->Insts.clear();
+    // B must keep a terminator until removal; give it an unreachable Ret
+    // and make it unreachable by marking for removal.
+    Instruction RetI(Opcode::Ret);
+    BB->Insts.push_back(RetI);
+    Keep[B] = 0;
+    Changed = true;
+    // Pred's preds list is stale now, but we only consult Preds of blocks
+    // we have not merged yet; recompute below.
+    Proc.recomputeCFG();
+  }
+  if (Changed)
+    Proc.removeBlocks(Keep);
+  return Changed;
+}
+
+} // namespace
+
+bool ipra::simplifyCFG(Procedure &Proc) {
+  if (Proc.numBlocks() == 0)
+    return false;
+  bool Changed = foldBranches(Proc);
+  Changed |= removeUnreachable(Proc);
+  Changed |= mergeChains(Proc);
+  Proc.recomputeCFG();
+  return Changed;
+}

@@ -1,0 +1,65 @@
+//===- programs/Programs.cpp - Benchmark registry --------------------------===//
+
+#include "programs/Programs.h"
+
+#include <algorithm>
+
+namespace ipra {
+// Defined in ProgramsSmall/Medium/Large.cpp.
+extern const char *NimSource;
+extern const char *MapSource;
+extern const char *CalccSource;
+extern const char *DiffSource;
+extern const char *DhrystoneSource;
+extern const char *StanfordSource;
+extern const char *PfSource;
+extern const char *AwkSource;
+extern const char *TexSource;
+extern const char *CcomSource;
+extern const char *As1Source;
+extern const char *UpasSource;
+extern const char *UoptSource;
+} // namespace ipra
+
+using namespace ipra;
+
+int BenchmarkProgram::sourceLines() const {
+  return int(std::count(Source, Source + std::string(Source).size(), '\n'));
+}
+
+const std::vector<BenchmarkProgram> &ipra::benchmarkSuite() {
+  static const std::vector<BenchmarkProgram> Suite = {
+      {"nim", "Pascal", "a program to play the game of Nim", NimSource},
+      {"map", "Pascal", "a program to find a 4-coloring for a map",
+       MapSource},
+      {"calcc", "Pascal",
+       "a program that manipulates dynamic and variable-length strings",
+       CalccSource},
+      {"diff", "C", "the UNIX file comparison utility", DiffSource},
+      {"dhrystone", "C", "a synthetic benchmark by Reinhold Weicker",
+       DhrystoneSource},
+      {"stanford", "Pascal", "a benchmark suite collected by John Hennessy",
+       StanfordSource},
+      {"pf", "Pascal", "a Pascal pretty-printer written by Larry Weber",
+       PfSource},
+      {"awk", "C",
+       "the Awk pattern processing and scanning utility from UNIX",
+       AwkSource},
+      {"tex", "Pascal", "virtex from the TeX typesetting package", TexSource},
+      {"ccom", "C", "first pass of the MIPS C compiler", CcomSource},
+      {"as1", "Pascal/C", "the MIPS assembler/reorganizer", As1Source},
+      {"upas", "Pascal", "first pass of the MIPS Pascal compiler",
+       UpasSource},
+      {"uopt", "Pascal",
+       "the MIPS Ucode global optimizer, including the register allocator",
+       UoptSource},
+  };
+  return Suite;
+}
+
+const BenchmarkProgram *ipra::findBenchmark(const std::string &Name) {
+  for (const BenchmarkProgram &P : benchmarkSuite())
+    if (Name == P.Name)
+      return &P;
+  return nullptr;
+}

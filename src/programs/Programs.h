@@ -1,0 +1,46 @@
+//===- programs/Programs.h - The 13-program benchmark suite ----*- C++ -*-===//
+//
+// Part of the ipra project (Chow, PLDI 1988 reproduction).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// miniC analogues of the paper's 13 benchmark programs (Appendix + Table
+/// 1). Absolute source sizes are scaled down uniformly; what the suite
+/// preserves is the paper's size *ordering*, call intensity, and the
+/// open/closed mix (recursion, indirect calls, exported entry points) that
+/// drive the inter-procedural allocator's behaviour.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef IPRA_PROGRAMS_PROGRAMS_H
+#define IPRA_PROGRAMS_PROGRAMS_H
+
+#include <string>
+#include <vector>
+
+namespace ipra {
+
+struct BenchmarkProgram {
+  /// Paper benchmark this stands in for (nim, map, ...).
+  const char *Name;
+  /// Source language of the paper's original ("Pascal", "C", "Pascal/C").
+  const char *Language;
+  /// What the program computes.
+  const char *Description;
+  /// miniC source text.
+  const char *Source;
+
+  /// Number of source lines (the Table 1 "source lines" column analog).
+  int sourceLines() const;
+};
+
+/// The benchmarks in the paper's Table 1 order (increasing original size).
+const std::vector<BenchmarkProgram> &benchmarkSuite();
+
+/// Finds a benchmark by name; nullptr if absent.
+const BenchmarkProgram *findBenchmark(const std::string &Name);
+
+} // namespace ipra
+
+#endif // IPRA_PROGRAMS_PROGRAMS_H

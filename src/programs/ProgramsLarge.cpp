@@ -1,0 +1,1409 @@
+//===- programs/ProgramsLarge.cpp - tex, ccom, as1, upas, uopt ------------===//
+//
+// The large end of the suite: a paragraph line-breaker (tex), a small
+// expression compiler whose hot upper region is a recursive parser (ccom
+// -- the paper's one slowdown case), a two-pass assembler (as1), a Pascal
+// scanner/parser first pass (upas) and a data-flow optimizer (uopt).
+//
+//===----------------------------------------------------------------------===//
+
+#include "programs/Programs.h"
+
+namespace ipra {
+
+/// tex: paragraph building and line breaking with badness and penalties,
+/// the hot inner loops of virtex.
+const char *TexSource = R"MC(
+// tex -- break synthetic paragraphs into lines, minimizing badness.
+var wordWidth[500];
+var wordCount;
+var lineWidth;
+var totalBadness;
+var totalLines;
+var totalHyphens;
+
+func genParagraph(seed, n) {
+  wordCount = n;
+  for (var i = 0; i < n; i = i + 1) {
+    seed = (seed * 7741 + 913) % 65536;
+    wordWidth[i] = 2 + seed % 9;
+  }
+  return seed;
+}
+
+func spaceNeeded(pos) {
+  if (pos == 0) { return 0; }
+  return 1;
+}
+
+func stretchBadness(slack) {
+  // badness ~ cube of relative slack, scaled.
+  var b = slack * slack * slack;
+  if (b > 10000) { b = 10000; }
+  return b;
+}
+
+func hyphenate(width, room) {
+  // Split a word that does not fit: return the part that fits (>=2),
+  // or 0 when the word cannot be split.
+  if (room < 3) { return 0; }
+  if (width < 4) { return 0; }
+  var head = room - 1;        // leave space for the hyphen
+  if (head > width - 2) { head = width - 2; }
+  if (head < 2) { return 0; }
+  return head;
+}
+
+func linePenalty(used, isLast) {
+  if (isLast) { return 0; }
+  var slack = lineWidth - used;
+  return stretchBadness(slack);
+}
+
+func breakParagraph() {
+  var i = 0;
+  var used = 0;
+  var lines = 0;
+  var badness = 0;
+  var hyphens = 0;
+  while (i < wordCount) {
+    var need = spaceNeeded(used) + wordWidth[i];
+    if (used + need <= lineWidth) {
+      used = used + need;
+      i = i + 1;
+    } else {
+      var head = hyphenate(wordWidth[i], lineWidth - used - spaceNeeded(used));
+      if (head > 0) {
+        used = used + spaceNeeded(used) + head + 1;
+        wordWidth[i] = wordWidth[i] - head;
+        hyphens = hyphens + 1;
+      }
+      badness = badness + linePenalty(used, 0);
+      lines = lines + 1;
+      used = 0;
+    }
+  }
+  if (used > 0) {
+    badness = badness + linePenalty(used, 1);
+    lines = lines + 1;
+  }
+  totalBadness = totalBadness + badness;
+  totalLines = totalLines + lines;
+  totalHyphens = totalHyphens + hyphens;
+  return badness;
+}
+
+func glueChecksum() {
+  var g = 0;
+  for (var i = 0; i < wordCount; i = i + 1) {
+    g = (g * 17 + wordWidth[i]) % 1000003;
+  }
+  return g;
+}
+
+// Second pass: break the stream of paragraph line counts into pages,
+// charging widow/orphan penalties, exactly as TeX's page builder does on
+// a much grander scale.
+var paraLines[130];
+var paraCount;
+var pageHeight;
+var totalPages;
+var totalPagePenalty;
+
+func widowPenalty(linesOnPage, paraLen) {
+  // A single leading or trailing line of a paragraph on a page is bad.
+  if (linesOnPage == 1 && paraLen > 1) { return 150; }
+  return 0;
+}
+
+func orphanPenalty(remaining) {
+  if (remaining == 1) { return 150; }
+  return 0;
+}
+
+func placeParagraph(room, lines) {
+  // Returns how many of the paragraph's lines fit in the remaining room,
+  // nudged to avoid widows and orphans.
+  if (lines <= room) { return lines; }
+  var take = room;
+  if (take > 0 && orphanPenalty(lines - take) > 0) { take = take - 1; }
+  if (take == 1 && widowPenalty(take, lines) > 0) { take = 0; }
+  return take;
+}
+
+func buildPages() {
+  totalPages = 0;
+  totalPagePenalty = 0;
+  var room = pageHeight;
+  for (var p = 0; p < paraCount; p = p + 1) {
+    var remaining = paraLines[p];
+    while (remaining > 0) {
+      var take = placeParagraph(room, remaining);
+      if (take == 0) {
+        totalPages = totalPages + 1;
+        totalPagePenalty = totalPagePenalty + room; // wasted space
+        room = pageHeight;
+      } else {
+        totalPagePenalty = totalPagePenalty +
+                           widowPenalty(take, paraLines[p]) +
+                           orphanPenalty(remaining - take);
+        remaining = remaining - take;
+        room = room - take;
+        if (room == 0) {
+          totalPages = totalPages + 1;
+          room = pageHeight;
+        }
+      }
+    }
+  }
+  if (room < pageHeight) { totalPages = totalPages + 1; }
+  return totalPages;
+}
+
+// Ragged-right mode: no stretching badness, only a per-line end penalty
+// proportional to leftover space; TeX's \raggedright analogue. Used to
+// compare justified vs. ragged layout of the same paragraphs.
+var raggedPenaltyTotal;
+var raggedLines;
+
+func raggedLinePenalty(used) {
+  var slack = lineWidth - used;
+  return slack * 2;
+}
+
+// Word-width frequency table over the whole document; feeds the
+// interword-glue choice the way TeX's font dimension tables do.
+var widthFreq[12];
+
+func tallyWidths() {
+  for (var i = 0; i < wordCount; i = i + 1) {
+    var w = wordWidth[i];
+    if (w > 11) { w = 11; }
+    widthFreq[w] = widthFreq[w] + 1;
+  }
+  return 0;
+}
+
+func dominantWidth() {
+  var best = 0;
+  for (var w = 1; w < 12; w = w + 1) {
+    if (widthFreq[w] > widthFreq[best]) { best = w; }
+  }
+  return best;
+}
+
+func widthTableChecksum() {
+  var h = 0;
+  for (var w = 0; w < 12; w = w + 1) {
+    h = (h * 131 + widthFreq[w]) % 1000000007;
+  }
+  return h;
+}
+
+func breakRagged() {
+  var i = 0;
+  var used = 0;
+  while (i < wordCount) {
+    var need = spaceNeeded(used) + wordWidth[i];
+    if (used + need <= lineWidth) {
+      used = used + need;
+      i = i + 1;
+    } else {
+      raggedPenaltyTotal = raggedPenaltyTotal + raggedLinePenalty(used);
+      raggedLines = raggedLines + 1;
+      used = 0;
+    }
+  }
+  if (used > 0) { raggedLines = raggedLines + 1; }
+  return 0;
+}
+
+func compareModes(justifiedBadness) {
+  // Positive when justified text paid more badness than ragged layout
+  // paid in end-of-line penalties for this paragraph.
+  if (justifiedBadness > raggedPenaltyTotal) { return 1; }
+  if (justifiedBadness < raggedPenaltyTotal) { return -1; }
+  return 0;
+}
+
+func main() {
+  lineWidth = 34;
+  totalBadness = 0;
+  totalLines = 0;
+  totalHyphens = 0;
+  paraCount = 0;
+  raggedPenaltyTotal = 0;
+  raggedLines = 0;
+  var seed = 271828;
+  var glue = 0;
+  var modeVotes = 0;
+  for (var w = 0; w < 12; w = w + 1) { widthFreq[w] = 0; }
+  for (var para = 0; para < 120; para = para + 1) {
+    seed = genParagraph(seed, 60 + para % 200);
+    tallyWidths();
+    var before = totalLines;
+    var badness = breakParagraph();
+    paraLines[paraCount] = totalLines - before;
+    paraCount = paraCount + 1;
+    breakRagged();
+    modeVotes = modeVotes + compareModes(badness);
+    glue = (glue + glueChecksum()) % 1000003;
+  }
+  pageHeight = 45;
+  buildPages();
+  print(totalLines);
+  print(totalBadness % 1000000007);
+  print(totalHyphens);
+  print(glue);
+  print(totalPages);
+  print(totalPagePenalty);
+  print(raggedLines);
+  print(modeVotes);
+  print(dominantWidth());
+  print(widthTableChecksum());
+  return 0;
+}
+)MC";
+
+/// ccom: compiles a stream of synthetic expression/statement programs with
+/// a recursive-descent parser into stack-machine code, then executes that
+/// code. The recursive parser keeps the frequently-executed upper region
+/// open -- the structure behind the paper's ccom slowdown.
+const char *CcomSource = R"MC(
+// ccom -- compile synthetic expressions to stack code and run them.
+// Token codes: 0=eof 1=number 2=ident 3=plus 4=minus 5=star 6=slash
+// 7=lparen 8=rparen 9=assign 10=semi
+var toks[4000];
+var tokVals[4000];
+var numToks;
+var pos;
+var code[8000];     // opcode stream: 1=push 2=load 3=store 4..7=ops
+var codeVals[8000];
+var codeLen;
+var vars[26];
+var parseErrors;
+
+func peekTok() { return toks[pos]; }
+func nextTok() {
+  var t = toks[pos];
+  pos = pos + 1;
+  return t;
+}
+func tokValue() { return tokVals[pos - 1]; }
+
+func emitOp(op, val) {
+  code[codeLen] = op;
+  codeVals[codeLen] = val;
+  codeLen = codeLen + 1;
+  return 0;
+}
+
+func parsePrimary() {
+  var t = nextTok();
+  if (t == 1) {              // number
+    emitOp(1, tokValue());
+    return 0;
+  }
+  if (t == 2) {              // ident
+    emitOp(2, tokValue());
+    return 0;
+  }
+  if (t == 7) {              // ( expr )
+    parseExpr();
+    if (nextTok() != 8) { parseErrors = parseErrors + 1; }
+    return 0;
+  }
+  parseErrors = parseErrors + 1;
+  return 0;
+}
+
+func parseTerm() {
+  parsePrimary();
+  while (peekTok() == 5 || peekTok() == 6) {
+    var op = nextTok();
+    parsePrimary();
+    if (op == 5) { emitOp(6, 0); } else { emitOp(7, 0); }
+  }
+  return 0;
+}
+
+func parseExpr() {
+  parseTerm();
+  while (peekTok() == 3 || peekTok() == 4) {
+    var op = nextTok();
+    parseTerm();
+    if (op == 3) { emitOp(4, 0); } else { emitOp(5, 0); }
+  }
+  return 0;
+}
+
+func parseStmt() {
+  // ident = expr ;
+  if (peekTok() != 2) { parseErrors = parseErrors + 1; nextTok(); return 0; }
+  nextTok();
+  var target = tokValue();
+  if (nextTok() != 9) { parseErrors = parseErrors + 1; }
+  parseExpr();
+  emitOp(3, target);
+  if (peekTok() == 10) { nextTok(); }
+  return 0;
+}
+
+func parseProgram() {
+  codeLen = 0;
+  pos = 0;
+  while (peekTok() != 0) { parseStmt(); }
+  return codeLen;
+}
+
+// Peephole optimizer over the emitted stack code: folds push/push/op
+// triples into a single push, the way ccom's back end folds constants.
+var folded[8000];
+var foldedVals[8000];
+var foldedLen;
+var foldCount;
+
+func applyOp(op, a, b) {
+  if (op == 4) { return a + b; }
+  if (op == 5) { return a - b; }
+  if (op == 6) { return a * b; }
+  if (b == 0) { b = 1; }
+  return a / b;
+}
+
+func emitFolded(op, val) {
+  folded[foldedLen] = op;
+  foldedVals[foldedLen] = val;
+  foldedLen = foldedLen + 1;
+  return 0;
+}
+
+func tryFoldAt() {
+  // Look at the last two emitted folded ops: if both are pushes and the
+  // next source op is arithmetic, fold.
+  return foldedLen >= 2 && folded[foldedLen - 1] == 1 &&
+         folded[foldedLen - 2] == 1;
+}
+
+func peephole() {
+  foldedLen = 0;
+  foldCount = 0;
+  for (var pc = 0; pc < codeLen; pc = pc + 1) {
+    var op = code[pc];
+    if (op >= 4 && tryFoldAt()) {
+      var b = foldedVals[foldedLen - 1];
+      var a = foldedVals[foldedLen - 2];
+      foldedLen = foldedLen - 2;
+      emitFolded(1, applyOp(op, a, b));
+      foldCount = foldCount + 1;
+    } else {
+      emitFolded(op, codeVals[pc]);
+    }
+  }
+  // Copy back.
+  for (var i = 0; i < foldedLen; i = i + 1) {
+    code[i] = folded[i];
+    codeVals[i] = foldedVals[i];
+  }
+  codeLen = foldedLen;
+  return foldCount;
+}
+
+func listingChecksum() {
+  var h = 0;
+  for (var i = 0; i < codeLen; i = i + 1) {
+    h = (h * 37 + code[i] * 101 + codeVals[i] % 1000) % 1000000007;
+  }
+  return h;
+}
+
+func codeDensityPercent() {
+  // Emitted ops per hundred source tokens: the compiler's own metric for
+  // how much the front end shrank the program.
+  return codeLen * 100 / (numToks + 1);
+}
+
+var stack[256];
+var maxStackDepth;
+
+func noteDepth(sp) {
+  if (sp > maxStackDepth) { maxStackDepth = sp; }
+  return 0;
+}
+
+func execute() {
+  var sp = 0;
+  for (var pc = 0; pc < codeLen; pc = pc + 1) {
+    noteDepth(sp);
+    var op = code[pc];
+    if (op == 1) { stack[sp] = codeVals[pc]; sp = sp + 1; }
+    else if (op == 2) { stack[sp] = vars[codeVals[pc]]; sp = sp + 1; }
+    else if (op == 3) { sp = sp - 1; vars[codeVals[pc]] = stack[sp]; }
+    else {
+      sp = sp - 1;
+      var b = stack[sp];
+      var a = stack[sp - 1];
+      if (op == 4) { stack[sp - 1] = a + b; }
+      else if (op == 5) { stack[sp - 1] = a - b; }
+      else if (op == 6) { stack[sp - 1] = a * b; }
+      else {
+        if (b == 0) { b = 1; }
+        stack[sp - 1] = a / b;
+      }
+    }
+  }
+  return 0;
+}
+
+func genSource(seed) {
+  // Emit "ident = expr ;" statements with nested parentheses.
+  var n = 0;
+  var stmts = 0;
+  while (stmts < 60 && n < 3800) {
+    toks[n] = 2; tokVals[n] = stmts % 26; n = n + 1;
+    toks[n] = 9; n = n + 1;
+    var depth = 0;
+    var terms = 1 + seed % 5;
+    seed = (seed * 3121 + 71) % 65536;
+    for (var t = 0; t < terms; t = t + 1) {
+      if (seed % 4 == 0 && depth < 6) {
+        toks[n] = 7; n = n + 1;
+        depth = depth + 1;
+      }
+      seed = (seed * 3121 + 71) % 65536;
+      if (seed % 3 == 0) {
+        toks[n] = 1; tokVals[n] = seed % 100; n = n + 1;
+      } else {
+        toks[n] = 2; tokVals[n] = seed % 26; n = n + 1;
+      }
+      seed = (seed * 3121 + 71) % 65536;
+      while (seed % 5 == 0 && depth > 0) {
+        toks[n] = 8; n = n + 1;
+        depth = depth - 1;
+        seed = (seed * 3121 + 71) % 65536;
+      }
+      if (t + 1 < terms) {
+        toks[n] = 3 + seed % 4; n = n + 1;  // + - * /
+        seed = (seed * 3121 + 71) % 65536;
+      }
+    }
+    while (depth > 0) {
+      toks[n] = 8; n = n + 1;
+      depth = depth - 1;
+    }
+    toks[n] = 10; n = n + 1;
+    stmts = stmts + 1;
+  }
+  toks[n] = 0;
+  numToks = n + 1;
+  return seed;
+}
+
+func main() {
+  parseErrors = 0;
+  maxStackDepth = 0;
+  var seed = 31415;
+  var checksum = 0;
+  for (var v = 0; v < 26; v = v + 1) { vars[v] = v; }
+  var totalFolds = 0;
+  var listing = 0;
+  for (var unit = 0; unit < 40; unit = unit + 1) {
+    seed = genSource(seed);
+    parseProgram();
+    totalFolds = totalFolds + peephole();
+    listing = (listing + listingChecksum()) % 1000000007;
+    execute();
+    for (var v = 0; v < 26; v = v + 1) {
+      checksum = (checksum * 31 + vars[v] % 1000) % 1000000007;
+    }
+  }
+  print(checksum);
+  print(parseErrors);
+  print(codeLen);
+  print(totalFolds);
+  print(listing);
+  print(maxStackDepth);
+  print(codeDensityPercent());
+  return 0;
+}
+)MC";
+
+/// as1: a two-pass assembler/reorganizer: pass one collects labels into a
+/// hash table, pass two encodes instructions by format.
+const char *As1Source = R"MC(
+// as1 -- two-pass assembler for a synthetic instruction stream.
+// Line formats: 0=label 1=reg3 2=reg2imm 3=branch 4=jump 5=nop
+var lineKind[1500];
+var lineA[1500];
+var lineB[1500];
+var lineC[1500];
+var numLines;
+var symKeys[512];
+var symVals[512];
+var emitted[1500];
+var emitCount;
+var relocCount;
+
+func hashKey(key) {
+  var h = (key * 2654435761) % 512;
+  if (h < 0) { h = h + 512; }
+  return h;
+}
+
+func symInsert(key, value) {
+  var h = hashKey(key);
+  while (symKeys[h] != 0 && symKeys[h] != key) {
+    h = (h + 1) % 512;
+  }
+  symKeys[h] = key;
+  symVals[h] = value;
+  return h;
+}
+
+func symLookup(key) {
+  var h = hashKey(key);
+  while (symKeys[h] != 0) {
+    if (symKeys[h] == key) { return symVals[h]; }
+    h = (h + 1) % 512;
+  }
+  return -1;
+}
+
+func genLines(seed) {
+  numLines = 1400;
+  var label = 1;
+  for (var i = 0; i < numLines; i = i + 1) {
+    seed = (seed * 4093 + 577) % 65536;
+    var k = seed % 12;
+    if (k == 0) {
+      lineKind[i] = 0;          // label definition
+      lineA[i] = label;
+      label = label + 1;
+    } else if (k < 5) {
+      lineKind[i] = 1;          // op rd, rs, rt
+      lineA[i] = seed % 32;
+      lineB[i] = (seed / 32) % 32;
+      lineC[i] = (seed / 1024) % 32;
+    } else if (k < 8) {
+      lineKind[i] = 2;          // op rd, rs, imm
+      lineA[i] = seed % 32;
+      lineB[i] = (seed / 32) % 32;
+      lineC[i] = seed % 4096 - 2048;
+    } else if (k < 10 && label > 1) {
+      lineKind[i] = 3;          // branch to a previously seen label
+      lineA[i] = seed % 32;
+      lineB[i] = 1 + seed % (label - 1);
+    } else if (k == 10 && label > 1) {
+      lineKind[i] = 4;          // jump
+      lineA[i] = 1 + seed % (label - 1);
+    } else {
+      lineKind[i] = 5;          // nop
+    }
+  }
+  return 0;
+}
+
+func passOne() {
+  var addr = 0;
+  for (var i = 0; i < numLines; i = i + 1) {
+    if (lineKind[i] == 0) {
+      symInsert(lineA[i], addr);
+    } else {
+      addr = addr + 1;
+    }
+  }
+  return addr;
+}
+
+func encodeReg3(rd, rs, rt) {
+  return 1000000 + rd * 1024 + rs * 32 + rt;
+}
+
+func encodeReg2Imm(rd, rs, imm) {
+  return 2000000 + rd * 131072 + rs * 4096 + (imm + 2048);
+}
+
+func encodeBranch(rs, target, here) {
+  var delta = target - here;
+  relocCount = relocCount + 1;
+  return 3000000 + rs * 65536 + (delta + 32768);
+}
+
+func encodeJump(target) {
+  relocCount = relocCount + 1;
+  return 4000000 + target;
+}
+
+func passTwo() {
+  emitCount = 0;
+  relocCount = 0;
+  for (var i = 0; i < numLines; i = i + 1) {
+    var k = lineKind[i];
+    if (k == 0) { continue; }
+    var word = 0;
+    if (k == 1) { word = encodeReg3(lineA[i], lineB[i], lineC[i]); }
+    else if (k == 2) { word = encodeReg2Imm(lineA[i], lineB[i], lineC[i]); }
+    else if (k == 3) {
+      word = encodeBranch(lineA[i], symLookup(lineB[i]), emitCount);
+    }
+    else if (k == 4) { word = encodeJump(symLookup(lineA[i])); }
+    else { word = 5000000; }
+    emitted[emitCount] = word;
+    emitCount = emitCount + 1;
+  }
+  return emitCount;
+}
+
+func checksumWords() {
+  var h = 0;
+  for (var i = 0; i < emitCount; i = i + 1) {
+    h = (h * 131 + emitted[i]) % 1000000007;
+  }
+  return h;
+}
+
+// Disassembler: decode the emitted words back into fields and verify the
+// round trip, producing a listing hash (the reorganizer half of as1).
+var listingHash;
+var decodeErrors;
+var farBranches;
+
+func decodeFormat(word) { return word / 1000000; }
+
+func formatName(fmt) {
+  // A stable small code per format for the listing stream.
+  if (fmt == 1) { return 82; }   // 'R'
+  if (fmt == 2) { return 73; }   // 'I'
+  if (fmt == 3) { return 66; }   // 'B'
+  if (fmt == 4) { return 74; }   // 'J'
+  return 78;                     // 'N'
+}
+
+func listField(v) {
+  listingHash = (listingHash * 33 + v) % 1000000007;
+  return 0;
+}
+
+func disasmReg3(word) {
+  var body = word % 1000000;
+  listField(body / 1024);
+  listField((body / 32) % 32);
+  listField(body % 32);
+  return 0;
+}
+
+func disasmReg2Imm(word) {
+  var body = word % 1000000;
+  var rd = body / 131072;
+  var rs = (body / 4096) % 32;
+  var imm = body % 4096 - 2048;
+  listField(rd);
+  listField(rs);
+  listField(imm + 5000);
+  if (rd >= 32 || rs >= 32) { decodeErrors = decodeErrors + 1; }
+  return 0;
+}
+
+func disasmBranch(word) {
+  var body = word % 1000000;
+  var rs = body / 65536;
+  var delta = body % 65536 - 32768;
+  listField(rs);
+  listField(delta + 40000);
+  // Branch relaxation check: |delta| beyond the short range would need a
+  // jump trampoline.
+  if (delta > 512 || delta < -512) { farBranches = farBranches + 1; }
+  return 0;
+}
+
+func disasmJump(word) {
+  listField(word % 1000000);
+  return 0;
+}
+
+func disassemble() {
+  listingHash = 0;
+  decodeErrors = 0;
+  farBranches = 0;
+  for (var i = 0; i < emitCount; i = i + 1) {
+    var fmt = decodeFormat(emitted[i]);
+    listField(formatName(fmt));
+    if (fmt == 1) { disasmReg3(emitted[i]); }
+    else if (fmt == 2) { disasmReg2Imm(emitted[i]); }
+    else if (fmt == 3) { disasmBranch(emitted[i]); }
+    else if (fmt == 4) { disasmJump(emitted[i]); }
+    else if (fmt != 5) { decodeErrors = decodeErrors + 1; }
+  }
+  return listingHash;
+}
+
+// Symbol-table quality statistics: occupancy and average probe length,
+// the assembler's hash diagnostics.
+func symOccupancy() {
+  var used = 0;
+  for (var i = 0; i < 512; i = i + 1) {
+    if (symKeys[i] != 0) { used = used + 1; }
+  }
+  return used;
+}
+
+func probeLengthFor(key) {
+  var h = hashKey(key);
+  var probes = 1;
+  while (symKeys[h] != 0 && symKeys[h] != key) {
+    h = (h + 1) % 512;
+    probes = probes + 1;
+  }
+  return probes;
+}
+
+func totalProbeLength() {
+  var total = 0;
+  for (var i = 0; i < 512; i = i + 1) {
+    if (symKeys[i] != 0) {
+      total = total + probeLengthFor(symKeys[i]);
+    }
+  }
+  return total;
+}
+
+func main() {
+  for (var i = 0; i < 512; i = i + 1) { symKeys[i] = 0; }
+  var total = 0;
+  var listTotal = 0;
+  var farTotal = 0;
+  var occTotal = 0;
+  var probeTotal = 0;
+  for (var round = 0; round < 8; round = round + 1) {
+    for (var i = 0; i < 512; i = i + 1) { symKeys[i] = 0; }
+    genLines(round * 7919 + 13);
+    passOne();
+    passTwo();
+    total = (total + checksumWords()) % 1000000007;
+    listTotal = (listTotal + disassemble()) % 1000000007;
+    farTotal = farTotal + farBranches;
+    occTotal = occTotal + symOccupancy();
+    probeTotal = probeTotal + totalProbeLength();
+  }
+  print(total);
+  print(emitCount);
+  print(relocCount);
+  print(listTotal);
+  print(decodeErrors);
+  print(farTotal);
+  print(occTotal);
+  print(probeTotal);
+  return 0;
+}
+)MC";
+
+/// upas: the scanner and declaration/statement structure checker of a
+/// Pascal front pass, driven over synthetic source text.
+const char *UpasSource = R"MC(
+// upas -- scan and structure-check synthetic Pascal-like source text.
+// Characters are ASCII codes in a word array.
+var src[6000];
+var srcLen;
+var curPos;
+var curTok;      // 0=eof 1=ident 2=number 3=punct 4=keyword
+var curValue;
+var identCount;
+var numberCount;
+var keywordCount;
+var punctCount;
+var scopeDepth;
+var maxScopeDepth;
+var structErrors;
+var symHash;
+
+func isLetter(ch) { return ch >= 97 && ch <= 122; }
+func isDigit(ch) { return ch >= 48 && ch <= 57; }
+func isSpace(ch) { return ch == 32 || ch == 10; }
+
+func peekChar() {
+  if (curPos >= srcLen) { return 0; }
+  return src[curPos];
+}
+
+func nextChar() {
+  var ch = peekChar();
+  curPos = curPos + 1;
+  return ch;
+}
+
+func skipSpaces() {
+  while (isSpace(peekChar())) { nextChar(); }
+  return 0;
+}
+
+// Keywords are spelled as runs of one repeated letter:
+// bb=begin ee=end ii=if tt=then ww=while dd=do vv=var pp=proc
+func classifyWord(letter, len) {
+  if (len >= 2) {
+    if (letter == 98) { return 1; }   // begin
+    if (letter == 101) { return 2; }  // end
+    if (letter == 105) { return 3; }  // if
+    if (letter == 116) { return 4; }  // then
+    if (letter == 119) { return 5; }  // while
+    if (letter == 100) { return 6; }  // do
+    if (letter == 118) { return 7; }  // var
+    if (letter == 112) { return 8; }  // proc
+  }
+  return 0;
+}
+
+func scanWord() {
+  var first = peekChar();
+  var len = 0;
+  var same = 1;
+  var hash = 0;
+  while (isLetter(peekChar())) {
+    var ch = nextChar();
+    if (ch != first) { same = 0; }
+    hash = (hash * 31 + ch) % 1000000007;
+    len = len + 1;
+  }
+  if (same) {
+    var kw = classifyWord(first, len);
+    if (kw != 0) {
+      curTok = 4;
+      curValue = kw;
+      keywordCount = keywordCount + 1;
+      return 0;
+    }
+  }
+  curTok = 1;
+  curValue = hash;
+  identCount = identCount + 1;
+  symHash = (symHash + hash) % 1000000007;
+  return 0;
+}
+
+func scanNumber() {
+  var v = 0;
+  while (isDigit(peekChar())) {
+    v = v * 10 + (nextChar() - 48);
+  }
+  curTok = 2;
+  curValue = v;
+  numberCount = numberCount + 1;
+  return 0;
+}
+
+func nextToken() {
+  skipSpaces();
+  var ch = peekChar();
+  if (ch == 0) { curTok = 0; curValue = 0; return 0; }
+  if (isLetter(ch)) { return scanWord(); }
+  if (isDigit(ch)) { return scanNumber(); }
+  nextChar();
+  curTok = 3;
+  curValue = ch;
+  punctCount = punctCount + 1;
+  return 0;
+}
+
+func enterScope() {
+  scopeDepth = scopeDepth + 1;
+  if (scopeDepth > maxScopeDepth) { maxScopeDepth = scopeDepth; }
+  return 0;
+}
+
+func leaveScope() {
+  if (scopeDepth == 0) { structErrors = structErrors + 1; return 0; }
+  scopeDepth = scopeDepth - 1;
+  return 0;
+}
+
+func checkStructure() {
+  // begin/end must nest; if needs then; while needs do.
+  var expectThen = 0;
+  var expectDo = 0;
+  nextToken();
+  while (curTok != 0) {
+    if (curTok == 4) {
+      if (curValue == 1) { enterScope(); }
+      else if (curValue == 2) { leaveScope(); }
+      else if (curValue == 3) { expectThen = expectThen + 1; }
+      else if (curValue == 4) {
+        if (expectThen == 0) { structErrors = structErrors + 1; }
+        else { expectThen = expectThen - 1; }
+      }
+      else if (curValue == 5) { expectDo = expectDo + 1; }
+      else if (curValue == 6) {
+        if (expectDo == 0) { structErrors = structErrors + 1; }
+        else { expectDo = expectDo - 1; }
+      }
+    }
+    nextToken();
+  }
+  structErrors = structErrors + expectThen + expectDo + scopeDepth;
+  return 0;
+}
+
+func putChar(ch) {
+  src[srcLen] = ch;
+  srcLen = srcLen + 1;
+  return 0;
+}
+
+func putWord(letter, len) {
+  for (var i = 0; i < len; i = i + 1) { putChar(letter); }
+  putChar(32);
+  return 0;
+}
+
+func putIdent(seed) {
+  var len = 3 + seed % 6;
+  for (var i = 0; i < len; i = i + 1) {
+    putChar(97 + (seed + i * 7) % 26);
+  }
+  putChar(32);
+  return 0;
+}
+
+func putNumber(v) {
+  if (v == 0) { putChar(48); }
+  var digits[12];
+  var n = 0;
+  while (v > 0) {
+    digits[n] = v % 10;
+    v = v / 10;
+    n = n + 1;
+  }
+  while (n > 0) {
+    n = n - 1;
+    putChar(48 + digits[n]);
+  }
+  putChar(32);
+  return 0;
+}
+
+func genSource(seed) {
+  srcLen = 0;
+  var depth = 0;
+  while (srcLen < 5500) {
+    seed = (seed * 6007 + 991) % 65536;
+    var c = seed % 10;
+    if (c < 2 && depth < 15) {
+      putWord(98, 2 + seed % 3);       // begin
+      depth = depth + 1;
+    } else if (c < 3 && depth > 0) {
+      putWord(101, 2 + seed % 3);      // end
+      putChar(59);
+      depth = depth - 1;
+    } else if (c < 5) {
+      putWord(105, 2); putIdent(seed); // if x then y := n;
+      putWord(116, 2); putIdent(seed / 7);
+      putChar(58); putChar(61);
+      putNumber(seed % 1000);
+      putChar(59);
+    } else if (c < 6) {
+      putWord(119, 2); putIdent(seed); // while x do
+      putWord(100, 2);
+    } else if (c < 7) {
+      putWord(118, 2); putIdent(seed); // var x;
+      putChar(59);
+    } else {
+      putIdent(seed);                  // x := y + n;
+      putChar(58); putChar(61);
+      putIdent(seed / 11);
+      putChar(43);
+      putNumber(seed % 100);
+      putChar(59);
+    }
+  }
+  while (depth > 0) {
+    putWord(101, 2);
+    depth = depth - 1;
+  }
+  return seed;
+}
+
+// Assignment-shape checker: after ':' '=' there must be an operand,
+// optionally followed by operator/operand pairs, ending at ';'.
+var assignCount;
+var exprErrors;
+var operandCount;
+
+func isOperandTok() { return curTok == 1 || curTok == 2; }
+
+func isOperatorChar(ch) {
+  return ch == 43 || ch == 45 || ch == 42 || ch == 47;
+}
+
+func checkExprTail() {
+  // Called with curTok at the first token after ':='.
+  if (!isOperandTok()) {
+    exprErrors = exprErrors + 1;
+    return 0;
+  }
+  operandCount = operandCount + 1;
+  nextToken();
+  while (curTok == 3 && isOperatorChar(curValue)) {
+    nextToken();
+    if (!isOperandTok()) {
+      exprErrors = exprErrors + 1;
+      return 0;
+    }
+    operandCount = operandCount + 1;
+    nextToken();
+  }
+  if (!(curTok == 3 && curValue == 59)) {
+    exprErrors = exprErrors + 1;
+  }
+  return 0;
+}
+
+func checkAssignments() {
+  curPos = 0;
+  nextToken();
+  while (curTok != 0) {
+    if (curTok == 3 && curValue == 58) {     // ':'
+      nextToken();
+      if (curTok == 3 && curValue == 61) {   // '='
+        assignCount = assignCount + 1;
+        nextToken();
+        checkExprTail();
+      }
+    } else {
+      nextToken();
+    }
+  }
+  return 0;
+}
+
+func main() {
+  identCount = 0; numberCount = 0; keywordCount = 0; punctCount = 0;
+  structErrors = 0; maxScopeDepth = 0; symHash = 0;
+  assignCount = 0; exprErrors = 0; operandCount = 0;
+  var seed = 5381;
+  for (var unit = 0; unit < 25; unit = unit + 1) {
+    seed = genSource(seed);
+    curPos = 0;
+    scopeDepth = 0;
+    checkStructure();
+    checkAssignments();
+  }
+  print(identCount);
+  print(numberCount);
+  print(keywordCount);
+  print(structErrors);
+  print(maxScopeDepth);
+  print(symHash);
+  print(assignCount);
+  print(exprErrors);
+  print(operandCount);
+  return 0;
+}
+)MC";
+
+/// uopt: the global optimizer operating on itself in the paper; here, an
+/// iterative live-variable solver plus a priority-driven register
+/// assigner run over many small synthetic flow graphs. Bit vectors are
+/// emulated with arithmetic helpers, making the analysis call-intensive.
+const char *UoptSource = R"MC(
+// uopt -- data-flow analysis and priority allocation over synthetic CFGs.
+var succ1[64];
+var succ2[64];
+var gen[64];
+var kill[64];
+var liveIn[64];
+var liveOut[64];
+var numBlocks;
+var prio[32];
+var assigned[32];
+var conflictRow[32];   // conflict masks between 32 "variables"
+var allocChecksum;
+var dfaIterations;
+
+func bitGet(mask, bit) {
+  var m = mask;
+  for (var i = 0; i < bit; i = i + 1) { m = m / 2; }
+  return m % 2;
+}
+
+func bitSet(mask, bit) {
+  if (bitGet(mask, bit)) { return mask; }
+  var p = 1;
+  for (var i = 0; i < bit; i = i + 1) { p = p * 2; }
+  return mask + p;
+}
+
+func maskOr(a, b) {
+  var result = 0;
+  var p = 1;
+  while (a > 0 || b > 0) {
+    if (a % 2 == 1 || b % 2 == 1) { result = result + p; }
+    a = a / 2;
+    b = b / 2;
+    p = p * 2;
+  }
+  return result;
+}
+
+func maskAndNot(a, b) {
+  var result = 0;
+  var p = 1;
+  while (a > 0) {
+    if (a % 2 == 1 && b % 2 == 0) { result = result + p; }
+    a = a / 2;
+    b = b / 2;
+    p = p * 2;
+  }
+  return result;
+}
+
+func maskCount(a) {
+  var n = 0;
+  while (a > 0) {
+    n = n + a % 2;
+    a = a / 2;
+  }
+  return n;
+}
+
+func genCFG(seed) {
+  numBlocks = 24;
+  for (var b = 0; b < numBlocks; b = b + 1) {
+    seed = (seed * 8191 + 331) % 65536;
+    if (b + 1 < numBlocks) { succ1[b] = b + 1; } else { succ1[b] = -1; }
+    if (seed % 3 == 0 && b + 2 < numBlocks) {
+      succ2[b] = (seed / 3) % numBlocks;
+    } else {
+      succ2[b] = -1;
+    }
+    gen[b] = seed % 4096;
+    seed = (seed * 8191 + 331) % 65536;
+    kill[b] = seed % 4096;
+    liveIn[b] = 0;
+    liveOut[b] = 0;
+  }
+  return seed;
+}
+
+func blockOut(b) {
+  var out = 0;
+  if (succ1[b] >= 0) { out = maskOr(out, liveIn[succ1[b]]); }
+  if (succ2[b] >= 0) { out = maskOr(out, liveIn[succ2[b]]); }
+  return out;
+}
+
+func solveLiveness() {
+  var changed = 1;
+  var rounds = 0;
+  while (changed) {
+    changed = 0;
+    rounds = rounds + 1;
+    for (var b = numBlocks - 1; b >= 0; b = b - 1) {
+      var out = blockOut(b);
+      var in = maskOr(gen[b], maskAndNot(out, kill[b]));
+      if (out != liveOut[b] || in != liveIn[b]) {
+        liveOut[b] = out;
+        liveIn[b] = in;
+        changed = 1;
+      }
+    }
+  }
+  dfaIterations = dfaIterations + rounds;
+  return rounds;
+}
+
+func blockLoopDepth(b) {
+  // A block targeted by a backward edge is treated as a loop head; blocks
+  // after it until the edge source get depth 1 (a crude interval guess).
+  for (var p = b; p < numBlocks; p = p + 1) {
+    if (succ2[p] >= 0 && succ2[p] <= b && succ2[p] + 4 > b - 4) {
+      if (succ2[p] <= b && p >= b) { return 1; }
+    }
+  }
+  return 0;
+}
+
+func computePriorities() {
+  for (var v = 0; v < 12; v = v + 1) {
+    var uses = 0;
+    var span = 1;
+    for (var b = 0; b < numBlocks; b = b + 1) {
+      var weight = 2 + 8 * blockLoopDepth(b);
+      if (bitGet(gen[b], v)) { uses = uses + weight; }
+      if (bitGet(liveIn[b], v)) { span = span + 1; }
+    }
+    prio[v] = uses * 100 / span;
+  }
+  return 0;
+}
+
+func buildConflicts() {
+  for (var v = 0; v < 12; v = v + 1) { conflictRow[v] = 0; }
+  for (var b = 0; b < numBlocks; b = b + 1) {
+    for (var v = 0; v < 12; v = v + 1) {
+      if (!bitGet(liveIn[b], v)) { continue; }
+      for (var w = 0; w < 12; w = w + 1) {
+        if (w != v && bitGet(liveIn[b], w)) {
+          conflictRow[v] = bitSet(conflictRow[v], w);
+        }
+      }
+    }
+  }
+  return 0;
+}
+
+func pickBest() {
+  var best = -1;
+  for (var v = 0; v < 12; v = v + 1) {
+    if (assigned[v] != -1) { continue; }   // -2 means "spilled", done
+    if (best < 0 || prio[v] > prio[best]) { best = v; }
+  }
+  return best;
+}
+
+func regFreeFor(v, reg) {
+  for (var w = 0; w < 12; w = w + 1) {
+    if (w != v && assigned[w] == reg && bitGet(conflictRow[v], w)) {
+      return 0;
+    }
+  }
+  return 1;
+}
+
+func allocate() {
+  for (var v = 0; v < 12; v = v + 1) { assigned[v] = -1; }
+  var placed = 0;
+  var v = pickBest();
+  while (v >= 0) {
+    var got = -2;
+    for (var reg = 0; reg < 6; reg = reg + 1) {
+      if (regFreeFor(v, reg)) { got = reg; reg = 6; }
+    }
+    assigned[v] = got;
+    if (got >= 0) { placed = placed + 1; }
+    v = pickBest();
+  }
+  return placed;
+}
+
+// Dead-store elimination: a definition (kill bit) whose variable is not
+// live out of the block and not regenerated below is removable.
+var deadStores;
+
+func maskAnd(a, b) {
+  var result = 0;
+  var p = 1;
+  while (a > 0 && b > 0) {
+    if (a % 2 == 1 && b % 2 == 1) { result = result + p; }
+    a = a / 2;
+    b = b / 2;
+    p = p * 2;
+  }
+  return result;
+}
+
+func eliminateDeadStores() {
+  var removed = 0;
+  for (var b = 0; b < numBlocks; b = b + 1) {
+    // Defs neither used locally (gen) nor live out are dead.
+    var dead = maskAndNot(maskAndNot(kill[b], liveOut[b]), gen[b]);
+    removed = removed + maskCount(dead);
+    kill[b] = maskAndNot(kill[b], dead);
+  }
+  deadStores = deadStores + removed;
+  return removed;
+}
+
+// Availability of expressions: a forward AND-confluence pass over the
+// same graphs (the second solver Uopt runs).
+var availIn[64];
+var availOut[64];
+
+func predAvail(b) {
+  // Our synthetic CFGs store successors only; treat block b-1 and any
+  // block naming b as a second successor as predecessors.
+  var acc = -1;
+  for (var p = 0; p < numBlocks; p = p + 1) {
+    if (succ1[p] == b || succ2[p] == b) {
+      if (acc == -1) { acc = availOut[p]; }
+      else { acc = maskAnd(acc, availOut[p]); }
+    }
+  }
+  if (acc == -1) { return 0; }
+  return acc;
+}
+
+func solveAvailability() {
+  for (var b = 0; b < numBlocks; b = b + 1) {
+    availIn[b] = 0;
+    availOut[b] = 0;
+  }
+  var changed = 1;
+  var rounds = 0;
+  while (changed) {
+    changed = 0;
+    rounds = rounds + 1;
+    for (var b = 0; b < numBlocks; b = b + 1) {
+      var in = predAvail(b);
+      var out = maskOr(gen[b], maskAndNot(in, kill[b]));
+      if (in != availIn[b] || out != availOut[b]) {
+        availIn[b] = in;
+        availOut[b] = out;
+        changed = 1;
+      }
+    }
+  }
+  return rounds;
+}
+
+func availChecksum() {
+  var h = 0;
+  for (var b = 0; b < numBlocks; b = b + 1) {
+    h = (h * 31 + availOut[b]) % 1000000007;
+  }
+  return h;
+}
+
+func redundantExprs() {
+  // Expressions generated in a block that were already available at its
+  // entry are fully redundant (Morel-Renvoise's easy case).
+  var redundant = 0;
+  for (var b = 0; b < numBlocks; b = b + 1) {
+    redundant = redundant + maskCount(maskAnd(gen[b], availIn[b]));
+  }
+  return redundant;
+}
+
+func main() {
+  allocChecksum = 0;
+  dfaIterations = 0;
+  deadStores = 0;
+  var seed = 42;
+  var placedTotal = 0;
+  var liveTotal = 0;
+  var availTotal = 0;
+  for (var round = 0; round < 60; round = round + 1) {
+    seed = genCFG(seed);
+    solveLiveness();
+    for (var b = 0; b < numBlocks; b = b + 1) {
+      liveTotal = liveTotal + maskCount(liveIn[b]);
+    }
+    eliminateDeadStores();
+    solveAvailability();
+    availTotal = (availTotal + availChecksum() + redundantExprs()) %
+                 1000000007;
+    computePriorities();
+    buildConflicts();
+    placedTotal = placedTotal + allocate();
+    for (var v = 0; v < 12; v = v + 1) {
+      allocChecksum = (allocChecksum * 7 + assigned[v] + 2) % 1000000007;
+    }
+  }
+  print(dfaIterations);
+  print(liveTotal);
+  print(placedTotal);
+  print(allocChecksum);
+  print(deadStores);
+  print(availTotal);
+  return 0;
+}
+)MC";
+
+} // namespace ipra

@@ -1,0 +1,729 @@
+//===- programs/ProgramsMedium.cpp - stanford, pf, awk --------------------===//
+//
+// The middle of the suite: Hennessy's benchmark collection, a Pascal
+// pretty-printer (closed, stack-based), and an awk-like record processor
+// whose pattern dispatch uses indirect calls (address-taken = open).
+//
+//===----------------------------------------------------------------------===//
+
+#include "programs/Programs.h"
+
+namespace ipra {
+
+/// stanford: the classic collection — permutations, towers of Hanoi,
+/// eight queens, integer matrix multiply, bubble sort and quicksort.
+/// Recursion-heavy, so much of the call graph is open.
+const char *StanfordSource = R"MC(
+// stanford -- Hennessy's benchmark collection (integer subset).
+var permArray[12];
+var permCount;
+
+func swapPerm(i, j) {
+  var t = permArray[i];
+  permArray[i] = permArray[j];
+  permArray[j] = t;
+  return 0;
+}
+
+func permute(n) {
+  permCount = permCount + 1;
+  if (n != 1) {
+    permute(n - 1);
+    for (var k = n - 1; k >= 1; k = k - 1) {
+      swapPerm(n - 1, k - 1);
+      permute(n - 1);
+      swapPerm(n - 1, k - 1);
+    }
+  }
+  return 0;
+}
+
+func runPerm() {
+  permCount = 0;
+  for (var i = 0; i < 7; i = i + 1) { permArray[i] = i; }
+  permute(7);
+  return permCount;
+}
+
+var moveCount;
+
+func hanoi(n, from, to, via) {
+  if (n == 0) { return 0; }
+  hanoi(n - 1, from, via, to);
+  moveCount = moveCount + 1;
+  hanoi(n - 1, via, to, from);
+  return 0;
+}
+
+func runTowers() {
+  moveCount = 0;
+  hanoi(12, 1, 3, 2);
+  return moveCount;
+}
+
+var queenRow[8];
+var queenSolutions;
+
+func queenSafe(col, row) {
+  for (var c = 0; c < col; c = c + 1) {
+    var r = queenRow[c];
+    if (r == row) { return 0; }
+    if (r - c == row - col) { return 0; }
+    if (r + c == row + col) { return 0; }
+  }
+  return 1;
+}
+
+func placeQueen(col) {
+  if (col == 8) {
+    queenSolutions = queenSolutions + 1;
+    return 0;
+  }
+  for (var row = 0; row < 8; row = row + 1) {
+    if (queenSafe(col, row)) {
+      queenRow[col] = row;
+      placeQueen(col + 1);
+    }
+  }
+  return 0;
+}
+
+func runQueens() {
+  queenSolutions = 0;
+  placeQueen(0);
+  return queenSolutions;
+}
+
+var matA[256];
+var matB[256];
+var matC[256];
+
+func matInit(m, seed) {
+  for (var i = 0; i < 256; i = i + 1) {
+    m[i] = (seed * i + 17) % 11 - 5;
+  }
+  return 0;
+}
+
+func matDot(row, col) {
+  var s = 0;
+  for (var k = 0; k < 16; k = k + 1) {
+    s = s + matA[row * 16 + k] * matB[k * 16 + col];
+  }
+  return s;
+}
+
+func runIntmm() {
+  matInit(matA, 3);
+  matInit(matB, 7);
+  for (var i = 0; i < 16; i = i + 1) {
+    for (var j = 0; j < 16; j = j + 1) {
+      matC[i * 16 + j] = matDot(i, j);
+    }
+  }
+  var trace = 0;
+  for (var i = 0; i < 16; i = i + 1) { trace = trace + matC[i * 16 + i]; }
+  return trace;
+}
+
+var sortData[200];
+
+func sortInit(seed) {
+  for (var i = 0; i < 200; i = i + 1) {
+    seed = (seed * 1309 + 13849) % 65536;
+    sortData[i] = seed % 1000;
+  }
+  return 0;
+}
+
+func runBubble() {
+  sortInit(11);
+  for (var i = 0; i < 199; i = i + 1) {
+    for (var j = 0; j < 199 - i; j = j + 1) {
+      if (sortData[j] > sortData[j + 1]) {
+        var t = sortData[j];
+        sortData[j] = sortData[j + 1];
+        sortData[j + 1] = t;
+      }
+    }
+  }
+  return sortData[0] + sortData[100] * 7 + sortData[199] * 13;
+}
+
+func quickSort(lo, hi) {
+  if (lo >= hi) { return 0; }
+  var pivot = sortData[(lo + hi) / 2];
+  var i = lo;
+  var j = hi;
+  while (i <= j) {
+    while (sortData[i] < pivot) { i = i + 1; }
+    while (sortData[j] > pivot) { j = j - 1; }
+    if (i <= j) {
+      var t = sortData[i];
+      sortData[i] = sortData[j];
+      sortData[j] = t;
+      i = i + 1;
+      j = j - 1;
+    }
+  }
+  quickSort(lo, j);
+  quickSort(i, hi);
+  return 0;
+}
+
+func runQuick() {
+  sortInit(23);
+  quickSort(0, 199);
+  return sortData[0] + sortData[100] * 7 + sortData[199] * 13;
+}
+
+var treeKey[512];
+var treeLeft[512];
+var treeRight[512];
+var treeNodes;
+var traverseSum;
+
+func treeInsert(node, key) {
+  if (node < 0) {
+    treeKey[treeNodes] = key;
+    treeLeft[treeNodes] = -1;
+    treeRight[treeNodes] = -1;
+    treeNodes = treeNodes + 1;
+    return treeNodes - 1;
+  }
+  if (key < treeKey[node]) {
+    treeLeft[node] = treeInsert(treeLeft[node], key);
+  } else {
+    treeRight[node] = treeInsert(treeRight[node], key);
+  }
+  return node;
+}
+
+func traverse(node, rank) {
+  if (node < 0) { return rank; }
+  rank = traverse(treeLeft[node], rank);
+  traverseSum = traverseSum + treeKey[node] * rank;
+  rank = rank + 1;
+  return traverse(treeRight[node], rank);
+}
+
+func runTreesort() {
+  sortInit(37);
+  treeNodes = 0;
+  var root = -1;
+  for (var i = 0; i < 200; i = i + 1) {
+    root = treeInsert(root, sortData[i]);
+  }
+  traverseSum = 0;
+  traverse(root, 1);
+  return traverseSum % 1000000007;
+}
+
+func main() {
+  print(runPerm());
+  print(runTowers());
+  print(runQueens());
+  print(runIntmm());
+  print(runBubble());
+  print(runQuick());
+  print(runTreesort());
+  return 0;
+}
+)MC";
+
+/// pf: a pretty-printer in the style of Weber's Pascal formatter. Entirely
+/// iterative with an explicit nesting stack, so the call graph is almost
+/// completely closed -- the regime where the paper's pf saw a 50% cut in
+/// scalar memory traffic.
+const char *PfSource = R"MC(
+// pf -- pretty-print a synthetic token stream, tracking indentation.
+// Token codes: 1=begin 2=end 3=if 4=then 5=else 6=ident 7=assign
+// 8=semi 9=while 10=do 11=number 12=lparen 13=rparen 14=plus
+var tokens[3000];
+var numTokens;
+var outHash;
+var outCol;
+var outLine;
+var indent;
+var nestStack[64];
+var nestTop;
+
+func emitChar(ch) {
+  outHash = (outHash * 31 + ch) % 1000000007;
+  outCol = outCol + 1;
+  return 0;
+}
+
+func emitNewline() {
+  outHash = (outHash * 31 + 10) % 1000000007;
+  outLine = outLine + 1;
+  outCol = 0;
+  return 0;
+}
+
+func emitIndent() {
+  for (var i = 0; i < indent; i = i + 1) { emitChar(32); }
+  return 0;
+}
+
+func emitWord(code, len) {
+  for (var i = 0; i < len; i = i + 1) { emitChar(97 + (code + i) % 26); }
+  emitChar(32);
+  return 0;
+}
+
+func tokenWidth(tok) {
+  if (tok == 1) { return 5; }
+  if (tok == 2) { return 3; }
+  if (tok == 3) { return 2; }
+  if (tok == 4) { return 4; }
+  if (tok == 5) { return 4; }
+  if (tok == 9) { return 5; }
+  if (tok == 10) { return 2; }
+  return 1;
+}
+
+func pushNest(kind) {
+  nestStack[nestTop] = kind;
+  nestTop = nestTop + 1;
+  indent = indent + 2;
+  return 0;
+}
+
+func popNest() {
+  if (nestTop > 0) {
+    nestTop = nestTop - 1;
+    indent = indent - 2;
+  }
+  return nestStack[nestTop];
+}
+
+func breakIfLong() {
+  if (outCol > 60) {
+    emitNewline();
+    emitIndent();
+  }
+  return 0;
+}
+
+func formatToken(tok, value) {
+  breakIfLong();
+  if (tok == 1) {           // begin
+    emitNewline(); emitIndent();
+    emitWord(tok, tokenWidth(tok));
+    pushNest(1);
+    emitNewline(); emitIndent();
+    return 0;
+  }
+  if (tok == 2) {           // end
+    popNest();
+    emitNewline(); emitIndent();
+    emitWord(tok, tokenWidth(tok));
+    return 0;
+  }
+  if (tok == 3 || tok == 9) { // if / while
+    emitNewline(); emitIndent();
+    emitWord(tok, tokenWidth(tok));
+    return 0;
+  }
+  if (tok == 8) {           // semicolon
+    emitChar(59);
+    emitNewline(); emitIndent();
+    return 0;
+  }
+  if (tok == 6) {           // identifier
+    emitWord(value, 3 + value % 5);
+    return 0;
+  }
+  if (tok == 11) {          // number literal
+    var v = value;
+    if (v == 0) { emitChar(48); }
+    while (v > 0) {
+      emitChar(48 + v % 10);
+      v = v / 10;
+    }
+    emitChar(32);
+    return 0;
+  }
+  emitWord(tok, tokenWidth(tok));
+  return 0;
+}
+
+func genTokens() {
+  // A deterministic "program": nested begin/end with statements.
+  var n = 0;
+  var seed = 99;
+  var depth = 0;
+  while (n < 2900) {
+    seed = (seed * 5167 + 111) % 65536;
+    var choice = seed % 10;
+    if (choice < 2 && depth < 20) {
+      tokens[n] = 1; n = n + 1;       // begin
+      depth = depth + 1;
+    } else if (choice < 3 && depth > 0) {
+      tokens[n] = 2; n = n + 1;       // end
+      depth = depth - 1;
+    } else if (choice < 5) {
+      tokens[n] = 3; n = n + 1;       // if ident then stmt
+      tokens[n] = 6; n = n + 1;
+      tokens[n] = 4; n = n + 1;
+    } else if (choice < 6) {
+      tokens[n] = 9; n = n + 1;       // while ident do
+      tokens[n] = 6; n = n + 1;
+      tokens[n] = 10; n = n + 1;
+    } else {
+      tokens[n] = 6; n = n + 1;       // ident := number ;
+      tokens[n] = 7; n = n + 1;
+      tokens[n] = 11; n = n + 1;
+      tokens[n] = 8; n = n + 1;
+    }
+  }
+  while (depth > 0) {
+    tokens[n] = 2; n = n + 1;
+    depth = depth - 1;
+  }
+  numTokens = n;
+  return 0;
+}
+
+var longestLine;
+var statementCount;
+var commentCount;
+
+func emitComment(seed) {
+  // { ... } comments re-flowed to the current indentation.
+  emitNewline();
+  emitIndent();
+  emitChar(123);
+  var words = 2 + seed % 4;
+  for (var w = 0; w < words; w = w + 1) {
+    emitWord(seed + w, 3 + (seed + w) % 4);
+    breakIfLong();
+  }
+  emitChar(125);
+  emitNewline();
+  emitIndent();
+  commentCount = commentCount + 1;
+  return 0;
+}
+
+func trackLineStats() {
+  if (outCol > longestLine) { longestLine = outCol; }
+  return 0;
+}
+
+var tokenKindCount[16];
+
+func tallyToken(tok) {
+  if (tok >= 0 && tok < 16) {
+    tokenKindCount[tok] = tokenKindCount[tok] + 1;
+  }
+  return 0;
+}
+
+func tokenStatsChecksum() {
+  var h = 0;
+  for (var k = 0; k < 16; k = k + 1) {
+    h = (h * 101 + tokenKindCount[k]) % 1000000007;
+  }
+  return h;
+}
+
+func averageIndentTimes100() {
+  // Re-walk the token stream, tracking indentation as formatToken does.
+  var depth = 0;
+  var total = 0;
+  var samples = 0;
+  for (var i = 0; i < numTokens; i = i + 1) {
+    if (tokens[i] == 1) { depth = depth + 1; }
+    if (tokens[i] == 2 && depth > 0) { depth = depth - 1; }
+    total = total + depth;
+    samples = samples + 1;
+  }
+  if (samples == 0) { return 0; }
+  return total * 100 / samples;
+}
+
+func countStatement(tok) {
+  if (tok == 8 || tok == 2) { statementCount = statementCount + 1; }
+  return 0;
+}
+
+func main() {
+  genTokens();
+  outHash = 0; outCol = 0; outLine = 0; indent = 0; nestTop = 0;
+  longestLine = 0; statementCount = 0; commentCount = 0;
+  for (var k = 0; k < 16; k = k + 1) { tokenKindCount[k] = 0; }
+  var value = 1;
+  for (var i = 0; i < numTokens; i = i + 1) {
+    formatToken(tokens[i], value);
+    trackLineStats();
+    countStatement(tokens[i]);
+    tallyToken(tokens[i]);
+    if (i % 97 == 0) { emitComment(value); }
+    value = (value * 7 + 3) % 997;
+  }
+  print(outHash);
+  print(outLine);
+  print(longestLine);
+  print(statementCount);
+  print(commentCount);
+  print(tokenStatsChecksum());
+  print(averageIndentTimes100());
+  print(nestTop);
+  return 0;
+}
+)MC";
+
+/// awk: a pattern-scanning record processor. Patterns and actions are
+/// dispatched through function pointers, so all handlers are address-taken
+/// and hence open -- matching the paper's awk, which benefited least among
+/// the mid-sized programs.
+const char *AwkSource = R"MC(
+// awk -- scan records, match patterns, run actions via function pointers.
+var records[2400];  // 300 records x 8 fields
+var numRecords;
+var sumAccum;
+var countAccum;
+var maxAccum;
+var concatHash;
+
+func field(rec, f) { return records[rec * 8 + f]; }
+
+func genRecords() {
+  numRecords = 300;
+  var seed = 7;
+  for (var r = 0; r < numRecords; r = r + 1) {
+    for (var f = 0; f < 8; f = f + 1) {
+      seed = (seed * 2311 + 531) % 65536;
+      records[r * 8 + f] = seed % 500;
+    }
+  }
+  return 0;
+}
+
+// Patterns: return nonzero when the record matches.
+func patBigFirst(rec) { return field(rec, 0) > 250; }
+func patEvenSum(rec) {
+  var s = 0;
+  for (var f = 0; f < 8; f = f + 1) { s = s + field(rec, f); }
+  return s % 2 == 0;
+}
+func patAscending(rec) {
+  // First three fields non-decreasing.
+  for (var f = 0; f + 1 < 3; f = f + 1) {
+    if (field(rec, f) > field(rec, f + 1)) { return 0; }
+  }
+  return 1;
+}
+func patRange(rec) {
+  var v = field(rec, 3);
+  return v >= 100 && v < 200;
+}
+func isPrime(v) {
+  if (v < 2) { return 0; }
+  for (var d = 2; d * d <= v; d = d + 1) {
+    if (v % d == 0) { return 0; }
+  }
+  return 1;
+}
+func patPrimeKey(rec) { return isPrime(field(rec, 0)); }
+func patAllSmall(rec) {
+  for (var f = 0; f < 8; f = f + 1) {
+    if (field(rec, f) >= 400) { return 0; }
+  }
+  return 1;
+}
+
+// Actions.
+func actSum(rec) {
+  sumAccum = sumAccum + field(rec, 1);
+  return 0;
+}
+func actCount(rec) {
+  countAccum = countAccum + 1;
+  return 0;
+}
+func actMax(rec) {
+  for (var f = 0; f < 8; f = f + 1) {
+    if (field(rec, f) > maxAccum) { maxAccum = field(rec, f); }
+  }
+  return 0;
+}
+func actConcat(rec) {
+  for (var f = 0; f < 8; f = f + 1) {
+    concatHash = (concatHash * 33 + field(rec, f)) % 1000000007;
+  }
+  return 0;
+}
+
+var histogram[10];
+
+func actHistogram(rec) {
+  var bucket = field(rec, 2) / 50;
+  if (bucket > 9) { bucket = 9; }
+  histogram[bucket] = histogram[bucket] + 1;
+  return 0;
+}
+
+var fieldTotals[8];
+
+func actFieldTotals(rec) {
+  for (var f = 0; f < 8; f = f + 1) {
+    fieldTotals[f] = fieldTotals[f] + field(rec, f);
+  }
+  return 0;
+}
+
+var patterns[6];
+var actions[6];
+
+func setupRules() {
+  patterns[0] = &patBigFirst;  actions[0] = &actSum;
+  patterns[1] = &patEvenSum;   actions[1] = &actCount;
+  patterns[2] = &patAscending; actions[2] = &actMax;
+  patterns[3] = &patRange;     actions[3] = &actConcat;
+  patterns[4] = &patPrimeKey;  actions[4] = &actHistogram;
+  patterns[5] = &patAllSmall;  actions[5] = &actFieldTotals;
+  return 0;
+}
+
+func runRules(rec) {
+  var fired = 0;
+  for (var rule = 0; rule < 6; rule = rule + 1) {
+    var pat = patterns[rule];
+    if (pat(rec)) {
+      var act = actions[rule];
+      act(rec);
+      tallyRule(rule);
+      fired = fired + 1;
+    }
+  }
+  insertTopKey(field(rec, 0));
+  return fired;
+}
+
+func histogramChecksum() {
+  var h = 0;
+  for (var b = 0; b < 10; b = b + 1) {
+    h = (h * 100 + histogram[b] % 100) % 1000000007;
+  }
+  return h;
+}
+
+var topKeys[8];
+
+func insertTopKey(v) {
+  // Keep the eight largest first-field values, insertion-sort style.
+  var pos = 8 - 1;
+  if (v <= topKeys[pos]) { return 0; }
+  while (pos > 0 && topKeys[pos - 1] < v) {
+    topKeys[pos] = topKeys[pos - 1];
+    pos = pos - 1;
+  }
+  topKeys[pos] = v;
+  return 0;
+}
+
+func topKeyChecksum() {
+  var h = 0;
+  for (var k = 0; k < 8; k = k + 1) {
+    h = (h * 1009 + topKeys[k]) % 1000000007;
+  }
+  return h;
+}
+
+var ruleFires[6];
+
+func tallyRule(rule) {
+  ruleFires[rule] = ruleFires[rule] + 1;
+  return 0;
+}
+
+func ruleFireChecksum() {
+  var h = 0;
+  for (var rule = 0; rule < 6; rule = rule + 1) {
+    h = h * 1000 + ruleFires[rule] % 1000;
+  }
+  return h;
+}
+
+func medianOfThree(a, b, c) {
+  if (a > b) { var t = a; a = b; b = t; }
+  if (b > c) { var t2 = b; b = c; c = t2; }
+  if (a > b) { var t3 = a; a = b; b = t3; }
+  return b;
+}
+
+func fieldSpread(rec) {
+  var lo = field(rec, 0);
+  var hi = lo;
+  for (var f = 1; f < 8; f = f + 1) {
+    var v = field(rec, f);
+    if (v < lo) { lo = v; }
+    if (v > hi) { hi = v; }
+  }
+  return hi - lo;
+}
+
+func fieldTotalChecksum() {
+  var h = 0;
+  for (var f = 0; f < 8; f = f + 1) {
+    h = (h * 131 + fieldTotals[f]) % 1000000007;
+  }
+  return h;
+}
+
+func beginBlock() {
+  // awk's BEGIN rule: seed the accumulators and emit a header marker.
+  sumAccum = 0;
+  countAccum = 0;
+  maxAccum = -1;
+  concatHash = 0;
+  return 0;
+}
+
+func endBlock() {
+  // awk's END rule: derived statistics over the whole input.
+  var mean = 0;
+  if (countAccum > 0) { mean = sumAccum / countAccum; }
+  print(mean);
+  return 0;
+}
+
+func report() {
+  print(sumAccum);
+  print(countAccum);
+  print(maxAccum);
+  print(concatHash);
+  print(histogramChecksum());
+  print(fieldTotalChecksum());
+  print(topKeyChecksum());
+  print(ruleFireChecksum());
+  return 0;
+}
+
+func main() {
+  genRecords();
+  setupRules();
+  beginBlock();
+  for (var b = 0; b < 10; b = b + 1) { histogram[b] = 0; }
+  for (var f = 0; f < 8; f = f + 1) { fieldTotals[f] = 0; }
+  for (var k = 0; k < 8; k = k + 1) { topKeys[k] = -1; }
+  for (var rule = 0; rule < 6; rule = rule + 1) { ruleFires[rule] = 0; }
+  var totalFired = 0;
+  var spreadSum = 0;
+  for (var r = 0; r < numRecords; r = r + 1) {
+    totalFired = totalFired + runRules(r);
+    spreadSum = spreadSum +
+                medianOfThree(fieldSpread(r), field(r, 0), field(r, 7));
+  }
+  report();
+  endBlock();
+  print(totalFired);
+  print(spreadSum);
+  return 0;
+}
+)MC";
+
+} // namespace ipra

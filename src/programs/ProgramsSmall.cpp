@@ -1,0 +1,718 @@
+//===- programs/ProgramsSmall.cpp - nim, map, calcc, diff, dhrystone ------===//
+//
+// The five smallest benchmarks of the paper's suite. Each is call-
+// intensive with mostly-closed call graphs, the regime where the paper's
+// smaller programs saw the largest inter-procedural wins.
+//
+//===----------------------------------------------------------------------===//
+
+#include "programs/Programs.h"
+
+namespace ipra {
+
+/// nim: plays the game of Nim (optimal xor strategy vs. a greedy player)
+/// over all small initial positions. Mirrors the paper's Stanford course
+/// program: tiny leaf-heavy helpers called in tight loops.
+const char *NimSource = R"MC(
+// nim -- play the game of Nim over all small three-heap positions.
+var winsOptimal;
+var winsGreedy;
+
+func bitXor(a, b) {
+  var result = 0;
+  var bit = 1;
+  while (a > 0 || b > 0) {
+    if (a % 2 != b % 2) { result = result + bit; }
+    a = a / 2;
+    b = b / 2;
+    bit = bit * 2;
+  }
+  return result;
+}
+
+func nimSum(h) {
+  var s = bitXor(h[0], h[1]);
+  return bitXor(s, h[2]);
+}
+
+func largestHeap(h) {
+  var best = 0;
+  if (h[1] > h[best]) { best = 1; }
+  if (h[2] > h[best]) { best = 2; }
+  return best;
+}
+
+func takeOptimal(h) {
+  var s = nimSum(h);
+  if (s == 0) {
+    var i = largestHeap(h);
+    if (h[i] > 0) { h[i] = h[i] - 1; }
+    return 0;
+  }
+  for (var i = 0; i < 3; i = i + 1) {
+    var target = bitXor(s, h[i]);
+    if (target < h[i]) {
+      h[i] = target;
+      return 1;
+    }
+  }
+  return 0;
+}
+
+func takeGreedy(h, seed) {
+  for (var i = 0; i < 3; i = i + 1) {
+    if (h[i] > 0) {
+      h[i] = h[i] - (seed % h[i] + 1);
+      return 1;
+    }
+  }
+  return 0;
+}
+
+func isEmpty(h) {
+  return h[0] == 0 && h[1] == 0 && h[2] == 0;
+}
+
+func playGame(a, b, c, seed) {
+  var h[3];
+  h[0] = a; h[1] = b; h[2] = c;
+  var turn = 0;
+  while (!isEmpty(h)) {
+    if (turn == 0) { takeOptimal(h); }
+    else {
+      takeGreedy(h, seed);
+      seed = (seed * 131 + 7) % 1000;
+    }
+    if (isEmpty(h)) { return turn; }
+    turn = 1 - turn;
+  }
+  return turn;
+}
+
+func main() {
+  winsOptimal = 0;
+  winsGreedy = 0;
+  for (var a = 1; a <= 8; a = a + 1) {
+    for (var b = 1; b <= 8; b = b + 1) {
+      for (var c = 1; c <= 8; c = c + 1) {
+        if (playGame(a, b, c, a * 64 + b * 8 + c) == 0) {
+          winsOptimal = winsOptimal + 1;
+        } else {
+          winsGreedy = winsGreedy + 1;
+        }
+      }
+    }
+  }
+  print(winsOptimal);
+  print(winsGreedy);
+  return 0;
+}
+)MC";
+
+/// map: finds 4-colorings of a planar-ish region graph by backtracking.
+/// The recursive search makes the upper call graph open, while the
+/// conflict checks are closed leaves.
+const char *MapSource = R"MC(
+// map -- count 4-colorings of a 6x6 grid map with extra diagonal borders.
+var color[36];
+var solutions;
+
+func regionOf(row, col) { return row * 6 + col; }
+
+func bordersConflict(r, c, candidate) {
+  // Orthogonal neighbours already colored (left and up).
+  if (c > 0 && color[regionOf(r, c - 1)] == candidate) { return 1; }
+  if (r > 0 && color[regionOf(r - 1, c)] == candidate) { return 1; }
+  // One diagonal border per odd region keeps the map from being bipartite.
+  if (r > 0 && c > 0 && (r + c) % 2 == 1) {
+    if (color[regionOf(r - 1, c - 1)] == candidate) { return 1; }
+  }
+  return 0;
+}
+
+func countFromRegion(region) {
+  if (region == 36) { return 1; }
+  var r = region / 6;
+  var c = region % 6;
+  var total = 0;
+  for (var candidate = 1; candidate <= 4; candidate = candidate + 1) {
+    if (!bordersConflict(r, c, candidate)) {
+      color[region] = candidate;
+      total = total + countFromRegion(region + 1);
+      color[region] = 0;
+    }
+  }
+  // Bound the count so the search explores without exploding.
+  if (total > 100000) { total = 100000; }
+  return total;
+}
+
+func checksumColors() {
+  var sum = 0;
+  for (var i = 0; i < 36; i = i + 1) { sum = sum + color[i] * (i + 1); }
+  return sum;
+}
+
+func firstSolution(region) {
+  if (region == 36) { return 1; }
+  var r = region / 6;
+  var c = region % 6;
+  for (var candidate = 1; candidate <= 4; candidate = candidate + 1) {
+    if (!bordersConflict(r, c, candidate)) {
+      color[region] = candidate;
+      if (firstSolution(region + 1)) { return 1; }
+      color[region] = 0;
+    }
+  }
+  return 0;
+}
+
+func verifyColoring() {
+  // Re-check every border of the found coloring independently.
+  var bad = 0;
+  for (var r = 0; r < 6; r = r + 1) {
+    for (var c = 0; c < 6; c = c + 1) {
+      var me = color[regionOf(r, c)];
+      if (me == 0) { bad = bad + 1; }
+      if (c > 0 && color[regionOf(r, c - 1)] == me) { bad = bad + 1; }
+      if (r > 0 && color[regionOf(r - 1, c)] == me) { bad = bad + 1; }
+      if (r > 0 && c > 0 && (r + c) % 2 == 1) {
+        if (color[regionOf(r - 1, c - 1)] == me) { bad = bad + 1; }
+      }
+    }
+  }
+  return bad;
+}
+
+func colorHistogram() {
+  var counts[5];
+  for (var k = 0; k <= 4; k = k + 1) { counts[k] = 0; }
+  for (var i = 0; i < 36; i = i + 1) {
+    counts[color[i]] = counts[color[i]] + 1;
+  }
+  return counts[1] * 1000000 + counts[2] * 10000 + counts[3] * 100 +
+         counts[4];
+}
+
+func main() {
+  for (var i = 0; i < 36; i = i + 1) { color[i] = 0; }
+  if (firstSolution(0)) { print(checksumColors()); } else { print(-1); }
+  print(verifyColoring());
+  print(colorHistogram());
+  solutions = 0;
+  // Count colorings of the top two rows only (12 regions).
+  for (var i = 0; i < 36; i = i + 1) { color[i] = 0; }
+  solutions = countPartial(0);
+  print(solutions);
+  return 0;
+}
+
+func countPartial(region) {
+  if (region == 12) { return 1; }
+  var r = region / 6;
+  var c = region % 6;
+  var total = 0;
+  for (var candidate = 1; candidate <= 4; candidate = candidate + 1) {
+    if (!bordersConflict(r, c, candidate)) {
+      color[region] = candidate;
+      total = total + countPartial(region + 1);
+      color[region] = 0;
+    }
+  }
+  return total;
+}
+)MC";
+
+/// calcc: dynamic variable-length "string" manipulation, strings being
+/// length-prefixed word arrays. Leaf-heavy closed helpers dominate.
+const char *CalccSource = R"MC(
+// calcc -- dynamic and variable-length string manipulation.
+var heap[4096];
+var heapTop;
+
+func newString(capacity) {
+  var handle = heapTop;
+  heap[handle] = 0;
+  heapTop = heapTop + capacity + 1;
+  return handle;
+}
+
+func strLen(s) { return heap[s]; }
+
+func strChar(s, i) { return heap[s + 1 + i]; }
+
+func strPut(s, i, ch) {
+  heap[s + 1 + i] = ch;
+  if (i + 1 > heap[s]) { heap[s] = i + 1; }
+  return 0;
+}
+
+func strClear(s) { heap[s] = 0; return 0; }
+
+func strCopy(dst, src) {
+  strClear(dst);
+  var n = strLen(src);
+  for (var i = 0; i < n; i = i + 1) { strPut(dst, i, strChar(src, i)); }
+  return dst;
+}
+
+func strCat(dst, src) {
+  var base = strLen(dst);
+  var n = strLen(src);
+  for (var i = 0; i < n; i = i + 1) {
+    strPut(dst, base + i, strChar(src, i));
+  }
+  return dst;
+}
+
+func strReverse(s) {
+  var i = 0;
+  var j = strLen(s) - 1;
+  while (i < j) {
+    var tmp = strChar(s, i);
+    strPut(s, i, strChar(s, j));
+    strPut(s, j, tmp);
+    i = i + 1;
+    j = j - 1;
+  }
+  return s;
+}
+
+func strCompare(a, b) {
+  var la = strLen(a);
+  var lb = strLen(b);
+  var n = la;
+  if (lb < n) { n = lb; }
+  for (var i = 0; i < n; i = i + 1) {
+    var d = strChar(a, i) - strChar(b, i);
+    if (d != 0) { return d; }
+  }
+  return la - lb;
+}
+
+func strHash(s) {
+  var h = 5381;
+  var n = strLen(s);
+  for (var i = 0; i < n; i = i + 1) {
+    h = (h * 33 + strChar(s, i)) % 1000000007;
+  }
+  return h;
+}
+
+func strFind(haystack, needle) {
+  var n = strLen(haystack);
+  var m = strLen(needle);
+  for (var start = 0; start + m <= n; start = start + 1) {
+    var ok = 1;
+    for (var i = 0; i < m && ok; i = i + 1) {
+      if (strChar(haystack, start + i) != strChar(needle, i)) { ok = 0; }
+    }
+    if (ok) { return start; }
+  }
+  return -1;
+}
+
+func strRotate(s, by) {
+  var n = strLen(s);
+  if (n == 0) { return s; }
+  by = by % n;
+  for (var round = 0; round < by; round = round + 1) {
+    var first = strChar(s, 0);
+    for (var i = 0; i + 1 < n; i = i + 1) {
+      strPut(s, i, strChar(s, i + 1));
+    }
+    strPut(s, n - 1, first);
+  }
+  return s;
+}
+
+func strTail(dst, src, from) {
+  strClear(dst);
+  var n = strLen(src);
+  for (var i = from; i < n; i = i + 1) {
+    strPut(dst, i - from, strChar(src, i));
+  }
+  return dst;
+}
+
+func fillPattern(s, seed, len) {
+  strClear(s);
+  for (var i = 0; i < len; i = i + 1) {
+    seed = (seed * 1103 + 12345) % 65536;
+    strPut(s, i, seed % 26 + 97);
+  }
+  return s;
+}
+
+func main() {
+  heapTop = 0;
+  var a = newString(64);
+  var b = newString(64);
+  var c = newString(192);
+  var t = newString(192);
+  var checksum = 0;
+  var found = 0;
+  for (var round = 1; round <= 60; round = round + 1) {
+    fillPattern(a, round, 10 + round % 20);
+    fillPattern(b, round * 7, 5 + round % 30);
+    strCopy(c, a);
+    strCat(c, b);
+    strReverse(c);
+    strRotate(c, round % 11);
+    if (strFind(c, b) >= 0) { found = found + 1; }
+    strTail(t, c, round % 7);
+    checksum = checksum + strHash(c) + strHash(t);
+    if (strCompare(a, b) > 0) { checksum = checksum + 1; }
+    checksum = checksum % 1000000007;
+  }
+  print(checksum);
+  print(found);
+  print(strLen(c));
+  return 0;
+}
+)MC";
+
+/// diff: longest-common-subsequence comparison of two synthetic "files"
+/// of line hashes, the core of the UNIX diff utility.
+const char *DiffSource = R"MC(
+// diff -- LCS-based comparison of two synthetic files of line hashes.
+var fileA[80];
+var fileB[80];
+var lcs[6561];   // (80+1)^2 is too big; use 81*81 = 6561
+var lenA;
+var lenB;
+
+func lineHash(fileId, n) {
+  return (fileId * 2654435761 + n * 40503) % 9973;
+}
+
+func makeFiles() {
+  lenA = 70;
+  lenB = 75;
+  // Common prefix, a changed hunk, common middle, an inserted hunk, tail.
+  for (var i = 0; i < lenA; i = i + 1) {
+    if (i < 20 || (i >= 30 && i < 55)) { fileA[i] = lineHash(0, i); }
+    else { fileA[i] = lineHash(1, i); }
+  }
+  for (var i = 0; i < lenB; i = i + 1) {
+    if (i < 20) { fileB[i] = lineHash(0, i); }
+    else if (i >= 25 && i < 50) { fileB[i] = lineHash(0, i + 5); }
+    else { fileB[i] = lineHash(2, i); }
+  }
+  return 0;
+}
+
+func cell(i, j) { return i * 81 + j; }
+
+func maxOf(a, b) {
+  if (a > b) { return a; }
+  return b;
+}
+
+func equalLines(i, j) { return fileA[i] == fileB[j]; }
+
+func computeLCS() {
+  for (var i = 0; i <= lenA; i = i + 1) { lcs[cell(i, 0)] = 0; }
+  for (var j = 0; j <= lenB; j = j + 1) { lcs[cell(0, j)] = 0; }
+  for (var i = 1; i <= lenA; i = i + 1) {
+    for (var j = 1; j <= lenB; j = j + 1) {
+      if (equalLines(i - 1, j - 1)) {
+        lcs[cell(i, j)] = lcs[cell(i - 1, j - 1)] + 1;
+      } else {
+        lcs[cell(i, j)] = maxOf(lcs[cell(i - 1, j)], lcs[cell(i, j - 1)]);
+      }
+    }
+  }
+  return lcs[cell(lenA, lenB)];
+}
+
+func countEdits(common) {
+  return (lenA - common) + (lenB - common);
+}
+
+// Edit script: 1 = keep, 2 = delete from A, 3 = insert from B.
+var script[200];
+var scriptLen;
+
+func pushOp(op) {
+  script[scriptLen] = op;
+  scriptLen = scriptLen + 1;
+  return 0;
+}
+
+func reverseScript() {
+  var i = 0;
+  var j = scriptLen - 1;
+  while (i < j) {
+    var t = script[i];
+    script[i] = script[j];
+    script[j] = t;
+    i = i + 1;
+    j = j - 1;
+  }
+  return 0;
+}
+
+func buildScript() {
+  scriptLen = 0;
+  var i = lenA;
+  var j = lenB;
+  while (i > 0 || j > 0) {
+    if (i > 0 && j > 0 && equalLines(i - 1, j - 1)) {
+      pushOp(1);
+      i = i - 1;
+      j = j - 1;
+    } else if (j > 0 &&
+               (i == 0 || lcs[cell(i, j - 1)] >= lcs[cell(i - 1, j)])) {
+      pushOp(3);
+      j = j - 1;
+    } else {
+      pushOp(2);
+      i = i - 1;
+    }
+  }
+  reverseScript();
+  return scriptLen;
+}
+
+func countHunks() {
+  // A hunk is a maximal run of non-keep operations.
+  var hunks = 0;
+  var inHunk = 0;
+  for (var k = 0; k < scriptLen; k = k + 1) {
+    if (script[k] != 1) {
+      if (!inHunk) { hunks = hunks + 1; }
+      inHunk = 1;
+    } else {
+      inHunk = 0;
+    }
+  }
+  return hunks;
+}
+
+func scriptStats() {
+  var dels = 0;
+  var inss = 0;
+  var keeps = 0;
+  for (var k = 0; k < scriptLen; k = k + 1) {
+    if (script[k] == 1) { keeps = keeps + 1; }
+    else if (script[k] == 2) { dels = dels + 1; }
+    else { inss = inss + 1; }
+  }
+  return keeps * 1000000 + dels * 1000 + inss;
+}
+
+func similarityPermille(common) {
+  // 1000 * 2*common / (lenA + lenB), the classic similarity ratio.
+  return 1000 * 2 * common / (lenA + lenB);
+}
+
+func largestHunk() {
+  var best = 0;
+  var run = 0;
+  for (var k = 0; k < scriptLen; k = k + 1) {
+    if (script[k] != 1) { run = run + 1; }
+    else { run = 0; }
+    if (run > best) { best = run; }
+  }
+  return best;
+}
+
+func main() {
+  makeFiles();
+  var common = computeLCS();
+  print(common);
+  print(countEdits(common));
+  buildScript();
+  print(countHunks());
+  print(scriptStats());
+  print(similarityPermille(common));
+  print(largestHunk());
+  return 0;
+}
+)MC";
+
+/// dhrystone: a faithful structural analogue of Weicker's synthetic
+/// benchmark: a fixed mix of assignments, control flow and many calls to
+/// small procedures, iterated.
+const char *DhrystoneSource = R"MC(
+// dhrystone -- synthetic procedure-call workload (Weicker's mix).
+var intGlob;
+var boolGlob;
+var charGlob1;
+var charGlob2;
+var array1Glob[50];
+var array2Glob[128];   // treated as 8x16 matrix
+var recordGlob[8];     // record: [discr, enumComp, intComp, stringHash]
+var nextRecordGlob[8];
+
+func func1(ch1, ch2) {
+  var chLoc = ch1;
+  if (chLoc != ch2) { return 0; }
+  charGlob1 = chLoc;
+  return 1;
+}
+
+func func2(strHash1, strHash2) {
+  var intLoc = 2;
+  while (intLoc <= 2) {
+    if (func1(intLoc % 3, intLoc % 2) == 0) { intLoc = intLoc + 1; }
+    else { intLoc = intLoc + 3; }
+  }
+  if (strHash1 != strHash2) { intGlob = intLoc; return 1; }
+  return 0;
+}
+
+func func3(enumParam) {
+  var enumLoc = enumParam;
+  if (enumLoc == 2) { return 1; }
+  return 0;
+}
+
+func proc7(int1, int2, result) {
+  var intLoc = int1 + 2;
+  heapStore(result, int2 + intLoc);
+  return 0;
+}
+
+var resultCell[4];
+
+func heapStore(cellAddr, value) {
+  cellAddr[0] = value;
+  return 0;
+}
+
+func proc8(arr1, arr2, int1, int2) {
+  var intLoc = int1 + 5;
+  arr1[intLoc] = int2;
+  arr1[intLoc + 1] = arr1[intLoc];
+  arr1[intLoc + 30] = intLoc;
+  for (var idx = intLoc; idx <= intLoc + 1; idx = idx + 1) {
+    arr2[intLoc * 8 + idx] = intLoc;
+  }
+  arr2[intLoc * 8 + intLoc - 1] = arr2[intLoc * 8 + intLoc - 1] + 1;
+  arr2[(intLoc + 2) * 8 + intLoc] = arr1[intLoc];
+  intGlob = 5;
+  return 0;
+}
+
+func proc6(enumVal, enumRef) {
+  heapStore(enumRef, enumVal);
+  if (!func3(enumVal)) { heapStore(enumRef, 3); }
+  if (enumVal == 0) { heapStore(enumRef, 0); }
+  else if (enumVal == 1) {
+    if (intGlob > 100) { heapStore(enumRef, 0); }
+    else { heapStore(enumRef, 3); }
+  }
+  else if (enumVal == 2) { heapStore(enumRef, 1); }
+  else if (enumVal == 4) { heapStore(enumRef, 2); }
+  return 0;
+}
+
+func proc5() {
+  charGlob1 = 65;
+  boolGlob = 0;
+  return 0;
+}
+
+func proc4() {
+  var boolLoc = charGlob1 == 65;
+  boolLoc = boolLoc || boolGlob;
+  charGlob2 = 66;
+  return 0;
+}
+
+func proc3(ptrRef) {
+  heapStore(ptrRef, intGlob + 10);
+  proc7(10, intGlob, resultCell);
+  intGlob = resultCell[0];
+  return 0;
+}
+
+func proc2(intRef) {
+  var intLoc = intRef[0] + 10;
+  var enumLoc = 0;
+  var done = 0;
+  while (!done) {
+    if (charGlob1 == 65) {
+      intLoc = intLoc - 1;
+      heapStore(intRef, intLoc - intGlob);
+      enumLoc = 1;
+    }
+    if (enumLoc == 1) { done = 1; }
+  }
+  return 0;
+}
+
+func proc1(recIdx) {
+  // Copy the global record into the "next" record, then mutate.
+  for (var i = 0; i < 4; i = i + 1) {
+    nextRecordGlob[i] = recordGlob[i];
+  }
+  recordGlob[2] = 5;
+  nextRecordGlob[2] = recordGlob[2];
+  proc3(resultCell);
+  nextRecordGlob[3] = resultCell[0];
+  if (nextRecordGlob[0] == 0) {
+    nextRecordGlob[2] = 6;
+    proc6(recIdx % 5, resultCell);
+    nextRecordGlob[1] = resultCell[0];
+    nextRecordGlob[3] = recordGlob[3];
+  } else {
+    for (var i = 0; i < 4; i = i + 1) {
+      recordGlob[i] = nextRecordGlob[i];
+    }
+  }
+  return 0;
+}
+
+func main() {
+  intGlob = 0;
+  boolGlob = 0;
+  charGlob1 = 0;
+  charGlob2 = 0;
+  var intLoc1 = 0;
+  var intLoc2 = 0;
+  var intLoc3 = 0;
+  var checksum = 0;
+  for (var run = 1; run <= 300; run = run + 1) {
+    proc5();
+    proc4();
+    // proc2 spins until charGlob1 is 'A'; call it while proc5's effect
+    // still holds (func1 below overwrites charGlob1).
+    proc2(resultCell);
+    intLoc1 = 2;
+    intLoc2 = 3;
+    var strHash1 = 1234 + run;
+    var strHash2 = 1234;
+    var enumLoc = 1;
+    boolGlob = !func2(strHash1, strHash2);
+    while (intLoc1 < intLoc2) {
+      intLoc3 = 5 * intLoc1 - intLoc2;
+      proc7(intLoc1, intLoc2, resultCell);
+      intLoc3 = resultCell[0];
+      intLoc1 = intLoc1 + 1;
+    }
+    proc8(array1Glob, array2Glob, intLoc1, intLoc3);
+    proc1(run);
+    var chIndex = 65;
+    while (chIndex <= 67) {
+      if (enumLoc == func1(chIndex % 4, 2)) {
+        proc6(0, resultCell);
+        enumLoc = resultCell[0];
+      }
+      chIndex = chIndex + 1;
+    }
+    intLoc3 = intLoc2 * intLoc1;
+    intLoc2 = intLoc3 / 3;
+    intLoc2 = 7 * (intLoc3 - intLoc2) - intLoc1;
+    checksum = (checksum + intGlob + intLoc1 + intLoc2 + intLoc3 +
+                charGlob1 + charGlob2 + boolGlob) % 1000000007;
+  }
+  print(checksum);
+  print(intGlob);
+  return 0;
+}
+)MC";
+
+} // namespace ipra

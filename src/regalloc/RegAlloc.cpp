@@ -1,0 +1,401 @@
+//===- regalloc/RegAlloc.cpp - Priority-based coloring ---------------------===//
+
+#include "regalloc/RegAlloc.h"
+
+#include "analysis/LiveRanges.h"
+#include "analysis/Liveness.h"
+#include "analysis/Loops.h"
+
+#include <algorithm>
+#include <cmath>
+
+using namespace ipra;
+
+namespace {
+
+/// Cost of one memory access (load or store) in cycles; the R2000 model
+/// charges one cycle per instruction.
+constexpr double MemOpCost = 1.0;
+/// A save/restore pair costs a store plus a load.
+constexpr double SaveRestoreCost = 2.0 * MemOpCost;
+
+class ProcAllocator {
+public:
+  ProcAllocator(const Procedure &Proc, const MachineDesc &M,
+                SummaryTable &Summaries, bool IsOpen,
+                const RegAllocOptions &Opts)
+      : Proc(Proc), M(M), Summaries(Summaries), Opts(Opts),
+        InterMode(Opts.InterProcedural), Closed(InterMode && !IsOpen),
+        LV(Liveness::compute(Proc)), LRI(LiveRangeInfo::compute(Proc, LV)),
+        IG(InterferenceGraph::compute(Proc, LV)),
+        LI(LoopInfo::compute(Proc)) {
+    R.TreatedOpen = !Closed;
+    R.Assignment.assign(Proc.NumVRegs, -1);
+    R.UsedRegs.resize(M.numRegs());
+    R.CalleeSavedToPreserve.resize(M.numRegs());
+    R.PropagatedCalleeSaved.resize(M.numRegs());
+    EntryFreq = Proc.entry()->Freq;
+  }
+
+  AllocationResult run() {
+    Bonus.assign(Proc.NumVRegs, std::vector<double>(M.numRegs(), 0.0));
+    seedCallTreeUsage();
+    chooseParamLocations();
+    computeBonuses();
+    assignByPriority();
+    decidePreservation();
+    publishSummary();
+    return std::move(R);
+  }
+
+private:
+  const BitVector &clobberOfCrossing(const CallCrossing &C) const {
+    if (InterMode && C.CalleeId >= 0) {
+      const RegUsageSummary &S = Summaries.lookup(C.CalleeId);
+      if (S.Precise)
+        return S.Clobbered;
+    }
+    return M.defaultClobber();
+  }
+
+  /// Saving/restoring a callee-saved register at entry/exit is paid once
+  /// per procedure activation, and only by the first live range that
+  /// claims the register.
+  double entryCost(unsigned Reg) const {
+    bool CalleeSavedConvention = !Closed;
+    if (!CalleeSavedConvention || !M.isCalleeSaved(Reg))
+      return 0;
+    if (R.UsedRegs.test(Reg))
+      return 0; // already paid for
+    return SaveRestoreCost * EntryFreq;
+  }
+
+  /// Save/restore traffic around the calls the range spans, given the
+  /// callee usage knowledge available in the current mode.
+  double crossingCost(const LiveRange &LR, unsigned Reg) const {
+    double Cost = 0;
+    for (const CallCrossing &C : LR.Crossings)
+      if (clobberOfCrossing(C).test(Reg))
+        Cost += SaveRestoreCost * C.Freq;
+    return Cost;
+  }
+
+  double priority(const LiveRange &LR, unsigned Reg) const {
+    double Benefit = LR.SpillSavings * MemOpCost;
+    if (Reg < Bonus[LR.Reg].size())
+      Benefit += Bonus[LR.Reg][Reg];
+    double Cost = entryCost(Reg) + crossingCost(LR, Reg);
+    return (Benefit - Cost) / std::max(LR.Span, 1.0);
+  }
+
+  /// Incoming parameter locations: allocator-chosen registers for closed
+  /// procedures under register parameter passing, else the default
+  /// protocol (first four in a0..a3, rest on the stack).
+  void chooseParamLocations() {
+    unsigned NumParams = Proc.ParamVRegs.size();
+    bool AllocatorChosen = Closed && Opts.RegisterParams &&
+                           NumParams <= M.allocatable().count();
+    if (!AllocatorChosen) {
+      R.IncomingParamLocs = Summaries.makeDefault(NumParams).ParamLocs;
+      return;
+    }
+    // Pre-assign each parameter's whole live range to its arrival
+    // register (Section 4: the parameter stays undisturbed from caller to
+    // callee). Parameters mutually interfere, so registers are distinct.
+    for (VReg P : Proc.ParamVRegs) {
+      const LiveRange &LR = LRI.range(P);
+      int BestReg = -1;
+      double BestPrio = 0;
+      BitVector Forbidden = forbiddenRegs(P);
+      for (int Reg = M.allocatable().findFirst(); Reg >= 0;
+           Reg = M.allocatable().findNext(Reg)) {
+        if (Forbidden.test(Reg))
+          continue;
+        double Prio = priority(LR, unsigned(Reg));
+        if (BestReg < 0 || isBetter(Prio, unsigned(Reg), BestPrio,
+                                    unsigned(BestReg))) {
+          BestReg = Reg;
+          BestPrio = Prio;
+        }
+      }
+      assert(BestReg >= 0 && "not enough registers for parameters");
+      assignReg(P, unsigned(BestReg));
+      R.IncomingParamLocs.push_back(unsigned(BestReg));
+    }
+  }
+
+  /// Pre-assignment preferences (Section 4): an outgoing argument gains
+  /// priority toward the register the callee expects it in, and under the
+  /// default protocol an incoming parameter gains priority toward its
+  /// arrival register (saving the entry move).
+  void computeBonuses() {
+    for (const auto &BB : Proc) {
+      for (const Instruction &I : BB->Insts) {
+        if (!I.isCall())
+          continue;
+        std::vector<unsigned> Locs =
+            Summaries.paramLocsForCall(I, InterMode && Opts.RegisterParams);
+        for (unsigned J = 0; J < I.Args.size(); ++J)
+          if (Locs[J] != StackParamLoc)
+            Bonus[I.Args[J]][Locs[J]] += BB->Freq * MemOpCost;
+      }
+    }
+    for (unsigned I = 0; I < Proc.ParamVRegs.size(); ++I) {
+      unsigned Loc = I < R.IncomingParamLocs.size() ? R.IncomingParamLocs[I]
+                                                    : StackParamLoc;
+      if (Loc != StackParamLoc && M.isAllocatable(Loc) &&
+          R.Assignment[Proc.ParamVRegs[I]] < 0)
+        Bonus[Proc.ParamVRegs[I]][Loc] += EntryFreq * MemOpCost;
+    }
+  }
+
+  BitVector forbiddenRegs(VReg V) const {
+    BitVector Forbidden(M.numRegs());
+    const BitVector &Neighbors = IG.neighbors(V);
+    for (int N = Neighbors.findFirst(); N >= 0; N = Neighbors.findNext(N))
+      if (R.Assignment[N] >= 0)
+        Forbidden.set(unsigned(R.Assignment[N]));
+    return Forbidden;
+  }
+
+  /// Tie-break rule: prefer a register already used in the current call
+  /// tree (minimizing each tree's register footprint), then the lower
+  /// register index for determinism.
+  bool isBetter(double Prio, unsigned Reg, double BestPrio,
+                unsigned BestReg) const {
+    constexpr double Eps = 1e-9;
+    if (Prio > BestPrio + Eps)
+      return true;
+    if (Prio < BestPrio - Eps)
+      return false;
+    bool InTree = CallTreeUsed.test(Reg);
+    bool BestInTree = CallTreeUsed.test(BestReg);
+    if (InTree != BestInTree)
+      return InTree;
+    return Reg < BestReg;
+  }
+
+  void assignReg(VReg V, unsigned Reg) {
+    assert(R.Assignment[V] < 0 && "double assignment");
+    R.Assignment[V] = int(Reg);
+    R.UsedRegs.set(Reg);
+    CallTreeUsed.set(Reg);
+  }
+
+  /// Seeds the call-tree usage set (for the tie-break preference) with the
+  /// register footprints of the subtrees below us.
+  void seedCallTreeUsage() {
+    CallTreeUsed.resize(M.numRegs());
+    for (const auto &BB : Proc)
+      for (const Instruction &I : BB->Insts)
+        if (I.Op == Opcode::Call && InterMode &&
+            Summaries.lookup(I.Callee).Precise)
+          CallTreeUsed |= Summaries.lookup(I.Callee).Clobbered;
+  }
+
+  void assignByPriority() {
+    std::vector<VReg> Pending;
+    for (VReg V = 1; V < Proc.NumVRegs; ++V)
+      if (R.Assignment[V] < 0 && LRI.range(V).exists())
+        Pending.push_back(V);
+
+    while (!Pending.empty()) {
+      // For each pending range, its best register by priority (with the
+      // call-tree tie-break); then assign the range with the globally
+      // highest priority and repeat, since every assignment changes the
+      // entry costs and forbidden sets of the others.
+      double GlobalBest = 0;
+      int BestV = -1;
+      int BestReg = -1;
+      for (VReg V : Pending) {
+        const LiveRange &LR = LRI.range(V);
+        BitVector Forbidden = forbiddenRegs(V);
+        int VBestReg = -1;
+        double VBestPrio = 0;
+        for (int Reg = M.allocatable().findFirst(); Reg >= 0;
+             Reg = M.allocatable().findNext(Reg)) {
+          if (Forbidden.test(Reg))
+            continue;
+          double Prio = priority(LR, unsigned(Reg));
+          if (VBestReg < 0 ||
+              isBetter(Prio, unsigned(Reg), VBestPrio, unsigned(VBestReg))) {
+            VBestReg = Reg;
+            VBestPrio = Prio;
+          }
+        }
+        if (VBestReg >= 0 && (BestV < 0 || VBestPrio > GlobalBest)) {
+          GlobalBest = VBestPrio;
+          BestV = int(V);
+          BestReg = VBestReg;
+        }
+      }
+      // Priority zero means a register is no worse than memory; take it.
+      if (BestV < 0 || GlobalBest < 0)
+        break; // the rest live in memory
+      assignReg(VReg(BestV), unsigned(BestReg));
+      Pending.erase(std::find(Pending.begin(), Pending.end(), VReg(BestV)));
+    }
+  }
+
+  /// Union of everything this procedure's execution may write: its own
+  /// assigned registers, outgoing argument registers, scratch/return
+  /// registers, and whatever its calls clobber.
+  BitVector totalDamage() const {
+    BitVector Damage = R.UsedRegs;
+    Damage.set(RegV0);
+    Damage.set(RegV1);
+    Damage.set(RegAT);
+    for (const auto &BB : Proc) {
+      for (const Instruction &I : BB->Insts) {
+        if (!I.isCall())
+          continue;
+        Damage |= Summaries.effectiveClobber(I, InterMode);
+        for (unsigned Loc :
+             Summaries.paramLocsForCall(I, InterMode && Opts.RegisterParams))
+          if (Loc != StackParamLoc)
+            Damage.set(Loc);
+      }
+    }
+    // Incoming parameter arrival registers are consumed.
+    for (unsigned Loc : R.IncomingParamLocs)
+      if (Loc != StackParamLoc)
+        Damage.set(Loc);
+    return Damage;
+  }
+
+  void decidePreservation() {
+    BitVector Damage = totalDamage();
+    BitVector CalleeSavedDamage = Damage & M.calleeSaved();
+    bool UseCombined = Closed && Opts.ShrinkWrap && Opts.CombinedStrategy;
+
+    if (!Closed) {
+      // Default convention: preserve every damaged callee-saved register.
+      R.CalleeSavedToPreserve = CalleeSavedDamage;
+    } else if (UseCombined) {
+      // Section 6: shrink-wrap-analyze all damaged callee-saved registers;
+      // those whose save would land at entry propagate upward, the rest
+      // are preserved locally around their activity regions.
+      std::vector<BitVector> APP =
+          computeAPP(Proc, R.Assignment, Summaries, InterMode);
+      for (BitVector &A : APP)
+        A &= CalleeSavedDamage;
+      ShrinkWrapOptions SWOpts;
+      SWOpts.Enable = true;
+      SWOpts.LoopExtension = Opts.LoopExtension;
+      ShrinkWrapResult Trial =
+          placeSavesRestores(Proc, APP, M.numRegs(), LI, SWOpts);
+      R.PropagatedCalleeSaved = Trial.SavedAtProcEntry & CalleeSavedDamage;
+      R.CalleeSavedToPreserve = CalleeSavedDamage;
+      R.CalleeSavedToPreserve.andNot(R.PropagatedCalleeSaved);
+    } else {
+      // Pure bottom-up propagation: nothing preserved locally.
+      R.PropagatedCalleeSaved = CalleeSavedDamage;
+    }
+
+    // Final save/restore placement for the locally preserved set.
+    std::vector<BitVector> APP =
+        computeAPP(Proc, R.Assignment, Summaries, InterMode);
+    for (BitVector &A : APP)
+      A &= R.CalleeSavedToPreserve;
+    ShrinkWrapOptions SWOpts;
+    SWOpts.Enable = Opts.ShrinkWrap;
+    SWOpts.LoopExtension = Opts.LoopExtension;
+    R.Placement = placeSavesRestores(Proc, APP, M.numRegs(), LI, SWOpts);
+  }
+
+  void publishSummary() {
+    if (Closed) {
+      R.Summary.Clobbered = totalDamage();
+      R.Summary.Clobbered.andNot(R.CalleeSavedToPreserve);
+      R.Summary.ParamLocs = R.IncomingParamLocs;
+      R.Summary.Precise = true;
+    } else {
+      R.Summary = Summaries.makeDefault(Proc.ParamVRegs.size());
+    }
+    Summaries.publish(Proc.id(), R.Summary);
+  }
+
+  const Procedure &Proc;
+  const MachineDesc &M;
+  SummaryTable &Summaries;
+  const RegAllocOptions &Opts;
+  bool InterMode;
+  bool Closed;
+
+  Liveness LV;
+  LiveRangeInfo LRI;
+  InterferenceGraph IG;
+  LoopInfo LI;
+  double EntryFreq = 1.0;
+
+  std::vector<std::vector<double>> Bonus;
+  BitVector CallTreeUsed;
+  AllocationResult R;
+};
+
+} // namespace
+
+std::vector<BitVector> ipra::computeAPP(const Procedure &Proc,
+                                        const std::vector<int> &Assignment,
+                                        const SummaryTable &Summaries,
+                                        bool InterMode) {
+  const MachineDesc &M = Summaries.machine();
+  std::vector<BitVector> APP(Proc.numBlocks(), BitVector(M.numRegs()));
+  for (const auto &BB : Proc) {
+    BitVector &A = APP[BB->id()];
+    for (const Instruction &I : BB->Insts) {
+      auto Mark = [&A, &Assignment](VReg V) {
+        if (Assignment[V] >= 0)
+          A.set(unsigned(Assignment[V]));
+      };
+      if (VReg D = I.def())
+        Mark(D);
+      I.forEachUse(Mark);
+      if (I.isCall())
+        A |= Summaries.effectiveClobber(I, InterMode);
+    }
+  }
+  // Parameter arrival moves write the parameters' registers at entry.
+  for (VReg P : Proc.ParamVRegs)
+    if (Assignment[P] >= 0)
+      APP[0].set(unsigned(Assignment[P]));
+  return APP;
+}
+
+AllocationResult ipra::allocateProcedure(const Procedure &Proc,
+                                         const MachineDesc &M,
+                                         SummaryTable &Summaries, bool IsOpen,
+                                         const RegAllocOptions &Opts) {
+  if (Proc.IsExternal) {
+    AllocationResult R;
+    R.TreatedOpen = true;
+    R.UsedRegs.resize(M.numRegs());
+    R.CalleeSavedToPreserve.resize(M.numRegs());
+    R.PropagatedCalleeSaved.resize(M.numRegs());
+    R.Summary = Summaries.makeDefault(Proc.ParamVRegs.size());
+    Summaries.publish(Proc.id(), R.Summary);
+    return R;
+  }
+  return ProcAllocator(Proc, M, Summaries, IsOpen, Opts).run();
+}
+
+std::vector<AllocationResult> ipra::allocateModule(Module &Mod,
+                                                   const MachineDesc &M,
+                                                   SummaryTable &Summaries,
+                                                   const RegAllocOptions &Opts) {
+  CallGraph CG = CallGraph::build(Mod);
+  std::vector<AllocationResult> Results(Mod.numProcedures());
+  for (int ProcId : CG.bottomUpOrder()) {
+    Procedure *Proc = Mod.procedure(ProcId);
+    if (!Proc->IsExternal) {
+      Proc->recomputeCFG();
+      if (Opts.Profile && Opts.Profile->covers(ProcId, Proc->numBlocks()))
+        applyProfile(*Proc, *Opts.Profile);
+      else
+        estimateFrequencies(*Proc, LoopInfo::compute(*Proc));
+    }
+    Results[ProcId] =
+        allocateProcedure(*Proc, M, Summaries, CG.isOpen(ProcId), Opts);
+  }
+  return Results;
+}

@@ -1,0 +1,106 @@
+//===- regalloc/RegAlloc.h - Priority-based coloring allocator -*- C++ -*-===//
+//
+// Part of the ipra project (Chow, PLDI 1988 reproduction).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Priority-based coloring (Chow/Hennessy) extended per the paper:
+///
+///  - Intra-procedural mode (-O2): priorities are computed per live range
+///    *and register class*; a range spanning calls prefers a callee-saved
+///    register (one save/restore at entry/exit) while call-free ranges
+///    prefer caller-saved registers (free). Every call is assumed to
+///    clobber all caller-saved registers.
+///  - Inter-procedural mode (-O3): procedures are processed bottom-up over
+///    the call graph; at each call the callee's register-usage summary
+///    prices each candidate register individually (cost only where the
+///    callee's subtree actually clobbers it), all registers operate in
+///    caller-saved mode in closed procedures, parameters live in
+///    allocator-chosen registers, and ties prefer registers already used in
+///    the current call tree to minimize each tree's footprint.
+///  - Section 6 combined strategy: a callee-saved register whose
+///    shrink-wrapped save would land at procedure entry is propagated
+///    upward (reported clobbered); otherwise it is saved locally around its
+///    region of activity and reported preserved.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef IPRA_REGALLOC_REGALLOC_H
+#define IPRA_REGALLOC_REGALLOC_H
+
+#include "analysis/CallGraph.h"
+#include "analysis/Profile.h"
+#include "regalloc/Summary.h"
+#include "shrinkwrap/ShrinkWrap.h"
+
+namespace ipra {
+
+struct RegAllocOptions {
+  /// Use callee summaries, caller-saved-mode operation and register
+  /// parameter passing in closed procedures (-O3).
+  bool InterProcedural = false;
+  /// Shrink-wrap the callee-saved saves/restores (else entry/exit).
+  bool ShrinkWrap = false;
+  /// Section 6: propagate a callee-saved register up only when its save
+  /// would land at procedure entry. Effective only with ShrinkWrap.
+  bool CombinedStrategy = true;
+  /// Pass parameters of closed procedures in allocator-chosen registers.
+  bool RegisterParams = true;
+  /// Keep shrink-wrapped save/restore pairs out of loops.
+  bool LoopExtension = true;
+  /// Optional dynamic block profile (the paper's planned future work).
+  /// When it covers a procedure, measured per-activation frequencies
+  /// replace the static 10^loop-depth estimate in every cost computation.
+  const ProfileData *Profile = nullptr;
+};
+
+/// Everything code generation needs to materialize one procedure.
+struct AllocationResult {
+  /// Virtual register -> physical register, or -1 when spilled to memory.
+  std::vector<int> Assignment;
+  /// Arrival location of each incoming parameter (register/StackParamLoc).
+  std::vector<unsigned> IncomingParamLocs;
+  /// Allocatable registers this procedure's body writes.
+  BitVector UsedRegs;
+  /// Callee-saved registers this procedure must save/restore locally.
+  BitVector CalleeSavedToPreserve;
+  /// Where those saves/restores go (per-block entry/exit masks).
+  ShrinkWrapResult Placement;
+  /// Callee-saved registers used but deliberately propagated upward
+  /// (closed procedures; diagnostics and tests).
+  BitVector PropagatedCalleeSaved;
+  /// The summary published to callers (Precise only for closed procs in
+  /// inter-procedural mode).
+  RegUsageSummary Summary;
+  /// True if the procedure was treated as open.
+  bool TreatedOpen = false;
+};
+
+/// Allocates registers for one procedure and publishes its summary into
+/// \p Summaries. Block frequencies must already be estimated and the CFG
+/// up to date. \p IsOpen comes from the call-graph classification.
+AllocationResult allocateProcedure(const Procedure &Proc,
+                                   const MachineDesc &M,
+                                   SummaryTable &Summaries, bool IsOpen,
+                                   const RegAllocOptions &Opts);
+
+/// Runs allocateProcedure over \p Mod in depth-first bottom-up call-graph
+/// order (the paper's one-pass scheme). \returns one result per procedure,
+/// indexed by procedure id.
+std::vector<AllocationResult> allocateModule(Module &Mod,
+                                             const MachineDesc &M,
+                                             SummaryTable &Summaries,
+                                             const RegAllocOptions &Opts);
+
+/// Computes the per-block physical-register appearance sets (APP) used by
+/// shrink-wrapping: any definition or use of an assigned register, plus the
+/// effective clobber mask of every call. Exposed for tests and codegen.
+std::vector<BitVector> computeAPP(const Procedure &Proc,
+                                  const std::vector<int> &Assignment,
+                                  const SummaryTable &Summaries,
+                                  bool InterMode);
+
+} // namespace ipra
+
+#endif // IPRA_REGALLOC_REGALLOC_H

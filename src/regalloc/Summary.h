@@ -1,0 +1,114 @@
+//===- regalloc/Summary.h - Register usage summaries -----------*- C++ -*-===//
+//
+// Part of the ipra project (Chow, PLDI 1988 reproduction).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The per-procedure register-usage information the one-pass scheme
+/// propagates bottom-up (Section 2): a used/unused flag per register
+/// covering the whole call subtree, plus the parameter-register assignment
+/// (Section 4). Open procedures never publish a summary; callers fall back
+/// to the default linkage protocol (all caller-saved registers assumed
+/// used, callee-saved preserved, parameters in a0..a3).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef IPRA_REGALLOC_SUMMARY_H
+#define IPRA_REGALLOC_SUMMARY_H
+
+#include "ir/Instruction.h"
+#include "target/Machine.h"
+
+#include <limits>
+#include <vector>
+
+namespace ipra {
+
+/// Marker for a parameter passed on the stack instead of in a register.
+constexpr unsigned StackParamLoc = std::numeric_limits<unsigned>::max();
+
+struct RegUsageSummary {
+  /// Registers whose contents a call to this procedure may destroy,
+  /// including everything its callees (transitively) clobber, minus the
+  /// callee-saved registers it saves/restores locally.
+  BitVector Clobbered;
+  /// Arrival location of each parameter (register id or StackParamLoc).
+  std::vector<unsigned> ParamLocs;
+  /// True when this is precise information from a processed closed
+  /// procedure; false means "assume the default linkage protocol".
+  bool Precise = false;
+};
+
+/// Summaries for every procedure in a module, defaulting to the linkage
+/// protocol until the allocator publishes precise information.
+class SummaryTable {
+public:
+  SummaryTable(const MachineDesc &M, unsigned NumProcs) : M(M) {
+    Summaries.resize(NumProcs);
+  }
+
+  /// The default protocol summary for a procedure with \p NumParams
+  /// parameters: first four in a0..a3, rest on the stack.
+  RegUsageSummary makeDefault(unsigned NumParams) const {
+    RegUsageSummary S;
+    S.Clobbered = M.defaultClobber();
+    for (unsigned I = 0; I < NumParams; ++I)
+      S.ParamLocs.push_back(I < M.paramRegs().size() ? M.paramRegs()[I]
+                                                     : StackParamLoc);
+    S.Precise = false;
+    return S;
+  }
+
+  void publish(int ProcId, RegUsageSummary S) {
+    assert(ProcId >= 0 && ProcId < int(Summaries.size()) && "bad proc id");
+    Summaries[ProcId] = std::move(S);
+  }
+
+  /// \returns the precise summary for \p ProcId if one was published;
+  /// otherwise a summary with Precise == false (do not rely on its fields,
+  /// use makeDefault for the callee's arity).
+  const RegUsageSummary &lookup(int ProcId) const {
+    assert(ProcId >= 0 && ProcId < int(Summaries.size()) && "bad proc id");
+    return Summaries[ProcId];
+  }
+
+  /// Effective clobber mask of a call instruction: the callee's precise
+  /// summary when inter-procedural information is in use and available,
+  /// else the default protocol mask.
+  const BitVector &effectiveClobber(const Instruction &Call,
+                                    bool InterMode) const {
+    assert(Call.isCall() && "not a call");
+    if (InterMode && Call.Op == Opcode::Call) {
+      const RegUsageSummary &S = lookup(Call.Callee);
+      if (S.Precise)
+        return S.Clobbered;
+    }
+    return M.defaultClobber();
+  }
+
+  /// Arrival locations for the arguments of \p Call.
+  std::vector<unsigned> paramLocsForCall(const Instruction &Call,
+                                         bool InterMode) const {
+    assert(Call.isCall() && "not a call");
+    if (InterMode && Call.Op == Opcode::Call) {
+      const RegUsageSummary &S = lookup(Call.Callee);
+      if (S.Precise) {
+        assert(S.ParamLocs.size() == Call.Args.size() &&
+               "summary arity mismatch");
+        return S.ParamLocs;
+      }
+    }
+    return makeDefault(Call.Args.size()).ParamLocs;
+  }
+
+  const MachineDesc &machine() const { return M; }
+
+private:
+  const MachineDesc &M;
+  std::vector<RegUsageSummary> Summaries;
+};
+
+} // namespace ipra
+
+#endif // IPRA_REGALLOC_SUMMARY_H

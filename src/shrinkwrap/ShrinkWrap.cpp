@@ -1,0 +1,268 @@
+//===- shrinkwrap/ShrinkWrap.cpp - Save/restore placement ------------------===//
+
+#include "shrinkwrap/ShrinkWrap.h"
+
+using namespace ipra;
+
+namespace {
+
+/// Is \p BB a procedure exit (terminated by Ret)?
+bool isExitBlock(const BasicBlock &BB) {
+  return BB.terminator().Op == Opcode::Ret;
+}
+
+/// Smears each register's APP over every loop it intersects, iterating so
+/// nested/overlapping loops converge. Prevents save/restore pairs from
+/// landing inside loops (Section 5).
+void extendOverLoops(std::vector<BitVector> &APP, const LoopInfo &LI) {
+  bool Changed = true;
+  while (Changed) {
+    Changed = false;
+    for (const Loop &L : LI.loops()) {
+      BitVector Union(APP.empty() ? 0 : APP[0].size());
+      for (int B = L.Blocks.findFirst(); B >= 0; B = L.Blocks.findNext(B))
+        Union |= APP[B];
+      for (int B = L.Blocks.findFirst(); B >= 0; B = L.Blocks.findNext(B)) {
+        BitVector Old = APP[B];
+        APP[B] |= Union;
+        Changed |= Old != APP[B];
+      }
+    }
+  }
+}
+
+/// The four data-flow attributes of the paper's equations (3.1)-(3.4).
+struct Dataflow {
+  std::vector<BitVector> ANTIN, ANTOUT, AVIN, AVOUT;
+};
+
+/// Solves anticipability and availability of register appearances to a
+/// fixed point (AND-confluence; initialized to the universal set away from
+/// the boundary blocks).
+Dataflow solve(const Procedure &Proc, const std::vector<BitVector> &APP,
+               unsigned NumRegs) {
+  unsigned N = Proc.numBlocks();
+  Dataflow D;
+  BitVector Top(NumRegs, true);
+  BitVector Bottom(NumRegs, false);
+  D.ANTIN.assign(N, Top);
+  D.ANTOUT.assign(N, Top);
+  D.AVIN.assign(N, Top);
+  D.AVOUT.assign(N, Top);
+
+  bool Changed = true;
+  while (Changed) {
+    Changed = false;
+    // Anticipability: backward.
+    for (int B = int(N) - 1; B >= 0; --B) {
+      const BasicBlock *BB = Proc.block(B);
+      BitVector Out = isExitBlock(*BB) ? Bottom : Top;
+      if (!isExitBlock(*BB))
+        for (int S : BB->successors())
+          Out &= D.ANTIN[S];
+      BitVector In = APP[B] | Out;
+      if (Out != D.ANTOUT[B] || In != D.ANTIN[B]) {
+        D.ANTOUT[B] = std::move(Out);
+        D.ANTIN[B] = std::move(In);
+        Changed = true;
+      }
+    }
+    // Availability: forward.
+    for (unsigned B = 0; B < N; ++B) {
+      const BasicBlock *BB = Proc.block(int(B));
+      BitVector In = B == 0 ? Bottom : Top;
+      if (B != 0) {
+        if (BB->Preds.empty())
+          In = Bottom; // unreachable block: nothing is available
+        for (int P : BB->Preds)
+          In &= D.AVOUT[P];
+      }
+      BitVector Out = APP[B] | In;
+      if (In != D.AVIN[B] || Out != D.AVOUT[B]) {
+        D.AVIN[B] = std::move(In);
+        D.AVOUT[B] = std::move(Out);
+        Changed = true;
+      }
+    }
+  }
+  return D;
+}
+
+} // namespace
+
+ShrinkWrapResult ipra::placeSavesRestores(const Procedure &Proc,
+                                          const std::vector<BitVector> &APP,
+                                          unsigned NumRegs,
+                                          const LoopInfo &LI,
+                                          const ShrinkWrapOptions &Opts) {
+  unsigned N = Proc.numBlocks();
+  assert(APP.size() == N && "APP must have one entry per block");
+  ShrinkWrapResult R;
+  R.SaveAtEntry.assign(N, BitVector(NumRegs));
+  R.RestoreAtExit.assign(N, BitVector(NumRegs));
+  R.SavedAtProcEntry.resize(NumRegs);
+  R.ExtendedAPP = APP;
+
+  BitVector Used(NumRegs);
+  for (const BitVector &A : APP)
+    Used |= A;
+  if (Used.none())
+    return R;
+
+  if (!Opts.Enable) {
+    // Classic convention: save everything at entry, restore at every exit.
+    R.SaveAtEntry[0] = Used;
+    for (const auto &BB : Proc)
+      if (isExitBlock(*BB))
+        R.RestoreAtExit[BB->id()] = Used;
+    R.SavedAtProcEntry = Used;
+    return R;
+  }
+
+  std::vector<BitVector> W = APP;
+  if (Opts.LoopExtension)
+    extendOverLoops(W, LI);
+
+  // Range-extension loop: solve, detect edges that would need splitting
+  // (Fig. 2), widen APP there, re-solve. Each iteration strictly grows W,
+  // so this terminates; the paper observes one to two iterations suffice.
+  while (true) {
+    ++R.ExtensionIterations;
+    Dataflow D = solve(Proc, W, NumRegs);
+
+    // Covered[b] = the register's activity region includes b (entered or
+    // already passed through): ANTIN | AVOUT.
+    std::vector<BitVector> Covered(N, BitVector(NumRegs));
+    for (unsigned B = 0; B < N; ++B)
+      Covered[B] = D.ANTIN[B] | D.AVOUT[B];
+
+    bool Extended = false;
+    for (unsigned B = 0; B < N; ++B) {
+      const BasicBlock *BB = Proc.block(int(B));
+      // Save frontier at B: anticipated but not yet covered from above.
+      BitVector SaveFront = D.ANTIN[B];
+      SaveFront.andNot(D.AVIN[B]);
+      if (SaveFront.any() && !BB->Preds.empty()) {
+        BitVector AnyCovered(NumRegs), AnyUncovered(NumRegs);
+        for (int P : BB->Preds) {
+          AnyCovered |= Covered[P];
+          BitVector NotCov(NumRegs, true);
+          NotCov.andNot(Covered[P]);
+          AnyUncovered |= NotCov;
+        }
+        // Mixed predecessors: would need an edge split; extend instead.
+        BitVector Mixed = SaveFront & AnyCovered & AnyUncovered;
+        if (Mixed.any()) {
+          for (int P : BB->Preds) {
+            BitVector Add = Mixed;
+            Add.andNot(Covered[P]);
+            if (Add.any()) {
+              W[P] |= Add;
+              Extended = true;
+            }
+          }
+        }
+      }
+      // Restore frontier at B: available but no longer anticipated.
+      BitVector RestFront = D.AVOUT[B];
+      RestFront.andNot(D.ANTOUT[B]);
+      if (RestFront.any() && !isExitBlock(*BB)) {
+        BitVector AnyCovered(NumRegs), AnyUncovered(NumRegs);
+        for (int S : BB->successors()) {
+          AnyCovered |= Covered[S];
+          BitVector NotCov(NumRegs, true);
+          NotCov.andNot(Covered[S]);
+          AnyUncovered |= NotCov;
+        }
+        BitVector Mixed = RestFront & AnyCovered & AnyUncovered;
+        if (Mixed.any()) {
+          for (int S : BB->successors()) {
+            BitVector Add = Mixed;
+            Add.andNot(Covered[S]);
+            if (Add.any()) {
+              W[S] |= Add;
+              Extended = true;
+            }
+          }
+        }
+      }
+    }
+    if (Extended)
+      continue;
+
+    // Stable: emit placement (equations (3.5)/(3.6) with the block-level
+    // covered predicate).
+    for (unsigned B = 0; B < N; ++B) {
+      const BasicBlock *BB = Proc.block(int(B));
+      BitVector Save = D.ANTIN[B];
+      Save.andNot(D.AVIN[B]);
+      for (int P : BB->Preds)
+        Save.andNot(Covered[P]);
+      // Unreachable blocks never execute; placing saves there is pointless.
+      if (B != 0 && BB->Preds.empty())
+        Save.clear();
+      R.SaveAtEntry[B] = Save;
+
+      BitVector Restore = D.AVOUT[B];
+      Restore.andNot(D.ANTOUT[B]);
+      if (!isExitBlock(*BB))
+        for (int S : BB->successors())
+          Restore.andNot(Covered[S]);
+      R.RestoreAtExit[B] = Restore;
+    }
+    R.SavedAtProcEntry = R.SaveAtEntry[0];
+    R.ExtendedAPP = W;
+    return R;
+  }
+}
+
+std::string ipra::verifyPlacement(const Procedure &Proc,
+                                  const std::vector<BitVector> &APP,
+                                  unsigned NumRegs,
+                                  const ShrinkWrapResult &R) {
+  // Per-register, per-block-entry state: 0 = unknown, 1 = not-saved,
+  // 2 = saved, 3 = conflict.
+  unsigned N = Proc.numBlocks();
+  auto Describe = [](unsigned Reg, int Block, const char *What) {
+    return "reg " + std::to_string(Reg) + " at bb" + std::to_string(Block) +
+           ": " + What;
+  };
+  for (unsigned Reg = 0; Reg < NumRegs; ++Reg) {
+    std::vector<int> State(N, 0);
+    State[0] = 1;
+    std::vector<int> Work{0};
+    while (!Work.empty()) {
+      int B = Work.back();
+      Work.pop_back();
+      int S = State[B];
+      assert(S == 1 || S == 2);
+      if (R.SaveAtEntry[B].test(Reg)) {
+        if (S == 2)
+          return Describe(Reg, B, "saved twice without restore");
+        S = 2;
+      }
+      if (APP[B].test(Reg) && S != 2)
+        return Describe(Reg, B, "appearance not covered by a save");
+      if (R.RestoreAtExit[B].test(Reg)) {
+        if (S != 2)
+          return Describe(Reg, B, "restore without active save");
+        S = 1;
+      }
+      const BasicBlock *BB = Proc.block(B);
+      if (BB->terminator().Op == Opcode::Ret) {
+        if (S == 2)
+          return Describe(Reg, B, "exits with unrestored save");
+        continue;
+      }
+      for (int Succ : BB->successors()) {
+        if (State[Succ] == 0) {
+          State[Succ] = S;
+          Work.push_back(Succ);
+        } else if (State[Succ] != S) {
+          return Describe(Reg, Succ, "inconsistent save state at join");
+        }
+      }
+    }
+  }
+  return "";
+}

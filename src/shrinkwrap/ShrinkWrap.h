@@ -1,0 +1,92 @@
+//===- shrinkwrap/ShrinkWrap.h - Save/restore placement --------*- C++ -*-===//
+//
+// Part of the ipra project (Chow, PLDI 1988 reproduction).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Shrink-wrapping of callee-saved registers (Section 5 of the paper): a
+/// bit-vector data-flow analysis over anticipability (ANT) and availability
+/// (AV) of register uses places each register's save at the earliest blocks
+/// leading into its regions of activity and the restore symmetrically,
+/// instead of at procedure entry/exit.
+///
+/// Two refinements from the paper are implemented:
+///  - *Range extension*: where the placement equations would require
+///    splitting a CFG edge (Fig. 2), the APP (appearance) attribute is
+///    instead propagated to the offending neighbours and the equations
+///    re-solved, trading a little redundancy for no extra branches.
+///  - *Loop extension*: APP is smeared over every loop it intersects so a
+///    save/restore pair never lands inside a loop.
+///
+/// The pass is machine-representation agnostic: it consumes a CFG plus
+/// per-block APP bit vectors (one bit per physical register) and produces
+/// per-block save/restore placement masks.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef IPRA_SHRINKWRAP_SHRINKWRAP_H
+#define IPRA_SHRINKWRAP_SHRINKWRAP_H
+
+#include "analysis/Loops.h"
+#include "ir/Procedure.h"
+#include "support/BitVector.h"
+
+#include <string>
+#include <vector>
+
+namespace ipra {
+
+/// Placement of saves and restores for one procedure.
+struct ShrinkWrapResult {
+  /// [block] -> registers to save at the block's entry.
+  std::vector<BitVector> SaveAtEntry;
+  /// [block] -> registers to restore at the block's exit (before the
+  /// terminator).
+  std::vector<BitVector> RestoreAtExit;
+  /// Registers whose save landed at the entry block: their usage region
+  /// spans the whole procedure, the signal Section 6 uses to propagate the
+  /// save up the call graph instead.
+  BitVector SavedAtProcEntry;
+  /// Final APP after range/loop extension (diagnostics and tests).
+  std::vector<BitVector> ExtendedAPP;
+  /// Number of range-extension iterations the solver needed.
+  int ExtensionIterations = 0;
+};
+
+/// Solver options.
+struct ShrinkWrapOptions {
+  /// When false, every tracked register is saved at procedure entry and
+  /// restored at every exit (the classic convention; the -O2-without-SW and
+  /// "shrink-wrap disabled" baselines).
+  bool Enable = true;
+  /// Keep save/restore pairs out of loops (paper Section 5, last part).
+  bool LoopExtension = true;
+};
+
+/// Computes save/restore placement for the registers tracked in \p APP.
+///
+/// \param Proc  procedure providing the CFG (blocks/preds/succs).
+/// \param APP   per-block register-appearance sets; bit r set in APP[b]
+///              means register r is read, written, or clobbered by a call
+///              in block b. Registers with no APP bit anywhere receive no
+///              saves.
+/// \param NumRegs width of the bit vectors.
+ShrinkWrapResult placeSavesRestores(const Procedure &Proc,
+                                    const std::vector<BitVector> &APP,
+                                    unsigned NumRegs, const LoopInfo &LI,
+                                    const ShrinkWrapOptions &Opts = {});
+
+/// Static checker used by tests and asserts: walks the CFG with a per-
+/// register save-state lattice and verifies that on every path each APP
+/// block is covered by exactly one prior save, no save is duplicated while
+/// active, restores only follow saves, and every path to an exit restores
+/// what it saved. \returns an empty string on success, else a description
+/// of the first violation.
+std::string verifyPlacement(const Procedure &Proc,
+                            const std::vector<BitVector> &APP,
+                            unsigned NumRegs, const ShrinkWrapResult &R);
+
+} // namespace ipra
+
+#endif // IPRA_SHRINKWRAP_SHRINKWRAP_H

@@ -1,0 +1,279 @@
+//===- sim/Simulator.cpp ---------------------------------------------------===//
+
+#include "sim/Simulator.h"
+
+using namespace ipra;
+
+namespace {
+
+struct Frame {
+  int ProcId;
+  int Block;
+  unsigned Inst;
+};
+
+/// Snapshot taken at a call for the convention checker.
+struct CallRecord {
+  int CalleeId;
+  std::vector<int64_t> RegsBefore;
+};
+
+class Machine {
+public:
+  Machine(const MProgram &Prog, const SimOptions &Opts)
+      : Prog(Prog), Opts(Opts) {
+    Regs.assign(NumPhysRegs, 0);
+    Mem.assign(Opts.MemWords, 0);
+    for (unsigned I = 0; I < Prog.GlobalImage.size(); ++I)
+      Mem[I] = Prog.GlobalImage[I];
+    Regs[RegSP] = int64_t(Opts.MemWords);
+    if (Opts.CollectBlockProfile) {
+      Stats.Profile.BlockCounts.resize(Prog.Procs.size());
+      for (unsigned P = 0; P < Prog.Procs.size(); ++P)
+        Stats.Profile.BlockCounts[P].assign(Prog.Procs[P].Blocks.size(), 0);
+    }
+  }
+
+  RunStats run() {
+    if (Prog.MainProcId < 0)
+      return fail("program has no main procedure");
+    Cur = {Prog.MainProcId, 0, 0};
+    const MProc *Main = &Prog.Procs[Prog.MainProcId];
+    if (Main->IsExternal || Main->Blocks.empty())
+      return fail("main procedure has no body");
+
+    while (true) {
+      if (Stats.Instructions >= Opts.MaxSteps)
+        return fail("execution budget exceeded (infinite loop?)");
+      const MProc &P = Prog.Procs[Cur.ProcId];
+      const MBlock &B = P.Blocks[Cur.Block];
+      assert(Cur.Inst < B.Insts.size() && "fell off a block");
+      const MInst &I = B.Insts[Cur.Inst];
+      if (Opts.CollectBlockProfile && Cur.Inst == 0)
+        ++Stats.Profile.BlockCounts[Cur.ProcId][Cur.Block];
+      ++Stats.Instructions;
+      ++Stats.Cycles;
+      if (!step(I))
+        return std::move(Stats);
+    }
+  }
+
+private:
+  RunStats fail(std::string Why) {
+    Stats.OK = false;
+    Stats.Error = std::move(Why);
+    return std::move(Stats);
+  }
+
+  bool addrOK(int64_t Addr) const {
+    return Addr >= 0 && uint64_t(Addr) < Opts.MemWords;
+  }
+
+  /// Executes one instruction; returns false when the run finished (OK or
+  /// error state already recorded in Stats).
+  bool step(const MInst &I) {
+    int64_t &RD = Regs[I.Rd];
+    int64_t RS = Regs[I.Rs];
+    int64_t RT = Regs[I.Rt];
+    // Wrap-around two's-complement arithmetic (via unsigned) so that
+    // overflowing guest programs stay well-defined in the host.
+    auto Wrap = [](uint64_t V) { return int64_t(V); };
+    switch (I.Op) {
+    case MOpcode::Add:
+      RD = Wrap(uint64_t(RS) + uint64_t(RT));
+      break;
+    case MOpcode::Sub:
+      RD = Wrap(uint64_t(RS) - uint64_t(RT));
+      break;
+    case MOpcode::Mul:
+      RD = Wrap(uint64_t(RS) * uint64_t(RT));
+      break;
+    case MOpcode::Div:
+      if (RT == 0)
+        return errorOut("division by zero");
+      if (RS == INT64_MIN && RT == -1)
+        RD = RS; // the one overflowing quotient
+      else
+        RD = RS / RT;
+      break;
+    case MOpcode::Rem:
+      if (RT == 0)
+        return errorOut("remainder by zero");
+      if (RS == INT64_MIN && RT == -1)
+        RD = 0;
+      else
+        RD = RS % RT;
+      break;
+    case MOpcode::And:
+      RD = RS & RT;
+      break;
+    case MOpcode::Or:
+      RD = RS | RT;
+      break;
+    case MOpcode::Xor:
+      RD = RS ^ RT;
+      break;
+    case MOpcode::Shl:
+      RD = (RT < 0 || RT > 62) ? 0 : Wrap(uint64_t(RS) << RT);
+      break;
+    case MOpcode::Shr:
+      RD = (RT < 0 || RT > 62) ? 0 : RS >> RT;
+      break;
+    case MOpcode::CmpEq:
+      RD = RS == RT;
+      break;
+    case MOpcode::CmpNe:
+      RD = RS != RT;
+      break;
+    case MOpcode::CmpLt:
+      RD = RS < RT;
+      break;
+    case MOpcode::CmpLe:
+      RD = RS <= RT;
+      break;
+    case MOpcode::CmpGt:
+      RD = RS > RT;
+      break;
+    case MOpcode::CmpGe:
+      RD = RS >= RT;
+      break;
+    case MOpcode::Neg:
+      RD = Wrap(0 - uint64_t(RS));
+      break;
+    case MOpcode::Not:
+      RD = ~RS;
+      break;
+    case MOpcode::Move:
+      RD = RS;
+      break;
+    case MOpcode::LoadImm:
+      RD = I.Imm;
+      break;
+    case MOpcode::AddImm:
+      RD = RS + I.Imm;
+      break;
+    case MOpcode::Load: {
+      int64_t Addr = RS + I.Imm;
+      if (!addrOK(Addr))
+        return errorOut("load out of bounds at word " + std::to_string(Addr));
+      RD = Mem[Addr];
+      if (I.Mem == MemKind::Scalar)
+        ++Stats.ScalarLoads;
+      else
+        ++Stats.DataLoads;
+      break;
+    }
+    case MOpcode::Store: {
+      int64_t Addr = RS + I.Imm;
+      if (!addrOK(Addr))
+        return errorOut("store out of bounds at word " +
+                        std::to_string(Addr));
+      Mem[Addr] = RT;
+      if (I.Mem == MemKind::Scalar)
+        ++Stats.ScalarStores;
+      else
+        ++Stats.DataStores;
+      break;
+    }
+    case MOpcode::Call:
+      return enter(I.Callee);
+    case MOpcode::CallInd:
+      return enter(int(RS));
+    case MOpcode::Ret: {
+      if (Opts.CheckConventions && !CallRecords.empty()) {
+        if (!checkConvention())
+          return false;
+        CallRecords.pop_back();
+      }
+      if (CallStack.empty()) {
+        Stats.OK = true;
+        Stats.ExitValue = Regs[RegV0];
+        return false;
+      }
+      Cur = CallStack.back();
+      CallStack.pop_back();
+      return true; // Cur already advanced past the call
+    }
+    case MOpcode::Br:
+      Cur.Block = I.Target1;
+      Cur.Inst = 0;
+      return true;
+    case MOpcode::CondBr:
+      Cur.Block = RS != 0 ? I.Target1 : I.Target2;
+      Cur.Inst = 0;
+      return true;
+    case MOpcode::Print:
+      Stats.Output.push_back(RS);
+      break;
+    }
+    ++Cur.Inst;
+    return true;
+  }
+
+  bool errorOut(std::string Why) {
+    Stats.OK = false;
+    Stats.Error = std::move(Why) + " (in " + Prog.Procs[Cur.ProcId].Name +
+                  ", block " + std::to_string(Cur.Block) + ")";
+    return false;
+  }
+
+  bool enter(int Callee) {
+    ++Stats.Calls;
+    if (Callee < 0 || Callee >= int(Prog.Procs.size()))
+      return errorOut("call to invalid procedure id " +
+                      std::to_string(Callee));
+    const MProc &P = Prog.Procs[Callee];
+    if (P.IsExternal || P.Blocks.empty())
+      return errorOut("call to external procedure '" + P.Name + "'");
+    if (CallStack.size() >= Opts.MaxCallDepth)
+      return errorOut("call depth exceeded");
+    if (Opts.CheckConventions)
+      CallRecords.push_back({Callee, Regs});
+    Frame Return = Cur;
+    ++Return.Inst;
+    CallStack.push_back(Return);
+    Cur = {Callee, 0, 0};
+    return true;
+  }
+
+  /// Verifies the returning procedure preserved everything outside its
+  /// published clobber mask, plus the stack pointer.
+  bool checkConvention() {
+    const CallRecord &Rec = CallRecords.back();
+    const MProc &Callee = Prog.Procs[Rec.CalleeId];
+    if (Regs[RegSP] != Rec.RegsBefore[RegSP]) {
+      errorOut("convention violation: '" + Callee.Name +
+               "' returned with a misadjusted stack pointer");
+      return false;
+    }
+    if (Rec.CalleeId >= int(Prog.ClobberMasks.size()))
+      return true; // hand-built program without masks: nothing to check
+    const BitVector &Clobber = Prog.ClobberMasks[Rec.CalleeId];
+    for (unsigned Reg = 0; Reg < NumPhysRegs; ++Reg) {
+      if (Reg == RegSP || Reg == RegRA || Clobber.test(Reg))
+        continue;
+      if (Regs[Reg] != Rec.RegsBefore[Reg]) {
+        errorOut("convention violation: '" + Callee.Name +
+                 "' clobbered " + regName(Reg) +
+                 " which its usage summary promises to preserve");
+        return false;
+      }
+    }
+    return true;
+  }
+
+  const MProgram &Prog;
+  const SimOptions &Opts;
+  std::vector<int64_t> Regs;
+  std::vector<int64_t> Mem;
+  std::vector<Frame> CallStack;
+  std::vector<CallRecord> CallRecords;
+  Frame Cur{0, 0, 0};
+  RunStats Stats;
+};
+
+} // namespace
+
+RunStats ipra::runProgram(const MProgram &Prog, const SimOptions &Opts) {
+  return Machine(Prog, Opts).run();
+}

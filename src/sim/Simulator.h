@@ -1,0 +1,88 @@
+//===- sim/Simulator.h - Machine-code interpreter and counters -*- C++ -*-===//
+//
+// Part of the ipra project (Chow, PLDI 1988 reproduction).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// An instruction-level interpreter for the machine programs the code
+/// generator emits. It stands in for the paper's `pixie` tracing facility:
+/// every instruction costs one cycle (the R2000 single-issue model) and
+/// loads/stores are tallied by category, so the "executed cycles" and
+/// "scalar loads/stores" columns of Tables 1 and 2 can be reproduced
+/// independent of cache and clock effects, exactly as the paper measures.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef IPRA_SIM_SIMULATOR_H
+#define IPRA_SIM_SIMULATOR_H
+
+#include "analysis/Profile.h"
+#include "codegen/MIR.h"
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace ipra {
+
+/// Counters and outcome of one program run.
+struct RunStats {
+  bool OK = false;
+  std::string Error;
+  int64_t ExitValue = 0;
+
+  uint64_t Cycles = 0;
+  uint64_t Instructions = 0;
+  /// Loads/stores of scalar variables, spills and register saves/restores:
+  /// the traffic a perfect register allocator could remove.
+  uint64_t ScalarLoads = 0;
+  uint64_t ScalarStores = 0;
+  /// Array/pointer data traffic.
+  uint64_t DataLoads = 0;
+  uint64_t DataStores = 0;
+  /// Dynamic procedure calls executed.
+  uint64_t Calls = 0;
+
+  /// Values printed by the program, in order (the observable behaviour
+  /// used to check correctness across configurations).
+  std::vector<int64_t> Output;
+
+  /// Per-block execution counts (only filled when
+  /// SimOptions::CollectBlockProfile is set). Machine blocks map 1:1 onto
+  /// the IR blocks they were generated from, so this feeds straight back
+  /// into the allocator (see analysis/Profile.h).
+  ProfileData Profile;
+
+  uint64_t scalarMemOps() const { return ScalarLoads + ScalarStores; }
+  double cyclesPerCall() const {
+    return Calls ? double(Cycles) / double(Calls) : double(Cycles);
+  }
+};
+
+struct SimOptions {
+  /// Memory size in words (globals at the bottom, stack at the top).
+  uint64_t MemWords = 1u << 22;
+  /// Execution budget; exceeding it aborts the run with an error.
+  uint64_t MaxSteps = 400 * 1000 * 1000ull;
+  /// Call-depth budget.
+  unsigned MaxCallDepth = 100000;
+  /// Record per-block execution counts into RunStats::Profile (the pixie
+  /// basic-block counting mode).
+  bool CollectBlockProfile = false;
+  /// Dynamically verify the register-usage contract at every call: when a
+  /// procedure returns, every register outside its published clobber mask
+  /// (MProgram::ClobberMasks) must hold its pre-call value, and the stack
+  /// pointer must be restored exactly. A violation aborts the run with a
+  /// diagnostic naming the call and register -- it means the allocator
+  /// published a summary its code does not honour.
+  bool CheckConventions = false;
+};
+
+/// Executes \p Prog from its main procedure. Never throws; failures are
+/// reported through RunStats::OK / Error.
+RunStats runProgram(const MProgram &Prog, const SimOptions &Opts = {});
+
+} // namespace ipra
+
+#endif // IPRA_SIM_SIMULATOR_H

@@ -1,0 +1,115 @@
+//===- support/BitVector.cpp ----------------------------------------------===//
+
+#include "support/BitVector.h"
+
+using namespace ipra;
+
+void BitVector::resize(unsigned N, bool Value) {
+  unsigned OldBits = NumBits;
+  NumBits = N;
+  Words.resize((N + 63) / 64, Value ? ~uint64_t(0) : 0);
+  if (Value && OldBits < NumBits) {
+    // Bits between OldBits and the end of its word must be filled in.
+    for (unsigned Idx = OldBits; Idx < NumBits && Idx % 64 != 0; ++Idx)
+      Words[Idx / 64] |= uint64_t(1) << (Idx % 64);
+  }
+  clearUnusedTail();
+}
+
+void BitVector::clear() {
+  for (uint64_t &W : Words)
+    W = 0;
+}
+
+void BitVector::setAll() {
+  for (uint64_t &W : Words)
+    W = ~uint64_t(0);
+  clearUnusedTail();
+}
+
+bool BitVector::any() const {
+  for (uint64_t W : Words)
+    if (W)
+      return true;
+  return false;
+}
+
+unsigned BitVector::count() const {
+  unsigned N = 0;
+  for (uint64_t W : Words)
+    N += __builtin_popcountll(W);
+  return N;
+}
+
+int BitVector::findFirst() const {
+  for (unsigned I = 0, E = Words.size(); I != E; ++I)
+    if (Words[I])
+      return int(I * 64 + __builtin_ctzll(Words[I]));
+  return -1;
+}
+
+int BitVector::findNext(unsigned Prev) const {
+  unsigned Idx = Prev + 1;
+  if (Idx >= NumBits)
+    return -1;
+  unsigned WordIdx = Idx / 64;
+  uint64_t W = Words[WordIdx] & (~uint64_t(0) << (Idx % 64));
+  while (true) {
+    if (W)
+      return int(WordIdx * 64 + __builtin_ctzll(W));
+    if (++WordIdx == Words.size())
+      return -1;
+    W = Words[WordIdx];
+  }
+}
+
+BitVector &BitVector::operator|=(const BitVector &RHS) {
+  assert(NumBits == RHS.NumBits && "bit vector size mismatch");
+  for (unsigned I = 0, E = Words.size(); I != E; ++I)
+    Words[I] |= RHS.Words[I];
+  return *this;
+}
+
+BitVector &BitVector::operator&=(const BitVector &RHS) {
+  assert(NumBits == RHS.NumBits && "bit vector size mismatch");
+  for (unsigned I = 0, E = Words.size(); I != E; ++I)
+    Words[I] &= RHS.Words[I];
+  return *this;
+}
+
+BitVector &BitVector::andNot(const BitVector &RHS) {
+  assert(NumBits == RHS.NumBits && "bit vector size mismatch");
+  for (unsigned I = 0, E = Words.size(); I != E; ++I)
+    Words[I] &= ~RHS.Words[I];
+  return *this;
+}
+
+bool BitVector::operator==(const BitVector &RHS) const {
+  return NumBits == RHS.NumBits && Words == RHS.Words;
+}
+
+bool BitVector::isSubsetOf(const BitVector &RHS) const {
+  assert(NumBits == RHS.NumBits && "bit vector size mismatch");
+  for (unsigned I = 0, E = Words.size(); I != E; ++I)
+    if (Words[I] & ~RHS.Words[I])
+      return false;
+  return true;
+}
+
+std::string BitVector::str() const {
+  std::string Out = "{";
+  bool First = true;
+  for (int I = findFirst(); I >= 0; I = findNext(I)) {
+    if (!First)
+      Out += ", ";
+    Out += std::to_string(I);
+    First = false;
+  }
+  Out += "}";
+  return Out;
+}
+
+void BitVector::clearUnusedTail() {
+  if (NumBits % 64 != 0 && !Words.empty())
+    Words.back() &= (uint64_t(1) << (NumBits % 64)) - 1;
+}

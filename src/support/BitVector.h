@@ -1,0 +1,104 @@
+//===- support/BitVector.h - Dynamic bit vector ----------------*- C++ -*-===//
+//
+// Part of the ipra project: reproduction of F. Chow, "Minimizing Register
+// Usage Penalty at Procedure Calls", PLDI 1988.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A dynamically-sized bit vector used for the data-flow analyses (liveness,
+/// shrink-wrap ANT/AV) where the paper encodes per-register facts "in bit
+/// vector form using a word of storage".
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef IPRA_SUPPORT_BITVECTOR_H
+#define IPRA_SUPPORT_BITVECTOR_H
+
+#include <cassert>
+#include <cstdint>
+#include <cstddef>
+#include <string>
+#include <vector>
+
+namespace ipra {
+
+/// A fixed-universe set of small integers backed by 64-bit words.
+class BitVector {
+public:
+  BitVector() = default;
+
+  /// Creates a vector of \p N bits, all initialized to \p Value.
+  explicit BitVector(unsigned N, bool Value = false) { resize(N, Value); }
+
+  unsigned size() const { return NumBits; }
+
+  /// Grows or shrinks to \p N bits; new bits take \p Value.
+  void resize(unsigned N, bool Value = false);
+
+  bool test(unsigned Idx) const {
+    assert(Idx < NumBits && "bit index out of range");
+    return (Words[Idx / 64] >> (Idx % 64)) & 1;
+  }
+  bool operator[](unsigned Idx) const { return test(Idx); }
+
+  void set(unsigned Idx) {
+    assert(Idx < NumBits && "bit index out of range");
+    Words[Idx / 64] |= uint64_t(1) << (Idx % 64);
+  }
+  void reset(unsigned Idx) {
+    assert(Idx < NumBits && "bit index out of range");
+    Words[Idx / 64] &= ~(uint64_t(1) << (Idx % 64));
+  }
+  void set(unsigned Idx, bool Value) { Value ? set(Idx) : reset(Idx); }
+
+  /// Sets all bits to false.
+  void clear();
+  /// Sets all bits to true.
+  void setAll();
+
+  /// \returns true if any bit is set.
+  bool any() const;
+  /// \returns true if no bit is set.
+  bool none() const { return !any(); }
+  /// \returns the number of set bits.
+  unsigned count() const;
+
+  /// \returns index of the first set bit, or -1 if none.
+  int findFirst() const;
+  /// \returns index of the first set bit strictly after \p Prev, or -1.
+  int findNext(unsigned Prev) const;
+
+  BitVector &operator|=(const BitVector &RHS);
+  BitVector &operator&=(const BitVector &RHS);
+  /// this &= ~RHS.
+  BitVector &andNot(const BitVector &RHS);
+
+  friend BitVector operator|(BitVector LHS, const BitVector &RHS) {
+    LHS |= RHS;
+    return LHS;
+  }
+  friend BitVector operator&(BitVector LHS, const BitVector &RHS) {
+    LHS &= RHS;
+    return LHS;
+  }
+
+  bool operator==(const BitVector &RHS) const;
+  bool operator!=(const BitVector &RHS) const { return !(*this == RHS); }
+
+  /// \returns true if every set bit of this is also set in \p RHS.
+  bool isSubsetOf(const BitVector &RHS) const;
+
+  /// Renders e.g. "{1, 5, 9}" for debugging and test failure messages.
+  std::string str() const;
+
+private:
+  void clearUnusedTail();
+
+  unsigned NumBits = 0;
+  std::vector<uint64_t> Words;
+};
+
+} // namespace ipra
+
+#endif // IPRA_SUPPORT_BITVECTOR_H

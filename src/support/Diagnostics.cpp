@@ -1,0 +1,23 @@
+//===- support/Diagnostics.cpp --------------------------------------------===//
+
+#include "support/Diagnostics.h"
+
+using namespace ipra;
+
+std::string Diagnostic::str() const {
+  std::string Out;
+  if (Loc.isValid())
+    Out += Loc.str() + ": ";
+  Out += K == Kind::Error ? "error: " : "warning: ";
+  Out += Message;
+  return Out;
+}
+
+std::string DiagnosticEngine::str() const {
+  std::string Out;
+  for (const Diagnostic &D : Diags) {
+    Out += D.str();
+    Out += '\n';
+  }
+  return Out;
+}

@@ -1,0 +1,69 @@
+//===- support/Diagnostics.h - Source locations and error sink -*- C++ -*-===//
+//
+// Part of the ipra project (Chow, PLDI 1988 reproduction).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Lightweight diagnostics used by the miniC front end and the IR verifier.
+/// Errors are collected into a DiagnosticEngine instead of being thrown, so
+/// library code never raises exceptions.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef IPRA_SUPPORT_DIAGNOSTICS_H
+#define IPRA_SUPPORT_DIAGNOSTICS_H
+
+#include <string>
+#include <vector>
+
+namespace ipra {
+
+/// A 1-based line/column position in a miniC source buffer.
+struct SourceLoc {
+  int Line = 0;
+  int Col = 0;
+
+  bool isValid() const { return Line > 0; }
+  std::string str() const {
+    return std::to_string(Line) + ":" + std::to_string(Col);
+  }
+};
+
+/// One reported problem.
+struct Diagnostic {
+  enum class Kind { Error, Warning };
+  Kind K = Kind::Error;
+  SourceLoc Loc;
+  std::string Message;
+
+  std::string str() const;
+};
+
+/// Accumulates diagnostics; queried by the driver after each phase.
+class DiagnosticEngine {
+public:
+  void error(SourceLoc Loc, std::string Message) {
+    Diags.push_back({Diagnostic::Kind::Error, Loc, std::move(Message)});
+    ++NumErrors;
+  }
+  void error(std::string Message) { error(SourceLoc(), std::move(Message)); }
+  void warning(SourceLoc Loc, std::string Message) {
+    Diags.push_back({Diagnostic::Kind::Warning, Loc, std::move(Message)});
+  }
+
+  bool hasErrors() const { return NumErrors > 0; }
+  unsigned errorCount() const { return NumErrors; }
+  const std::vector<Diagnostic> &diagnostics() const { return Diags; }
+
+  /// All diagnostics joined with newlines, for tests and tool output.
+  std::string str() const;
+
+private:
+  std::vector<Diagnostic> Diags;
+  unsigned NumErrors = 0;
+};
+
+} // namespace ipra
+
+#endif // IPRA_SUPPORT_DIAGNOSTICS_H

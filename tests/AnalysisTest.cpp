@@ -1,0 +1,327 @@
+//===- tests/AnalysisTest.cpp - Liveness/loops/ranges/callgraph tests -----===//
+
+#include "analysis/CallGraph.h"
+#include "analysis/LiveRanges.h"
+#include "analysis/Liveness.h"
+#include "analysis/Loops.h"
+#include "frontend/Frontend.h"
+#include "ir/IRBuilder.h"
+
+#include <gtest/gtest.h>
+
+using namespace ipra;
+
+namespace {
+
+std::unique_ptr<Module> compileOK(const std::string &Src) {
+  DiagnosticEngine Diags;
+  auto M = compileToIR(Src, Diags);
+  EXPECT_NE(M, nullptr) << Diags.str();
+  return M;
+}
+
+/// Prepares a procedure for analysis: CFG, loops, frequencies.
+void prepare(Procedure &P) {
+  P.recomputeCFG();
+  estimateFrequencies(P, LoopInfo::compute(P));
+}
+
+TEST(LivenessTest, StraightLine) {
+  Module M;
+  Procedure *P = M.makeProcedure("f");
+  P->ParamVRegs.push_back(P->makeVReg());
+  IRBuilder B(P);
+  B.setInsertBlock(P->makeBlock());
+  VReg A = P->ParamVRegs[0];
+  VReg T = B.addImm(A, 1); // %2 = a + 1
+  B.ret(T);
+  P->recomputeCFG();
+  Liveness LV = Liveness::compute(*P);
+  EXPECT_TRUE(LV.liveIn(0).test(A));
+  EXPECT_FALSE(LV.liveIn(0).test(T)) << "T is defined before use";
+  EXPECT_TRUE(LV.liveOut(0).none());
+}
+
+TEST(LivenessTest, LiveAcrossBranchJoin) {
+  // a defined in bb0, used in bb3; must be live through both arms.
+  Module M;
+  Procedure *P = M.makeProcedure("f");
+  IRBuilder B(P);
+  BasicBlock *B0 = P->makeBlock();
+  BasicBlock *B1 = P->makeBlock();
+  BasicBlock *B2 = P->makeBlock();
+  BasicBlock *B3 = P->makeBlock();
+  B.setInsertBlock(B0);
+  VReg A = B.loadImm(7);
+  VReg C = B.loadImm(1);
+  B.condBr(C, B1, B2);
+  B.setInsertBlock(B1);
+  B.br(B3);
+  B.setInsertBlock(B2);
+  B.br(B3);
+  B.setInsertBlock(B3);
+  B.ret(A);
+  P->recomputeCFG();
+  Liveness LV = Liveness::compute(*P);
+  EXPECT_TRUE(LV.liveIn(1).test(A));
+  EXPECT_TRUE(LV.liveIn(2).test(A));
+  EXPECT_TRUE(LV.liveIn(3).test(A));
+  EXPECT_TRUE(LV.liveOut(0).test(A));
+  EXPECT_FALSE(LV.liveOut(3).test(A));
+}
+
+TEST(LivenessTest, LoopCarriedValue) {
+  auto M = compileOK("func f(n) { var s = 0; while (n > 0) { s = s + n; "
+                     "n = n - 1; } return s; }");
+  Procedure *P = M->findProcedure("f");
+  prepare(*P);
+  Liveness LV = Liveness::compute(*P);
+  // The loop condition block must have both s and n live (s flows around
+  // the loop to the final return, n feeds the condition).
+  VReg N = P->ParamVRegs[0];
+  bool FoundLoopBlock = false;
+  for (const auto &BB : *P) {
+    if (BB->LoopDepth > 0 && LV.liveIn(BB->id()).test(N))
+      FoundLoopBlock = true;
+  }
+  EXPECT_TRUE(FoundLoopBlock);
+}
+
+TEST(LoopsTest, WhileLoopDetected) {
+  auto M = compileOK(
+      "func f(n) { var s = 0; while (n > 0) { n = n - 1; } return s; }");
+  Procedure *P = M->findProcedure("f");
+  P->recomputeCFG();
+  LoopInfo LI = LoopInfo::compute(*P);
+  ASSERT_EQ(LI.loops().size(), 1u);
+  int InLoop = 0;
+  for (const auto &BB : *P)
+    if (LI.inAnyLoop(BB->id()))
+      ++InLoop;
+  EXPECT_GE(InLoop, 2) << "condition and body blocks are in the loop";
+}
+
+TEST(LoopsTest, NestedLoopsDepth) {
+  auto M = compileOK(R"(
+    func f(n) {
+      var s = 0;
+      for (var i = 0; i < n; i = i + 1) {
+        for (var j = 0; j < n; j = j + 1) {
+          s = s + 1;
+        }
+      }
+      return s;
+    }
+  )");
+  Procedure *P = M->findProcedure("f");
+  prepare(*P);
+  int MaxDepth = 0;
+  double MaxFreq = 0;
+  for (const auto &BB : *P) {
+    MaxDepth = std::max(MaxDepth, BB->LoopDepth);
+    MaxFreq = std::max(MaxFreq, BB->Freq);
+  }
+  EXPECT_EQ(MaxDepth, 2);
+  EXPECT_DOUBLE_EQ(MaxFreq, 100.0);
+  EXPECT_DOUBLE_EQ(P->entry()->Freq, 1.0);
+}
+
+TEST(LoopsTest, NoLoopsInDag) {
+  auto M = compileOK("func f(a) { if (a) { return 1; } return 2; }");
+  Procedure *P = M->findProcedure("f");
+  P->recomputeCFG();
+  LoopInfo LI = LoopInfo::compute(*P);
+  EXPECT_TRUE(LI.loops().empty());
+}
+
+TEST(LiveRangesTest, SavingsScaleWithLoopDepth) {
+  auto M = compileOK(R"(
+    func f(n) {
+      var hot = 0;
+      var cold = 5;
+      for (var i = 0; i < n; i = i + 1) { hot = hot + i; }
+      return hot + cold;
+    }
+  )");
+  Procedure *P = M->findProcedure("f");
+  prepare(*P);
+  Liveness LV = Liveness::compute(*P);
+  LiveRangeInfo LRI = LiveRangeInfo::compute(*P, LV);
+  // Find the vregs for hot and cold: hot is used inside the loop so its
+  // savings must dominate cold's.
+  double MaxSavings = 0;
+  for (VReg R = 1; R < P->NumVRegs; ++R)
+    MaxSavings = std::max(MaxSavings, LRI.range(R).SpillSavings);
+  EXPECT_GT(MaxSavings, 20.0) << "loop-resident range should be hot";
+}
+
+TEST(LiveRangesTest, CallCrossingsRecorded) {
+  auto M = compileOK(R"(
+    func leaf(x) { return x + 1; }
+    func f(a) {
+      var v = a * 2;
+      var r = leaf(a);
+      return v + r;
+    }
+  )");
+  Procedure *P = M->findProcedure("f");
+  Procedure *Leaf = M->findProcedure("leaf");
+  prepare(*P);
+  Liveness LV = Liveness::compute(*P);
+  LiveRangeInfo LRI = LiveRangeInfo::compute(*P, LV);
+  // v lives across the call to leaf; a does not (last use is the call arg).
+  unsigned NumCrossing = 0;
+  for (VReg R = 1; R < P->NumVRegs; ++R) {
+    for (const CallCrossing &C : LRI.range(R).Crossings) {
+      EXPECT_EQ(C.CalleeId, Leaf->id());
+      ++NumCrossing;
+    }
+  }
+  EXPECT_GE(NumCrossing, 1u);
+  // The call argument register must not cross its own call.
+  VReg A = P->ParamVRegs[0];
+  bool UsedAfterCall = false;
+  (void)UsedAfterCall;
+  EXPECT_TRUE(LRI.range(A).Crossings.empty())
+      << "a's last use is the call argument";
+}
+
+TEST(LiveRangesTest, CallResultDoesNotCrossItsOwnCall) {
+  auto M = compileOK(R"(
+    func leaf(x) { return x; }
+    func f(a) { return leaf(a); }
+  )");
+  Procedure *P = M->findProcedure("f");
+  prepare(*P);
+  Liveness LV = Liveness::compute(*P);
+  LiveRangeInfo LRI = LiveRangeInfo::compute(*P, LV);
+  for (VReg R = 1; R < P->NumVRegs; ++R)
+    EXPECT_TRUE(LRI.range(R).Crossings.empty())
+        << "no value lives across the tail call, including its result %"
+        << R;
+}
+
+TEST(InterferenceTest, OverlappingRangesInterfere) {
+  auto M = compileOK("func f(a, b) { var x = a + b; var y = a - b; "
+                     "return x * y; }");
+  Procedure *P = M->findProcedure("f");
+  prepare(*P);
+  Liveness LV = Liveness::compute(*P);
+  InterferenceGraph IG = InterferenceGraph::compute(*P, LV);
+  VReg A = P->ParamVRegs[0];
+  VReg B = P->ParamVRegs[1];
+  EXPECT_TRUE(IG.interfere(A, B));
+}
+
+TEST(InterferenceTest, DisjointRangesDoNotInterfere) {
+  Module M;
+  Procedure *P = M.makeProcedure("f");
+  IRBuilder B(P);
+  B.setInsertBlock(P->makeBlock());
+  VReg X = B.loadImm(1);
+  VReg Y = B.addImm(X, 1); // x dies here
+  VReg Z = B.addImm(Y, 1); // y dies here
+  B.ret(Z);
+  P->recomputeCFG();
+  estimateFrequencies(*P, LoopInfo::compute(*P));
+  Liveness LV = Liveness::compute(*P);
+  InterferenceGraph IG = InterferenceGraph::compute(*P, LV);
+  EXPECT_FALSE(IG.interfere(X, Z));
+  EXPECT_TRUE(IG.interfere(X, X) == false);
+}
+
+TEST(InterferenceTest, CopyDoesNotForceEdge) {
+  Module M;
+  Procedure *P = M.makeProcedure("f");
+  IRBuilder B(P);
+  B.setInsertBlock(P->makeBlock());
+  VReg X = B.loadImm(1);
+  VReg Y = B.copy(X); // y = x; both "live" at the copy, may share
+  B.ret(Y);
+  P->recomputeCFG();
+  estimateFrequencies(*P, LoopInfo::compute(*P));
+  Liveness LV = Liveness::compute(*P);
+  InterferenceGraph IG = InterferenceGraph::compute(*P, LV);
+  EXPECT_FALSE(IG.interfere(X, Y));
+}
+
+TEST(InterferenceTest, ParametersMutuallyInterfere) {
+  auto M = compileOK("func f(a, b, c) { return 0; }");
+  Procedure *P = M->findProcedure("f");
+  prepare(*P);
+  Liveness LV = Liveness::compute(*P);
+  InterferenceGraph IG = InterferenceGraph::compute(*P, LV);
+  EXPECT_TRUE(IG.interfere(P->ParamVRegs[0], P->ParamVRegs[1]));
+  EXPECT_TRUE(IG.interfere(P->ParamVRegs[1], P->ParamVRegs[2]));
+}
+
+TEST(CallGraphTest, EdgesAndBottomUpOrder) {
+  auto M = compileOK(R"(
+    func leaf(x) { return x; }
+    func mid(x) { return leaf(x) + 1; }
+    func main() { return mid(3); }
+  )");
+  CallGraph CG = CallGraph::build(*M);
+  int Leaf = M->findProcedure("leaf")->id();
+  int Mid = M->findProcedure("mid")->id();
+  int Main = M->findProcedure("main")->id();
+  const auto &Order = CG.bottomUpOrder();
+  auto Pos = [&Order](int P) {
+    return std::find(Order.begin(), Order.end(), P) - Order.begin();
+  };
+  EXPECT_LT(Pos(Leaf), Pos(Mid));
+  EXPECT_LT(Pos(Mid), Pos(Main));
+  EXPECT_EQ(Order.size(), 3u);
+  EXPECT_EQ(CG.node(Main).Callees, (std::vector<int>{Mid}));
+}
+
+TEST(CallGraphTest, OpenClassification) {
+  auto M = compileOK(R"(
+    func closed(x) { return x; }
+    export func api(x) { return closed(x); }
+    func fact(n) { if (n <= 1) { return 1; } return n * fact(n - 1); }
+    func taken(x) { return x; }
+    extern func lib(x);
+    func main() {
+      var p = &taken;
+      return api(1) + fact(3) + p(2) + lib(9);
+    }
+  )");
+  CallGraph CG = CallGraph::build(*M);
+  EXPECT_FALSE(CG.isOpen(M->findProcedure("closed")->id()));
+  EXPECT_TRUE(CG.isOpen(M->findProcedure("api")->id())) << "exported";
+  EXPECT_TRUE(CG.isOpen(M->findProcedure("fact")->id())) << "self-recursive";
+  EXPECT_TRUE(CG.isOpen(M->findProcedure("taken")->id())) << "address taken";
+  EXPECT_TRUE(CG.isOpen(M->findProcedure("lib")->id())) << "external";
+  EXPECT_TRUE(CG.isOpen(M->findProcedure("main")->id())) << "main";
+  EXPECT_TRUE(CG.node(M->findProcedure("main")->id()).HasIndirectCalls);
+}
+
+TEST(CallGraphTest, MutualRecursionIsOpen) {
+  auto M = compileOK(R"(
+    func even(n) { if (n == 0) { return 1; } return odd(n - 1); }
+    func odd(n) { if (n == 0) { return 0; } return even(n - 1); }
+    func main() { return even(10); }
+  )");
+  CallGraph CG = CallGraph::build(*M);
+  EXPECT_TRUE(CG.isOpen(M->findProcedure("even")->id()));
+  EXPECT_TRUE(CG.isOpen(M->findProcedure("odd")->id()));
+  EXPECT_TRUE(CG.node(M->findProcedure("even")->id()).InCycle);
+}
+
+TEST(CallGraphTest, DiamondCallGraphStillClosed) {
+  // p -> q, p -> r, q -> s, r -> s: a DAG diamond; s processed once, all
+  // of q, r, s closed.
+  auto M = compileOK(R"(
+    func s(x) { return x; }
+    func q(x) { return s(x); }
+    func r(x) { return s(x) * 2; }
+    func main() { return q(1) + r(2); }
+  )");
+  CallGraph CG = CallGraph::build(*M);
+  EXPECT_FALSE(CG.isOpen(M->findProcedure("s")->id()));
+  EXPECT_FALSE(CG.isOpen(M->findProcedure("q")->id()));
+  EXPECT_FALSE(CG.isOpen(M->findProcedure("r")->id()));
+}
+
+} // namespace

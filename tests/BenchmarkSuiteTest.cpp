@@ -1,0 +1,92 @@
+//===- tests/BenchmarkSuiteTest.cpp - Differential suite testing ----------===//
+//
+// Every benchmark program must produce byte-identical observable output
+// under every compiler configuration: the configurations may only change
+// *how fast* the code runs, never *what* it computes. This differential
+// check over realistic programs is the strongest whole-compiler test in
+// the repository.
+//
+//===----------------------------------------------------------------------===//
+
+#include "driver/Pipeline.h"
+#include "programs/Programs.h"
+
+#include <gtest/gtest.h>
+
+using namespace ipra;
+
+namespace {
+
+class BenchmarkSuiteTest
+    : public ::testing::TestWithParam<BenchmarkProgram> {};
+
+TEST_P(BenchmarkSuiteTest, IdenticalOutputAcrossAllConfigs) {
+  const BenchmarkProgram &B = GetParam();
+  RunStats Reference = compileAndRun(B.Source, optionsFor(PaperConfig::Base));
+  ASSERT_TRUE(Reference.OK) << B.Name << ": " << Reference.Error;
+  ASSERT_FALSE(Reference.Output.empty()) << B.Name << " prints nothing";
+  for (PaperConfig Config : {PaperConfig::A, PaperConfig::B, PaperConfig::C,
+                             PaperConfig::D, PaperConfig::E}) {
+    RunStats Stats = compileAndRun(B.Source, optionsFor(Config));
+    ASSERT_TRUE(Stats.OK)
+        << B.Name << " under " << paperConfigName(Config) << ": "
+        << Stats.Error;
+    EXPECT_EQ(Stats.Output, Reference.Output)
+        << B.Name << " diverges under " << paperConfigName(Config);
+    EXPECT_EQ(Stats.ExitValue, Reference.ExitValue);
+  }
+}
+
+TEST_P(BenchmarkSuiteTest, IdenticalOutputAcrossAblations) {
+  const BenchmarkProgram &B = GetParam();
+  RunStats Reference = compileAndRun(B.Source, optionsFor(PaperConfig::C));
+  ASSERT_TRUE(Reference.OK) << B.Name << ": " << Reference.Error;
+  for (int Bits : {0, 1, 2, 4, 6}) {
+    CompileOptions Opts = optionsFor(PaperConfig::C);
+    Opts.CombinedStrategy = Bits & 1;
+    Opts.RegisterParams = Bits & 2;
+    Opts.LoopExtension = Bits & 4;
+    RunStats Stats = compileAndRun(B.Source, Opts);
+    ASSERT_TRUE(Stats.OK) << B.Name << " ablation " << Bits << ": "
+                          << Stats.Error;
+    EXPECT_EQ(Stats.Output, Reference.Output)
+        << B.Name << " diverges under ablation bits " << Bits;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Suite, BenchmarkSuiteTest, ::testing::ValuesIn(benchmarkSuite()),
+    [](const ::testing::TestParamInfo<BenchmarkProgram> &I) {
+      return std::string(I.param.Name);
+    });
+
+TEST(BenchmarkRegistryTest, ThirteenProgramsInPaperOrder) {
+  const auto &Suite = benchmarkSuite();
+  ASSERT_EQ(Suite.size(), 13u);
+  EXPECT_STREQ(Suite.front().Name, "nim");
+  EXPECT_STREQ(Suite.back().Name, "uopt");
+  // Table 1 orders benchmarks by increasing source line count.
+  for (unsigned I = 0; I + 1 < Suite.size(); ++I)
+    EXPECT_LT(Suite[I].sourceLines(), Suite[I + 1].sourceLines())
+        << Suite[I].Name << " vs " << Suite[I + 1].Name;
+}
+
+TEST(BenchmarkRegistryTest, LookupByName) {
+  EXPECT_NE(findBenchmark("tex"), nullptr);
+  EXPECT_EQ(findBenchmark("nope"), nullptr);
+  EXPECT_STREQ(findBenchmark("ccom")->Language, "C");
+}
+
+TEST(BenchmarkRegistryTest, SuiteIsCallIntensive) {
+  // The paper's rationale: opportunities arise only at calls, so the
+  // suite must be call-intensive. Check calls per kilocycle is nontrivial
+  // for every program.
+  for (const BenchmarkProgram &B : benchmarkSuite()) {
+    RunStats Stats = compileAndRun(B.Source, optionsFor(PaperConfig::Base));
+    ASSERT_TRUE(Stats.OK) << B.Name;
+    EXPECT_GT(Stats.Calls, 100u) << B.Name;
+    EXPECT_LT(Stats.cyclesPerCall(), 200.0) << B.Name;
+  }
+}
+
+} // namespace

@@ -1,0 +1,270 @@
+//===- tests/CodeGenTest.cpp - Machine-level unit tests -------------------===//
+
+#include "codegen/CodeGen.h"
+#include "codegen/ParallelMove.h"
+#include "driver/Pipeline.h"
+#include "sim/Simulator.h"
+
+#include <gtest/gtest.h>
+
+#include <map>
+#include <random>
+
+using namespace ipra;
+
+namespace {
+
+//===----------------------------------------------------------------------===
+// Parallel move resolution
+//===----------------------------------------------------------------------===
+
+/// Executes a move sequence over an abstract register file and returns the
+/// final contents.
+std::map<unsigned, int> runMoves(const std::vector<RegMove> &Seq,
+                                 std::map<unsigned, int> Regs) {
+  for (auto [Dst, Src] : Seq)
+    Regs[Dst] = Regs[Src];
+  return Regs;
+}
+
+TEST(ParallelMoveTest, IndependentMoves) {
+  auto Seq = sequentializeMoves({{1, 2}, {3, 4}}, 99);
+  auto Final = runMoves(Seq, {{2, 20}, {4, 40}, {1, 0}, {3, 0}, {99, 0}});
+  EXPECT_EQ(Final[1], 20);
+  EXPECT_EQ(Final[3], 40);
+  EXPECT_EQ(Seq.size(), 2u);
+}
+
+TEST(ParallelMoveTest, SelfMovesDropped) {
+  auto Seq = sequentializeMoves({{1, 1}, {2, 2}}, 99);
+  EXPECT_TRUE(Seq.empty());
+}
+
+TEST(ParallelMoveTest, ChainOrdering) {
+  // 1<-2, 2<-3: must move 1<-2 first.
+  auto Seq = sequentializeMoves({{1, 2}, {2, 3}}, 99);
+  auto Final = runMoves(Seq, {{1, 0}, {2, 20}, {3, 30}, {99, 0}});
+  EXPECT_EQ(Final[1], 20);
+  EXPECT_EQ(Final[2], 30);
+  EXPECT_EQ(Seq.size(), 2u) << "no scratch needed for a chain";
+}
+
+TEST(ParallelMoveTest, SwapUsesScratch) {
+  auto Seq = sequentializeMoves({{1, 2}, {2, 1}}, 99);
+  auto Final = runMoves(Seq, {{1, 10}, {2, 20}, {99, 0}});
+  EXPECT_EQ(Final[1], 20);
+  EXPECT_EQ(Final[2], 10);
+  EXPECT_EQ(Seq.size(), 3u) << "swap = park + two moves";
+}
+
+TEST(ParallelMoveTest, ThreeCycle) {
+  auto Seq = sequentializeMoves({{1, 2}, {2, 3}, {3, 1}}, 99);
+  auto Final = runMoves(Seq, {{1, 10}, {2, 20}, {3, 30}, {99, 0}});
+  EXPECT_EQ(Final[1], 20);
+  EXPECT_EQ(Final[2], 30);
+  EXPECT_EQ(Final[3], 10);
+}
+
+TEST(ParallelMoveTest, RandomPermutationsAlwaysCorrect) {
+  std::mt19937 Rng(7);
+  for (int Trial = 0; Trial < 200; ++Trial) {
+    // A random partial mapping over registers 1..8 with distinct dsts.
+    unsigned N = 1 + Rng() % 8;
+    std::vector<unsigned> Dsts{1, 2, 3, 4, 5, 6, 7, 8};
+    std::shuffle(Dsts.begin(), Dsts.end(), Rng);
+    std::vector<RegMove> Moves;
+    std::map<unsigned, int> Init{{99, -1}};
+    for (unsigned I = 1; I <= 8; ++I)
+      Init[I] = int(I * 10);
+    for (unsigned I = 0; I < N; ++I)
+      Moves.push_back({Dsts[I], 1 + Rng() % 8});
+    auto Expected = Init;
+    for (auto [Dst, Src] : Moves)
+      Expected[Dst] = Init[Src]; // parallel semantics
+    auto Final = runMoves(sequentializeMoves(Moves, 99), Init);
+    for (unsigned I = 1; I <= 8; ++I)
+      EXPECT_EQ(Final[I], Expected[I]) << "trial " << Trial << " reg " << I;
+  }
+}
+
+//===----------------------------------------------------------------------===
+// Generated-code structure
+//===----------------------------------------------------------------------===
+
+std::unique_ptr<CompileResult> compileOK(const std::string &Src,
+                                         PaperConfig Config) {
+  DiagnosticEngine Diags;
+  auto R = compileProgram(Src, optionsFor(Config), Diags);
+  EXPECT_NE(R, nullptr) << Diags.str();
+  return R;
+}
+
+const MProc &procOf(CompileResult &R, const char *Name) {
+  return R.Program.Procs[R.IR->findProcedure(Name)->id()];
+}
+
+TEST(CodeGenTest, LeafProcedureHasNoFrameTraffic) {
+  auto R = compileOK("func leaf(a, b) { return a + b; } "
+                     "func main() { return leaf(1, 2); }",
+                     PaperConfig::C);
+  const MProc &Leaf = procOf(*R, "leaf");
+  for (const MBlock &B : Leaf.Blocks)
+    for (const MInst &I : B.Insts)
+      EXPECT_TRUE(I.Op != MOpcode::Load && I.Op != MOpcode::Store)
+          << "leaf should be memory-free: " << toString(I);
+  EXPECT_EQ(Leaf.FrameWords, 0);
+}
+
+TEST(CodeGenTest, NonLeafSavesReturnAddress) {
+  auto R = compileOK("func g() { return 1; } "
+                     "func f() { return g(); } "
+                     "func main() { return f(); }",
+                     PaperConfig::Base);
+  const MProc &F = procOf(*R, "f");
+  bool SavesRA = false;
+  for (const MInst &I : F.Blocks[0].Insts)
+    SavesRA |= I.Op == MOpcode::Store && I.Rt == RegRA;
+  EXPECT_TRUE(SavesRA);
+}
+
+TEST(CodeGenTest, SpillCodeRoundTrips) {
+  // More simultaneously-live values than registers: some must spill, and
+  // the program must still compute correctly.
+  std::string Src = "func f(s) {\n";
+  for (int I = 0; I < 26; ++I)
+    Src += "  var v" + std::to_string(I) + " = s + " + std::to_string(I) +
+           ";\n";
+  Src += "  var t = 0;\n";
+  for (int I = 0; I < 26; ++I)
+    Src += "  t = t + v" + std::to_string(I) + " * v" +
+           std::to_string((I + 13) % 26) + ";\n";
+  Src += "  return t;\n}\nfunc main() { print(f(3)); return 0; }\n";
+  for (PaperConfig Config :
+       {PaperConfig::Base, PaperConfig::C, PaperConfig::D}) {
+    RunStats Stats = compileAndRun(Src, optionsFor(Config));
+    ASSERT_TRUE(Stats.OK) << Stats.Error;
+    // sum over i of (3+i)*(3+(i+13)%26)
+    int64_t Want = 0;
+    for (int I = 0; I < 26; ++I)
+      Want += (3 + I) * (3 + (I + 13) % 26);
+    EXPECT_EQ(Stats.Output, (std::vector<int64_t>{Want}));
+  }
+}
+
+TEST(CodeGenTest, StackParamsBeyondFour) {
+  // Default protocol passes params 5+ on the stack; exercised when
+  // register params are disabled.
+  CompileOptions Opts = optionsFor(PaperConfig::C);
+  Opts.RegisterParams = false;
+  const char *Src = R"(
+    func sum7(a, b, c, d, e, f, g) {
+      return a + 10*b + 100*c + 1000*d + 10000*e + 100000*f + 1000000*g;
+    }
+    func main() { print(sum7(1, 2, 3, 4, 5, 6, 7)); return 0; }
+  )";
+  RunStats Stats = compileAndRun(Src, Opts);
+  ASSERT_TRUE(Stats.OK) << Stats.Error;
+  EXPECT_EQ(Stats.Output, (std::vector<int64_t>{7654321}));
+}
+
+TEST(CodeGenTest, GlobalsLiveAtAddressZeroUpward) {
+  auto R = compileOK("var a = 5; var t[3]; func main() { return a; }",
+                     PaperConfig::Base);
+  EXPECT_EQ(R->Program.GlobalOffsets, (std::vector<int64_t>{0, 1}));
+  ASSERT_EQ(R->Program.GlobalImage.size(), 4u);
+  EXPECT_EQ(R->Program.GlobalImage[0], 5);
+}
+
+//===----------------------------------------------------------------------===
+// Simulator semantics
+//===----------------------------------------------------------------------===
+
+/// Builds a one-procedure program computing Op over two immediates and
+/// printing the result.
+MProgram aluProgram(MOpcode Op, int64_t A, int64_t B) {
+  MProgram Prog;
+  MProc Main;
+  Main.Name = "main";
+  Main.Id = 0;
+  MBlock Block;
+  Block.Id = 0;
+  auto Li = [](unsigned Rd, int64_t V) {
+    MInst I(MOpcode::LoadImm);
+    I.Rd = uint8_t(Rd);
+    I.Imm = V;
+    return I;
+  };
+  Block.Insts.push_back(Li(RegT0, A));
+  Block.Insts.push_back(Li(RegT1, B));
+  MInst OpI(Op);
+  OpI.Rd = RegT2;
+  OpI.Rs = RegT0;
+  OpI.Rt = RegT1;
+  Block.Insts.push_back(OpI);
+  MInst Pr(MOpcode::Print);
+  Pr.Rs = RegT2;
+  Block.Insts.push_back(Pr);
+  Block.Insts.push_back(MInst(MOpcode::Ret));
+  Main.Blocks.push_back(std::move(Block));
+  Prog.Procs.push_back(std::move(Main));
+  Prog.MainProcId = 0;
+  return Prog;
+}
+
+struct AluCase {
+  MOpcode Op;
+  int64_t A, B, Want;
+};
+
+class SimulatorAluTest : public ::testing::TestWithParam<AluCase> {};
+
+TEST_P(SimulatorAluTest, ComputesExpected) {
+  auto [Op, A, B, Want] = GetParam();
+  RunStats Stats = runProgram(aluProgram(Op, A, B));
+  ASSERT_TRUE(Stats.OK) << Stats.Error;
+  EXPECT_EQ(Stats.Output, (std::vector<int64_t>{Want}));
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Semantics, SimulatorAluTest,
+    ::testing::Values(
+        AluCase{MOpcode::Add, 3, 4, 7}, AluCase{MOpcode::Sub, 3, 4, -1},
+        AluCase{MOpcode::Mul, -3, 4, -12}, AluCase{MOpcode::Div, 7, 2, 3},
+        AluCase{MOpcode::Div, -7, 2, -3}, AluCase{MOpcode::Rem, 7, 2, 1},
+        AluCase{MOpcode::Rem, -7, 2, -1}, AluCase{MOpcode::And, 6, 3, 2},
+        AluCase{MOpcode::Or, 6, 3, 7}, AluCase{MOpcode::Xor, 6, 3, 5},
+        AluCase{MOpcode::Shl, 3, 4, 48}, AluCase{MOpcode::Shr, 48, 4, 3},
+        AluCase{MOpcode::Shr, -16, 2, -4}, AluCase{MOpcode::CmpEq, 2, 2, 1},
+        AluCase{MOpcode::CmpNe, 2, 2, 0}, AluCase{MOpcode::CmpLt, -5, 2, 1},
+        AluCase{MOpcode::CmpLe, 2, 2, 1}, AluCase{MOpcode::CmpGt, 3, 2, 1},
+        AluCase{MOpcode::CmpGe, 1, 2, 0},
+        AluCase{MOpcode::Add, INT64_MAX, 1, INT64_MIN},
+        AluCase{MOpcode::Mul, INT64_MAX, 2, -2},
+        AluCase{MOpcode::Div, INT64_MIN, -1, INT64_MIN},
+        AluCase{MOpcode::Rem, INT64_MIN, -1, 0},
+        AluCase{MOpcode::Shl, 1, 100, 0}));
+
+TEST(SimulatorTest, MemoryBoundsChecked) {
+  MProgram Prog = aluProgram(MOpcode::Add, 0, 0);
+  MInst Bad(MOpcode::Load);
+  Bad.Rd = RegT0;
+  Bad.Rs = RegZero;
+  Bad.Imm = -5;
+  Prog.Procs[0].Blocks[0].Insts.insert(Prog.Procs[0].Blocks[0].Insts.begin(),
+                                       Bad);
+  RunStats Stats = runProgram(Prog);
+  EXPECT_FALSE(Stats.OK);
+  EXPECT_NE(Stats.Error.find("out of bounds"), std::string::npos);
+}
+
+TEST(SimulatorTest, ZeroRegisterReadsZero) {
+  MProgram Prog = aluProgram(MOpcode::Add, 5, 0);
+  // Rewrite the op to read $zero as its second operand.
+  Prog.Procs[0].Blocks[0].Insts[2].Rt = RegZero;
+  // Note: $zero was never written, so it holds its initial 0.
+  RunStats Stats = runProgram(Prog);
+  ASSERT_TRUE(Stats.OK);
+  EXPECT_EQ(Stats.Output, (std::vector<int64_t>{5}));
+}
+
+} // namespace

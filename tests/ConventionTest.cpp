@@ -1,0 +1,132 @@
+//===- tests/ConventionTest.cpp - Dynamic convention checking -------------===//
+//
+// Runs the whole benchmark suite under the simulator's convention checker:
+// at every dynamic call, the callee must preserve every register outside
+// its published usage summary and restore the stack pointer exactly. This
+// dynamically validates the central inter-procedural contract -- that a
+// summary saying "unused" really means the caller may keep a live value
+// there across the call.
+//
+//===----------------------------------------------------------------------===//
+
+#include "driver/Pipeline.h"
+#include "programs/Programs.h"
+
+#include <gtest/gtest.h>
+
+using namespace ipra;
+
+namespace {
+
+RunStats runChecked(const std::string &Src, const CompileOptions &Opts) {
+  DiagnosticEngine Diags;
+  auto Compiled = compileProgram(Src, Opts, Diags);
+  if (!Compiled) {
+    RunStats Bad;
+    Bad.Error = Diags.str();
+    return Bad;
+  }
+  SimOptions SOpts;
+  SOpts.CheckConventions = true;
+  return runProgram(Compiled->Program, SOpts);
+}
+
+class ConventionSuiteTest
+    : public ::testing::TestWithParam<BenchmarkProgram> {};
+
+TEST_P(ConventionSuiteTest, EveryCallHonoursItsSummary) {
+  const BenchmarkProgram &B = GetParam();
+  for (PaperConfig Config : {PaperConfig::Base, PaperConfig::B,
+                             PaperConfig::C, PaperConfig::D,
+                             PaperConfig::E}) {
+    RunStats Stats = runChecked(B.Source, optionsFor(Config));
+    ASSERT_TRUE(Stats.OK) << B.Name << " under " << paperConfigName(Config)
+                          << ": " << Stats.Error;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Suite, ConventionSuiteTest, ::testing::ValuesIn(benchmarkSuite()),
+    [](const ::testing::TestParamInfo<BenchmarkProgram> &I) {
+      return std::string(I.param.Name);
+    });
+
+TEST(ConventionTest, DetectsViolations) {
+  // Sanity-check the checker itself: a hand-corrupted program must trip
+  // it. Compile a good program, then make the callee clobber a register
+  // its summary promises to preserve.
+  const char *Src = R"(
+    func quiet(x) { return x + 1; }
+    func main() {
+      var keep = 5;
+      var r = quiet(1);
+      print(keep + r);
+      return 0;
+    }
+  )";
+  DiagnosticEngine Diags;
+  auto Compiled = compileProgram(Src, optionsFor(PaperConfig::C), Diags);
+  ASSERT_NE(Compiled, nullptr) << Diags.str();
+  // Find a register quiet()'s summary promises to preserve and smash it.
+  int QuietId = Compiled->IR->findProcedure("quiet")->id();
+  const BitVector &Clobber = Compiled->Program.ClobberMasks[QuietId];
+  int Victim = -1;
+  for (unsigned Reg = RegA0; Reg < NumPhysRegs; ++Reg)
+    if (!Clobber.test(Reg)) {
+      Victim = int(Reg);
+      break;
+    }
+  ASSERT_GE(Victim, 0) << "summary clobbers everything?";
+  MInst Smash(MOpcode::LoadImm);
+  Smash.Rd = uint8_t(Victim);
+  Smash.Imm = 12345;
+  MProc &Quiet = Compiled->Program.Procs[QuietId];
+  Quiet.Blocks[0].Insts.insert(Quiet.Blocks[0].Insts.begin(), Smash);
+
+  SimOptions SOpts;
+  SOpts.CheckConventions = true;
+  RunStats Stats = runProgram(Compiled->Program, SOpts);
+  EXPECT_FALSE(Stats.OK);
+  EXPECT_NE(Stats.Error.find("convention violation"), std::string::npos)
+      << Stats.Error;
+  EXPECT_NE(Stats.Error.find("quiet"), std::string::npos);
+}
+
+TEST(ConventionTest, DetectsStackImbalance) {
+  const char *Src = R"(
+    func f(x) { return x; }
+    func main() { return f(1); }
+  )";
+  DiagnosticEngine Diags;
+  auto Compiled = compileProgram(Src, optionsFor(PaperConfig::Base), Diags);
+  ASSERT_NE(Compiled, nullptr);
+  // Make f leak one stack word.
+  int FId = Compiled->IR->findProcedure("f")->id();
+  MProc &F = Compiled->Program.Procs[FId];
+  MInst Leak(MOpcode::AddImm);
+  Leak.Rd = RegSP;
+  Leak.Rs = RegSP;
+  Leak.Imm = -1;
+  F.Blocks[0].Insts.insert(F.Blocks[0].Insts.begin(), Leak);
+  SimOptions SOpts;
+  SOpts.CheckConventions = true;
+  RunStats Stats = runProgram(Compiled->Program, SOpts);
+  EXPECT_FALSE(Stats.OK);
+  EXPECT_NE(Stats.Error.find("stack pointer"), std::string::npos);
+}
+
+TEST(ConventionTest, SeparateCompilationHonoursConventions) {
+  DiagnosticEngine Diags;
+  auto Result = compileUnits(
+      {"export func twice(x) { return x * 2; }",
+       "extern func twice(x); func main() { print(twice(21)); return 0; }"},
+      optionsFor(PaperConfig::C), Diags, /*InternalizeExports=*/false);
+  ASSERT_NE(Result, nullptr) << Diags.str();
+  SimOptions SOpts;
+  SOpts.CheckConventions = true;
+  RunStats Stats = runProgram(Result->Program, SOpts);
+  ASSERT_TRUE(Stats.OK) << Stats.Error;
+  EXPECT_EQ(Stats.Output, (std::vector<int64_t>{42}));
+}
+
+} // namespace

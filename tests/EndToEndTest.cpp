@@ -1,0 +1,375 @@
+//===- tests/EndToEndTest.cpp - Whole-pipeline correctness ----------------===//
+//
+// Compiles programs with known outputs under every paper configuration and
+// checks the simulator produces identical observable behaviour. This is
+// the strongest safety net for the allocator/shrink-wrap/codegen stack: a
+// misplaced save or a clobbered register changes program output.
+//
+//===----------------------------------------------------------------------===//
+
+#include "driver/Pipeline.h"
+
+#include <gtest/gtest.h>
+
+using namespace ipra;
+
+namespace {
+
+struct E2ECase {
+  const char *Name;
+  const char *Src;
+  std::vector<int64_t> Expected;
+};
+
+const E2ECase Corpus[] = {
+    {"arith", R"(
+      func main() {
+        print(2 + 3 * 4);
+        print((2 + 3) * 4);
+        print(10 / 3);
+        print(10 % 3);
+        print(-7);
+        return 0;
+      }
+    )",
+     {14, 20, 3, 1, -7}},
+
+    {"comparisons", R"(
+      func main() {
+        print(1 < 2);
+        print(2 < 1);
+        print(3 <= 3);
+        print(3 != 3);
+        print(!(4 > 5));
+        print(1 && 0);
+        print(1 || 0);
+        return 0;
+      }
+    )",
+     {1, 0, 1, 0, 1, 0, 1}},
+
+    {"locals_and_loops", R"(
+      func main() {
+        var s = 0;
+        for (var i = 1; i <= 10; i = i + 1) { s = s + i; }
+        print(s);
+        var p = 1;
+        var n = 10;
+        while (n > 0) { p = p * 2; n = n - 1; }
+        print(p);
+        return 0;
+      }
+    )",
+     {55, 1024}},
+
+    {"calls", R"(
+      func add(a, b) { return a + b; }
+      func twice(x) { return add(x, x); }
+      func main() {
+        print(add(3, 4));
+        print(twice(21));
+        print(add(twice(5), add(1, 2)));
+        return 0;
+      }
+    )",
+     {7, 42, 13}},
+
+    {"live_across_calls", R"(
+      func id(x) { return x; }
+      func main() {
+        var a = 11; var b = 22; var c = 33; var d = 44;
+        var r = id(1) + id(2) + id(3);
+        print(a); print(b); print(c); print(d); print(r);
+        return 0;
+      }
+    )",
+     {11, 22, 33, 44, 6}},
+
+    {"recursion", R"(
+      func fib(n) { if (n < 2) { return n; } return fib(n-1) + fib(n-2); }
+      func fact(n) { if (n <= 1) { return 1; } return n * fact(n-1); }
+      func main() {
+        print(fib(15));
+        print(fact(10));
+        return 0;
+      }
+    )",
+     {610, 3628800}},
+
+    {"mutual_recursion", R"(
+      func isEven(n) { if (n == 0) { return 1; } return isOdd(n - 1); }
+      func isOdd(n) { if (n == 0) { return 0; } return isEven(n - 1); }
+      func main() { print(isEven(10)); print(isEven(7)); return 0; }
+    )",
+     {1, 0}},
+
+    {"globals", R"(
+      var counter = 100;
+      var table[8];
+      func bump(by) { counter = counter + by; return counter; }
+      func main() {
+        print(bump(1));
+        print(bump(10));
+        for (var i = 0; i < 8; i = i + 1) { table[i] = i * i; }
+        print(table[7]);
+        print(counter);
+        return 0;
+      }
+    )",
+     {101, 111, 49, 111}},
+
+    {"local_arrays", R"(
+      func sum(arr, n) {
+        var s = 0;
+        for (var i = 0; i < n; i = i + 1) { s = s + arr[i]; }
+        return s;
+      }
+      func main() {
+        var buf[10];
+        for (var i = 0; i < 10; i = i + 1) { buf[i] = i + 1; }
+        print(sum(buf, 10));
+        return 0;
+      }
+    )",
+     {55}},
+
+    {"indirect_calls", R"(
+      func inc(x) { return x + 1; }
+      func dec(x) { return x - 1; }
+      func apply(f, x) { return f(x); }
+      func main() {
+        var up = &inc;
+        var down = &dec;
+        print(apply(up, 10));
+        print(apply(down, 10));
+        print(up(0) + down(0));
+        return 0;
+      }
+    )",
+     {11, 9, 0}},
+
+    {"many_params", R"(
+      func sum6(a, b, c, d, e, f) { return a + b + c + d + e + f; }
+      func weighted(a, b, c, d, e, f) {
+        return a + 2*b + 3*c + 4*d + 5*e + 6*f;
+      }
+      func main() {
+        print(sum6(1, 2, 3, 4, 5, 6));
+        print(weighted(1, 1, 1, 1, 1, 1));
+        return 0;
+      }
+    )",
+     {21, 21}},
+
+    {"register_pressure", R"(
+      func churn(s) {
+        var a = s + 1; var b = s + 2; var c = s + 3; var d = s + 4;
+        var e = s + 5; var f = s + 6; var g = s + 7; var h = s + 8;
+        var i = s + 9; var j = s + 10; var k = s + 11; var l = s + 12;
+        var m = s + 13; var n = s + 14; var o = s + 15; var p = s + 16;
+        var q = s + 17; var r = s + 18; var t = s + 19; var u = s + 20;
+        var v = s + 21; var w = s + 22;
+        return a+b+c+d+e+f+g+h+i+j+k+l+m+n+o+p+q+r+t+u+v+w;
+      }
+      func main() { print(churn(0)); return 0; }
+    )",
+     {253}},
+
+    {"pressure_across_calls", R"(
+      func leaf(x) { return x * 2; }
+      func busy(s) {
+        var a = s + 1; var b = s + 2; var c = s + 3; var d = s + 4;
+        var e = s + 5; var f = s + 6; var g = s + 7; var h = s + 8;
+        var i = s + 9; var j = s + 10; var k = s + 11; var l = s + 12;
+        var r1 = leaf(a); var r2 = leaf(f); var r3 = leaf(l);
+        return a+b+c+d+e+f+g+h+i+j+k+l+r1+r2+r3;
+      }
+      func main() { print(busy(100)); return 0; }
+    )",
+     {1278 + 202 + 212 + 224}},
+
+    {"exported_and_extern_shape", R"(
+      export func api(x) { return x * 3; }
+      func main() { print(api(14)); return 0; }
+    )",
+     {42}},
+
+    {"shrinkwrap_cold_path", R"(
+      func work(n) {
+        // Hot early-exit path touches few registers; the cold path does
+        // heavy register work that wants callee-saved registers.
+        if (n < 10) { return n; }
+        var a = n * 2; var b = n * 3; var c = n * 4; var d = n * 5;
+        work2(); work2();
+        return a + b + c + d;
+      }
+      func work2() { return 1; }
+      func main() {
+        var s = 0;
+        for (var i = 0; i < 20; i = i + 1) { s = s + work(i); }
+        print(s);
+        return 0;
+      }
+    )",
+     {45 + 14 * (10 + 11 + 12 + 13 + 14 + 15 + 16 + 17 + 18 + 19)}},
+
+    {"conditional_continue_break", R"(
+      func main() {
+        var s = 0;
+        for (var i = 0; i < 100; i = i + 1) {
+          if (i % 2 == 0) { continue; }
+          if (i > 20) { break; }
+          s = s + i;
+        }
+        print(s);
+        return 0;
+      }
+    )",
+     {1 + 3 + 5 + 7 + 9 + 11 + 13 + 15 + 17 + 19}},
+};
+
+class EndToEndTest
+    : public ::testing::TestWithParam<std::tuple<E2ECase, PaperConfig>> {};
+
+TEST_P(EndToEndTest, OutputMatchesExpectation) {
+  auto [Case, Config] = GetParam();
+  CompileOptions Opts = optionsFor(Config);
+  RunStats Stats = compileAndRun(Case.Src, Opts);
+  ASSERT_TRUE(Stats.OK) << paperConfigName(Config) << ": " << Stats.Error;
+  EXPECT_EQ(Stats.Output, Case.Expected) << paperConfigName(Config);
+}
+
+const char *ConfigShortNames[] = {"Base", "A", "B", "C", "D", "E"};
+
+INSTANTIATE_TEST_SUITE_P(
+    Corpus, EndToEndTest,
+    ::testing::Combine(::testing::ValuesIn(Corpus),
+                       ::testing::Values(PaperConfig::Base, PaperConfig::A,
+                                         PaperConfig::B, PaperConfig::C,
+                                         PaperConfig::D, PaperConfig::E)),
+    [](const ::testing::TestParamInfo<EndToEndTest::ParamType> &I) {
+      return std::string(std::get<0>(I.param).Name) + "_" +
+             ConfigShortNames[int(std::get<1>(I.param))];
+    });
+
+// Ablation axes must also preserve behaviour.
+class EndToEndAblationTest
+    : public ::testing::TestWithParam<std::tuple<E2ECase, int>> {};
+
+TEST_P(EndToEndAblationTest, OutputMatchesExpectation) {
+  auto [Case, Bits] = GetParam();
+  CompileOptions Opts = optionsFor(PaperConfig::C);
+  Opts.CombinedStrategy = Bits & 1;
+  Opts.RegisterParams = Bits & 2;
+  Opts.LoopExtension = Bits & 4;
+  Opts.MidEndOpt = Bits & 8;
+  RunStats Stats = compileAndRun(Case.Src, Opts);
+  ASSERT_TRUE(Stats.OK) << Stats.Error;
+  EXPECT_EQ(Stats.Output, Case.Expected);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Ablations, EndToEndAblationTest,
+    ::testing::Combine(::testing::ValuesIn(Corpus),
+                       ::testing::Values(0, 1, 2, 4, 5, 7, 8, 15)),
+    [](const ::testing::TestParamInfo<EndToEndAblationTest::ParamType> &I) {
+      return std::string(std::get<0>(I.param).Name) + "_bits" +
+             std::to_string(std::get<1>(I.param));
+    });
+
+TEST(EndToEndBasics, ExitValuePropagates) {
+  RunStats Stats =
+      compileAndRun("func main() { return 42; }", optionsFor(PaperConfig::C));
+  ASSERT_TRUE(Stats.OK) << Stats.Error;
+  EXPECT_EQ(Stats.ExitValue, 42);
+}
+
+TEST(EndToEndBasics, DivisionByZeroReported) {
+  RunStats Stats = compileAndRun(
+      "var z; func main() { return 1 / z; }", optionsFor(PaperConfig::C));
+  EXPECT_FALSE(Stats.OK);
+  EXPECT_NE(Stats.Error.find("division by zero"), std::string::npos);
+}
+
+TEST(EndToEndBasics, InfiniteLoopHitsBudget) {
+  CompileOptions Opts = optionsFor(PaperConfig::Base);
+  SimOptions SOpts;
+  SOpts.MaxSteps = 10000;
+  RunStats Stats =
+      compileAndRun("func main() { while (1) { } return 0; }", Opts, SOpts);
+  EXPECT_FALSE(Stats.OK);
+  EXPECT_NE(Stats.Error.find("budget"), std::string::npos);
+}
+
+TEST(EndToEndBasics, CompileErrorSurfaces) {
+  RunStats Stats =
+      compileAndRun("func main() { return missing; }",
+                    optionsFor(PaperConfig::Base));
+  EXPECT_FALSE(Stats.OK);
+  EXPECT_NE(Stats.Error.find("undeclared"), std::string::npos);
+}
+
+TEST(EndToEndBasics, DeepRecursionHitsDepthLimit) {
+  CompileOptions Opts = optionsFor(PaperConfig::C);
+  SimOptions SOpts;
+  SOpts.MaxCallDepth = 100;
+  RunStats Stats = compileAndRun(
+      "func down(n) { return down(n + 1); } func main() { return down(0); }",
+      Opts, SOpts);
+  EXPECT_FALSE(Stats.OK);
+  EXPECT_NE(Stats.Error.find("depth"), std::string::npos);
+}
+
+// Efficiency direction checks: -O3 should not increase scalar memory
+// traffic on call-heavy programs with few simultaneously-live variables.
+TEST(EndToEndMetrics, InterProceduralReducesScalarTraffic) {
+  const char *Src = R"(
+    func leaf(x) { return x + 1; }
+    func mid(x) {
+      var v = x * 2;
+      var r = leaf(x);
+      return v + r;
+    }
+    func main() {
+      var s = 0;
+      for (var i = 0; i < 1000; i = i + 1) { s = s + mid(i); }
+      print(s);
+      return 0;
+    }
+  )";
+  RunStats Base = compileAndRun(Src, optionsFor(PaperConfig::Base));
+  RunStats C = compileAndRun(Src, optionsFor(PaperConfig::C));
+  ASSERT_TRUE(Base.OK) << Base.Error;
+  ASSERT_TRUE(C.OK) << C.Error;
+  EXPECT_EQ(Base.Output, C.Output);
+  EXPECT_LE(C.scalarMemOps(), Base.scalarMemOps());
+  EXPECT_LE(C.Cycles, Base.Cycles);
+}
+
+TEST(EndToEndMetrics, ShrinkWrapHelpsColdSavePaths) {
+  // The hot path returns early; the cold path needs callee-saved regs.
+  const char *Src = R"(
+    func work(n) {
+      if (n != 500) { return n; }
+      var a = n * 2; var b = n * 3; var c = n * 4; var d = n * 5;
+      helper(); helper();
+      return a + b + c + d;
+    }
+    func helper() { return 1; }
+    func main() {
+      var s = 0;
+      for (var i = 0; i < 1000; i = i + 1) { s = s + work(i); }
+      print(s);
+      return 0;
+    }
+  )";
+  RunStats NoSW = compileAndRun(Src, optionsFor(PaperConfig::Base));
+  RunStats SW = compileAndRun(Src, optionsFor(PaperConfig::A));
+  ASSERT_TRUE(NoSW.OK) << NoSW.Error;
+  ASSERT_TRUE(SW.OK) << SW.Error;
+  EXPECT_EQ(NoSW.Output, SW.Output);
+  EXPECT_LT(SW.scalarMemOps(), NoSW.scalarMemOps())
+      << "shrink-wrap must remove the always-executed entry saves";
+}
+
+} // namespace

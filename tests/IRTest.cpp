@@ -1,0 +1,251 @@
+//===- tests/IRTest.cpp - Unit tests for the IR layer ---------------------===//
+
+#include "ir/IRBuilder.h"
+#include "ir/Printer.h"
+#include "ir/Procedure.h"
+#include "ir/Verifier.h"
+
+#include <gtest/gtest.h>
+
+using namespace ipra;
+
+namespace {
+
+/// Builds: proc f(%1) { bb0: %2 = addimm %1, 1; ret %2 }
+Procedure *buildIncProc(Module &M) {
+  Procedure *P = M.makeProcedure("inc");
+  P->ParamVRegs.push_back(P->makeVReg());
+  IRBuilder B(P);
+  B.setInsertBlock(P->makeBlock());
+  VReg R = B.addImm(P->ParamVRegs[0], 1);
+  B.ret(R);
+  return P;
+}
+
+TEST(IRTest, BuilderProducesExpectedShape) {
+  Module M;
+  Procedure *P = buildIncProc(M);
+  ASSERT_EQ(P->numBlocks(), 1u);
+  const BasicBlock *BB = P->entry();
+  ASSERT_EQ(BB->Insts.size(), 2u);
+  EXPECT_EQ(BB->Insts[0].Op, Opcode::AddImm);
+  EXPECT_EQ(BB->Insts[0].Imm, 1);
+  EXPECT_EQ(BB->Insts[1].Op, Opcode::Ret);
+  EXPECT_TRUE(BB->hasTerminator());
+  EXPECT_TRUE(BB->successors().empty());
+}
+
+TEST(IRTest, DefsAndUses) {
+  Instruction Add(Opcode::Add);
+  Add.Dst = 3;
+  Add.Src1 = 1;
+  Add.Src2 = 2;
+  EXPECT_EQ(Add.def(), 3u);
+  EXPECT_EQ(Add.uses(), (std::vector<VReg>{1, 2}));
+
+  Instruction St(Opcode::Store);
+  St.Src1 = 4;
+  St.Src2 = 5;
+  EXPECT_EQ(St.def(), 0u);
+  EXPECT_EQ(St.uses(), (std::vector<VReg>{4, 5}));
+
+  Instruction Call(Opcode::Call);
+  Call.Dst = 9;
+  Call.Callee = 0;
+  Call.Args = {6, 7};
+  EXPECT_EQ(Call.def(), 9u);
+  EXPECT_EQ(Call.uses(), (std::vector<VReg>{6, 7}));
+
+  Instruction CallI(Opcode::CallIndirect);
+  CallI.Dst = 9;
+  CallI.Src1 = 8;
+  CallI.Args = {6};
+  EXPECT_EQ(CallI.uses(), (std::vector<VReg>{8, 6}));
+
+  Instruction RetVoid(Opcode::Ret);
+  EXPECT_EQ(RetVoid.def(), 0u);
+  EXPECT_TRUE(RetVoid.uses().empty());
+}
+
+TEST(IRTest, CFGEdgesAndPreds) {
+  Module M;
+  Procedure *P = M.makeProcedure("branchy");
+  IRBuilder B(P);
+  BasicBlock *B0 = P->makeBlock();
+  BasicBlock *B1 = P->makeBlock();
+  BasicBlock *B2 = P->makeBlock();
+  BasicBlock *B3 = P->makeBlock();
+  B.setInsertBlock(B0);
+  VReg C = B.loadImm(1);
+  B.condBr(C, B1, B2);
+  B.setInsertBlock(B1);
+  B.br(B3);
+  B.setInsertBlock(B2);
+  B.br(B3);
+  B.setInsertBlock(B3);
+  B.ret();
+
+  EXPECT_EQ(B0->successors(), (std::vector<int>{1, 2}));
+  P->recomputeCFG();
+  EXPECT_TRUE(B0->Preds.empty());
+  EXPECT_EQ(B1->Preds, (std::vector<int>{0}));
+  EXPECT_EQ(B3->Preds, (std::vector<int>{1, 2}));
+}
+
+TEST(IRTest, ReversePostOrderVisitsPredsFirstInDag) {
+  Module M;
+  Procedure *P = M.makeProcedure("diamond");
+  IRBuilder B(P);
+  BasicBlock *B0 = P->makeBlock();
+  BasicBlock *B1 = P->makeBlock();
+  BasicBlock *B2 = P->makeBlock();
+  BasicBlock *B3 = P->makeBlock();
+  B.setInsertBlock(B0);
+  VReg C = B.loadImm(0);
+  B.condBr(C, B1, B2);
+  B.setInsertBlock(B1);
+  B.br(B3);
+  B.setInsertBlock(B2);
+  B.br(B3);
+  B.setInsertBlock(B3);
+  B.ret();
+
+  std::vector<int> RPO = P->reversePostOrder();
+  ASSERT_EQ(RPO.size(), 4u);
+  EXPECT_EQ(RPO.front(), 0);
+  EXPECT_EQ(RPO.back(), 3);
+}
+
+TEST(IRTest, ReversePostOrderSkipsUnreachable) {
+  Module M;
+  Procedure *P = M.makeProcedure("unreachable");
+  IRBuilder B(P);
+  BasicBlock *B0 = P->makeBlock();
+  BasicBlock *B1 = P->makeBlock(); // never branched to
+  B.setInsertBlock(B0);
+  B.ret();
+  B.setInsertBlock(B1);
+  B.ret();
+  std::vector<int> RPO = P->reversePostOrder();
+  EXPECT_EQ(RPO, (std::vector<int>{0}));
+}
+
+TEST(IRTest, PrinterRendersInstructions) {
+  Module M;
+  Procedure *P = buildIncProc(M);
+  std::string Text = toString(*P);
+  EXPECT_NE(Text.find("proc inc(%1)"), std::string::npos);
+  EXPECT_NE(Text.find("%2 = addimm %1, 1"), std::string::npos);
+  EXPECT_NE(Text.find("ret %2"), std::string::npos);
+}
+
+TEST(IRTest, PrinterRendersMemoryAndCalls) {
+  Module M;
+  int G = M.makeGlobal("counter");
+  int A = M.makeGlobal("table", 10);
+  Procedure *Inc = buildIncProc(M);
+  Procedure *P = M.makeProcedure("user");
+  IRBuilder B(P);
+  B.setInsertBlock(P->makeBlock());
+  VReg V = B.loadGlobal(G);
+  B.storeGlobal(G, V);
+  VReg Base = B.addrGlobal(A);
+  VReg L = B.load(Base, 3);
+  B.store(Base, L, 4);
+  VReg R = B.call(Inc->id(), {L});
+  B.print(R);
+  B.ret();
+
+  std::string Text = toString(M);
+  EXPECT_NE(Text.find("global @0 counter[1]"), std::string::npos);
+  EXPECT_NE(Text.find("global @1 table[10]"), std::string::npos);
+  EXPECT_NE(Text.find("loadglobal @0"), std::string::npos);
+  EXPECT_NE(Text.find("storeglobal @0"), std::string::npos);
+  EXPECT_NE(Text.find("load [%2 + 3]"), std::string::npos);
+  EXPECT_NE(Text.find("store [%2 + 4], %3"), std::string::npos);
+  EXPECT_NE(Text.find("call proc0(%3)"), std::string::npos);
+}
+
+TEST(VerifierTest, AcceptsWellFormed) {
+  Module M;
+  buildIncProc(M);
+  DiagnosticEngine Diags;
+  EXPECT_TRUE(verify(M, Diags)) << Diags.str();
+}
+
+TEST(VerifierTest, RejectsMissingTerminator) {
+  Module M;
+  Procedure *P = M.makeProcedure("bad");
+  IRBuilder B(P);
+  B.setInsertBlock(P->makeBlock());
+  B.loadImm(1);
+  DiagnosticEngine Diags;
+  EXPECT_FALSE(verify(M, Diags));
+  EXPECT_NE(Diags.str().find("lacks a terminator"), std::string::npos);
+}
+
+TEST(VerifierTest, RejectsBadBranchTarget) {
+  Module M;
+  Procedure *P = M.makeProcedure("bad");
+  BasicBlock *B0 = P->makeBlock();
+  Instruction Br(Opcode::Br);
+  Br.Target1 = 7;
+  B0->Insts.push_back(Br);
+  DiagnosticEngine Diags;
+  EXPECT_FALSE(verify(M, Diags));
+  EXPECT_NE(Diags.str().find("out of range"), std::string::npos);
+}
+
+TEST(VerifierTest, RejectsOutOfRangeVReg) {
+  Module M;
+  Procedure *P = M.makeProcedure("bad");
+  BasicBlock *B0 = P->makeBlock();
+  Instruction RetI(Opcode::Ret);
+  RetI.Src1 = 42; // never allocated
+  B0->Insts.push_back(RetI);
+  DiagnosticEngine Diags;
+  EXPECT_FALSE(verify(M, Diags));
+}
+
+TEST(VerifierTest, RejectsArityMismatch) {
+  Module M;
+  Procedure *Inc = buildIncProc(M);
+  Procedure *P = M.makeProcedure("caller");
+  IRBuilder B(P);
+  B.setInsertBlock(P->makeBlock());
+  B.call(Inc->id(), {}); // inc takes one argument
+  B.ret();
+  DiagnosticEngine Diags;
+  EXPECT_FALSE(verify(M, Diags));
+  EXPECT_NE(Diags.str().find("arity mismatch"), std::string::npos);
+}
+
+TEST(VerifierTest, RejectsScalarAccessToAggregate) {
+  Module M;
+  int A = M.makeGlobal("arr", 8);
+  Procedure *P = M.makeProcedure("bad");
+  IRBuilder B(P);
+  B.setInsertBlock(P->makeBlock());
+  VReg V = B.loadGlobal(A);
+  B.ret(V);
+  DiagnosticEngine Diags;
+  EXPECT_FALSE(verify(M, Diags));
+  EXPECT_NE(Diags.str().find("scalar access to aggregate"), std::string::npos);
+}
+
+TEST(VerifierTest, RejectsFuncAddrWithoutFlag) {
+  Module M;
+  Procedure *Inc = buildIncProc(M);
+  Procedure *P = M.makeProcedure("taker");
+  IRBuilder B(P);
+  B.setInsertBlock(P->makeBlock());
+  VReg F = B.funcAddr(Inc->id());
+  B.ret(F);
+  DiagnosticEngine Diags;
+  EXPECT_FALSE(verify(M, Diags));
+  Inc->AddressTaken = true;
+  DiagnosticEngine Diags2;
+  EXPECT_TRUE(verify(M, Diags2)) << Diags2.str();
+}
+
+} // namespace

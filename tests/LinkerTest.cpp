@@ -1,0 +1,195 @@
+//===- tests/LinkerTest.cpp - Cross-module linking tests ------------------===//
+
+#include "driver/Linker.h"
+
+#include "driver/Pipeline.h"
+#include "frontend/Frontend.h"
+
+#include <gtest/gtest.h>
+
+using namespace ipra;
+
+namespace {
+
+std::unique_ptr<Module> unit(const std::string &Src) {
+  DiagnosticEngine Diags;
+  auto M = compileToIR(Src, Diags);
+  EXPECT_NE(M, nullptr) << Diags.str();
+  return M;
+}
+
+TEST(LinkerTest, ResolvesExternAgainstExport) {
+  std::vector<std::unique_ptr<Module>> Units;
+  Units.push_back(unit(R"(
+    extern func lib(x);
+    func main() { print(lib(20)); return 0; }
+  )"));
+  Units.push_back(unit(R"(
+    export func lib(x) { return x * 2 + 2; }
+  )"));
+  DiagnosticEngine Diags;
+  auto Linked = linkModules(std::move(Units), Diags);
+  ASSERT_NE(Linked, nullptr) << Diags.str();
+  Procedure *Lib = Linked->findProcedure("lib");
+  ASSERT_NE(Lib, nullptr);
+  EXPECT_FALSE(Lib->IsExternal) << "extern resolved against the definition";
+  EXPECT_FALSE(Lib->Exported) << "internalized by the whole-program link";
+  // Call must target the resolved id.
+  Procedure *Main = Linked->findProcedure("main");
+  bool FoundCall = false;
+  for (const auto &BB : *Main)
+    for (const Instruction &I : BB->Insts)
+      if (I.Op == Opcode::Call) {
+        EXPECT_EQ(I.Callee, Lib->id());
+        FoundCall = true;
+      }
+  EXPECT_TRUE(FoundCall);
+}
+
+TEST(LinkerTest, RenamesInternalClashes) {
+  std::vector<std::unique_ptr<Module>> Units;
+  Units.push_back(unit(R"(
+    func helper(x) { return x + 1; }
+    func main() { print(helper(1)); return 0; }
+  )"));
+  Units.push_back(unit(R"(
+    func helper(x) { return x + 100; }
+    export func api(x) { return helper(x); }
+  )"));
+  DiagnosticEngine Diags;
+  auto Linked = linkModules(std::move(Units), Diags);
+  ASSERT_NE(Linked, nullptr) << Diags.str();
+  EXPECT_NE(Linked->findProcedure("helper"), nullptr);
+  EXPECT_NE(Linked->findProcedure("helper$u1"), nullptr)
+      << "file-local duplicate renamed";
+}
+
+TEST(LinkerTest, RejectsDuplicateExports) {
+  std::vector<std::unique_ptr<Module>> Units;
+  Units.push_back(unit("export func api(x) { return 1; }"));
+  Units.push_back(unit("export func api(x) { return 2; }"));
+  DiagnosticEngine Diags;
+  EXPECT_EQ(linkModules(std::move(Units), Diags), nullptr);
+  EXPECT_NE(Diags.str().find("duplicate exported symbol"),
+            std::string::npos);
+}
+
+TEST(LinkerTest, KeepsUnresolvedExternAsStub) {
+  std::vector<std::unique_ptr<Module>> Units;
+  Units.push_back(unit(R"(
+    extern func mystery(x);
+    func main() { if (0) { print(mystery(1)); } return 0; }
+  )"));
+  DiagnosticEngine Diags;
+  auto Linked = linkModules(std::move(Units), Diags);
+  ASSERT_NE(Linked, nullptr) << Diags.str();
+  Procedure *Stub = Linked->findProcedure("mystery");
+  ASSERT_NE(Stub, nullptr);
+  EXPECT_TRUE(Stub->IsExternal);
+}
+
+TEST(LinkerTest, MergesGlobalsWithRemapping) {
+  std::vector<std::unique_ptr<Module>> Units;
+  Units.push_back(unit(R"(
+    var a = 7;
+    export func getA() { return a; }
+  )"));
+  Units.push_back(unit(R"(
+    var b = 9;
+    extern func getA();
+    func main() { print(getA() + b); return 0; }
+  )"));
+  DiagnosticEngine Diags;
+  auto Linked = linkModules(std::move(Units), Diags);
+  ASSERT_NE(Linked, nullptr) << Diags.str();
+  ASSERT_EQ(Linked->Globals.size(), 2u);
+  // End to end through the back end: must print 16.
+  CompileOptions Opts = optionsFor(PaperConfig::C);
+  auto Result = compileUnits({R"(
+    var a = 7;
+    export func getA() { return a; }
+  )",
+                              R"(
+    var b = 9;
+    extern func getA();
+    func main() { print(getA() + b); return 0; }
+  )"},
+                             Opts, Diags);
+  ASSERT_NE(Result, nullptr) << Diags.str();
+  RunStats Stats = runProgram(Result->Program);
+  ASSERT_TRUE(Stats.OK) << Stats.Error;
+  EXPECT_EQ(Stats.Output, (std::vector<int64_t>{16}));
+}
+
+TEST(LinkerTest, SeparateCompilationMatchesWholeProgram) {
+  // The same program split across three units computes the same output
+  // under every configuration.
+  const char *U1 = R"(
+    export func square(x) { return x * x; }
+  )";
+  const char *U2 = R"(
+    extern func square(x);
+    export func sumsq(n) {
+      var s = 0;
+      for (var i = 1; i <= n; i = i + 1) { s = s + square(i); }
+      return s;
+    }
+  )";
+  const char *U3 = R"(
+    extern func sumsq(n);
+    func main() { print(sumsq(12)); return 0; }
+  )";
+  std::string Whole = std::string("func square(x) { return x * x; }\n") +
+                      "func sumsq(n) { var s = 0; for (var i = 1; i <= n; "
+                      "i = i + 1) { s = s + square(i); } return s; }\n" +
+                      "func main() { print(sumsq(12)); return 0; }\n";
+  for (PaperConfig Config : {PaperConfig::Base, PaperConfig::C}) {
+    DiagnosticEngine Diags;
+    auto Linked = compileUnits({U1, U2, U3}, optionsFor(Config), Diags);
+    ASSERT_NE(Linked, nullptr) << Diags.str();
+    RunStats LinkedStats = runProgram(Linked->Program);
+    RunStats WholeStats = compileAndRun(Whole, optionsFor(Config));
+    ASSERT_TRUE(LinkedStats.OK) << LinkedStats.Error;
+    ASSERT_TRUE(WholeStats.OK) << WholeStats.Error;
+    EXPECT_EQ(LinkedStats.Output, WholeStats.Output);
+  }
+}
+
+TEST(LinkerTest, LibraryBoundaryKeepsProceduresOpen) {
+  // Without internalization the exported procedures stay open: they use
+  // the default protocol, so the program must still compute correctly but
+  // with more save/restore traffic than the internalized link.
+  const char *U1 = R"(
+    export func work(x) {
+      var a = x * 2;
+      var b = helper(a);
+      return a + b;
+    }
+    func helper(v) { return v + 1; }
+  )";
+  const char *U2 = R"(
+    extern func work(x);
+    func main() {
+      var s = 0;
+      for (var i = 0; i < 500; i = i + 1) { s = s + work(i); }
+      print(s);
+      return 0;
+    }
+  )";
+  DiagnosticEngine Diags;
+  auto Closed = compileUnits({U1, U2}, optionsFor(PaperConfig::C), Diags,
+                             /*InternalizeExports=*/true);
+  auto Open = compileUnits({U1, U2}, optionsFor(PaperConfig::C), Diags,
+                           /*InternalizeExports=*/false);
+  ASSERT_NE(Closed, nullptr) << Diags.str();
+  ASSERT_NE(Open, nullptr) << Diags.str();
+  RunStats ClosedStats = runProgram(Closed->Program);
+  RunStats OpenStats = runProgram(Open->Program);
+  ASSERT_TRUE(ClosedStats.OK) << ClosedStats.Error;
+  ASSERT_TRUE(OpenStats.OK) << OpenStats.Error;
+  EXPECT_EQ(ClosedStats.Output, OpenStats.Output);
+  EXPECT_LE(ClosedStats.scalarMemOps(), OpenStats.scalarMemOps())
+      << "whole-program link can only help";
+}
+
+} // namespace

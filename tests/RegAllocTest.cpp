@@ -1,0 +1,399 @@
+//===- tests/RegAllocTest.cpp - Priority coloring allocator tests ---------===//
+
+#include "regalloc/RegAlloc.h"
+
+#include "analysis/CallGraph.h"
+#include "analysis/LiveRanges.h"
+#include "analysis/Liveness.h"
+#include "frontend/Frontend.h"
+#include "opt/Passes.h"
+
+#include <gtest/gtest.h>
+
+using namespace ipra;
+
+namespace {
+
+struct Compiled {
+  std::unique_ptr<Module> M;
+  MachineDesc Machine;
+  std::unique_ptr<SummaryTable> Summaries;
+  std::vector<AllocationResult> Results;
+
+  AllocationResult &of(const std::string &Name) {
+    return Results[M->findProcedure(Name)->id()];
+  }
+  Procedure *proc(const std::string &Name) { return M->findProcedure(Name); }
+};
+
+Compiled compileAndAllocate(const std::string &Src, const RegAllocOptions &Opts,
+                            RegSetRestriction R = RegSetRestriction::None) {
+  Compiled C{nullptr, MachineDesc(R), nullptr, {}};
+  DiagnosticEngine Diags;
+  C.M = compileToIR(Src, Diags);
+  EXPECT_NE(C.M, nullptr) << Diags.str();
+  optimize(*C.M);
+  C.Summaries = std::make_unique<SummaryTable>(C.Machine,
+                                               C.M->numProcedures());
+  C.Results = allocateModule(*C.M, C.Machine, *C.Summaries, Opts);
+  return C;
+}
+
+RegAllocOptions intraOpts() {
+  RegAllocOptions O;
+  O.InterProcedural = false;
+  O.ShrinkWrap = false;
+  return O;
+}
+
+RegAllocOptions interOpts() {
+  RegAllocOptions O;
+  O.InterProcedural = true;
+  O.ShrinkWrap = true;
+  return O;
+}
+
+/// Checks the fundamental coloring invariant plus allocatability.
+void checkValidAssignment(const Procedure &P, const MachineDesc &M,
+                          const AllocationResult &R) {
+  Liveness LV = Liveness::compute(P);
+  InterferenceGraph IG = InterferenceGraph::compute(P, LV);
+  for (VReg A = 1; A < P.NumVRegs; ++A) {
+    if (R.Assignment[A] < 0)
+      continue;
+    EXPECT_TRUE(M.isAllocatable(unsigned(R.Assignment[A])))
+        << P.name() << " %" << A << " got non-allocatable "
+        << regName(unsigned(R.Assignment[A]));
+    for (VReg B = A + 1; B < P.NumVRegs; ++B) {
+      if (R.Assignment[B] < 0 || R.Assignment[A] != R.Assignment[B])
+        continue;
+      EXPECT_FALSE(IG.interfere(A, B))
+          << P.name() << ": interfering %" << A << " and %" << B
+          << " share " << regName(unsigned(R.Assignment[A]));
+    }
+  }
+}
+
+TEST(RegAllocIntraTest, LeafUsesCallerSavedOnly) {
+  auto C = compileAndAllocate(
+      "func leaf(a, b) { var x = a + b; var y = a - b; return x * y; }",
+      intraOpts());
+  auto &R = C.of("leaf");
+  Procedure *P = C.proc("leaf");
+  checkValidAssignment(*P, C.Machine, R);
+  for (VReg V = 1; V < P->NumVRegs; ++V) {
+    if (R.Assignment[V] >= 0) {
+      EXPECT_TRUE(C.Machine.isCallerSaved(unsigned(R.Assignment[V])))
+          << "leaf range %" << V << " should use a free caller-saved reg";
+    }
+  }
+  EXPECT_TRUE(R.CalleeSavedToPreserve.none());
+}
+
+TEST(RegAllocIntraTest, CallCrossingRangePrefersCalleeSaved) {
+  auto C = compileAndAllocate(R"(
+    func g(x) { return x; }
+    func f(a) {
+      var v = a * 7;
+      g(1); g(2); g(3);
+      return v;
+    }
+  )", intraOpts());
+  Procedure *P = C.proc("f");
+  auto &R = C.of("f");
+  checkValidAssignment(*P, C.Machine, R);
+  // Find the vreg live across the calls (v): it must sit in callee-saved.
+  Liveness LV = Liveness::compute(*P);
+  LiveRangeInfo LRI = LiveRangeInfo::compute(*P, LV);
+  bool FoundCrossing = false;
+  for (VReg V = 1; V < P->NumVRegs; ++V) {
+    if (LRI.range(V).Crossings.size() < 3)
+      continue;
+    FoundCrossing = true;
+    ASSERT_GE(R.Assignment[V], 0);
+    EXPECT_TRUE(C.Machine.isCalleeSaved(unsigned(R.Assignment[V])))
+        << "%" << V << " crosses 3 calls; caller-saved would cost 6 ops";
+  }
+  EXPECT_TRUE(FoundCrossing);
+  EXPECT_EQ(R.CalleeSavedToPreserve.count(), 1u);
+  EXPECT_FALSE(R.Summary.Precise) << "intra mode publishes no summaries";
+}
+
+TEST(RegAllocInterTest, LeafSummaryPreciseAndMinimal) {
+  auto C = compileAndAllocate(R"(
+    func leaf(a) { return a + 1; }
+    func main() { return leaf(41); }
+  )", interOpts());
+  auto &R = C.of("leaf");
+  EXPECT_TRUE(R.Summary.Precise);
+  EXPECT_FALSE(R.TreatedOpen);
+  // Leaf clobbers at most: its own couple of registers + v0/scratch + its
+  // arrival register. Far fewer than the 14-register default mask.
+  EXPECT_LT(R.Summary.Clobbered.count(), C.Machine.defaultClobber().count());
+  ASSERT_EQ(R.Summary.ParamLocs.size(), 1u);
+  EXPECT_TRUE(C.Machine.isAllocatable(R.Summary.ParamLocs[0]));
+}
+
+TEST(RegAllocInterTest, CallerAvoidsCalleeClobbersForFree) {
+  // v lives across the call to leaf. Under IPRA the allocator knows leaf's
+  // exact usage and picks v a register leaf does not touch, so f needs no
+  // callee-saved preservation and no caller-save around the call.
+  auto C = compileAndAllocate(R"(
+    func leaf(x) { return x + 1; }
+    func f(a) {
+      var v = a * 3;
+      var r = leaf(a);
+      return v + r;
+    }
+    func main() { return f(5); }
+  )", interOpts());
+  Procedure *P = C.proc("f");
+  auto &R = C.of("f");
+  checkValidAssignment(*P, C.Machine, R);
+  const RegUsageSummary &LeafSum =
+      C.Summaries->lookup(C.proc("leaf")->id());
+  Liveness LV = Liveness::compute(*P);
+  LiveRangeInfo LRI = LiveRangeInfo::compute(*P, LV);
+  for (VReg V = 1; V < P->NumVRegs; ++V) {
+    if (LRI.range(V).Crossings.empty() || R.Assignment[V] < 0)
+      continue;
+    EXPECT_FALSE(LeafSum.Clobbered.test(unsigned(R.Assignment[V])))
+        << "%" << V << " crosses leaf() but sits in a clobbered register";
+  }
+  EXPECT_TRUE(R.CalleeSavedToPreserve.none())
+      << "closed procedure with free registers needs no local preservation";
+}
+
+TEST(RegAllocInterTest, Figure1RegisterReuseWhenNotSpanningCall) {
+  // Paper Fig. 1: q calls p; variables whose ranges do not span the call
+  // may share one register across simultaneously-active procedures.
+  auto C = compileAndAllocate(R"(
+    func p(x) { var a = x + 1; return a * 2; }
+    func q(y) {
+      var b = y * 3;          // dead before the call
+      var c = p(b);           // c defined by the call
+      return c + 1;
+    }
+    func main() { return q(7); }
+  )", interOpts());
+  auto &RP = C.of("p");
+  auto &RQ = C.of("q");
+  // q's total register footprint should overlap p's: the tie-break prefers
+  // registers already used in the call tree.
+  BitVector Shared = RP.UsedRegs & RQ.UsedRegs;
+  EXPECT_TRUE(Shared.any())
+      << "call-tree preference should reuse p's registers in q";
+  EXPECT_TRUE(RQ.CalleeSavedToPreserve.none());
+}
+
+TEST(RegAllocInterTest, RecursiveProcedureIsOpen) {
+  auto C = compileAndAllocate(R"(
+    func fact(n) { if (n <= 1) { return 1; } return n * fact(n - 1); }
+    func main() { return fact(6); }
+  )", interOpts());
+  auto &R = C.of("fact");
+  EXPECT_TRUE(R.TreatedOpen);
+  EXPECT_FALSE(R.Summary.Precise);
+  // Its parameter arrives per the default protocol.
+  ASSERT_EQ(R.IncomingParamLocs.size(), 1u);
+  EXPECT_EQ(R.IncomingParamLocs[0], unsigned(RegA0));
+}
+
+TEST(RegAllocInterTest, OpenProcPreservesCalleeSavedDamage) {
+  // api is exported (open). It calls closed leaf helpers; everything its
+  // subtree damages among callee-saved registers must be preserved
+  // locally, because api's callers assume the default convention.
+  auto C = compileAndAllocate(R"(
+    func helper(x) { return x * 2; }
+    export func api(a) {
+      var v = helper(a);
+      var w = helper(v);
+      return v + w;
+    }
+  )", interOpts());
+  auto &Api = C.of("api");
+  EXPECT_TRUE(Api.TreatedOpen);
+  const RegUsageSummary &HelperSum =
+      C.Summaries->lookup(C.proc("helper")->id());
+  BitVector HelperCalleeSaved = HelperSum.Clobbered & C.Machine.calleeSaved();
+  // Whatever callee-saved regs the helper subtree clobbers must be in
+  // api's preserve set.
+  EXPECT_TRUE(HelperCalleeSaved.isSubsetOf(Api.CalleeSavedToPreserve));
+}
+
+TEST(RegAllocInterTest, CombinedStrategyPropagatesWholeProcRanges) {
+  // v spans the whole closed procedure (live entry to exit): its register
+  // save would land at entry, so Section 6 propagates it upward.
+  auto C = compileAndAllocate(R"(
+    func busy(a, b, c, d, e, f, g, h, i, j, k, l) {
+      var v = a + b;
+      var w = c + d + e + f + g + h + i + j + k + l;
+      busy2();
+      return v + w;
+    }
+    func busy2() { return 1; }
+    func main() {
+      return busy(1,2,3,4,5,6,7,8,9,10,11,12);
+    }
+  )", interOpts());
+  auto &R = C.of("busy");
+  // Whatever callee-saved registers were used either propagate or are
+  // preserved, never both.
+  BitVector Both = R.PropagatedCalleeSaved & R.CalleeSavedToPreserve;
+  EXPECT_TRUE(Both.none());
+}
+
+TEST(RegAllocInterTest, RegisterParamsChosenDistinct) {
+  auto C = compileAndAllocate(R"(
+    func take5(a, b, c, d, e) { return a + b + c + d + e; }
+    func main() { return take5(1, 2, 3, 4, 5); }
+  )", interOpts());
+  auto &R = C.of("take5");
+  ASSERT_EQ(R.Summary.ParamLocs.size(), 5u);
+  for (unsigned I = 0; I < 5; ++I) {
+    EXPECT_NE(R.Summary.ParamLocs[I], StackParamLoc)
+        << "IPRA passes all params in registers";
+    for (unsigned J = I + 1; J < 5; ++J)
+      EXPECT_NE(R.Summary.ParamLocs[I], R.Summary.ParamLocs[J]);
+  }
+}
+
+TEST(RegAllocInterTest, DefaultProtocolLimitsRegisterParams) {
+  RegAllocOptions O = interOpts();
+  O.RegisterParams = false;
+  auto C = compileAndAllocate(R"(
+    func take5(a, b, c, d, e) { return a + b + c + d + e; }
+    func main() { return take5(1, 2, 3, 4, 5); }
+  )", O);
+  auto &R = C.of("take5");
+  ASSERT_EQ(R.IncomingParamLocs.size(), 5u);
+  EXPECT_EQ(R.IncomingParamLocs[0], unsigned(RegA0));
+  EXPECT_EQ(R.IncomingParamLocs[3], unsigned(RegA3));
+  EXPECT_EQ(R.IncomingParamLocs[4], StackParamLoc);
+}
+
+TEST(RegAllocRestrictTest, CallerOnly7NeverTouchesCalleeSaved) {
+  auto C = compileAndAllocate(R"(
+    func g(x) { return x + 1; }
+    func f(a) { var v = a * 2; return v + g(a); }
+    func main() { return f(3); }
+  )", interOpts(), RegSetRestriction::CallerOnly7);
+  for (const char *Name : {"g", "f", "main"}) {
+    auto &R = C.of(Name);
+    BitVector CalleeSavedUsed = R.UsedRegs & C.Machine.calleeSaved();
+    EXPECT_TRUE(CalleeSavedUsed.none()) << Name;
+    checkValidAssignment(*C.proc(Name), C.Machine, R);
+  }
+}
+
+TEST(RegAllocRestrictTest, CalleeOnly7UsesOnlyCalleeSaved) {
+  auto C = compileAndAllocate(R"(
+    func f(a) { var v = a * 2; return v + 1; }
+    func main() { return f(3); }
+  )", interOpts(), RegSetRestriction::CalleeOnly7);
+  auto &R = C.of("f");
+  BitVector CallerSavedUsed = R.UsedRegs & C.Machine.callerSaved();
+  EXPECT_TRUE(CallerSavedUsed.none());
+}
+
+TEST(RegAllocPressureTest, SpillsWhenOutOfRegisters) {
+  // 30 simultaneously-live variables cannot fit 20 registers; some spill,
+  // and the coloring must stay valid.
+  std::string Src = "func f(s) {\n";
+  for (int I = 0; I < 30; ++I)
+    Src += "  var v" + std::to_string(I) + " = s * " + std::to_string(I + 2) +
+           ";\n";
+  Src += "  var t = 0;\n";
+  for (int I = 0; I < 30; ++I)
+    Src += "  t = t + v" + std::to_string(I) + ";\n";
+  Src += "  return t;\n}\nfunc main() { return f(3); }\n";
+  auto C = compileAndAllocate(Src, interOpts());
+  Procedure *P = C.proc("f");
+  auto &R = C.of("f");
+  checkValidAssignment(*P, C.Machine, R);
+  unsigned Spilled = 0;
+  for (VReg V = 1; V < P->NumVRegs; ++V)
+    if (R.Assignment[V] < 0)
+      ++Spilled;
+  EXPECT_GT(Spilled, 0u);
+}
+
+// Property sweep: coloring validity and placement verification across both
+// modes and all restrictions on a corpus of programs.
+struct AllocPropertyCase {
+  const char *Name;
+  const char *Src;
+};
+
+class RegAllocPropertyTest
+    : public ::testing::TestWithParam<std::tuple<AllocPropertyCase, int>> {};
+
+const AllocPropertyCase PropertyCorpus[] = {
+    {"straight", "func main() { var a = 1; var b = a + 2; return b; }"},
+    {"calls", R"(
+      func h(x) { return x + 1; }
+      func g(x) { return h(x) * 2; }
+      func main() { return g(10); }
+    )"},
+    {"loops", R"(
+      func sum(n) { var s = 0; for (var i = 0; i < n; i = i + 1) {
+        s = s + i; } return s; }
+      func main() { return sum(100); }
+    )"},
+    {"recursion", R"(
+      func fib(n) { if (n < 2) { return n; } return fib(n-1) + fib(n-2); }
+      func main() { return fib(12); }
+    )"},
+    {"indirect", R"(
+      func a1(x) { return x + 1; }
+      func a2(x) { return x + 2; }
+      func main() { var p = &a1; var q = &a2; return p(1) + q(2); }
+    )"},
+    {"pressure", R"(
+      func f(a, b, c, d) {
+        var e = a*b; var g = c*d; var h = a+c; var i = b+d;
+        var j = e+g; var k = h+i;
+        f2(); f2();
+        return e+g+h+i+j+k;
+      }
+      func f2() { return 7; }
+      func main() { return f(1,2,3,4); }
+    )"},
+};
+
+TEST_P(RegAllocPropertyTest, ValidColoringAndPlacement) {
+  auto [Case, Config] = GetParam();
+  RegAllocOptions O;
+  O.InterProcedural = Config & 1;
+  O.ShrinkWrap = Config & 2;
+  RegSetRestriction Restr = RegSetRestriction::None;
+  if (Config & 4)
+    Restr = RegSetRestriction::CallerOnly7;
+  auto C = compileAndAllocate(Case.Src, O, Restr);
+  for (const auto &Proc : *C.M) {
+    if (Proc->IsExternal)
+      continue;
+    const AllocationResult &R = C.Results[Proc->id()];
+    checkValidAssignment(*Proc, C.Machine, R);
+    // Placement must verify against the APP it was computed from.
+    std::vector<BitVector> APP =
+        computeAPP(*Proc, R.Assignment, *C.Summaries, O.InterProcedural);
+    for (BitVector &A : APP)
+      A &= R.CalleeSavedToPreserve;
+    std::string Err =
+        verifyPlacement(*Proc, R.Placement.ExtendedAPP,
+                        C.Machine.numRegs(), R.Placement);
+    EXPECT_EQ(Err, "") << Proc->name();
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Corpus, RegAllocPropertyTest,
+    ::testing::Combine(::testing::ValuesIn(PropertyCorpus),
+                       ::testing::Values(0, 1, 2, 3, 5, 7)),
+    [](const ::testing::TestParamInfo<RegAllocPropertyTest::ParamType> &I) {
+      return std::string(std::get<0>(I.param).Name) + "_cfg" +
+             std::to_string(std::get<1>(I.param));
+    });
+
+} // namespace

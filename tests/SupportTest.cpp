@@ -1,0 +1,143 @@
+//===- tests/SupportTest.cpp - Unit tests for support utilities -----------===//
+
+#include "support/BitVector.h"
+#include "support/Diagnostics.h"
+
+#include <gtest/gtest.h>
+
+#include <random>
+#include <set>
+
+using namespace ipra;
+
+TEST(BitVectorTest, EmptyVector) {
+  BitVector BV;
+  EXPECT_EQ(BV.size(), 0u);
+  EXPECT_TRUE(BV.none());
+  EXPECT_EQ(BV.count(), 0u);
+  EXPECT_EQ(BV.findFirst(), -1);
+}
+
+TEST(BitVectorTest, SetResetTest) {
+  BitVector BV(130);
+  EXPECT_EQ(BV.size(), 130u);
+  EXPECT_TRUE(BV.none());
+  BV.set(0);
+  BV.set(64);
+  BV.set(129);
+  EXPECT_TRUE(BV.test(0));
+  EXPECT_TRUE(BV.test(64));
+  EXPECT_TRUE(BV.test(129));
+  EXPECT_FALSE(BV.test(1));
+  EXPECT_FALSE(BV.test(128));
+  EXPECT_EQ(BV.count(), 3u);
+  BV.reset(64);
+  EXPECT_FALSE(BV.test(64));
+  EXPECT_EQ(BV.count(), 2u);
+}
+
+TEST(BitVectorTest, InitialValueTrue) {
+  BitVector BV(70, true);
+  EXPECT_EQ(BV.count(), 70u);
+  for (unsigned I = 0; I < 70; ++I)
+    EXPECT_TRUE(BV.test(I)) << "bit " << I;
+}
+
+TEST(BitVectorTest, ResizeGrowWithTrue) {
+  BitVector BV(10);
+  BV.set(3);
+  BV.resize(100, true);
+  EXPECT_TRUE(BV.test(3));
+  EXPECT_FALSE(BV.test(4));
+  for (unsigned I = 10; I < 100; ++I)
+    EXPECT_TRUE(BV.test(I)) << "bit " << I;
+  EXPECT_EQ(BV.count(), 91u);
+}
+
+TEST(BitVectorTest, SetAllRespectsSize) {
+  BitVector BV(67);
+  BV.setAll();
+  EXPECT_EQ(BV.count(), 67u);
+}
+
+TEST(BitVectorTest, FindFirstNext) {
+  BitVector BV(200);
+  BV.set(5);
+  BV.set(63);
+  BV.set(64);
+  BV.set(199);
+  EXPECT_EQ(BV.findFirst(), 5);
+  EXPECT_EQ(BV.findNext(5), 63);
+  EXPECT_EQ(BV.findNext(63), 64);
+  EXPECT_EQ(BV.findNext(64), 199);
+  EXPECT_EQ(BV.findNext(199), -1);
+}
+
+TEST(BitVectorTest, IterationMatchesSet) {
+  std::mt19937 Rng(42);
+  std::set<int> Ref;
+  BitVector BV(500);
+  for (int I = 0; I < 100; ++I) {
+    int Bit = int(Rng() % 500);
+    Ref.insert(Bit);
+    BV.set(unsigned(Bit));
+  }
+  std::set<int> Got;
+  for (int I = BV.findFirst(); I >= 0; I = BV.findNext(unsigned(I)))
+    Got.insert(I);
+  EXPECT_EQ(Got, Ref);
+}
+
+TEST(BitVectorTest, BooleanOperators) {
+  BitVector A(100), B(100);
+  A.set(1);
+  A.set(50);
+  B.set(50);
+  B.set(99);
+  BitVector Or = A | B;
+  EXPECT_TRUE(Or.test(1));
+  EXPECT_TRUE(Or.test(50));
+  EXPECT_TRUE(Or.test(99));
+  EXPECT_EQ(Or.count(), 3u);
+  BitVector AndV = A & B;
+  EXPECT_EQ(AndV.count(), 1u);
+  EXPECT_TRUE(AndV.test(50));
+  BitVector C = A;
+  C.andNot(B);
+  EXPECT_EQ(C.count(), 1u);
+  EXPECT_TRUE(C.test(1));
+}
+
+TEST(BitVectorTest, EqualityAndSubset) {
+  BitVector A(64), B(64);
+  A.set(10);
+  EXPECT_NE(A, B);
+  B.set(10);
+  EXPECT_EQ(A, B);
+  B.set(20);
+  EXPECT_TRUE(A.isSubsetOf(B));
+  EXPECT_FALSE(B.isSubsetOf(A));
+}
+
+TEST(BitVectorTest, StrFormat) {
+  BitVector A(16);
+  EXPECT_EQ(A.str(), "{}");
+  A.set(1);
+  A.set(9);
+  EXPECT_EQ(A.str(), "{1, 9}");
+}
+
+TEST(DiagnosticsTest, CollectsErrorsAndWarnings) {
+  DiagnosticEngine Diags;
+  EXPECT_FALSE(Diags.hasErrors());
+  Diags.warning({3, 7}, "suspicious");
+  EXPECT_FALSE(Diags.hasErrors());
+  Diags.error({1, 2}, "bad token");
+  Diags.error("no location");
+  EXPECT_TRUE(Diags.hasErrors());
+  EXPECT_EQ(Diags.errorCount(), 2u);
+  std::string Text = Diags.str();
+  EXPECT_NE(Text.find("3:7: warning: suspicious"), std::string::npos);
+  EXPECT_NE(Text.find("1:2: error: bad token"), std::string::npos);
+  EXPECT_NE(Text.find("error: no location"), std::string::npos);
+}

@@ -1,0 +1,229 @@
+//===- tools/ipracc.cpp - Command-line compiler driver ---------------------===//
+//
+// Part of the ipra project (Chow, PLDI 1988 reproduction).
+//
+// The command-line face of the pipeline:
+//
+//   ipracc [options] file.mc [file2.mc ...]
+//
+//   -O2 / -O3            intra- / inter-procedural allocation (default -O2)
+//   --shrink-wrap        enable shrink-wrapping (off by default, as in the
+//                        paper's base configuration)
+//   --no-combined        disable the Section-6 combined strategy
+//   --no-reg-params      disable IPRA register parameter passing
+//   --no-loop-ext        disable loop extension
+//   --restrict=caller7|callee7   Table-2 register-set restrictions
+//   --profile            profile-guided rebuild (train on one run)
+//   --emit-ir            print the optimized IR
+//   --emit-mir           print the generated machine code
+//   --summaries          print each procedure's register-usage summary
+//   --run                execute on the simulator (default)
+//   --stats              print the pixie counters after the run
+//   --benchmark=<name>   compile the named built-in suite program instead
+//                        of reading files (nim, map, ..., uopt)
+//
+// Multiple input files are compiled separately and cross-module linked
+// (the paper's Section 7 setting).
+//
+//===----------------------------------------------------------------------===//
+
+#include "driver/Pipeline.h"
+#include "ir/Printer.h"
+#include "programs/Programs.h"
+
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+using namespace ipra;
+
+namespace {
+
+struct ToolOptions {
+  CompileOptions Compile;
+  std::vector<std::string> Inputs;
+  std::string Benchmark;
+  bool EmitIR = false;
+  bool EmitMIR = false;
+  bool PrintSummaries = false;
+  bool Run = true;
+  bool Stats = false;
+  bool UseProfile = false;
+};
+
+void usage(const char *Argv0) {
+  std::fprintf(stderr,
+               "usage: %s [-O2|-O3] [--shrink-wrap] [--no-combined] "
+               "[--no-reg-params]\n              [--no-loop-ext] "
+               "[--restrict=caller7|callee7] [--profile]\n              "
+               "[--emit-ir] [--emit-mir] [--summaries] [--run] [--stats]\n"
+               "              [--benchmark=<name>] file.mc [file2.mc ...]\n",
+               Argv0);
+}
+
+bool parseArgs(int Argc, char **Argv, ToolOptions &Opts) {
+  for (int I = 1; I < Argc; ++I) {
+    std::string Arg = Argv[I];
+    if (Arg == "-O2") {
+      Opts.Compile.OptLevel = 2;
+    } else if (Arg == "-O3") {
+      Opts.Compile.OptLevel = 3;
+    } else if (Arg == "--shrink-wrap") {
+      Opts.Compile.ShrinkWrap = true;
+    } else if (Arg == "--no-combined") {
+      Opts.Compile.CombinedStrategy = false;
+    } else if (Arg == "--no-reg-params") {
+      Opts.Compile.RegisterParams = false;
+    } else if (Arg == "--no-loop-ext") {
+      Opts.Compile.LoopExtension = false;
+    } else if (Arg == "--restrict=caller7") {
+      Opts.Compile.Restriction = RegSetRestriction::CallerOnly7;
+    } else if (Arg == "--restrict=callee7") {
+      Opts.Compile.Restriction = RegSetRestriction::CalleeOnly7;
+    } else if (Arg == "--profile") {
+      Opts.UseProfile = true;
+    } else if (Arg == "--emit-ir") {
+      Opts.EmitIR = true;
+    } else if (Arg == "--emit-mir") {
+      Opts.EmitMIR = true;
+    } else if (Arg == "--summaries") {
+      Opts.PrintSummaries = true;
+    } else if (Arg == "--run") {
+      Opts.Run = true;
+    } else if (Arg == "--no-run") {
+      Opts.Run = false;
+    } else if (Arg == "--stats") {
+      Opts.Stats = true;
+    } else if (Arg.rfind("--benchmark=", 0) == 0) {
+      Opts.Benchmark = Arg.substr(std::strlen("--benchmark="));
+    } else if (Arg == "--help" || Arg == "-h") {
+      usage(Argv[0]);
+      std::exit(0);
+    } else if (!Arg.empty() && Arg[0] == '-') {
+      std::fprintf(stderr, "ipracc: unknown option '%s'\n", Arg.c_str());
+      return false;
+    } else {
+      Opts.Inputs.push_back(Arg);
+    }
+  }
+  return true;
+}
+
+bool readFile(const std::string &Path, std::string &Out) {
+  std::ifstream In(Path);
+  if (!In)
+    return false;
+  std::ostringstream SS;
+  SS << In.rdbuf();
+  Out = SS.str();
+  return true;
+}
+
+void printSummaries(const CompileResult &Result) {
+  for (const auto &Proc : *Result.IR) {
+    const RegUsageSummary &S = Result.Summaries->lookup(Proc->id());
+    std::printf("; %s: ", Proc->name().c_str());
+    if (!S.Precise) {
+      std::printf("default linkage protocol (open)\n");
+      continue;
+    }
+    std::printf("clobbers %s, params in", S.Clobbered.str().c_str());
+    if (S.ParamLocs.empty())
+      std::printf(" (none)");
+    for (unsigned Loc : S.ParamLocs)
+      std::printf(" %s", Loc == StackParamLoc ? "stack" : regName(Loc));
+    std::printf("\n");
+  }
+}
+
+} // namespace
+
+int main(int Argc, char **Argv) {
+  ToolOptions Opts;
+  if (!parseArgs(Argc, Argv, Opts)) {
+    usage(Argv[0]);
+    return 2;
+  }
+
+  std::vector<std::string> Sources;
+  if (!Opts.Benchmark.empty()) {
+    const BenchmarkProgram *B = findBenchmark(Opts.Benchmark);
+    if (!B) {
+      std::fprintf(stderr, "ipracc: unknown benchmark '%s'; available:",
+                   Opts.Benchmark.c_str());
+      for (const BenchmarkProgram &P : benchmarkSuite())
+        std::fprintf(stderr, " %s", P.Name);
+      std::fprintf(stderr, "\n");
+      return 2;
+    }
+    Sources.push_back(B->Source);
+  }
+  for (const std::string &Path : Opts.Inputs) {
+    std::string Text;
+    if (!readFile(Path, Text)) {
+      std::fprintf(stderr, "ipracc: cannot read '%s'\n", Path.c_str());
+      return 2;
+    }
+    Sources.push_back(std::move(Text));
+  }
+  if (Sources.empty()) {
+    usage(Argv[0]);
+    return 2;
+  }
+
+  DiagnosticEngine Diags;
+  std::unique_ptr<CompileResult> Result;
+  if (Opts.UseProfile) {
+    if (Sources.size() != 1) {
+      std::fprintf(stderr,
+                   "ipracc: --profile supports a single input for now\n");
+      return 2;
+    }
+    Result = compileWithProfile(Sources[0], Opts.Compile, Diags);
+  } else if (Sources.size() == 1) {
+    Result = compileProgram(Sources[0], Opts.Compile, Diags);
+  } else {
+    Result = compileUnits(Sources, Opts.Compile, Diags);
+  }
+  // Warnings (e.g. unresolved externals) are worth showing either way.
+  for (const Diagnostic &D : Diags.diagnostics())
+    std::fprintf(stderr, "ipracc: %s\n", D.str().c_str());
+  if (!Result)
+    return 1;
+
+  if (Opts.EmitIR)
+    std::printf("%s", toString(*Result->IR).c_str());
+  if (Opts.PrintSummaries)
+    printSummaries(*Result);
+  if (Opts.EmitMIR)
+    for (const MProc &P : Result->Program.Procs)
+      if (!P.IsExternal)
+        std::printf("%s", toString(P).c_str());
+
+  if (!Opts.Run)
+    return 0;
+  RunStats Stats = runProgram(Result->Program);
+  if (!Stats.OK) {
+    std::fprintf(stderr, "ipracc: runtime error: %s\n", Stats.Error.c_str());
+    return 1;
+  }
+  for (int64_t V : Stats.Output)
+    std::printf("%lld\n", (long long)V);
+  if (Opts.Stats) {
+    std::fprintf(stderr, "cycles:        %llu\n",
+                 (unsigned long long)Stats.Cycles);
+    std::fprintf(stderr, "scalar ld/st:  %llu\n",
+                 (unsigned long long)Stats.scalarMemOps());
+    std::fprintf(stderr, "data ld/st:    %llu\n",
+                 (unsigned long long)(Stats.DataLoads + Stats.DataStores));
+    std::fprintf(stderr, "calls:         %llu\n",
+                 (unsigned long long)Stats.Calls);
+    std::fprintf(stderr, "cycles/call:   %.1f\n", Stats.cyclesPerCall());
+    std::fprintf(stderr, "exit value:    %lld\n",
+                 (long long)Stats.ExitValue);
+  }
+  return 0;
+}
