@@ -80,6 +80,31 @@ BENCHMARK(BM_FullPipeline)
     ->Arg(int(PaperConfig::C))
     ->Unit(benchmark::kMicrosecond);
 
+/// Compile-throughput of the DAG-scheduled back end across worker counts
+/// (0 = the serial baseline). One iteration compiles every multi-procedure
+/// suite program under configuration C, so the counter reports programs
+/// per second; speedup at N threads is this benchmark vs threads=0.
+void BM_ParallelPipeline(benchmark::State &State) {
+  CompileOptions Opts = optionsFor(PaperConfig::C);
+  Opts.Threads = unsigned(State.range(0));
+  for (auto _ : State) {
+    for (const BenchmarkProgram &B : benchmarkSuite()) {
+      DiagnosticEngine Diags;
+      auto Compiled = compileProgram(B.Source, Opts, Diags);
+      benchmark::DoNotOptimize(Compiled);
+    }
+    State.SetItemsProcessed(State.items_processed() +
+                            int64_t(benchmarkSuite().size()));
+  }
+}
+BENCHMARK(BM_ParallelPipeline)
+    ->Arg(0)
+    ->Arg(1)
+    ->Arg(2)
+    ->Arg(4)
+    ->ArgName("threads")
+    ->Unit(benchmark::kMicrosecond);
+
 void BM_Simulator(benchmark::State &State) {
   DiagnosticEngine Diags;
   auto Compiled = compileProgram(findBenchmark("dhrystone")->Source,

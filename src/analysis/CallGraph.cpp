@@ -18,12 +18,14 @@ public:
     LowLink.assign(N, 0);
     OnStack.assign(N, 0);
     InCycle.assign(N, 0);
+    Component.assign(N, -1);
     for (unsigned I = 0; I < N; ++I)
       if (Index[I] < 0)
         strongConnect(int(I));
   }
 
   std::vector<char> takeResult() { return std::move(InCycle); }
+  std::vector<int> takeComponents() { return std::move(Component); }
 
 private:
   void strongConnect(int Root) {
@@ -55,20 +57,23 @@ private:
         continue;
       if (LowLink[V] == Index[V]) {
         // Pop one SCC.
-        std::vector<int> Component;
+        std::vector<int> Members;
         while (true) {
           int W = Stack.back();
           Stack.pop_back();
           OnStack[W] = 0;
-          Component.push_back(W);
+          Members.push_back(W);
           if (W == V)
             break;
         }
         bool SelfEdge =
             std::find(Nodes[V].Callees.begin(), Nodes[V].Callees.end(), V) !=
             Nodes[V].Callees.end();
-        if (Component.size() > 1 || SelfEdge)
-          for (int W : Component)
+        for (int W : Members)
+          Component[W] = NumComponents;
+        ++NumComponents;
+        if (Members.size() > 1 || SelfEdge)
+          for (int W : Members)
             InCycle[W] = 1;
       }
       CallStack.pop_back();
@@ -84,8 +89,10 @@ private:
   std::vector<int> LowLink;
   std::vector<char> OnStack;
   std::vector<char> InCycle;
+  std::vector<int> Component;
   std::vector<int> Stack;
   int NextIndex = 0;
+  int NumComponents = 0;
 };
 
 } // namespace
@@ -111,7 +118,9 @@ CallGraph CallGraph::build(const Module &M) {
     }
   }
 
-  std::vector<char> InCycle = SCCFinder(CG.Nodes).takeResult();
+  SCCFinder Finder(CG.Nodes);
+  std::vector<char> InCycle = Finder.takeResult();
+  CG.SCCId = Finder.takeComponents();
   for (unsigned P = 0; P < N; ++P) {
     const Procedure *Proc = M.procedure(int(P));
     Node &Nd = CG.Nodes[P];
@@ -143,4 +152,51 @@ CallGraph CallGraph::build(const Module &M) {
     }
   }
   return CG;
+}
+
+CallGraph::Schedule CallGraph::schedule() const {
+  Schedule S;
+  unsigned N = Nodes.size();
+  S.TaskOfProc.assign(N, -1);
+
+  // Number tasks by first appearance of any SCC member in the bottom-up
+  // order. Every cross-SCC call edge points to an earlier bottom-up
+  // position (post-order property), so this numbering is a bottom-up
+  // topological order of the condensation.
+  std::vector<int> TaskOfSCC(N, -1);
+  for (int P : BottomUp) {
+    int &Task = TaskOfSCC[SCCId[P]];
+    if (Task < 0) {
+      Task = int(S.TaskProcs.size());
+      S.TaskProcs.emplace_back();
+    }
+    S.TaskOfProc[P] = Task;
+    S.TaskProcs[Task].push_back(P);
+  }
+
+  unsigned NumTasks = S.numTasks();
+  S.Successors.assign(NumTasks, {});
+  S.ReadyCounts.assign(NumTasks, 0);
+
+  // A caller's task waits on every distinct task holding one of its
+  // closed callees; open callees publish nothing precise and need no
+  // ordering. Collect edges, then dedupe per predecessor.
+  for (unsigned P = 0; P < N; ++P) {
+    int CallerTask = S.TaskOfProc[P];
+    for (int Callee : Nodes[P].Callees) {
+      int CalleeTask = S.TaskOfProc[Callee];
+      if (CalleeTask == CallerTask || Nodes[Callee].Open)
+        continue;
+      assert(CalleeTask < CallerTask && "task numbering not bottom-up");
+      S.Successors[CalleeTask].push_back(CallerTask);
+    }
+  }
+  for (unsigned T = 0; T < NumTasks; ++T) {
+    std::vector<int> &Succs = S.Successors[T];
+    std::sort(Succs.begin(), Succs.end());
+    Succs.erase(std::unique(Succs.begin(), Succs.end()), Succs.end());
+    for (int Dep : Succs)
+      ++S.ReadyCounts[Dep];
+  }
+  return S;
 }

@@ -37,7 +37,33 @@ public:
     bool Open = false;
   };
 
+  /// SCC-collapsed task schedule for the parallel bottom-up pipeline.
+  /// One task per strongly connected component (singletons included);
+  /// tasks are numbered in a bottom-up topological order of the
+  /// condensation, so running them 0..numTasks()-1 is a valid serial
+  /// schedule. A task depends on another exactly when some member calls a
+  /// *closed* procedure of the other task -- closed callees are the only
+  /// procedures that publish precise summaries, hence the only
+  /// cross-procedure dependence of the one-pass scheme. Open callees
+  /// (main, exported, address-taken, external, cycle members) are read
+  /// through the default linkage protocol and impose no ordering.
+  struct Schedule {
+    /// Procedure id -> owning task id.
+    std::vector<int> TaskOfProc;
+    /// Task id -> member procedure ids, in bottom-up processing order.
+    std::vector<std::vector<int>> TaskProcs;
+    /// Task id -> distinct dependent task ids released by its completion.
+    std::vector<std::vector<int>> Successors;
+    /// Task id -> number of distinct tasks holding closed callees of its
+    /// members; the task is ready when this many predecessors finished.
+    std::vector<unsigned> ReadyCounts;
+
+    unsigned numTasks() const { return unsigned(TaskProcs.size()); }
+  };
+
   static CallGraph build(const Module &M);
+
+  Schedule schedule() const;
 
   const Node &node(int ProcId) const {
     assert(ProcId >= 0 && ProcId < int(Nodes.size()) && "bad proc id");
@@ -53,6 +79,8 @@ public:
 private:
   std::vector<Node> Nodes;
   std::vector<int> BottomUp;
+  /// Tarjan component id per procedure (arbitrary numbering).
+  std::vector<int> SCCId;
 };
 
 } // namespace ipra

@@ -603,11 +603,7 @@ private:
 
 } // namespace
 
-MProgram ipra::generateCode(const Module &Mod,
-                            const std::vector<AllocationResult> &Alloc,
-                            const SummaryTable &Summaries,
-                            const CodeGenOptions &Opts) {
-  MProgram Prog;
+void ipra::layoutGlobals(const Module &Mod, MProgram &Prog) {
   // Globals segment at word address 0.
   int64_t Next = 0;
   for (const GlobalVar &G : Mod.Globals) {
@@ -616,6 +612,24 @@ MProgram ipra::generateCode(const Module &Mod,
       Prog.GlobalImage.push_back(W < int64_t(G.Init.size()) ? G.Init[W] : 0);
     Next += G.SizeWords;
   }
+}
+
+MProc ipra::generateProcedure(const Procedure &P,
+                              const AllocationResult &Alloc,
+                              const SummaryTable &Summaries,
+                              const CodeGenOptions &Opts,
+                              const std::vector<int64_t> &GlobalOffsets) {
+  assert(!P.IsExternal && "externals have no body to lower");
+  ProcCodeGen CG(P, Alloc, Summaries, Opts, GlobalOffsets);
+  return CG.run();
+}
+
+MProgram ipra::generateCode(const Module &Mod,
+                            const std::vector<AllocationResult> &Alloc,
+                            const SummaryTable &Summaries,
+                            const CodeGenOptions &Opts) {
+  MProgram Prog;
+  layoutGlobals(Mod, Prog);
   for (unsigned Id = 0; Id < Mod.numProcedures(); ++Id) {
     const Procedure *P = Mod.procedure(int(Id));
     // What a call to this procedure may destroy, for the simulator's
@@ -634,8 +648,8 @@ MProgram ipra::generateCode(const Module &Mod,
       Prog.Procs.push_back(std::move(MP));
       continue;
     }
-    ProcCodeGen CG(*P, Alloc[Id], Summaries, Opts, Prog.GlobalOffsets);
-    Prog.Procs.push_back(CG.run());
+    Prog.Procs.push_back(
+        generateProcedure(*P, Alloc[Id], Summaries, Opts, Prog.GlobalOffsets));
     if (P->IsMain)
       Prog.MainProcId = int(Id);
   }

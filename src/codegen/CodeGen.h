@@ -30,6 +30,21 @@ struct CodeGenOptions {
   bool RegisterParams = true;
 };
 
+/// Lays out the globals segment at word address 0: fills
+/// \p Prog.GlobalOffsets and \p Prog.GlobalImage. Must run before any
+/// generateProcedure call that lowers a global access.
+void layoutGlobals(const Module &Mod, MProgram &Prog);
+
+/// Lowers a single non-external allocated procedure. \p GlobalOffsets is
+/// the layout produced by layoutGlobals for the owning module. Pure with
+/// respect to everything but its own procedure, so distinct procedures
+/// may be lowered concurrently once their callees' summaries are
+/// published.
+MProc generateProcedure(const Procedure &P, const AllocationResult &Alloc,
+                        const SummaryTable &Summaries,
+                        const CodeGenOptions &Opts,
+                        const std::vector<int64_t> &GlobalOffsets);
+
 /// Lowers the whole module. \p Alloc is indexed by procedure id (the
 /// result of allocateModule).
 MProgram generateCode(const Module &Mod,

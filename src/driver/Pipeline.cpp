@@ -2,13 +2,24 @@
 
 #include "driver/Pipeline.h"
 
+#include "analysis/CallGraph.h"
+#include "analysis/Loops.h"
+#include "analysis/Profile.h"
 #include "frontend/Frontend.h"
 #include "opt/Passes.h"
+#include "support/ThreadPool.h"
 
 #include "driver/Linker.h"
 #include "ir/Verifier.h"
 
+#include <atomic>
+#include <functional>
+
 using namespace ipra;
+
+unsigned ipra::defaultCompileThreads() {
+  return ThreadPool::defaultThreadCount();
+}
 
 CompileOptions ipra::optionsFor(PaperConfig Config) {
   CompileOptions O;
@@ -63,25 +74,121 @@ const char *ipra::paperConfigName(PaperConfig Config) {
 
 namespace {
 
-/// Shared back end: mid-end cleanup, allocation, code generation.
+/// The whole per-procedure back end, run inside one scheduler task:
+/// mid-end cleanup, frequency estimation, register allocation (which
+/// publishes the summary) and code generation. Touches only this
+/// procedure's IR, its Alloc/Procs slots, and -- read-only -- the
+/// summaries of its own callees, all of which were published before this
+/// task was released; that is what makes concurrent tasks race-free.
+void compileProcedure(int ProcId, CompileResult &Result, const CallGraph &CG,
+                      const CompileOptions &Opts,
+                      const CodeGenOptions &CGOpts) {
+  Procedure *Proc = Result.IR->procedure(ProcId);
+  if (Proc->IsExternal) {
+    Result.Alloc[ProcId] =
+        allocateProcedure(*Proc, Result.Machine, *Result.Summaries,
+                          /*IsOpen=*/true, Opts.regAllocOptions());
+    MProc MP;
+    MP.Name = Proc->name();
+    MP.Id = ProcId;
+    MP.IsExternal = true;
+    Result.Program.Procs[ProcId] = std::move(MP);
+    return;
+  }
+  if (Opts.MidEndOpt)
+    optimize(*Proc);
+  Proc->recomputeCFG();
+  if (Opts.Profile && Opts.Profile->covers(ProcId, Proc->numBlocks()))
+    applyProfile(*Proc, *Opts.Profile);
+  else
+    estimateFrequencies(*Proc, LoopInfo::compute(*Proc));
+  Result.Alloc[ProcId] =
+      allocateProcedure(*Proc, Result.Machine, *Result.Summaries,
+                        CG.isOpen(ProcId), Opts.regAllocOptions());
+  Result.Program.Procs[ProcId] =
+      generateProcedure(*Proc, Result.Alloc[ProcId], *Result.Summaries,
+                        CGOpts, Result.Program.GlobalOffsets);
+}
+
+/// Shared back end: one task per call-graph SCC, scheduled by dependency
+/// counting. Threads == 0 runs the same task bodies inline in bottom-up
+/// task order, so serial and parallel modes share a single code path and
+/// the output is byte-identical by construction.
 std::unique_ptr<CompileResult> runBackEnd(std::unique_ptr<Module> IR,
-                                          const CompileOptions &Opts) {
+                                          const CompileOptions &Opts,
+                                          DiagnosticEngine &Diags) {
   auto Result = std::make_unique<CompileResult>();
   Result->IR = std::move(IR);
-  if (Opts.MidEndOpt)
-    optimize(*Result->IR);
+  Module &Mod = *Result->IR;
+  unsigned NumProcs = Mod.numProcedures();
 
   Result->Machine = MachineDesc(Opts.Restriction);
-  Result->Summaries = std::make_unique<SummaryTable>(
-      Result->Machine, Result->IR->numProcedures());
-  Result->Alloc = allocateModule(*Result->IR, Result->Machine,
-                                 *Result->Summaries, Opts.regAllocOptions());
+  Result->Summaries = std::make_unique<SummaryTable>(Result->Machine,
+                                                     NumProcs);
+  Result->Alloc.resize(NumProcs);
+  Result->Program.Procs.resize(NumProcs);
+  layoutGlobals(Mod, Result->Program);
 
   CodeGenOptions CGOpts;
   CGOpts.InterMode = Opts.OptLevel >= 3;
   CGOpts.RegisterParams = Opts.RegisterParams;
-  Result->Program = generateCode(*Result->IR, Result->Alloc,
-                                 *Result->Summaries, CGOpts);
+
+  // The schedule comes from the pre-opt call graph. The mid-end only ever
+  // removes calls (DCE keeps them, simplifyCFG can drop dead blocks), so
+  // this graph is a superset of the post-opt one: every summary a task
+  // reads is still covered by a dependency, and a procedure is at worst
+  // classified open more conservatively -- which is always correct.
+  CallGraph CG = CallGraph::build(Mod);
+  CallGraph::Schedule Sched = CG.schedule();
+  unsigned NumTasks = Sched.numTasks();
+
+  // Diagnostics are buffered per procedure and spliced back in program
+  // order below, so their order never depends on task interleaving. (The
+  // back end is currently diagnostic-free; the plumbing pins the contract
+  // down for passes that do report.)
+  std::vector<DiagnosticEngine> ProcDiags(NumProcs);
+  auto runTaskBody = [&](int Task) {
+    for (int ProcId : Sched.TaskProcs[Task])
+      compileProcedure(ProcId, *Result, CG, Opts, CGOpts);
+  };
+
+  if (Opts.Threads == 0 || NumTasks <= 1) {
+    for (unsigned T = 0; T < NumTasks; ++T)
+      runTaskBody(int(T));
+  } else {
+    // Dependency counting: each task holds the number of distinct
+    // closed-callee tasks it still waits on; finishing a task decrements
+    // its successors and enqueues those that hit zero. The pool's queue
+    // synchronization orders every summary publish before any dependent
+    // read, so the SummaryTable itself needs no locking.
+    std::vector<std::atomic<unsigned>> PendingDeps(NumTasks);
+    for (unsigned T = 0; T < NumTasks; ++T)
+      PendingDeps[T].store(Sched.ReadyCounts[T], std::memory_order_relaxed);
+    ThreadPool Pool(Opts.Threads);
+    std::function<void(int)> runTask = [&](int Task) {
+      runTaskBody(Task);
+      for (int Succ : Sched.Successors[Task])
+        if (PendingDeps[Succ].fetch_sub(1, std::memory_order_acq_rel) == 1)
+          Pool.enqueue([&runTask, Succ] { runTask(Succ); });
+    };
+    for (unsigned T = 0; T < NumTasks; ++T)
+      if (Sched.ReadyCounts[T] == 0)
+        Pool.enqueue([&runTask, T] { runTask(int(T)); });
+    Pool.wait();
+  }
+
+  // Serial epilogue in original program order: convention-checker clobber
+  // masks, entry point, and the per-procedure diagnostic buffers.
+  for (unsigned Id = 0; Id < NumProcs; ++Id) {
+    const RegUsageSummary &S = Result->Summaries->lookup(int(Id));
+    Result->Program.ClobberMasks.push_back(
+        S.Precise ? S.Clobbered : Result->Machine.defaultClobber());
+    const Procedure *P = Mod.procedure(int(Id));
+    if (P->IsMain && !P->IsExternal)
+      Result->Program.MainProcId = int(Id);
+  }
+  for (DiagnosticEngine &PD : ProcDiags)
+    Diags.append(std::move(PD));
   Result->StaticInstructions = Result->Program.instructionCount();
   return Result;
 }
@@ -94,7 +201,7 @@ std::unique_ptr<CompileResult> ipra::compileProgram(const std::string &Source,
   auto IR = compileToIR(Source, Diags);
   if (!IR)
     return nullptr;
-  return runBackEnd(std::move(IR), Opts);
+  return runBackEnd(std::move(IR), Opts, Diags);
 }
 
 std::unique_ptr<CompileResult> ipra::compileUnits(
@@ -120,7 +227,7 @@ std::unique_ptr<CompileResult> ipra::compileUnits(
       return nullptr;
     }
   }
-  return runBackEnd(std::move(Linked), Opts);
+  return runBackEnd(std::move(Linked), Opts, Diags);
 }
 
 std::unique_ptr<CompileResult> ipra::compileWithProfile(

@@ -26,6 +26,10 @@
 
 namespace ipra {
 
+/// What CompileOptions::Threads defaults to: the host's hardware
+/// concurrency (floor of one worker).
+unsigned defaultCompileThreads();
+
 struct CompileOptions {
   /// 2 = intra-procedural allocation (-O2); 3 = inter-procedural (-O3).
   int OptLevel = 2;
@@ -43,6 +47,14 @@ struct CompileOptions {
   bool MidEndOpt = true;
   /// Optional block profile from a training run (see compileWithProfile).
   const ProfileData *Profile = nullptr;
+  /// Back-end worker threads. The per-procedure pipeline (mid-end opt,
+  /// allocation, shrink-wrap, codegen) runs as one task per call-graph
+  /// SCC under a dependency-counting DAG scheduler; a task becomes ready
+  /// once every distinct task holding one of its closed callees has
+  /// published its summaries. 0 compiles serially (the same task bodies,
+  /// run inline in bottom-up task order); output is byte-identical at
+  /// any thread count.
+  unsigned Threads = defaultCompileThreads();
 
   RegAllocOptions regAllocOptions() const {
     RegAllocOptions O;

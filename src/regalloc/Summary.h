@@ -62,6 +62,15 @@ public:
 
   void publish(int ProcId, RegUsageSummary S) {
     assert(ProcId >= 0 && ProcId < int(Summaries.size()) && "bad proc id");
+    // Dropping non-precise summaries is observationally identical (every
+    // reader branches on Precise before touching the other fields) and
+    // makes the table race-free under the parallel pipeline: only the
+    // single closed-procedure task that owns ProcId ever writes its slot,
+    // and it does so before any dependent caller task is released. Open
+    // procedures write nothing, so their slots stay constant while
+    // unrelated tasks read them concurrently.
+    if (!S.Precise)
+      return;
     Summaries[ProcId] = std::move(S);
   }
 

@@ -52,6 +52,15 @@ public:
     Diags.push_back({Diagnostic::Kind::Warning, Loc, std::move(Message)});
   }
 
+  /// Splice another engine's diagnostics onto the end of this one, in
+  /// their original order. Used by the parallel pipeline to merge
+  /// per-procedure buffers back into program order.
+  void append(DiagnosticEngine Other) {
+    for (Diagnostic &D : Other.Diags)
+      Diags.push_back(std::move(D));
+    NumErrors += Other.NumErrors;
+  }
+
   bool hasErrors() const { return NumErrors > 0; }
   unsigned errorCount() const { return NumErrors; }
   const std::vector<Diagnostic> &diagnostics() const { return Diags; }

@@ -1,0 +1,91 @@
+//===- support/ThreadPool.cpp ----------------------------------------------===//
+
+#include "support/ThreadPool.h"
+
+#include <algorithm>
+#include <utility>
+
+using namespace ipra;
+
+unsigned ThreadPool::defaultThreadCount() {
+  return std::max(1u, std::thread::hardware_concurrency());
+}
+
+ThreadPool::ThreadPool(unsigned ThreadCount) {
+  Workers.reserve(ThreadCount);
+  for (unsigned I = 0; I < ThreadCount; ++I)
+    Workers.emplace_back([this] { workerLoop(); });
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    std::unique_lock<std::mutex> Lock(Mutex);
+    AllDone.wait(Lock, [this] { return Pending == 0; });
+    Stopping = true;
+  }
+  WorkAvailable.notify_all();
+  for (std::thread &W : Workers)
+    W.join();
+}
+
+void ThreadPool::enqueue(std::function<void()> Task) {
+  if (Workers.empty()) {
+    // Inline mode: account for the task so wait() still observes the
+    // Pending==0 rendezvous, then run it on the spot.
+    {
+      std::lock_guard<std::mutex> Lock(Mutex);
+      ++Pending;
+    }
+    runTask(std::move(Task));
+    return;
+  }
+  {
+    std::lock_guard<std::mutex> Lock(Mutex);
+    ++Pending;
+    Queue.push_back(std::move(Task));
+  }
+  WorkAvailable.notify_one();
+}
+
+void ThreadPool::runTask(std::function<void()> Task) {
+  try {
+    Task();
+  } catch (...) {
+    std::lock_guard<std::mutex> Lock(Mutex);
+    if (!FirstError)
+      FirstError = std::current_exception();
+  }
+  bool Idle;
+  {
+    std::lock_guard<std::mutex> Lock(Mutex);
+    Idle = --Pending == 0;
+  }
+  if (Idle)
+    AllDone.notify_all();
+}
+
+void ThreadPool::workerLoop() {
+  for (;;) {
+    std::function<void()> Task;
+    {
+      std::unique_lock<std::mutex> Lock(Mutex);
+      WorkAvailable.wait(Lock, [this] { return Stopping || !Queue.empty(); });
+      if (Queue.empty())
+        return; // Stopping and drained.
+      Task = std::move(Queue.front());
+      Queue.pop_front();
+    }
+    runTask(std::move(Task));
+  }
+}
+
+void ThreadPool::wait() {
+  std::exception_ptr Error;
+  {
+    std::unique_lock<std::mutex> Lock(Mutex);
+    AllDone.wait(Lock, [this] { return Pending == 0; });
+    Error = std::exchange(FirstError, nullptr);
+  }
+  if (Error)
+    std::rethrow_exception(Error);
+}

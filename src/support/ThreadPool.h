@@ -1,0 +1,82 @@
+//===- support/ThreadPool.h - Fixed-size worker pool ------------*- C++ -*-===//
+//
+// Part of the ipra project (Chow, PLDI 1988 reproduction).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A small fixed-size thread pool driving the parallel bottom-up pipeline.
+/// Tasks are plain std::function<void()> thunks pulled from a FIFO queue by a
+/// fixed set of workers. Tasks may enqueue further tasks (the DAG scheduler
+/// releases a caller's compile task from inside the last callee task); wait()
+/// blocks until the queue is drained *and* no task is still running, so such
+/// chained submissions are always covered.
+///
+/// Exception policy: the first exception thrown by any task is captured and
+/// rethrown from wait(); later exceptions are dropped. A pool constructed
+/// with zero threads degrades to inline execution -- enqueue() runs the task
+/// on the calling thread immediately (exceptions are still deferred to
+/// wait() so both modes observe the same contract).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef IPRA_SUPPORT_THREADPOOL_H
+#define IPRA_SUPPORT_THREADPOOL_H
+
+#include <condition_variable>
+#include <deque>
+#include <exception>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace ipra {
+
+class ThreadPool {
+public:
+  /// Spawn \p ThreadCount workers. Zero means "no workers": tasks run
+  /// inline on the enqueueing thread.
+  explicit ThreadPool(unsigned ThreadCount);
+
+  /// Joins the workers. Pending tasks are still executed (drains the
+  /// queue); exceptions discovered during destruction are swallowed --
+  /// call wait() first if you care.
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool &) = delete;
+  ThreadPool &operator=(const ThreadPool &) = delete;
+
+  /// Schedule \p Task. Never blocks (inline mode excepted, where the task
+  /// body runs before enqueue returns).
+  void enqueue(std::function<void()> Task);
+
+  /// Block until every task enqueued so far -- including tasks those tasks
+  /// enqueued -- has finished, then rethrow the first captured task
+  /// exception, if any. The pool is reusable afterwards.
+  void wait();
+
+  unsigned threadCount() const { return unsigned(Workers.size()); }
+
+  /// What CompileOptions::Threads defaults to: the host's hardware
+  /// concurrency, with a floor of one.
+  static unsigned defaultThreadCount();
+
+private:
+  void workerLoop();
+  void runTask(std::function<void()> Task);
+
+  std::vector<std::thread> Workers;
+  std::deque<std::function<void()>> Queue;
+  std::mutex Mutex;
+  std::condition_variable WorkAvailable;
+  std::condition_variable AllDone;
+  /// Queued + currently-running tasks. wait() returns when this hits zero.
+  unsigned Pending = 0;
+  bool Stopping = false;
+  std::exception_ptr FirstError;
+};
+
+} // namespace ipra
+
+#endif // IPRA_SUPPORT_THREADPOOL_H

@@ -1,0 +1,44 @@
+//===- target/Machine.cpp --------------------------------------------------===//
+
+#include "target/Machine.h"
+
+using namespace ipra;
+
+const char *ipra::regName(unsigned Reg) {
+  static const char *Names[NumPhysRegs] = {
+      "$zero", "$at", "$v0", "$v1", "$a0", "$a1", "$a2", "$a3", "$t0",
+      "$t1",   "$t2", "$t3", "$t4", "$t5", "$t6", "$s0", "$s1", "$s2",
+      "$s3",   "$s4", "$s5", "$s6", "$s7", "$s8", "$sp", "$ra"};
+  return Reg < NumPhysRegs ? Names[Reg] : "$?";
+}
+
+MachineDesc::MachineDesc(RegSetRestriction R) : Restriction(R) {
+  CallerSavedRegs.resize(NumPhysRegs);
+  CalleeSavedRegs.resize(NumPhysRegs);
+  for (unsigned Reg = RegA0; Reg <= RegT6; ++Reg)
+    CallerSavedRegs.set(Reg);
+  for (unsigned Reg = RegS0; Reg <= RegS8; ++Reg)
+    CalleeSavedRegs.set(Reg);
+
+  Alloc.resize(NumPhysRegs);
+  switch (R) {
+  case RegSetRestriction::None:
+    Alloc = CallerSavedRegs | CalleeSavedRegs;
+    break;
+  case RegSetRestriction::CallerOnly7:
+    for (unsigned Reg : {RegA0, RegA1, RegA2, RegA3, RegT0, RegT1, RegT2})
+      Alloc.set(Reg);
+    break;
+  case RegSetRestriction::CalleeOnly7:
+    for (unsigned Reg = RegS0; Reg <= RegS6; ++Reg)
+      Alloc.set(Reg);
+    break;
+  }
+
+  DefaultClobberMask = CallerSavedRegs;
+  DefaultClobberMask.set(RegAT);
+  DefaultClobberMask.set(RegV0);
+  DefaultClobberMask.set(RegV1);
+
+  ParamRegs = {RegA0, RegA1, RegA2, RegA3};
+}

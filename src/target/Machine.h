@@ -1,0 +1,120 @@
+//===- target/Machine.h - R2000-like register file & conventions -*- C++ -*-===//
+//
+// Part of the ipra project (Chow, PLDI 1988 reproduction).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The machine model of the paper's Section 8: an R2000-like integer
+/// register file with 20 allocatable registers -- 11 caller-saved (the four
+/// parameter registers a0-a3 plus the temporaries t0-t6) and 9 callee-saved
+/// (s0-s8) -- plus the never-allocated specials: the hardwired zero, the
+/// codegen scratch at, the return-value/scratch pair v0/v1, the stack
+/// pointer and the return-address register. Floating point is omitted (the
+/// paper's benchmarks "use predominantly integer data").
+///
+/// MachineDesc also carries the Table-2 register-set restrictions: the D
+/// and E experiments rerun configuration C with the allocatable file cut to
+/// 7 caller-saved (a0-a3, t0-t2) or 7 callee-saved (s0-s6) registers. A
+/// restriction shrinks only what the allocator may hand out; the
+/// caller-/callee-saved *classification* and the default linkage protocol
+/// are properties of the convention and do not move.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef IPRA_TARGET_MACHINE_H
+#define IPRA_TARGET_MACHINE_H
+
+#include "support/BitVector.h"
+
+#include <vector>
+
+namespace ipra {
+
+/// Physical register numbering. The allocatable file is the contiguous
+/// range [RegA0, RegS8]; everything outside it is convention machinery.
+enum : unsigned {
+  RegZero = 0, ///< Hardwired zero (address base for globals).
+  RegAT,       ///< Codegen scratch: spill reloads, move-cycle breaking.
+  RegV0,       ///< Return value; second scratch around calls.
+  RegV1,       ///< Third scratch (second operand reloads, parked values).
+  RegA0,       ///< First parameter register (default protocol).
+  RegA1,
+  RegA2,
+  RegA3,
+  RegT0, ///< Caller-saved temporaries.
+  RegT1,
+  RegT2,
+  RegT3,
+  RegT4,
+  RegT5,
+  RegT6,
+  RegS0, ///< Callee-saved registers.
+  RegS1,
+  RegS2,
+  RegS3,
+  RegS4,
+  RegS5,
+  RegS6,
+  RegS7,
+  RegS8,
+  RegSP, ///< Stack pointer (word-addressed, grows down).
+  RegRA, ///< Return address / linkage register.
+  NumPhysRegs
+};
+
+/// Printable name, e.g. "$t0".
+const char *regName(unsigned Reg);
+
+/// Table-2 experiment axes: restrict the allocatable file.
+enum class RegSetRestriction {
+  None,        ///< Full 11 caller-saved + 9 callee-saved file.
+  CallerOnly7, ///< Configuration D: only a0-a3, t0-t2 allocatable.
+  CalleeOnly7, ///< Configuration E: only s0-s6 allocatable.
+};
+
+/// The register file description handed to the allocator, code generator
+/// and summary machinery. Cheap to copy; all masks are precomputed.
+class MachineDesc {
+public:
+  MachineDesc(RegSetRestriction R = RegSetRestriction::None);
+
+  unsigned numRegs() const { return NumPhysRegs; }
+  RegSetRestriction restriction() const { return Restriction; }
+
+  /// Registers the allocator may assign (restriction applied).
+  const BitVector &allocatable() const { return Alloc; }
+  bool isAllocatable(unsigned Reg) const {
+    return Reg < NumPhysRegs && Alloc.test(Reg);
+  }
+
+  /// Convention classification of the full file (restriction-independent).
+  const BitVector &callerSaved() const { return CallerSavedRegs; }
+  const BitVector &calleeSaved() const { return CalleeSavedRegs; }
+  bool isCallerSaved(unsigned Reg) const {
+    return Reg < NumPhysRegs && CallerSavedRegs.test(Reg);
+  }
+  bool isCalleeSaved(unsigned Reg) const {
+    return Reg < NumPhysRegs && CalleeSavedRegs.test(Reg);
+  }
+
+  /// What a call under the default linkage protocol may destroy: every
+  /// caller-saved register plus the scratch/return registers at, v0, v1.
+  const BitVector &defaultClobber() const { return DefaultClobberMask; }
+
+  /// Default-protocol parameter registers, in argument order (a0-a3;
+  /// further arguments travel on the stack).
+  const std::vector<unsigned> &paramRegs() const { return ParamRegs; }
+
+private:
+  RegSetRestriction Restriction;
+  BitVector Alloc;
+  BitVector CallerSavedRegs;
+  BitVector CalleeSavedRegs;
+  BitVector DefaultClobberMask;
+  std::vector<unsigned> ParamRegs;
+};
+
+} // namespace ipra
+
+#endif // IPRA_TARGET_MACHINE_H

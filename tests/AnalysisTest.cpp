@@ -9,6 +9,9 @@
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
+#include <set>
+
 using namespace ipra;
 
 namespace {
@@ -322,6 +325,87 @@ TEST(CallGraphTest, DiamondCallGraphStillClosed) {
   EXPECT_FALSE(CG.isOpen(M->findProcedure("s")->id()));
   EXPECT_FALSE(CG.isOpen(M->findProcedure("q")->id()));
   EXPECT_FALSE(CG.isOpen(M->findProcedure("r")->id()));
+}
+
+TEST(CallGraphTest, ScheduleCollapsesSCCsAndCountsClosedDeps) {
+  // leaf feeds a diamond (q, r -> top), a mutual-recursion pair, and a
+  // self-recursive fact; main sits on top of everything.
+  auto M = compileOK(R"(
+    func leaf(x) { return x + 1; }
+    func even(n) { if (n == 0) { return 1; } return odd(n - 1) + leaf(n); }
+    func odd(n) { if (n == 0) { return 0; } return even(n - 1); }
+    func fact(n) { if (n <= 1) { return 1; } return n * fact(n - 1); }
+    func q(x) { return leaf(x); }
+    func r(x) { return leaf(x) * 2; }
+    func top(x) { return q(x) + r(x) + even(x); }
+    func main() { return top(3) + fact(4); }
+  )");
+  CallGraph CG = CallGraph::build(*M);
+  CallGraph::Schedule S = CG.schedule();
+  unsigned N = M->numProcedures();
+  auto Task = [&](const char *Name) {
+    return S.TaskOfProc[M->findProcedure(Name)->id()];
+  };
+
+  // Every procedure is owned by exactly one task; the concatenated task
+  // members are a permutation of all procedure ids.
+  std::vector<int> Seen(N, 0);
+  for (const auto &Procs : S.TaskProcs)
+    for (int P : Procs) {
+      EXPECT_EQ(S.TaskOfProc[P], &Procs - &S.TaskProcs[0]);
+      ++Seen[P];
+    }
+  for (unsigned P = 0; P < N; ++P)
+    EXPECT_EQ(Seen[P], 1) << "proc " << P;
+
+  // The mutual-recursion pair collapses to one task; the self-recursive
+  // and non-recursive procedures stay singletons.
+  EXPECT_EQ(Task("even"), Task("odd"));
+  EXPECT_EQ(S.TaskProcs[Task("even")].size(), 2u);
+  EXPECT_EQ(S.TaskProcs[Task("fact")].size(), 1u);
+  EXPECT_EQ(S.numTasks(), N - 1);
+
+  // Ready counts equal the number of distinct tasks holding closed
+  // callees: leaf has none; the cycle and the diamond arms wait on leaf;
+  // top waits on q and r (even is open: no dependence); main waits on
+  // top only (fact is open).
+  EXPECT_EQ(S.ReadyCounts[Task("leaf")], 0u);
+  EXPECT_EQ(S.ReadyCounts[Task("even")], 1u);
+  EXPECT_EQ(S.ReadyCounts[Task("fact")], 0u);
+  EXPECT_EQ(S.ReadyCounts[Task("q")], 1u);
+  EXPECT_EQ(S.ReadyCounts[Task("r")], 1u);
+  EXPECT_EQ(S.ReadyCounts[Task("top")], 2u);
+  EXPECT_EQ(S.ReadyCounts[Task("main")], 1u);
+
+  // The schedule must agree with bottomUpOrder() reachability: recompute
+  // each task's distinct closed-callee tasks straight from the graph and
+  // check both the counts and that every dependence points to an earlier
+  // task (so the serial task order embeds the bottom-up order).
+  std::vector<std::set<int>> Expected(S.numTasks());
+  for (unsigned P = 0; P < N; ++P)
+    for (int Callee : CG.node(int(P)).Callees) {
+      if (CG.isOpen(Callee) || S.TaskOfProc[Callee] == S.TaskOfProc[P])
+        continue;
+      EXPECT_LT(S.TaskOfProc[Callee], S.TaskOfProc[P]);
+      Expected[S.TaskOfProc[P]].insert(S.TaskOfProc[Callee]);
+    }
+  for (unsigned T = 0; T < S.numTasks(); ++T)
+    EXPECT_EQ(S.ReadyCounts[T], Expected[T].size()) << "task " << T;
+
+  // Successor lists are the exact inverse of those dependencies.
+  for (unsigned T = 0; T < S.numTasks(); ++T)
+    for (int Succ : S.Successors[T])
+      EXPECT_TRUE(Expected[Succ].count(int(T)))
+          << "spurious edge " << T << " -> " << Succ;
+
+  // Dependency-counting replay in task order drains every count to zero
+  // exactly when bottomUpOrder() would have processed the task's members.
+  std::vector<unsigned> Pending = S.ReadyCounts;
+  for (unsigned T = 0; T < S.numTasks(); ++T) {
+    EXPECT_EQ(Pending[T], 0u) << "task " << T << " not ready in order";
+    for (int Succ : S.Successors[T])
+      --Pending[Succ];
+  }
 }
 
 } // namespace

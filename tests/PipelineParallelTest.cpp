@@ -1,0 +1,220 @@
+//===- tests/PipelineParallelTest.cpp - Serial vs parallel differential ---===//
+//
+// The contract of the DAG-scheduled back end: for every paper
+// configuration and any thread count, the compiled program is
+// byte-identical to serial compilation -- same machine code, same clobber
+// masks, same globals image, same diagnostics, and (a fortiori) the same
+// simulator behaviour. Exercised over hand-written call-graph shapes
+// (chains, diamonds, recursion, address-taken, externals, separate
+// compilation) and the paper's benchmark suite.
+//
+//===----------------------------------------------------------------------===//
+
+#include "driver/Pipeline.h"
+#include "programs/Programs.h"
+
+#include "TestRender.h"
+
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+using namespace ipra;
+
+namespace {
+
+const PaperConfig AllConfigs[] = {PaperConfig::Base, PaperConfig::A,
+                                  PaperConfig::B,    PaperConfig::C,
+                                  PaperConfig::D,    PaperConfig::E};
+
+const unsigned ThreadCounts[] = {0, 1, 4};
+
+/// A deep-ish program with independent subtrees (the scheduler's win
+/// case), a diamond, self- and mutual recursion, an address-taken
+/// procedure and an indirect call.
+const char *MixedShapes = R"(
+var bias = 3;
+func leafA(x) { return x + 1; }
+func leafB(x) { return x * 2; }
+func midA(x) { return leafA(x) + leafA(x + 1); }
+func midB(x) { return leafB(x) - leafA(x); }
+func diamond(x) { return midA(x) + midB(x); }
+func fact(n) { if (n <= 1) { return 1; } return n * fact(n - 1); }
+func even(n) { if (n == 0) { return 1; } return odd(n - 1); }
+func odd(n) { if (n == 0) { return 0; } return even(n - 1); }
+func taken(x) { return x - bias; }
+func main() {
+  var p = &taken;
+  var acc = diamond(5) + fact(6) + even(9) + p(41);
+  print(acc);
+  print(bias);
+  return acc;
+}
+)";
+
+/// Many independent leaves under one root: maximum available parallelism.
+std::string wideProgram() {
+  std::string Src = "var g = 7;\n";
+  for (int I = 0; I < 12; ++I) {
+    std::string N = std::to_string(I);
+    Src += "func w" + N + "(x) { var t = x; for (var i = 0; i < " +
+           std::to_string(1 + I % 4) + "; i = i + 1) { t = t + i * " + N +
+           "; } return t; }\n";
+  }
+  Src += "func main() {\n  var acc = g;\n";
+  for (int I = 0; I < 12; ++I)
+    Src += "  acc = acc + w" + std::to_string(I) + "(" + std::to_string(I) +
+           ");\n";
+  Src += "  print(acc);\n  return 0;\n}\n";
+  return Src;
+}
+
+std::unique_ptr<CompileResult> compileAt(const std::string &Src,
+                                         PaperConfig Config,
+                                         unsigned Threads,
+                                         std::string *DiagsOut = nullptr) {
+  CompileOptions Opts = optionsFor(Config);
+  Opts.Threads = Threads;
+  DiagnosticEngine Diags;
+  auto Result = compileProgram(Src, Opts, Diags);
+  EXPECT_NE(Result, nullptr) << Diags.str();
+  if (DiagsOut)
+    *DiagsOut = Diags.str();
+  return Result;
+}
+
+void expectAllThreadCountsAgree(const std::string &Src) {
+  for (PaperConfig Config : AllConfigs) {
+    std::string ReferenceDiags;
+    auto Reference = compileAt(Src, Config, 0, &ReferenceDiags);
+    ASSERT_NE(Reference, nullptr);
+    std::string Expected = renderProgram(*Reference);
+    RunStats ReferenceRun = runProgram(Reference->Program);
+
+    for (unsigned Threads : ThreadCounts) {
+      if (Threads == 0)
+        continue;
+      std::string Diags;
+      auto Result = compileAt(Src, Config, Threads, &Diags);
+      ASSERT_NE(Result, nullptr);
+      EXPECT_EQ(renderProgram(*Result), Expected)
+          << paperConfigName(Config) << " at Threads=" << Threads;
+      EXPECT_EQ(Diags, ReferenceDiags)
+          << paperConfigName(Config) << " at Threads=" << Threads;
+      RunStats Run = runProgram(Result->Program);
+      ASSERT_EQ(Run.OK, ReferenceRun.OK)
+          << paperConfigName(Config) << " at Threads=" << Threads << ": "
+          << Run.Error;
+      EXPECT_EQ(Run.Output, ReferenceRun.Output)
+          << paperConfigName(Config) << " at Threads=" << Threads;
+      EXPECT_EQ(Run.Cycles, ReferenceRun.Cycles)
+          << paperConfigName(Config) << " at Threads=" << Threads;
+      EXPECT_EQ(Run.ExitValue, ReferenceRun.ExitValue)
+          << paperConfigName(Config) << " at Threads=" << Threads;
+    }
+  }
+}
+
+TEST(PipelineParallelTest, MixedCallGraphShapes) {
+  expectAllThreadCountsAgree(MixedShapes);
+}
+
+TEST(PipelineParallelTest, WideIndependentSubtrees) {
+  expectAllThreadCountsAgree(wideProgram());
+}
+
+TEST(PipelineParallelTest, BenchmarkSuiteProgramsAgree) {
+  // The paper's multi-procedure suite, under the two extreme
+  // configurations, at every thread count.
+  for (const BenchmarkProgram &B : benchmarkSuite()) {
+    for (PaperConfig Config : {PaperConfig::Base, PaperConfig::C}) {
+      auto Reference = compileAt(B.Source, Config, 0);
+      ASSERT_NE(Reference, nullptr) << B.Name;
+      std::string Expected = renderProgram(*Reference);
+      for (unsigned Threads : {1u, 4u}) {
+        auto Result = compileAt(B.Source, Config, Threads);
+        ASSERT_NE(Result, nullptr) << B.Name;
+        EXPECT_EQ(renderProgram(*Result), Expected)
+            << B.Name << " under " << paperConfigName(Config)
+            << " at Threads=" << Threads;
+      }
+    }
+  }
+}
+
+TEST(PipelineParallelTest, SeparateCompilationAgrees) {
+  // Cross-module linking with a library boundary (exports stay open).
+  std::vector<std::string> Units = {
+      R"(
+        export func lib_add(a, b) { return helper(a) + helper(b); }
+        func helper(x) { return x * 3 + 1; }
+      )",
+      R"(
+        extern func lib_add(a, b);
+        func local(x) { return lib_add(x, x + 1); }
+        func main() { print(local(4)); return 0; }
+      )"};
+  for (PaperConfig Config : AllConfigs) {
+    for (bool Internalize : {true, false}) {
+      CompileOptions Serial = optionsFor(Config);
+      Serial.Threads = 0;
+      DiagnosticEngine SerialDiags;
+      auto Reference =
+          compileUnits(Units, Serial, SerialDiags, Internalize);
+      ASSERT_NE(Reference, nullptr) << SerialDiags.str();
+      std::string Expected = renderProgram(*Reference);
+      for (unsigned Threads : {1u, 4u}) {
+        CompileOptions Opts = optionsFor(Config);
+        Opts.Threads = Threads;
+        DiagnosticEngine Diags;
+        auto Result = compileUnits(Units, Opts, Diags, Internalize);
+        ASSERT_NE(Result, nullptr) << Diags.str();
+        EXPECT_EQ(renderProgram(*Result), Expected)
+            << paperConfigName(Config) << " internalize=" << Internalize
+            << " at Threads=" << Threads;
+        EXPECT_EQ(Diags.str(), SerialDiags.str());
+      }
+    }
+  }
+}
+
+TEST(PipelineParallelTest, ProfileGuidedRecompileAgrees) {
+  // compileWithProfile runs the full pipeline twice (train + rebuild);
+  // both runs must be schedule-independent too.
+  CompileOptions Serial = optionsFor(PaperConfig::C);
+  Serial.Threads = 0;
+  DiagnosticEngine SerialDiags;
+  auto Reference = compileWithProfile(MixedShapes, Serial, SerialDiags);
+  ASSERT_NE(Reference, nullptr) << SerialDiags.str();
+  std::string Expected = renderProgram(*Reference);
+  for (unsigned Threads : {1u, 4u}) {
+    CompileOptions Opts = optionsFor(PaperConfig::C);
+    Opts.Threads = Threads;
+    DiagnosticEngine Diags;
+    auto Result = compileWithProfile(MixedShapes, Opts, Diags);
+    ASSERT_NE(Result, nullptr) << Diags.str();
+    EXPECT_EQ(renderProgram(*Result), Expected) << "Threads=" << Threads;
+  }
+}
+
+TEST(PipelineParallelTest, FrontEndErrorsIdenticalAcrossThreadCounts) {
+  // Error paths never reach the scheduler, but the user-visible contract
+  // ("same diagnostics at any Threads") should hold there too.
+  const char *Bad = "func main() { return undefined_var; }";
+  std::string Expected;
+  for (unsigned Threads : ThreadCounts) {
+    CompileOptions Opts = optionsFor(PaperConfig::C);
+    Opts.Threads = Threads;
+    DiagnosticEngine Diags;
+    auto Result = compileProgram(Bad, Opts, Diags);
+    EXPECT_EQ(Result, nullptr);
+    EXPECT_TRUE(Diags.hasErrors());
+    if (Threads == 0)
+      Expected = Diags.str();
+    else
+      EXPECT_EQ(Diags.str(), Expected) << "Threads=" << Threads;
+  }
+}
+
+} // namespace

@@ -1,0 +1,199 @@
+//===- tests/ProgramGenerator.h - Random miniC program generator ----------===//
+//
+// Structured random program generator shared by the fuzz differential
+// tests and the parallel-determinism sweep. Termination is guaranteed by
+// construction: loops iterate constant trip counts and the call graph of
+// generated functions is a DAG (each function only calls earlier ones).
+//
+//===----------------------------------------------------------------------===//
+
+#ifndef IPRA_TESTS_PROGRAMGENERATOR_H
+#define IPRA_TESTS_PROGRAMGENERATOR_H
+
+#include <cstdint>
+#include <random>
+#include <string>
+#include <vector>
+
+namespace ipra {
+
+class ProgramGenerator {
+public:
+  explicit ProgramGenerator(uint32_t Seed) : Rng(Seed) {}
+
+  std::string generate() {
+    Out.clear();
+    Funcs.clear();
+    unsigned NumGlobals = 1 + Rng() % 3;
+    for (unsigned G = 0; G < NumGlobals; ++G) {
+      Globals.push_back("g" + std::to_string(G));
+      Out += "var " + Globals.back() + " = " +
+             std::to_string(int(Rng() % 19) - 9) + ";\n";
+    }
+    unsigned NumFuncs = 2 + Rng() % 4;
+    for (unsigned F = 0; F < NumFuncs; ++F)
+      genFunction(F);
+    genMain();
+    return Out;
+  }
+
+private:
+  unsigned pick(unsigned N) { return Rng() % N; }
+
+  std::string randomVar() {
+    if (!Vars.empty() && pick(3) != 0)
+      return Vars[pick(Vars.size())];
+    if (!Globals.empty())
+      return Globals[pick(Globals.size())];
+    return Vars.empty() ? "0" : Vars[pick(Vars.size())];
+  }
+
+  std::string genExpr(int Depth) {
+    if (Depth <= 0 || pick(4) == 0) {
+      switch (pick(3)) {
+      case 0:
+        return std::to_string(int(Rng() % 201) - 100);
+      default:
+        return randomVar();
+      }
+    }
+    switch (pick(8)) {
+    case 0: {
+      // Division/modulo by a positive constant only.
+      const char *Op = pick(2) ? " / " : " % ";
+      return "(" + genExpr(Depth - 1) + Op +
+             std::to_string(1 + pick(9)) + ")";
+    }
+    case 1:
+      return "(-" + genExpr(Depth - 1) + ")";
+    case 2:
+      return "(!" + genExpr(Depth - 1) + ")";
+    case 3: {
+      static const char *Cmp[] = {" < ", " <= ", " > ", " >= ", " == ",
+                                  " != "};
+      return "(" + genExpr(Depth - 1) + Cmp[pick(6)] + genExpr(Depth - 1) +
+             ")";
+    }
+    case 4:
+      // Call fan-out is the termination-time hazard: gate it so call
+      // trees stay shallow (the DAG rule already rules out recursion).
+      if (!Funcs.empty() && pick(2) == 0) {
+        const FuncInfo &F = Funcs[pick(Funcs.size())];
+        std::string Call = F.Name + "(";
+        for (unsigned A = 0; A < F.Arity; ++A) {
+          if (A)
+            Call += ", ";
+          Call += genExpr(Depth - 1);
+        }
+        return Call + ")";
+      }
+      [[fallthrough]];
+    default: {
+      static const char *Arith[] = {" + ", " - ", " * "};
+      return "(" + genExpr(Depth - 1) + Arith[pick(3)] +
+             genExpr(Depth - 1) + ")";
+    }
+    }
+  }
+
+  void genStmt(int Depth, int Indent) {
+    std::string Pad(unsigned(Indent) * 2, ' ');
+    switch (pick(Depth > 0 ? 6 : 3)) {
+    case 0: {
+      std::string Name = "v" + std::to_string(NextVar++);
+      Out += Pad + "var " + Name + " = " + genExpr(2) + ";\n";
+      Vars.push_back(Name);
+      break;
+    }
+    case 1:
+      Out += Pad + randomVar() + " = " + genExpr(2) + ";\n";
+      break;
+    case 2:
+      Out += Pad + "acc = acc + " + genExpr(2) + ";\n";
+      break;
+    case 3: {
+      Out += Pad + "if (" + genExpr(1) + ") {\n";
+      unsigned SaveVars = Vars.size();
+      genStmt(Depth - 1, Indent + 1);
+      Vars.resize(SaveVars);
+      if (pick(2)) {
+        Out += Pad + "} else {\n";
+        genStmt(Depth - 1, Indent + 1);
+        Vars.resize(SaveVars);
+      }
+      Out += Pad + "}\n";
+      break;
+    }
+    case 4: {
+      std::string I = "i" + std::to_string(NextVar++);
+      Out += Pad + "for (var " + I + " = 0; " + I + " < " +
+             std::to_string(1 + pick(4)) + "; " + I + " = " + I +
+             " + 1) {\n";
+      unsigned SaveVars = Vars.size();
+      Vars.push_back(I);
+      genStmt(Depth - 1, Indent + 1);
+      Vars.resize(SaveVars);
+      Out += Pad + "}\n";
+      break;
+    }
+    default: {
+      unsigned N = 1 + pick(2);
+      for (unsigned S = 0; S < N; ++S)
+        genStmt(Depth - 1, Indent);
+      break;
+    }
+    }
+  }
+
+  void genFunction(unsigned Index) {
+    FuncInfo F;
+    F.Name = "f" + std::to_string(Index);
+    F.Arity = pick(4);
+    Out += "func " + F.Name + "(";
+    Vars.clear();
+    NextVar = 0;
+    for (unsigned A = 0; A < F.Arity; ++A) {
+      std::string P = "p" + std::to_string(A);
+      if (A)
+        Out += ", ";
+      Out += P;
+      Vars.push_back(P);
+    }
+    Out += ") {\n  var acc = 0;\n";
+    Vars.push_back("acc");
+    unsigned Stmts = 1 + pick(4);
+    for (unsigned S = 0; S < Stmts; ++S)
+      genStmt(2, 1);
+    Out += "  return acc + " + genExpr(1) + ";\n}\n";
+    Funcs.push_back(F); // available to *later* functions only: DAG
+  }
+
+  void genMain() {
+    Vars.clear();
+    NextVar = 0;
+    Out += "func main() {\n  var acc = 0;\n";
+    Vars.push_back("acc");
+    for (unsigned S = 0; S < 3 + pick(3); ++S)
+      genStmt(2, 1);
+    Out += "  print(acc);\n";
+    for (const std::string &G : Globals)
+      Out += "  print(" + G + ");\n";
+    Out += "  return 0;\n}\n";
+  }
+
+  struct FuncInfo {
+    std::string Name;
+    unsigned Arity = 0;
+  };
+
+  std::mt19937 Rng;
+  std::string Out;
+  std::vector<FuncInfo> Funcs;
+  std::vector<std::string> Globals;
+  std::vector<std::string> Vars;
+  unsigned NextVar = 0;
+};
+
+} // namespace ipra
+
+#endif // IPRA_TESTS_PROGRAMGENERATOR_H

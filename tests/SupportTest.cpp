@@ -2,11 +2,19 @@
 
 #include "support/BitVector.h"
 #include "support/Diagnostics.h"
+#include "support/ThreadPool.h"
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
+#include <atomic>
+#include <functional>
+#include <mutex>
 #include <random>
 #include <set>
+#include <stdexcept>
+#include <thread>
+#include <vector>
 
 using namespace ipra;
 
@@ -140,4 +148,107 @@ TEST(DiagnosticsTest, CollectsErrorsAndWarnings) {
   EXPECT_NE(Text.find("3:7: warning: suspicious"), std::string::npos);
   EXPECT_NE(Text.find("1:2: error: bad token"), std::string::npos);
   EXPECT_NE(Text.find("error: no location"), std::string::npos);
+}
+
+TEST(DiagnosticsTest, AppendPreservesOrderAndErrorCount) {
+  DiagnosticEngine A;
+  A.warning({1, 1}, "first");
+  DiagnosticEngine B;
+  B.error({2, 2}, "second");
+  B.warning({3, 3}, "third");
+  A.append(std::move(B));
+  ASSERT_EQ(A.diagnostics().size(), 3u);
+  EXPECT_EQ(A.diagnostics()[0].Message, "first");
+  EXPECT_EQ(A.diagnostics()[1].Message, "second");
+  EXPECT_EQ(A.diagnostics()[2].Message, "third");
+  EXPECT_EQ(A.errorCount(), 1u);
+}
+
+TEST(ThreadPoolTest, ZeroThreadFallbackRunsInline) {
+  ThreadPool Pool(0);
+  EXPECT_EQ(Pool.threadCount(), 0u);
+  std::thread::id RanOn;
+  bool RanBeforeEnqueueReturned = false;
+  Pool.enqueue([&] {
+    RanOn = std::this_thread::get_id();
+    RanBeforeEnqueueReturned = true;
+  });
+  // Inline mode executes during enqueue, on the calling thread.
+  EXPECT_TRUE(RanBeforeEnqueueReturned);
+  EXPECT_EQ(RanOn, std::this_thread::get_id());
+  Pool.wait();
+}
+
+TEST(ThreadPoolTest, RunsEveryTask) {
+  ThreadPool Pool(4);
+  std::atomic<int> Count{0};
+  for (int I = 0; I < 200; ++I)
+    Pool.enqueue([&Count] { Count.fetch_add(1, std::memory_order_relaxed); });
+  Pool.wait();
+  EXPECT_EQ(Count.load(), 200);
+  // The pool is reusable after wait().
+  Pool.enqueue([&Count] { Count.fetch_add(1, std::memory_order_relaxed); });
+  Pool.wait();
+  EXPECT_EQ(Count.load(), 201);
+}
+
+TEST(ThreadPoolTest, ExceptionPropagatesFromWait) {
+  ThreadPool Pool(2);
+  std::atomic<int> Survivors{0};
+  Pool.enqueue([] { throw std::runtime_error("task failed"); });
+  for (int I = 0; I < 8; ++I)
+    Pool.enqueue([&Survivors] { ++Survivors; });
+  try {
+    Pool.wait();
+    FAIL() << "wait() should rethrow the task exception";
+  } catch (const std::runtime_error &E) {
+    EXPECT_STREQ(E.what(), "task failed");
+  }
+  // Sibling tasks were not cancelled, and the error is not resurfaced.
+  EXPECT_EQ(Survivors.load(), 8);
+  Pool.wait();
+}
+
+TEST(ThreadPoolTest, ZeroThreadExceptionAlsoDeferredToWait) {
+  ThreadPool Pool(0);
+  Pool.enqueue([] { throw std::runtime_error("inline failure"); });
+  EXPECT_THROW(Pool.wait(), std::runtime_error);
+}
+
+TEST(ThreadPoolTest, DependencyCountingRespectsTaskOrder) {
+  // A diamond plus a chain, driven the same way the pipeline drives its
+  // schedule: finishing a task decrements its successors' pending counts
+  // and enqueues those that hit zero. Every recorded start must come
+  // after all of its dependencies' finishes.
+  //   0 -> 1, 0 -> 2, 1 -> 3, 2 -> 3, 3 -> 4
+  const std::vector<std::vector<int>> Succs = {{1, 2}, {3}, {3}, {4}, {}};
+  const std::vector<unsigned> Deps = {0, 1, 1, 2, 1};
+  for (unsigned Threads : {1u, 4u}) {
+    std::vector<std::atomic<unsigned>> Pending(Deps.size());
+    for (unsigned T = 0; T < Deps.size(); ++T)
+      Pending[T].store(Deps[T]);
+    std::mutex OrderMutex;
+    std::vector<int> Order;
+    ThreadPool Pool(Threads);
+    std::function<void(int)> Run = [&](int Task) {
+      {
+        std::lock_guard<std::mutex> Lock(OrderMutex);
+        Order.push_back(Task);
+      }
+      for (int S : Succs[Task])
+        if (Pending[S].fetch_sub(1) == 1)
+          Pool.enqueue([&Run, S] { Run(S); });
+    };
+    Pool.enqueue([&Run] { Run(0); });
+    Pool.wait();
+    ASSERT_EQ(Order.size(), Deps.size()) << Threads << " threads";
+    auto Pos = [&Order](int T) {
+      return std::find(Order.begin(), Order.end(), T) - Order.begin();
+    };
+    EXPECT_LT(Pos(0), Pos(1));
+    EXPECT_LT(Pos(0), Pos(2));
+    EXPECT_LT(Pos(1), Pos(3));
+    EXPECT_LT(Pos(2), Pos(3));
+    EXPECT_LT(Pos(3), Pos(4));
+  }
 }

@@ -1,0 +1,47 @@
+//===- tests/TestRender.h - Byte-exact rendering of compile results -------===//
+//
+// Renders every observable artifact of a CompileResult into one string so
+// differential tests (serial vs parallel, run vs rerun) can assert
+// byte-identical output with a single string comparison.
+//
+//===----------------------------------------------------------------------===//
+
+#ifndef IPRA_TESTS_TESTRENDER_H
+#define IPRA_TESTS_TESTRENDER_H
+
+#include "driver/Pipeline.h"
+
+#include <string>
+
+namespace ipra {
+
+inline std::string renderProgram(const CompileResult &Result) {
+  const MProgram &Prog = Result.Program;
+  std::string Out;
+  Out += "main=" + std::to_string(Prog.MainProcId) + "\n";
+  Out += "static=" + std::to_string(Result.StaticInstructions) + "\n";
+  Out += "globals:";
+  for (int64_t W : Prog.GlobalImage)
+    Out += " " + std::to_string(W);
+  Out += "\noffsets:";
+  for (int64_t O : Prog.GlobalOffsets)
+    Out += " " + std::to_string(O);
+  Out += "\n";
+  for (unsigned I = 0; I < Prog.Procs.size(); ++I) {
+    const MProc &P = Prog.Procs[I];
+    Out += "; proc " + std::to_string(P.Id) + " " + P.Name;
+    if (I < Prog.ClobberMasks.size())
+      Out += " clobbers " + Prog.ClobberMasks[I].str();
+    Out += "\n";
+    if (P.IsExternal) {
+      Out += "; external\n";
+      continue;
+    }
+    Out += toString(P);
+  }
+  return Out;
+}
+
+} // namespace ipra
+
+#endif // IPRA_TESTS_TESTRENDER_H

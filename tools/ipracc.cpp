@@ -13,6 +13,8 @@
 //   --no-reg-params      disable IPRA register parameter passing
 //   --no-loop-ext        disable loop extension
 //   --restrict=caller7|callee7   Table-2 register-set restrictions
+//   --threads=N          back-end worker threads (0 = serial; default is
+//                        the hardware concurrency)
 //   --profile            profile-guided rebuild (train on one run)
 //   --emit-ir            print the optimized IR
 //   --emit-mir           print the generated machine code
@@ -32,6 +34,7 @@
 #include "programs/Programs.h"
 
 #include <cstdio>
+#include <cstdlib>
 #include <cstring>
 #include <fstream>
 #include <sstream>
@@ -58,7 +61,8 @@ void usage(const char *Argv0) {
   std::fprintf(stderr,
                "usage: %s [-O2|-O3] [--shrink-wrap] [--no-combined] "
                "[--no-reg-params]\n              [--no-loop-ext] "
-               "[--restrict=caller7|callee7] [--profile]\n              "
+               "[--restrict=caller7|callee7] [--threads=N] [--profile]\n"
+               "              "
                "[--emit-ir] [--emit-mir] [--summaries] [--run] [--stats]\n"
                "              [--benchmark=<name>] file.mc [file2.mc ...]\n",
                Argv0);
@@ -83,6 +87,15 @@ bool parseArgs(int Argc, char **Argv, ToolOptions &Opts) {
       Opts.Compile.Restriction = RegSetRestriction::CallerOnly7;
     } else if (Arg == "--restrict=callee7") {
       Opts.Compile.Restriction = RegSetRestriction::CalleeOnly7;
+    } else if (Arg.rfind("--threads=", 0) == 0) {
+      char *End = nullptr;
+      const char *Num = Arg.c_str() + std::strlen("--threads=");
+      unsigned long N = std::strtoul(Num, &End, 10);
+      if (*Num == '\0' || *End != '\0') {
+        std::fprintf(stderr, "ipracc: bad thread count '%s'\n", Num);
+        return false;
+      }
+      Opts.Compile.Threads = unsigned(N);
     } else if (Arg == "--profile") {
       Opts.UseProfile = true;
     } else if (Arg == "--emit-ir") {
