@@ -16,10 +16,14 @@
 
 #include "driver/Pipeline.h"
 #include "programs/Programs.h"
+#include "support/Statistics.h"
 
 #include <cstdio>
 #include <cstdlib>
+#include <cstring>
+#include <fstream>
 #include <string>
+#include <vector>
 
 namespace ipra {
 namespace bench {
@@ -53,6 +57,83 @@ inline void checkSameOutput(const RunStats &A, const RunStats &B,
                             const char *What) {
   if (A.Output != B.Output) {
     std::fprintf(stderr, "bench: output mismatch for %s\n", What);
+    std::exit(1);
+  }
+}
+
+/// Short key for one configuration, used in the stats report.
+inline const char *configKey(PaperConfig Config) {
+  switch (Config) {
+  case PaperConfig::Base:
+    return "base";
+  case PaperConfig::A:
+    return "A";
+  case PaperConfig::B:
+    return "B";
+  case PaperConfig::C:
+    return "C";
+  case PaperConfig::D:
+    return "D";
+  case PaperConfig::E:
+    return "E";
+  }
+  return "?";
+}
+
+/// Pulls `--stats-json=<file>` out of argv before benchmark::Initialize
+/// sees (and rejects) the unknown flag. \returns the path, or "" when the
+/// flag is absent.
+inline std::string takeStatsJsonFlag(int &argc, char **argv) {
+  std::string Path;
+  int Out = 1;
+  for (int I = 1; I < argc; ++I) {
+    std::string Arg = argv[I];
+    if (Path.empty() && Arg.rfind("--stats-json=", 0) == 0)
+      Path = Arg.substr(std::strlen("--stats-json="));
+    else
+      argv[Out++] = argv[I];
+  }
+  argc = Out;
+  return Path;
+}
+
+/// Compiles every suite program under each configuration and writes the
+/// deterministic compile-time counter totals as one JSON document:
+///   {"programs": [{"name": ..., "configs": {"<key>": {counters...}}}]}
+/// These are the static columns behind Tables 1 and 2 (see
+/// EXPERIMENTS.md). Aborts the bench when the file cannot be written -- a
+/// silently dropped report would defeat the point of asking for one.
+inline void writeSuiteStats(const std::string &Path,
+                            const std::vector<PaperConfig> &Configs) {
+  std::string Doc = "{\n\"programs\": [\n";
+  bool FirstProg = true;
+  for (const BenchmarkProgram &B : benchmarkSuite()) {
+    Doc += FirstProg ? "" : ",\n";
+    FirstProg = false;
+    Doc += "  {\"name\": \"" + jsonEscape(B.Name) + "\", \"configs\": {\n";
+    bool FirstCfg = true;
+    for (PaperConfig Config : Configs) {
+      DiagnosticEngine Diags;
+      auto Result = compileProgram(B.Source, optionsFor(Config), Diags);
+      if (!Result) {
+        std::fprintf(stderr, "bench: %s failed to compile under %s:\n%s",
+                     B.Name, paperConfigName(Config), Diags.str().c_str());
+        std::exit(1);
+      }
+      Doc += FirstCfg ? "" : ",\n";
+      FirstCfg = false;
+      Doc += "    \"" + std::string(configKey(Config)) +
+             "\": " + Result->Stats.totals().json();
+    }
+    Doc += "\n  }}";
+  }
+  Doc += "\n]\n}\n";
+  std::ofstream OutFile(Path);
+  OutFile << Doc;
+  OutFile.flush();
+  if (!OutFile) {
+    std::fprintf(stderr, "bench: cannot write --stats-json file '%s'\n",
+                 Path.c_str());
     std::exit(1);
   }
 }

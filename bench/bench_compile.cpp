@@ -120,4 +120,15 @@ BENCHMARK(BM_Simulator)->Unit(benchmark::kMillisecond);
 
 } // namespace
 
-BENCHMARK_MAIN();
+int main(int argc, char **argv) {
+  std::string StatsPath = bench::takeStatsJsonFlag(argc, argv);
+  if (!StatsPath.empty())
+    bench::writeSuiteStats(StatsPath,
+                           {PaperConfig::Base, PaperConfig::C});
+  benchmark::Initialize(&argc, argv);
+  if (benchmark::ReportUnrecognizedArguments(argc, argv))
+    return 1;
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  return 0;
+}

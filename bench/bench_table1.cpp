@@ -75,7 +75,11 @@ BENCHMARK(BM_CompileAndRun)
 } // namespace
 
 int main(int argc, char **argv) {
+  std::string StatsPath = takeStatsJsonFlag(argc, argv);
   printTable1();
+  if (!StatsPath.empty())
+    writeSuiteStats(StatsPath, {PaperConfig::Base, PaperConfig::A,
+                                PaperConfig::B, PaperConfig::C});
   benchmark::Initialize(&argc, argv);
   benchmark::RunSpecifiedBenchmarks();
   return 0;

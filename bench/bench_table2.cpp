@@ -66,7 +66,11 @@ BENCHMARK(BM_RestrictedAllocation)
 } // namespace
 
 int main(int argc, char **argv) {
+  std::string StatsPath = takeStatsJsonFlag(argc, argv);
   printTable2();
+  if (!StatsPath.empty())
+    writeSuiteStats(StatsPath, {PaperConfig::Base, PaperConfig::D,
+                                PaperConfig::E});
   benchmark::Initialize(&argc, argv);
   benchmark::RunSpecifiedBenchmarks();
   return 0;

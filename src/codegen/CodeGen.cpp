@@ -69,9 +69,10 @@ class ProcCodeGen {
 public:
   ProcCodeGen(const Procedure &P, const AllocationResult &A,
               const SummaryTable &Summaries, const CodeGenOptions &Opts,
-              const std::vector<int64_t> &GlobalOffsets)
+              const std::vector<int64_t> &GlobalOffsets, StatCounters *Stats)
       : P(P), A(A), Summaries(Summaries), M(Summaries.machine()), Opts(Opts),
-        GlobalOffsets(GlobalOffsets), LV(Liveness::compute(P)) {}
+        GlobalOffsets(GlobalOffsets), LV(Liveness::compute(P)),
+        Stats(Stats) {}
 
   MProc run() {
     Out.Name = P.name();
@@ -90,6 +91,8 @@ public:
       emitBody(*BB, MB);
     }
     Out.FrameWords = FrameWords;
+    if (Stats)
+      recordStats();
     return std::move(Out);
   }
 
@@ -233,6 +236,7 @@ private:
     int Reg = A.Assignment[V];
     if (Reg >= 0)
       return unsigned(Reg);
+    ++SpillLoads;
     emitLoadSlot(MB, Scratch, SpillSlot.at(V), MemKind::Scalar);
     return Scratch;
   }
@@ -245,8 +249,10 @@ private:
 
   /// Completes a definition: spills to the stack when unassigned.
   void finishDef(MBlock &MB, VReg V, unsigned Reg) {
-    if (A.Assignment[V] < 0)
+    if (A.Assignment[V] < 0) {
+      ++SpillStores;
       emitStoreSlot(MB, Reg, SpillSlot.at(V), MemKind::Scalar);
+    }
   }
 
   //===--------------------------------------------------------------------===
@@ -267,6 +273,7 @@ private:
 
   void emitBlockEntrySaves(const BasicBlock &BB, MBlock &MB) {
     const BitVector &Save = A.Placement.SaveAtEntry[BB.id()];
+    CalleeSaves += Save.count();
     for (int Reg = Save.findFirst(); Reg >= 0; Reg = Save.findNext(Reg))
       emitStoreSlot(MB, unsigned(Reg), BSlot.at(unsigned(Reg)),
                     MemKind::Scalar);
@@ -286,10 +293,12 @@ private:
         StackParams.push_back({V, StackIdx++});
         continue;
       }
-      if (A.Assignment[V] < 0)
+      if (A.Assignment[V] < 0) {
+        ++SpillStores;
         emitStoreSlot(MB, Loc, SpillSlot.at(V), MemKind::Scalar);
-      else
+      } else {
         RegMoves.push_back({unsigned(A.Assignment[V]), Loc});
+      }
     }
     emitParallelMoves(std::move(RegMoves), RegAT, MB);
     for (auto [V, Idx] : StackParams) {
@@ -357,10 +366,12 @@ private:
     }
     case Opcode::Copy: {
       unsigned S = srcReg(MB, I.Src1, RegAT);
-      if (A.Assignment[I.Dst] >= 0)
+      if (A.Assignment[I.Dst] >= 0) {
         emitMove(MB, unsigned(A.Assignment[I.Dst]), S);
-      else
+      } else {
+        ++SpillStores;
         emitStoreSlot(MB, S, SpillSlot.at(I.Dst), MemKind::Scalar);
+      }
       return;
     }
     case Opcode::Neg:
@@ -476,6 +487,7 @@ private:
   void lowerCall(const BasicBlock &BB, int Idx, const Instruction &I,
                  MBlock &MB) {
     std::vector<unsigned> Saves = saveSetAt(BB, Idx, I);
+    CallerSavePairs += unsigned(Saves.size());
     for (unsigned Reg : Saves)
       emitStoreSlot(MB, Reg, ASlot.at(Reg), MemKind::Scalar);
 
@@ -514,6 +526,7 @@ private:
         MemArgs.push_back({Locs[J], Arg});
     }
     emitParallelMoves(std::move(RegMoves), RegAT, MB);
+    SpillLoads += unsigned(MemArgs.size());
     for (auto [Loc, Arg] : MemArgs)
       emitLoadSlot(MB, Loc, SpillSlot.at(Arg), MemKind::Scalar);
 
@@ -528,10 +541,12 @@ private:
     }
 
     if (I.Dst) {
-      if (A.Assignment[I.Dst] >= 0)
+      if (A.Assignment[I.Dst] >= 0) {
         emitMove(MB, unsigned(A.Assignment[I.Dst]), RegV0);
-      else
+      } else {
+        ++SpillStores;
         emitStoreSlot(MB, RegV0, SpillSlot.at(I.Dst), MemKind::Scalar);
+      }
     }
     for (unsigned Reg : Saves)
       emitLoadSlot(MB, Reg, ASlot.at(Reg), MemKind::Scalar);
@@ -540,6 +555,7 @@ private:
   void emitTerminator(const BasicBlock &BB, const Instruction &I,
                       MBlock &MB) {
     const BitVector &Restore = A.Placement.RestoreAtExit[BB.id()];
+    CalleeRestores += Restore.count();
     auto EmitRestores = [&] {
       for (int Reg = Restore.findFirst(); Reg >= 0;
            Reg = Restore.findNext(Reg))
@@ -584,6 +600,56 @@ private:
     }
   }
 
+  /// Tallies the finished procedure into *Stats: every instruction by
+  /// category, plus the semantic counts accumulated during emission. Pure
+  /// over Out, so the counters inherit codegen's determinism.
+  void recordStats() {
+    StatCounters &S = *Stats;
+    for (const MBlock &MB : Out.Blocks) {
+      for (const MInst &I : MB.Insts) {
+        switch (I.Op) {
+        case MOpcode::Move:
+          S.add("codegen.insts_move");
+          break;
+        case MOpcode::LoadImm:
+        case MOpcode::AddImm:
+          S.add("codegen.insts_imm");
+          break;
+        case MOpcode::Load:
+          S.add(I.Mem == MemKind::Scalar ? "codegen.insts_load_scalar"
+                                         : "codegen.insts_load_data");
+          break;
+        case MOpcode::Store:
+          S.add(I.Mem == MemKind::Scalar ? "codegen.insts_store_scalar"
+                                         : "codegen.insts_store_data");
+          break;
+        case MOpcode::Call:
+        case MOpcode::CallInd:
+          S.add("codegen.insts_call");
+          break;
+        case MOpcode::Br:
+        case MOpcode::CondBr:
+        case MOpcode::Ret:
+          S.add("codegen.insts_branch");
+          break;
+        case MOpcode::Print:
+          S.add("codegen.insts_print");
+          break;
+        default:
+          S.add("codegen.insts_alu");
+          break;
+        }
+      }
+    }
+    S.add("codegen.insts_total", Out.instructionCount());
+    S.add("codegen.frame_words", uint64_t(FrameWords));
+    S.add("codegen.caller_save_pairs", CallerSavePairs);
+    S.add("codegen.callee_saves", CalleeSaves);
+    S.add("codegen.callee_restores", CalleeRestores);
+    S.add("codegen.spill_loads", SpillLoads);
+    S.add("codegen.spill_stores", SpillStores);
+  }
+
   const Procedure &P;
   const AllocationResult &A;
   const SummaryTable &Summaries;
@@ -591,6 +657,15 @@ private:
   const CodeGenOptions &Opts;
   const std::vector<int64_t> &GlobalOffsets;
   Liveness LV;
+  StatCounters *Stats = nullptr;
+
+  /// Semantic tallies accumulated at the emission sites (a register saved
+  /// around a call is one *pair*: its store and reload together).
+  unsigned CallerSavePairs = 0;
+  unsigned CalleeSaves = 0;
+  unsigned CalleeRestores = 0;
+  unsigned SpillLoads = 0;
+  unsigned SpillStores = 0;
 
   MProc Out;
   int64_t FrameWords = 0;
@@ -618,9 +693,10 @@ MProc ipra::generateProcedure(const Procedure &P,
                               const AllocationResult &Alloc,
                               const SummaryTable &Summaries,
                               const CodeGenOptions &Opts,
-                              const std::vector<int64_t> &GlobalOffsets) {
+                              const std::vector<int64_t> &GlobalOffsets,
+                              StatCounters *Stats) {
   assert(!P.IsExternal && "externals have no body to lower");
-  ProcCodeGen CG(P, Alloc, Summaries, Opts, GlobalOffsets);
+  ProcCodeGen CG(P, Alloc, Summaries, Opts, GlobalOffsets, Stats);
   return CG.run();
 }
 

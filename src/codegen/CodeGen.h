@@ -39,11 +39,15 @@ void layoutGlobals(const Module &Mod, MProgram &Prog);
 /// the layout produced by layoutGlobals for the owning module. Pure with
 /// respect to everything but its own procedure, so distinct procedures
 /// may be lowered concurrently once their callees' summaries are
-/// published.
+/// published. When \p Stats is non-null it receives the "codegen.*"
+/// counters for this procedure: instructions emitted by category, spill
+/// traffic, and the static save/restore instruction counts behind the
+/// paper's Table 1/2 columns.
 MProc generateProcedure(const Procedure &P, const AllocationResult &Alloc,
                         const SummaryTable &Summaries,
                         const CodeGenOptions &Opts,
-                        const std::vector<int64_t> &GlobalOffsets);
+                        const std::vector<int64_t> &GlobalOffsets,
+                        StatCounters *Stats = nullptr);
 
 /// Lowers the whole module. \p Alloc is indexed by procedure id (the
 /// result of allocateModule).

@@ -84,10 +84,13 @@ void compileProcedure(int ProcId, CompileResult &Result, const CallGraph &CG,
                       const CompileOptions &Opts,
                       const CodeGenOptions &CGOpts) {
   Procedure *Proc = Result.IR->procedure(ProcId);
+  CompileStats::ProcStats &PS = Result.Stats.Procs[ProcId];
+  PS.Name = Proc->name();
   if (Proc->IsExternal) {
     Result.Alloc[ProcId] =
         allocateProcedure(*Proc, Result.Machine, *Result.Summaries,
                           /*IsOpen=*/true, Opts.regAllocOptions());
+    PS.Counters.merge(Result.Alloc[ProcId].Stats);
     MProc MP;
     MP.Name = Proc->name();
     MP.Id = ProcId;
@@ -95,19 +98,29 @@ void compileProcedure(int ProcId, CompileResult &Result, const CallGraph &CG,
     Result.Program.Procs[ProcId] = std::move(MP);
     return;
   }
-  if (Opts.MidEndOpt)
-    optimize(*Proc);
-  Proc->recomputeCFG();
-  if (Opts.Profile && Opts.Profile->covers(ProcId, Proc->numBlocks()))
-    applyProfile(*Proc, *Opts.Profile);
-  else
-    estimateFrequencies(*Proc, LoopInfo::compute(*Proc));
-  Result.Alloc[ProcId] =
-      allocateProcedure(*Proc, Result.Machine, *Result.Summaries,
-                        CG.isOpen(ProcId), Opts.regAllocOptions());
-  Result.Program.Procs[ProcId] =
-      generateProcedure(*Proc, Result.Alloc[ProcId], *Result.Summaries,
-                        CGOpts, Result.Program.GlobalOffsets);
+  {
+    ScopedTimer T(Opts.Trace, "opt " + Proc->name(), "midend");
+    if (Opts.MidEndOpt)
+      optimize(*Proc);
+    Proc->recomputeCFG();
+    if (Opts.Profile && Opts.Profile->covers(ProcId, Proc->numBlocks()))
+      applyProfile(*Proc, *Opts.Profile);
+    else
+      estimateFrequencies(*Proc, LoopInfo::compute(*Proc));
+  }
+  {
+    ScopedTimer T(Opts.Trace, "regalloc " + Proc->name(), "regalloc");
+    Result.Alloc[ProcId] =
+        allocateProcedure(*Proc, Result.Machine, *Result.Summaries,
+                          CG.isOpen(ProcId), Opts.regAllocOptions());
+  }
+  PS.Counters.merge(Result.Alloc[ProcId].Stats);
+  {
+    ScopedTimer T(Opts.Trace, "codegen " + Proc->name(), "codegen");
+    Result.Program.Procs[ProcId] =
+        generateProcedure(*Proc, Result.Alloc[ProcId], *Result.Summaries,
+                          CGOpts, Result.Program.GlobalOffsets, &PS.Counters);
+  }
 }
 
 /// Shared back end: one task per call-graph SCC, scheduled by dependency
@@ -117,6 +130,7 @@ void compileProcedure(int ProcId, CompileResult &Result, const CallGraph &CG,
 std::unique_ptr<CompileResult> runBackEnd(std::unique_ptr<Module> IR,
                                           const CompileOptions &Opts,
                                           DiagnosticEngine &Diags) {
+  ScopedTimer BackendTimer(Opts.Trace, "backend", "phase");
   auto Result = std::make_unique<CompileResult>();
   Result->IR = std::move(IR);
   Module &Mod = *Result->IR;
@@ -127,6 +141,7 @@ std::unique_ptr<CompileResult> runBackEnd(std::unique_ptr<Module> IR,
                                                      NumProcs);
   Result->Alloc.resize(NumProcs);
   Result->Program.Procs.resize(NumProcs);
+  Result->Stats.Procs.resize(NumProcs);
   layoutGlobals(Mod, Result->Program);
 
   CodeGenOptions CGOpts;
@@ -148,6 +163,7 @@ std::unique_ptr<CompileResult> runBackEnd(std::unique_ptr<Module> IR,
   // down for passes that do report.)
   std::vector<DiagnosticEngine> ProcDiags(NumProcs);
   auto runTaskBody = [&](int Task) {
+    ScopedTimer T(Opts.Trace, "task " + std::to_string(Task), "scheduler");
     for (int ProcId : Sched.TaskProcs[Task])
       compileProcedure(ProcId, *Result, CG, Opts, CGOpts);
   };
@@ -190,6 +206,22 @@ std::unique_ptr<CompileResult> runBackEnd(std::unique_ptr<Module> IR,
   for (DiagnosticEngine &PD : ProcDiags)
     Diags.append(std::move(PD));
   Result->StaticInstructions = Result->Program.instructionCount();
+
+  // Module-level schedule-shape counters. Deliberately excludes the
+  // configured thread count and any timing: CompileStats must be a pure
+  // function of the input program and options axes the machine code
+  // itself depends on.
+  StatCounters &MS = Result->Stats.Module;
+  MS.add("pipeline.procs", NumProcs);
+  MS.add("pipeline.tasks", NumTasks);
+  unsigned Roots = 0, Edges = 0;
+  for (unsigned T = 0; T < NumTasks; ++T) {
+    Roots += Sched.ReadyCounts[T] == 0;
+    Edges += unsigned(Sched.Successors[T].size());
+  }
+  MS.add("pipeline.ready_tasks", Roots);
+  MS.add("pipeline.dependency_edges", Edges);
+  MS.add("pipeline.static_instructions", Result->StaticInstructions);
   return Result;
 }
 
@@ -198,7 +230,11 @@ std::unique_ptr<CompileResult> runBackEnd(std::unique_ptr<Module> IR,
 std::unique_ptr<CompileResult> ipra::compileProgram(const std::string &Source,
                                                     const CompileOptions &Opts,
                                                     DiagnosticEngine &Diags) {
-  auto IR = compileToIR(Source, Diags);
+  std::unique_ptr<Module> IR;
+  {
+    ScopedTimer T(Opts.Trace, "frontend", "phase");
+    IR = compileToIR(Source, Diags);
+  }
   if (!IR)
     return nullptr;
   return runBackEnd(std::move(IR), Opts, Diags);

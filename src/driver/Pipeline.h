@@ -20,6 +20,7 @@
 #include "regalloc/RegAlloc.h"
 #include "sim/Simulator.h"
 #include "support/Diagnostics.h"
+#include "support/Statistics.h"
 
 #include <memory>
 #include <string>
@@ -55,6 +56,12 @@ struct CompileOptions {
   /// run inline in bottom-up task order); output is byte-identical at
   /// any thread count.
   unsigned Threads = defaultCompileThreads();
+  /// Optional span recorder for `--trace-json`: when non-null the driver
+  /// records front-end/back-end phases and every scheduler task (with its
+  /// per-procedure sub-phases) as Chrome trace events. Timings are wall
+  /// clock and therefore schedule-dependent; they never influence
+  /// CompileResult::Stats, which stays byte-identical at any Threads.
+  TraceRecorder *Trace = nullptr;
 
   RegAllocOptions regAllocOptions() const {
     RegAllocOptions O;
@@ -87,6 +94,13 @@ struct CompileResult {
 
   /// Static-code statistics useful for reports.
   unsigned StaticInstructions = 0;
+
+  /// Compile-time counters: one "regalloc.* / shrinkwrap.* / codegen.*"
+  /// set per procedure (program order) plus module-level "pipeline.*"
+  /// counters. Each scheduler task fills only its own procedures' slots,
+  /// so the whole struct -- and its JSON rendering -- is byte-identical at
+  /// any CompileOptions::Threads value.
+  CompileStats Stats;
 };
 
 /// Compiles \p Source end to end. \returns nullptr on any front-end error

@@ -45,6 +45,7 @@ public:
     assignByPriority();
     decidePreservation();
     publishSummary();
+    recordStats();
     return std::move(R);
   }
 
@@ -303,6 +304,76 @@ private:
     R.Placement = placeSavesRestores(Proc, APP, M.numRegs(), LI, SWOpts);
   }
 
+  /// Tallies what this allocation decided into R.Stats. Every value is a
+  /// function of the allocation alone, so the counters are as
+  /// schedule-independent as the allocation itself.
+  void recordStats() {
+    StatCounters &S = R.Stats;
+    S.add(Closed ? "regalloc.procs_closed" : "regalloc.procs_open");
+
+    unsigned Assigned = 0, Spilled = 0;
+    for (VReg V = 1; V < Proc.NumVRegs; ++V) {
+      if (!LRI.range(V).exists())
+        continue;
+      if (R.Assignment[V] >= 0)
+        ++Assigned;
+      else
+        ++Spilled;
+    }
+    S.add("regalloc.ranges_assigned", Assigned);
+    S.add("regalloc.ranges_spilled", Spilled);
+
+    // Save/restore pairs this procedure is charged for locally, and the
+    // callee-saved damage it pushed up the call graph instead (Section 6).
+    S.add("regalloc.callee_saved_pairs", R.CalleeSavedToPreserve.count());
+    S.add("regalloc.propagated_callee_saved",
+          R.PropagatedCalleeSaved.count());
+
+    // Parameter placement: how many arrive in registers, and how many of
+    // those hit their vreg's assigned register exactly (no entry move).
+    unsigned InRegs = 0, Hits = 0;
+    for (unsigned I = 0; I < R.IncomingParamLocs.size(); ++I) {
+      unsigned Loc = R.IncomingParamLocs[I];
+      if (Loc == StackParamLoc)
+        continue;
+      ++InRegs;
+      if (I < Proc.ParamVRegs.size() &&
+          R.Assignment[Proc.ParamVRegs[I]] == int(Loc))
+        ++Hits;
+    }
+    S.add("regalloc.params_in_regs", InRegs);
+    S.add("regalloc.param_reg_hits", Hits);
+
+    // Registers a precise summary frees for callers: the default protocol
+    // would have assumed them clobbered, the summary proves they are not.
+    if (R.Summary.Precise) {
+      BitVector Freed = M.defaultClobber();
+      Freed.andNot(R.Summary.Clobbered);
+      S.add("regalloc.summary_regs_freed", Freed.count());
+    }
+
+    // Shrink-wrap placement shape for the locally preserved set.
+    unsigned Saves = 0, Restores = 0, RestoresAtExit = 0;
+    for (const auto &BB : Proc) {
+      Saves += R.Placement.SaveAtEntry[BB->id()].count();
+      unsigned Rest = R.Placement.RestoreAtExit[BB->id()].count();
+      Restores += Rest;
+      if (BB->terminator().Op == Opcode::Ret)
+        RestoresAtExit += Rest;
+    }
+    unsigned SavesAtEntry = R.Placement.SaveAtEntry.empty()
+                                ? 0
+                                : R.Placement.SaveAtEntry[0].count();
+    S.add("shrinkwrap.saves_placed", Saves);
+    S.add("shrinkwrap.restores_placed", Restores);
+    S.add("shrinkwrap.saves_moved_off_entry", Saves - SavesAtEntry);
+    S.add("shrinkwrap.restores_moved_off_exit", Restores - RestoresAtExit);
+    S.add("shrinkwrap.loop_extension_bits", R.Placement.LoopExtendedBits);
+    S.add("shrinkwrap.range_extension_bits", R.Placement.RangeExtendedBits);
+    S.add("shrinkwrap.extension_iterations",
+          unsigned(std::max(R.Placement.ExtensionIterations, 0)));
+  }
+
   void publishSummary() {
     if (Closed) {
       R.Summary.Clobbered = totalDamage();
@@ -373,6 +444,7 @@ AllocationResult ipra::allocateProcedure(const Procedure &Proc,
     R.CalleeSavedToPreserve.resize(M.numRegs());
     R.PropagatedCalleeSaved.resize(M.numRegs());
     R.Summary = Summaries.makeDefault(Proc.ParamVRegs.size());
+    R.Stats.add("regalloc.procs_external");
     Summaries.publish(Proc.id(), R.Summary);
     return R;
   }

@@ -33,6 +33,7 @@
 #include "analysis/Profile.h"
 #include "regalloc/Summary.h"
 #include "shrinkwrap/ShrinkWrap.h"
+#include "support/Statistics.h"
 
 namespace ipra {
 
@@ -75,6 +76,12 @@ struct AllocationResult {
   RegUsageSummary Summary;
   /// True if the procedure was treated as open.
   bool TreatedOpen = false;
+  /// Named counters describing this allocation ("regalloc.*" and
+  /// "shrinkwrap.*"): spilled vs assigned ranges, entry save/restore pairs
+  /// charged, shrink-wrap placements moved off entry/exit, summary
+  /// registers freed for callers, parameter-register hits. Deterministic
+  /// for a fixed input -- timings never land here.
+  StatCounters Stats;
 };
 
 /// Allocates registers for one procedure and publishes its summary into

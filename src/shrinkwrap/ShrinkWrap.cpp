@@ -14,7 +14,9 @@ bool isExitBlock(const BasicBlock &BB) {
 /// Smears each register's APP over every loop it intersects, iterating so
 /// nested/overlapping loops converge. Prevents save/restore pairs from
 /// landing inside loops (Section 5).
-void extendOverLoops(std::vector<BitVector> &APP, const LoopInfo &LI) {
+/// \returns the number of (register, block) bits it added.
+unsigned extendOverLoops(std::vector<BitVector> &APP, const LoopInfo &LI) {
+  unsigned AddedBits = 0;
   bool Changed = true;
   while (Changed) {
     Changed = false;
@@ -25,10 +27,14 @@ void extendOverLoops(std::vector<BitVector> &APP, const LoopInfo &LI) {
       for (int B = L.Blocks.findFirst(); B >= 0; B = L.Blocks.findNext(B)) {
         BitVector Old = APP[B];
         APP[B] |= Union;
-        Changed |= Old != APP[B];
+        if (Old != APP[B]) {
+          Changed = true;
+          AddedBits += APP[B].count() - Old.count();
+        }
       }
     }
   }
+  return AddedBits;
 }
 
 /// The four data-flow attributes of the paper's equations (3.1)-(3.4).
@@ -121,7 +127,7 @@ ShrinkWrapResult ipra::placeSavesRestores(const Procedure &Proc,
 
   std::vector<BitVector> W = APP;
   if (Opts.LoopExtension)
-    extendOverLoops(W, LI);
+    R.LoopExtendedBits = extendOverLoops(W, LI);
 
   // Range-extension loop: solve, detect edges that would need splitting
   // (Fig. 2), widen APP there, re-solve. Each iteration strictly grows W,
@@ -156,8 +162,10 @@ ShrinkWrapResult ipra::placeSavesRestores(const Procedure &Proc,
           for (int P : BB->Preds) {
             BitVector Add = Mixed;
             Add.andNot(Covered[P]);
+            Add.andNot(W[P]);
             if (Add.any()) {
               W[P] |= Add;
+              R.RangeExtendedBits += Add.count();
               Extended = true;
             }
           }
@@ -179,8 +187,10 @@ ShrinkWrapResult ipra::placeSavesRestores(const Procedure &Proc,
           for (int S : BB->successors()) {
             BitVector Add = Mixed;
             Add.andNot(Covered[S]);
+            Add.andNot(W[S]);
             if (Add.any()) {
               W[S] |= Add;
+              R.RangeExtendedBits += Add.count();
               Extended = true;
             }
           }

@@ -52,6 +52,13 @@ struct ShrinkWrapResult {
   std::vector<BitVector> ExtendedAPP;
   /// Number of range-extension iterations the solver needed.
   int ExtensionIterations = 0;
+  /// (register, block) appearance bits added by loop extension: each is a
+  /// placement the solver rejected because it would have put a save or
+  /// restore inside a loop.
+  unsigned LoopExtendedBits = 0;
+  /// (register, block) appearance bits added by range extension: each is
+  /// an edge split the solver traded for a little redundancy (Fig. 2).
+  unsigned RangeExtendedBits = 0;
 };
 
 /// Solver options.

@@ -277,3 +277,16 @@ private:
 RunStats ipra::runProgram(const MProgram &Prog, const SimOptions &Opts) {
   return Machine(Prog, Opts).run();
 }
+
+StatCounters RunStats::counters() const {
+  StatCounters S;
+  S.set("sim.cycles", Cycles);
+  S.set("sim.instructions", Instructions);
+  S.set("sim.scalar_loads", ScalarLoads);
+  S.set("sim.scalar_stores", ScalarStores);
+  S.set("sim.data_loads", DataLoads);
+  S.set("sim.data_stores", DataStores);
+  S.set("sim.calls", Calls);
+  S.set("sim.output_values", Output.size());
+  return S;
+}

@@ -19,6 +19,7 @@
 
 #include "analysis/Profile.h"
 #include "codegen/MIR.h"
+#include "support/Statistics.h"
 
 #include <cstdint>
 #include <string>
@@ -58,6 +59,10 @@ struct RunStats {
   double cyclesPerCall() const {
     return Calls ? double(Cycles) / double(Calls) : double(Cycles);
   }
+
+  /// The pixie counters as a named-counter set ("sim.*"), for the
+  /// machine-readable stats report alongside CompileStats.
+  StatCounters counters() const;
 };
 
 struct SimOptions {

@@ -1,0 +1,165 @@
+//===- support/Statistics.cpp - Named counters and phase tracing -----------===//
+
+#include "support/Statistics.h"
+
+#include <algorithm>
+#include <chrono>
+#include <cstdio>
+#include <functional>
+#include <thread>
+
+using namespace ipra;
+
+std::string ipra::jsonEscape(const std::string &S) {
+  std::string Out;
+  Out.reserve(S.size());
+  for (unsigned char C : S) {
+    switch (C) {
+    case '"':
+      Out += "\\\"";
+      break;
+    case '\\':
+      Out += "\\\\";
+      break;
+    case '\b':
+      Out += "\\b";
+      break;
+    case '\f':
+      Out += "\\f";
+      break;
+    case '\n':
+      Out += "\\n";
+      break;
+    case '\r':
+      Out += "\\r";
+      break;
+    case '\t':
+      Out += "\\t";
+      break;
+    default:
+      if (C < 0x20) {
+        char Buf[8];
+        std::snprintf(Buf, sizeof(Buf), "\\u%04x", C);
+        Out += Buf;
+      } else {
+        Out += char(C);
+      }
+    }
+  }
+  return Out;
+}
+
+std::string StatCounters::json(unsigned Indent) const {
+  std::string Pad(Indent, ' ');
+  std::string Sep = Indent ? ",\n" : ", ";
+  std::string Out = "{";
+  if (Indent && !Counters.empty())
+    Out += "\n";
+  bool First = true;
+  for (const auto &[Name, Value] : Counters) {
+    if (!First)
+      Out += Sep;
+    First = false;
+    Out += Pad + "\"" + jsonEscape(Name) + "\": " + std::to_string(Value);
+  }
+  if (Indent && !Counters.empty())
+    Out += "\n";
+  Out += "}";
+  return Out;
+}
+
+std::string CompileStats::json() const {
+  std::string Out = "{\n";
+  Out += "  \"module\": " + Module.json() + ",\n";
+  Out += "  \"procs\": [";
+  for (unsigned I = 0; I < Procs.size(); ++I) {
+    Out += I ? ",\n    " : "\n    ";
+    Out += "{\"name\": \"" + jsonEscape(Procs[I].Name) +
+           "\", \"counters\": " + Procs[I].Counters.json() + "}";
+  }
+  Out += Procs.empty() ? "],\n" : "\n  ],\n";
+  Out += "  \"totals\": " + totals().json() + "\n";
+  Out += "}\n";
+  return Out;
+}
+
+//===----------------------------------------------------------------------===//
+// TraceRecorder / ScopedTimer
+//===----------------------------------------------------------------------===//
+
+static int64_t steadyNowUs() {
+  return std::chrono::duration_cast<std::chrono::microseconds>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
+
+TraceRecorder::TraceRecorder() : EpochUs(steadyNowUs()) {}
+
+int64_t TraceRecorder::nowUs() const { return steadyNowUs() - EpochUs; }
+
+unsigned TraceRecorder::threadIndex() {
+  std::string Key =
+      std::to_string(std::hash<std::thread::id>{}(std::this_thread::get_id()));
+  std::lock_guard<std::mutex> Lock(Mutex);
+  auto [It, Inserted] =
+      ThreadIndices.emplace(Key, unsigned(ThreadIndices.size()));
+  (void)Inserted;
+  return It->second;
+}
+
+void TraceRecorder::record(TraceSpan Span) {
+  std::lock_guard<std::mutex> Lock(Mutex);
+  Spans.push_back(std::move(Span));
+}
+
+std::vector<TraceSpan> TraceRecorder::spans() const {
+  std::vector<TraceSpan> Out;
+  {
+    std::lock_guard<std::mutex> Lock(Mutex);
+    Out = Spans;
+  }
+  std::sort(Out.begin(), Out.end(),
+            [](const TraceSpan &A, const TraceSpan &B) {
+              if (A.StartUs != B.StartUs)
+                return A.StartUs < B.StartUs;
+              if (A.ThreadIndex != B.ThreadIndex)
+                return A.ThreadIndex < B.ThreadIndex;
+              return A.Name < B.Name;
+            });
+  return Out;
+}
+
+std::string TraceRecorder::chromeTraceJson() const {
+  std::string Out = "{\"traceEvents\": [";
+  bool First = true;
+  for (const TraceSpan &S : spans()) {
+    if (!First)
+      Out += ",";
+    First = false;
+    Out += "\n  {\"name\": \"" + jsonEscape(S.Name) + "\", \"cat\": \"" +
+           jsonEscape(S.Category) + "\", \"ph\": \"X\", \"pid\": 0, " +
+           "\"tid\": " + std::to_string(S.ThreadIndex) +
+           ", \"ts\": " + std::to_string(S.StartUs) +
+           ", \"dur\": " + std::to_string(S.DurationUs) + "}";
+  }
+  Out += "\n]}\n";
+  return Out;
+}
+
+ScopedTimer::ScopedTimer(TraceRecorder *Recorder, std::string Name,
+                         std::string Category)
+    : Recorder(Recorder) {
+  if (!Recorder)
+    return;
+  Span.Name = std::move(Name);
+  Span.Category = std::move(Category);
+  Span.ThreadIndex = Recorder->threadIndex();
+  Span.StartUs = Recorder->nowUs();
+}
+
+ScopedTimer::~ScopedTimer() {
+  if (!Recorder)
+    return;
+  Span.DurationUs = Recorder->nowUs() - Span.StartUs;
+  Recorder->record(std::move(Span));
+}

@@ -1,0 +1,219 @@
+//===- support/Statistics.h - Named counters and phase tracing -*- C++ -*-===//
+//
+// Part of the ipra project (Chow, PLDI 1988 reproduction).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The compiler-wide observability layer: LLVM-style named counters plus
+/// scoped phase timers feeding a Chrome trace-event recorder.
+///
+/// Two determinism tiers, deliberately separated:
+///
+///  - *Counters* (StatCounters, CompileStats) record what the compiler
+///    decided -- spills, save/restore pairs, shrink-wrap placements,
+///    instructions by category. They are collected into per-procedure
+///    slots owned by exactly one scheduler task and merged in program
+///    order, so their values and JSON rendering are byte-identical at any
+///    CompileOptions::Threads value (the same guarantee the pipeline gives
+///    for machine code).
+///  - *Timers* (ScopedTimer, TraceRecorder) record when it happened. Wall
+///    clock is inherently schedule-dependent, so spans go only to the
+///    trace report and never into CompileStats.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef IPRA_SUPPORT_STATISTICS_H
+#define IPRA_SUPPORT_STATISTICS_H
+
+#include <cstdint>
+#include <map>
+#include <mutex>
+#include <string>
+#include <vector>
+
+namespace ipra {
+
+/// Escapes \p S for inclusion in a JSON string literal (quotes,
+/// backslashes, and control characters; everything else passes through
+/// byte-for-byte).
+std::string jsonEscape(const std::string &S);
+
+/// A flat registry of named uint64 counters. Iteration, equality and JSON
+/// rendering follow name order, so two counter sets built from the same
+/// increments in any order compare and print identically. Not
+/// synchronized; see SharedStatCounters for concurrent producers.
+class StatCounters {
+public:
+  /// Registers \p Name on first use and adds \p Delta to it.
+  void add(const std::string &Name, uint64_t Delta = 1) {
+    Counters[Name] += Delta;
+  }
+
+  /// Overwrites \p Name with \p Value (registering it if new).
+  void set(const std::string &Name, uint64_t Value) {
+    Counters[Name] = Value;
+  }
+
+  /// \returns the counter's value, or 0 when it was never registered.
+  uint64_t get(const std::string &Name) const {
+    auto It = Counters.find(Name);
+    return It == Counters.end() ? 0 : It->second;
+  }
+
+  /// True when \p Name has been registered (even at value 0).
+  bool contains(const std::string &Name) const {
+    return Counters.count(Name) != 0;
+  }
+
+  /// Adds every counter of \p Other into this set. Merging is commutative
+  /// and associative, so any merge order yields the same set.
+  void merge(const StatCounters &Other) {
+    for (const auto &[Name, Value] : Other.Counters)
+      Counters[Name] += Value;
+  }
+
+  bool empty() const { return Counters.empty(); }
+  size_t size() const { return Counters.size(); }
+  void clear() { Counters.clear(); }
+
+  /// Name -> value, ordered by name.
+  const std::map<std::string, uint64_t> &entries() const { return Counters; }
+
+  bool operator==(const StatCounters &O) const {
+    return Counters == O.Counters;
+  }
+  bool operator!=(const StatCounters &O) const { return !(*this == O); }
+
+  /// Renders {"name": value, ...} with keys in name order, indented by
+  /// \p Indent spaces per line (0 = single line).
+  std::string json(unsigned Indent = 0) const;
+
+private:
+  std::map<std::string, uint64_t> Counters;
+};
+
+/// Mutex-guarded counter set for producers that genuinely share one
+/// registry across ThreadPool workers (module-level tallies). The
+/// deterministic per-procedure path does not need this -- each scheduler
+/// task owns its procedures' slots exclusively.
+class SharedStatCounters {
+public:
+  void add(const std::string &Name, uint64_t Delta = 1) {
+    std::lock_guard<std::mutex> Lock(Mutex);
+    Counters.add(Name, Delta);
+  }
+
+  /// A consistent copy of the current state.
+  StatCounters snapshot() const {
+    std::lock_guard<std::mutex> Lock(Mutex);
+    return Counters;
+  }
+
+private:
+  mutable std::mutex Mutex;
+  StatCounters Counters;
+};
+
+/// Per-translation-unit compile-time statistics: one counter set per
+/// procedure (program order) plus module-level counters, carried in
+/// CompileResult. Byte-identical at any thread count.
+struct CompileStats {
+  struct ProcStats {
+    std::string Name;
+    StatCounters Counters;
+
+    bool operator==(const ProcStats &O) const {
+      return Name == O.Name && Counters == O.Counters;
+    }
+    bool operator!=(const ProcStats &O) const { return !(*this == O); }
+  };
+
+  /// Indexed by procedure id -- the deterministic program order.
+  std::vector<ProcStats> Procs;
+  /// Module-level counters (pipeline task/schedule shape etc.).
+  StatCounters Module;
+
+  /// Module counters plus the sum over every procedure.
+  StatCounters totals() const {
+    StatCounters T = Module;
+    for (const ProcStats &P : Procs)
+      T.merge(P.Counters);
+    return T;
+  }
+
+  bool operator==(const CompileStats &O) const {
+    return Procs == O.Procs && Module == O.Module;
+  }
+  bool operator!=(const CompileStats &O) const { return !(*this == O); }
+
+  /// The machine-readable stats report:
+  /// {"module": {...}, "procs": [{"name": ..., "counters": {...}}, ...],
+  ///  "totals": {...}}. Deterministic: same compile decisions => same
+  ///  bytes, independent of thread count.
+  std::string json() const;
+};
+
+/// One completed timed span, in microseconds since the recorder's epoch.
+struct TraceSpan {
+  std::string Name;
+  std::string Category;
+  /// Dense per-recorder thread index (tid in the Chrome trace).
+  unsigned ThreadIndex = 0;
+  int64_t StartUs = 0;
+  int64_t DurationUs = 0;
+};
+
+/// Collects TraceSpans from any thread and renders them as a Chrome
+/// trace-event file (chrome://tracing, Perfetto, speedscope all read it).
+/// Span *contents* are deterministic only in their names/categories; the
+/// timings are wall clock and schedule-dependent by nature.
+class TraceRecorder {
+public:
+  TraceRecorder();
+
+  /// Thread-safe. Timestamps are taken by ScopedTimer; record() only
+  /// stores the finished span.
+  void record(TraceSpan Span);
+
+  /// Microseconds since this recorder was constructed (the trace epoch).
+  int64_t nowUs() const;
+
+  /// Dense index for the calling thread, assigned on first use.
+  unsigned threadIndex();
+
+  /// Snapshot of everything recorded so far, sorted by (start, thread,
+  /// name) so rendering does not depend on completion order.
+  std::vector<TraceSpan> spans() const;
+
+  /// The Chrome trace-event JSON document ("traceEvents" array of
+  /// complete "X" events).
+  std::string chromeTraceJson() const;
+
+private:
+  mutable std::mutex Mutex;
+  std::vector<TraceSpan> Spans;
+  std::map<std::string, unsigned> ThreadIndices; // keyed by thread-id hash
+  int64_t EpochUs = 0;
+};
+
+/// RAII phase timer: records a span into \p Recorder (when non-null) over
+/// its lifetime. Nest freely; each level records its own span. Null
+/// recorder makes it a no-op, so instrumentation sites need no guards.
+class ScopedTimer {
+public:
+  ScopedTimer(TraceRecorder *Recorder, std::string Name,
+              std::string Category);
+  ~ScopedTimer();
+
+  ScopedTimer(const ScopedTimer &) = delete;
+  ScopedTimer &operator=(const ScopedTimer &) = delete;
+
+private:
+  TraceRecorder *Recorder;
+  TraceSpan Span;
+};
+
+} // namespace ipra
+
+#endif // IPRA_SUPPORT_STATISTICS_H

@@ -179,6 +179,47 @@ TEST(PipelineParallelTest, SeparateCompilationAgrees) {
   }
 }
 
+TEST(PipelineParallelTest, CompileStatsIdenticalAcrossThreadCounts) {
+  // The statistics layer inherits the back end's determinism contract:
+  // CompileStats -- struct and JSON rendering alike -- is byte-identical
+  // at any thread count, for every paper configuration.
+  for (const std::string &Src : {std::string(MixedShapes), wideProgram()}) {
+    for (PaperConfig Config : AllConfigs) {
+      auto Reference = compileAt(Src, Config, 0);
+      ASSERT_NE(Reference, nullptr);
+      EXPECT_FALSE(Reference->Stats.totals().empty());
+      std::string ExpectedJson = Reference->Stats.json();
+      for (unsigned Threads : {1u, 4u}) {
+        auto Result = compileAt(Src, Config, Threads);
+        ASSERT_NE(Result, nullptr);
+        EXPECT_EQ(Result->Stats, Reference->Stats)
+            << paperConfigName(Config) << " at Threads=" << Threads;
+        EXPECT_EQ(Result->Stats.json(), ExpectedJson)
+            << paperConfigName(Config) << " at Threads=" << Threads;
+      }
+    }
+  }
+}
+
+TEST(PipelineParallelTest, SuiteCompileStatsIdenticalAcrossThreadCounts) {
+  // Same check over the paper's benchmark suite (the programs with real
+  // scheduling width), under the two extreme configurations.
+  for (const BenchmarkProgram &B : benchmarkSuite()) {
+    for (PaperConfig Config : {PaperConfig::Base, PaperConfig::C}) {
+      auto Reference = compileAt(B.Source, Config, 0);
+      ASSERT_NE(Reference, nullptr) << B.Name;
+      std::string ExpectedJson = Reference->Stats.json();
+      for (unsigned Threads : {1u, 4u}) {
+        auto Result = compileAt(B.Source, Config, Threads);
+        ASSERT_NE(Result, nullptr) << B.Name;
+        EXPECT_EQ(Result->Stats.json(), ExpectedJson)
+            << B.Name << " under " << paperConfigName(Config)
+            << " at Threads=" << Threads;
+      }
+    }
+  }
+}
+
 TEST(PipelineParallelTest, ProfileGuidedRecompileAgrees) {
   // compileWithProfile runs the full pipeline twice (train + rebuild);
   // both runs must be schedule-independent too.

@@ -1,0 +1,212 @@
+//===- tests/StatisticsTest.cpp - Counter registry and tracing unit tests -===//
+//
+// The statistics layer's own contract: counter registration and merge
+// semantics (commutative, associative, name-ordered), JSON escaping of
+// arbitrary procedure names, scoped-timer nesting in the trace recorder,
+// and -- the part TSan cares about -- concurrent increments through
+// SharedStatCounters and TraceRecorder from ThreadPool workers.
+//
+//===----------------------------------------------------------------------===//
+
+#include "support/Statistics.h"
+#include "support/ThreadPool.h"
+
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+using namespace ipra;
+
+namespace {
+
+TEST(StatCountersTest, RegistrationAndLookup) {
+  StatCounters C;
+  EXPECT_TRUE(C.empty());
+  EXPECT_EQ(C.get("regalloc.spills"), 0u);
+  EXPECT_FALSE(C.contains("regalloc.spills"));
+
+  C.add("regalloc.spills");
+  EXPECT_TRUE(C.contains("regalloc.spills"));
+  EXPECT_EQ(C.get("regalloc.spills"), 1u);
+
+  C.add("regalloc.spills", 4);
+  EXPECT_EQ(C.get("regalloc.spills"), 5u);
+
+  C.set("regalloc.spills", 2);
+  EXPECT_EQ(C.get("regalloc.spills"), 2u);
+
+  // Registering at zero is still registering: the name shows up in
+  // entries() and JSON even though get() on absent names also returns 0.
+  C.add("codegen.nops", 0);
+  EXPECT_TRUE(C.contains("codegen.nops"));
+  EXPECT_EQ(C.get("codegen.nops"), 0u);
+  EXPECT_EQ(C.size(), 2u);
+
+  C.clear();
+  EXPECT_TRUE(C.empty());
+  EXPECT_FALSE(C.contains("regalloc.spills"));
+}
+
+TEST(StatCountersTest, MergeIsCommutativeAndAssociative) {
+  StatCounters A, B, C;
+  A.add("x", 1);
+  A.add("y", 10);
+  B.add("y", 5);
+  B.add("z", 7);
+  C.add("x", 2);
+
+  StatCounters AB = A;
+  AB.merge(B);
+  StatCounters BA = B;
+  BA.merge(A);
+  EXPECT_EQ(AB, BA);
+  EXPECT_EQ(AB.get("x"), 1u);
+  EXPECT_EQ(AB.get("y"), 15u);
+  EXPECT_EQ(AB.get("z"), 7u);
+
+  StatCounters ABthenC = AB;
+  ABthenC.merge(C);
+  StatCounters BC = B;
+  BC.merge(C);
+  StatCounters AthenBC = A;
+  AthenBC.merge(BC);
+  EXPECT_EQ(ABthenC, AthenBC);
+
+  // Merging an empty set is the identity.
+  StatCounters Copy = A;
+  Copy.merge(StatCounters());
+  EXPECT_EQ(Copy, A);
+}
+
+TEST(StatCountersTest, JsonIsNameOrderedAndStable) {
+  StatCounters C;
+  C.add("b.second", 2);
+  C.add("a.first", 1);
+  C.add("c.third", 3);
+  EXPECT_EQ(C.json(), "{\"a.first\": 1, \"b.second\": 2, \"c.third\": 3}");
+
+  // Same counters built in a different order render identically.
+  StatCounters D;
+  D.add("c.third", 3);
+  D.add("a.first", 1);
+  D.add("b.second", 2);
+  EXPECT_EQ(C.json(), D.json());
+
+  EXPECT_EQ(StatCounters().json(), "{}");
+}
+
+TEST(StatisticsTest, JsonEscaping) {
+  EXPECT_EQ(jsonEscape("plain"), "plain");
+  EXPECT_EQ(jsonEscape("say \"hi\""), "say \\\"hi\\\"");
+  EXPECT_EQ(jsonEscape("back\\slash"), "back\\\\slash");
+  EXPECT_EQ(jsonEscape("line\nbreak"), "line\\nbreak");
+  EXPECT_EQ(jsonEscape("tab\there"), "tab\\there");
+  EXPECT_EQ(jsonEscape(std::string("nul\0byte", 8)), "nul\\u0000byte");
+  EXPECT_EQ(jsonEscape("\x01\x1f"), "\\u0001\\u001f");
+  // Non-ASCII bytes pass through untouched (UTF-8 stays UTF-8).
+  EXPECT_EQ(jsonEscape("caf\xc3\xa9"), "caf\xc3\xa9");
+}
+
+TEST(StatisticsTest, CompileStatsTotalsAndEquality) {
+  CompileStats S;
+  S.Procs.resize(2);
+  S.Procs[0].Name = "main";
+  S.Procs[0].Counters.add("codegen.insts_total", 10);
+  S.Procs[1].Name = "helper";
+  S.Procs[1].Counters.add("codegen.insts_total", 7);
+  S.Procs[1].Counters.add("regalloc.ranges_spilled", 1);
+  S.Module.add("pipeline.procs", 2);
+
+  StatCounters T = S.totals();
+  EXPECT_EQ(T.get("codegen.insts_total"), 17u);
+  EXPECT_EQ(T.get("regalloc.ranges_spilled"), 1u);
+  EXPECT_EQ(T.get("pipeline.procs"), 2u);
+
+  CompileStats S2 = S;
+  EXPECT_EQ(S, S2);
+  EXPECT_EQ(S.json(), S2.json());
+  S2.Procs[1].Counters.add("regalloc.ranges_spilled", 1);
+  EXPECT_NE(S, S2);
+  EXPECT_NE(S.json(), S2.json());
+
+  // Procedure names are escaped in the report.
+  CompileStats Weird;
+  Weird.Procs.resize(1);
+  Weird.Procs[0].Name = "odd\"name\\";
+  EXPECT_NE(Weird.json().find("odd\\\"name\\\\"), std::string::npos);
+}
+
+TEST(StatisticsTest, ScopedTimerNesting) {
+  TraceRecorder Rec;
+  {
+    ScopedTimer Outer(&Rec, "outer", "phase");
+    {
+      ScopedTimer Inner(&Rec, "inner", "phase");
+    }
+    {
+      ScopedTimer Second(&Rec, "second", "phase");
+    }
+  }
+  std::vector<TraceSpan> Spans = Rec.spans();
+  ASSERT_EQ(Spans.size(), 3u);
+  // Sorted by start time: outer opened first, then inner, then second.
+  EXPECT_EQ(Spans[0].Name, "outer");
+  EXPECT_EQ(Spans[1].Name, "inner");
+  EXPECT_EQ(Spans[2].Name, "second");
+  // Each nested span lies inside its parent.
+  for (const TraceSpan &S : Spans) {
+    EXPECT_GE(S.StartUs, Spans[0].StartUs);
+    EXPECT_LE(S.StartUs + S.DurationUs,
+              Spans[0].StartUs + Spans[0].DurationUs);
+    EXPECT_GE(S.DurationUs, 0);
+  }
+
+  std::string Json = Rec.chromeTraceJson();
+  EXPECT_NE(Json.find("\"traceEvents\""), std::string::npos);
+  EXPECT_NE(Json.find("\"name\": \"outer\""), std::string::npos);
+  EXPECT_NE(Json.find("\"ph\": \"X\""), std::string::npos);
+}
+
+TEST(StatisticsTest, NullRecorderTimerIsANoOp) {
+  // Instrumentation sites pass a possibly-null recorder with no guard.
+  ScopedTimer T(nullptr, "ignored", "ignored");
+}
+
+TEST(StatisticsTest, ConcurrentSharedCounterIncrements) {
+  // The TSan-facing test: many workers hammering one shared registry must
+  // lose no increments and trigger no races.
+  SharedStatCounters Shared;
+  TraceRecorder Rec;
+  constexpr unsigned Tasks = 64;
+  constexpr unsigned PerTask = 250;
+  ThreadPool Pool(4);
+  for (unsigned T = 0; T < Tasks; ++T) {
+    Pool.enqueue([&Shared, &Rec] {
+      ScopedTimer Timer(&Rec, "task", "test");
+      for (unsigned I = 0; I < PerTask; ++I) {
+        Shared.add("shared.hits");
+        if (I % 2 == 0)
+          Shared.add("shared.even", 2);
+      }
+    });
+  }
+  Pool.wait();
+  StatCounters Snap = Shared.snapshot();
+  EXPECT_EQ(Snap.get("shared.hits"), uint64_t(Tasks) * PerTask);
+  EXPECT_EQ(Snap.get("shared.even"), uint64_t(Tasks) * PerTask);
+  EXPECT_EQ(Rec.spans().size(), size_t(Tasks));
+}
+
+TEST(StatisticsTest, TraceRecorderThreadIndicesAreDense) {
+  TraceRecorder Rec;
+  ThreadPool Pool(3);
+  std::vector<unsigned> Indices(8);
+  for (unsigned T = 0; T < 8; ++T)
+    Pool.enqueue([&Rec, &Indices, T] { Indices[T] = Rec.threadIndex(); });
+  Pool.wait();
+  for (unsigned Idx : Indices)
+    EXPECT_LT(Idx, 3u); // at most one dense index per worker thread
+}
+
+} // namespace

@@ -1,0 +1,130 @@
+//===- tests/StatsInvariantTest.cpp - Cross-config counter invariants -----===//
+//
+// The statistics layer is only trustworthy if its counters move the way
+// the paper says the techniques move the machine code. These tests pin
+// the directional claims: configuration C (-O3 + shrink-wrap) never needs
+// more save/restore pairs than the Base configuration, shrink-wrapping
+// actually moves pairs off the entry block somewhere in the suite, and
+// inter-procedural allocation eliminates caller-save traffic around calls
+// that intra-procedural allocation must assume are clobber-everything.
+//
+//===----------------------------------------------------------------------===//
+
+#include "driver/Pipeline.h"
+#include "programs/Programs.h"
+
+#include <gtest/gtest.h>
+
+#include <string>
+
+using namespace ipra;
+
+namespace {
+
+StatCounters compileTotals(const std::string &Src, PaperConfig Config) {
+  DiagnosticEngine Diags;
+  auto Result = compileProgram(Src, optionsFor(Config), Diags);
+  EXPECT_NE(Result, nullptr) << Diags.str();
+  if (!Result)
+    return StatCounters();
+  return Result->Stats.totals();
+}
+
+TEST(StatsInvariantTest, ConfigCNeedsNoMoreSaveRestorePairsThanBase) {
+  // The paper's headline: -O3 + shrink-wrap reduces the register usage
+  // penalty at calls. Counter form, over the whole suite: configuration C
+  // charges at most as many callee-saved pairs as Base, statically places
+  // at most as many save/restore instructions, and never adds
+  // caller-save pairs around calls.
+  for (const BenchmarkProgram &B : benchmarkSuite()) {
+    StatCounters Base = compileTotals(B.Source, PaperConfig::Base);
+    StatCounters C = compileTotals(B.Source, PaperConfig::C);
+    EXPECT_LE(C.get("regalloc.callee_saved_pairs"),
+              Base.get("regalloc.callee_saved_pairs"))
+        << B.Name;
+    EXPECT_LE(C.get("codegen.callee_saves"),
+              Base.get("codegen.callee_saves"))
+        << B.Name;
+    EXPECT_LE(C.get("codegen.callee_restores"),
+              Base.get("codegen.callee_restores"))
+        << B.Name;
+    EXPECT_LE(C.get("codegen.caller_save_pairs"),
+              Base.get("codegen.caller_save_pairs"))
+        << B.Name;
+  }
+}
+
+TEST(StatsInvariantTest, ShrinkWrapMovesPairsOffEntrySomewhere) {
+  // The move counters are present under configuration C, and the
+  // technique is not a no-op across the suite: at least one program has
+  // pairs shrink-wrapped away from the entry block.
+  uint64_t TotalMoved = 0;
+  for (const BenchmarkProgram &B : benchmarkSuite()) {
+    StatCounters C = compileTotals(B.Source, PaperConfig::C);
+    if (C.get("regalloc.callee_saved_pairs") > 0) {
+      EXPECT_TRUE(C.contains("shrinkwrap.saves_placed")) << B.Name;
+      EXPECT_TRUE(C.contains("shrinkwrap.saves_moved_off_entry")) << B.Name;
+      // A moved pair is still a placed pair.
+      EXPECT_LE(C.get("shrinkwrap.saves_moved_off_entry"),
+                C.get("shrinkwrap.saves_placed"))
+          << B.Name;
+    }
+    TotalMoved += C.get("shrinkwrap.saves_moved_off_entry") +
+                  C.get("shrinkwrap.restores_moved_off_exit");
+  }
+  EXPECT_GT(TotalMoved, 0u);
+}
+
+TEST(StatsInvariantTest, InterProceduralEliminatesCallerSavesAcrossCalls) {
+  // A register-pressure fixture: many values live across a call to a
+  // leaf procedure. Intra-procedural allocation must assume the callee
+  // clobbers every caller-saved register, so values that spill over into
+  // caller-saved registers get save/restore pairs around the call.
+  // Inter-procedural allocation sees the callee's tiny clobber mask and
+  // drops them -- strictly fewer caller-save pairs.
+  const char *CrossCall = R"(
+    func leaf(x) { return x + 1; }
+    func cross(a, b, c, d, e) {
+      var t1 = a + b; var t2 = b + c; var t3 = c + d; var t4 = d + e;
+      var t5 = a * c; var t6 = b * d; var t7 = a * e; var t8 = c * e;
+      var t9 = a - d; var t10 = b - e; var t11 = a * b; var t12 = d * e;
+      var s = leaf(a);
+      return t1+t2+t3+t4+t5+t6+t7+t8+t9+t10+t11+t12+s;
+    }
+    func main() { print(cross(1, 2, 3, 4, 5)); return 0; }
+  )";
+  StatCounters O2 = compileTotals(CrossCall, PaperConfig::Base);
+  StatCounters O3 = compileTotals(CrossCall, PaperConfig::B);
+  EXPECT_GT(O2.get("codegen.caller_save_pairs"), 0u);
+  EXPECT_LT(O3.get("codegen.caller_save_pairs"),
+            O2.get("codegen.caller_save_pairs"));
+
+  // And the suite-wide weak form of the same claim.
+  for (const BenchmarkProgram &B : benchmarkSuite()) {
+    StatCounters Intra = compileTotals(B.Source, PaperConfig::Base);
+    StatCounters Inter = compileTotals(B.Source, PaperConfig::B);
+    EXPECT_LE(Inter.get("codegen.caller_save_pairs"),
+              Intra.get("codegen.caller_save_pairs"))
+        << B.Name;
+  }
+}
+
+TEST(StatsInvariantTest, CountersAgreeWithTheMachineProgram) {
+  // The codegen instruction tallies are not a parallel bookkeeping world:
+  // their total equals the instruction count of the emitted program.
+  for (PaperConfig Config :
+       {PaperConfig::Base, PaperConfig::C, PaperConfig::E}) {
+    DiagnosticEngine Diags;
+    auto Result = compileProgram(findBenchmark("dhrystone")->Source,
+                                 optionsFor(Config), Diags);
+    ASSERT_NE(Result, nullptr) << Diags.str();
+    StatCounters T = Result->Stats.totals();
+    EXPECT_EQ(T.get("codegen.insts_total"),
+              uint64_t(Result->Program.instructionCount()));
+    EXPECT_EQ(T.get("pipeline.static_instructions"),
+              uint64_t(Result->StaticInstructions));
+    EXPECT_EQ(T.get("pipeline.procs"), uint64_t(Result->IR->numProcedures()));
+  }
+}
+
+} // namespace

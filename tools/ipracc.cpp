@@ -20,7 +20,14 @@
 //   --emit-mir           print the generated machine code
 //   --summaries          print each procedure's register-usage summary
 //   --run                execute on the simulator (default)
-//   --stats              print the pixie counters after the run
+//   --stats              print compile-time statistics, and the pixie
+//                        counters after the run
+//   --stats-json=<file>  write the machine-readable statistics report
+//                        (compile-time counters per procedure + totals,
+//                        plus the simulator counters when --run)
+//   --trace-json=<file>  write a Chrome trace-event file of the compile:
+//                        front end, back end, every scheduler task and
+//                        per-procedure phase
 //   --benchmark=<name>   compile the named built-in suite program instead
 //                        of reading files (nim, map, ..., uopt)
 //
@@ -55,6 +62,8 @@ struct ToolOptions {
   bool Run = true;
   bool Stats = false;
   bool UseProfile = false;
+  std::string StatsJsonPath;
+  std::string TraceJsonPath;
 };
 
 void usage(const char *Argv0) {
@@ -64,6 +73,7 @@ void usage(const char *Argv0) {
                "[--restrict=caller7|callee7] [--threads=N] [--profile]\n"
                "              "
                "[--emit-ir] [--emit-mir] [--summaries] [--run] [--stats]\n"
+               "              [--stats-json=<file>] [--trace-json=<file>]\n"
                "              [--benchmark=<name>] file.mc [file2.mc ...]\n",
                Argv0);
 }
@@ -110,6 +120,18 @@ bool parseArgs(int Argc, char **Argv, ToolOptions &Opts) {
       Opts.Run = false;
     } else if (Arg == "--stats") {
       Opts.Stats = true;
+    } else if (Arg.rfind("--stats-json=", 0) == 0) {
+      Opts.StatsJsonPath = Arg.substr(std::strlen("--stats-json="));
+      if (Opts.StatsJsonPath.empty()) {
+        std::fprintf(stderr, "ipracc: --stats-json needs a file path\n");
+        return false;
+      }
+    } else if (Arg.rfind("--trace-json=", 0) == 0) {
+      Opts.TraceJsonPath = Arg.substr(std::strlen("--trace-json="));
+      if (Opts.TraceJsonPath.empty()) {
+        std::fprintf(stderr, "ipracc: --trace-json needs a file path\n");
+        return false;
+      }
     } else if (Arg.rfind("--benchmark=", 0) == 0) {
       Opts.Benchmark = Arg.substr(std::strlen("--benchmark="));
     } else if (Arg == "--help" || Arg == "-h") {
@@ -133,6 +155,46 @@ bool readFile(const std::string &Path, std::string &Out) {
   SS << In.rdbuf();
   Out = SS.str();
   return true;
+}
+
+/// Writes \p Text to \p Path. \returns false (with a diagnostic) when the
+/// file cannot be opened or written -- a dropped report must fail the run.
+bool writeReport(const std::string &Path, const std::string &Text,
+                 const char *What) {
+  std::ofstream Out(Path);
+  if (!Out) {
+    std::fprintf(stderr, "ipracc: cannot open %s file '%s'\n", What,
+                 Path.c_str());
+    return false;
+  }
+  Out << Text;
+  Out.flush();
+  if (!Out) {
+    std::fprintf(stderr, "ipracc: error writing %s file '%s'\n", What,
+                 Path.c_str());
+    return false;
+  }
+  return true;
+}
+
+/// The --stats-json document: the deterministic compile-time report, plus
+/// the simulator counters when a run happened.
+std::string statsJsonReport(const CompileResult &Result,
+                            const RunStats *Run) {
+  std::string Out = "{\n\"compile\": " + Result.Stats.json();
+  if (Run)
+    Out += ",\n\"sim\": " + Run->counters().json() + "\n";
+  Out += "}\n";
+  return Out;
+}
+
+void printCompileStats(const CompileResult &Result) {
+  std::fprintf(stderr, "compile-time statistics (totals over %zu procs):\n",
+               Result.Stats.Procs.size());
+  StatCounters Totals = Result.Stats.totals();
+  for (const auto &[Name, Value] : Totals.entries())
+    std::fprintf(stderr, "  %-36s %llu\n", Name.c_str(),
+                 (unsigned long long)Value);
 }
 
 void printSummaries(const CompileResult &Result) {
@@ -187,6 +249,10 @@ int main(int Argc, char **Argv) {
     return 2;
   }
 
+  TraceRecorder Trace;
+  if (!Opts.TraceJsonPath.empty())
+    Opts.Compile.Trace = &Trace;
+
   DiagnosticEngine Diags;
   std::unique_ptr<CompileResult> Result;
   if (Opts.UseProfile) {
@@ -216,16 +282,34 @@ int main(int Argc, char **Argv) {
       if (!P.IsExternal)
         std::printf("%s", toString(P).c_str());
 
-  if (!Opts.Run)
-    return 0;
+  // Report writers share one exit policy: a report that cannot be
+  // written fails the invocation instead of silently dropping data.
+  auto WriteReports = [&](const RunStats *Run) {
+    bool OK = true;
+    if (!Opts.StatsJsonPath.empty())
+      OK &= writeReport(Opts.StatsJsonPath, statsJsonReport(*Result, Run),
+                        "--stats-json");
+    if (!Opts.TraceJsonPath.empty())
+      OK &= writeReport(Opts.TraceJsonPath, Trace.chromeTraceJson(),
+                        "--trace-json");
+    return OK;
+  };
+
+  if (!Opts.Run) {
+    if (Opts.Stats)
+      printCompileStats(*Result);
+    return WriteReports(nullptr) ? 0 : 1;
+  }
   RunStats Stats = runProgram(Result->Program);
   if (!Stats.OK) {
     std::fprintf(stderr, "ipracc: runtime error: %s\n", Stats.Error.c_str());
+    WriteReports(nullptr);
     return 1;
   }
   for (int64_t V : Stats.Output)
     std::printf("%lld\n", (long long)V);
   if (Opts.Stats) {
+    printCompileStats(*Result);
     std::fprintf(stderr, "cycles:        %llu\n",
                  (unsigned long long)Stats.Cycles);
     std::fprintf(stderr, "scalar ld/st:  %llu\n",
@@ -238,5 +322,5 @@ int main(int Argc, char **Argv) {
     std::fprintf(stderr, "exit value:    %lld\n",
                  (long long)Stats.ExitValue);
   }
-  return 0;
+  return WriteReports(&Stats) ? 0 : 1;
 }
