@@ -9,6 +9,10 @@
 
 #include "bench/BenchUtil.h"
 
+#include "analysis/AnalysisManager.h"
+#include "analysis/Liveness.h"
+#include "analysis/Loops.h"
+#include "analysis/Profile.h"
 #include "frontend/Frontend.h"
 #include "opt/Passes.h"
 
@@ -42,6 +46,48 @@ void BM_MidEnd(benchmark::State &State) {
   }
 }
 BENCHMARK(BM_MidEnd)->Unit(benchmark::kMicrosecond);
+
+/// The worklist liveness solver alone, over every procedure of the
+/// largest suite program.
+void BM_Liveness(benchmark::State &State) {
+  DiagnosticEngine Diags;
+  auto M = compileToIR(bigProgram(), Diags);
+  optimize(*M);
+  for (auto _ : State) {
+    for (auto &P : *M) {
+      if (P->IsExternal)
+        continue;
+      Liveness LV = Liveness::compute(*P);
+      benchmark::DoNotOptimize(LV);
+    }
+  }
+}
+BENCHMARK(BM_Liveness)->Unit(benchmark::kMicrosecond);
+
+/// The analysis bundle exactly as the allocator consumes it: liveness
+/// plus the fused live-range/interference build, through a fresh
+/// AnalysisManager per procedure.
+void BM_Analyses(benchmark::State &State) {
+  DiagnosticEngine Diags;
+  auto M = compileToIR(bigProgram(), Diags);
+  optimize(*M);
+  for (auto &P : *M) {
+    if (P->IsExternal)
+      continue;
+    P->recomputeCFG();
+    estimateFrequencies(*P, LoopInfo::compute(*P));
+  }
+  for (auto _ : State) {
+    for (auto &P : *M) {
+      if (P->IsExternal)
+        continue;
+      AnalysisManager AM(*P);
+      const LiveRangeInfo &LRI = AM.liveRanges();
+      benchmark::DoNotOptimize(&LRI);
+    }
+  }
+}
+BENCHMARK(BM_Analyses)->Unit(benchmark::kMicrosecond);
 
 /// The paper's claim under test: intra (-O2) vs inter (-O3) allocation
 /// cost on the same module.

@@ -1,0 +1,77 @@
+//===- analysis/AnalysisManager.cpp ----------------------------------------===//
+
+#include "analysis/AnalysisManager.h"
+
+#include "support/Statistics.h"
+
+using namespace ipra;
+
+uint64_t AnalysisManager::fingerprint() const {
+  // FNV-1a over the IR shape. Collisions only weaken the assert, never
+  // correctness, so a fast non-cryptographic mix is enough.
+  uint64_t H = 14695981039346656037ull;
+  auto Mix = [&H](uint64_t V) {
+    H ^= V;
+    H *= 1099511628211ull;
+  };
+  Mix(Proc.numBlocks());
+  Mix(Proc.NumVRegs);
+  for (const auto &BB : Proc)
+    Mix(BB->Insts.size());
+  return H;
+}
+
+const Liveness &AnalysisManager::liveness() {
+  if (LV) {
+    assert(fingerprint() == CachedFP &&
+           "stale analysis cache: IR mutated without invalidate()");
+    ++Stats.LivenessCacheHits;
+    return *LV;
+  }
+  CachedFP = fingerprint();
+  LV.emplace(Liveness::compute(Proc));
+  ++Stats.LivenessComputes;
+  Stats.LivenessPops += LV->Solve.Pops;
+  Stats.LivenessIterations += LV->Solve.Iterations;
+  Stats.LivenessBlocks += LV->Solve.Blocks;
+  return *LV;
+}
+
+void AnalysisManager::materializeRangesAndInterference() {
+  if (RangesIG) {
+    assert(fingerprint() == CachedFP &&
+           "stale analysis cache: IR mutated without invalidate()");
+    ++Stats.RangesCacheHits;
+    return;
+  }
+  const Liveness &L = liveness();
+  RangesIG.emplace(computeRangesAndInterference(Proc, L));
+  ++Stats.RangesComputes;
+}
+
+const LiveRangeInfo &AnalysisManager::liveRanges() {
+  materializeRangesAndInterference();
+  return RangesIG->first;
+}
+
+const InterferenceGraph &AnalysisManager::interference() {
+  materializeRangesAndInterference();
+  return RangesIG->second;
+}
+
+void AnalysisManager::invalidate() {
+  ++Stats.Invalidations;
+  LV.reset();
+  RangesIG.reset();
+}
+
+void AnalysisManager::addCountersTo(StatCounters &C) const {
+  C.add("analysis.liveness_computes", Stats.LivenessComputes);
+  C.add("analysis.liveness_cache_hits", Stats.LivenessCacheHits);
+  C.add("analysis.ranges_interference_computes", Stats.RangesComputes);
+  C.add("analysis.ranges_interference_cache_hits", Stats.RangesCacheHits);
+  C.add("analysis.invalidations", Stats.Invalidations);
+  C.add("analysis.liveness_pops", Stats.LivenessPops);
+  C.add("analysis.liveness_iterations", Stats.LivenessIterations);
+  C.add("analysis.liveness_blocks", Stats.LivenessBlocks);
+}

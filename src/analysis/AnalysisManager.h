@@ -1,0 +1,114 @@
+//===- analysis/AnalysisManager.h - Per-procedure analysis cache *- C++ -*-===//
+//
+// Part of the ipra project (Chow, PLDI 1988 reproduction).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A per-procedure cache for the back end's dataflow analyses: Liveness,
+/// LiveRangeInfo and InterferenceGraph are computed at most once per IR
+/// version and handed out as const references. Passes that mutate the IR
+/// must call invalidate() -- the cache never watches the IR itself; a
+/// cheap structural fingerprint backs an assert that catches forgotten
+/// invalidations in debug and release builds alike.
+///
+/// Caching & invalidation contract (see DESIGN.md, "analysis caching"):
+///
+///  - liveness() is valid as long as instruction opcodes/operands and the
+///    block structure are unchanged. recomputeCFG() (predecessor lists)
+///    and block-frequency updates (applyProfile / estimateFrequencies) do
+///    NOT invalidate it -- Liveness derives successors from terminators
+///    and never reads Freq.
+///  - liveRanges()/interference() additionally read block frequencies, so
+///    they must first be requested only after frequencies are final. The
+///    pipeline guarantees this by ordering the frequency step before
+///    register allocation; the manager itself cannot check it.
+///  - Both ranges and interference come from one fused backward walk
+///    (computeRangesAndInterference); requesting either materializes the
+///    pair, the second accessor is a cache hit.
+///
+/// The manager owns no locks: in the parallel pipeline each instance is
+/// task-local, created and destroyed inside the scheduler task that owns
+/// the procedure.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef IPRA_ANALYSIS_ANALYSISMANAGER_H
+#define IPRA_ANALYSIS_ANALYSISMANAGER_H
+
+#include "analysis/LiveRanges.h"
+#include "analysis/Liveness.h"
+#include "ir/Procedure.h"
+
+#include <cstdint>
+#include <optional>
+#include <utility>
+
+namespace ipra {
+
+class StatCounters;
+
+class AnalysisManager {
+public:
+  explicit AnalysisManager(const Procedure &Proc) : Proc(Proc) {}
+
+  AnalysisManager(const AnalysisManager &) = delete;
+  AnalysisManager &operator=(const AnalysisManager &) = delete;
+
+  /// The procedure this manager serves.
+  const Procedure &procedure() const { return Proc; }
+
+  /// Live-variable analysis for the current IR version. Computes on the
+  /// first call after construction or invalidate(); returns the cached
+  /// result afterwards.
+  const Liveness &liveness();
+
+  /// Live ranges / interference graph from the fused single-walk builder.
+  /// Block frequencies must be final before the first call (they feed
+  /// SpillSavings and call-crossing costs).
+  const LiveRangeInfo &liveRanges();
+  const InterferenceGraph &interference();
+
+  /// Drops every cached result. Call after any IR mutation (instruction
+  /// insertion/removal/rewrite, block changes). Counted even when the
+  /// cache was already empty so tests can observe pass behaviour.
+  void invalidate();
+
+  /// Cache behaviour observed so far; fed into the "analysis.*" stat
+  /// counters. Pops/Iterations/Blocks accumulate the SolveStats of every
+  /// liveness compute this manager performed.
+  struct CacheStats {
+    uint64_t LivenessComputes = 0;
+    uint64_t LivenessCacheHits = 0;
+    uint64_t RangesComputes = 0;
+    uint64_t RangesCacheHits = 0;
+    uint64_t Invalidations = 0;
+    uint64_t LivenessPops = 0;
+    uint64_t LivenessIterations = 0;
+    uint64_t LivenessBlocks = 0;
+  };
+  const CacheStats &cacheStats() const { return Stats; }
+
+  /// Publishes cacheStats() under "analysis.*" names into \p C.
+  void addCountersTo(StatCounters &C) const;
+
+private:
+  /// Structural fingerprint of the IR the caches were built from: block
+  /// count, vreg count and per-block instruction counts. Deliberately
+  /// cheap -- it backs the stale-cache assert, not correctness; in-place
+  /// operand rewrites that keep the shape are the caller's responsibility
+  /// to invalidate.
+  uint64_t fingerprint() const;
+
+  void materializeRangesAndInterference();
+
+  const Procedure &Proc;
+  std::optional<Liveness> LV;
+  std::optional<std::pair<LiveRangeInfo, InterferenceGraph>> RangesIG;
+  uint64_t CachedFP = 0;
+  CacheStats Stats;
+};
+
+} // namespace ipra
+
+#endif // IPRA_ANALYSIS_ANALYSISMANAGER_H

@@ -49,6 +49,63 @@ LiveRangeInfo LiveRangeInfo::compute(const Procedure &Proc,
   return Info;
 }
 
+std::pair<LiveRangeInfo, InterferenceGraph>
+ipra::computeRangesAndInterference(const Procedure &Proc, const Liveness &LV) {
+  LiveRangeInfo Info;
+  InterferenceGraph G(Proc.NumVRegs);
+  unsigned NumVRegs = Proc.NumVRegs;
+  unsigned NumBlocks = Proc.numBlocks();
+  Info.Ranges.assign(NumVRegs, LiveRange());
+  for (VReg R = 0; R < NumVRegs; ++R) {
+    Info.Ranges[R].Reg = R;
+    Info.Ranges[R].LiveBlocks.resize(NumBlocks);
+  }
+
+  for (const auto &BB : Proc) {
+    int B = BB->id();
+    double Freq = BB->Freq;
+    // Defs/uses contribute savings regardless of liveness structure.
+    for (const Instruction &Inst : BB->Insts) {
+      auto Tally = [&Info, Freq](VReg R) {
+        Info.Ranges[R].SpillSavings += Freq;
+        ++Info.Ranges[R].NumDefsUses;
+      };
+      if (VReg D = Inst.def())
+        Tally(D);
+      Inst.forEachUse(Tally);
+    }
+    // The shared backward walk: one live-set reconstruction per block
+    // feeds span/live-block/call-crossing collection and interference
+    // edges at every instruction point.
+    LV.forEachInstLiveAfter(
+        Proc, B, [&](int InstIdx, const BitVector &LiveAfter) {
+          const Instruction &Inst = BB->Insts[InstIdx];
+          VReg D = Inst.def();
+          bool IsCall = Inst.isCall();
+          bool CopyOfSrc = Inst.Op == Opcode::Copy;
+          LiveAfter.forEachSetBit([&](unsigned R) {
+            LiveRange &LR = Info.Ranges[R];
+            LR.Span += 1;
+            LR.LiveBlocks.set(B);
+            if (IsCall && VReg(R) != D)
+              LR.Crossings.push_back({B, InstIdx, Inst.Callee, Freq});
+            // Copy destination may share a register with its source.
+            if (D && !(CopyOfSrc && VReg(R) == Inst.Src1))
+              G.addEdge(D, VReg(R));
+          });
+        });
+    // Upward-exposed liveness marks the block too.
+    LV.liveIn(B).forEachSetBit(
+        [&Info, B](unsigned R) { Info.Ranges[R].LiveBlocks.set(B); });
+  }
+
+  // Parameters arrive simultaneously at entry: they must not share.
+  for (unsigned I = 0; I < Proc.ParamVRegs.size(); ++I)
+    for (unsigned J = I + 1; J < Proc.ParamVRegs.size(); ++J)
+      G.addEdge(Proc.ParamVRegs[I], Proc.ParamVRegs[J]);
+  return {std::move(Info), std::move(G)};
+}
+
 InterferenceGraph InterferenceGraph::compute(const Procedure &Proc,
                                              const Liveness &LV) {
   InterferenceGraph G(Proc.NumVRegs);

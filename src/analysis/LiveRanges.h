@@ -19,6 +19,7 @@
 #include "ir/Procedure.h"
 #include "support/BitVector.h"
 
+#include <utility>
 #include <vector>
 
 namespace ipra {
@@ -51,10 +52,23 @@ struct LiveRange {
   bool crossesAnyCall() const { return !Crossings.empty(); }
 };
 
+class LiveRangeInfo;
+class InterferenceGraph;
+
+/// Builds LiveRangeInfo and InterferenceGraph together in one shared
+/// backward walk per block: each block's per-instruction live sets are
+/// reconstructed once instead of once per analysis. Results are
+/// bit-identical to running the two compute() functions, which are kept
+/// as the slow two-pass oracle for the differential tests.
+std::pair<LiveRangeInfo, InterferenceGraph>
+computeRangesAndInterference(const Procedure &Proc, const Liveness &LV);
+
 class LiveRangeInfo {
 public:
   /// Builds live ranges for \p Proc. Block frequencies must already be
-  /// estimated (see estimateFrequencies).
+  /// estimated (see estimateFrequencies). Prefer
+  /// computeRangesAndInterference when the interference graph is needed
+  /// too; this two-pass entry point doubles as its test oracle.
   static LiveRangeInfo compute(const Procedure &Proc, const Liveness &LV);
 
   const LiveRange &range(VReg R) const {
@@ -64,6 +78,9 @@ public:
   unsigned numVRegs() const { return Ranges.size(); }
 
 private:
+  friend std::pair<LiveRangeInfo, InterferenceGraph>
+  computeRangesAndInterference(const Procedure &Proc, const Liveness &LV);
+
   std::vector<LiveRange> Ranges;
 };
 
@@ -85,6 +102,9 @@ public:
   }
 
 private:
+  friend std::pair<LiveRangeInfo, InterferenceGraph>
+  computeRangesAndInterference(const Procedure &Proc, const Liveness &LV);
+
   explicit InterferenceGraph(unsigned NumVRegs)
       : Adj(NumVRegs, BitVector(NumVRegs)) {}
 

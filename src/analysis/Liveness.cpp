@@ -8,8 +8,11 @@ Liveness Liveness::compute(const Procedure &Proc) {
   Liveness Result;
   unsigned NumBlocks = Proc.numBlocks();
   unsigned NumVRegs = Proc.NumVRegs;
+  Result.Solve.Blocks = NumBlocks;
   Result.LiveIn.assign(NumBlocks, BitVector(NumVRegs));
   Result.LiveOut.assign(NumBlocks, BitVector(NumVRegs));
+  if (NumBlocks == 0)
+    return Result;
 
   // Local GEN (upward-exposed uses) and KILL (defs) per block.
   std::vector<BitVector> Gen(NumBlocks, BitVector(NumVRegs));
@@ -27,23 +30,62 @@ Liveness Liveness::compute(const Procedure &Proc) {
     }
   }
 
-  // Iterate to fixed point over blocks in reverse id order (a decent
-  // approximation of post-order for the CFGs the front end emits).
-  bool Changed = true;
-  while (Changed) {
-    Changed = false;
-    for (int B = int(NumBlocks) - 1; B >= 0; --B) {
-      BitVector Out(NumVRegs);
-      for (int S : Proc.block(B)->successors())
-        Out |= Result.LiveIn[S];
-      BitVector In = Out;
-      In.andNot(Kill[B]);
-      In |= Gen[B];
-      if (Out != Result.LiveOut[B] || In != Result.LiveIn[B]) {
-        Result.LiveOut[B] = std::move(Out);
-        Result.LiveIn[B] = std::move(In);
-        Changed = true;
-      }
+  // Predecessors, derived from the terminators so the analysis never
+  // depends on recomputeCFG() having run.
+  std::vector<std::vector<int>> Preds(NumBlocks);
+  for (const auto &BB : Proc)
+    for (int S : BB->successors())
+      Preds[S].push_back(BB->id());
+
+  // Worklist seeded so the first pops come out in post-order (the LIFO
+  // reverses the reverse post-order), which lets the backward equations
+  // converge in near one visit per block on reducible CFGs. Blocks the
+  // entry cannot reach still get solved -- dead-code elimination may look
+  // at them before simplifyCFG deletes them -- seeded after the reachable
+  // ones, in reverse id order like the old round-robin sweep.
+  std::vector<int> Worklist;
+  Worklist.reserve(NumBlocks);
+  BitVector Seeded(NumBlocks);
+  for (int B : Proc.reversePostOrder()) {
+    Worklist.push_back(B);
+    Seeded.set(unsigned(B));
+  }
+  for (int B = int(NumBlocks) - 1; B >= 0; --B)
+    if (!Seeded.test(unsigned(B))) {
+      // Unreachable blocks sit at the bottom of the stack: they read the
+      // reachable blocks' LiveIn, so solving them after the reachable
+      // region is stable avoids re-pops.
+      Worklist.insert(Worklist.begin(), B);
+    }
+  BitVector OnList(NumBlocks, true);
+
+  // Fixed-point loop. Everything it touches is preallocated: Scratch is
+  // the only temporary and its word storage is reused across pops, so the
+  // loop itself performs no heap allocation. Change detection rides on
+  // unionWithChanged -- the sets grow monotonically, so a union that adds
+  // no bits is exactly "this block is stable".
+  std::vector<unsigned> PopCount(NumBlocks, 0);
+  BitVector Scratch(NumVRegs);
+  while (!Worklist.empty()) {
+    int B = Worklist.back();
+    Worklist.pop_back();
+    OnList.reset(unsigned(B));
+    ++Result.Solve.Pops;
+    if (++PopCount[B] > Result.Solve.Iterations)
+      Result.Solve.Iterations = PopCount[B];
+
+    BitVector &Out = Result.LiveOut[B];
+    for (int S : Proc.block(B)->successors())
+      Out.unionWithChanged(Result.LiveIn[S]);
+    Scratch = Out;
+    Scratch.andNot(Kill[B]);
+    Scratch |= Gen[B];
+    if (Result.LiveIn[B].unionWithChanged(Scratch)) {
+      for (int P : Preds[B])
+        if (!OnList.test(unsigned(P))) {
+          OnList.set(unsigned(P));
+          Worklist.push_back(P);
+        }
     }
   }
   return Result;

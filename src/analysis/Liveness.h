@@ -23,8 +23,24 @@ namespace ipra {
 /// Per-block live-in/live-out sets over virtual registers.
 class Liveness {
 public:
-  /// Runs the analysis on \p Proc to a fixed point.
+  /// Runs the analysis on \p Proc to a fixed point: a worklist solver over
+  /// a real post-order seed with preallocated scratch storage (no heap
+  /// allocation inside the fixed-point loop).
   static Liveness compute(const Procedure &Proc);
+
+  /// How the fixed point converged (feeds the "analysis.liveness_*" stat
+  /// counters and the StatsInvariantTest regression guard).
+  struct SolveStats {
+    /// Blocks analyzed (the worklist seed size).
+    unsigned Blocks = 0;
+    /// Total worklist pops; the old round-robin sweep's equivalent was at
+    /// least 2 * Blocks (one changing sweep plus one to detect stability).
+    unsigned Pops = 0;
+    /// Maximum pops of any single block -- the convergence depth; bounded
+    /// by Blocks on the CFGs the front end emits.
+    unsigned Iterations = 0;
+  };
+  SolveStats Solve;
 
   const BitVector &liveIn(int Block) const { return LiveIn[Block]; }
   const BitVector &liveOut(int Block) const { return LiveOut[Block]; }

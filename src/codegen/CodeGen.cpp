@@ -2,6 +2,7 @@
 
 #include "codegen/CodeGen.h"
 
+#include "analysis/AnalysisManager.h"
 #include "analysis/Liveness.h"
 #include "codegen/ParallelMove.h"
 
@@ -69,15 +70,16 @@ class ProcCodeGen {
 public:
   ProcCodeGen(const Procedure &P, const AllocationResult &A,
               const SummaryTable &Summaries, const CodeGenOptions &Opts,
-              const std::vector<int64_t> &GlobalOffsets, StatCounters *Stats)
+              const std::vector<int64_t> &GlobalOffsets, StatCounters *Stats,
+              AnalysisManager &AM)
       : P(P), A(A), Summaries(Summaries), M(Summaries.machine()), Opts(Opts),
-        GlobalOffsets(GlobalOffsets), LV(Liveness::compute(P)),
-        Stats(Stats) {}
+        GlobalOffsets(GlobalOffsets), LV(AM.liveness()), Stats(Stats) {}
 
   MProc run() {
     Out.Name = P.name();
     Out.Id = P.id();
     Out.NumParams = P.ParamVRegs.size();
+    computeSaveSets();
     layoutFrame();
     for (const auto &BB : P) {
       Out.Blocks.push_back(MBlock());
@@ -109,27 +111,45 @@ private:
     return false;
   }
 
-  /// Registers holding values live across \p Call that the callee may
-  /// clobber: the caller-side save set.
-  std::vector<unsigned> saveSetAt(const BasicBlock &BB, int InstIdx,
-                                  const Instruction &Call) const {
-    const BitVector &Clob = Summaries.effectiveClobber(Call, Opts.InterMode);
-    std::vector<unsigned> Regs;
-    // Reconstruct the live-after set at this instruction.
-    LV.forEachInstLiveAfter(P, BB.id(), [&](int Idx, const BitVector &Live) {
-      if (Idx != InstIdx)
-        return;
-      for (int V = Live.findFirst(); V >= 0; V = Live.findNext(V)) {
-        if (VReg(V) == Call.def())
-          continue;
-        int Reg = A.Assignment[V];
-        if (Reg >= 0 && Clob.test(unsigned(Reg)))
-          Regs.push_back(unsigned(Reg));
-      }
-    });
-    std::sort(Regs.begin(), Regs.end());
-    Regs.erase(std::unique(Regs.begin(), Regs.end()), Regs.end());
-    return Regs;
+  /// Computes the caller-side save set of every call up front: registers
+  /// holding values live across the call that the callee may clobber.
+  /// One backward walk per block with calls, instead of re-walking the
+  /// block for every call site (layoutFrame and lowerCall both ask).
+  void computeSaveSets() {
+    for (const auto &BB : P) {
+      bool HasCall = false;
+      for (const Instruction &I : BB->Insts)
+        if (I.isCall()) {
+          HasCall = true;
+          break;
+        }
+      if (!HasCall)
+        continue;
+      LV.forEachInstLiveAfter(P, BB->id(), [&](int Idx,
+                                               const BitVector &Live) {
+        const Instruction &Call = BB->Insts[Idx];
+        if (!Call.isCall())
+          return;
+        const BitVector &Clob =
+            Summaries.effectiveClobber(Call, Opts.InterMode);
+        std::vector<unsigned> Regs;
+        Live.forEachSetBit([&](unsigned V) {
+          if (VReg(V) == Call.def())
+            return;
+          int Reg = A.Assignment[V];
+          if (Reg >= 0 && Clob.test(unsigned(Reg)))
+            Regs.push_back(unsigned(Reg));
+        });
+        std::sort(Regs.begin(), Regs.end());
+        Regs.erase(std::unique(Regs.begin(), Regs.end()), Regs.end());
+        SaveSets[{BB->id(), Idx}] = std::move(Regs);
+      });
+    }
+  }
+
+  const std::vector<unsigned> &saveSetAt(const BasicBlock &BB,
+                                         int InstIdx) const {
+    return SaveSets.at({BB.id(), InstIdx});
   }
 
   std::vector<unsigned> argLocsFor(const Instruction &Call) const {
@@ -158,7 +178,7 @@ private:
         const Instruction &I = BB->Insts[Idx];
         if (!I.isCall())
           continue;
-        for (unsigned Reg : saveSetAt(*BB, int(Idx), I))
+        for (unsigned Reg : saveSetAt(*BB, int(Idx)))
           if (!ASlot.count(Reg))
             ASlot[Reg] = Next++;
       }
@@ -486,7 +506,7 @@ private:
 
   void lowerCall(const BasicBlock &BB, int Idx, const Instruction &I,
                  MBlock &MB) {
-    std::vector<unsigned> Saves = saveSetAt(BB, Idx, I);
+    const std::vector<unsigned> &Saves = saveSetAt(BB, Idx);
     CallerSavePairs += unsigned(Saves.size());
     for (unsigned Reg : Saves)
       emitStoreSlot(MB, Reg, ASlot.at(Reg), MemKind::Scalar);
@@ -656,7 +676,10 @@ private:
   const MachineDesc &M;
   const CodeGenOptions &Opts;
   const std::vector<int64_t> &GlobalOffsets;
-  Liveness LV;
+  const Liveness &LV;
+  /// (block id, instruction index) -> caller-side save set, precomputed
+  /// by computeSaveSets for every call instruction.
+  std::map<std::pair<int, int>, std::vector<unsigned>> SaveSets;
   StatCounters *Stats = nullptr;
 
   /// Semantic tallies accumulated at the emission sites (a register saved
@@ -694,9 +717,14 @@ MProc ipra::generateProcedure(const Procedure &P,
                               const SummaryTable &Summaries,
                               const CodeGenOptions &Opts,
                               const std::vector<int64_t> &GlobalOffsets,
-                              StatCounters *Stats) {
+                              StatCounters *Stats, AnalysisManager *AM) {
   assert(!P.IsExternal && "externals have no body to lower");
-  ProcCodeGen CG(P, Alloc, Summaries, Opts, GlobalOffsets, Stats);
+  if (AM) {
+    ProcCodeGen CG(P, Alloc, Summaries, Opts, GlobalOffsets, Stats, *AM);
+    return CG.run();
+  }
+  AnalysisManager LocalAM(P);
+  ProcCodeGen CG(P, Alloc, Summaries, Opts, GlobalOffsets, Stats, LocalAM);
   return CG.run();
 }
 

@@ -22,6 +22,8 @@
 
 namespace ipra {
 
+class AnalysisManager;
+
 struct CodeGenOptions {
   /// Must match the allocator's InterProcedural setting: controls which
   /// clobber masks and parameter locations call lowering assumes.
@@ -42,12 +44,15 @@ void layoutGlobals(const Module &Mod, MProgram &Prog);
 /// published. When \p Stats is non-null it receives the "codegen.*"
 /// counters for this procedure: instructions emitted by category, spill
 /// traffic, and the static save/restore instruction counts behind the
-/// paper's Table 1/2 columns.
+/// paper's Table 1/2 columns. A non-null \p AM supplies cached liveness
+/// (code generation never mutates the IR, so a manager warmed by the
+/// allocator is still valid here).
 MProc generateProcedure(const Procedure &P, const AllocationResult &Alloc,
                         const SummaryTable &Summaries,
                         const CodeGenOptions &Opts,
                         const std::vector<int64_t> &GlobalOffsets,
-                        StatCounters *Stats = nullptr);
+                        StatCounters *Stats = nullptr,
+                        AnalysisManager *AM = nullptr);
 
 /// Lowers the whole module. \p Alloc is indexed by procedure id (the
 /// result of allocateModule).

@@ -2,6 +2,7 @@
 
 #include "driver/Pipeline.h"
 
+#include "analysis/AnalysisManager.h"
 #include "analysis/CallGraph.h"
 #include "analysis/Loops.h"
 #include "analysis/Profile.h"
@@ -98,10 +99,16 @@ void compileProcedure(int ProcId, CompileResult &Result, const CallGraph &CG,
     Result.Program.Procs[ProcId] = std::move(MP);
     return;
   }
+  // One analysis cache for the whole per-procedure back end. The mid-end
+  // invalidates it on mutation; its final no-change round leaves liveness
+  // warm, and neither recomputeCFG nor the frequency step disturbs it, so
+  // regalloc and codegen below run on cache hits. Task-local by
+  // construction: no synchronization.
+  AnalysisManager AM(*Proc);
   {
     ScopedTimer T(Opts.Trace, "opt " + Proc->name(), "midend");
     if (Opts.MidEndOpt)
-      optimize(*Proc);
+      optimize(*Proc, AM);
     Proc->recomputeCFG();
     if (Opts.Profile && Opts.Profile->covers(ProcId, Proc->numBlocks()))
       applyProfile(*Proc, *Opts.Profile);
@@ -112,15 +119,16 @@ void compileProcedure(int ProcId, CompileResult &Result, const CallGraph &CG,
     ScopedTimer T(Opts.Trace, "regalloc " + Proc->name(), "regalloc");
     Result.Alloc[ProcId] =
         allocateProcedure(*Proc, Result.Machine, *Result.Summaries,
-                          CG.isOpen(ProcId), Opts.regAllocOptions());
+                          CG.isOpen(ProcId), Opts.regAllocOptions(), &AM);
   }
   PS.Counters.merge(Result.Alloc[ProcId].Stats);
   {
     ScopedTimer T(Opts.Trace, "codegen " + Proc->name(), "codegen");
-    Result.Program.Procs[ProcId] =
-        generateProcedure(*Proc, Result.Alloc[ProcId], *Result.Summaries,
-                          CGOpts, Result.Program.GlobalOffsets, &PS.Counters);
+    Result.Program.Procs[ProcId] = generateProcedure(
+        *Proc, Result.Alloc[ProcId], *Result.Summaries, CGOpts,
+        Result.Program.GlobalOffsets, &PS.Counters, &AM);
   }
+  AM.addCountersTo(PS.Counters);
 }
 
 /// Shared back end: one task per call-graph SCC, scheduled by dependency

@@ -2,6 +2,7 @@
 
 #include "opt/Passes.h"
 
+#include "analysis/AnalysisManager.h"
 #include "analysis/Liveness.h"
 
 #include <algorithm>
@@ -31,11 +32,16 @@ bool isRemovableWhenDead(const Instruction &I) {
 } // namespace
 
 bool ipra::eliminateDeadCode(Procedure &Proc) {
+  AnalysisManager AM(Proc);
+  return eliminateDeadCode(Proc, AM);
+}
+
+bool ipra::eliminateDeadCode(Procedure &Proc, AnalysisManager &AM) {
   bool EverChanged = false;
   bool Changed = true;
   while (Changed) {
     Changed = false;
-    Liveness LV = Liveness::compute(Proc);
+    const Liveness &LV = AM.liveness();
     for (auto &BB : Proc) {
       std::vector<char> Dead(BB->Insts.size(), 0);
       LV.forEachInstLiveAfter(Proc, BB->id(), [&](int InstIdx,
@@ -57,24 +63,36 @@ bool ipra::eliminateDeadCode(Procedure &Proc) {
       BB->Insts = std::move(Kept);
       Changed = true;
     }
+    if (Changed)
+      AM.invalidate();
     EverChanged |= Changed;
   }
   return EverChanged;
 }
 
 void ipra::optimize(Procedure &Proc) {
+  AnalysisManager AM(Proc);
+  optimize(Proc, AM);
+}
+
+void ipra::optimize(Procedure &Proc, AnalysisManager &AM) {
   if (Proc.IsExternal || Proc.numBlocks() == 0)
     return;
   // Bounded fixed point; each pass is cheap and the benchmarks are small.
   for (int Round = 0; Round < 8; ++Round) {
     bool Changed = false;
-    Changed |= foldConstants(Proc);
-    Changed |= propagateCopies(Proc);
-    Changed |= simplifyCFG(Proc);
-    Changed |= eliminateDeadCode(Proc);
+    bool Mutated = foldConstants(Proc);
+    Mutated |= propagateCopies(Proc);
+    Mutated |= simplifyCFG(Proc);
+    if (Mutated)
+      AM.invalidate();
+    Changed |= Mutated;
+    Changed |= eliminateDeadCode(Proc, AM);
     if (!Changed)
       break;
   }
+  // Only predecessor lists change here; cached liveness stays valid (it
+  // derives the CFG from terminators).
   Proc.recomputeCFG();
 }
 

@@ -18,6 +18,8 @@
 
 namespace ipra {
 
+class AnalysisManager;
+
 /// Removes blocks unreachable from the entry, folds constant conditional
 /// branches, collapses condbr with identical targets, and merges
 /// single-successor/single-predecessor block pairs. \returns true if
@@ -34,10 +36,17 @@ bool propagateCopies(Procedure &Proc);
 
 /// Removes side-effect-free instructions whose results are dead (uses
 /// liveness; iterates to a fixed point). \returns true if anything changed.
+/// The \p AM overload reads liveness through the cache and calls
+/// invalidate() after each round that deleted instructions, so a
+/// no-change final round leaves the manager holding valid liveness.
 bool eliminateDeadCode(Procedure &Proc);
+bool eliminateDeadCode(Procedure &Proc, AnalysisManager &AM);
 
-/// Runs the full cleanup pipeline to a fixed point (bounded).
+/// Runs the full cleanup pipeline to a fixed point (bounded). The \p AM
+/// overload invalidates the manager after every mutating pass; on return
+/// the manager's cached liveness (if any) is valid for the final IR.
 void optimize(Procedure &Proc);
+void optimize(Procedure &Proc, AnalysisManager &AM);
 
 /// optimize() on every procedure with a body.
 void optimize(Module &M);

@@ -2,6 +2,7 @@
 
 #include "regalloc/RegAlloc.h"
 
+#include "analysis/AnalysisManager.h"
 #include "analysis/LiveRanges.h"
 #include "analysis/Liveness.h"
 #include "analysis/Loops.h"
@@ -23,11 +24,10 @@ class ProcAllocator {
 public:
   ProcAllocator(const Procedure &Proc, const MachineDesc &M,
                 SummaryTable &Summaries, bool IsOpen,
-                const RegAllocOptions &Opts)
+                const RegAllocOptions &Opts, AnalysisManager &AM)
       : Proc(Proc), M(M), Summaries(Summaries), Opts(Opts),
         InterMode(Opts.InterProcedural), Closed(InterMode && !IsOpen),
-        LV(Liveness::compute(Proc)), LRI(LiveRangeInfo::compute(Proc, LV)),
-        IG(InterferenceGraph::compute(Proc, LV)),
+        LV(AM.liveness()), LRI(AM.liveRanges()), IG(AM.interference()),
         LI(LoopInfo::compute(Proc)) {
     R.TreatedOpen = !Closed;
     R.Assignment.assign(Proc.NumVRegs, -1);
@@ -152,10 +152,10 @@ private:
 
   BitVector forbiddenRegs(VReg V) const {
     BitVector Forbidden(M.numRegs());
-    const BitVector &Neighbors = IG.neighbors(V);
-    for (int N = Neighbors.findFirst(); N >= 0; N = Neighbors.findNext(N))
+    IG.neighbors(V).forEachSetBit([this, &Forbidden](unsigned N) {
       if (R.Assignment[N] >= 0)
         Forbidden.set(unsigned(R.Assignment[N]));
+    });
     return Forbidden;
   }
 
@@ -200,41 +200,76 @@ private:
       if (R.Assignment[V] < 0 && LRI.range(V).exists())
         Pending.push_back(V);
 
+    // Per-range best-candidate cache. An entry is recomputed only when an
+    // assignment could have changed its answer; everything it reads --
+    // Bonus, Crossings, Summaries -- is frozen during this loop, so an
+    // entry is stale only through three monotone events:
+    //  - a neighbor took the cached register (it became forbidden);
+    //  - a callee-saved register was used for the first time in open
+    //    mode, zeroing its entryCost for every range at once;
+    //  - a register entered CallTreeUsed, flipping the tie-break
+    //    preference for every range at once.
+    // The last two happen at most once per physical register, so almost
+    // every round recomputes only the assigned range's neighbors. A
+    // cached -1 (no feasible register) is final: forbidden sets only
+    // grow. Cached values equal what full recomputation would produce and
+    // Pending keeps its scan order, so the assignment sequence -- and
+    // with it every output -- is identical to the uncached loop.
+    constexpr int Stale = -2;
+    std::vector<int> CachedReg(Proc.NumVRegs, Stale);
+    std::vector<double> CachedPrio(Proc.NumVRegs, 0.0);
+
     while (!Pending.empty()) {
-      // For each pending range, its best register by priority (with the
-      // call-tree tie-break); then assign the range with the globally
-      // highest priority and repeat, since every assignment changes the
-      // entry costs and forbidden sets of the others.
+      // Assign the pending range with the globally highest priority, then
+      // repeat: each assignment shrinks its neighbors' choices.
       double GlobalBest = 0;
       int BestV = -1;
       int BestReg = -1;
       for (VReg V : Pending) {
-        const LiveRange &LR = LRI.range(V);
-        BitVector Forbidden = forbiddenRegs(V);
-        int VBestReg = -1;
-        double VBestPrio = 0;
-        for (int Reg = M.allocatable().findFirst(); Reg >= 0;
-             Reg = M.allocatable().findNext(Reg)) {
-          if (Forbidden.test(Reg))
-            continue;
-          double Prio = priority(LR, unsigned(Reg));
-          if (VBestReg < 0 ||
-              isBetter(Prio, unsigned(Reg), VBestPrio, unsigned(VBestReg))) {
-            VBestReg = Reg;
-            VBestPrio = Prio;
+        if (CachedReg[V] == Stale) {
+          const LiveRange &LR = LRI.range(V);
+          BitVector Forbidden = forbiddenRegs(V);
+          int VBestReg = -1;
+          double VBestPrio = 0;
+          for (int Reg = M.allocatable().findFirst(); Reg >= 0;
+               Reg = M.allocatable().findNext(Reg)) {
+            if (Forbidden.test(Reg))
+              continue;
+            double Prio = priority(LR, unsigned(Reg));
+            if (VBestReg < 0 ||
+                isBetter(Prio, unsigned(Reg), VBestPrio,
+                         unsigned(VBestReg))) {
+              VBestReg = Reg;
+              VBestPrio = Prio;
+            }
           }
+          CachedReg[V] = VBestReg;
+          CachedPrio[V] = VBestPrio;
         }
-        if (VBestReg >= 0 && (BestV < 0 || VBestPrio > GlobalBest)) {
-          GlobalBest = VBestPrio;
+        if (CachedReg[V] >= 0 && (BestV < 0 || CachedPrio[V] > GlobalBest)) {
+          GlobalBest = CachedPrio[V];
           BestV = int(V);
-          BestReg = VBestReg;
+          BestReg = CachedReg[V];
         }
       }
       // Priority zero means a register is no worse than memory; take it.
       if (BestV < 0 || GlobalBest < 0)
         break; // the rest live in memory
+      bool EntryCostChanged = !R.UsedRegs.test(unsigned(BestReg)) &&
+                              !Closed && M.isCalleeSaved(unsigned(BestReg));
+      bool TieBreakChanged = !CallTreeUsed.test(unsigned(BestReg));
       assignReg(VReg(BestV), unsigned(BestReg));
       Pending.erase(std::find(Pending.begin(), Pending.end(), VReg(BestV)));
+      if (EntryCostChanged || TieBreakChanged) {
+        for (VReg V : Pending)
+          if (CachedReg[V] != -1)
+            CachedReg[V] = Stale;
+      } else {
+        IG.neighbors(VReg(BestV)).forEachSetBit([&](unsigned N) {
+          if (CachedReg[N] == BestReg)
+            CachedReg[N] = Stale;
+        });
+      }
     }
   }
 
@@ -393,9 +428,9 @@ private:
   bool InterMode;
   bool Closed;
 
-  Liveness LV;
-  LiveRangeInfo LRI;
-  InterferenceGraph IG;
+  const Liveness &LV;
+  const LiveRangeInfo &LRI;
+  const InterferenceGraph &IG;
   LoopInfo LI;
   double EntryFreq = 1.0;
 
@@ -436,7 +471,8 @@ std::vector<BitVector> ipra::computeAPP(const Procedure &Proc,
 AllocationResult ipra::allocateProcedure(const Procedure &Proc,
                                          const MachineDesc &M,
                                          SummaryTable &Summaries, bool IsOpen,
-                                         const RegAllocOptions &Opts) {
+                                         const RegAllocOptions &Opts,
+                                         AnalysisManager *AM) {
   if (Proc.IsExternal) {
     AllocationResult R;
     R.TreatedOpen = true;
@@ -448,7 +484,10 @@ AllocationResult ipra::allocateProcedure(const Procedure &Proc,
     Summaries.publish(Proc.id(), R.Summary);
     return R;
   }
-  return ProcAllocator(Proc, M, Summaries, IsOpen, Opts).run();
+  if (AM)
+    return ProcAllocator(Proc, M, Summaries, IsOpen, Opts, *AM).run();
+  AnalysisManager LocalAM(Proc);
+  return ProcAllocator(Proc, M, Summaries, IsOpen, Opts, LocalAM).run();
 }
 
 std::vector<AllocationResult> ipra::allocateModule(Module &Mod,

@@ -37,6 +37,8 @@
 
 namespace ipra {
 
+class AnalysisManager;
+
 struct RegAllocOptions {
   /// Use callee summaries, caller-saved-mode operation and register
   /// parameter passing in closed procedures (-O3).
@@ -86,11 +88,14 @@ struct AllocationResult {
 
 /// Allocates registers for one procedure and publishes its summary into
 /// \p Summaries. Block frequencies must already be estimated and the CFG
-/// up to date. \p IsOpen comes from the call-graph classification.
+/// up to date. \p IsOpen comes from the call-graph classification. When
+/// \p AM is non-null its cached liveness/ranges/interference are used
+/// (and populated); otherwise a private manager lives for this call.
 AllocationResult allocateProcedure(const Procedure &Proc,
                                    const MachineDesc &M,
                                    SummaryTable &Summaries, bool IsOpen,
-                                   const RegAllocOptions &Opts);
+                                   const RegAllocOptions &Opts,
+                                   AnalysisManager *AM = nullptr);
 
 /// Runs allocateProcedure over \p Mod in depth-first bottom-up call-graph
 /// order (the paper's one-pass scheme). \returns one result per procedure,

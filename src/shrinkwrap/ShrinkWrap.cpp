@@ -17,21 +17,20 @@ bool isExitBlock(const BasicBlock &BB) {
 /// \returns the number of (register, block) bits it added.
 unsigned extendOverLoops(std::vector<BitVector> &APP, const LoopInfo &LI) {
   unsigned AddedBits = 0;
+  BitVector Union(APP.empty() ? 0 : APP[0].size());
   bool Changed = true;
   while (Changed) {
     Changed = false;
     for (const Loop &L : LI.loops()) {
-      BitVector Union(APP.empty() ? 0 : APP[0].size());
-      for (int B = L.Blocks.findFirst(); B >= 0; B = L.Blocks.findNext(B))
-        Union |= APP[B];
-      for (int B = L.Blocks.findFirst(); B >= 0; B = L.Blocks.findNext(B)) {
-        BitVector Old = APP[B];
-        APP[B] |= Union;
-        if (Old != APP[B]) {
+      Union.clear();
+      L.Blocks.forEachSetBit([&](unsigned B) { Union |= APP[B]; });
+      L.Blocks.forEachSetBit([&](unsigned B) {
+        unsigned Before = APP[B].count();
+        if (APP[B].unionWithChanged(Union)) {
           Changed = true;
-          AddedBits += APP[B].count() - Old.count();
+          AddedBits += APP[B].count() - Before;
         }
-      }
+      });
     }
   }
   return AddedBits;
@@ -50,43 +49,51 @@ Dataflow solve(const Procedure &Proc, const std::vector<BitVector> &APP,
   unsigned N = Proc.numBlocks();
   Dataflow D;
   BitVector Top(NumRegs, true);
-  BitVector Bottom(NumRegs, false);
   D.ANTIN.assign(N, Top);
   D.ANTOUT.assign(N, Top);
   D.AVIN.assign(N, Top);
   D.AVOUT.assign(N, Top);
 
+  // Scratch sets reused across every block and sweep; the fixed-point
+  // loop performs no heap allocation (copy-assignment into same-sized
+  // vectors reuses their storage).
+  BitVector In(NumRegs), Out(NumRegs);
   bool Changed = true;
   while (Changed) {
     Changed = false;
     // Anticipability: backward.
     for (int B = int(N) - 1; B >= 0; --B) {
       const BasicBlock *BB = Proc.block(B);
-      BitVector Out = isExitBlock(*BB) ? Bottom : Top;
-      if (!isExitBlock(*BB))
+      if (isExitBlock(*BB)) {
+        Out.clear();
+      } else {
+        Out.setAll();
         for (int S : BB->successors())
           Out &= D.ANTIN[S];
-      BitVector In = APP[B] | Out;
+      }
+      In = APP[B];
+      In |= Out;
       if (Out != D.ANTOUT[B] || In != D.ANTIN[B]) {
-        D.ANTOUT[B] = std::move(Out);
-        D.ANTIN[B] = std::move(In);
+        D.ANTOUT[B] = Out;
+        D.ANTIN[B] = In;
         Changed = true;
       }
     }
     // Availability: forward.
     for (unsigned B = 0; B < N; ++B) {
       const BasicBlock *BB = Proc.block(int(B));
-      BitVector In = B == 0 ? Bottom : Top;
-      if (B != 0) {
-        if (BB->Preds.empty())
-          In = Bottom; // unreachable block: nothing is available
+      if (B == 0 || BB->Preds.empty()) {
+        In.clear(); // entry, or unreachable: nothing is available
+      } else {
+        In.setAll();
         for (int P : BB->Preds)
           In &= D.AVOUT[P];
       }
-      BitVector Out = APP[B] | In;
+      Out = APP[B];
+      Out |= In;
       if (In != D.AVIN[B] || Out != D.AVOUT[B]) {
-        D.AVIN[B] = std::move(In);
-        D.AVOUT[B] = std::move(Out);
+        D.AVIN[B] = In;
+        D.AVOUT[B] = Out;
         Changed = true;
       }
     }
@@ -132,35 +139,43 @@ ShrinkWrapResult ipra::placeSavesRestores(const Procedure &Proc,
   // Range-extension loop: solve, detect edges that would need splitting
   // (Fig. 2), widen APP there, re-solve. Each iteration strictly grows W,
   // so this terminates; the paper observes one to two iterations suffice.
+  // All frontier scratch sets are hoisted out and reused.
+  std::vector<BitVector> Covered(N, BitVector(NumRegs));
+  BitVector SaveFront(NumRegs), RestFront(NumRegs), AnyCovered(NumRegs),
+      AnyUncovered(NumRegs), NotCov(NumRegs), Mixed(NumRegs), Add(NumRegs);
   while (true) {
     ++R.ExtensionIterations;
     Dataflow D = solve(Proc, W, NumRegs);
 
     // Covered[b] = the register's activity region includes b (entered or
     // already passed through): ANTIN | AVOUT.
-    std::vector<BitVector> Covered(N, BitVector(NumRegs));
-    for (unsigned B = 0; B < N; ++B)
-      Covered[B] = D.ANTIN[B] | D.AVOUT[B];
+    for (unsigned B = 0; B < N; ++B) {
+      Covered[B] = D.ANTIN[B];
+      Covered[B] |= D.AVOUT[B];
+    }
 
     bool Extended = false;
     for (unsigned B = 0; B < N; ++B) {
       const BasicBlock *BB = Proc.block(int(B));
       // Save frontier at B: anticipated but not yet covered from above.
-      BitVector SaveFront = D.ANTIN[B];
+      SaveFront = D.ANTIN[B];
       SaveFront.andNot(D.AVIN[B]);
       if (SaveFront.any() && !BB->Preds.empty()) {
-        BitVector AnyCovered(NumRegs), AnyUncovered(NumRegs);
+        AnyCovered.clear();
+        AnyUncovered.clear();
         for (int P : BB->Preds) {
           AnyCovered |= Covered[P];
-          BitVector NotCov(NumRegs, true);
+          NotCov.setAll();
           NotCov.andNot(Covered[P]);
           AnyUncovered |= NotCov;
         }
         // Mixed predecessors: would need an edge split; extend instead.
-        BitVector Mixed = SaveFront & AnyCovered & AnyUncovered;
+        Mixed = SaveFront;
+        Mixed &= AnyCovered;
+        Mixed &= AnyUncovered;
         if (Mixed.any()) {
           for (int P : BB->Preds) {
-            BitVector Add = Mixed;
+            Add = Mixed;
             Add.andNot(Covered[P]);
             Add.andNot(W[P]);
             if (Add.any()) {
@@ -172,20 +187,23 @@ ShrinkWrapResult ipra::placeSavesRestores(const Procedure &Proc,
         }
       }
       // Restore frontier at B: available but no longer anticipated.
-      BitVector RestFront = D.AVOUT[B];
+      RestFront = D.AVOUT[B];
       RestFront.andNot(D.ANTOUT[B]);
       if (RestFront.any() && !isExitBlock(*BB)) {
-        BitVector AnyCovered(NumRegs), AnyUncovered(NumRegs);
+        AnyCovered.clear();
+        AnyUncovered.clear();
         for (int S : BB->successors()) {
           AnyCovered |= Covered[S];
-          BitVector NotCov(NumRegs, true);
+          NotCov.setAll();
           NotCov.andNot(Covered[S]);
           AnyUncovered |= NotCov;
         }
-        BitVector Mixed = RestFront & AnyCovered & AnyUncovered;
+        Mixed = RestFront;
+        Mixed &= AnyCovered;
+        Mixed &= AnyUncovered;
         if (Mixed.any()) {
           for (int S : BB->successors()) {
-            BitVector Add = Mixed;
+            Add = Mixed;
             Add.andNot(Covered[S]);
             Add.andNot(W[S]);
             if (Add.any()) {

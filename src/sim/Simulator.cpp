@@ -42,19 +42,49 @@ public:
     if (Main->IsExternal || Main->Blocks.empty())
       return fail("main procedure has no body");
 
+    // The dispatch loop runs one *block visit* per outer iteration, so
+    // the per-instruction overheads -- the execution-budget comparison
+    // and the block-profile test -- are paid once per visit instead of
+    // once per instruction. A visit executes at most the rest of the
+    // current block (terminators are last; only a call leaves early), so
+    // when the remaining budget covers that bound the inner loop needs no
+    // budget checks at all; otherwise it checks before each instruction,
+    // which reproduces the original failure point exactly. Block-profile
+    // counts are untouched: every entry at instruction 0 starts a fresh
+    // visit (branches and calls land at 0; returns resume mid-block past
+    // the call and must not recount).
     while (true) {
       if (Stats.Instructions >= Opts.MaxSteps)
         return fail("execution budget exceeded (infinite loop?)");
       const MProc &P = Prog.Procs[Cur.ProcId];
       const MBlock &B = P.Blocks[Cur.Block];
       assert(Cur.Inst < B.Insts.size() && "fell off a block");
-      const MInst &I = B.Insts[Cur.Inst];
       if (Opts.CollectBlockProfile && Cur.Inst == 0)
         ++Stats.Profile.BlockCounts[Cur.ProcId][Cur.Block];
-      ++Stats.Instructions;
-      ++Stats.Cycles;
-      if (!step(I))
-        return std::move(Stats);
+
+      const int Proc0 = Cur.ProcId;
+      const int Block0 = Cur.Block;
+      const size_t Depth0 = CallStack.size();
+      // Instructions >= MaxSteps was just rejected, so the subtraction
+      // cannot wrap.
+      const bool Budgeted =
+          Opts.MaxSteps - Stats.Instructions >= B.Insts.size() - Cur.Inst;
+
+      while (true) {
+        if (!Budgeted && Stats.Instructions >= Opts.MaxSteps)
+          return fail("execution budget exceeded (infinite loop?)");
+        assert(Cur.Inst < B.Insts.size() && "fell off a block");
+        const MInst &I = B.Insts[Cur.Inst];
+        ++Stats.Instructions;
+        ++Stats.Cycles;
+        if (!step(I))
+          return std::move(Stats);
+        // Control transfer? Branches and calls land at instruction 0;
+        // returns change the frame depth or the procedure/block.
+        if (Cur.Inst == 0 || CallStack.size() != Depth0 ||
+            Cur.ProcId != Proc0 || Cur.Block != Block0)
+          break;
+      }
     }
   }
 

@@ -63,6 +63,25 @@ int BitVector::findNext(unsigned Prev) const {
   }
 }
 
+bool BitVector::anyCommon(const BitVector &RHS) const {
+  assert(NumBits == RHS.NumBits && "bit vector size mismatch");
+  for (unsigned I = 0, E = Words.size(); I != E; ++I)
+    if (Words[I] & RHS.Words[I])
+      return true;
+  return false;
+}
+
+bool BitVector::unionWithChanged(const BitVector &RHS) {
+  assert(NumBits == RHS.NumBits && "bit vector size mismatch");
+  uint64_t Changed = 0;
+  for (unsigned I = 0, E = Words.size(); I != E; ++I) {
+    uint64_t New = Words[I] | RHS.Words[I];
+    Changed |= New ^ Words[I];
+    Words[I] = New;
+  }
+  return Changed != 0;
+}
+
 BitVector &BitVector::operator|=(const BitVector &RHS) {
   assert(NumBits == RHS.NumBits && "bit vector size mismatch");
   for (unsigned I = 0, E = Words.size(); I != E; ++I)

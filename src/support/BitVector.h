@@ -69,6 +69,26 @@ public:
   /// \returns index of the first set bit strictly after \p Prev, or -1.
   int findNext(unsigned Prev) const;
 
+  /// Invokes \p Fn(Idx) for every set bit in ascending order. Word-parallel:
+  /// zero words are skipped 64 bits at a time and set bits are peeled with
+  /// ctz, so sparse sets cost one branch per word instead of one findNext
+  /// scan per element. The preferred iteration form for hot loops.
+  template <typename CallableT> void forEachSetBit(CallableT Fn) const {
+    for (unsigned I = 0, E = unsigned(Words.size()); I != E; ++I) {
+      for (uint64_t W = Words[I]; W; W &= W - 1)
+        Fn(I * 64 + unsigned(__builtin_ctzll(W)));
+    }
+  }
+
+  /// \returns true if this and \p RHS share any set bit (word-parallel;
+  /// avoids materializing the intersection).
+  bool anyCommon(const BitVector &RHS) const;
+
+  /// this |= RHS. \returns true if any bit actually changed, computed in
+  /// the same word pass -- the change detection the data-flow fixed points
+  /// use instead of a separate full comparison.
+  bool unionWithChanged(const BitVector &RHS);
+
   BitVector &operator|=(const BitVector &RHS);
   BitVector &operator&=(const BitVector &RHS);
   /// this &= ~RHS.

@@ -95,7 +95,20 @@ static int64_t steadyNowUs() {
 
 TraceRecorder::TraceRecorder() : EpochUs(steadyNowUs()) {}
 
-int64_t TraceRecorder::nowUs() const { return steadyNowUs() - EpochUs; }
+int64_t TraceRecorder::nowUs() const {
+  int64_t Now = steadyNowUs() - EpochUs;
+  int64_t Prev = LastUs.load(std::memory_order_relaxed);
+  // Tick at least one microsecond past the high-water mark: readings
+  // stay strictly increasing even when the host clock stalls within a
+  // microsecond or steps backwards (cross-CPU skew under
+  // virtualization). Span starts therefore never tie, so the (start,
+  // thread, name) sort reproduces construction order exactly.
+  while (true) {
+    int64_t Next = Now > Prev ? Now : Prev + 1;
+    if (LastUs.compare_exchange_weak(Prev, Next, std::memory_order_relaxed))
+      return Next;
+  }
+}
 
 unsigned TraceRecorder::threadIndex() {
   std::string Key =

@@ -26,6 +26,7 @@
 #ifndef IPRA_SUPPORT_STATISTICS_H
 #define IPRA_SUPPORT_STATISTICS_H
 
+#include <atomic>
 #include <cstdint>
 #include <map>
 #include <mutex>
@@ -177,6 +178,10 @@ public:
   void record(TraceSpan Span);
 
   /// Microseconds since this recorder was constructed (the trace epoch).
+  /// Strictly increases across calls on any thread (clamped to one past
+  /// the recorder's high-water mark when the host clock stalls or steps
+  /// backwards), so nested spans always lie inside their parent and span
+  /// starts never tie.
   int64_t nowUs() const;
 
   /// Dense index for the calling thread, assigned on first use.
@@ -195,6 +200,8 @@ private:
   std::vector<TraceSpan> Spans;
   std::map<std::string, unsigned> ThreadIndices; // keyed by thread-id hash
   int64_t EpochUs = 0;
+  /// High-water mark backing the monotonicity guarantee of nowUs().
+  mutable std::atomic<int64_t> LastUs{0};
 };
 
 /// RAII phase timer: records a span into \p Recorder (when non-null) over

@@ -1,0 +1,217 @@
+//===- tests/AnalysisManagerTest.cpp - Analysis cache behaviour -----------===//
+//
+// The AnalysisManager is only an optimization if it is invisible: cached
+// analyses must be the same objects a fresh compute would produce, cache
+// hits and misses must move the counters exactly as the header documents,
+// and a pass that mutates the IR without calling invalidate() must be
+// caught, not silently served stale dataflow. The fused
+// computeRangesAndInterference builder is additionally pinned against the
+// slow two-pass oracle over the entire benchmark suite -- every field,
+// bit-for-bit, including the floating-point sums whose summation order
+// the fused walk must preserve.
+//
+//===----------------------------------------------------------------------===//
+
+#include "analysis/AnalysisManager.h"
+#include "analysis/Loops.h"
+#include "frontend/Frontend.h"
+#include "opt/Passes.h"
+#include "programs/Programs.h"
+#include "support/Statistics.h"
+
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <string>
+
+using namespace ipra;
+
+namespace {
+
+std::unique_ptr<Module> compileOK(const std::string &Src) {
+  DiagnosticEngine Diags;
+  auto M = compileToIR(Src, Diags);
+  EXPECT_NE(M, nullptr) << Diags.str();
+  return M;
+}
+
+/// Prepares a procedure for analysis: CFG, loops, frequencies.
+void prepare(Procedure &P) {
+  P.recomputeCFG();
+  estimateFrequencies(P, LoopInfo::compute(P));
+}
+
+const char *Fixture = R"(
+  func fib(n) {
+    if (n < 2) return n;
+    return fib(n - 1) + fib(n - 2);
+  }
+  func main() { print(fib(10)); return 0; }
+)";
+
+Procedure *firstBody(Module &M) {
+  for (auto &P : M)
+    if (!P->IsExternal)
+      return P.get();
+  return nullptr;
+}
+
+TEST(AnalysisManagerTest, HitAndMissCountersMoveAsDocumented) {
+  auto M = compileOK(Fixture);
+  ASSERT_NE(M, nullptr);
+  Procedure *P = firstBody(*M);
+  ASSERT_NE(P, nullptr);
+  prepare(*P);
+
+  AnalysisManager AM(*P);
+  const AnalysisManager::CacheStats &S = AM.cacheStats();
+  EXPECT_EQ(S.LivenessComputes, 0u);
+  EXPECT_EQ(S.LivenessCacheHits, 0u);
+  EXPECT_EQ(S.RangesComputes, 0u);
+  EXPECT_EQ(S.RangesCacheHits, 0u);
+  EXPECT_EQ(S.Invalidations, 0u);
+
+  // First request computes, second hits.
+  const Liveness &LV1 = AM.liveness();
+  EXPECT_EQ(S.LivenessComputes, 1u);
+  EXPECT_EQ(S.LivenessCacheHits, 0u);
+  EXPECT_GT(S.LivenessBlocks, 0u);
+  EXPECT_GT(S.LivenessPops, 0u);
+  const Liveness &LV2 = AM.liveness();
+  EXPECT_EQ(S.LivenessComputes, 1u);
+  EXPECT_EQ(S.LivenessCacheHits, 1u);
+  EXPECT_EQ(&LV1, &LV2) << "cache hit must return the same object";
+
+  // Ranges and interference materialize together: the first accessor
+  // computes (pulling cached liveness -- one more hit), the second is a
+  // pure cache hit, whichever order they are requested in.
+  const LiveRangeInfo &LRI1 = AM.liveRanges();
+  EXPECT_EQ(S.RangesComputes, 1u);
+  EXPECT_EQ(S.RangesCacheHits, 0u);
+  EXPECT_EQ(S.LivenessCacheHits, 2u);
+  const InterferenceGraph &IG1 = AM.interference();
+  EXPECT_EQ(S.RangesComputes, 1u);
+  EXPECT_EQ(S.RangesCacheHits, 1u);
+  EXPECT_EQ(&AM.liveRanges(), &LRI1);
+  EXPECT_EQ(&AM.interference(), &IG1);
+  EXPECT_EQ(S.RangesCacheHits, 3u);
+
+  // Invalidation drops everything; the next requests recompute.
+  AM.invalidate();
+  EXPECT_EQ(S.Invalidations, 1u);
+  AM.liveness();
+  AM.interference();
+  EXPECT_EQ(S.LivenessComputes, 2u);
+  EXPECT_EQ(S.RangesComputes, 2u);
+
+  // Invalidating an already-empty cache still counts (documented so
+  // passes' invalidation discipline is observable).
+  AM.invalidate();
+  AM.invalidate();
+  EXPECT_EQ(S.Invalidations, 3u);
+
+  // The counters publish under the documented "analysis.*" names.
+  StatCounters C;
+  AM.addCountersTo(C);
+  EXPECT_EQ(C.get("analysis.liveness_computes"), S.LivenessComputes);
+  EXPECT_EQ(C.get("analysis.liveness_cache_hits"), S.LivenessCacheHits);
+  EXPECT_EQ(C.get("analysis.ranges_interference_computes"),
+            S.RangesComputes);
+  EXPECT_EQ(C.get("analysis.ranges_interference_cache_hits"),
+            S.RangesCacheHits);
+  EXPECT_EQ(C.get("analysis.invalidations"), S.Invalidations);
+  EXPECT_EQ(C.get("analysis.liveness_pops"), S.LivenessPops);
+  EXPECT_EQ(C.get("analysis.liveness_iterations"), S.LivenessIterations);
+  EXPECT_EQ(C.get("analysis.liveness_blocks"), S.LivenessBlocks);
+}
+
+TEST(AnalysisManagerTest, CachedResultsMatchFreshComputes) {
+  // The cache must be invisible: a cached liveness/ranges/interference
+  // answer equals what a from-scratch compute produces right now.
+  auto M = compileOK(Fixture);
+  ASSERT_NE(M, nullptr);
+  optimize(*M);
+  for (auto &P : *M) {
+    if (P->IsExternal)
+      continue;
+    prepare(*P);
+    AnalysisManager AM(*P);
+    const Liveness &Cached = AM.liveness();
+    AM.liveness(); // warm hit; must not perturb anything
+    Liveness Fresh = Liveness::compute(*P);
+    for (const auto &BB : *P) {
+      EXPECT_TRUE(Cached.liveIn(BB->id()) == Fresh.liveIn(BB->id()));
+      EXPECT_TRUE(Cached.liveOut(BB->id()) == Fresh.liveOut(BB->id()));
+    }
+    const InterferenceGraph &IG = AM.interference();
+    InterferenceGraph FreshIG = InterferenceGraph::compute(*P, Fresh);
+    for (VReg R = 0; R < P->NumVRegs; ++R)
+      EXPECT_TRUE(IG.neighbors(R) == FreshIG.neighbors(R));
+  }
+}
+
+TEST(AnalysisManagerDeathTest, ForgottenInvalidateIsCaught) {
+  // A pass that changes the IR shape and then asks for liveness without
+  // invalidate() must die on the stale-cache assert, not get stale
+  // dataflow. NDEBUG is stripped in every build type, so this guard is
+  // active in release builds too.
+  auto M = compileOK(Fixture);
+  ASSERT_NE(M, nullptr);
+  Procedure *P = firstBody(*M);
+  ASSERT_NE(P, nullptr);
+  prepare(*P);
+  AnalysisManager AM(*P);
+  AM.liveness();
+  P->makeVReg(); // IR shape change, deliberately without AM.invalidate()
+  EXPECT_DEATH(AM.liveness(), "stale analysis cache");
+}
+
+TEST(AnalysisManagerTest, FusedBuilderMatchesTwoPassOracleOnSuite) {
+  // computeRangesAndInterference promises bit-identical results to the
+  // two-pass LiveRangeInfo::compute + InterferenceGraph::compute, on
+  // whose output every allocator decision rests. Compare every field of
+  // every live range -- including exact doubles, whose block-order
+  // summation the fused walk preserves -- over the whole benchmark
+  // suite, compiled exactly as the pipeline would (optimized,
+  // frequencies estimated).
+  for (const BenchmarkProgram &B : benchmarkSuite()) {
+    auto M = compileOK(B.Source);
+    ASSERT_NE(M, nullptr) << B.Name;
+    optimize(*M);
+    for (auto &P : *M) {
+      if (P->IsExternal)
+        continue;
+      prepare(*P);
+      Liveness LV = Liveness::compute(*P);
+      LiveRangeInfo OracleInfo = LiveRangeInfo::compute(*P, LV);
+      InterferenceGraph OracleIG = InterferenceGraph::compute(*P, LV);
+      auto [Info, IG] = computeRangesAndInterference(*P, LV);
+
+      ASSERT_EQ(Info.numVRegs(), OracleInfo.numVRegs())
+          << B.Name << "/" << P->name();
+      for (VReg R = 0; R < Info.numVRegs(); ++R) {
+        const LiveRange &Got = Info.range(R);
+        const LiveRange &Want = OracleInfo.range(R);
+        std::string Where =
+            std::string(B.Name) + "/" + P->name() + " v" + std::to_string(R);
+        EXPECT_EQ(Got.Reg, Want.Reg) << Where;
+        EXPECT_TRUE(Got.LiveBlocks == Want.LiveBlocks) << Where;
+        EXPECT_EQ(Got.SpillSavings, Want.SpillSavings) << Where;
+        EXPECT_EQ(Got.NumDefsUses, Want.NumDefsUses) << Where;
+        EXPECT_EQ(Got.Span, Want.Span) << Where;
+        ASSERT_EQ(Got.Crossings.size(), Want.Crossings.size()) << Where;
+        for (unsigned I = 0; I < Got.Crossings.size(); ++I) {
+          EXPECT_EQ(Got.Crossings[I].Block, Want.Crossings[I].Block) << Where;
+          EXPECT_EQ(Got.Crossings[I].InstIdx, Want.Crossings[I].InstIdx)
+              << Where;
+          EXPECT_EQ(Got.Crossings[I].CalleeId, Want.Crossings[I].CalleeId)
+              << Where;
+          EXPECT_EQ(Got.Crossings[I].Freq, Want.Crossings[I].Freq) << Where;
+        }
+        EXPECT_TRUE(IG.neighbors(R) == OracleIG.neighbors(R)) << Where;
+      }
+    }
+  }
+}
+
+} // namespace

@@ -109,6 +109,36 @@ TEST(StatsInvariantTest, InterProceduralEliminatesCallerSavesAcrossCalls) {
   }
 }
 
+TEST(StatsInvariantTest, WorklistLivenessBeatsRoundRobinBound) {
+  // Regression guard on the worklist liveness solver, measured on the
+  // largest suite program end-to-end through the pipeline (every
+  // liveness compute of every procedure, optimizer rounds included).
+  //
+  //  - analysis.liveness_iterations is the summed convergence depth (max
+  //    pops of any one block per solve); the worklist must reach the
+  //    fixed point within one pass-equivalent per block, so the sum is
+  //    bounded by the summed seed sizes.
+  //  - analysis.liveness_pops must stay strictly below the old
+  //    round-robin sweep's floor of 2 * blocks per solve (one changing
+  //    sweep plus one full sweep to detect stability). If a change to
+  //    the solver or the traversal order regresses it into re-popping
+  //    whole regions, this trips.
+  StatCounters T =
+      compileTotals(findBenchmark("uopt")->Source, PaperConfig::C);
+  uint64_t Blocks = T.get("analysis.liveness_blocks");
+  ASSERT_GT(Blocks, 0u);
+  EXPECT_LE(T.get("analysis.liveness_iterations"), Blocks);
+  EXPECT_LT(T.get("analysis.liveness_pops"), 2 * Blocks);
+
+  // The analysis cache earns its keep on the same compile: regalloc and
+  // codegen both reuse the liveness the optimizer's last no-change
+  // dead-code round left behind, so hits occur and ranges/interference
+  // are built exactly once per procedure.
+  EXPECT_GT(T.get("analysis.liveness_cache_hits"), 0u);
+  EXPECT_EQ(T.get("analysis.ranges_interference_computes"),
+            T.get("pipeline.procs"));
+}
+
 TEST(StatsInvariantTest, CountersAgreeWithTheMachineProgram) {
   // The codegen instruction tallies are not a parallel bookkeeping world:
   // their total equals the instruction count of the emitted program.
