@@ -113,11 +113,13 @@ BENCHMARK(BM_RegAlloc)
     ->Unit(benchmark::kMicrosecond);
 
 void BM_FullPipeline(benchmark::State &State) {
-  PaperConfig Config = PaperConfig(State.range(0));
+  CompileOptions Opts = optionsFor(PaperConfig(State.range(0)));
+  // Keep compile-time numbers comparable with measurements taken before
+  // the post-codegen MIR audit existed.
+  Opts.VerifyMIR = false;
   for (auto _ : State) {
     DiagnosticEngine Diags;
-    auto Compiled =
-        compileProgram(bigProgram(), optionsFor(Config), Diags);
+    auto Compiled = compileProgram(bigProgram(), Opts, Diags);
     benchmark::DoNotOptimize(Compiled);
   }
 }
@@ -133,6 +135,8 @@ BENCHMARK(BM_FullPipeline)
 void BM_ParallelPipeline(benchmark::State &State) {
   CompileOptions Opts = optionsFor(PaperConfig::C);
   Opts.Threads = unsigned(State.range(0));
+  // Comparable with pre-audit measurements (see BM_FullPipeline).
+  Opts.VerifyMIR = false;
   for (auto _ : State) {
     for (const BenchmarkProgram &B : benchmarkSuite()) {
       DiagnosticEngine Diags;

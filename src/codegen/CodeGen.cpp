@@ -749,6 +749,9 @@ MProgram ipra::generateCode(const Module &Mod,
       MP.Name = P->name();
       MP.Id = int(Id);
       MP.IsExternal = true;
+      // Callers use the default protocol for the external's arity; the
+      // MIR verifier checks their argument placement against it.
+      MP.NumParams = unsigned(P->ParamVRegs.size());
       Prog.Procs.push_back(std::move(MP));
       continue;
     }

@@ -12,6 +12,7 @@
 
 #include "driver/Linker.h"
 #include "ir/Verifier.h"
+#include "verify/MIRVerifier.h"
 
 #include <atomic>
 #include <functional>
@@ -96,6 +97,9 @@ void compileProcedure(int ProcId, CompileResult &Result, const CallGraph &CG,
     MP.Name = Proc->name();
     MP.Id = ProcId;
     MP.IsExternal = true;
+    // Callers of an external use the default protocol for its arity, and
+    // the MIR verifier checks their argument placement against it.
+    MP.NumParams = unsigned(Proc->ParamVRegs.size());
     Result.Program.Procs[ProcId] = std::move(MP);
     return;
   }
@@ -156,12 +160,39 @@ std::unique_ptr<CompileResult> runBackEnd(std::unique_ptr<Module> IR,
   CGOpts.InterMode = Opts.OptLevel >= 3;
   CGOpts.RegisterParams = Opts.RegisterParams;
 
+  // Gate the back end on a well-formed module: the allocator and codegen
+  // assume verified IR, and every pipeline entry point funnels through
+  // here (compileUnits used to verify only the linked image).
+  {
+    ScopedTimer T(Opts.Trace, "verify-ir", "verify");
+    DiagnosticEngine VerifyDiags;
+    if (!verify(Mod, VerifyDiags)) {
+      Diags.error("module failed IR verification:\n" + VerifyDiags.str());
+      return nullptr;
+    }
+  }
+
   // The schedule comes from the pre-opt call graph. The mid-end only ever
   // removes calls (DCE keeps them, simplifyCFG can drop dead blocks), so
   // this graph is a superset of the post-opt one: every summary a task
   // reads is still covered by a dependency, and a procedure is at worst
   // classified open more conservatively -- which is always correct.
   CallGraph CG = CallGraph::build(Mod);
+
+  // Cross-check the open/closed classification the whole one-pass scheme
+  // hangs off: an independent recomputation must agree before any
+  // summary is trusted.
+  {
+    std::vector<char> Open(NumProcs);
+    for (unsigned P = 0; P < NumProcs; ++P)
+      Open[P] = CG.isOpen(int(P));
+    DiagnosticEngine VerifyDiags;
+    if (!verifyOpenClosed(Mod, Open, VerifyDiags)) {
+      Diags.error("open/closed classification failed verification:\n" +
+                  VerifyDiags.str());
+      return nullptr;
+    }
+  }
   CallGraph::Schedule Sched = CG.schedule();
   unsigned NumTasks = Sched.numTasks();
 
@@ -230,6 +261,26 @@ std::unique_ptr<CompileResult> runBackEnd(std::unique_ptr<Module> IR,
   MS.add("pipeline.ready_tasks", Roots);
   MS.add("pipeline.dependency_edges", Edges);
   MS.add("pipeline.static_instructions", Result->StaticInstructions);
+
+  // Audit the finished machine program against its published contracts.
+  // Violations become driver errors but the result is still returned so
+  // callers can inspect the offending code. The counters are part of
+  // CompileStats (and its deterministic JSON), so they are only present
+  // when the audit actually ran.
+  if (Opts.VerifyMIR) {
+    ScopedTimer T(Opts.Trace, "verify-mir", "verify");
+    MVerifyResult V =
+        verifyMachineProgram(Result->Program, *Result->Summaries);
+    std::vector<MVerifyDiag> PlacementDiags = verifyPlacements(
+        Mod, Result->Alloc, *Result->Summaries, Opts.OptLevel >= 3);
+    for (const MVerifyDiag &D : V.Violations)
+      Diags.error("MIR verifier: " + D.str());
+    for (const MVerifyDiag &D : PlacementDiags)
+      Diags.error("MIR verifier: " + D.str());
+    MS.add("verify.procedures_checked", V.ProceduresChecked);
+    MS.add("verify.violations",
+           unsigned(V.Violations.size() + PlacementDiags.size()));
+  }
   return Result;
 }
 
@@ -263,14 +314,6 @@ std::unique_ptr<CompileResult> ipra::compileUnits(
   auto Linked = linkModules(std::move(Units), Diags, LOpts);
   if (!Linked)
     return nullptr;
-  {
-    DiagnosticEngine VerifyDiags;
-    if (!verify(*Linked, VerifyDiags)) {
-      Diags.error("linked module failed verification:\n" +
-                  VerifyDiags.str());
-      return nullptr;
-    }
-  }
   return runBackEnd(std::move(Linked), Opts, Diags);
 }
 

@@ -46,6 +46,13 @@ struct CompileOptions {
   bool LoopExtension = true;
   /// Run the mid-end cleanup passes ("Uopt").
   bool MidEndOpt = true;
+  /// Audit the generated machine code against the published summaries,
+  /// the shrink-wrap pairing discipline and the linkage protocol (see
+  /// verify/MIRVerifier.h). Violations become errors in the driver's
+  /// DiagnosticEngine; the compile result is still returned for
+  /// debugging. Default-on; compile-time benchmarks switch it off to
+  /// stay comparable with earlier measurements.
+  bool VerifyMIR = true;
   /// Optional block profile from a training run (see compileWithProfile).
   const ProfileData *Profile = nullptr;
   /// Back-end worker threads. The per-procedure pipeline (mid-end opt,

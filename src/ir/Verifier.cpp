@@ -5,6 +5,8 @@
 #include "ir/Printer.h"
 #include "ir/Procedure.h"
 
+#include <algorithm>
+
 using namespace ipra;
 
 namespace {
@@ -122,5 +124,73 @@ bool ipra::verify(const Module &M, DiagnosticEngine &Diags) {
   bool OK = true;
   for (const auto &Proc : M)
     OK &= verify(*Proc, M, Diags);
+  return OK;
+}
+
+bool ipra::verifyOpenClosed(const Module &M, const std::vector<char> &Open,
+                            DiagnosticEngine &Diags) {
+  unsigned N = M.numProcedures();
+  if (Open.size() != N) {
+    Diags.error("open/closed classification covers " +
+                std::to_string(Open.size()) + " of " + std::to_string(N) +
+                " procedures");
+    return false;
+  }
+
+  // Direct call edges and FuncAddr references, straight off the IR.
+  std::vector<std::vector<int>> Callees(N);
+  std::vector<char> Referenced(N, 0);
+  for (unsigned P = 0; P < N; ++P) {
+    for (const auto &BB : *M.procedure(int(P))) {
+      for (const Instruction &I : BB->Insts) {
+        if (I.Op == Opcode::Call) {
+          if (I.Callee >= 0 && I.Callee < int(N))
+            Callees[P].push_back(I.Callee);
+        } else if (I.Op == Opcode::FuncAddr) {
+          if (I.Callee >= 0 && I.Callee < int(N))
+            Referenced[I.Callee] = 1;
+        }
+      }
+    }
+  }
+
+  // Cycle membership, recomputed independently of the call-graph pass:
+  // a procedure is on a cycle exactly when it can reach itself through
+  // at least one direct-call edge (per-node reachability instead of an
+  // SCC pass, so the two computations share no code).
+  std::vector<char> OnCycle(N, 0);
+  std::vector<char> Seen(N);
+  std::vector<int> Work;
+  for (unsigned P = 0; P < N; ++P) {
+    std::fill(Seen.begin(), Seen.end(), 0);
+    Work.assign(Callees[P].begin(), Callees[P].end());
+    while (!Work.empty()) {
+      int V = Work.back();
+      Work.pop_back();
+      if (Seen[V])
+        continue;
+      Seen[V] = 1;
+      if (V == int(P)) {
+        OnCycle[P] = 1;
+        break;
+      }
+      for (int W : Callees[V])
+        if (!Seen[W])
+          Work.push_back(W);
+    }
+  }
+
+  bool OK = true;
+  for (unsigned P = 0; P < N; ++P) {
+    const Procedure *Proc = M.procedure(int(P));
+    bool Expected = Proc->IsMain || Proc->Exported || Proc->IsExternal ||
+                    Proc->AddressTaken || Referenced[P] || OnCycle[P];
+    if (bool(Open[P]) != Expected) {
+      Diags.error("procedure '" + Proc->name() + "' classified " +
+                  (Open[P] ? "open" : "closed") + " but should be " +
+                  (Expected ? "open" : "closed"));
+      OK = false;
+    }
+  }
   return OK;
 }

@@ -9,6 +9,8 @@
 
 #include "support/Diagnostics.h"
 
+#include <vector>
+
 namespace ipra {
 
 class Module;
@@ -21,6 +23,15 @@ bool verify(const Procedure &Proc, const Module &M, DiagnosticEngine &Diags);
 /// Verifies every procedure with a body, plus module-level invariants
 /// (call target arities, global ids). \returns true on success.
 bool verify(const Module &M, DiagnosticEngine &Diags);
+
+/// Cross-checks an open/closed classification (one flag per procedure,
+/// e.g. collected from CallGraph::isOpen) against an independent
+/// recomputation from first principles: a procedure must be open exactly
+/// when it is main, exported, address-taken (flagged or actually
+/// referenced by a FuncAddr), external, or on a direct-call cycle.
+/// \returns true when the classification matches everywhere.
+bool verifyOpenClosed(const Module &M, const std::vector<char> &Open,
+                      DiagnosticEngine &Diags);
 
 } // namespace ipra
 

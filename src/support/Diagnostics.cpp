@@ -4,6 +4,18 @@
 
 using namespace ipra;
 
+std::string MachineLoc::str() const {
+  std::string Out = "proc ";
+  if (!ProcName.empty())
+    Out += "'" + ProcName + "' ";
+  Out += "(#" + std::to_string(Proc) + ")";
+  if (Block >= 0)
+    Out += " block " + std::to_string(Block);
+  if (Inst >= 0)
+    Out += " inst " + std::to_string(Inst);
+  return Out;
+}
+
 std::string Diagnostic::str() const {
   std::string Out;
   if (Loc.isValid())

@@ -30,6 +30,20 @@ struct SourceLoc {
   }
 };
 
+/// A machine-level position: procedure / block / instruction indices into
+/// an MProgram. Used by the MIR verifier's structured diagnostics; Block
+/// and Inst may stay -1 for procedure-level findings.
+struct MachineLoc {
+  int Proc = -1;
+  int Block = -1;
+  int Inst = -1;
+  std::string ProcName;
+
+  bool isValid() const { return Proc >= 0; }
+  /// Renders e.g. "proc 'fib' (#2) block 1 inst 4".
+  std::string str() const;
+};
+
 /// One reported problem.
 struct Diagnostic {
   enum class Kind { Error, Warning };

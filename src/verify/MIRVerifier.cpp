@@ -1,0 +1,621 @@
+//===- verify/MIRVerifier.cpp ----------------------------------------------===//
+
+#include "verify/MIRVerifier.h"
+
+#include "ir/Procedure.h"
+#include "shrinkwrap/ShrinkWrap.h"
+
+#include <map>
+
+using namespace ipra;
+
+const char *ipra::mvCodeName(MVCode Code) {
+  switch (Code) {
+  case MVCode::Structure:
+    return "structure";
+  case MVCode::WriteToZero:
+    return "write-to-zero";
+  case MVCode::DefBeforeUse:
+    return "def-before-use";
+  case MVCode::StackDiscipline:
+    return "stack-discipline";
+  case MVCode::FrameBounds:
+    return "frame-bounds";
+  case MVCode::CalleeSavedNotPreserved:
+    return "callee-saved-not-preserved";
+  case MVCode::RANotPreserved:
+    return "ra-not-preserved";
+  case MVCode::SummaryClobberMismatch:
+    return "summary-clobber-mismatch";
+  case MVCode::ClobberMaskMismatch:
+    return "clobber-mask-mismatch";
+  case MVCode::ParamRegUndefinedAtCall:
+    return "param-reg-undefined-at-call";
+  case MVCode::ParamArityMismatch:
+    return "param-arity-mismatch";
+  case MVCode::PlacementViolation:
+    return "placement-violation";
+  }
+  return "?";
+}
+
+std::string MVerifyDiag::str() const {
+  std::string Out = Loc.isValid() ? Loc.str() : std::string("program");
+  Out += ": ";
+  Out += mvCodeName(Code);
+  Out += ": ";
+  Out += Message;
+  return Out;
+}
+
+std::string MVerifyResult::str() const {
+  std::string Out;
+  for (const MVerifyDiag &D : Violations) {
+    Out += D.str();
+    Out += '\n';
+  }
+  return Out;
+}
+
+namespace {
+
+/// True when \p Op writes its Rd field.
+bool definesRd(MOpcode Op) {
+  switch (Op) {
+  case MOpcode::Store:
+  case MOpcode::Call:
+  case MOpcode::CallInd:
+  case MOpcode::Ret:
+  case MOpcode::Br:
+  case MOpcode::CondBr:
+  case MOpcode::Print:
+    return false;
+  default:
+    return true;
+  }
+}
+
+/// Registers \p I reads, written into \p U. \returns how many.
+unsigned usesOf(const MInst &I, unsigned U[2]) {
+  switch (I.Op) {
+  case MOpcode::LoadImm:
+  case MOpcode::Call:
+  case MOpcode::Ret:
+  case MOpcode::Br:
+    return 0;
+  case MOpcode::Neg:
+  case MOpcode::Not:
+  case MOpcode::Move:
+  case MOpcode::AddImm:
+  case MOpcode::Load:
+  case MOpcode::CallInd:
+  case MOpcode::CondBr:
+  case MOpcode::Print:
+    U[0] = I.Rs;
+    return 1;
+  case MOpcode::Store:
+    U[0] = I.Rs;
+    U[1] = I.Rt;
+    return 2;
+  default: // binary ALU
+    U[0] = I.Rs;
+    U[1] = I.Rt;
+    return 2;
+  }
+}
+
+/// The forward dataflow fact at a block boundary. All components shrink
+/// under the join (path intersection), so the fixed point terminates.
+struct BlockState {
+  bool Reached = false;
+  /// Must-defined registers: every path from entry wrote them (or they
+  /// arrive meaningful: zero/sp/ra, callee-saved, own parameter regs).
+  BitVector Defined;
+  /// Registers that definitely still (or again) hold their own
+  /// procedure-entry values.
+  BitVector HoldsEntry;
+  /// Entry-SP-relative frame offsets holding the entry value of a
+  /// register (written by a save while the register still held it).
+  std::map<int64_t, unsigned> Slots;
+  /// SP displacement from its entry value, when statically known.
+  int64_t SPDelta = 0;
+  bool SPKnown = true;
+};
+
+/// Drops every slot fact not present (with the same register) in \p Src.
+bool intersectSlots(std::map<int64_t, unsigned> &Dst,
+                    const std::map<int64_t, unsigned> &Src) {
+  bool Changed = false;
+  for (auto It = Dst.begin(); It != Dst.end();) {
+    auto SIt = Src.find(It->first);
+    if (SIt == Src.end() || SIt->second != It->second) {
+      It = Dst.erase(It);
+      Changed = true;
+    } else {
+      ++It;
+    }
+  }
+  return Changed;
+}
+
+/// Path-intersection join. \returns true when \p Dst changed.
+bool joinInto(BlockState &Dst, const BlockState &Src) {
+  if (!Dst.Reached) {
+    Dst = Src;
+    Dst.Reached = true;
+    return true;
+  }
+  bool Changed = false;
+  BitVector D = Dst.Defined;
+  D &= Src.Defined;
+  if (D != Dst.Defined) {
+    Dst.Defined = std::move(D);
+    Changed = true;
+  }
+  BitVector H = Dst.HoldsEntry;
+  H &= Src.HoldsEntry;
+  if (H != Dst.HoldsEntry) {
+    Dst.HoldsEntry = std::move(H);
+    Changed = true;
+  }
+  Changed |= intersectSlots(Dst.Slots, Src.Slots);
+  if (Dst.SPKnown && (!Src.SPKnown || Src.SPDelta != Dst.SPDelta)) {
+    Dst.SPKnown = false;
+    Changed = true;
+  }
+  return Changed;
+}
+
+class Checker {
+public:
+  Checker(const MProgram &Prog, const SummaryTable &Summaries,
+          const MVerifyOptions &Opts)
+      : Prog(Prog), Summaries(Summaries), M(Summaries.machine()), Opts(Opts) {
+  }
+
+  MVerifyResult run() {
+    unsigned NumProcs = unsigned(Prog.Procs.size());
+    R.ProceduresChecked = NumProcs;
+    StructOK.assign(NumProcs, 1);
+    FlaggedRegs.assign(NumProcs, BitVector(M.numRegs()));
+
+    for (unsigned P = 0; P < NumProcs; ++P)
+      checkStructure(int(P));
+    if (Prog.MainProcId >= int(NumProcs))
+      diag(MVCode::Structure, MachineLoc(),
+           "main procedure id " + std::to_string(Prog.MainProcId) +
+               " out of range");
+
+    // Bottom-up may-clobber fixed point over the emitted code. Masks only
+    // ever grow, preserved-register facts only shrink, so iterating to
+    // stability from the empty sets is a monotone ascent; the register
+    // universe bounds it.
+    R.ComputedClobber.assign(NumProcs, BitVector(M.numRegs()));
+    for (unsigned P = 0; P < NumProcs; ++P)
+      if (Prog.Procs[P].IsExternal || !StructOK[P])
+        R.ComputedClobber[P] = M.defaultClobber();
+    for (bool Changed = true; Changed;) {
+      Changed = false;
+      for (unsigned P = 0; P < NumProcs; ++P) {
+        if (Prog.Procs[P].IsExternal || !StructOK[P])
+          continue;
+        BitVector C =
+            analyzeProc(int(P), R.ComputedClobber, /*Contract=*/nullptr);
+        if (C != R.ComputedClobber[P]) {
+          R.ComputedClobber[P] = std::move(C);
+          Changed = true;
+        }
+      }
+    }
+
+    // Contract (assume-guarantee) pass: verify each procedure against its
+    // own published contract while trusting every callee's.
+    std::vector<BitVector> Contracts(NumProcs);
+    for (unsigned P = 0; P < NumProcs; ++P)
+      Contracts[P] = contractMask(int(P));
+    for (unsigned P = 0; P < NumProcs; ++P) {
+      if (Prog.Procs[P].IsExternal || !StructOK[P])
+        continue;
+      analyzeProc(int(P), Contracts, &Contracts[P]);
+      // Summary soundness, proc-level view: the fixed-point may-clobber
+      // set must lie inside the contract. Registers already reported at a
+      // specific return are not repeated here.
+      BitVector Extra = R.ComputedClobber[P];
+      Extra.andNot(Contracts[P]);
+      Extra.andNot(FlaggedRegs[P]);
+      Extra.forEachSetBit([&](unsigned Reg) {
+        diag(MVCode::SummaryClobberMismatch, procLoc(int(P)),
+             std::string("emitted code may clobber ") + regName(Reg) +
+                 ", which the " +
+                 (Summaries.lookup(int(P)).Precise ? "published summary"
+                                                   : "default protocol") +
+                 " promises to preserve");
+      });
+    }
+
+    // The masks the simulator's dynamic convention checker uses must
+    // mirror the published summaries (hand-built programs without masks
+    // are exempt, matching the simulator).
+    if (!Prog.ClobberMasks.empty()) {
+      if (Prog.ClobberMasks.size() != NumProcs) {
+        diag(MVCode::Structure, MachineLoc(),
+             "ClobberMasks has " + std::to_string(Prog.ClobberMasks.size()) +
+                 " entries for " + std::to_string(NumProcs) + " procedures");
+      } else {
+        for (unsigned P = 0; P < NumProcs; ++P)
+          if (Prog.ClobberMasks[P] != Contracts[P])
+            diag(MVCode::ClobberMaskMismatch, procLoc(int(P)),
+                 "ClobberMasks entry " + Prog.ClobberMasks[P].str() +
+                     " != contract " + Contracts[P].str());
+      }
+    }
+    return std::move(R);
+  }
+
+private:
+  MachineLoc procLoc(int ProcId, int Block = -1, int Inst = -1) const {
+    MachineLoc L;
+    L.Proc = ProcId;
+    L.Block = Block;
+    L.Inst = Inst;
+    L.ProcName = Prog.Procs[ProcId].Name;
+    return L;
+  }
+
+  void diag(MVCode Code, MachineLoc Loc, std::string Message) {
+    if (R.Violations.size() < Opts.MaxViolations)
+      R.Violations.push_back({Code, std::move(Loc), std::move(Message)});
+  }
+
+  /// The register-preservation contract of \p ProcId: its precise
+  /// published clobber set, else the default linkage protocol.
+  BitVector contractMask(int ProcId) const {
+    const RegUsageSummary &S = Summaries.lookup(ProcId);
+    return S.Precise ? S.Clobbered : M.defaultClobber();
+  }
+
+  /// Arrival locations of \p ProcId's own parameters under its contract.
+  std::vector<unsigned> contractParamLocs(int ProcId) const {
+    const RegUsageSummary &S = Summaries.lookup(ProcId);
+    if (S.Precise)
+      return S.ParamLocs;
+    return Summaries.makeDefault(Prog.Procs[ProcId].NumParams).ParamLocs;
+  }
+
+  //===------------------------------------------------------------------===//
+  // Structural checks
+  //===------------------------------------------------------------------===//
+
+  void checkStructure(int ProcId) {
+    const MProc &P = Prog.Procs[ProcId];
+    auto Bad = [&](int Block, int Inst, std::string Msg) {
+      diag(MVCode::Structure, procLoc(ProcId, Block, Inst), std::move(Msg));
+      StructOK[ProcId] = 0;
+    };
+    if (P.IsExternal) {
+      if (!P.Blocks.empty())
+        Bad(-1, -1, "external procedure has a body");
+      return;
+    }
+    if (P.Blocks.empty()) {
+      Bad(-1, -1, "procedure has no blocks");
+      return;
+    }
+    if (P.FrameWords < 0)
+      Bad(-1, -1, "negative frame size");
+    for (unsigned B = 0; B < P.Blocks.size(); ++B) {
+      const MBlock &MB = P.Blocks[B];
+      if (MB.Id != int(B))
+        Bad(int(B), -1, "block id " + std::to_string(MB.Id) +
+                            " at position " + std::to_string(B));
+      if (MB.Insts.empty() || !MB.Insts.back().isTerminator()) {
+        Bad(int(B), -1, "block lacks a terminator");
+        continue;
+      }
+      for (unsigned I = 0; I < MB.Insts.size(); ++I) {
+        const MInst &In = MB.Insts[I];
+        if (In.isTerminator() && I + 1 != MB.Insts.size())
+          Bad(int(B), int(I), "terminator before the end of the block");
+        if (In.Rd >= M.numRegs() || In.Rs >= M.numRegs() ||
+            In.Rt >= M.numRegs())
+          Bad(int(B), int(I), "register operand out of range");
+        if (definesRd(In.Op) && In.Rd == RegZero)
+          diag(MVCode::WriteToZero, procLoc(ProcId, int(B), int(I)),
+               "instruction writes the hardwired zero register");
+        switch (In.Op) {
+        case MOpcode::Call:
+          if (In.Callee < 0 || In.Callee >= int(Prog.Procs.size()))
+            Bad(int(B), int(I), "callee id out of range");
+          break;
+        case MOpcode::Br:
+          if (In.Target1 < 0 || In.Target1 >= int(P.Blocks.size()))
+            Bad(int(B), int(I), "branch target out of range");
+          break;
+        case MOpcode::CondBr:
+          if (In.Target1 < 0 || In.Target1 >= int(P.Blocks.size()) ||
+              In.Target2 < 0 || In.Target2 >= int(P.Blocks.size()))
+            Bad(int(B), int(I), "branch target out of range");
+          break;
+        default:
+          break;
+        }
+      }
+    }
+  }
+
+  //===------------------------------------------------------------------===//
+  // Per-procedure forward dataflow
+  //===------------------------------------------------------------------===//
+
+  /// Runs the forward analysis over \p ProcId with call effects taken
+  /// from \p CallMasks. With \p Contract null this is the silent
+  /// clobber-computation mode; non-null enables reporting against that
+  /// contract. \returns the observed may-clobber set (registers some
+  /// return path fails to preserve), never including zero/sp/ra.
+  BitVector analyzeProc(int ProcId, const std::vector<BitVector> &CallMasks,
+                        const BitVector *Contract) {
+    const MProc &P = Prog.Procs[ProcId];
+    unsigned NumBlocks = unsigned(P.Blocks.size());
+    std::vector<BlockState> In(NumBlocks);
+    In[0] = entryState(ProcId);
+
+    bool Changed = true;
+    while (Changed) {
+      Changed = false;
+      for (unsigned B = 0; B < NumBlocks; ++B) {
+        if (!In[B].Reached)
+          continue;
+        BlockState S = In[B];
+        for (const MInst &I : P.Blocks[B].Insts)
+          step(ProcId, I, S, CallMasks, /*Loc=*/nullptr, nullptr, nullptr);
+        const MInst &T = P.Blocks[B].Insts.back();
+        if (T.Op == MOpcode::Br) {
+          Changed |= joinInto(In[T.Target1], S);
+        } else if (T.Op == MOpcode::CondBr) {
+          Changed |= joinInto(In[T.Target1], S);
+          Changed |= joinInto(In[T.Target2], S);
+        }
+      }
+    }
+
+    // Converged: one collection walk per reached block. Reporting only
+    // happens in contract mode -- the silent clobber-computation mode is
+    // re-run to a fixed point and must not duplicate findings.
+    BitVector Clobber(M.numRegs());
+    for (unsigned B = 0; B < NumBlocks; ++B) {
+      if (!In[B].Reached)
+        continue;
+      BlockState S = In[B];
+      for (unsigned I = 0; I < P.Blocks[B].Insts.size(); ++I) {
+        MachineLoc Loc;
+        if (Contract)
+          Loc = procLoc(ProcId, int(B), int(I));
+        step(ProcId, P.Blocks[B].Insts[I], S, CallMasks,
+             Contract ? &Loc : nullptr, Contract, &Clobber);
+      }
+    }
+    return Clobber;
+  }
+
+  BlockState entryState(int ProcId) const {
+    BlockState S;
+    S.Reached = true;
+    S.Defined.resize(M.numRegs());
+    S.Defined.set(RegZero);
+    S.Defined.set(RegSP);
+    S.Defined.set(RegRA);
+    S.Defined |= M.calleeSaved();
+    for (unsigned Loc : contractParamLocs(ProcId))
+      if (Loc != StackParamLoc)
+        S.Defined.set(Loc);
+    S.HoldsEntry.resize(M.numRegs());
+    S.HoldsEntry.setAll();
+    return S;
+  }
+
+  /// Transfer function for one instruction. \p Loc null = silent fixed-
+  /// point mode; non-null enables reporting (DefBeforeUse and frame/stack
+  /// findings; return-contract findings additionally need \p Contract)
+  /// and \p Clobber collection at returns.
+  void step(int ProcId, const MInst &I, BlockState &S,
+            const std::vector<BitVector> &CallMasks, const MachineLoc *Loc,
+            const BitVector *Contract, BitVector *Clobber) {
+    unsigned U[2];
+    unsigned NumUses = usesOf(I, U);
+    for (unsigned J = 0; J < NumUses; ++J) {
+      if (Loc && !S.Defined.test(U[J])) {
+        diag(MVCode::DefBeforeUse, *Loc,
+             std::string(regName(U[J])) +
+                 " read before any definition reaches it: " + toString(I));
+        S.Defined.set(U[J]); // suppress cascades within the block
+      }
+    }
+
+    auto Def = [&](unsigned Reg) {
+      S.Defined.set(Reg);
+      S.HoldsEntry.reset(Reg);
+    };
+
+    // Stack-pointer writes: only the prologue/epilogue "sp += imm" form.
+    if (definesRd(I.Op) && I.Rd == RegSP) {
+      if (I.Op == MOpcode::AddImm && I.Rs == RegSP) {
+        if (S.SPKnown)
+          S.SPDelta += I.Imm;
+      } else {
+        if (Loc)
+          diag(MVCode::StackDiscipline, *Loc,
+               "sp written outside the frame adjustment pattern: " +
+                   toString(I));
+        S.SPKnown = false;
+        S.Slots.clear();
+      }
+      return;
+    }
+
+    switch (I.Op) {
+    case MOpcode::Load:
+      if (I.Rs == RegSP && S.SPKnown) {
+        if (Loc && I.Imm < 0)
+          diag(MVCode::FrameBounds, *Loc,
+               "load below the stack pointer: " + toString(I));
+        int64_t Off = S.SPDelta + I.Imm;
+        auto It = S.Slots.find(Off);
+        if (It != S.Slots.end() && It->second == I.Rd) {
+          // A restore: the register regains its entry value.
+          S.Defined.set(I.Rd);
+          S.HoldsEntry.set(I.Rd);
+          return;
+        }
+      }
+      Def(I.Rd);
+      return;
+    case MOpcode::Store:
+      if (I.Rs == RegSP) {
+        if (!S.SPKnown)
+          return;
+        int64_t Off = S.SPDelta + I.Imm;
+        if (Loc && (I.Imm < 0 || Off >= 0))
+          diag(MVCode::FrameBounds, *Loc,
+               "store outside the procedure's frame: " + toString(I));
+        if (S.HoldsEntry.test(I.Rt))
+          S.Slots[Off] = I.Rt;
+        else
+          S.Slots.erase(Off);
+      }
+      return;
+    case MOpcode::Call:
+    case MOpcode::CallInd: {
+      const BitVector *Mask = &M.defaultClobber();
+      if (I.Op == MOpcode::Call) {
+        Mask = &CallMasks[I.Callee];
+        if (Loc) {
+          // Linkage conformance at the call site: every register the
+          // callee expects a parameter in must be defined here. (MIR
+          // carries no argument list, so presence-of-a-defined-value is
+          // the checkable projection of "placed where ParamLocs says".)
+          const MProc &Callee = Prog.Procs[I.Callee];
+          const RegUsageSummary &CS = Summaries.lookup(I.Callee);
+          if (CS.Precise && CS.ParamLocs.size() != Callee.NumParams)
+            diag(MVCode::ParamArityMismatch, *Loc,
+                 "summary of '" + Callee.Name + "' carries " +
+                     std::to_string(CS.ParamLocs.size()) +
+                     " parameter locations for " +
+                     std::to_string(Callee.NumParams) + " parameters");
+          for (unsigned ParamLoc : contractParamLocs(I.Callee))
+            if (ParamLoc != StackParamLoc && !S.Defined.test(ParamLoc)) {
+              diag(MVCode::ParamRegUndefinedAtCall, *Loc,
+                   "call to '" + Callee.Name + "' expects a parameter in " +
+                       regName(ParamLoc) + ", which is not defined here");
+              S.Defined.set(ParamLoc);
+            }
+        }
+      }
+      S.Defined.andNot(*Mask);
+      S.HoldsEntry.andNot(*Mask);
+      // The linkage discipline: a call conceptually writes the return
+      // address and delivers a value in v0. Frame slots survive: callees
+      // work strictly below this frame.
+      S.HoldsEntry.reset(RegRA);
+      S.Defined.set(RegRA);
+      S.Defined.set(RegV0);
+      return;
+    }
+    case MOpcode::Ret: {
+      if (Clobber) {
+        for (unsigned Reg = 0; Reg < M.numRegs(); ++Reg) {
+          if (Reg == RegZero || Reg == RegSP || Reg == RegRA)
+            continue;
+          if (!S.HoldsEntry.test(Reg))
+            Clobber->set(Reg);
+        }
+      }
+      if (Loc && Contract) {
+        if (!S.SPKnown || S.SPDelta != 0)
+          diag(MVCode::StackDiscipline, *Loc,
+               !S.SPKnown ? std::string("sp not statically known at return")
+                          : "sp off by " + std::to_string(S.SPDelta) +
+                                " words at return");
+        if (!S.HoldsEntry.test(RegRA))
+          diag(MVCode::RANotPreserved, *Loc,
+               "return address not restored on this path");
+        for (unsigned Reg = 0; Reg < M.numRegs(); ++Reg) {
+          if (Reg == RegZero || Reg == RegSP || Reg == RegRA)
+            continue;
+          if (S.HoldsEntry.test(Reg) || Contract->test(Reg))
+            continue;
+          FlaggedRegs[ProcId].set(Reg);
+          if (M.isCalleeSaved(Reg))
+            diag(MVCode::CalleeSavedNotPreserved, *Loc,
+                 std::string(regName(Reg)) +
+                     " may not hold its entry value at this return");
+          else
+            diag(MVCode::SummaryClobberMismatch, *Loc,
+                 std::string(regName(Reg)) +
+                     " may be clobbered on this path but the " +
+                     (Summaries.lookup(ProcId).Precise ? "published summary"
+                                                       : "default protocol") +
+                     " promises to preserve it");
+        }
+      }
+      return;
+    }
+    default:
+      if (definesRd(I.Op))
+        Def(I.Rd);
+      return;
+    }
+  }
+
+  const MProgram &Prog;
+  const SummaryTable &Summaries;
+  const MachineDesc &M;
+  MVerifyOptions Opts;
+  MVerifyResult R;
+  std::vector<char> StructOK;
+  /// Registers already reported at a specific return, per procedure;
+  /// suppresses the duplicate proc-level summary finding.
+  std::vector<BitVector> FlaggedRegs;
+};
+
+} // namespace
+
+MVerifyResult ipra::verifyMachineProgram(const MProgram &Prog,
+                                         const SummaryTable &Summaries,
+                                         const MVerifyOptions &Opts) {
+  return Checker(Prog, Summaries, Opts).run();
+}
+
+std::vector<MVerifyDiag> ipra::verifyPlacements(
+    const Module &Mod, const std::vector<AllocationResult> &Alloc,
+    const SummaryTable &Summaries, bool InterMode) {
+  std::vector<MVerifyDiag> Out;
+  unsigned NumRegs = Summaries.machine().numRegs();
+  for (unsigned Id = 0; Id < Mod.numProcedures() && Id < Alloc.size(); ++Id) {
+    const Procedure *P = Mod.procedure(int(Id));
+    if (P->IsExternal)
+      continue;
+    const AllocationResult &A = Alloc[Id];
+    MachineLoc Loc;
+    Loc.Proc = int(Id);
+    Loc.ProcName = P->name();
+    if (A.Assignment.size() < P->NumVRegs ||
+        A.Placement.SaveAtEntry.size() != P->numBlocks() ||
+        A.Placement.RestoreAtExit.size() != P->numBlocks()) {
+      Out.push_back({MVCode::PlacementViolation, Loc,
+                     "allocation result does not cover the procedure"});
+      continue;
+    }
+    // The placement only covers the registers the allocator decided to
+    // preserve locally; caller-saved damage and propagated callee-saved
+    // registers (Section 6) deliberately receive no saves, so mask the
+    // recomputed appearance sets down to the preserved set first.
+    std::vector<BitVector> APP =
+        computeAPP(*P, A.Assignment, Summaries, InterMode);
+    for (BitVector &B : APP)
+      B &= A.CalleeSavedToPreserve;
+    std::string Err = verifyPlacement(*P, APP, NumRegs, A.Placement);
+    if (!Err.empty())
+      Out.push_back({MVCode::PlacementViolation, Loc, std::move(Err)});
+  }
+  return Out;
+}

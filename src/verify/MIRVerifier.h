@@ -1,0 +1,149 @@
+//===- verify/MIRVerifier.h - Machine-code convention auditor --*- C++ -*-===//
+//
+// Part of the ipra project (Chow, PLDI 1988 reproduction).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A static analysis over the generated MProgram that proves the emitted
+/// machine code honors the conventions the whole IPRA scheme rests on:
+///
+///  - *Summary soundness*: the may-clobber set computed by a bottom-up
+///    fixed point over the emitted code (registers whose entry values some
+///    return path fails to preserve, with callee effects taken from the
+///    same fixed point) is a subset of the published
+///    RegUsageSummary::Clobbered for every closed procedure.
+///  - *Shrink-wrap pairing*: a forward dataflow over the MIR CFG tracking
+///    which registers still (or again) hold their procedure-entry values
+///    and which frame slots hold saved entry values; every path that
+///    clobbers a callee-saved register outside the procedure's contract
+///    mask must save it first and restore it from the same slot before
+///    any return.
+///  - *Linkage conformance*: open procedures preserve all callee-saved
+///    registers and take parameters in a0..a3 (the default protocol);
+///    callers have every register the callee's ParamLocs expects defined
+///    at the call; Prog.ClobberMasks matches the published summaries.
+///  - *Def-before-use* of physical registers along all paths from entry,
+///    plus stack discipline (SP only moves by the prologue/epilogue
+///    adjustments and is back at its entry value at every return, frame
+///    accesses stay inside the frame) and structural well-formedness.
+///
+/// Modelling notes. The analysis is assume-guarantee: each procedure is
+/// verified against its own contract (the published precise summary, or
+/// the default linkage protocol) while call effects are taken from the
+/// callee's contract -- so a broken procedure is reported at its own
+/// definition, not at every caller. Calls are assumed to preserve the
+/// caller's frame slots (callees operate below the caller's SP), and
+/// non-SP-based memory traffic is assumed not to alias SP-relative save
+/// slots (codegen addresses frame slots exclusively through SP). The
+/// return-address register follows the linkage discipline (every call
+/// conceptually clobbers RA, so procedures that call must save/restore
+/// it) even though the simulator keeps the call stack host-side.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef IPRA_VERIFY_MIRVERIFIER_H
+#define IPRA_VERIFY_MIRVERIFIER_H
+
+#include "codegen/MIR.h"
+#include "regalloc/RegAlloc.h"
+#include "regalloc/Summary.h"
+#include "support/Diagnostics.h"
+
+#include <string>
+#include <vector>
+
+namespace ipra {
+
+/// Diagnostic codes, one per violated invariant class. The mutation
+/// harness asserts each planted defect is reported under the right code.
+enum class MVCode {
+  /// Malformed MIR: bad block ids, missing/misplaced terminators,
+  /// out-of-range registers, branch targets or callee ids.
+  Structure,
+  /// An instruction writes the hardwired zero register.
+  WriteToZero,
+  /// A physical register is read on some path before anything defined it.
+  DefBeforeUse,
+  /// SP is written outside the prologue/epilogue pattern, moves by an
+  /// unknown amount, or is misadjusted at a return.
+  StackDiscipline,
+  /// An SP-relative access lands outside the procedure's frame.
+  FrameBounds,
+  /// A callee-saved register outside the contract mask does not hold its
+  /// entry value at a return (missing or mispaired save/restore).
+  CalleeSavedNotPreserved,
+  /// The return-address register does not hold its entry value at a
+  /// return in a procedure that makes calls.
+  RANotPreserved,
+  /// The code may clobber a register the published summary (or default
+  /// protocol) promises to preserve -- the summary under-reports.
+  SummaryClobberMismatch,
+  /// MProgram::ClobberMasks disagrees with the published summaries.
+  ClobberMaskMismatch,
+  /// A register the callee's ParamLocs expects an argument in is not
+  /// defined at the call site.
+  ParamRegUndefinedAtCall,
+  /// A precise summary's ParamLocs arity disagrees with the callee's
+  /// parameter count.
+  ParamArityMismatch,
+  /// shrinkwrap::verifyPlacement rejected the allocator's save/restore
+  /// placement (double save, restore without save, uncovered APP block).
+  PlacementViolation,
+};
+
+/// Short stable name, e.g. "callee-saved-not-preserved".
+const char *mvCodeName(MVCode Code);
+
+/// One verifier finding: code + machine location + human-readable detail.
+struct MVerifyDiag {
+  MVCode Code;
+  MachineLoc Loc;
+  std::string Message;
+
+  std::string str() const;
+};
+
+struct MVerifyOptions {
+  /// Stop reporting (but keep analyzing) after this many violations.
+  unsigned MaxViolations = 64;
+};
+
+struct MVerifyResult {
+  std::vector<MVerifyDiag> Violations;
+  /// Procedures examined (externals count: their emptiness is checked).
+  unsigned ProceduresChecked = 0;
+  /// Per-procedure may-clobber sets from the bottom-up fixed point over
+  /// the emitted code (externals hold the default protocol mask).
+  /// Exposed for tests and the mutation harness.
+  std::vector<BitVector> ComputedClobber;
+
+  bool ok() const { return Violations.empty(); }
+  bool hasCode(MVCode Code) const {
+    for (const MVerifyDiag &D : Violations)
+      if (D.Code == Code)
+        return true;
+    return false;
+  }
+  /// All findings joined with newlines.
+  std::string str() const;
+};
+
+/// Verifies \p Prog against the contracts in \p Summaries (see file
+/// comment). Pure; safe to call on mutated programs in tests.
+MVerifyResult verifyMachineProgram(const MProgram &Prog,
+                                   const SummaryTable &Summaries,
+                                   const MVerifyOptions &Opts = {});
+
+/// Placement-level shrink-wrap audit: recomputes each procedure's APP
+/// sets and replays shrinkwrap::verifyPlacement over the allocator's
+/// chosen placement. Complements the MIR-level dataflow (which proves
+/// the *emitted* saves/restores preserve values) with the pairing /
+/// no-double-save discipline stated on the placement itself.
+std::vector<MVerifyDiag> verifyPlacements(
+    const Module &Mod, const std::vector<AllocationResult> &Alloc,
+    const SummaryTable &Summaries, bool InterMode);
+
+} // namespace ipra
+
+#endif // IPRA_VERIFY_MIRVERIFIER_H

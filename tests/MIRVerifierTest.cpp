@@ -1,0 +1,433 @@
+//===- tests/MIRVerifierTest.cpp - Mutation harness for the MIR auditor ---===//
+//
+// Fault injection against the machine-code convention verifier: compile a
+// clean program, plant one systematic corruption at a time in a copy of
+// the MProgram / SummaryTable (drop a save, swap a restore register,
+// clear a summary bit, reroute an argument move, ...) and assert the
+// verifier reports it under the right diagnostic code. A verifier is only
+// trustworthy if every defect class it claims to cover actually trips it.
+//
+//===----------------------------------------------------------------------===//
+
+#include "driver/Pipeline.h"
+#include "verify/MIRVerifier.h"
+
+#include <gtest/gtest.h>
+
+#include <string>
+
+using namespace ipra;
+
+namespace {
+
+// A fixture with register pressure across a call: under -O3 + shrink-wrap
+// the closed procedure publishes a precise summary, callee-saved saves
+// and restores are emitted, and arguments travel in registers.
+const char *FixtureSource = R"(
+  func leaf(x) { return x + 1; }
+  func cross(a, b, c, d, e) {
+    var t1 = a + b; var t2 = b + c; var t3 = c + d; var t4 = d + e;
+    var t5 = a * c; var t6 = b * d; var t7 = a * e; var t8 = c * e;
+    var t9 = a - d; var t10 = b - e; var t11 = a * b; var t12 = d * e;
+    var s = leaf(a);
+    return t1+t2+t3+t4+t5+t6+t7+t8+t9+t10+t11+t12+s;
+  }
+  func main() { print(cross(1, 2, 3, 4, 5)); return 0; }
+)";
+
+class MIRVerifierTest : public ::testing::Test {
+protected:
+  void compileFixture(PaperConfig Config = PaperConfig::C) {
+    DiagnosticEngine Diags;
+    Result = compileProgram(FixtureSource, optionsFor(Config), Diags);
+    ASSERT_NE(Result, nullptr) << Diags.str();
+    ASSERT_FALSE(Diags.hasErrors()) << Diags.str();
+  }
+
+  const MachineDesc &machine() const { return Result->Machine; }
+
+  /// First (proc, block, inst) matching \p Pred, as pointers into \p Prog.
+  /// \returns the instruction, or nullptr.
+  template <typename PredT>
+  MInst *findInst(MProgram &Prog, PredT Pred, int *ProcOut = nullptr,
+                  int *BlockOut = nullptr, int *InstOut = nullptr) {
+    for (MProc &P : Prog.Procs)
+      for (MBlock &B : P.Blocks)
+        for (unsigned I = 0; I < B.Insts.size(); ++I)
+          if (Pred(P, B.Insts[I])) {
+            if (ProcOut)
+              *ProcOut = P.Id;
+            if (BlockOut)
+              *BlockOut = B.Id;
+            if (InstOut)
+              *InstOut = int(I);
+            return &B.Insts[I];
+          }
+    return nullptr;
+  }
+
+  bool isCalleeSavedSave(const MInst &I) const {
+    return I.Op == MOpcode::Store && I.Rs == RegSP &&
+           machine().isCalleeSaved(I.Rt);
+  }
+
+  bool isCalleeSavedRestore(const MInst &I) const {
+    return I.Op == MOpcode::Load && I.Rs == RegSP &&
+           machine().isCalleeSaved(I.Rd);
+  }
+
+  std::unique_ptr<CompileResult> Result;
+};
+
+TEST_F(MIRVerifierTest, CleanProgramHasNoViolations) {
+  compileFixture();
+  MVerifyResult V = verifyMachineProgram(Result->Program, *Result->Summaries);
+  EXPECT_TRUE(V.ok()) << V.str();
+  EXPECT_EQ(V.ProceduresChecked, unsigned(Result->Program.Procs.size()));
+  EXPECT_TRUE(verifyPlacements(*Result->IR, Result->Alloc, *Result->Summaries,
+                               /*InterMode=*/true)
+                  .empty());
+}
+
+TEST_F(MIRVerifierTest, DroppedSaveIsCaught) {
+  compileFixture();
+  MProgram Mutant = Result->Program;
+  int Proc = -1, Block = -1, Inst = -1;
+  MInst *Save = findInst(
+      Mutant, [&](const MProc &, const MInst &I) { return isCalleeSavedSave(I); },
+      &Proc, &Block, &Inst);
+  ASSERT_NE(Save, nullptr) << "fixture emitted no callee-saved save";
+  Mutant.Procs[Proc].Blocks[Block].Insts.erase(
+      Mutant.Procs[Proc].Blocks[Block].Insts.begin() + Inst);
+
+  MVerifyResult V = verifyMachineProgram(Mutant, *Result->Summaries);
+  EXPECT_FALSE(V.ok());
+  EXPECT_TRUE(V.hasCode(MVCode::CalleeSavedNotPreserved)) << V.str();
+}
+
+TEST_F(MIRVerifierTest, SwappedRestoreRegisterIsCaught) {
+  compileFixture();
+  MProgram Mutant = Result->Program;
+  MInst *Restore = findInst(Mutant, [&](const MProc &, const MInst &I) {
+    return isCalleeSavedRestore(I);
+  });
+  ASSERT_NE(Restore, nullptr) << "fixture emitted no callee-saved restore";
+  // Reroute the restore into a different callee-saved register: the one
+  // it was meant to refill never regains its entry value.
+  unsigned Other = 0;
+  machine().calleeSaved().forEachSetBit([&](unsigned Reg) {
+    if (Reg != Restore->Rd && Other == 0)
+      Other = Reg;
+  });
+  ASSERT_NE(Other, 0u);
+  Restore->Rd = uint8_t(Other);
+
+  MVerifyResult V = verifyMachineProgram(Mutant, *Result->Summaries);
+  EXPECT_FALSE(V.ok());
+  EXPECT_TRUE(V.hasCode(MVCode::CalleeSavedNotPreserved)) << V.str();
+}
+
+TEST_F(MIRVerifierTest, ClearedSummaryBitIsCaught) {
+  compileFixture();
+  // Find a closed procedure and a caller-saved register its code
+  // actually clobbers (from the verifier's own fixed point) that the
+  // summary admits to. Clearing that bit makes the summary a lie.
+  MVerifyResult Clean =
+      verifyMachineProgram(Result->Program, *Result->Summaries);
+  ASSERT_TRUE(Clean.ok()) << Clean.str();
+
+  int Proc = -1;
+  unsigned Bit = 0;
+  for (unsigned P = 0; P < Result->Program.Procs.size() && Proc < 0; ++P) {
+    const RegUsageSummary &S = Result->Summaries->lookup(int(P));
+    if (!S.Precise)
+      continue;
+    BitVector Candidates = Clean.ComputedClobber[P];
+    Candidates &= S.Clobbered;
+    Candidates &= machine().callerSaved();
+    Candidates.forEachSetBit([&](unsigned Reg) {
+      if (Proc < 0) {
+        Proc = int(P);
+        Bit = Reg;
+      }
+    });
+  }
+  ASSERT_GE(Proc, 0) << "no closed procedure clobbers a caller-saved reg";
+
+  SummaryTable Mutant(machine(), unsigned(Result->Program.Procs.size()));
+  for (unsigned P = 0; P < Result->Program.Procs.size(); ++P)
+    Mutant.publish(int(P), Result->Summaries->lookup(int(P)));
+  RegUsageSummary Lying = Mutant.lookup(Proc);
+  Lying.Clobbered.reset(Bit);
+  Mutant.publish(Proc, Lying);
+  // Keep ClobberMasks consistent with the mutated summary so the one
+  // planted defect surfaces as exactly a summary-soundness violation.
+  MProgram Prog = Result->Program;
+  Prog.ClobberMasks[Proc].reset(Bit);
+
+  MVerifyResult V = verifyMachineProgram(Prog, Mutant);
+  EXPECT_FALSE(V.ok());
+  EXPECT_TRUE(V.hasCode(MVCode::SummaryClobberMismatch)) << V.str();
+}
+
+TEST_F(MIRVerifierTest, ReroutedArgumentMoveIsCaught) {
+  // Default-protocol configuration: 'callee' expects its argument in a0,
+  // and main (zero parameters) has no a0 at entry -- so rerouting the
+  // instruction that sets it up leaves the register undefined at the
+  // call on every path.
+  DiagnosticEngine Diags;
+  auto Small = compileProgram(
+      "func callee(x) { return x + 1; }"
+      "func main() { print(callee(7)); return 0; }",
+      optionsFor(PaperConfig::Base), Diags);
+  ASSERT_NE(Small, nullptr) << Diags.str();
+  ASSERT_FALSE(Diags.hasErrors()) << Diags.str();
+
+  MProgram Mutant = Small->Program;
+  MProc *Main = nullptr;
+  for (MProc &P : Mutant.Procs)
+    if (P.Name == "main")
+      Main = &P;
+  ASSERT_NE(Main, nullptr);
+  int CalleeId = -1;
+  for (const MProc &P : Mutant.Procs)
+    if (P.Name == "callee")
+      CalleeId = P.Id;
+  ASSERT_GE(CalleeId, 0);
+  unsigned ParamReg = Small->Summaries->makeDefault(1).ParamLocs[0];
+
+  // Last definition of the parameter register before the call: that is
+  // the argument move (or load) the mutation reroutes elsewhere.
+  MInst *ArgDef = nullptr;
+  bool Done = false;
+  for (MBlock &B : Main->Blocks) {
+    for (MInst &I : B.Insts) {
+      if (I.Op == MOpcode::Call && I.Callee == CalleeId) {
+        Done = true;
+        break;
+      }
+      switch (I.Op) {
+      case MOpcode::Store:
+      case MOpcode::Call:
+      case MOpcode::CallInd:
+      case MOpcode::Ret:
+      case MOpcode::Br:
+      case MOpcode::CondBr:
+      case MOpcode::Print:
+        break;
+      default:
+        if (I.Rd == ParamReg)
+          ArgDef = &I;
+      }
+    }
+    if (Done)
+      break;
+  }
+  ASSERT_TRUE(Done) << "no call to 'callee' in main";
+  ASSERT_NE(ArgDef, nullptr) << "no argument setup before the call";
+  ArgDef->Rd = RegT6;
+
+  MVerifyResult V = verifyMachineProgram(Mutant, *Small->Summaries);
+  EXPECT_FALSE(V.ok());
+  EXPECT_TRUE(V.hasCode(MVCode::ParamRegUndefinedAtCall)) << V.str();
+}
+
+TEST_F(MIRVerifierTest, DroppedReturnAddressSaveIsCaught) {
+  compileFixture();
+  MProgram Mutant = Result->Program;
+  int Proc = -1, Block = -1, Inst = -1;
+  MInst *RASave = findInst(
+      Mutant,
+      [&](const MProc &, const MInst &I) {
+        return I.Op == MOpcode::Store && I.Rs == RegSP && I.Rt == RegRA;
+      },
+      &Proc, &Block, &Inst);
+  ASSERT_NE(RASave, nullptr) << "fixture has no RA save";
+  Mutant.Procs[Proc].Blocks[Block].Insts.erase(
+      Mutant.Procs[Proc].Blocks[Block].Insts.begin() + Inst);
+
+  MVerifyResult V = verifyMachineProgram(Mutant, *Result->Summaries);
+  EXPECT_FALSE(V.ok());
+  EXPECT_TRUE(V.hasCode(MVCode::RANotPreserved)) << V.str();
+}
+
+TEST_F(MIRVerifierTest, MisadjustedStackPointerIsCaught) {
+  compileFixture();
+  MProgram Mutant = Result->Program;
+  MInst *Adjust = findInst(Mutant, [&](const MProc &, const MInst &I) {
+    return I.Op == MOpcode::AddImm && I.Rd == RegSP && I.Imm < 0;
+  });
+  ASSERT_NE(Adjust, nullptr) << "fixture has no frame allocation";
+  Adjust->Imm -= 1; // prologue and epilogue now disagree
+
+  MVerifyResult V = verifyMachineProgram(Mutant, *Result->Summaries);
+  EXPECT_FALSE(V.ok());
+  EXPECT_TRUE(V.hasCode(MVCode::StackDiscipline)) << V.str();
+}
+
+TEST_F(MIRVerifierTest, UndefinedRegisterReadIsCaught) {
+  compileFixture();
+  MProgram Mutant = Result->Program;
+  // Prepend a read of a caller-saved temporary to main's entry block:
+  // nothing defines it there on any path.
+  for (MProc &P : Mutant.Procs)
+    if (P.Name == "main") {
+      MInst I(MOpcode::Move);
+      I.Rd = RegT0;
+      I.Rs = RegT1;
+      P.Blocks[0].Insts.insert(P.Blocks[0].Insts.begin(), I);
+    }
+
+  MVerifyResult V = verifyMachineProgram(Mutant, *Result->Summaries);
+  EXPECT_FALSE(V.ok());
+  EXPECT_TRUE(V.hasCode(MVCode::DefBeforeUse)) << V.str();
+}
+
+TEST_F(MIRVerifierTest, ClobberMaskDriftIsCaught) {
+  compileFixture();
+  MProgram Mutant = Result->Program;
+  // Flip one bit in the simulator-facing mask only: the published
+  // summaries no longer agree with what the dynamic checker will enforce.
+  ASSERT_FALSE(Mutant.ClobberMasks.empty());
+  unsigned Victim = 0; // any procedure's mask must mirror its summary
+  if (Mutant.ClobberMasks[Victim].test(RegT3))
+    Mutant.ClobberMasks[Victim].reset(RegT3);
+  else
+    Mutant.ClobberMasks[Victim].set(RegT3);
+
+  MVerifyResult V = verifyMachineProgram(Mutant, *Result->Summaries);
+  EXPECT_FALSE(V.ok());
+  EXPECT_TRUE(V.hasCode(MVCode::ClobberMaskMismatch)) << V.str();
+}
+
+TEST_F(MIRVerifierTest, MissingTerminatorIsCaught) {
+  compileFixture();
+  MProgram Mutant = Result->Program;
+  for (MProc &P : Mutant.Procs)
+    if (P.Name == "main")
+      P.Blocks.back().Insts.pop_back();
+
+  MVerifyResult V = verifyMachineProgram(Mutant, *Result->Summaries);
+  EXPECT_FALSE(V.ok());
+  EXPECT_TRUE(V.hasCode(MVCode::Structure)) << V.str();
+}
+
+TEST_F(MIRVerifierTest, WriteToZeroRegisterIsCaught) {
+  compileFixture();
+  MProgram Mutant = Result->Program;
+  MInst *Def = findInst(Mutant, [&](const MProc &, const MInst &I) {
+    return I.Op == MOpcode::LoadImm;
+  });
+  ASSERT_NE(Def, nullptr);
+  Def->Rd = RegZero;
+
+  MVerifyResult V = verifyMachineProgram(Mutant, *Result->Summaries);
+  EXPECT_FALSE(V.ok());
+  EXPECT_TRUE(V.hasCode(MVCode::WriteToZero)) << V.str();
+}
+
+TEST_F(MIRVerifierTest, FrameBoundsEscapeIsCaught) {
+  compileFixture();
+  MProgram Mutant = Result->Program;
+  MInst *Save = findInst(Mutant, [&](const MProc &, const MInst &I) {
+    return I.Op == MOpcode::Store && I.Rs == RegSP;
+  });
+  ASSERT_NE(Save, nullptr);
+  Save->Imm = -1; // below the stack pointer
+
+  MVerifyResult V = verifyMachineProgram(Mutant, *Result->Summaries);
+  EXPECT_FALSE(V.ok());
+  EXPECT_TRUE(V.hasCode(MVCode::FrameBounds)) << V.str();
+}
+
+TEST_F(MIRVerifierTest, ParamArityLieIsCaught) {
+  compileFixture();
+  // A precise summary whose ParamLocs arity disagrees with the callee's
+  // parameter count: callers can no longer know where arguments go.
+  int Proc = -1;
+  for (unsigned P = 0; P < Result->Program.Procs.size(); ++P)
+    if (Result->Summaries->lookup(int(P)).Precise &&
+        !Result->Summaries->lookup(int(P)).ParamLocs.empty())
+      Proc = int(P);
+  ASSERT_GE(Proc, 0) << "no closed procedure takes parameters";
+
+  SummaryTable Mutant(machine(), unsigned(Result->Program.Procs.size()));
+  for (unsigned P = 0; P < Result->Program.Procs.size(); ++P)
+    Mutant.publish(int(P), Result->Summaries->lookup(int(P)));
+  RegUsageSummary Lying = Mutant.lookup(Proc);
+  Lying.ParamLocs.pop_back();
+  Mutant.publish(Proc, Lying);
+
+  MVerifyResult V = verifyMachineProgram(Result->Program, Mutant);
+  EXPECT_FALSE(V.ok());
+  EXPECT_TRUE(V.hasCode(MVCode::ParamArityMismatch)) << V.str();
+}
+
+TEST_F(MIRVerifierTest, DiagnosticsCarryMachineLocations) {
+  compileFixture();
+  MProgram Mutant = Result->Program;
+  int Proc = -1, Block = -1, Inst = -1;
+  findInst(
+      Mutant, [&](const MProc &, const MInst &I) { return isCalleeSavedSave(I); },
+      &Proc, &Block, &Inst);
+  ASSERT_GE(Proc, 0);
+  Mutant.Procs[Proc].Blocks[Block].Insts.erase(
+      Mutant.Procs[Proc].Blocks[Block].Insts.begin() + Inst);
+
+  MVerifyResult V = verifyMachineProgram(Mutant, *Result->Summaries);
+  ASSERT_FALSE(V.ok());
+  const MVerifyDiag &D = V.Violations.front();
+  EXPECT_TRUE(D.Loc.isValid());
+  EXPECT_FALSE(D.Loc.ProcName.empty());
+  // The rendering is structured: location, code name, detail.
+  EXPECT_NE(D.str().find(mvCodeName(D.Code)), std::string::npos);
+  EXPECT_NE(D.str().find(D.Loc.ProcName), std::string::npos);
+}
+
+TEST_F(MIRVerifierTest, BrokenPlacementIsCaught) {
+  compileFixture();
+  // Corrupt the allocator's own record: drop a save from the placement
+  // while its APP blocks still demand coverage.
+  std::vector<AllocationResult> Alloc = Result->Alloc;
+  bool Mutated = false;
+  for (AllocationResult &A : Alloc) {
+    for (BitVector &Saves : A.Placement.SaveAtEntry)
+      if (!Mutated && Saves.count() > 0) {
+        Saves.forEachSetBit([&](unsigned Reg) {
+          if (!Mutated) {
+            Saves.reset(Reg);
+            Mutated = true;
+          }
+        });
+      }
+    if (Mutated)
+      break;
+  }
+  ASSERT_TRUE(Mutated) << "no placement saves to corrupt";
+
+  std::vector<MVerifyDiag> Diags = verifyPlacements(
+      *Result->IR, Alloc, *Result->Summaries, /*InterMode=*/true);
+  ASSERT_FALSE(Diags.empty());
+  EXPECT_EQ(Diags.front().Code, MVCode::PlacementViolation);
+}
+
+TEST_F(MIRVerifierTest, ViolationsFailTheDriver) {
+  // The pipeline hook turns verifier findings into driver errors (which
+  // ipracc maps to a nonzero exit). A clean compile must stay error-free
+  // with the audit on at every configuration.
+  for (PaperConfig Config :
+       {PaperConfig::Base, PaperConfig::A, PaperConfig::B, PaperConfig::C,
+        PaperConfig::D, PaperConfig::E}) {
+    DiagnosticEngine Diags;
+    CompileOptions Opts = optionsFor(Config);
+    ASSERT_TRUE(Opts.VerifyMIR); // default-on
+    auto R = compileProgram(FixtureSource, Opts, Diags);
+    ASSERT_NE(R, nullptr) << Diags.str();
+    EXPECT_FALSE(Diags.hasErrors()) << paperConfigName(Config) << "\n"
+                                    << Diags.str();
+    EXPECT_EQ(R->Stats.Module.get("verify.violations"), 0u)
+        << paperConfigName(Config);
+  }
+}
+
+} // namespace

@@ -139,6 +139,22 @@ TEST(StatsInvariantTest, WorklistLivenessBeatsRoundRobinBound) {
             T.get("pipeline.procs"));
 }
 
+TEST(StatsInvariantTest, VerifierCoversEveryProcedureWithZeroViolations) {
+  // The MIR audit is default-on and its counters must reconcile with the
+  // pipeline's own: every compiled procedure was checked, and a healthy
+  // compiler produces zero violations anywhere in the suite.
+  for (const BenchmarkProgram &B : benchmarkSuite()) {
+    for (PaperConfig Config :
+         {PaperConfig::Base, PaperConfig::A, PaperConfig::B, PaperConfig::C,
+          PaperConfig::D, PaperConfig::E}) {
+      StatCounters T = compileTotals(B.Source, Config);
+      EXPECT_EQ(T.get("verify.procedures_checked"), T.get("pipeline.procs"))
+          << B.Name;
+      EXPECT_EQ(T.get("verify.violations"), 0u) << B.Name;
+    }
+  }
+}
+
 TEST(StatsInvariantTest, CountersAgreeWithTheMachineProgram) {
   // The codegen instruction tallies are not a parallel bookkeeping world:
   // their total equals the instruction count of the emitted program.

@@ -16,6 +16,10 @@
 //   --threads=N          back-end worker threads (0 = serial; default is
 //                        the hardware concurrency)
 //   --profile            profile-guided rebuild (train on one run)
+//   --verify-mir / --no-verify-mir
+//                        audit the generated code against the published
+//                        summaries, shrink-wrap pairing and linkage
+//                        protocol (on by default; violations exit 1)
 //   --emit-ir            print the optimized IR
 //   --emit-mir           print the generated machine code
 //   --summaries          print each procedure's register-usage summary
@@ -71,6 +75,7 @@ void usage(const char *Argv0) {
                "usage: %s [-O2|-O3] [--shrink-wrap] [--no-combined] "
                "[--no-reg-params]\n              [--no-loop-ext] "
                "[--restrict=caller7|callee7] [--threads=N] [--profile]\n"
+               "              [--verify-mir] [--no-verify-mir]\n"
                "              "
                "[--emit-ir] [--emit-mir] [--summaries] [--run] [--stats]\n"
                "              [--stats-json=<file>] [--trace-json=<file>]\n"
@@ -108,6 +113,10 @@ bool parseArgs(int Argc, char **Argv, ToolOptions &Opts) {
       Opts.Compile.Threads = unsigned(N);
     } else if (Arg == "--profile") {
       Opts.UseProfile = true;
+    } else if (Arg == "--verify-mir") {
+      Opts.Compile.VerifyMIR = true;
+    } else if (Arg == "--no-verify-mir") {
+      Opts.Compile.VerifyMIR = false;
     } else if (Arg == "--emit-ir") {
       Opts.EmitIR = true;
     } else if (Arg == "--emit-mir") {
@@ -281,6 +290,11 @@ int main(int Argc, char **Argv) {
     for (const MProc &P : Result->Program.Procs)
       if (!P.IsExternal)
         std::printf("%s", toString(P).c_str());
+
+  // MIR-verifier violations leave a result (so --emit-mir above can show
+  // the offending code) but must still fail the invocation.
+  if (Diags.hasErrors())
+    return 1;
 
   // Report writers share one exit policy: a report that cannot be
   // written fails the invocation instead of silently dropping data.
