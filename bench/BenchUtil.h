@@ -16,12 +16,14 @@
 
 #include "driver/Pipeline.h"
 #include "programs/Programs.h"
+#include "sim/BatchRunner.h"
 #include "support/Statistics.h"
 
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
 #include <fstream>
+#include <functional>
 #include <string>
 #include <vector>
 
@@ -42,6 +44,46 @@ inline RunStats mustRun(const std::string &Source,
 
 inline RunStats mustRun(const std::string &Source, PaperConfig Config) {
   return mustRun(Source, optionsFor(Config));
+}
+
+/// One compile+simulate cell of a bench run matrix (see mustRunBatch).
+struct RunJob {
+  std::string Source;
+  CompileOptions Opts;
+};
+
+/// The batched mustRun: fans the jobs across sim::BatchRunner (one worker
+/// per hardware thread; results in job order regardless of completion
+/// order, so the printed tables are byte-identical to the old sequential
+/// loops) and aborts like mustRun on the lowest-index failure.
+inline std::vector<RunStats> mustRunBatch(const std::vector<RunJob> &Jobs) {
+  std::vector<std::function<RunStats()>> Thunks;
+  Thunks.reserve(Jobs.size());
+  for (const RunJob &J : Jobs)
+    Thunks.push_back([&J] { return compileAndRun(J.Source, J.Opts); });
+  sim::BatchRunner Runner;
+  std::vector<RunStats> Results = Runner.map(Thunks);
+  for (const RunStats &S : Results)
+    if (!S.OK) {
+      std::fprintf(stderr, "bench: program failed: %s\n", S.Error.c_str());
+      std::exit(1);
+    }
+  return Results;
+}
+
+/// The common suite matrix: every suite program under every configuration,
+/// in parallel. Results[P][C] pairs benchmarkSuite()[P] with Configs[C].
+inline std::vector<std::vector<RunStats>>
+mustRunSuite(const std::vector<PaperConfig> &Configs) {
+  std::vector<RunJob> Jobs;
+  for (const BenchmarkProgram &B : benchmarkSuite())
+    for (PaperConfig Config : Configs)
+      Jobs.push_back({B.Source, optionsFor(Config)});
+  std::vector<RunStats> Flat = mustRunBatch(Jobs);
+  std::vector<std::vector<RunStats>> Results;
+  for (size_t I = 0; I < Flat.size(); I += Configs.size())
+    Results.emplace_back(Flat.begin() + I, Flat.begin() + I + Configs.size());
+  return Results;
 }
 
 /// The paper's "% reduction" metric: positive = improvement over base.

@@ -159,8 +159,12 @@ void BM_Simulator(benchmark::State &State) {
   DiagnosticEngine Diags;
   auto Compiled = compileProgram(findBenchmark("dhrystone")->Source,
                                  optionsFor(PaperConfig::C), Diags);
+  // Pinned to the Reference engine so this series stays comparable with
+  // pre-decoded-engine runs; bench_sim owns the engine comparison.
+  SimOptions SimOpts;
+  SimOpts.Engine = SimEngine::Reference;
   for (auto _ : State) {
-    RunStats Stats = runProgram(Compiled->Program);
+    RunStats Stats = runProgram(Compiled->Program, SimOpts);
     benchmark::DoNotOptimize(Stats.Cycles);
     State.SetItemsProcessed(State.items_processed() +
                             int64_t(Stats.Instructions));

@@ -68,6 +68,8 @@ void printFig3() {
   int Wins = 0;
   int Losses = 0;
   int Neutral = 0;
+  // All four paths x {no-shrink, shrink-wrap} as one parallel batch.
+  std::vector<RunJob> Jobs;
   for (int TakeA : {0, 1}) {
     for (int TakeB : {0, 1}) {
       std::string Src = fig3Program(TakeA, TakeB);
@@ -75,8 +77,17 @@ void printFig3() {
       NoSW.MidEndOpt = false; // keep the branches: the paths are the point
       CompileOptions SW = optionsFor(PaperConfig::A);
       SW.MidEndOpt = false;
-      RunStats Off = mustRun(Src, NoSW);
-      RunStats On = mustRun(Src, SW);
+      Jobs.push_back({Src, NoSW});
+      Jobs.push_back({Src, SW});
+    }
+  }
+  std::vector<RunStats> Runs = mustRunBatch(Jobs);
+  size_t Cell = 0;
+  for (int TakeA : {0, 1}) {
+    for (int TakeB : {0, 1}) {
+      RunStats &Off = Runs[Cell];
+      RunStats &On = Runs[Cell + 1];
+      Cell += 2;
       checkSameOutput(Off, On, "fig3");
       const char *Effect = "none";
       if (On.scalarMemOps() < Off.scalarMemOps()) {

@@ -27,21 +27,47 @@ void printProfileTable() {
               "I.C+prof%", "II.C%", "II.C+prof%");
   int Helped = 0;
   int Hurt = 0;
+  // One job per suite program (its base run, its C run, and the
+  // train+recompile+run profile build), fanned across the simulation
+  // pool. Each job fills its own row, so the table prints in suite order
+  // and failure messages are reported deterministically afterwards.
+  struct Row {
+    RunStats Base, C, P;
+    std::string BuildError;
+  };
+  std::vector<std::function<Row()>> Jobs;
+  for (const BenchmarkProgram &B : benchmarkSuite())
+    Jobs.push_back([&B] {
+      Row R;
+      R.Base = compileAndRun(B.Source, optionsFor(PaperConfig::Base));
+      R.C = compileAndRun(B.Source, optionsFor(PaperConfig::C));
+      DiagnosticEngine Diags;
+      auto Guided =
+          compileWithProfile(B.Source, optionsFor(PaperConfig::C), Diags);
+      if (!Guided)
+        R.BuildError = Diags.str();
+      else
+        R.P = runProgram(Guided->Program);
+      return R;
+    });
+  sim::BatchRunner Runner;
+  std::vector<Row> Rows = Runner.map(Jobs);
+  size_t RowIdx = 0;
   for (const BenchmarkProgram &B : benchmarkSuite()) {
-    RunStats Base = mustRun(B.Source, PaperConfig::Base);
-    RunStats C = mustRun(B.Source, PaperConfig::C);
-    DiagnosticEngine Diags;
-    auto Guided =
-        compileWithProfile(B.Source, optionsFor(PaperConfig::C), Diags);
-    if (!Guided) {
-      std::fprintf(stderr, "profile build failed: %s\n", Diags.str().c_str());
+    Row &R = Rows[RowIdx++];
+    if (!R.BuildError.empty()) {
+      std::fprintf(stderr, "profile build failed: %s\n",
+                   R.BuildError.c_str());
       std::exit(1);
     }
-    RunStats P = runProgram(Guided->Program);
-    if (!P.OK) {
-      std::fprintf(stderr, "profile run failed: %s\n", P.Error.c_str());
-      std::exit(1);
-    }
+    for (const RunStats *S : {&R.Base, &R.C, &R.P})
+      if (!S->OK) {
+        std::fprintf(stderr, "profile run failed: %s\n", S->Error.c_str());
+        std::exit(1);
+      }
+    RunStats &Base = R.Base;
+    RunStats &C = R.C;
+    RunStats &P = R.P;
     checkSameOutput(Base, P, B.Name);
     std::printf("  %-10s | %8.1f%% %8.1f%% | %9.1f%% %9.1f%%\n", B.Name,
                 pctReduction(Base.Cycles, C.Cycles),

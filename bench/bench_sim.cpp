@@ -1,0 +1,128 @@
+//===- bench/bench_sim.cpp - Simulator engine throughput -------------------===//
+//
+// Instructions-per-second of the two execution engines over suite
+// programs, plus the checking modes (block profiling, convention
+// checking) whose costs the decoded engine hoists to decode time. Every
+// variant reports items/sec where one item is one executed guest
+// instruction, so the EXPERIMENTS.md throughput table reads straight off
+// the benchmark output. The engines are differentially tested for
+// byte-identical RunStats in tests/SimEngineTest.cpp; this file only
+// measures speed.
+//
+//===----------------------------------------------------------------------===//
+
+#include "bench/BenchUtil.h"
+#include "sim/BatchRunner.h"
+
+#include <benchmark/benchmark.h>
+
+using namespace ipra;
+using namespace ipra::bench;
+
+namespace {
+
+/// Suite programs the throughput table reports on: the call-heavy
+/// mid-sized one, the arithmetic-heavy one, and the largest.
+const char *const SimBenchPrograms[] = {"dhrystone", "stanford", "uopt"};
+
+const MProgram &compiledProgram(int ProgIdx) {
+  static std::unique_ptr<CompileResult> Cache[3];
+  if (!Cache[ProgIdx]) {
+    DiagnosticEngine Diags;
+    Cache[ProgIdx] = compileProgram(findBenchmark(SimBenchPrograms[ProgIdx])->Source,
+                                    optionsFor(PaperConfig::C), Diags);
+    if (!Cache[ProgIdx]) {
+      std::fprintf(stderr, "bench_sim: compile failed:\n%s",
+                   Diags.str().c_str());
+      std::exit(1);
+    }
+  }
+  return Cache[ProgIdx]->Program;
+}
+
+void runEngineBench(benchmark::State &State, const SimOptions &Opts) {
+  const MProgram &Prog = compiledProgram(int(State.range(0)));
+  for (auto _ : State) {
+    RunStats Stats = runProgram(Prog, Opts);
+    if (!Stats.OK) {
+      State.SkipWithError(Stats.Error.c_str());
+      return;
+    }
+    benchmark::DoNotOptimize(Stats.Cycles);
+    State.SetItemsProcessed(State.items_processed() +
+                            int64_t(Stats.Instructions));
+  }
+  State.SetLabel(SimBenchPrograms[State.range(0)]);
+}
+
+/// Plain execution: the headline Reference vs. Decoded comparison.
+void BM_Sim(benchmark::State &State) {
+  SimOptions Opts;
+  Opts.Engine = SimEngine(State.range(1));
+  runEngineBench(State, Opts);
+}
+BENCHMARK(BM_Sim)
+    ->ArgsProduct({{0, 1, 2},
+                   {int(SimEngine::Reference), int(SimEngine::Decoded)}})
+    ->ArgNames({"prog", "engine"})
+    ->Unit(benchmark::kMillisecond);
+
+/// Block-profile collection (the pipeline's training run): the decoded
+/// engine pays for the counts in its profiled-op variants instead of a
+/// per-block conditional.
+void BM_SimProfiled(benchmark::State &State) {
+  SimOptions Opts;
+  Opts.Engine = SimEngine(State.range(1));
+  Opts.CollectBlockProfile = true;
+  runEngineBench(State, Opts);
+}
+BENCHMARK(BM_SimProfiled)
+    ->ArgsProduct({{0},
+                   {int(SimEngine::Reference), int(SimEngine::Decoded)}})
+    ->ArgNames({"prog", "engine"})
+    ->Unit(benchmark::kMillisecond);
+
+/// Dynamic convention checking: dominated by the per-call snapshot, which
+/// now records only the registers outside the callee's clobber mask.
+void BM_SimConventions(benchmark::State &State) {
+  SimOptions Opts;
+  Opts.Engine = SimEngine(State.range(1));
+  Opts.CheckConventions = true;
+  runEngineBench(State, Opts);
+}
+BENCHMARK(BM_SimConventions)
+    ->ArgsProduct({{0},
+                   {int(SimEngine::Reference), int(SimEngine::Decoded)}})
+    ->ArgNames({"prog", "engine"})
+    ->Unit(benchmark::kMillisecond);
+
+/// The batched form the table/fig drivers use: the suite's run matrix on
+/// the BatchRunner pool (one item = one simulated program run).
+void BM_SimBatch(benchmark::State &State) {
+  std::vector<const MProgram *> Progs;
+  for (int P = 0; P < 3; ++P)
+    Progs.push_back(&compiledProgram(P));
+  SimOptions Opts;
+  sim::BatchRunner Runner(unsigned(State.range(0)));
+  for (auto _ : State) {
+    std::vector<RunStats> Results = Runner.runPrograms(Progs, Opts);
+    for (const RunStats &S : Results)
+      if (!S.OK) {
+        State.SkipWithError(S.Error.c_str());
+        return;
+      }
+    benchmark::DoNotOptimize(Results.data());
+    State.SetItemsProcessed(State.items_processed() +
+                            int64_t(Results.size()));
+  }
+}
+BENCHMARK(BM_SimBatch)
+    ->Arg(0)
+    ->Arg(1)
+    ->Arg(4)
+    ->ArgName("threads")
+    ->Unit(benchmark::kMillisecond);
+
+} // namespace
+
+BENCHMARK_MAIN();

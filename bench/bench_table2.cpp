@@ -28,10 +28,15 @@ void printTable2() {
               "--------------------------------------------------------");
   int CallerBetter = 0;
   int CalleeBetter = 0;
+  // Suite x {base, D, E} in parallel; rows consumed in suite order.
+  std::vector<std::vector<RunStats>> Runs =
+      mustRunSuite({PaperConfig::Base, PaperConfig::D, PaperConfig::E});
+  size_t Row = 0;
   for (const BenchmarkProgram &B : benchmarkSuite()) {
-    RunStats Base = mustRun(B.Source, PaperConfig::Base);
-    RunStats D = mustRun(B.Source, PaperConfig::D);
-    RunStats E = mustRun(B.Source, PaperConfig::E);
+    RunStats &Base = Runs[Row][0];
+    RunStats &D = Runs[Row][1];
+    RunStats &E = Runs[Row][2];
+    ++Row;
     checkSameOutput(Base, D, B.Name);
     checkSameOutput(Base, E, B.Name);
     double IID = pctReduction(Base.scalarMemOps(), D.scalarMemOps());

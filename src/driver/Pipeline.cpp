@@ -325,6 +325,10 @@ std::unique_ptr<CompileResult> ipra::compileWithProfile(
     return nullptr;
   SimOptions SimOpts;
   SimOpts.CollectBlockProfile = true;
+  // The training run is the hot half of every --profile compile; the
+  // decoded engine's profiled-op variants collect identical block counts
+  // (differentially tested) at a fraction of the dispatch cost.
+  SimOpts.Engine = SimEngine::Decoded;
   RunStats TrainingStats = runProgram(Training->Program, SimOpts);
   if (!TrainingStats.OK) {
     Diags.error("profile training run failed: " + TrainingStats.Error);

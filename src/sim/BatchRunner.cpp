@@ -1,0 +1,20 @@
+//===- sim/BatchRunner.cpp -------------------------------------------------===//
+
+#include "sim/BatchRunner.h"
+
+using namespace ipra;
+using namespace ipra::sim;
+
+std::vector<RunStats>
+BatchRunner::runPrograms(const std::vector<const MProgram *> &Progs,
+                         const SimOptions &Opts) {
+  std::vector<std::function<RunStats()>> Jobs;
+  Jobs.reserve(Progs.size());
+  for (const MProgram *Prog : Progs)
+    Jobs.push_back([Prog, &Opts] { return runProgram(*Prog, Opts); });
+  return map(Jobs);
+}
+
+unsigned BatchRunner::defaultSimThreads() {
+  return ThreadPool::defaultThreadCount();
+}

@@ -1,0 +1,69 @@
+//===- sim/BatchRunner.h - Parallel simulation batch runner ----*- C++ -*-===//
+//
+// Part of the ipra project (Chow, PLDI 1988 reproduction).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Fans a batch of independent simulation jobs (the suite x config x
+/// program run matrix of the bench drivers, or the pipeline's
+/// profile-collection runs) across support/ThreadPool. Results come back
+/// in job order regardless of completion order -- each job writes its own
+/// pre-sized slot -- so batched drivers print byte-identical reports to
+/// their old sequential loops. Zero threads degrades to inline execution
+/// on the calling thread (same ordering, no pool), which is also the
+/// TSan-friendly determinism baseline.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef IPRA_SIM_BATCHRUNNER_H
+#define IPRA_SIM_BATCHRUNNER_H
+
+#include "sim/Simulator.h"
+#include "support/ThreadPool.h"
+
+#include <functional>
+#include <utility>
+#include <vector>
+
+namespace ipra {
+namespace sim {
+
+class BatchRunner {
+public:
+  /// \p Threads workers; zero runs every job inline on the calling
+  /// thread. Defaults to one worker per hardware thread.
+  explicit BatchRunner(unsigned Threads = defaultSimThreads())
+      : Pool(Threads) {}
+
+  unsigned threadCount() const { return Pool.threadCount(); }
+
+  /// Runs every job and returns their results in *job order* (slot I
+  /// holds Jobs[I]'s result, whatever order they finished in). The first
+  /// exception thrown by a job is rethrown after the batch drains.
+  template <typename T>
+  std::vector<T> map(const std::vector<std::function<T()>> &Jobs) {
+    std::vector<T> Results(Jobs.size());
+    for (size_t I = 0; I < Jobs.size(); ++I)
+      Pool.enqueue([&Results, &Jobs, I] { Results[I] = Jobs[I](); });
+    Pool.wait();
+    return Results;
+  }
+
+  /// The common batch: simulate every program under one option set,
+  /// results in program order.
+  std::vector<RunStats> runPrograms(const std::vector<const MProgram *> &Progs,
+                                    const SimOptions &Opts);
+
+  /// What a simulation batch defaults to: the host's hardware
+  /// concurrency (shared with the compile pipeline's default).
+  static unsigned defaultSimThreads();
+
+private:
+  ThreadPool Pool;
+};
+
+} // namespace sim
+} // namespace ipra
+
+#endif // IPRA_SIM_BATCHRUNNER_H

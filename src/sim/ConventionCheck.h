@@ -1,0 +1,86 @@
+//===- sim/ConventionCheck.h - Shared dynamic convention checker -*- C++ -*-===//
+//
+// Part of the ipra project (Chow, PLDI 1988 reproduction).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The call-convention snapshot/check pair shared by the Reference and
+/// Decoded engines (SimOptions::CheckConventions). The checker can only
+/// ever inspect registers *outside* the callee's published clobber mask
+/// (plus the stack pointer), so the snapshot records exactly those --
+/// index/value pairs in a fixed inline array -- instead of copying the
+/// whole register file on every call. No heap traffic per call, and the
+/// check walks only the registers that can actually fail.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef IPRA_SIM_CONVENTIONCHECK_H
+#define IPRA_SIM_CONVENTIONCHECK_H
+
+#include "codegen/MIR.h"
+#include "target/Machine.h"
+
+#include <cstdint>
+#include <string>
+
+namespace ipra {
+namespace sim {
+
+/// Snapshot taken at a call for the convention checker: the callee, the
+/// entry stack pointer, and the values of every register the callee's
+/// clobber mask promises to preserve, in register-index order (so the
+/// first reported violation matches the full-snapshot checker's).
+struct CallRecord {
+  int CalleeId = -1;
+  int64_t SPBefore = 0;
+  unsigned NumPreserved = 0;
+  uint8_t PreservedReg[NumPhysRegs];
+  int64_t PreservedValue[NumPhysRegs];
+};
+
+/// Builds the partial snapshot for a call to \p CalleeId. A program
+/// without clobber masks (hand-built MIR) records only the stack
+/// pointer, matching the checker's "nothing to check" rule.
+inline CallRecord snapshotCall(const MProgram &Prog, int CalleeId,
+                               const int64_t *Regs) {
+  CallRecord Rec;
+  Rec.CalleeId = CalleeId;
+  Rec.SPBefore = Regs[RegSP];
+  if (CalleeId >= int(Prog.ClobberMasks.size()))
+    return Rec;
+  const BitVector &Clobber = Prog.ClobberMasks[CalleeId];
+  for (unsigned Reg = 0; Reg < NumPhysRegs; ++Reg) {
+    if (Reg == RegSP || Reg == RegRA || Clobber.test(Reg))
+      continue;
+    Rec.PreservedReg[Rec.NumPreserved] = uint8_t(Reg);
+    Rec.PreservedValue[Rec.NumPreserved] = Regs[Reg];
+    ++Rec.NumPreserved;
+  }
+  return Rec;
+}
+
+/// Verifies the returning procedure preserved everything outside its
+/// published clobber mask, plus the stack pointer. \returns the empty
+/// string when the convention held, else the violation message (the
+/// engine wraps it with its own location suffix).
+inline std::string checkCallConvention(const MProgram &Prog,
+                                       const CallRecord &Rec,
+                                       const int64_t *Regs) {
+  const MProc &Callee = Prog.Procs[Rec.CalleeId];
+  if (Regs[RegSP] != Rec.SPBefore)
+    return "convention violation: '" + Callee.Name +
+           "' returned with a misadjusted stack pointer";
+  for (unsigned I = 0; I < Rec.NumPreserved; ++I) {
+    unsigned Reg = Rec.PreservedReg[I];
+    if (Regs[Reg] != Rec.PreservedValue[I])
+      return "convention violation: '" + Callee.Name + "' clobbered " +
+             regName(Reg) + " which its usage summary promises to preserve";
+  }
+  return std::string();
+}
+
+} // namespace sim
+} // namespace ipra
+
+#endif // IPRA_SIM_CONVENTIONCHECK_H

@@ -1,0 +1,1147 @@
+//===- sim/DecodedEngine.cpp - Pre-decoded threaded-dispatch engine --------===//
+//
+// The engine has two halves:
+//
+//  * A *decoder* lowering each MProc into one flat std::vector<DInst>:
+//    fixed-width decoded ops, branch targets as stream indices with the
+//    target block's instruction count alongside (so the execution-budget
+//    test runs once per transfer instead of once per instruction), call
+//    targets as decoded-proc pointers, and two superop fusions --
+//    compare+branch and add-immediate+load -- each charging the two
+//    original instructions' cycle/load/store costs. Profile and
+//    convention checks are hoisted here: the decoder emits checking
+//    (BrP, RetC, CallPC, ...) or non-checking (Br, Ret, Call) variants,
+//    so a plain run's inner loop contains no profile or convention
+//    conditionals at all.
+//
+//  * A *threaded-dispatch* loop: computed goto on GCC/Clang, a dense
+//    function-pointer table elsewhere; one handler per decoded opcode,
+//    each ending in an indirect jump to the next op's handler.
+//
+// Cycle accounting is hoisted the same way the budget test is: no
+// sequential op touches the step counter. Every decoded op records its
+// source offset past the block head (CostFromHead), and the op that
+// *leaves* the straight-line segment -- a branch, call, return, or a
+// failing instruction -- charges the whole segment at once. A call
+// leaves the segment partially charged, so the engine keeps one charge
+// bias: the frame remembers how much of the caller's block was already
+// charged, and the first transfer after the resume deducts it. Steps is
+// therefore exact at every point where anyone looks at it (transfers,
+// budget tests, errors, the final RunStats).
+//
+// Exactness contract (RunStats::sameExecution with the Reference
+// interpreter): the reference checks the budget before every
+// instruction, but a check inside a block whose full cost fits in the
+// remaining budget can never fire. So the fast path re-checks only at
+// block transfers -- "does the remaining budget cover the target
+// block?" -- and when that fails once, control moves permanently into
+// runCareful(), a cold switch loop that replays the reference's exact
+// per-instruction (and per-superop-component) check sequence. Budget
+// exhaustion is monotone, so the careful tail is bounded by one block's
+// worth of instructions and its cost never shows on the fast path.
+//
+//===----------------------------------------------------------------------===//
+
+#include "sim/DecodedEngine.h"
+
+#include "sim/ConventionCheck.h"
+
+#include <cassert>
+#include <cstdint>
+#include <cstdlib>
+#include <memory>
+#include <new>
+
+using namespace ipra;
+
+// Threaded dispatch: computed goto where the compiler has the extension,
+// a dense function-pointer table otherwise. Handlers are shared between
+// the two forms.
+#if defined(__GNUC__) || defined(__clang__)
+#define IPRA_COMPUTED_GOTO 1
+#else
+#define IPRA_COMPUTED_GOTO 0
+#endif
+
+namespace {
+
+// Every decoded opcode. Order matters twice: the first block (Add..AddImm)
+// mirrors MOpcode so the decoder can cast, and the dispatch tables are
+// generated from this list positionally.
+#define IPRA_DOP_LIST(X)                                                       \
+  X(Add) X(Sub) X(Mul) X(Div) X(Rem) X(And) X(Or) X(Xor) X(Shl) X(Shr)        \
+  X(CmpEq) X(CmpNe) X(CmpLt) X(CmpLe) X(CmpGt) X(CmpGe)                        \
+  X(Neg) X(Not) X(Move) X(LoadImm) X(AddImm)                                   \
+  X(LoadScalar) X(LoadData) X(StoreScalar) X(StoreData) X(Print)               \
+  X(FusedAddImmLoadScalar) X(FusedAddImmLoadData)                              \
+  X(FusedCmpBrEq) X(FusedCmpBrNe) X(FusedCmpBrLt) X(FusedCmpBrLe)              \
+  X(FusedCmpBrGt) X(FusedCmpBrGe)                                              \
+  X(FusedCmpBrEqP) X(FusedCmpBrNeP) X(FusedCmpBrLtP) X(FusedCmpBrLeP)          \
+  X(FusedCmpBrGtP) X(FusedCmpBrGeP)                                            \
+  X(Br) X(BrP) X(CondBr) X(CondBrP) X(Ret) X(RetC)                             \
+  X(Call) X(CallP) X(CallC) X(CallPC)                                          \
+  X(CallInd) X(CallIndP) X(CallIndC) X(CallIndPC)                              \
+  X(CallExt) X(CallBad)
+
+enum class DOp : uint8_t {
+#define IPRA_D(N) N,
+  IPRA_DOP_LIST(IPRA_D)
+#undef IPRA_D
+};
+
+// The Add..AddImm prefix must mirror MOpcode exactly (the decoder casts).
+static_assert(unsigned(DOp::Add) == unsigned(MOpcode::Add));
+static_assert(unsigned(DOp::CmpEq) == unsigned(MOpcode::CmpEq));
+static_assert(unsigned(DOp::CmpGe) == unsigned(MOpcode::CmpGe));
+static_assert(unsigned(DOp::Move) == unsigned(MOpcode::Move));
+static_assert(unsigned(DOp::AddImm) == unsigned(MOpcode::AddImm));
+
+struct DecodedProc;
+
+/// One fixed-width decoded op (64 bytes). Targets are stream indices into
+/// the owning procedure's Code vector; TargetBlock/TargetCost carry the
+/// target's source-block id (diagnostics, profile rows) and original
+/// instruction count (the hoisted budget test).
+struct DInst {
+  DOp Op = DOp::Ret;
+  uint8_t Rd = 0;
+  uint8_t Rs = 0;
+  uint8_t Rt = 0;
+  uint8_t Rd2 = 0;
+  int32_t Block = 0; ///< Source block index (error locations).
+  int32_t Target1 = 0;
+  int32_t Target2 = 0;
+  int32_t TargetBlock1 = 0;
+  int32_t TargetBlock2 = 0;
+  uint32_t TargetCost1 = 0;
+  uint32_t TargetCost2 = 0;
+  /// Original instructions from the block head through this op inclusive:
+  /// the lazy cycle charge a transfer (or error) applies for its segment.
+  uint32_t CostFromHead = 0;
+  int64_t Imm = 0;
+  int64_t Imm2 = 0; ///< Second immediate of a fused add-immediate+load.
+  const DecodedProc *Callee = nullptr;
+};
+
+/// One procedure's flat decoded stream.
+struct DecodedProc {
+  std::string Name;
+  int Id = 0;
+  bool HasBody = false;
+  /// Original instruction count of the entry block (call-entry budget
+  /// test).
+  uint32_t EntryCost = 1;
+  std::vector<DInst> Code;
+  /// This procedure's row in RunStats::Profile (profiled runs only).
+  uint64_t *Counts = nullptr;
+};
+
+struct DecodedEngine {
+  DecodedEngine(const MProgram &Prog, const SimOptions &Opts)
+      : Prog(Prog), Opts(Opts), MaxSteps(Opts.MaxSteps) {}
+
+  RunStats run();
+
+  const MProgram &Prog;
+  const SimOptions &Opts;
+  std::vector<DecodedProc> Procs;
+  std::vector<int64_t> Regs;
+  /// The data memory image comes from calloc, not a vector: the OS hands
+  /// back zero pages lazily, so a run pays for the pages it touches
+  /// instead of writing all MemWords up front (the image is 32 MB at the
+  /// default size, a fixed per-run memset the reference engine pays).
+  struct FreeDeleter {
+    void operator()(void *P) const { std::free(P); }
+  };
+  std::unique_ptr<int64_t[], FreeDeleter> Mem;
+  int64_t *R = nullptr;
+  int64_t *M = nullptr;
+  const uint64_t MaxSteps;
+  /// Original instructions executed so far; exact at transfers, errors
+  /// and run end (Instructions == Cycles in the single-issue model;
+  /// published into both RunStats fields at the end).
+  uint64_t Steps = 0;
+  /// How much of the current block segment was already charged before a
+  /// call-return resumed it: the first transfer after the resume deducts
+  /// this from its CostFromHead charge. Zero everywhere else.
+  uint32_t Bias = 0;
+  /// Largest original block cost in the program: the sound conservative
+  /// bound for the return-resume budget test.
+  uint64_t MaxBlockCost = 1;
+
+  struct DFrame {
+    const DInst *Resume;
+    const DecodedProc *Proc;
+    /// The calling op's CostFromHead: what the caller's block had charged
+    /// when control left it.
+    uint32_t SavedBias;
+  };
+  std::vector<DFrame> CallStack;
+  std::vector<sim::CallRecord> CallRecords;
+  const DecodedProc *CurProc = nullptr;
+  const DInst *CurCode = nullptr;
+  RunStats Stats;
+
+  bool addrOK(int64_t Addr) const {
+    return Addr >= 0 && uint64_t(Addr) < Opts.MemWords;
+  }
+
+  /// Settles the lazy cycle charge up to and including \p I (the segment
+  /// from the block head, minus any part a previous call already paid).
+  void charge(const DInst *I) {
+    Steps += I->CostFromHead - Bias;
+    Bias = 0;
+  }
+
+  /// Records a located runtime error; handlers return its nullptr result
+  /// to stop dispatch. The caller has already settled the cycle charge
+  /// (the erroring instruction counts, exactly as in the reference).
+  const DInst *errorOut(const DInst *I, std::string Why) {
+    Stats.OK = false;
+    Stats.Error = std::move(Why) + " (in " + CurProc->Name + ", block " +
+                  std::to_string(I->Block) + ")";
+    return nullptr;
+  }
+
+  void failBudget() {
+    Stats.OK = false;
+    Stats.Error = "execution budget exceeded (infinite loop?)";
+  }
+
+  void decode();
+  void decodeProc(const MProc &MP, DecodedProc &DP);
+  const DInst *runCareful(const DInst *I, int EntryBlock);
+
+  RunStats finish() {
+    Stats.Instructions = Steps;
+    Stats.Cycles = Steps;
+    return std::move(Stats);
+  }
+};
+
+//===----------------------------------------------------------------------===//
+// Decoder
+//===----------------------------------------------------------------------===//
+
+bool isCmpOp(MOpcode Op) {
+  return Op >= MOpcode::CmpEq && Op <= MOpcode::CmpGe;
+}
+
+DOp fusedCmpBrOp(MOpcode Cmp, bool Profile) {
+  unsigned Base = unsigned(Profile ? DOp::FusedCmpBrEqP : DOp::FusedCmpBrEq);
+  return DOp(Base + (unsigned(Cmp) - unsigned(MOpcode::CmpEq)));
+}
+
+/// How many branch targets an opcode carries (for the target fixup pass).
+unsigned numBranchTargets(DOp Op) {
+  switch (Op) {
+  case DOp::Br:
+  case DOp::BrP:
+    return 1;
+  case DOp::CondBr:
+  case DOp::CondBrP:
+  case DOp::FusedCmpBrEq:
+  case DOp::FusedCmpBrNe:
+  case DOp::FusedCmpBrLt:
+  case DOp::FusedCmpBrLe:
+  case DOp::FusedCmpBrGt:
+  case DOp::FusedCmpBrGe:
+  case DOp::FusedCmpBrEqP:
+  case DOp::FusedCmpBrNeP:
+  case DOp::FusedCmpBrLtP:
+  case DOp::FusedCmpBrLeP:
+  case DOp::FusedCmpBrGtP:
+  case DOp::FusedCmpBrGeP:
+    return 2;
+  default:
+    return 0;
+  }
+}
+
+void DecodedEngine::decodeProc(const MProc &MP, DecodedProc &DP) {
+  const bool Prof = Opts.CollectBlockProfile;
+  const bool Check = Opts.CheckConventions;
+  std::vector<int32_t> BlockStart(MP.Blocks.size(), 0);
+
+  for (unsigned Bi = 0; Bi < MP.Blocks.size(); ++Bi) {
+    BlockStart[Bi] = int32_t(DP.Code.size());
+    const MBlock &B = MP.Blocks[Bi];
+    Stats.DecodedSourceInsts += B.Insts.size();
+    for (unsigned Idx = 0; Idx < B.Insts.size(); ++Idx) {
+      const MInst &MI = B.Insts[Idx];
+      DInst D;
+      D.Block = int32_t(Bi);
+
+      // Superop fusion. Fusing across a control-transfer landing site is
+      // impossible by construction: branches land at block heads (never
+      // mid-block) and call returns land right after a Call op, which is
+      // never a fusion component.
+      const MInst *NI = Idx + 1 < B.Insts.size() ? &B.Insts[Idx + 1] : nullptr;
+      if (NI && isCmpOp(MI.Op) && NI->Op == MOpcode::CondBr &&
+          NI->Rs == MI.Rd) {
+        D.Op = fusedCmpBrOp(MI.Op, Prof);
+        D.Rd = MI.Rd;
+        D.Rs = MI.Rs;
+        D.Rt = MI.Rt;
+        D.Target1 = NI->Target1;
+        D.Target2 = NI->Target2;
+        ++Stats.FusedCmpBranches;
+        ++Idx; // consume the branch: the superop charges both
+        D.CostFromHead = Idx + 1;
+        DP.Code.push_back(D);
+        continue;
+      }
+      if (NI && MI.Op == MOpcode::AddImm && NI->Op == MOpcode::Load &&
+          NI->Rs == MI.Rd) {
+        D.Op = NI->Mem == MemKind::Scalar ? DOp::FusedAddImmLoadScalar
+                                          : DOp::FusedAddImmLoadData;
+        D.Rd = MI.Rd;
+        D.Rs = MI.Rs;
+        D.Imm = MI.Imm;
+        D.Rd2 = NI->Rd;
+        D.Imm2 = NI->Imm;
+        ++Stats.FusedAddImmLoads;
+        ++Idx; // consume the load
+        D.CostFromHead = Idx + 1;
+        DP.Code.push_back(D);
+        continue;
+      }
+
+      D.CostFromHead = Idx + 1;
+      D.Rd = MI.Rd;
+      D.Rs = MI.Rs;
+      D.Rt = MI.Rt;
+      D.Imm = MI.Imm;
+      switch (MI.Op) {
+      case MOpcode::Load:
+        D.Op = MI.Mem == MemKind::Scalar ? DOp::LoadScalar : DOp::LoadData;
+        break;
+      case MOpcode::Store:
+        D.Op = MI.Mem == MemKind::Scalar ? DOp::StoreScalar : DOp::StoreData;
+        break;
+      case MOpcode::Print:
+        D.Op = DOp::Print;
+        break;
+      case MOpcode::Br:
+        D.Op = Prof ? DOp::BrP : DOp::Br;
+        D.Target1 = MI.Target1;
+        break;
+      case MOpcode::CondBr:
+        D.Op = Prof ? DOp::CondBrP : DOp::CondBr;
+        D.Target1 = MI.Target1;
+        D.Target2 = MI.Target2;
+        break;
+      case MOpcode::Ret:
+        D.Op = Check ? DOp::RetC : DOp::Ret;
+        break;
+      case MOpcode::Call:
+        // Doomed calls become their own ops: the error stays a runtime
+        // event (a never-executed bad call must not fail the run), but
+        // the valid-target checks leave the hot Call handler entirely.
+        if (MI.Callee < 0 || MI.Callee >= int(Prog.Procs.size())) {
+          D.Op = DOp::CallBad;
+          D.Imm = MI.Callee;
+        } else {
+          D.Callee = &Procs[MI.Callee];
+          if (!D.Callee->HasBody)
+            D.Op = DOp::CallExt;
+          else
+            D.Op = Prof ? (Check ? DOp::CallPC : DOp::CallP)
+                        : (Check ? DOp::CallC : DOp::Call);
+        }
+        break;
+      case MOpcode::CallInd:
+        D.Op = Prof ? (Check ? DOp::CallIndPC : DOp::CallIndP)
+                    : (Check ? DOp::CallIndC : DOp::CallInd);
+        break;
+      default:
+        // Add..AddImm mirror MOpcode positionally (static_asserts above).
+        assert(unsigned(MI.Op) <= unsigned(MOpcode::AddImm));
+        D.Op = DOp(unsigned(MI.Op));
+        break;
+      }
+      DP.Code.push_back(D);
+    }
+  }
+
+  // Resolve branch targets: block id -> stream index, plus the hoisted
+  // budget operand (the target block's original instruction count).
+  for (DInst &D : DP.Code) {
+    unsigned Targets = numBranchTargets(D.Op);
+    if (Targets >= 1) {
+      int Blk = D.Target1;
+      assert(Blk >= 0 && Blk < int(MP.Blocks.size()) && "bad branch target");
+      D.TargetBlock1 = Blk;
+      D.Target1 = BlockStart[Blk];
+      D.TargetCost1 = uint32_t(MP.Blocks[Blk].Insts.size());
+    }
+    if (Targets >= 2) {
+      int Blk = D.Target2;
+      assert(Blk >= 0 && Blk < int(MP.Blocks.size()) && "bad branch target");
+      D.TargetBlock2 = Blk;
+      D.Target2 = BlockStart[Blk];
+      D.TargetCost2 = uint32_t(MP.Blocks[Blk].Insts.size());
+    }
+  }
+
+  DP.EntryCost = uint32_t(MP.Blocks[0].Insts.size());
+  Stats.DecodedOps += DP.Code.size();
+}
+
+void DecodedEngine::decode() {
+  unsigned N = unsigned(Prog.Procs.size());
+  // Resized once up front: decoded-proc pointers (call targets, frames)
+  // stay stable from here on.
+  Procs.resize(N);
+  for (unsigned Pi = 0; Pi < N; ++Pi) {
+    const MProc &MP = Prog.Procs[Pi];
+    DecodedProc &DP = Procs[Pi];
+    DP.Name = MP.Name;
+    DP.Id = int(Pi);
+    DP.HasBody = !MP.IsExternal && !MP.Blocks.empty();
+  }
+  for (unsigned Pi = 0; Pi < N; ++Pi) {
+    if (!Procs[Pi].HasBody)
+      continue;
+    ++Stats.DecodedProcs;
+    decodeProc(Prog.Procs[Pi], Procs[Pi]);
+    for (const MBlock &B : Prog.Procs[Pi].Blocks)
+      if (B.Insts.size() > MaxBlockCost)
+        MaxBlockCost = B.Insts.size();
+  }
+}
+
+//===----------------------------------------------------------------------===//
+// Handlers (shared by the computed-goto and function-table dispatchers)
+//===----------------------------------------------------------------------===//
+
+/// Commits a branch whose cycle charge is already settled: profile the
+/// target (profiled variants only), stay on the fast path when the
+/// remaining budget provably covers the whole target block, otherwise
+/// hand the transfer to the careful tail loop.
+template <bool Profile>
+inline const DInst *takeBranch(DecodedEngine &E, const DInst *I, bool Cond) {
+  int32_t T = Cond ? I->Target1 : I->Target2;
+  int32_t B = Cond ? I->TargetBlock1 : I->TargetBlock2;
+  uint32_t Cost = Cond ? I->TargetCost1 : I->TargetCost2;
+  const DInst *Next = E.CurCode + T;
+  if (E.MaxSteps - E.Steps >= Cost) {
+    if (Profile)
+      ++E.CurProc->Counts[B];
+    return Next;
+  }
+  return E.runCareful(Next, B);
+}
+
+template <bool Profile, bool Check>
+inline const DInst *enterProc(DecodedEngine &E, const DInst *I,
+                              const DecodedProc *P) {
+  if (E.CallStack.size() >= E.Opts.MaxCallDepth)
+    return E.errorOut(I, "call depth exceeded");
+  if (Check)
+    E.CallRecords.push_back(sim::snapshotCall(E.Prog, P->Id, E.R));
+  E.CallStack.push_back({I + 1, E.CurProc, I->CostFromHead});
+  E.CurProc = P;
+  E.CurCode = P->Code.data();
+  const DInst *Next = E.CurCode;
+  if (E.MaxSteps - E.Steps >= P->EntryCost) {
+    if (Profile)
+      ++P->Counts[0];
+    return Next;
+  }
+  return E.runCareful(Next, 0);
+}
+
+#define IPRA_HANDLER(Name)                                                     \
+  const DInst *h##Name(DecodedEngine &E, const DInst *I)
+
+// Two's-complement wrap-around arithmetic via unsigned, as in the
+// reference's step(). Sequential ops never touch the step counter: their
+// segment's charge settles at the next transfer or error.
+#define IPRA_BINOP(Name, Expr)                                                 \
+  IPRA_HANDLER(Name) {                                                         \
+    int64_t RS = E.R[I->Rs], RT = E.R[I->Rt];                                  \
+    (void)RS;                                                                  \
+    (void)RT;                                                                  \
+    E.R[I->Rd] = (Expr);                                                       \
+    return I + 1;                                                              \
+  }
+
+IPRA_BINOP(Add, int64_t(uint64_t(RS) + uint64_t(RT)))
+IPRA_BINOP(Sub, int64_t(uint64_t(RS) - uint64_t(RT)))
+IPRA_BINOP(Mul, int64_t(uint64_t(RS) * uint64_t(RT)))
+IPRA_BINOP(And, RS &RT)
+IPRA_BINOP(Or, RS | RT)
+IPRA_BINOP(Xor, RS ^ RT)
+IPRA_BINOP(Shl, (RT < 0 || RT > 62) ? 0 : int64_t(uint64_t(RS) << RT))
+IPRA_BINOP(Shr, (RT < 0 || RT > 62) ? 0 : RS >> RT)
+IPRA_BINOP(CmpEq, RS == RT)
+IPRA_BINOP(CmpNe, RS != RT)
+IPRA_BINOP(CmpLt, RS < RT)
+IPRA_BINOP(CmpLe, RS <= RT)
+IPRA_BINOP(CmpGt, RS > RT)
+IPRA_BINOP(CmpGe, RS >= RT)
+IPRA_BINOP(Neg, int64_t(0 - uint64_t(RS)))
+IPRA_BINOP(Not, ~RS)
+IPRA_BINOP(Move, RS)
+IPRA_BINOP(LoadImm, (void(RS), I->Imm))
+IPRA_BINOP(AddImm, int64_t(uint64_t(RS) + uint64_t(I->Imm)))
+
+IPRA_HANDLER(Div) {
+  int64_t RS = E.R[I->Rs], RT = E.R[I->Rt];
+  if (RT == 0) {
+    E.charge(I);
+    return E.errorOut(I, "division by zero");
+  }
+  E.R[I->Rd] = (RS == INT64_MIN && RT == -1) ? RS : RS / RT;
+  return I + 1;
+}
+
+IPRA_HANDLER(Rem) {
+  int64_t RS = E.R[I->Rs], RT = E.R[I->Rt];
+  if (RT == 0) {
+    E.charge(I);
+    return E.errorOut(I, "remainder by zero");
+  }
+  E.R[I->Rd] = (RS == INT64_MIN && RT == -1) ? 0 : RS % RT;
+  return I + 1;
+}
+
+#define IPRA_LOAD(Name, Counter)                                               \
+  IPRA_HANDLER(Name) {                                                         \
+    int64_t Addr = E.R[I->Rs] + I->Imm;                                        \
+    if (!E.addrOK(Addr)) {                                                     \
+      E.charge(I);                                                             \
+      return E.errorOut(I, "load out of bounds at word " +                     \
+                               std::to_string(Addr));                          \
+    }                                                                          \
+    E.R[I->Rd] = E.M[Addr];                                                    \
+    ++E.Stats.Counter;                                                         \
+    return I + 1;                                                              \
+  }
+
+IPRA_LOAD(LoadScalar, ScalarLoads)
+IPRA_LOAD(LoadData, DataLoads)
+
+#define IPRA_STORE(Name, Counter)                                              \
+  IPRA_HANDLER(Name) {                                                         \
+    int64_t Addr = E.R[I->Rs] + I->Imm;                                        \
+    if (!E.addrOK(Addr)) {                                                     \
+      E.charge(I);                                                             \
+      return E.errorOut(I, "store out of bounds at word " +                    \
+                               std::to_string(Addr));                          \
+    }                                                                          \
+    E.M[Addr] = E.R[I->Rt];                                                    \
+    ++E.Stats.Counter;                                                         \
+    return I + 1;                                                              \
+  }
+
+IPRA_STORE(StoreScalar, ScalarStores)
+IPRA_STORE(StoreData, DataStores)
+
+IPRA_HANDLER(Print) {
+  E.Stats.Output.push_back(E.R[I->Rs]);
+  return I + 1;
+}
+
+// The fused add-immediate+load charges both original instructions: its
+// CostFromHead covers both, including on the error path (the reference
+// counts the failing load too).
+#define IPRA_FUSED_AIL(Name, Counter)                                          \
+  IPRA_HANDLER(Name) {                                                         \
+    ++E.Stats.SuperopsRetired;                                                 \
+    int64_t A = int64_t(uint64_t(E.R[I->Rs]) + uint64_t(I->Imm));              \
+    E.R[I->Rd] = A;                                                            \
+    int64_t Addr = A + I->Imm2;                                                \
+    if (!E.addrOK(Addr)) {                                                     \
+      E.charge(I);                                                             \
+      return E.errorOut(I, "load out of bounds at word " +                     \
+                               std::to_string(Addr));                          \
+    }                                                                          \
+    E.R[I->Rd2] = E.M[Addr];                                                   \
+    ++E.Stats.Counter;                                                         \
+    return I + 1;                                                              \
+  }
+
+IPRA_FUSED_AIL(FusedAddImmLoadScalar, ScalarLoads)
+IPRA_FUSED_AIL(FusedAddImmLoadData, DataLoads)
+
+#define IPRA_FUSED_CMPBR(Name, Expr, Profile)                                  \
+  IPRA_HANDLER(Name) {                                                         \
+    int64_t RS = E.R[I->Rs], RT = E.R[I->Rt];                                  \
+    E.charge(I);                                                               \
+    ++E.Stats.SuperopsRetired;                                                 \
+    int64_t C = (Expr);                                                        \
+    E.R[I->Rd] = C;                                                            \
+    return takeBranch<Profile>(E, I, C != 0);                                  \
+  }
+
+IPRA_FUSED_CMPBR(FusedCmpBrEq, RS == RT, false)
+IPRA_FUSED_CMPBR(FusedCmpBrNe, RS != RT, false)
+IPRA_FUSED_CMPBR(FusedCmpBrLt, RS < RT, false)
+IPRA_FUSED_CMPBR(FusedCmpBrLe, RS <= RT, false)
+IPRA_FUSED_CMPBR(FusedCmpBrGt, RS > RT, false)
+IPRA_FUSED_CMPBR(FusedCmpBrGe, RS >= RT, false)
+IPRA_FUSED_CMPBR(FusedCmpBrEqP, RS == RT, true)
+IPRA_FUSED_CMPBR(FusedCmpBrNeP, RS != RT, true)
+IPRA_FUSED_CMPBR(FusedCmpBrLtP, RS < RT, true)
+IPRA_FUSED_CMPBR(FusedCmpBrLeP, RS <= RT, true)
+IPRA_FUSED_CMPBR(FusedCmpBrGtP, RS > RT, true)
+IPRA_FUSED_CMPBR(FusedCmpBrGeP, RS >= RT, true)
+
+IPRA_HANDLER(Br) {
+  E.charge(I);
+  return takeBranch<false>(E, I, true);
+}
+IPRA_HANDLER(BrP) {
+  E.charge(I);
+  return takeBranch<true>(E, I, true);
+}
+IPRA_HANDLER(CondBr) {
+  E.charge(I);
+  return takeBranch<false>(E, I, E.R[I->Rs] != 0);
+}
+IPRA_HANDLER(CondBrP) {
+  E.charge(I);
+  return takeBranch<true>(E, I, E.R[I->Rs] != 0);
+}
+
+/// The shared return tail (cycle charge already settled): finish the run
+/// at top level, else pop the frame and resume -- conservatively careful
+/// when the remaining budget no longer covers a worst-case block tail
+/// (the resumed fraction of the caller's block is at most MaxBlockCost).
+inline const DInst *doReturn(DecodedEngine &E) {
+  if (E.CallStack.empty()) {
+    E.Stats.OK = true;
+    E.Stats.ExitValue = E.R[RegV0];
+    return nullptr;
+  }
+  DecodedEngine::DFrame F = E.CallStack.back();
+  E.CallStack.pop_back();
+  E.CurProc = F.Proc;
+  E.CurCode = F.Proc->Code.data();
+  E.Bias = F.SavedBias;
+  if (E.MaxSteps - E.Steps >= E.MaxBlockCost)
+    return F.Resume;
+  return E.runCareful(F.Resume, -1);
+}
+
+IPRA_HANDLER(Ret) {
+  E.charge(I);
+  return doReturn(E);
+}
+
+IPRA_HANDLER(RetC) {
+  E.charge(I);
+  if (!E.CallRecords.empty()) {
+    std::string Msg =
+        sim::checkCallConvention(E.Prog, E.CallRecords.back(), E.R);
+    if (!Msg.empty())
+      return E.errorOut(I, std::move(Msg));
+    E.CallRecords.pop_back();
+  }
+  return doReturn(E);
+}
+
+#define IPRA_CALL(Name, Profile, Check)                                        \
+  IPRA_HANDLER(Name) {                                                         \
+    E.charge(I);                                                               \
+    ++E.Stats.Calls;                                                           \
+    return enterProc<Profile, Check>(E, I, I->Callee);                         \
+  }
+
+IPRA_CALL(Call, false, false)
+IPRA_CALL(CallP, true, false)
+IPRA_CALL(CallC, false, true)
+IPRA_CALL(CallPC, true, true)
+
+#define IPRA_CALLIND(Op, Profile, Check)                                       \
+  IPRA_HANDLER(Op) {                                                           \
+    E.charge(I);                                                               \
+    ++E.Stats.Calls;                                                           \
+    int Callee = int(E.R[I->Rs]);                                              \
+    if (Callee < 0 || Callee >= int(E.Procs.size()))                           \
+      return E.errorOut(I, "call to invalid procedure id " +                   \
+                               std::to_string(Callee));                        \
+    const DecodedProc *P = &E.Procs[Callee];                                   \
+    if (!P->HasBody)                                                           \
+      return E.errorOut(I,                                                     \
+                        "call to external procedure '" + P->Name + "'");       \
+    return enterProc<Profile, Check>(E, I, P);                                 \
+  }
+
+IPRA_CALLIND(CallInd, false, false)
+IPRA_CALLIND(CallIndP, true, false)
+IPRA_CALLIND(CallIndC, false, true)
+IPRA_CALLIND(CallIndPC, true, true)
+
+IPRA_HANDLER(CallExt) {
+  E.charge(I);
+  ++E.Stats.Calls;
+  return E.errorOut(I, "call to external procedure '" + I->Callee->Name +
+                           "'");
+}
+
+IPRA_HANDLER(CallBad) {
+  E.charge(I);
+  ++E.Stats.Calls;
+  return E.errorOut(I, "call to invalid procedure id " +
+                           std::to_string(I->Imm));
+}
+
+//===----------------------------------------------------------------------===//
+// Careful tail loop
+//===----------------------------------------------------------------------===//
+
+int64_t fusedCmpApply(DOp Op, int64_t A, int64_t B) {
+  switch (Op) {
+  case DOp::FusedCmpBrEq:
+  case DOp::FusedCmpBrEqP:
+    return A == B;
+  case DOp::FusedCmpBrNe:
+  case DOp::FusedCmpBrNeP:
+    return A != B;
+  case DOp::FusedCmpBrLt:
+  case DOp::FusedCmpBrLtP:
+    return A < B;
+  case DOp::FusedCmpBrLe:
+  case DOp::FusedCmpBrLeP:
+    return A <= B;
+  case DOp::FusedCmpBrGt:
+  case DOp::FusedCmpBrGtP:
+    return A > B;
+  case DOp::FusedCmpBrGe:
+  case DOp::FusedCmpBrGeP:
+    return A >= B;
+  default:
+    assert(false && "not a fused compare");
+    return 0;
+  }
+}
+
+/// The exact-semantics cold loop: per-instruction (and per-superop-
+/// component) eager step counting and budget checks, replaying the
+/// reference interpreter's check sequence. Entered only at a transfer
+/// whose hoisted budget test failed, so Steps is exact on entry; budget
+/// exhaustion is monotone, so once here the run ends within at most one
+/// block's worth of instructions. \p EntryBlock >= 0 applies block-entry
+/// bookkeeping (budget check, then profile count) for the block \p I
+/// starts; -1 is a mid-block resume after a return.
+const DInst *DecodedEngine::runCareful(const DInst *I, int EntryBlock) {
+  ++Stats.CarefulEntries;
+  const bool Prof = Opts.CollectBlockProfile;
+  Bias = 0; // careful counts eagerly; the lazy-charge scheme is off
+
+  // Reference block entry: the budget check fires before the profile
+  // count, so an exhausted entry leaves the target block uncounted.
+  auto EnterBlock = [&](int Block) {
+    if (Steps >= MaxSteps) {
+      failBudget();
+      return false;
+    }
+    if (Prof)
+      ++CurProc->Counts[Block];
+    return true;
+  };
+  if (EntryBlock >= 0 && !EnterBlock(EntryBlock))
+    return nullptr;
+
+  while (true) {
+    if (Steps >= MaxSteps) {
+      failBudget();
+      return nullptr;
+    }
+    int64_t RS = R[I->Rs];
+    int64_t RT = R[I->Rt];
+    switch (I->Op) {
+    case DOp::Add:
+      ++Steps;
+      R[I->Rd] = int64_t(uint64_t(RS) + uint64_t(RT));
+      ++I;
+      break;
+    case DOp::Sub:
+      ++Steps;
+      R[I->Rd] = int64_t(uint64_t(RS) - uint64_t(RT));
+      ++I;
+      break;
+    case DOp::Mul:
+      ++Steps;
+      R[I->Rd] = int64_t(uint64_t(RS) * uint64_t(RT));
+      ++I;
+      break;
+    case DOp::Div:
+      ++Steps;
+      if (RT == 0)
+        return errorOut(I, "division by zero");
+      R[I->Rd] = (RS == INT64_MIN && RT == -1) ? RS : RS / RT;
+      ++I;
+      break;
+    case DOp::Rem:
+      ++Steps;
+      if (RT == 0)
+        return errorOut(I, "remainder by zero");
+      R[I->Rd] = (RS == INT64_MIN && RT == -1) ? 0 : RS % RT;
+      ++I;
+      break;
+    case DOp::And:
+      ++Steps;
+      R[I->Rd] = RS & RT;
+      ++I;
+      break;
+    case DOp::Or:
+      ++Steps;
+      R[I->Rd] = RS | RT;
+      ++I;
+      break;
+    case DOp::Xor:
+      ++Steps;
+      R[I->Rd] = RS ^ RT;
+      ++I;
+      break;
+    case DOp::Shl:
+      ++Steps;
+      R[I->Rd] = (RT < 0 || RT > 62) ? 0 : int64_t(uint64_t(RS) << RT);
+      ++I;
+      break;
+    case DOp::Shr:
+      ++Steps;
+      R[I->Rd] = (RT < 0 || RT > 62) ? 0 : RS >> RT;
+      ++I;
+      break;
+    case DOp::CmpEq:
+      ++Steps;
+      R[I->Rd] = RS == RT;
+      ++I;
+      break;
+    case DOp::CmpNe:
+      ++Steps;
+      R[I->Rd] = RS != RT;
+      ++I;
+      break;
+    case DOp::CmpLt:
+      ++Steps;
+      R[I->Rd] = RS < RT;
+      ++I;
+      break;
+    case DOp::CmpLe:
+      ++Steps;
+      R[I->Rd] = RS <= RT;
+      ++I;
+      break;
+    case DOp::CmpGt:
+      ++Steps;
+      R[I->Rd] = RS > RT;
+      ++I;
+      break;
+    case DOp::CmpGe:
+      ++Steps;
+      R[I->Rd] = RS >= RT;
+      ++I;
+      break;
+    case DOp::Neg:
+      ++Steps;
+      R[I->Rd] = int64_t(0 - uint64_t(RS));
+      ++I;
+      break;
+    case DOp::Not:
+      ++Steps;
+      R[I->Rd] = ~RS;
+      ++I;
+      break;
+    case DOp::Move:
+      ++Steps;
+      R[I->Rd] = RS;
+      ++I;
+      break;
+    case DOp::LoadImm:
+      ++Steps;
+      R[I->Rd] = I->Imm;
+      ++I;
+      break;
+    case DOp::AddImm:
+      ++Steps;
+      R[I->Rd] = int64_t(uint64_t(RS) + uint64_t(I->Imm));
+      ++I;
+      break;
+
+    case DOp::LoadScalar:
+    case DOp::LoadData: {
+      ++Steps;
+      int64_t Addr = RS + I->Imm;
+      if (!addrOK(Addr))
+        return errorOut(I,
+                        "load out of bounds at word " + std::to_string(Addr));
+      R[I->Rd] = M[Addr];
+      if (I->Op == DOp::LoadScalar)
+        ++Stats.ScalarLoads;
+      else
+        ++Stats.DataLoads;
+      ++I;
+      break;
+    }
+
+    case DOp::StoreScalar:
+    case DOp::StoreData: {
+      ++Steps;
+      int64_t Addr = RS + I->Imm;
+      if (!addrOK(Addr))
+        return errorOut(I,
+                        "store out of bounds at word " + std::to_string(Addr));
+      M[Addr] = RT;
+      if (I->Op == DOp::StoreScalar)
+        ++Stats.ScalarStores;
+      else
+        ++Stats.DataStores;
+      ++I;
+      break;
+    }
+
+    case DOp::Print:
+      ++Steps;
+      Stats.Output.push_back(RS);
+      ++I;
+      break;
+
+    case DOp::FusedAddImmLoadScalar:
+    case DOp::FusedAddImmLoadData: {
+      // Component 1: the add-immediate.
+      ++Steps;
+      int64_t A = int64_t(uint64_t(RS) + uint64_t(I->Imm));
+      R[I->Rd] = A;
+      // Component 2: the load, with its own pre-check.
+      if (Steps >= MaxSteps) {
+        failBudget();
+        return nullptr;
+      }
+      ++Steps;
+      int64_t Addr = A + I->Imm2;
+      if (!addrOK(Addr))
+        return errorOut(I,
+                        "load out of bounds at word " + std::to_string(Addr));
+      R[I->Rd2] = M[Addr];
+      if (I->Op == DOp::FusedAddImmLoadScalar)
+        ++Stats.ScalarLoads;
+      else
+        ++Stats.DataLoads;
+      ++Stats.SuperopsRetired;
+      ++I;
+      break;
+    }
+
+    case DOp::FusedCmpBrEq:
+    case DOp::FusedCmpBrNe:
+    case DOp::FusedCmpBrLt:
+    case DOp::FusedCmpBrLe:
+    case DOp::FusedCmpBrGt:
+    case DOp::FusedCmpBrGe:
+    case DOp::FusedCmpBrEqP:
+    case DOp::FusedCmpBrNeP:
+    case DOp::FusedCmpBrLtP:
+    case DOp::FusedCmpBrLeP:
+    case DOp::FusedCmpBrGtP:
+    case DOp::FusedCmpBrGeP: {
+      // Component 1: the compare.
+      ++Steps;
+      int64_t C = fusedCmpApply(I->Op, RS, RT);
+      R[I->Rd] = C;
+      // Component 2: the branch, with its own pre-check.
+      if (Steps >= MaxSteps) {
+        failBudget();
+        return nullptr;
+      }
+      ++Steps;
+      ++Stats.SuperopsRetired;
+      int32_t T = C ? I->Target1 : I->Target2;
+      int Blk = C ? I->TargetBlock1 : I->TargetBlock2;
+      I = CurCode + T;
+      if (!EnterBlock(Blk))
+        return nullptr;
+      break;
+    }
+
+    case DOp::Br:
+    case DOp::BrP: {
+      ++Steps;
+      int Blk = I->TargetBlock1;
+      I = CurCode + I->Target1;
+      if (!EnterBlock(Blk))
+        return nullptr;
+      break;
+    }
+
+    case DOp::CondBr:
+    case DOp::CondBrP: {
+      ++Steps;
+      bool Cond = RS != 0;
+      int Blk = Cond ? I->TargetBlock1 : I->TargetBlock2;
+      int32_t T = Cond ? I->Target1 : I->Target2;
+      I = CurCode + T;
+      if (!EnterBlock(Blk))
+        return nullptr;
+      break;
+    }
+
+    case DOp::Ret:
+    case DOp::RetC: {
+      ++Steps;
+      if (Opts.CheckConventions && !CallRecords.empty()) {
+        std::string Msg =
+            sim::checkCallConvention(Prog, CallRecords.back(), R);
+        if (!Msg.empty())
+          return errorOut(I, std::move(Msg));
+        CallRecords.pop_back();
+      }
+      if (CallStack.empty()) {
+        Stats.OK = true;
+        Stats.ExitValue = R[RegV0];
+        return nullptr;
+      }
+      DFrame F = CallStack.back();
+      CallStack.pop_back();
+      CurProc = F.Proc;
+      CurCode = F.Proc->Code.data();
+      I = F.Resume; // mid-block resume: no entry bookkeeping, and the
+                    // frame's charge bias is moot (counting is eager now)
+      break;
+    }
+
+    case DOp::Call:
+    case DOp::CallP:
+    case DOp::CallC:
+    case DOp::CallPC:
+    case DOp::CallInd:
+    case DOp::CallIndP:
+    case DOp::CallIndC:
+    case DOp::CallIndPC: {
+      ++Steps;
+      ++Stats.Calls;
+      const DecodedProc *P;
+      if (I->Op == DOp::Call || I->Op == DOp::CallP || I->Op == DOp::CallC ||
+          I->Op == DOp::CallPC) {
+        P = I->Callee;
+      } else {
+        int Callee = int(RS);
+        if (Callee < 0 || Callee >= int(Procs.size()))
+          return errorOut(I, "call to invalid procedure id " +
+                                 std::to_string(Callee));
+        P = &Procs[Callee];
+        if (!P->HasBody)
+          return errorOut(I,
+                          "call to external procedure '" + P->Name + "'");
+      }
+      if (CallStack.size() >= Opts.MaxCallDepth)
+        return errorOut(I, "call depth exceeded");
+      if (Opts.CheckConventions)
+        CallRecords.push_back(sim::snapshotCall(Prog, P->Id, R));
+      CallStack.push_back({I + 1, CurProc, 0});
+      CurProc = P;
+      CurCode = P->Code.data();
+      I = CurCode;
+      if (!EnterBlock(0))
+        return nullptr;
+      break;
+    }
+
+    case DOp::CallExt:
+      ++Steps;
+      ++Stats.Calls;
+      return errorOut(I, "call to external procedure '" + I->Callee->Name +
+                             "'");
+
+    case DOp::CallBad:
+      ++Steps;
+      ++Stats.Calls;
+      return errorOut(I,
+                      "call to invalid procedure id " + std::to_string(I->Imm));
+    }
+  }
+}
+
+//===----------------------------------------------------------------------===//
+// Driver
+//===----------------------------------------------------------------------===//
+
+RunStats DecodedEngine::run() {
+  if (Prog.MainProcId < 0) {
+    Stats.OK = false;
+    Stats.Error = "program has no main procedure";
+    return finish();
+  }
+  decode();
+  DecodedProc &Main = Procs[Prog.MainProcId];
+  if (!Main.HasBody) {
+    Stats.OK = false;
+    Stats.Error = "main procedure has no body";
+    return finish();
+  }
+
+  Regs.assign(NumPhysRegs, 0);
+  Mem.reset(
+      static_cast<int64_t *>(std::calloc(Opts.MemWords, sizeof(int64_t))));
+  if (!Mem)
+    throw std::bad_alloc();
+  for (unsigned W = 0; W < Prog.GlobalImage.size(); ++W)
+    Mem[W] = Prog.GlobalImage[W];
+  R = Regs.data();
+  M = Mem.get();
+  R[RegSP] = int64_t(Opts.MemWords);
+
+  if (Opts.CollectBlockProfile) {
+    Stats.Profile.BlockCounts.resize(Prog.Procs.size());
+    for (unsigned P = 0; P < Prog.Procs.size(); ++P) {
+      Stats.Profile.BlockCounts[P].assign(Prog.Procs[P].Blocks.size(), 0);
+      Procs[P].Counts = Stats.Profile.BlockCounts[P].data();
+    }
+  }
+
+  CurProc = &Main;
+  CurCode = Main.Code.data();
+  const DInst *I = CurCode;
+
+  // Entry transfer into main's first block: same bookkeeping as any
+  // other block transfer.
+  if (MaxSteps >= Main.EntryCost) {
+    if (Opts.CollectBlockProfile)
+      ++Main.Counts[0];
+  } else {
+    runCareful(I, 0);
+    return finish();
+  }
+
+#if IPRA_COMPUTED_GOTO
+  static const void *const Table[] = {
+#define IPRA_D(N) &&L_##N,
+      IPRA_DOP_LIST(IPRA_D)
+#undef IPRA_D
+  };
+#define IPRA_DISPATCH() goto *Table[size_t(I->Op)]
+  IPRA_DISPATCH();
+#define IPRA_D(N)                                                              \
+  L_##N : I = h##N(*this, I);                                                  \
+  if (!I)                                                                      \
+    goto Done;                                                                 \
+  IPRA_DISPATCH();
+  IPRA_DOP_LIST(IPRA_D)
+#undef IPRA_D
+#undef IPRA_DISPATCH
+Done:;
+#else
+  using Handler = const DInst *(*)(DecodedEngine &, const DInst *);
+  static const Handler Table[] = {
+#define IPRA_D(N) &h##N,
+      IPRA_DOP_LIST(IPRA_D)
+#undef IPRA_D
+  };
+  while (I)
+    I = Table[size_t(I->Op)](*this, I);
+#endif
+
+  return finish();
+}
+
+} // namespace
+
+RunStats ipra::runDecodedProgram(const MProgram &Prog,
+                                 const SimOptions &Opts) {
+  return DecodedEngine(Prog, Opts).run();
+}

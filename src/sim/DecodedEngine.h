@@ -1,0 +1,44 @@
+//===- sim/DecodedEngine.h - Pre-decoded threaded-dispatch engine -*- C++ -*-===//
+//
+// Part of the ipra project (Chow, PLDI 1988 reproduction).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The simulator's second execution engine (SimEngine::Decoded): a
+/// pre-decoder lowers each MProc into one flat, cache-dense stream of
+/// fixed-width decoded ops -- branch targets resolved to stream indices,
+/// call targets to decoded-proc pointers, operands unpacked, and common
+/// pairs (compare+branch, add-immediate+load) fused into superops whose
+/// accounting still charges the original per-instruction costs -- and a
+/// threaded-dispatch inner loop (computed goto where the compiler
+/// supports it, a dense function-pointer table otherwise) executes the
+/// streams. Profile, budget and convention checks are hoisted to decode
+/// time: the decoder emits checking vs. non-checking op variants, and the
+/// execution-budget test runs per *block transfer* against precomputed
+/// block costs, falling into an exact per-instruction checking tail loop
+/// only when the remaining budget no longer provably covers the next
+/// block.
+///
+/// The engine's contract is RunStats::sameExecution-equality with the
+/// Reference interpreter: identical outcome, output, pixie counters,
+/// block profiles and error messages on every program. See DESIGN.md
+/// section 11 for the stream format and the cost-accounting invariant.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef IPRA_SIM_DECODEDENGINE_H
+#define IPRA_SIM_DECODEDENGINE_H
+
+#include "sim/Simulator.h"
+
+namespace ipra {
+
+/// Decode + execute \p Prog under the decoded engine. Never throws;
+/// failures are reported through RunStats::OK / Error exactly like
+/// runProgram. Called by runProgram when SimOptions::Engine is Decoded.
+RunStats runDecodedProgram(const MProgram &Prog, const SimOptions &Opts);
+
+} // namespace ipra
+
+#endif // IPRA_SIM_DECODEDENGINE_H

@@ -2,6 +2,9 @@
 
 #include "sim/Simulator.h"
 
+#include "sim/ConventionCheck.h"
+#include "sim/DecodedEngine.h"
+
 using namespace ipra;
 
 namespace {
@@ -10,12 +13,6 @@ struct Frame {
   int ProcId;
   int Block;
   unsigned Inst;
-};
-
-/// Snapshot taken at a call for the convention checker.
-struct CallRecord {
-  int CalleeId;
-  std::vector<int64_t> RegsBefore;
 };
 
 class Machine {
@@ -258,7 +255,7 @@ private:
     if (CallStack.size() >= Opts.MaxCallDepth)
       return errorOut("call depth exceeded");
     if (Opts.CheckConventions)
-      CallRecords.push_back({Callee, Regs});
+      CallRecords.push_back(sim::snapshotCall(Prog, Callee, Regs.data()));
     Frame Return = Cur;
     ++Return.Inst;
     CallStack.push_back(Return);
@@ -267,29 +264,15 @@ private:
   }
 
   /// Verifies the returning procedure preserved everything outside its
-  /// published clobber mask, plus the stack pointer.
+  /// published clobber mask, plus the stack pointer (the shared
+  /// sim/ConventionCheck.h helpers, same as the decoded engine).
   bool checkConvention() {
-    const CallRecord &Rec = CallRecords.back();
-    const MProc &Callee = Prog.Procs[Rec.CalleeId];
-    if (Regs[RegSP] != Rec.RegsBefore[RegSP]) {
-      errorOut("convention violation: '" + Callee.Name +
-               "' returned with a misadjusted stack pointer");
-      return false;
-    }
-    if (Rec.CalleeId >= int(Prog.ClobberMasks.size()))
-      return true; // hand-built program without masks: nothing to check
-    const BitVector &Clobber = Prog.ClobberMasks[Rec.CalleeId];
-    for (unsigned Reg = 0; Reg < NumPhysRegs; ++Reg) {
-      if (Reg == RegSP || Reg == RegRA || Clobber.test(Reg))
-        continue;
-      if (Regs[Reg] != Rec.RegsBefore[Reg]) {
-        errorOut("convention violation: '" + Callee.Name +
-                 "' clobbered " + regName(Reg) +
-                 " which its usage summary promises to preserve");
-        return false;
-      }
-    }
-    return true;
+    std::string Msg =
+        sim::checkCallConvention(Prog, CallRecords.back(), Regs.data());
+    if (Msg.empty())
+      return true;
+    errorOut(std::move(Msg));
+    return false;
   }
 
   const MProgram &Prog;
@@ -297,7 +280,7 @@ private:
   std::vector<int64_t> Regs;
   std::vector<int64_t> Mem;
   std::vector<Frame> CallStack;
-  std::vector<CallRecord> CallRecords;
+  std::vector<sim::CallRecord> CallRecords;
   Frame Cur{0, 0, 0};
   RunStats Stats;
 };
@@ -305,6 +288,8 @@ private:
 } // namespace
 
 RunStats ipra::runProgram(const MProgram &Prog, const SimOptions &Opts) {
+  if (Opts.Engine == SimEngine::Decoded)
+    return runDecodedProgram(Prog, Opts);
   return Machine(Prog, Opts).run();
 }
 
@@ -318,5 +303,22 @@ StatCounters RunStats::counters() const {
   S.set("sim.data_stores", DataStores);
   S.set("sim.calls", Calls);
   S.set("sim.output_values", Output.size());
+  // Engine-internal observability: only when non-zero, so Reference-engine
+  // reports (and their goldens) render exactly as before the decoded
+  // engine existed.
+  if (DecodedProcs)
+    S.set("sim.decode.procs", DecodedProcs);
+  if (DecodedOps)
+    S.set("sim.decode.ops", DecodedOps);
+  if (DecodedSourceInsts)
+    S.set("sim.decode.source_insts", DecodedSourceInsts);
+  if (FusedCmpBranches)
+    S.set("sim.decode.fused_cmp_branches", FusedCmpBranches);
+  if (FusedAddImmLoads)
+    S.set("sim.decode.fused_addimm_loads", FusedAddImmLoads);
+  if (SuperopsRetired)
+    S.set("sim.dispatch.superops_retired", SuperopsRetired);
+  if (CarefulEntries)
+    S.set("sim.dispatch.careful_entries", CarefulEntries);
   return S;
 }

@@ -55,14 +55,55 @@ struct RunStats {
   /// into the allocator (see analysis/Profile.h).
   ProfileData Profile;
 
+  /// Decoded-engine observability (all zero under the Reference engine;
+  /// excluded from the paper-measurement equality in sameExecution()).
+  /// Decode-time shape of the pre-decoded streams:
+  uint64_t DecodedProcs = 0;       ///< Procedures lowered to streams.
+  uint64_t DecodedOps = 0;         ///< Decoded ops emitted in total.
+  uint64_t DecodedSourceInsts = 0; ///< Original MInsts those ops cover.
+  uint64_t FusedCmpBranches = 0;   ///< compare+branch pairs fused.
+  uint64_t FusedAddImmLoads = 0;   ///< add-immediate+load pairs fused.
+  /// Dispatch-time behaviour:
+  uint64_t SuperopsRetired = 0;  ///< Fused ops executed (2 insts each).
+  uint64_t CarefulEntries = 0;   ///< Switches into the checking tail loop.
+
   uint64_t scalarMemOps() const { return ScalarLoads + ScalarStores; }
   double cyclesPerCall() const {
-    return Calls ? double(Cycles) / double(Calls) : double(Cycles);
+    return double(Cycles) / double(Calls ? Calls : 1);
+  }
+
+  /// True when two runs agree on everything the paper measures: outcome,
+  /// output, every pixie counter and the block profile. Engine-internal
+  /// counters (sim.decode.* / sim.dispatch.*) are deliberately excluded --
+  /// this is the contract the Decoded engine must meet against the
+  /// Reference oracle.
+  bool sameExecution(const RunStats &O) const {
+    return OK == O.OK && Error == O.Error && ExitValue == O.ExitValue &&
+           Cycles == O.Cycles && Instructions == O.Instructions &&
+           ScalarLoads == O.ScalarLoads && ScalarStores == O.ScalarStores &&
+           DataLoads == O.DataLoads && DataStores == O.DataStores &&
+           Calls == O.Calls && Output == O.Output &&
+           Profile.BlockCounts == O.Profile.BlockCounts;
   }
 
   /// The pixie counters as a named-counter set ("sim.*"), for the
-  /// machine-readable stats report alongside CompileStats.
+  /// machine-readable stats report alongside CompileStats. The decoded
+  /// engine's "sim.decode.* / sim.dispatch.*" keys appear only when
+  /// non-zero, so Reference-engine reports render exactly as before the
+  /// second engine existed.
   StatCounters counters() const;
+};
+
+/// Which execution engine runProgram uses. Both produce byte-identical
+/// RunStats (see RunStats::sameExecution); the Reference interpreter is
+/// kept as the oracle the decoded engine is differentially tested
+/// against.
+enum class SimEngine {
+  /// The original switch-dispatch interpreter over MInst vectors.
+  Reference,
+  /// Pre-decoded flat streams with threaded dispatch and superop fusion
+  /// (see sim/DecodedEngine.h). The default.
+  Decoded,
 };
 
 struct SimOptions {
@@ -82,6 +123,9 @@ struct SimOptions {
   /// diagnostic naming the call and register -- it means the allocator
   /// published a summary its code does not honour.
   bool CheckConventions = false;
+  /// Execution engine (see SimEngine). Decoded by default; Reference is
+  /// the differential oracle.
+  SimEngine Engine = SimEngine::Decoded;
 };
 
 /// Executes \p Prog from its main procedure. Never throws; failures are

@@ -1,0 +1,384 @@
+//===- tests/SimEngineTest.cpp - Reference vs. Decoded engine equivalence -===//
+//
+// The decoded engine's contract is byte-identical RunStats with the
+// reference interpreter on every program (RunStats::sameExecution:
+// outcome, error text, output, every pixie counter, block profiles).
+// This suite proves it four ways: a randomized differential sweep over
+// generated programs x all six paper configurations x every checking-mode
+// combination; the whole 13-program benchmark suite x all six
+// configurations in the strongest checking mode; an exhaustive
+// execution-budget sweep that walks the
+// MaxSteps boundary one instruction at a time (the careful-tail-loop
+// edge cases, including budgets landing inside a fused superop); and
+// hand-built MIR for every runtime-error path the decoder special-cases
+// (bad/external call targets, indirect calls, out-of-bounds traffic).
+// A final group pins the BatchRunner's deterministic result ordering at
+// 0/1/4 threads (run under TSan via the "parallel" label).
+//
+//===----------------------------------------------------------------------===//
+
+#include "driver/Pipeline.h"
+#include "programs/Programs.h"
+#include "sim/BatchRunner.h"
+
+#include "ProgramGenerator.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <memory>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+using namespace ipra;
+
+namespace {
+
+/// Compares one program under both engines with the given checking modes;
+/// every RunStats field the paper measures must match exactly.
+void expectEnginesAgree(const MProgram &Prog, SimOptions Opts,
+                        const std::string &What) {
+  Opts.Engine = SimEngine::Reference;
+  RunStats Ref = runProgram(Prog, Opts);
+  Opts.Engine = SimEngine::Decoded;
+  RunStats Dec = runProgram(Prog, Opts);
+  EXPECT_TRUE(Ref.sameExecution(Dec))
+      << What << ":\n  reference: OK=" << Ref.OK << " err='" << Ref.Error
+      << "' cycles=" << Ref.Cycles << " scalar=" << Ref.ScalarLoads << "/"
+      << Ref.ScalarStores << " data=" << Ref.DataLoads << "/"
+      << Ref.DataStores << " calls=" << Ref.Calls << "\n  decoded:   OK="
+      << Dec.OK << " err='" << Dec.Error << "' cycles=" << Dec.Cycles
+      << " scalar=" << Dec.ScalarLoads << "/" << Dec.ScalarStores
+      << " data=" << Dec.DataLoads << "/" << Dec.DataStores
+      << " calls=" << Dec.Calls;
+}
+
+/// All four checking-mode combinations: each selects different decoded op
+/// variants (profiled branches/calls, checked returns), so all four
+/// decode paths must hold the contract.
+const std::pair<bool, bool> CheckModes[] = {
+    {false, false}, {true, false}, {false, true}, {true, true}};
+
+class SimEngineDifferentialTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(SimEngineDifferentialTest, RandomProgramsAllConfigsAllModes) {
+  for (int Trial = 0; Trial < 4; ++Trial) {
+    uint32_t Seed = uint32_t(42000 + GetParam() * 1000 + Trial);
+    ProgramGenerator Gen(Seed);
+    std::string Src = Gen.generate();
+    for (PaperConfig Config :
+         {PaperConfig::Base, PaperConfig::A, PaperConfig::B, PaperConfig::C,
+          PaperConfig::D, PaperConfig::E}) {
+      DiagnosticEngine Diags;
+      auto Compiled = compileProgram(Src, optionsFor(Config), Diags);
+      ASSERT_NE(Compiled, nullptr)
+          << "seed " << Seed << " under " << paperConfigName(Config) << ":\n"
+          << Diags.str();
+      for (auto [Profile, Check] : CheckModes) {
+        SimOptions Opts;
+        Opts.MaxSteps = 2 * 1000 * 1000;
+        Opts.CollectBlockProfile = Profile;
+        Opts.CheckConventions = Check;
+        expectEnginesAgree(Compiled->Program, Opts,
+                           "seed " + std::to_string(Seed) + " under " +
+                               paperConfigName(Config) + " profile=" +
+                               std::to_string(Profile) + " conventions=" +
+                               std::to_string(Check));
+      }
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, SimEngineDifferentialTest,
+                         ::testing::Values(1, 2, 3, 4, 5, 6));
+
+// The acceptance sweep: every real suite program under every paper
+// configuration, in the strongest checking mode (profiles + conventions
+// both on, so the checked/profiled op variants carry the load). The
+// random sweep above covers the plain variants.
+class SimEngineSuiteTest : public ::testing::TestWithParam<BenchmarkProgram> {
+};
+
+TEST_P(SimEngineSuiteTest, WholeSuiteAllConfigs) {
+  const BenchmarkProgram &B = GetParam();
+  for (PaperConfig Config :
+       {PaperConfig::Base, PaperConfig::A, PaperConfig::B, PaperConfig::C,
+        PaperConfig::D, PaperConfig::E}) {
+    DiagnosticEngine Diags;
+    auto Compiled = compileProgram(B.Source, optionsFor(Config), Diags);
+    ASSERT_NE(Compiled, nullptr)
+        << B.Name << " under " << paperConfigName(Config) << ":\n"
+        << Diags.str();
+    SimOptions Opts;
+    Opts.CollectBlockProfile = true;
+    Opts.CheckConventions = true;
+    expectEnginesAgree(Compiled->Program, Opts,
+                       std::string(B.Name) + " under " +
+                           paperConfigName(Config));
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Suite, SimEngineSuiteTest, ::testing::ValuesIn(benchmarkSuite()),
+    [](const ::testing::TestParamInfo<BenchmarkProgram> &Info) {
+      return std::string(Info.param.Name);
+    });
+
+// Walks the execution budget one instruction at a time across a program
+// whose trace contains calls, returns, fused compare+branches and memory
+// traffic. Every budget value in [0, N+2] must fail (or succeed) at the
+// same instruction with the same error, the same partial counters and the
+// same partial block profile under both engines -- this is the edge the
+// fast path's hoisted budget test and the careful tail loop share.
+TEST(SimEngineBudgetTest, ExhaustiveBudgetBoundarySweep) {
+  const char *Src = R"(
+var g = 3;
+func mix(a, b) {
+  var s = a * 2;
+  if (s > b) { s = s - b; } else { s = s + b; }
+  return s + g;
+}
+func main() {
+  var acc = 0;
+  for (var i = 0; i < 6; i = i + 1) {
+    acc = acc + mix(i, acc);
+    g = g + 1;
+  }
+  print(acc);
+  return acc;
+}
+)";
+  DiagnosticEngine Diags;
+  auto Compiled = compileProgram(Src, optionsFor(PaperConfig::C), Diags);
+  ASSERT_NE(Compiled, nullptr) << Diags.str();
+
+  SimOptions Full;
+  Full.MemWords = 1u << 16;
+  Full.CollectBlockProfile = true;
+  Full.CheckConventions = true;
+  Full.Engine = SimEngine::Reference;
+  RunStats Whole = runProgram(Compiled->Program, Full);
+  ASSERT_TRUE(Whole.OK) << Whole.Error;
+  ASSERT_GT(Whole.Instructions, 50u);
+  ASSERT_LT(Whole.Instructions, 5000u) << "keep the sweep cheap";
+
+  for (uint64_t Budget = 0; Budget <= Whole.Instructions + 2; ++Budget) {
+    SimOptions Opts = Full;
+    Opts.MaxSteps = Budget;
+    expectEnginesAgree(Compiled->Program, Opts,
+                       "budget " + std::to_string(Budget) + " of " +
+                           std::to_string(Whole.Instructions));
+  }
+}
+
+// Hand-built MIR hitting the runtime-error paths the decoder lowers to
+// dedicated ops (CallBad/CallExt) or runtime checks (indirect calls,
+// bounds, division), plus success paths through value edge cases. The
+// error *messages* must match byte-for-byte, including the location
+// suffix.
+class SimEngineErrorTest : public ::testing::Test {
+protected:
+  /// One procedure, one block, the given instructions (a Ret is appended).
+  static MProgram oneBlockProgram(std::vector<MInst> Insts) {
+    MProgram Prog;
+    MProc Main;
+    Main.Name = "main";
+    Main.Id = 0;
+    MBlock B;
+    B.Id = 0;
+    Insts.push_back(MInst(MOpcode::Ret));
+    B.Insts = std::move(Insts);
+    Main.Blocks.push_back(std::move(B));
+    Prog.Procs.push_back(std::move(Main));
+    Prog.MainProcId = 0;
+    return Prog;
+  }
+
+  static MInst loadImm(uint8_t Rd, int64_t Imm) {
+    MInst I(MOpcode::LoadImm);
+    I.Rd = Rd;
+    I.Imm = Imm;
+    return I;
+  }
+};
+
+TEST_F(SimEngineErrorTest, OutOfBoundsLoadAndStore) {
+  MInst Load(MOpcode::Load);
+  Load.Rd = RegT1;
+  Load.Rs = RegT0;
+  Load.Imm = -7;
+  expectEnginesAgree(oneBlockProgram({loadImm(RegT0, 2), Load}), {},
+                     "negative load address");
+
+  MInst Store(MOpcode::Store);
+  Store.Rs = RegT0;
+  Store.Rt = RegT0;
+  Store.Imm = 1;
+  SimOptions Small;
+  Small.MemWords = 64;
+  expectEnginesAgree(oneBlockProgram({loadImm(RegT0, 64), Store}), Small,
+                     "store past the top of memory");
+}
+
+TEST_F(SimEngineErrorTest, DivisionAndRemainderEdges) {
+  for (MOpcode Op : {MOpcode::Div, MOpcode::Rem}) {
+    MInst I(Op);
+    I.Rd = RegT2;
+    I.Rs = RegT0;
+    I.Rt = RegT1;
+    expectEnginesAgree(oneBlockProgram({loadImm(RegT0, 5), I}), {},
+                       "divide/remainder by zero (t1 stays 0)");
+    // INT64_MIN / -1: the one overflowing quotient, result pinned.
+    MInst Print(MOpcode::Print);
+    Print.Rs = RegT2;
+    expectEnginesAgree(oneBlockProgram({loadImm(RegT0, INT64_MIN),
+                                        loadImm(RegT1, -1), I, Print}),
+                       {}, "INT64_MIN / -1");
+  }
+}
+
+TEST_F(SimEngineErrorTest, BadAndExternalCallTargets) {
+  MInst BadCall(MOpcode::Call);
+  BadCall.Callee = 7; // out of range: the decoder emits CallBad
+  expectEnginesAgree(oneBlockProgram({BadCall}), {}, "call to invalid id");
+
+  MProgram Ext = oneBlockProgram({});
+  MProc External;
+  External.Name = "printf";
+  External.Id = 1;
+  External.IsExternal = true;
+  Ext.Procs.push_back(std::move(External));
+  MInst ExtCall(MOpcode::Call);
+  ExtCall.Callee = 1; // resolved at decode time: CallExt
+  Ext.Procs[0].Blocks[0].Insts.insert(Ext.Procs[0].Blocks[0].Insts.begin(),
+                                      ExtCall);
+  expectEnginesAgree(Ext, {}, "call to external procedure");
+
+  // The indirect forms stay runtime checks.
+  MInst IndBad(MOpcode::CallInd);
+  IndBad.Rs = RegT0;
+  expectEnginesAgree(oneBlockProgram({loadImm(RegT0, -3), IndBad}), {},
+                     "indirect call to invalid id");
+  MInst IndExt(MOpcode::CallInd);
+  IndExt.Rs = RegT0;
+  MProgram Ext2 = oneBlockProgram({loadImm(RegT0, 1), IndExt});
+  MProc External2;
+  External2.Name = "malloc";
+  External2.Id = 1;
+  External2.IsExternal = true;
+  Ext2.Procs.push_back(std::move(External2));
+  expectEnginesAgree(Ext2, {}, "indirect call to external procedure");
+}
+
+TEST_F(SimEngineErrorTest, CallDepthExceeded) {
+  // main calls itself forever; a tiny depth budget trips first.
+  MInst Recurse(MOpcode::Call);
+  Recurse.Callee = 0;
+  SimOptions Opts;
+  Opts.MaxCallDepth = 9;
+  expectEnginesAgree(oneBlockProgram({Recurse}), Opts, "call depth");
+}
+
+TEST_F(SimEngineErrorTest, ShiftRangeAndWrapArithmetic) {
+  // Shl/Shr out of [0,62] produce 0; Add wraps; results observed via
+  // Print so a value divergence shows up in Output.
+  std::vector<MInst> Insts;
+  Insts.push_back(loadImm(RegT0, INT64_MAX));
+  Insts.push_back(loadImm(RegT1, 63));
+  for (MOpcode Op : {MOpcode::Shl, MOpcode::Shr, MOpcode::Add}) {
+    MInst I(Op);
+    I.Rd = RegT2;
+    I.Rs = RegT0;
+    I.Rt = Op == MOpcode::Add ? RegT0 : RegT1;
+    Insts.push_back(I);
+    MInst Print(MOpcode::Print);
+    Print.Rs = RegT2;
+    Insts.push_back(Print);
+  }
+  expectEnginesAgree(oneBlockProgram(std::move(Insts)), {},
+                     "shift range and wrap-around");
+}
+
+// The decoded engine's observability counters: present (and plausible)
+// under the Decoded engine, absent from Reference-engine counter reports
+// so pre-existing --stats-json goldens cannot shift.
+TEST(SimEngineCountersTest, DecodeCountersOnlyUnderDecodedEngine) {
+  ProgramGenerator Gen(4242);
+  DiagnosticEngine Diags;
+  auto Compiled =
+      compileProgram(Gen.generate(), optionsFor(PaperConfig::C), Diags);
+  ASSERT_NE(Compiled, nullptr) << Diags.str();
+
+  SimOptions Opts;
+  Opts.Engine = SimEngine::Reference;
+  RunStats Ref = runProgram(Compiled->Program, Opts);
+  ASSERT_TRUE(Ref.OK) << Ref.Error;
+  EXPECT_EQ(Ref.DecodedOps, 0u);
+  EXPECT_EQ(Ref.counters().json().find("sim.decode"), std::string::npos);
+  EXPECT_EQ(Ref.counters().json().find("sim.dispatch"), std::string::npos);
+
+  Opts.Engine = SimEngine::Decoded;
+  RunStats Dec = runProgram(Compiled->Program, Opts);
+  ASSERT_TRUE(Dec.OK) << Dec.Error;
+  EXPECT_GT(Dec.DecodedProcs, 0u);
+  EXPECT_GT(Dec.DecodedOps, 0u);
+  // Fusion only ever shrinks the stream, two source insts per superop.
+  EXPECT_EQ(Dec.DecodedSourceInsts,
+            Dec.DecodedOps + Dec.FusedCmpBranches + Dec.FusedAddImmLoads);
+  EXPECT_NE(Dec.counters().json().find("sim.decode.ops"), std::string::npos);
+}
+
+// BatchRunner determinism: the same job list must produce the same
+// results in the same order at any thread count (0 = inline baseline).
+// Tagged "parallel"+"sim" so the TSan preset races the pool for real.
+TEST(BatchRunnerTest, DeterministicOrderingAcrossThreadCounts) {
+  std::vector<std::string> Sources;
+  for (uint32_t Seed : {9301u, 9302u, 9303u}) {
+    ProgramGenerator Gen(Seed);
+    Sources.push_back(Gen.generate());
+  }
+  std::vector<std::unique_ptr<CompileResult>> Compiled;
+  for (const std::string &Src : Sources) {
+    DiagnosticEngine Diags;
+    auto Result = compileProgram(Src, optionsFor(PaperConfig::C), Diags);
+    ASSERT_NE(Result, nullptr) << Diags.str();
+    Compiled.push_back(std::move(Result));
+  }
+  std::vector<const MProgram *> Progs;
+  for (int Copy = 0; Copy < 4; ++Copy) // 12 jobs over <= 4 workers
+    for (const auto &Result : Compiled)
+      Progs.push_back(&Result->Program);
+
+  SimOptions Opts;
+  Opts.CollectBlockProfile = true;
+  sim::BatchRunner Inline(0);
+  std::vector<RunStats> Baseline = Inline.runPrograms(Progs, Opts);
+  ASSERT_EQ(Baseline.size(), Progs.size());
+  for (const RunStats &S : Baseline)
+    ASSERT_TRUE(S.OK) << S.Error;
+
+  for (unsigned Threads : {1u, 4u}) {
+    sim::BatchRunner Runner(Threads);
+    std::vector<RunStats> Results = Runner.runPrograms(Progs, Opts);
+    ASSERT_EQ(Results.size(), Baseline.size()) << Threads << " threads";
+    for (size_t I = 0; I < Results.size(); ++I)
+      EXPECT_TRUE(Results[I].sameExecution(Baseline[I]))
+          << "slot " << I << " at " << Threads << " threads";
+  }
+}
+
+// A throwing job must not deadlock the pool and must surface from map().
+TEST(BatchRunnerTest, FirstJobExceptionPropagates) {
+  sim::BatchRunner Runner(2);
+  std::vector<std::function<int()>> Jobs;
+  for (int I = 0; I < 6; ++I)
+    Jobs.push_back([I]() -> int {
+      if (I == 3)
+        throw std::runtime_error("job 3 failed");
+      return I;
+    });
+  EXPECT_THROW({ Runner.map(Jobs); }, std::runtime_error);
+}
+
+} // namespace

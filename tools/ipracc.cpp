@@ -24,6 +24,11 @@
 //   --emit-mir           print the generated machine code
 //   --summaries          print each procedure's register-usage summary
 //   --run                execute on the simulator (default)
+//   --sim-engine=reference|decoded
+//                        pick the execution engine: the pre-decoded
+//                        threaded-dispatch engine (default) or the
+//                        reference switch interpreter it is verified
+//                        against (both produce identical counters)
 //   --stats              print compile-time statistics, and the pixie
 //                        counters after the run
 //   --stats-json=<file>  write the machine-readable statistics report
@@ -58,6 +63,7 @@ namespace {
 
 struct ToolOptions {
   CompileOptions Compile;
+  SimOptions Sim;
   std::vector<std::string> Inputs;
   std::string Benchmark;
   bool EmitIR = false;
@@ -78,6 +84,7 @@ void usage(const char *Argv0) {
                "              [--verify-mir] [--no-verify-mir]\n"
                "              "
                "[--emit-ir] [--emit-mir] [--summaries] [--run] [--stats]\n"
+               "              [--sim-engine=reference|decoded]\n"
                "              [--stats-json=<file>] [--trace-json=<file>]\n"
                "              [--benchmark=<name>] file.mc [file2.mc ...]\n",
                Argv0);
@@ -129,6 +136,17 @@ bool parseArgs(int Argc, char **Argv, ToolOptions &Opts) {
       Opts.Run = false;
     } else if (Arg == "--stats") {
       Opts.Stats = true;
+    } else if (Arg.rfind("--sim-engine=", 0) == 0) {
+      std::string Engine = Arg.substr(std::strlen("--sim-engine="));
+      if (Engine == "reference") {
+        Opts.Sim.Engine = SimEngine::Reference;
+      } else if (Engine == "decoded") {
+        Opts.Sim.Engine = SimEngine::Decoded;
+      } else {
+        std::fprintf(stderr, "ipracc: unknown sim engine '%s'\n",
+                     Engine.c_str());
+        return false;
+      }
     } else if (Arg.rfind("--stats-json=", 0) == 0) {
       Opts.StatsJsonPath = Arg.substr(std::strlen("--stats-json="));
       if (Opts.StatsJsonPath.empty()) {
@@ -314,7 +332,7 @@ int main(int Argc, char **Argv) {
       printCompileStats(*Result);
     return WriteReports(nullptr) ? 0 : 1;
   }
-  RunStats Stats = runProgram(Result->Program);
+  RunStats Stats = runProgram(Result->Program, Opts.Sim);
   if (!Stats.OK) {
     std::fprintf(stderr, "ipracc: runtime error: %s\n", Stats.Error.c_str());
     WriteReports(nullptr);
