@@ -1,0 +1,342 @@
+//===- bench/bench_convsweep.cpp - Calling-convention design sweep ---------===//
+//
+// The convention lab the ROADMAP asks for (after Krause 2022): instead of
+// measuring IPRA against the paper's one fixed convention, compile and
+// simulate the whole 13-program suite across a generated grid of
+// conventions -- caller/callee split, parameter-register count, register-
+// file size -- and report the Pareto front over three costs:
+//
+//   cycles               total dynamic cycles over the suite
+//   mem_ops              total dynamic memory operations (scalar + data)
+//   static_save_restore  static save/restore instructions placed
+//                        (callee saves + restores + 2 per caller pair)
+//
+// The paper's configurations appear as named points on the same chart:
+// `paper-default` is the default convention under configuration C, and
+// the Table-2 restrictions D/E are re-expressed as conventions (reserved
+// registers) and cross-checked against the option-driven originals --
+// restriction really is just a special case of convention.
+//
+// Every grid cell is gated on program output equality with the
+// paper-default cell and on a clean MIR-verifier audit, so the sweep
+// doubles as a many-convention correctness harness.
+//
+//   bench_convsweep [--grid=full|small] [--out=<file>] [--threads=N]
+//
+//===----------------------------------------------------------------------===//
+
+#include "bench/BenchUtil.h"
+
+#include <algorithm>
+#include <cstring>
+#include <map>
+
+using namespace ipra;
+using namespace ipra::bench;
+
+namespace {
+
+/// One (convention, program) compile+simulate outcome.
+struct Cell {
+  bool OK = false;
+  std::string Error;
+  uint64_t Cycles = 0;
+  uint64_t MemOps = 0;
+  uint64_t StaticSR = 0;
+  std::vector<int64_t> Output;
+};
+
+/// One convention's suite-total costs.
+struct Point {
+  ConventionSpec Spec;
+  std::vector<std::string> Names; ///< Named configurations this point is.
+  uint64_t Cycles = 0;
+  uint64_t MemOps = 0;
+  uint64_t StaticSR = 0;
+  bool OnFront = false;
+};
+
+CompileOptions sweepOptions(const ConventionSpec &Spec) {
+  // Every grid point runs the full IPRA pipeline (configuration C); only
+  // the convention varies.
+  CompileOptions Opts = optionsFor(PaperConfig::C);
+  Opts.Convention = Spec;
+  Opts.Threads = 0; // One compile per worker; BatchRunner supplies them.
+  return Opts;
+}
+
+Cell runCell(const std::string &Source, const CompileOptions &Opts) {
+  Cell C;
+  DiagnosticEngine Diags;
+  auto Result = compileProgram(Source, Opts, Diags);
+  if (!Result || Diags.hasErrors()) {
+    C.Error = "compile failed:\n" + Diags.str();
+    return C;
+  }
+  SimOptions SimOpts;
+  SimOpts.CheckConventions = true;
+  RunStats Stats = runProgram(Result->Program, SimOpts);
+  if (!Stats.OK) {
+    C.Error = "run failed: " + Stats.Error;
+    return C;
+  }
+  C.OK = true;
+  C.Cycles = Stats.Cycles;
+  C.MemOps = Stats.scalarMemOps() + Stats.DataLoads + Stats.DataStores;
+  StatCounters Totals = Result->Stats.totals();
+  C.StaticSR = Totals.get("codegen.callee_saves") +
+               Totals.get("codegen.callee_restores") +
+               2 * Totals.get("codegen.caller_save_pairs");
+  C.Output = Stats.Output;
+  return C;
+}
+
+/// A convention whose allocatable file keeps the first \p NumCaller
+/// caller-saved and the last \p NumCallee (callee-saved) pool registers;
+/// the middle is reserved. Models a smaller machine at a given split.
+ConventionSpec fileSpec(unsigned NumCallee, unsigned NumCaller,
+                        unsigned NumParams) {
+  ConventionSpec S;
+  for (unsigned I = 0; I < NumCallee; ++I)
+    S.CalleeSaved.set(AllocPoolLast - I);
+  unsigned TotalCaller = AllocPoolSize - NumCallee;
+  for (unsigned I = NumCaller; I < TotalCaller; ++I)
+    S.Reserved.set(AllocPoolFirst + I);
+  for (unsigned I = 0; I < NumParams && I < TotalCaller; ++I)
+    S.ParamRegs.push_back(AllocPoolFirst + I);
+  return S;
+}
+
+/// The deterministic convention grid; dedups by spelling.
+std::vector<Point> buildGrid(bool Small) {
+  std::vector<Point> Grid;
+  std::map<std::string, size_t> Index;
+  auto Add = [&](const ConventionSpec &Spec, const char *Name = nullptr) {
+    std::string Err;
+    if (!Spec.validate(&Err)) {
+      std::fprintf(stderr, "convsweep: bad grid spec: %s\n", Err.c_str());
+      std::exit(1);
+    }
+    auto [It, New] = Index.emplace(Spec.str(), Grid.size());
+    if (New)
+      Grid.push_back({Spec, {}, 0, 0, 0, false});
+    if (Name)
+      Grid[It->second].Names.push_back(Name);
+  };
+
+  auto ParamsFor = [](unsigned NumCaller) {
+    return NumCaller < 4 ? NumCaller : 4;
+  };
+
+  if (Small) {
+    for (unsigned K : {0u, 4u, 9u, 15u, 20u})
+      Add(fileSpec(K, AllocPoolSize - K, ParamsFor(AllocPoolSize - K)));
+  } else {
+    // Axis 1: the caller/callee split over the full 20-register file.
+    for (unsigned K = 0; K <= AllocPoolSize; ++K)
+      Add(fileSpec(K, AllocPoolSize - K, ParamsFor(AllocPoolSize - K)));
+    // Axis 2: parameter-register count at three representative splits.
+    for (unsigned K : {5u, 9u, 13u}) {
+      unsigned NumCaller = AllocPoolSize - K;
+      for (unsigned P = 0; P <= 7 && P <= NumCaller; ++P)
+        Add(fileSpec(K, NumCaller, P));
+    }
+    // Axis 3: smaller register files at every split -- the Table-2
+    // question ("which class wins under scarcity?") asked everywhere.
+    for (unsigned F : {6u, 7u, 8u, 10u, 12u, 14u, 16u, 18u})
+      for (unsigned K = 0; K <= F; ++K)
+        Add(fileSpec(K, F - K, ParamsFor(F - K)));
+  }
+
+  // Named points: the paper's convention and the Table-2 restrictions
+  // re-expressed as conventions (reservation of the excluded file).
+  Add(ConventionSpec::defaultSpec(), "paper-default");
+  Add(ConventionSpec::forRestriction(RegSetRestriction::CallerOnly7),
+      "paper-D");
+  Add(ConventionSpec::forRestriction(RegSetRestriction::CalleeOnly7),
+      "paper-E");
+  return Grid;
+}
+
+void markParetoFront(std::vector<Point> &Grid) {
+  for (Point &P : Grid) {
+    P.OnFront = true;
+    for (const Point &Q : Grid) {
+      bool NoWorse = Q.Cycles <= P.Cycles && Q.MemOps <= P.MemOps &&
+                     Q.StaticSR <= P.StaticSR;
+      bool Better = Q.Cycles < P.Cycles || Q.MemOps < P.MemOps ||
+                    Q.StaticSR < P.StaticSR;
+      if (NoWorse && Better) {
+        P.OnFront = false;
+        break;
+      }
+    }
+  }
+}
+
+std::string pointJson(const Point &P) {
+  const ConventionSpec &S = P.Spec;
+  std::string Out = "    {\"spec\": \"" + jsonEscape(S.str()) + "\"";
+  Out += ", \"callee_saved\": " + std::to_string(S.CalleeSaved.count());
+  Out += ", \"reserved\": " + std::to_string(S.Reserved.count());
+  Out +=
+      ", \"allocatable\": " +
+      std::to_string(AllocPoolSize - S.Reserved.count());
+  Out += ", \"params\": " + std::to_string(S.ParamRegs.size());
+  Out += ", \"cycles\": " + std::to_string(P.Cycles);
+  Out += ", \"mem_ops\": " + std::to_string(P.MemOps);
+  Out += ", \"static_save_restore\": " + std::to_string(P.StaticSR);
+  Out += std::string(", \"pareto\": ") + (P.OnFront ? "true" : "false");
+  Out += ", \"names\": [";
+  for (size_t I = 0; I < P.Names.size(); ++I)
+    Out += (I ? ", \"" : "\"") + jsonEscape(P.Names[I]) + "\"";
+  Out += "]}";
+  return Out;
+}
+
+} // namespace
+
+int main(int argc, char **argv) {
+  bool Small = false;
+  std::string OutPath;
+  unsigned Threads = sim::BatchRunner::defaultSimThreads();
+  for (int I = 1; I < argc; ++I) {
+    std::string Arg = argv[I];
+    if (Arg == "--grid=small") {
+      Small = true;
+    } else if (Arg == "--grid=full") {
+      Small = false;
+    } else if (Arg.rfind("--out=", 0) == 0) {
+      OutPath = Arg.substr(std::strlen("--out="));
+    } else if (Arg.rfind("--threads=", 0) == 0) {
+      Threads = unsigned(std::atoi(Arg.c_str() + std::strlen("--threads=")));
+    } else {
+      std::fprintf(stderr,
+                   "usage: %s [--grid=full|small] [--out=<file>] "
+                   "[--threads=N]\n",
+                   argv[0]);
+      return 2;
+    }
+  }
+
+  std::vector<Point> Grid = buildGrid(Small);
+  const auto &Suite = benchmarkSuite();
+  size_t NumProgs = Suite.size();
+
+  // The entire sweep -- every (convention, program) cell plus the
+  // option-driven paper configurations below -- as one BatchRunner batch.
+  std::vector<std::function<Cell()>> Jobs;
+  for (const Point &P : Grid)
+    for (const BenchmarkProgram &B : Suite) {
+      CompileOptions Opts = sweepOptions(P.Spec);
+      Jobs.push_back(
+          [Source = std::string(B.Source), Opts] { return runCell(Source, Opts); });
+    }
+  // The option-driven originals of the restricted configurations, used to
+  // cross-check that restriction-as-convention changes nothing.
+  std::vector<PaperConfig> CheckConfigs = {PaperConfig::D, PaperConfig::E};
+  for (PaperConfig Config : CheckConfigs)
+    for (const BenchmarkProgram &B : Suite) {
+      CompileOptions Opts = optionsFor(Config);
+      Opts.Threads = 0;
+      Jobs.push_back(
+          [Source = std::string(B.Source), Opts] { return runCell(Source, Opts); });
+    }
+
+  sim::BatchRunner Runner(Threads);
+  std::vector<Cell> Cells = Runner.map(Jobs);
+
+  // Gate every cell: it ran, and it computed the paper-default answers.
+  size_t DefaultRow = 0;
+  for (size_t I = 0; I < Grid.size(); ++I)
+    for (const std::string &N : Grid[I].Names)
+      if (N == "paper-default")
+        DefaultRow = I;
+  for (size_t I = 0; I < Grid.size(); ++I)
+    for (size_t J = 0; J < NumProgs; ++J) {
+      const Cell &C = Cells[I * NumProgs + J];
+      if (!C.OK) {
+        std::fprintf(stderr, "convsweep: %s under '%s': %s\n",
+                     Suite[J].Name, Grid[I].Spec.str().c_str(),
+                     C.Error.c_str());
+        return 1;
+      }
+      if (C.Output != Cells[DefaultRow * NumProgs + J].Output) {
+        std::fprintf(stderr,
+                     "convsweep: %s under '%s' computed different output\n",
+                     Suite[J].Name, Grid[I].Spec.str().c_str());
+        return 1;
+      }
+    }
+  for (size_t I = 0; I < Grid.size(); ++I)
+    for (size_t J = 0; J < NumProgs; ++J) {
+      const Cell &C = Cells[I * NumProgs + J];
+      Grid[I].Cycles += C.Cycles;
+      Grid[I].MemOps += C.MemOps;
+      Grid[I].StaticSR += C.StaticSR;
+    }
+
+  // Restriction-as-convention must equal the option-driven original,
+  // cell for cell.
+  for (size_t CI = 0; CI < CheckConfigs.size(); ++CI) {
+    const char *Name = CheckConfigs[CI] == PaperConfig::D ? "paper-D"
+                                                          : "paper-E";
+    size_t Row = 0;
+    for (size_t I = 0; I < Grid.size(); ++I)
+      for (const std::string &N : Grid[I].Names)
+        if (N == Name)
+          Row = I;
+    for (size_t J = 0; J < NumProgs; ++J) {
+      const Cell &AsConv = Cells[Row * NumProgs + J];
+      const Cell &AsOpts = Cells[(Grid.size() + CI) * NumProgs + J];
+      if (AsConv.Cycles != AsOpts.Cycles || AsConv.MemOps != AsOpts.MemOps ||
+          AsConv.StaticSR != AsOpts.StaticSR ||
+          AsConv.Output != AsOpts.Output) {
+        std::fprintf(stderr,
+                     "convsweep: %s as convention differs from --restrict "
+                     "on %s\n",
+                     Name, Suite[J].Name);
+        return 1;
+      }
+    }
+  }
+
+  markParetoFront(Grid);
+
+  std::string Doc = "{\n";
+  Doc += "\"grid_size\": " + std::to_string(Grid.size()) + ",\n";
+  Doc += "\"programs\": " + std::to_string(NumProgs) + ",\n";
+  Doc += "\"points\": [\n";
+  for (size_t I = 0; I < Grid.size(); ++I)
+    Doc += pointJson(Grid[I]) + (I + 1 < Grid.size() ? ",\n" : "\n");
+  Doc += "]\n}\n";
+  if (OutPath.empty()) {
+    std::fputs(Doc.c_str(), stdout);
+  } else {
+    std::ofstream Out(OutPath);
+    Out << Doc;
+    Out.flush();
+    if (!Out) {
+      std::fprintf(stderr, "convsweep: cannot write '%s'\n", OutPath.c_str());
+      return 1;
+    }
+  }
+
+  size_t FrontSize = 0;
+  for (const Point &P : Grid)
+    FrontSize += P.OnFront;
+  std::fprintf(stderr,
+               "convsweep: %zu conventions x %zu programs, %zu on the "
+               "Pareto front\n",
+               Grid.size(), NumProgs, FrontSize);
+  for (const Point &P : Grid)
+    for (const std::string &N : P.Names)
+      std::fprintf(stderr,
+                   "  %-13s %-24s cycles=%llu mem_ops=%llu "
+                   "static_sr=%llu%s\n",
+                   N.c_str(), P.Spec.str().c_str(),
+                   (unsigned long long)P.Cycles, (unsigned long long)P.MemOps,
+                   (unsigned long long)P.StaticSR,
+                   P.OnFront ? "  [pareto]" : "");
+  return 0;
+}

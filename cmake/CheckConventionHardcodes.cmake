@@ -1,0 +1,35 @@
+# Guard against convention assumptions leaking back into the compiler:
+# outside src/target/, no code may spell allocatable-pool registers by
+# name (RegA0..RegA3, RegT0..RegT6, RegS0..RegS8). Every layer must ask
+# MachineDesc/ConventionSpec instead, so a --convention change cannot
+# silently miss a hard-coded site. The special registers (RegZero, RegAT,
+# RegV0, RegV1, RegSP, RegRA) are machine, not convention, and stay fair
+# game.
+#
+# Run as a ctest:  cmake -DSOURCE_DIR=<repo> -P CheckConventionHardcodes.cmake
+
+if(NOT SOURCE_DIR)
+  message(FATAL_ERROR "pass -DSOURCE_DIR=<repo root>")
+endif()
+
+file(GLOB_RECURSE sources
+  "${SOURCE_DIR}/src/*.cpp" "${SOURCE_DIR}/src/*.h"
+  "${SOURCE_DIR}/tools/*.cpp")
+
+set(violations "")
+foreach(file ${sources})
+  if(file MATCHES "/src/target/")
+    continue()
+  endif()
+  file(STRINGS "${file}" hits REGEX "Reg(A[0-3]|T[0-6]|S[0-8])[^a-zA-Z0-9_]")
+  foreach(hit ${hits})
+    string(APPEND violations "${file}: ${hit}\n")
+  endforeach()
+endforeach()
+
+if(violations)
+  message(FATAL_ERROR
+    "pool registers referenced by name outside src/target/ -- query "
+    "MachineDesc/ConventionSpec instead:\n${violations}")
+endif()
+message(STATUS "no convention hardcodes outside src/target/")

@@ -148,7 +148,14 @@ std::unique_ptr<CompileResult> runBackEnd(std::unique_ptr<Module> IR,
   Module &Mod = *Result->IR;
   unsigned NumProcs = Mod.numProcedures();
 
-  Result->Machine = MachineDesc(Opts.Restriction);
+  {
+    std::string ConvErr;
+    if (!Opts.Convention.validate(&ConvErr)) {
+      Diags.error("invalid calling convention: " + ConvErr);
+      return nullptr;
+    }
+  }
+  Result->Machine = MachineDesc(Opts.Convention.restricted(Opts.Restriction));
   Result->Summaries = std::make_unique<SummaryTable>(Result->Machine,
                                                      NumProcs);
   Result->Alloc.resize(NumProcs);

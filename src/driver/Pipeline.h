@@ -36,8 +36,14 @@ struct CompileOptions {
   int OptLevel = 2;
   /// Shrink-wrap callee-saved saves/restores.
   bool ShrinkWrap = false;
-  /// Register-set restriction (Table 2 experiments).
+  /// Register-set restriction (Table 2 experiments). Layered on top of
+  /// Convention by reserving every pool register outside the restricted
+  /// file (see ConventionSpec::restricted).
   RegSetRestriction Restriction = RegSetRestriction::None;
+  /// The calling convention the back end compiles against (`ipracc
+  /// --convention=`). Defaults to the paper's R2000-like convention;
+  /// must satisfy ConventionSpec::validate.
+  ConventionSpec Convention = ConventionSpec::defaultSpec();
   /// Section-6 combined strategy (ablation switch).
   bool CombinedStrategy = true;
   /// IPRA register parameter passing (ablation switch).

@@ -2,6 +2,9 @@
 
 #include "target/Machine.h"
 
+#include <cassert>
+#include <cstdlib>
+
 using namespace ipra;
 
 const char *ipra::regName(unsigned Reg) {
@@ -12,33 +15,377 @@ const char *ipra::regName(unsigned Reg) {
   return Reg < NumPhysRegs ? Names[Reg] : "$?";
 }
 
-MachineDesc::MachineDesc(RegSetRestriction R) : Restriction(R) {
-  CallerSavedRegs.resize(NumPhysRegs);
-  CalleeSavedRegs.resize(NumPhysRegs);
-  for (unsigned Reg = RegA0; Reg <= RegT6; ++Reg)
-    CallerSavedRegs.set(Reg);
-  for (unsigned Reg = RegS0; Reg <= RegS8; ++Reg)
-    CalleeSavedRegs.set(Reg);
+int ipra::regByName(const std::string &Name) {
+  std::string Bare = Name;
+  if (!Bare.empty() && Bare[0] == '$')
+    Bare = Bare.substr(1);
+  for (unsigned Reg = 0; Reg < NumPhysRegs; ++Reg)
+    if (Bare == regName(Reg) + 1)
+      return static_cast<int>(Reg);
+  return -1;
+}
 
-  Alloc.resize(NumPhysRegs);
+//===----------------------------------------------------------------------===//
+// ConventionSpec
+//===----------------------------------------------------------------------===//
+
+ConventionSpec::ConventionSpec() {
+  CalleeSaved.resize(NumPhysRegs);
+  Reserved.resize(NumPhysRegs);
+}
+
+BitVector ConventionSpec::pool() {
+  BitVector P;
+  P.resize(NumPhysRegs);
+  for (unsigned Reg = AllocPoolFirst; Reg <= AllocPoolLast; ++Reg)
+    P.set(Reg);
+  return P;
+}
+
+ConventionSpec ConventionSpec::defaultSpec() {
+  ConventionSpec S;
+  for (unsigned Reg = RegS0; Reg <= RegS8; ++Reg)
+    S.CalleeSaved.set(Reg);
+  S.ParamRegs = {RegA0, RegA1, RegA2, RegA3};
+  return S;
+}
+
+ConventionSpec ConventionSpec::forRestriction(RegSetRestriction R) {
+  return defaultSpec().restricted(R);
+}
+
+ConventionSpec ConventionSpec::restricted(RegSetRestriction R) const {
+  ConventionSpec S = *this;
+  BitVector Kept;
+  Kept.resize(NumPhysRegs);
   switch (R) {
   case RegSetRestriction::None:
-    Alloc = CallerSavedRegs | CalleeSavedRegs;
-    break;
+    return S;
   case RegSetRestriction::CallerOnly7:
     for (unsigned Reg : {RegA0, RegA1, RegA2, RegA3, RegT0, RegT1, RegT2})
-      Alloc.set(Reg);
+      Kept.set(Reg);
     break;
   case RegSetRestriction::CalleeOnly7:
     for (unsigned Reg = RegS0; Reg <= RegS6; ++Reg)
-      Alloc.set(Reg);
+      Kept.set(Reg);
     break;
   }
+  BitVector Outside = pool();
+  Outside.andNot(Kept);
+  S.Reserved |= Outside;
+  return S;
+}
+
+bool ConventionSpec::validate(std::string *Err) const {
+  auto Fail = [&](const std::string &Msg) {
+    if (Err)
+      *Err = Msg;
+    return false;
+  };
+  if (CalleeSaved.size() != NumPhysRegs || Reserved.size() != NumPhysRegs)
+    return Fail("convention masks must be sized to the register file");
+  const BitVector Pool = pool();
+  if (!CalleeSaved.isSubsetOf(Pool))
+    return Fail("callee-saved set must lie inside the allocatable pool");
+  if (!Reserved.isSubsetOf(Pool))
+    return Fail("reserved set must lie inside the allocatable pool");
+  BitVector Seen;
+  Seen.resize(NumPhysRegs);
+  for (unsigned Reg : ParamRegs) {
+    if (Reg >= NumPhysRegs || !Pool.test(Reg))
+      return Fail("parameter register outside the allocatable pool");
+    if (CalleeSaved.test(Reg))
+      return Fail(std::string("parameter register ") + regName(Reg) +
+                  " must be caller-saved");
+    if (Seen.test(Reg))
+      return Fail(std::string("duplicate parameter register ") + regName(Reg));
+    Seen.set(Reg);
+  }
+  return true;
+}
+
+namespace {
+
+/// Splits \p Text on \p Sep, keeping empty pieces.
+std::vector<std::string> splitOn(const std::string &Text, char Sep) {
+  std::vector<std::string> Parts;
+  size_t Start = 0;
+  while (true) {
+    size_t End = Text.find(Sep, Start);
+    Parts.push_back(Text.substr(Start, End - Start));
+    if (End == std::string::npos)
+      return Parts;
+    Start = End + 1;
+  }
+}
+
+bool parseCount(const std::string &Text, unsigned Max, unsigned &Out,
+                std::string &Err) {
+  if (Text.empty()) {
+    Err = "empty count";
+    return false;
+  }
+  unsigned Value = 0;
+  for (char C : Text) {
+    if (C < '0' || C > '9') {
+      Err = "malformed count '" + Text + "'";
+      return false;
+    }
+    Value = Value * 10 + static_cast<unsigned>(C - '0');
+    if (Value > Max) {
+      Err = "count '" + Text + "' exceeds " + std::to_string(Max);
+      return false;
+    }
+  }
+  Out = Value;
+  return true;
+}
+
+/// Parses a comma-separated list of register names and ranges ("a0,t1-t3")
+/// in listed order into \p Out (duplicates preserved for the caller to
+/// diagnose). An empty string is the empty list.
+bool parseRegList(const std::string &Text, std::vector<unsigned> &Out,
+                  std::string &Err) {
+  if (Text.empty())
+    return true;
+  for (const std::string &Item : splitOn(Text, ',')) {
+    size_t Dash = Item.find('-');
+    if (Dash == std::string::npos) {
+      int Reg = regByName(Item);
+      if (Reg < 0) {
+        Err = "unknown register '" + Item + "'";
+        return false;
+      }
+      Out.push_back(static_cast<unsigned>(Reg));
+      continue;
+    }
+    int Lo = regByName(Item.substr(0, Dash));
+    int Hi = regByName(Item.substr(Dash + 1));
+    if (Lo < 0 || Hi < 0 || Lo > Hi) {
+      Err = "malformed register range '" + Item + "'";
+      return false;
+    }
+    for (int Reg = Lo; Reg <= Hi; ++Reg)
+      Out.push_back(static_cast<unsigned>(Reg));
+  }
+  return true;
+}
+
+/// First \p Count caller-saved pool registers in pool order: the default
+/// parameter assignment for both spellings.
+std::vector<unsigned> leadingCallerSaved(const BitVector &CalleeSaved,
+                                         unsigned Count) {
+  std::vector<unsigned> Params;
+  for (unsigned Reg = AllocPoolFirst;
+       Reg <= AllocPoolLast && Params.size() < Count; ++Reg)
+    if (!CalleeSaved.test(Reg))
+      Params.push_back(Reg);
+  return Params;
+}
+
+bool parseShortForm(const std::string &Text, ConventionSpec &Out,
+                    std::string &Err) {
+  bool HaveS = false, HaveP = false, HaveR = false;
+  unsigned NumCallee = 0, NumParams = 0, NumReserved = 0;
+  for (const std::string &Field : splitOn(Text, ',')) {
+    if (Field.size() < 2 || Field[1] != ':') {
+      Err = "malformed field '" + Field + "' (want s:N, p:N or r:N)";
+      return false;
+    }
+    bool *Have;
+    unsigned *Value;
+    unsigned Max = AllocPoolSize;
+    switch (Field[0]) {
+    case 's':
+      Have = &HaveS;
+      Value = &NumCallee;
+      break;
+    case 'p':
+      Have = &HaveP;
+      Value = &NumParams;
+      break;
+    case 'r':
+      Have = &HaveR;
+      Value = &NumReserved;
+      break;
+    default:
+      Err = "unknown field '" + Field + "' (want s:N, p:N or r:N)";
+      return false;
+    }
+    if (*Have) {
+      Err = std::string("duplicate field '") + Field[0] + "'";
+      return false;
+    }
+    *Have = true;
+    if (!parseCount(Field.substr(2), Max, *Value, Err))
+      return false;
+  }
+  if (!HaveS) {
+    Err = "short form needs the callee-saved count (s:N)";
+    return false;
+  }
+  Out = ConventionSpec();
+  // The last NumCallee pool registers are callee-saved; s:9 is s0-s8.
+  for (unsigned I = 0; I < NumCallee; ++I)
+    Out.CalleeSaved.set(AllocPoolLast - I);
+  for (unsigned I = 0; I < NumReserved; ++I)
+    Out.Reserved.set(AllocPoolLast - I);
+  unsigned NumCaller = AllocPoolSize - NumCallee;
+  if (!HaveP)
+    NumParams = NumCaller < 4 ? NumCaller : 4;
+  if (NumParams > NumCaller) {
+    Err = "p:" + std::to_string(NumParams) + " exceeds the " +
+          std::to_string(NumCaller) + " caller-saved registers";
+    return false;
+  }
+  Out.ParamRegs = leadingCallerSaved(Out.CalleeSaved, NumParams);
+  return true;
+}
+
+bool parseLongForm(const std::string &Text, ConventionSpec &Out,
+                   std::string &Err) {
+  bool HaveCallee = false, HaveParams = false, HaveReserved = false;
+  std::vector<unsigned> Callee, Params, ReservedList;
+  for (const std::string &Field : splitOn(Text, ';')) {
+    size_t Eq = Field.find('=');
+    if (Eq == std::string::npos) {
+      Err = "malformed field '" + Field + "' (want key=list)";
+      return false;
+    }
+    std::string Key = Field.substr(0, Eq), Value = Field.substr(Eq + 1);
+    bool *Have;
+    std::vector<unsigned> *List;
+    if (Key == "callee") {
+      Have = &HaveCallee;
+      List = &Callee;
+    } else if (Key == "params") {
+      Have = &HaveParams;
+      List = &Params;
+    } else if (Key == "reserved") {
+      Have = &HaveReserved;
+      List = &ReservedList;
+    } else {
+      Err = "unknown field '" + Key + "'";
+      return false;
+    }
+    if (*Have) {
+      Err = "duplicate field '" + Key + "'";
+      return false;
+    }
+    *Have = true;
+    if (!parseRegList(Value, *List, Err))
+      return false;
+  }
+  if (!HaveCallee) {
+    Err = "explicit form needs a callee= field";
+    return false;
+  }
+  Out = ConventionSpec();
+  for (unsigned Reg : Callee)
+    Out.CalleeSaved.set(Reg);
+  for (unsigned Reg : ReservedList)
+    Out.Reserved.set(Reg);
+  if (HaveParams)
+    Out.ParamRegs = Params;
+  else {
+    unsigned NumCaller = AllocPoolSize - Out.CalleeSaved.count();
+    Out.ParamRegs =
+        leadingCallerSaved(Out.CalleeSaved, NumCaller < 4 ? NumCaller : 4);
+  }
+  return true;
+}
+
+/// Prints a mask as compact name ranges: "a0-a3,t2".
+std::string rangeList(const BitVector &Mask) {
+  std::string Out;
+  for (int Reg = Mask.findFirst(); Reg >= 0;) {
+    int End = Reg;
+    while (Mask.findNext(End) == End + 1)
+      ++End;
+    if (!Out.empty())
+      Out += ',';
+    Out += regName(Reg) + 1;
+    if (End > Reg)
+      Out += std::string("-") + (regName(End) + 1);
+    Reg = Mask.findNext(End);
+  }
+  return Out;
+}
+
+} // namespace
+
+bool ConventionSpec::parse(const std::string &Text, ConventionSpec &Out,
+                           std::string &Err) {
+  if (Text.empty()) {
+    Err = "empty convention spec";
+    return false;
+  }
+  bool Ok = Text.find('=') == std::string::npos
+                ? parseShortForm(Text, Out, Err)
+                : parseLongForm(Text, Out, Err);
+  return Ok && Out.validate(&Err);
+}
+
+std::string ConventionSpec::str() const {
+  // Expressible in the short form when the callee-saved and reserved sets
+  // are suffixes of the pool and the parameters are the leading
+  // caller-saved registers in pool order.
+  unsigned NumCallee = CalleeSaved.count(), NumReserved = Reserved.count();
+  bool Short = true;
+  for (unsigned I = 0; I < NumCallee && Short; ++I)
+    Short = CalleeSaved.test(AllocPoolLast - I);
+  for (unsigned I = 0; I < NumReserved && Short; ++I)
+    Short = Reserved.test(AllocPoolLast - I);
+  if (Short)
+    Short = ParamRegs ==
+            leadingCallerSaved(CalleeSaved, (unsigned)ParamRegs.size());
+  if (Short) {
+    std::string Out = "s:" + std::to_string(NumCallee) +
+                      ",p:" + std::to_string(ParamRegs.size());
+    if (NumReserved)
+      Out += ",r:" + std::to_string(NumReserved);
+    return Out;
+  }
+  std::string Out = "callee=" + rangeList(CalleeSaved) + ";params=";
+  for (unsigned I = 0; I < ParamRegs.size(); ++I) {
+    if (I)
+      Out += ',';
+    Out += regName(ParamRegs[I]) + 1;
+  }
+  if (Reserved.count())
+    Out += ";reserved=" + rangeList(Reserved);
+  return Out;
+}
+
+//===----------------------------------------------------------------------===//
+// MachineDesc
+//===----------------------------------------------------------------------===//
+
+MachineDesc::MachineDesc(RegSetRestriction R)
+    : Spec(ConventionSpec::forRestriction(R)) {
+  initFromSpec();
+}
+
+MachineDesc::MachineDesc(const ConventionSpec &S) : Spec(S) { initFromSpec(); }
+
+void MachineDesc::initFromSpec() {
+  std::string Err;
+  if (!Spec.validate(&Err)) {
+    // Constructing a machine from an invalid spec is a programming error:
+    // every entry point validates before it gets here.
+    assert(false && "invalid ConventionSpec");
+    (void)Err;
+    std::abort();
+  }
+  const BitVector Pool = ConventionSpec::pool();
+  CalleeSavedRegs = Spec.CalleeSaved;
+  CallerSavedRegs = Pool;
+  CallerSavedRegs.andNot(CalleeSavedRegs);
+  Alloc = Pool;
+  Alloc.andNot(Spec.Reserved);
 
   DefaultClobberMask = CallerSavedRegs;
   DefaultClobberMask.set(RegAT);
   DefaultClobberMask.set(RegV0);
   DefaultClobberMask.set(RegV1);
-
-  ParamRegs = {RegA0, RegA1, RegA2, RegA3};
 }

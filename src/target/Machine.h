@@ -6,19 +6,21 @@
 ///
 /// \file
 /// The machine model of the paper's Section 8: an R2000-like integer
-/// register file with 20 allocatable registers -- 11 caller-saved (the four
-/// parameter registers a0-a3 plus the temporaries t0-t6) and 9 callee-saved
-/// (s0-s8) -- plus the never-allocated specials: the hardwired zero, the
-/// codegen scratch at, the return-value/scratch pair v0/v1, the stack
-/// pointer and the return-address register. Floating point is omitted (the
-/// paper's benchmarks "use predominantly integer data").
+/// register file with 20 allocatable registers plus the never-allocated
+/// specials: the hardwired zero, the codegen scratch at, the
+/// return-value/scratch pair v0/v1, the stack pointer and the return-
+/// address register. Floating point is omitted (the paper's benchmarks
+/// "use predominantly integer data").
 ///
-/// MachineDesc also carries the Table-2 register-set restrictions: the D
-/// and E experiments rerun configuration C with the allocatable file cut to
-/// 7 caller-saved (a0-a3, t0-t2) or 7 callee-saved (s0-s6) registers. A
-/// restriction shrinks only what the allocator may hand out; the
-/// caller-/callee-saved *classification* and the default linkage protocol
-/// are properties of the convention and do not move.
+/// What used to be compiled-in constants -- the caller-/callee-saved split
+/// of the allocatable pool, the parameter registers of the default linkage
+/// protocol, and the Table-2 register-set restrictions -- is now a runtime
+/// value, ConventionSpec. The paper's convention (11 caller-saved: a0-a3
+/// and t0-t6; 9 callee-saved: s0-s8; parameters in a0-a3) is merely
+/// ConventionSpec::defaultSpec(), and the D/E restrictions are the special
+/// case of reserving every pool register outside the restricted file.
+/// MachineDesc precomputes the masks every layer queries from whatever
+/// spec it is built from; nothing outside target/ may assume the split.
 ///
 //===----------------------------------------------------------------------===//
 
@@ -27,12 +29,16 @@
 
 #include "support/BitVector.h"
 
+#include <string>
 #include <vector>
 
 namespace ipra {
 
-/// Physical register numbering. The allocatable file is the contiguous
-/// range [RegA0, RegS8]; everything outside it is convention machinery.
+/// Physical register numbering. The allocatable pool is the contiguous
+/// range [RegA0, RegS8]; everything outside it is machine (not
+/// convention) machinery. The traditional names describe the *default*
+/// convention's roles -- under a non-default ConventionSpec an "$s"
+/// register may well be caller-saved.
 enum : unsigned {
   RegZero = 0, ///< Hardwired zero (address base for globals).
   RegAT,       ///< Codegen scratch: spill reloads, move-cycle breaking.
@@ -42,14 +48,14 @@ enum : unsigned {
   RegA1,
   RegA2,
   RegA3,
-  RegT0, ///< Caller-saved temporaries.
+  RegT0, ///< Caller-saved temporaries (default convention).
   RegT1,
   RegT2,
   RegT3,
   RegT4,
   RegT5,
   RegT6,
-  RegS0, ///< Callee-saved registers.
+  RegS0, ///< Callee-saved registers (default convention).
   RegS1,
   RegS2,
   RegS3,
@@ -63,8 +69,27 @@ enum : unsigned {
   NumPhysRegs
 };
 
+/// The allocatable pool as a range, and the single place its layout
+/// assumptions live. Code outside target/ must not spell pool registers
+/// by name (see the convention-hardcode-guard ctest); it asks MachineDesc.
+constexpr unsigned AllocPoolFirst = RegA0;
+constexpr unsigned AllocPoolLast = RegS8;
+constexpr unsigned AllocPoolSize = AllocPoolLast - AllocPoolFirst + 1;
+static_assert(AllocPoolSize == 20, "the paper's 20-register pool");
+static_assert(RegA0 + 3 == RegA3 && RegA3 + 1 == RegT0 &&
+                  RegT0 + 6 == RegT6 && RegT6 + 1 == RegS0 &&
+                  RegS0 + 8 == RegS8,
+              "pool numbering must stay contiguous: a0-a3, t0-t6, s0-s8");
+static_assert(RegS8 + 1 == RegSP && RegSP + 1 == RegRA &&
+                  RegRA + 1 == NumPhysRegs,
+              "specials follow the pool");
+
 /// Printable name, e.g. "$t0".
 const char *regName(unsigned Reg);
+
+/// Parses a register name ("t0" or "$t0"). \returns the register number,
+/// or -1 when the name is unknown.
+int regByName(const std::string &Name);
 
 /// Table-2 experiment axes: restrict the allocatable file.
 enum class RegSetRestriction {
@@ -73,22 +98,99 @@ enum class RegSetRestriction {
   CalleeOnly7, ///< Configuration E: only s0-s6 allocatable.
 };
 
+/// A calling convention as data (the ROADMAP's "a convention is data, not
+/// code"): how the allocatable pool splits into caller- and callee-saved
+/// registers, which registers carry the leading parameters under the
+/// default linkage protocol, and which pool registers are reserved --
+/// withheld from the allocator entirely. Everything else (zero/at/v0/v1/
+/// sp/ra roles, the stack protocol, the return register) is machine, not
+/// convention, and cannot be respecified.
+///
+/// Two interchangeable spellings parse and print:
+///
+///   short form:  "s:9,p:4"            -- the last 9 pool registers are
+///                                        callee-saved, the first 4
+///                                        caller-saved ones carry
+///                                        parameters; optional ",r:N"
+///                                        reserves the last N pool
+///                                        registers
+///   explicit:    "callee=s0-s8;params=a0-a3;reserved="
+///                                     -- arbitrary register lists
+///                                        (comma-separated names or
+///                                        ranges over a0..s8)
+///
+/// str() prints the short form whenever the spec is expressible in it,
+/// else the explicit form; parse(str()) round-trips either way.
+struct ConventionSpec {
+  /// Pool registers a callee must preserve. Complement (within the pool)
+  /// is caller-saved. Sized NumPhysRegs.
+  BitVector CalleeSaved;
+  /// Pool registers withheld from allocation (Table-2 restrictions and
+  /// sweep experiments). Reserved registers keep their caller/callee
+  /// classification -- a reserved caller-saved register still sits in the
+  /// default clobber mask, exactly as the D/E experiments behave.
+  BitVector Reserved;
+  /// Default-protocol parameter registers in argument order. Must be
+  /// caller-saved: a callee-saved parameter register would let a caller
+  /// keep a live value across the call in the very register its own
+  /// argument setup overwrites. (Reserved parameter registers are legal;
+  /// configuration E passes parameters in the reserved a0-a3.)
+  std::vector<unsigned> ParamRegs;
+
+  ConventionSpec();
+
+  /// The paper's convention: s0-s8 callee-saved, parameters in a0-a3,
+  /// nothing reserved.
+  static ConventionSpec defaultSpec();
+
+  /// The default convention with \p R's registers reserved: D/E as data.
+  static ConventionSpec forRestriction(RegSetRestriction R);
+
+  /// The full pool {a0..s8} as a mask sized NumPhysRegs.
+  static BitVector pool();
+
+  /// This convention with \p R's restriction layered on top (reserves
+  /// every pool register outside the restricted file).
+  ConventionSpec restricted(RegSetRestriction R) const;
+
+  /// Structural soundness: masks sized and inside the pool, parameter
+  /// registers distinct and caller-saved. \returns false and fills
+  /// \p Err (when non-null) on the first violation.
+  bool validate(std::string *Err = nullptr) const;
+
+  /// Parses either spelling. \returns false and fills \p Err on malformed
+  /// text or a spec that fails validate().
+  static bool parse(const std::string &Text, ConventionSpec &Out,
+                    std::string &Err);
+
+  /// Canonical printable form; parse(str()) == *this for valid specs.
+  std::string str() const;
+
+  bool operator==(const ConventionSpec &O) const {
+    return CalleeSaved == O.CalleeSaved && Reserved == O.Reserved &&
+           ParamRegs == O.ParamRegs;
+  }
+  bool operator!=(const ConventionSpec &O) const { return !(*this == O); }
+};
+
 /// The register file description handed to the allocator, code generator
-/// and summary machinery. Cheap to copy; all masks are precomputed.
+/// and summary machinery. Cheap to copy; all masks are precomputed from
+/// the convention it was built with.
 class MachineDesc {
 public:
   MachineDesc(RegSetRestriction R = RegSetRestriction::None);
+  explicit MachineDesc(const ConventionSpec &Spec);
 
   unsigned numRegs() const { return NumPhysRegs; }
-  RegSetRestriction restriction() const { return Restriction; }
+  const ConventionSpec &convention() const { return Spec; }
 
-  /// Registers the allocator may assign (restriction applied).
+  /// Registers the allocator may assign (reservations applied).
   const BitVector &allocatable() const { return Alloc; }
   bool isAllocatable(unsigned Reg) const {
     return Reg < NumPhysRegs && Alloc.test(Reg);
   }
 
-  /// Convention classification of the full file (restriction-independent).
+  /// Convention classification of the full file (reservation-independent).
   const BitVector &callerSaved() const { return CallerSavedRegs; }
   const BitVector &calleeSaved() const { return CalleeSavedRegs; }
   bool isCallerSaved(unsigned Reg) const {
@@ -102,17 +204,18 @@ public:
   /// caller-saved register plus the scratch/return registers at, v0, v1.
   const BitVector &defaultClobber() const { return DefaultClobberMask; }
 
-  /// Default-protocol parameter registers, in argument order (a0-a3;
-  /// further arguments travel on the stack).
-  const std::vector<unsigned> &paramRegs() const { return ParamRegs; }
+  /// Default-protocol parameter registers, in argument order (further
+  /// arguments travel on the stack).
+  const std::vector<unsigned> &paramRegs() const { return Spec.ParamRegs; }
 
 private:
-  RegSetRestriction Restriction;
+  void initFromSpec();
+
+  ConventionSpec Spec;
   BitVector Alloc;
   BitVector CallerSavedRegs;
   BitVector CalleeSavedRegs;
   BitVector DefaultClobberMask;
-  std::vector<unsigned> ParamRegs;
 };
 
 } // namespace ipra

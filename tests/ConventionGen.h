@@ -1,0 +1,52 @@
+//===- tests/ConventionGen.h - Random calling-convention specs ------------===//
+//
+// Seeded generator of valid ConventionSpecs for the property tests and the
+// convention fuzzer: arbitrary caller/callee splits of the pool, occasional
+// reservations, and a random (count and order) caller-saved parameter
+// assignment. Everything it returns satisfies ConventionSpec::validate.
+//
+//===----------------------------------------------------------------------===//
+
+#ifndef IPRA_TESTS_CONVENTIONGEN_H
+#define IPRA_TESTS_CONVENTIONGEN_H
+
+#include "target/Machine.h"
+
+#include <random>
+#include <vector>
+
+namespace ipra {
+
+inline ConventionSpec randomConventionSpec(std::mt19937 &Rng) {
+  std::uniform_int_distribution<unsigned> Pct(0, 99);
+  ConventionSpec Spec;
+  // Per-spec bias so the population covers all-caller-saved through
+  // all-callee-saved rather than clustering around half/half.
+  unsigned CalleeBias = Pct(Rng) + 1;
+  for (unsigned Reg = AllocPoolFirst; Reg <= AllocPoolLast; ++Reg)
+    if (Pct(Rng) < CalleeBias)
+      Spec.CalleeSaved.set(Reg);
+  // A quarter of the specs reserve a few registers (never the whole pool:
+  // at most one in three per draw).
+  if (Pct(Rng) < 25)
+    for (unsigned Reg = AllocPoolFirst; Reg <= AllocPoolLast; ++Reg)
+      if (Pct(Rng) < 34)
+        Spec.Reserved.set(Reg);
+  // Parameters: a random count of caller-saved registers in random order.
+  std::vector<unsigned> Caller;
+  for (unsigned Reg = AllocPoolFirst; Reg <= AllocPoolLast; ++Reg)
+    if (!Spec.CalleeSaved.test(Reg))
+      Caller.push_back(Reg);
+  for (size_t I = Caller.size(); I > 1; --I)
+    std::swap(Caller[I - 1],
+              Caller[std::uniform_int_distribution<size_t>(0, I - 1)(Rng)]);
+  size_t MaxParams = Caller.size() < 6 ? Caller.size() : 6;
+  size_t NumParams =
+      std::uniform_int_distribution<size_t>(0, MaxParams)(Rng);
+  Spec.ParamRegs.assign(Caller.begin(), Caller.begin() + NumParams);
+  return Spec;
+}
+
+} // namespace ipra
+
+#endif // IPRA_TESTS_CONVENTIONGEN_H

@@ -1,0 +1,153 @@
+//===- tests/ConventionPropertyTest.cpp - Conventions-as-data property ----===//
+//
+// The conventions-as-data contract, tested as a property: for hundreds of
+// randomized valid ConventionSpecs, compiling a small program suite must
+// (1) succeed with zero MIR-verifier violations -- the PR-4 verifier is
+// the oracle that the generated code honours whatever summaries and
+// linkage protocol the convention induces -- (2) pass the simulator's
+// dynamic convention check at every call, and (3) compute exactly the
+// answers the default convention computes. Conventions change cost, never
+// meaning.
+//
+//===----------------------------------------------------------------------===//
+
+#include "driver/Pipeline.h"
+
+#include "ConventionGen.h"
+#include "ProgramGenerator.h"
+
+#include <gtest/gtest.h>
+
+#include <random>
+#include <string>
+#include <vector>
+
+using namespace ipra;
+
+namespace {
+
+/// Small fixed suite: recursion, register pressure, >4 arguments (stack
+/// parameters under the default protocol), loops and call chains.
+const std::vector<std::string> &smallSuite() {
+  static const std::vector<std::string> Suite = {
+      R"(
+        func fib(n) { if (n < 2) { return n; } return fib(n-1) + fib(n-2); }
+        func main() { print(fib(12)); return 0; }
+      )",
+      R"(
+        func wide(a, b, c, d, e, f, g) { return a + 2*b + 3*c + 4*d + 5*e + 6*f + 7*g; }
+        func mid(x, y) { return wide(x, y, x+y, x-y, x*y, x, y); }
+        func main() {
+          var i = 0; var acc = 0;
+          while (i < 10) { acc = acc + mid(i, i+1); i = i + 1; }
+          print(acc); return 0;
+        }
+      )",
+      R"(
+        func leaf(x) { return x * 3 - 1; }
+        func chain(n) {
+          var a = leaf(n); var b = leaf(a); var c = leaf(b);
+          var d = a*b + b*c + c*a;
+          return d - leaf(d);
+        }
+        func pressure(n) {
+          var p = n + 1; var q = n + 2; var r = n + 3; var s = n + 4;
+          var t = chain(n);
+          return p*q + r*s + t + p*r + q*s;
+        }
+        func main() { print(pressure(7) + chain(3)); return 0; }
+      )",
+      R"(
+        func gcd(a, b) { if (b == 0) { return a; } return gcd(b, a - (a / b) * b); }
+        func main() {
+          var i = 1; var acc = 0;
+          while (i < 12) { acc = acc + gcd(504, i * 7); i = i + 1; }
+          print(acc); return 0;
+        }
+      )",
+  };
+  return Suite;
+}
+
+struct Outcome {
+  std::vector<int64_t> Output;
+  bool Skipped = false; // generated program blew the step budget
+};
+
+/// Compiles and runs one program under \p Spec; asserts the verifier and
+/// the dynamic checker stay silent. Returns the observable output.
+Outcome compileRunChecked(const std::string &Src, const ConventionSpec &Spec,
+                          unsigned Threads, const std::string &Label) {
+  CompileOptions Opts = optionsFor(PaperConfig::C);
+  Opts.Convention = Spec;
+  Opts.Threads = Threads;
+  DiagnosticEngine Diags;
+  auto Result = compileProgram(Src, Opts, Diags);
+  EXPECT_NE(Result, nullptr) << Label << ": " << Diags.str();
+  Outcome Out;
+  if (!Result)
+    return Out;
+  // Zero MIR-verifier violations: the verifier runs inside the pipeline
+  // (VerifyMIR defaults on) and reports through the diagnostic engine.
+  EXPECT_FALSE(Diags.hasErrors()) << Label << ":\n" << Diags.str();
+  EXPECT_EQ(Result->Stats.Module.get("verify.violations"), 0u) << Label;
+
+  SimOptions SOpts;
+  SOpts.CheckConventions = true;
+  SOpts.MaxSteps = 20 * 1000 * 1000;
+  RunStats Stats = runProgram(Result->Program, SOpts);
+  if (!Stats.OK && Stats.Error.find("budget") != std::string::npos) {
+    Out.Skipped = true;
+    return Out;
+  }
+  EXPECT_TRUE(Stats.OK) << Label << ": " << Stats.Error;
+  Out.Output = Stats.Output;
+  return Out;
+}
+
+/// 10 shards x 20 specs = 200 randomized conventions.
+class ConventionPropertyTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(ConventionPropertyTest, RandomConventionsAreDataSafe) {
+  std::mt19937 Rng(0xC0DE0000u + uint32_t(GetParam()));
+  for (int Case = 0; Case < 20; ++Case) {
+    ConventionSpec Spec = randomConventionSpec(Rng);
+    ASSERT_TRUE(Spec.validate()) << Spec.str();
+    // The spelling round-trips for every generated spec, too.
+    ConventionSpec Reparsed;
+    std::string Err;
+    ASSERT_TRUE(ConventionSpec::parse(Spec.str(), Reparsed, Err))
+        << Spec.str() << ": " << Err;
+    ASSERT_EQ(Reparsed, Spec) << Spec.str();
+
+    // A third of the cases drive the DAG-scheduled back end.
+    unsigned Threads = Case % 3 == 0 ? 2 : 0;
+    std::string Label = "spec '" + Spec.str() + "'";
+    for (size_t I = 0; I < smallSuite().size(); ++I) {
+      const std::string &Src = smallSuite()[I];
+      Outcome Default = compileRunChecked(
+          Src, ConventionSpec::defaultSpec(), 0,
+          Label + " prog " + std::to_string(I) + " (default)");
+      Outcome Under = compileRunChecked(
+          Src, Spec, Threads, Label + " prog " + std::to_string(I));
+      ASSERT_FALSE(Default.Skipped || Under.Skipped);
+      ASSERT_EQ(Under.Output, Default.Output)
+          << "MISCOMPILE under " << Label << " on program " << I;
+    }
+    // One generated program per spec for structural variety.
+    ProgramGenerator Gen(0x51EED000u + uint32_t(GetParam() * 100 + Case));
+    std::string Src = Gen.generate();
+    Outcome Default = compileRunChecked(Src, ConventionSpec::defaultSpec(),
+                                        0, Label + " gen (default)");
+    Outcome Under = compileRunChecked(Src, Spec, Threads, Label + " gen");
+    if (!Default.Skipped && !Under.Skipped) {
+      ASSERT_EQ(Under.Output, Default.Output)
+          << "MISCOMPILE under " << Label << "\n" << Src;
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Shards, ConventionPropertyTest,
+                         ::testing::Range(0, 10));
+
+} // namespace

@@ -12,6 +12,8 @@
 #include "driver/Pipeline.h"
 #include "programs/Programs.h"
 
+#include "TestRender.h"
+
 #include <gtest/gtest.h>
 
 using namespace ipra;
@@ -71,7 +73,7 @@ TEST(ConventionTest, DetectsViolations) {
   int QuietId = Compiled->IR->findProcedure("quiet")->id();
   const BitVector &Clobber = Compiled->Program.ClobberMasks[QuietId];
   int Victim = -1;
-  for (unsigned Reg = RegA0; Reg < NumPhysRegs; ++Reg)
+  for (unsigned Reg = AllocPoolFirst; Reg < NumPhysRegs; ++Reg)
     if (!Clobber.test(Reg)) {
       Victim = int(Reg);
       break;
@@ -113,6 +115,195 @@ TEST(ConventionTest, DetectsStackImbalance) {
   RunStats Stats = runProgram(Compiled->Program, SOpts);
   EXPECT_FALSE(Stats.OK);
   EXPECT_NE(Stats.Error.find("stack pointer"), std::string::npos);
+}
+
+//===----------------------------------------------------------------------===//
+// ConventionSpec kernel: parse/print/validate.
+//===----------------------------------------------------------------------===//
+
+ConventionSpec mustParse(const std::string &Text) {
+  ConventionSpec Spec;
+  std::string Err;
+  EXPECT_TRUE(ConventionSpec::parse(Text, Spec, Err))
+      << "'" << Text << "': " << Err;
+  return Spec;
+}
+
+TEST(ConventionSpecTest, DefaultSpellings) {
+  ConventionSpec Default = ConventionSpec::defaultSpec();
+  EXPECT_TRUE(Default.validate());
+  EXPECT_EQ(Default.str(), "s:9,p:4");
+  // The issue's canonical spelling, the count-only form, and the explicit
+  // register-list form all denote the paper's convention.
+  EXPECT_EQ(mustParse("s:9,p:4"), Default);
+  EXPECT_EQ(mustParse("s:9"), Default);
+  EXPECT_EQ(mustParse("callee=s0-s8;params=a0-a3"), Default);
+  EXPECT_EQ(mustParse("callee=s0-s8;params=a0,a1,a2,a3;reserved="), Default);
+  // And a fresh CompileOptions compiles against exactly this spec.
+  EXPECT_EQ(CompileOptions().Convention, Default);
+}
+
+TEST(ConventionSpecTest, RoundTripsBothForms) {
+  for (const char *Text :
+       {"s:0,p:0", "s:0,p:4", "s:20,p:0", "s:5,p:6", "s:9,p:4,r:3",
+        "s:13,p:2", "callee=a0,t3-t5;params=t0,a1;reserved=s7-s8",
+        "callee=;params=s0-s3", "callee=a0-s8;params="}) {
+    ConventionSpec Spec = mustParse(Text);
+    ConventionSpec Again = mustParse(Spec.str());
+    EXPECT_EQ(Spec, Again) << Text << " printed as " << Spec.str();
+  }
+  // "callee=a0,..." makes a0 callee-saved, so params land elsewhere; the
+  // printer keeps the explicit form for such non-suffix splits.
+  ConventionSpec Odd = mustParse("callee=a0,t3-t5;params=t0,a1");
+  EXPECT_NE(Odd.str().find("callee="), std::string::npos);
+}
+
+TEST(ConventionSpecTest, RejectsMalformedAndInvalid) {
+  ConventionSpec Spec;
+  std::string Err;
+  for (const char *Text :
+       {"", "s:", "s:9,p:", "s:21", "s:9,p:12", // p exceeds 11 caller-saved
+        "s:9,x:1", "s:9,s:9", "banana",
+        "callee=zzz;params=", "callee=s0-s8;params=s0", // callee-saved param
+        "callee=s0-s8;params=a0,a0",                    // duplicate param
+        "callee=sp;params=",                            // outside the pool
+        "callee=s0-s8;params=ra", "s:9,p:4,r:21", "s:9,,p:4"}) {
+    EXPECT_FALSE(ConventionSpec::parse(Text, Spec, Err)) << Text;
+  }
+  // callee= alone defaults the params, like the short form does.
+  EXPECT_EQ(mustParse("callee=s0-s8"), ConventionSpec::defaultSpec());
+}
+
+TEST(ConventionSpecTest, RestrictionIsReservation) {
+  // Table-2's D and E are conventions: the default split with everything
+  // outside the restricted file reserved. The machines they build must
+  // match the option-driven ones mask for mask.
+  for (RegSetRestriction R : {RegSetRestriction::None,
+                              RegSetRestriction::CallerOnly7,
+                              RegSetRestriction::CalleeOnly7}) {
+    MachineDesc ByOption(R);
+    MachineDesc BySpec(ConventionSpec::forRestriction(R));
+    EXPECT_EQ(ByOption.allocatable(), BySpec.allocatable());
+    EXPECT_EQ(ByOption.callerSaved(), BySpec.callerSaved());
+    EXPECT_EQ(ByOption.calleeSaved(), BySpec.calleeSaved());
+    EXPECT_EQ(ByOption.defaultClobber(), BySpec.defaultClobber());
+    EXPECT_EQ(ByOption.paramRegs(), BySpec.paramRegs());
+    // Restriction round-trips through the spelling, too.
+    ConventionSpec Reparsed =
+        mustParse(ConventionSpec::forRestriction(R).str());
+    EXPECT_EQ(Reparsed, ConventionSpec::forRestriction(R));
+  }
+  // D keeps a0-a3,t0-t2: 7 allocatable registers, all caller-saved.
+  MachineDesc D(RegSetRestriction::CallerOnly7);
+  EXPECT_EQ(D.allocatable().count(), 7u);
+  EXPECT_TRUE(D.allocatable().isSubsetOf(D.callerSaved()));
+  // E keeps s0-s6: 7 allocatable registers, all callee-saved.
+  MachineDesc E(RegSetRestriction::CalleeOnly7);
+  EXPECT_EQ(E.allocatable().count(), 7u);
+  EXPECT_TRUE(E.allocatable().isSubsetOf(E.calleeSaved()));
+}
+
+TEST(ConventionSpecTest, MachineMasksFollowTheSpec) {
+  ConventionSpec Spec =
+      mustParse("callee=a0,t3-t5;params=t0,a1;reserved=t5,s8");
+  MachineDesc M(Spec);
+  EXPECT_EQ(M.calleeSaved(), Spec.CalleeSaved);
+  EXPECT_EQ(M.callerSaved().count(), AllocPoolSize - 4);
+  EXPECT_FALSE(M.isAllocatable(RegS8));
+  EXPECT_FALSE(M.isAllocatable(RegT5));
+  EXPECT_TRUE(M.isCalleeSaved(RegA0));
+  EXPECT_FALSE(M.isCallerSaved(RegA0));
+  // Reservation never changes classification: reserved t5 stays
+  // callee-saved, reserved s8 stays caller-saved (and so clobberable).
+  EXPECT_TRUE(M.isCalleeSaved(RegT5));
+  EXPECT_TRUE(M.isCallerSaved(RegS8));
+  EXPECT_TRUE(M.defaultClobber().test(RegS8));
+  // Caller-saved registers (and only pool + at/v0/v1) form the clobber.
+  EXPECT_TRUE(M.callerSaved().isSubsetOf(M.defaultClobber()));
+  EXPECT_FALSE(M.defaultClobber().test(RegA0));
+  EXPECT_TRUE(M.defaultClobber().test(RegAT));
+  EXPECT_EQ(M.paramRegs(), (std::vector<unsigned>{RegT0, RegA1}));
+}
+
+TEST(ConventionSpecTest, PipelineRejectsInvalidConvention) {
+  CompileOptions Opts;
+  Opts.Convention.ParamRegs = {RegS0}; // callee-saved parameter register
+  DiagnosticEngine Diags;
+  auto Result =
+      compileProgram("func main() { return 0; }", Opts, Diags);
+  EXPECT_EQ(Result, nullptr);
+  EXPECT_NE(Diags.str().find("invalid calling convention"),
+            std::string::npos)
+      << Diags.str();
+}
+
+//===----------------------------------------------------------------------===//
+// Differential test: the explicit default convention must be a no-op.
+//===----------------------------------------------------------------------===//
+
+TEST(ConventionDefaultDifferentialTest, ExplicitDefaultIsByteIdentical) {
+  // `--convention=s:9,p:4` spelling the paper's default must produce
+  // byte-identical machine code, stats JSON and simulator counters to the
+  // implicit default, for every paper configuration at Threads 0/1/4.
+  ConventionSpec Explicit = mustParse("s:9,p:4");
+  const char *Src = R"(
+    func fib(n) { if (n < 2) { return n; } return fib(n-1) + fib(n-2); }
+    func sum3(a, b, c) { return a + b + c; }
+    func wide(a, b, c, d, e, f) { return a*b + c*d + e*f; }
+    func main() {
+      var i = 0; var acc = 0;
+      while (i < 8) { acc = acc + fib(i) + wide(i,2,3,4,5,6); i = i + 1; }
+      print(acc + sum3(1, 2, 3));
+      return 0;
+    }
+  )";
+  for (PaperConfig Config : {PaperConfig::Base, PaperConfig::A,
+                             PaperConfig::B, PaperConfig::C, PaperConfig::D,
+                             PaperConfig::E}) {
+    for (unsigned Threads : {0u, 1u, 4u}) {
+      CompileOptions Implicit = optionsFor(Config);
+      Implicit.Threads = Threads;
+      CompileOptions Spelled = Implicit;
+      Spelled.Convention = Explicit;
+
+      DiagnosticEngine DiagsA, DiagsB;
+      auto A = compileProgram(Src, Implicit, DiagsA);
+      auto B = compileProgram(Src, Spelled, DiagsB);
+      ASSERT_NE(A, nullptr) << DiagsA.str();
+      ASSERT_NE(B, nullptr) << DiagsB.str();
+      EXPECT_EQ(renderProgram(*A), renderProgram(*B))
+          << paperConfigName(Config) << " Threads=" << Threads;
+      EXPECT_EQ(A->Stats.json(), B->Stats.json())
+          << paperConfigName(Config) << " Threads=" << Threads;
+
+      SimOptions SOpts;
+      SOpts.CheckConventions = true;
+      RunStats RunA = runProgram(A->Program, SOpts);
+      RunStats RunB = runProgram(B->Program, SOpts);
+      ASSERT_TRUE(RunA.OK) << RunA.Error;
+      ASSERT_TRUE(RunB.OK) << RunB.Error;
+      EXPECT_EQ(RunA.counters().json(), RunB.counters().json())
+          << paperConfigName(Config) << " Threads=" << Threads;
+    }
+  }
+}
+
+TEST(ConventionDefaultDifferentialTest, SuiteMachineCodeUnchanged) {
+  // The explicit spelling over the real benchmark suite, config C serial:
+  // rendered programs (code, clobber masks, layout) must be identical.
+  ConventionSpec Explicit = mustParse("callee=s0-s8;params=a0-a3");
+  for (const BenchmarkProgram &B : benchmarkSuite()) {
+    CompileOptions Implicit = optionsFor(PaperConfig::C);
+    Implicit.Threads = 0;
+    CompileOptions Spelled = Implicit;
+    Spelled.Convention = Explicit;
+    DiagnosticEngine DiagsA, DiagsB;
+    auto ResA = compileProgram(B.Source, Implicit, DiagsA);
+    auto ResB = compileProgram(B.Source, Spelled, DiagsB);
+    ASSERT_NE(ResA, nullptr) << B.Name << ": " << DiagsA.str();
+    ASSERT_NE(ResB, nullptr) << B.Name << ": " << DiagsB.str();
+    EXPECT_EQ(renderProgram(*ResA), renderProgram(*ResB)) << B.Name;
+  }
 }
 
 TEST(ConventionTest, SeparateCompilationHonoursConventions) {

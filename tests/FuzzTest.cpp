@@ -11,11 +11,13 @@
 
 #include "driver/Pipeline.h"
 
+#include "ConventionGen.h"
 #include "ProgramGenerator.h"
 #include "TestRender.h"
 
 #include <gtest/gtest.h>
 
+#include <random>
 #include <string>
 #include <vector>
 
@@ -108,5 +110,88 @@ TEST_P(ParallelDeterminismTest, ParallelCompilesAreDeterministic) {
 
 INSTANTIATE_TEST_SUITE_P(Seeds, ParallelDeterminismTest,
                          ::testing::Values(1, 2, 3, 4, 5));
+
+// Convention fuzzing: randomize the calling convention alongside the
+// program. Whatever the caller/callee split, parameter assignment or
+// reservation, the compiled program must compute what the default
+// convention computes -- conventions change cost, never meaning.
+class ConventionFuzzTest : public ::testing::TestWithParam<int> {};
+
+/// Degenerate corners every fuzz shard revisits: no parameter registers,
+/// all-caller-saved, all-callee-saved, and a heavily reserved file.
+const std::vector<std::string> &degenerateSpecs() {
+  static const std::vector<std::string> Specs = {
+      "s:9,p:0",  // default split, every argument on the stack
+      "s:0,p:4",  // all caller-saved
+      "s:20,p:0", // all callee-saved (parameters forced to the stack)
+      "s:6,p:4,r:10", // 10-register machine, callee class squeezed to 4
+  };
+  return Specs;
+}
+
+/// Specs that ever broke the compiler, pinned as regressions. Seed this
+/// list with the exact `ConventionSpec::str()` spelling whenever the
+/// randomized sweep finds a failure.
+const std::vector<std::string> &regressionCorpus() {
+  static const std::vector<std::string> Specs = {
+      // The grid's own corners, kept as cheap insurance that the corpus
+      // harness stays wired even while no real failures are pinned.
+      "s:9,p:4,r:13",                           // paper-D as reservation
+      "callee=s0-s8;params=a0-a3;reserved=a0-t6", // paper-E as reservation
+  };
+  return Specs;
+}
+
+TEST_P(ConventionFuzzTest, RandomConventionTimesRandomProgram) {
+  std::mt19937 Rng(0xFACADE00u + uint32_t(GetParam()));
+  SimOptions SOpts;
+  SOpts.MaxSteps = 20 * 1000 * 1000;
+  SOpts.CheckConventions = true;
+  for (int Trial = 0; Trial < 8; ++Trial) {
+    uint32_t Seed = uint32_t(GetParam() * 2000 + Trial);
+    ProgramGenerator Gen(Seed);
+    std::string Src = Gen.generate();
+    RunStats Reference =
+        compileAndRun(Src, optionsFor(PaperConfig::C), SOpts);
+    if (!Reference.OK &&
+        Reference.Error.find("budget") != std::string::npos)
+      continue; // pathologically deep call tree; not a correctness signal
+    ASSERT_TRUE(Reference.OK)
+        << "seed " << Seed << ": " << Reference.Error << "\n" << Src;
+
+    std::vector<ConventionSpec> Specs;
+    for (int S = 0; S < 3; ++S)
+      Specs.push_back(randomConventionSpec(Rng));
+    // Degenerate and regression specs ride along on the first trial.
+    std::vector<std::string> Pinned;
+    if (Trial == 0) {
+      Pinned = degenerateSpecs();
+      Pinned.insert(Pinned.end(), regressionCorpus().begin(),
+                    regressionCorpus().end());
+    }
+    for (const std::string &Text : Pinned) {
+      ConventionSpec Spec;
+      std::string Err;
+      ASSERT_TRUE(ConventionSpec::parse(Text, Spec, Err))
+          << Text << ": " << Err;
+      Specs.push_back(Spec);
+    }
+
+    for (const ConventionSpec &Spec : Specs) {
+      CompileOptions Opts = optionsFor(PaperConfig::C);
+      Opts.Convention = Spec;
+      RunStats Stats = compileAndRun(Src, Opts, SOpts);
+      ASSERT_TRUE(Stats.OK) << "seed " << Seed << " convention '"
+                            << Spec.str() << "': " << Stats.Error << "\n"
+                            << Src;
+      ASSERT_EQ(Stats.Output, Reference.Output)
+          << "MISCOMPILE at seed " << Seed << " under convention '"
+          << Spec.str() << "'\n" << Src;
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, ConventionFuzzTest,
+                         ::testing::Values(1, 2, 3, 4, 5, 6));
 
 } // namespace

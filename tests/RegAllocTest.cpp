@@ -196,7 +196,7 @@ TEST(RegAllocInterTest, RecursiveProcedureIsOpen) {
   EXPECT_FALSE(R.Summary.Precise);
   // Its parameter arrives per the default protocol.
   ASSERT_EQ(R.IncomingParamLocs.size(), 1u);
-  EXPECT_EQ(R.IncomingParamLocs[0], unsigned(RegA0));
+  EXPECT_EQ(R.IncomingParamLocs[0], C.Machine.paramRegs()[0]);
 }
 
 TEST(RegAllocInterTest, OpenProcPreservesCalleeSavedDamage) {
@@ -267,8 +267,8 @@ TEST(RegAllocInterTest, DefaultProtocolLimitsRegisterParams) {
   )", O);
   auto &R = C.of("take5");
   ASSERT_EQ(R.IncomingParamLocs.size(), 5u);
-  EXPECT_EQ(R.IncomingParamLocs[0], unsigned(RegA0));
-  EXPECT_EQ(R.IncomingParamLocs[3], unsigned(RegA3));
+  EXPECT_EQ(R.IncomingParamLocs[0], C.Machine.paramRegs()[0]);
+  EXPECT_EQ(R.IncomingParamLocs[3], C.Machine.paramRegs()[3]);
   EXPECT_EQ(R.IncomingParamLocs[4], StackParamLoc);
 }
 

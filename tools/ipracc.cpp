@@ -13,6 +13,14 @@
 //   --no-reg-params      disable IPRA register parameter passing
 //   --no-loop-ext        disable loop extension
 //   --restrict=caller7|callee7   Table-2 register-set restrictions
+//   --convention=<spec>  compile against a non-default calling convention;
+//                        short form "s:9,p:4" (callee-saved count,
+//                        parameter-register count, optional reserved
+//                        count r:N) or explicit register lists
+//                        "callee=s0-s8;params=a0-a3;reserved=". The
+//                        default is the paper's convention, "s:9,p:4".
+//                        Composes with --restrict, which reserves the
+//                        registers outside the restricted file.
 //   --threads=N          back-end worker threads (0 = serial; default is
 //                        the hardware concurrency)
 //   --profile            profile-guided rebuild (train on one run)
@@ -80,7 +88,8 @@ void usage(const char *Argv0) {
   std::fprintf(stderr,
                "usage: %s [-O2|-O3] [--shrink-wrap] [--no-combined] "
                "[--no-reg-params]\n              [--no-loop-ext] "
-               "[--restrict=caller7|callee7] [--threads=N] [--profile]\n"
+               "[--restrict=caller7|callee7] [--convention=<spec>]\n"
+               "              [--threads=N] [--profile]\n"
                "              [--verify-mir] [--no-verify-mir]\n"
                "              "
                "[--emit-ir] [--emit-mir] [--summaries] [--run] [--stats]\n"
@@ -109,6 +118,14 @@ bool parseArgs(int Argc, char **Argv, ToolOptions &Opts) {
       Opts.Compile.Restriction = RegSetRestriction::CallerOnly7;
     } else if (Arg == "--restrict=callee7") {
       Opts.Compile.Restriction = RegSetRestriction::CalleeOnly7;
+    } else if (Arg.rfind("--convention=", 0) == 0) {
+      std::string Spec = Arg.substr(std::strlen("--convention="));
+      std::string Err;
+      if (!ConventionSpec::parse(Spec, Opts.Compile.Convention, Err)) {
+        std::fprintf(stderr, "ipracc: bad --convention '%s': %s\n",
+                     Spec.c_str(), Err.c_str());
+        return false;
+      }
     } else if (Arg.rfind("--threads=", 0) == 0) {
       char *End = nullptr;
       const char *Num = Arg.c_str() + std::strlen("--threads=");
