@@ -6,18 +6,46 @@
 
 using namespace ipra;
 
-uint64_t AnalysisManager::fingerprint() const {
-  // FNV-1a over the IR shape. Collisions only weaken the assert, never
-  // correctness, so a fast non-cryptographic mix is enough.
+uint64_t AnalysisManager::fingerprintIR(const Procedure &P) {
+  // FNV-1a over the full IR content. A fast non-cryptographic mix is
+  // enough for both users: collisions weaken the stale-cache assert (not
+  // correctness of invalidating passes) and make the incremental service
+  // recompile-or-collide on astronomically unlikely inputs.
   uint64_t H = 14695981039346656037ull;
   auto Mix = [&H](uint64_t V) {
     H ^= V;
     H *= 1099511628211ull;
   };
-  Mix(Proc.numBlocks());
-  Mix(Proc.NumVRegs);
-  for (const auto &BB : Proc)
+  Mix(P.IsExternal);
+  Mix(P.AddressTaken);
+  Mix(P.Exported);
+  Mix(P.IsMain);
+  Mix(P.NumVRegs);
+  Mix(P.ParamVRegs.size());
+  for (VReg R : P.ParamVRegs)
+    Mix(R);
+  Mix(P.FrameObjects.size());
+  for (const FrameObject &F : P.FrameObjects)
+    Mix(uint64_t(F.SizeWords));
+  Mix(P.numBlocks());
+  for (const auto &BB : P) {
     Mix(BB->Insts.size());
+    for (const Instruction &I : BB->Insts) {
+      Mix(uint64_t(I.Op));
+      Mix(I.Dst);
+      Mix(I.Src1);
+      Mix(I.Src2);
+      Mix(uint64_t(I.Imm));
+      Mix(uint64_t(I.Global));
+      Mix(uint64_t(I.Frame));
+      Mix(uint64_t(I.Callee));
+      Mix(uint64_t(I.Target1));
+      Mix(uint64_t(I.Target2));
+      Mix(I.Args.size());
+      for (VReg A : I.Args)
+        Mix(A);
+    }
+  }
   return H;
 }
 

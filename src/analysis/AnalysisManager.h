@@ -52,6 +52,17 @@ class AnalysisManager {
 public:
   explicit AnalysisManager(const Procedure &Proc) : Proc(Proc) {}
 
+  /// Content fingerprint of \p P: an FNV-1a hash over the full IR --
+  /// linkage flags, parameters, frame objects and every instruction
+  /// field. Two procedures with equal fingerprints compile identically
+  /// given identical callee summaries (collisions aside), which is what
+  /// the stale-cache assert below and the incremental compile service's
+  /// cache key (driver/IncrementalService.h) both rely on. Block
+  /// frequencies are deliberately excluded: they are derived data,
+  /// recomputed by the pipeline after the mid-end (see the caching
+  /// contract above).
+  static uint64_t fingerprintIR(const Procedure &P);
+
   AnalysisManager(const AnalysisManager &) = delete;
   AnalysisManager &operator=(const AnalysisManager &) = delete;
 
@@ -93,12 +104,13 @@ public:
   void addCountersTo(StatCounters &C) const;
 
 private:
-  /// Structural fingerprint of the IR the caches were built from: block
-  /// count, vreg count and per-block instruction counts. Deliberately
-  /// cheap -- it backs the stale-cache assert, not correctness; in-place
-  /// operand rewrites that keep the shape are the caller's responsibility
-  /// to invalidate.
-  uint64_t fingerprint() const;
+  /// Fingerprint of the IR the caches were built from, via
+  /// fingerprintIR(). Content-sensitive: in-place operand/immediate
+  /// rewrites that keep the shape are caught by the assert too, not only
+  /// block/instruction-count changes (the shape-only hash this started
+  /// as let such rewrites serve stale dataflow). Collisions only weaken
+  /// the assert, never correctness of a properly-invalidating pass.
+  uint64_t fingerprint() const { return fingerprintIR(Proc); }
 
   void materializeRangesAndInterference();
 

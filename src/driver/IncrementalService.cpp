@@ -1,0 +1,405 @@
+//===- driver/IncrementalService.cpp ---------------------------------------===//
+
+#include "driver/IncrementalService.h"
+
+#include "analysis/AnalysisManager.h"
+#include "analysis/CallGraph.h"
+#include "frontend/Frontend.h"
+
+#include <cassert>
+#include <istream>
+#include <map>
+#include <ostream>
+#include <sstream>
+#include <unordered_set>
+
+using namespace ipra;
+
+StatCounters IncrementalStats::counters() const {
+  StatCounters C;
+  C.set("incremental.procs", Procs);
+  C.set("incremental.procs_reused", Reused);
+  C.set("incremental.frontier_size", Frontier);
+  C.set("incremental.self_changed", SelfChanged);
+  C.set("incremental.summary_changed", SummaryChanged);
+  C.set("incremental.hint_misses", HintMisses);
+  C.set("incremental.full_rebuild", FullRebuild ? 1 : 0);
+  return C;
+}
+
+namespace {
+
+/// Published-summary equality as callers observe it: two non-precise
+/// summaries are interchangeable (callers use the default protocol for
+/// both); precise summaries must agree on every field a caller reads.
+bool summariesEqual(const RegUsageSummary &A, const RegUsageSummary &B) {
+  if (A.Precise != B.Precise)
+    return false;
+  if (!A.Precise)
+    return true;
+  return A.Clobbered == B.Clobbered && A.ParamLocs == B.ParamLocs;
+}
+
+/// A full-rebuild stats record: every procedure recompiled, nothing
+/// reused, no per-procedure change attribution.
+IncrementalStats fullRebuildStats(unsigned NumProcs) {
+  IncrementalStats S;
+  S.Procs = NumProcs;
+  S.Frontier = NumProcs;
+  S.FullRebuild = true;
+  S.RecompiledFlags.assign(NumProcs, 1);
+  return S;
+}
+
+} // namespace
+
+IncrementalService::IncrementalService(CompileOptions Opts)
+    : Opts(std::move(Opts)) {
+  // Profile-guided compilation feeds a training *run* back into the
+  // options; the cache key deliberately covers only IR and summaries.
+  assert(this->Opts.Profile == nullptr &&
+         "incremental service does not support profile-guided options");
+}
+
+IncrementalService::~IncrementalService() = default;
+
+bool IncrementalService::sameShape(const Module &IR) const {
+  const Module &Old = *Current->IR;
+  if (IR.numProcedures() != Old.numProcedures())
+    return false;
+  for (unsigned I = 0; I < IR.numProcedures(); ++I)
+    if (IR.procedure(int(I))->name() != Old.procedure(int(I))->name())
+      return false;
+  if (IR.Globals.size() != Old.Globals.size())
+    return false;
+  for (unsigned G = 0; G < IR.Globals.size(); ++G)
+    if (IR.Globals[G].Name != Old.Globals[G].Name ||
+        IR.Globals[G].SizeWords != Old.Globals[G].SizeWords)
+      return false;
+  return true;
+}
+
+const CompileResult *IncrementalService::rebuild(std::unique_ptr<Module> IR,
+                                                 DiagnosticEngine &Diags) {
+  unsigned NumProcs = IR->numProcedures();
+  // Key the cache off the *pre-optimization* IR: the back end mutates the
+  // module in place, and reuse decisions compare against what the front
+  // end produces, not what the mid-end left behind.
+  std::vector<ProcKey> NewKeys(NumProcs);
+  {
+    CallGraph CG = CallGraph::build(*IR);
+    for (unsigned P = 0; P < NumProcs; ++P) {
+      NewKeys[P].PreFP = AnalysisManager::fingerprintIR(*IR->procedure(int(P)));
+      NewKeys[P].Open = CG.isOpen(int(P));
+    }
+  }
+  auto Result = compileModule(std::move(IR), Opts, Diags);
+  if (!Result)
+    return nullptr; // previous state, if any, stays servable
+  Current = std::move(Result);
+  Keys = std::move(NewKeys);
+  Last = fullRebuildStats(NumProcs);
+  return Current.get();
+}
+
+const CompileResult *IncrementalService::compile(const std::string &Source,
+                                                 DiagnosticEngine &Diags) {
+  auto IR = compileToIR(Source, Diags);
+  if (!IR)
+    return nullptr;
+  return rebuild(std::move(IR), Diags);
+}
+
+const CompileResult *IncrementalService::compileIR(std::unique_ptr<Module> IR,
+                                                   DiagnosticEngine &Diags) {
+  return rebuild(std::move(IR), Diags);
+}
+
+const CompileResult *IncrementalService::recompile(
+    const std::string &Source, DiagnosticEngine &Diags,
+    const std::vector<std::string> *ChangedProcs) {
+  auto IR = compileToIR(Source, Diags);
+  if (!IR)
+    return nullptr;
+  std::vector<int> Ids;
+  if (ChangedProcs) {
+    for (const std::string &Name : *ChangedProcs) {
+      Procedure *P = IR->findProcedure(Name);
+      if (!P) {
+        Diags.error("unknown procedure '" + Name + "' in changed set");
+        return nullptr;
+      }
+      Ids.push_back(P->id());
+    }
+  }
+  return recompileIR(std::move(IR), Diags,
+                     ChangedProcs ? &Ids : nullptr);
+}
+
+const CompileResult *IncrementalService::recompileIR(
+    std::unique_ptr<Module> IR, DiagnosticEngine &Diags,
+    const std::vector<int> *ChangedProcs) {
+  unsigned NumProcs = IR->numProcedures();
+  if (ChangedProcs)
+    for (int Id : *ChangedProcs)
+      if (Id < 0 || Id >= int(NumProcs)) {
+        Diags.error("changed-set procedure id " + std::to_string(Id) +
+                    " out of range");
+        return nullptr;
+      }
+  if (!Current || !sameShape(*IR))
+    return rebuild(std::move(IR), Diags);
+
+  // Diff the edit against the cache. Fingerprints are authoritative: the
+  // caller's changed-set hint is only cross-checked, never trusted.
+  std::vector<ProcKey> NewKeys(NumProcs);
+  std::vector<char> SelfChanged(NumProcs, 0), OpenChanged(NumProcs, 0);
+  CallGraph CG = CallGraph::build(*IR);
+  for (unsigned P = 0; P < NumProcs; ++P) {
+    NewKeys[P].PreFP = AnalysisManager::fingerprintIR(*IR->procedure(int(P)));
+    NewKeys[P].Open = CG.isOpen(int(P));
+    SelfChanged[P] = NewKeys[P].PreFP != Keys[P].PreFP;
+    OpenChanged[P] = NewKeys[P].Open != Keys[P].Open;
+  }
+  unsigned HintMisses = 0;
+  if (ChangedProcs) {
+    std::unordered_set<int> Hinted(ChangedProcs->begin(),
+                                   ChangedProcs->end());
+    for (unsigned P = 0; P < NumProcs; ++P)
+      HintMisses += SelfChanged[P] && !Hinted.count(int(P));
+  }
+
+  // Per-procedure decisions, made inside the scheduler's tasks. A flag a
+  // caller task reads was finalized by a closed-callee task it waited on,
+  // so the plain byte vectors need no locking -- the same
+  // publish-before-release argument that keeps SummaryTable lock-free.
+  const CompileResult &Prev = *Current;
+  std::vector<char> Recompiled(NumProcs, 0), SummaryChanged(NumProcs, 0);
+  BackEndHooks Hooks;
+  Hooks.TryReuse = [&](int Id, CompileResult &Result) {
+    // A caller consumes its callee's *published* summary: the precise one
+    // for closed callees, the default protocol for open ones. So it is
+    // dirty when a callee's classification flipped (the consumed summary
+    // switches between precise and default -- decidable before the
+    // schedule runs, which matters because open callees impose no task
+    // ordering) or when a still-closed callee republished a different
+    // precise summary (its task provably ran first).
+    bool Dirty = SelfChanged[Id] || OpenChanged[Id];
+    if (!Dirty)
+      for (int C : CG.node(Id).Callees)
+        if (OpenChanged[C] || (!CG.isOpen(C) && SummaryChanged[C])) {
+          Dirty = true;
+          break;
+        }
+    if (Dirty)
+      return false;
+    // Clean: install the cached artifacts. The grafted body is the
+    // cached post-opt IR -- the mid-end is a pure per-procedure function
+    // of the (unchanged) pre-opt body, so this is byte-for-byte what a
+    // cold compile would have produced, and the MIR verifier re-audits
+    // the whole program either way.
+    Result.IR->procedure(Id)->adoptBodyOf(*Prev.IR->procedure(Id));
+    Result.Alloc[Id] = Prev.Alloc[Id];
+    Result.Program.Procs[Id] = Prev.Program.Procs[Id];
+    Result.Stats.Procs[Id] = Prev.Stats.Procs[Id];
+    Result.Summaries->publish(Id, Prev.Summaries->lookup(Id));
+    return true;
+  };
+  Hooks.Compiled = [&](int Id, CompileResult &Result) {
+    Recompiled[Id] = 1;
+    SummaryChanged[Id] = !summariesEqual(Result.Summaries->lookup(Id),
+                                         Prev.Summaries->lookup(Id));
+  };
+
+  auto NewResult = compileModule(std::move(IR), Opts, Diags, &Hooks);
+  if (!NewResult)
+    return nullptr; // previous state stays servable
+
+  IncrementalStats S;
+  S.Procs = NumProcs;
+  S.HintMisses = HintMisses;
+  for (unsigned P = 0; P < NumProcs; ++P) {
+    S.Frontier += Recompiled[P];
+    S.Reused += !Recompiled[P];
+    S.SelfChanged += SelfChanged[P];
+    S.SummaryChanged += SummaryChanged[P];
+  }
+  S.RecompiledFlags = std::move(Recompiled);
+  S.SelfChangedFlags = std::move(SelfChanged);
+  S.SummaryChangedFlags = std::move(SummaryChanged);
+
+  Current = std::move(NewResult);
+  Keys = std::move(NewKeys);
+  Last = std::move(S);
+  return Current.get();
+}
+
+//===----------------------------------------------------------------------===//
+// The --serve protocol
+//===----------------------------------------------------------------------===//
+
+namespace {
+
+/// Diagnostics are multi-line; protocol errors are one line.
+std::string squash(const std::string &S) {
+  std::string Out;
+  for (char C : S)
+    Out += C == '\n' ? ';' : C;
+  while (!Out.empty() && Out.back() == ';')
+    Out.pop_back();
+  return Out;
+}
+
+/// Reads source lines until a line containing only ".". \returns false on
+/// EOF before the terminator.
+bool readSource(std::istream &In, std::string &Out) {
+  Out.clear();
+  std::string Line;
+  while (std::getline(In, Line)) {
+    if (Line == ".")
+      return true;
+    Out += Line;
+    Out += '\n';
+  }
+  return false;
+}
+
+std::vector<std::string> tokenize(const std::string &Line) {
+  std::vector<std::string> Toks;
+  std::istringstream SS(Line);
+  std::string T;
+  while (SS >> T)
+    Toks.push_back(T);
+  return Toks;
+}
+
+} // namespace
+
+int ipra::serveLoop(std::istream &In, std::ostream &Out,
+                    const CompileOptions &Opts) {
+  assert(Opts.Profile == nullptr && "--serve is incompatible with --profile");
+  std::map<std::string, IncrementalService> Services;
+  bool HadError = false;
+  auto Error = [&](const std::string &Msg) {
+    Out << "error " << Msg << "\n";
+    HadError = true;
+  };
+  // Find a module that is loaded and servable, or report why not.
+  auto Lookup = [&](const std::string &Name) -> IncrementalService * {
+    auto It = Services.find(Name);
+    if (It == Services.end() || !It->second.loaded()) {
+      Error("unknown module '" + Name + "'");
+      return nullptr;
+    }
+    return &It->second;
+  };
+
+  std::string Line;
+  while (std::getline(In, Line)) {
+    std::vector<std::string> Toks = tokenize(Line);
+    if (Toks.empty())
+      continue; // blank lines are keep-alives
+    const std::string &Cmd = Toks[0];
+
+    if (Cmd == "quit") {
+      Out << "ok bye\n";
+      break;
+    }
+
+    if (Cmd == "load" || Cmd == "recompile") {
+      if (Toks.size() < 2) {
+        Error(Cmd + " needs a module name");
+        continue;
+      }
+      if (Cmd == "load" && Toks.size() > 2) {
+        Error("load takes exactly one module name");
+        continue;
+      }
+      const std::string &Name = Toks[1];
+      std::string Source;
+      if (!readSource(In, Source)) {
+        Error("unterminated source for '" + Cmd + " " + Name + "'");
+        break; // the stream is exhausted; nothing more can be parsed
+      }
+      if (Cmd == "load") {
+        auto [It, Inserted] =
+            Services.try_emplace(Name, IncrementalService(Opts));
+        (void)Inserted;
+        DiagnosticEngine Diags;
+        const CompileResult *R = It->second.compile(Source, Diags);
+        if (!R || Diags.hasErrors()) {
+          Error("load failed: " + squash(Diags.str()));
+          if (!It->second.loaded())
+            Services.erase(It);
+          continue;
+        }
+        Out << "ok loaded " << Name << " procs=" << R->IR->numProcedures()
+            << " static=" << R->StaticInstructions << "\n";
+        continue;
+      }
+      // recompile
+      auto It = Services.find(Name);
+      if (It == Services.end() || !It->second.loaded()) {
+        Error("unknown module '" + Name + "'");
+        continue;
+      }
+      std::vector<std::string> Hint(Toks.begin() + 2, Toks.end());
+      DiagnosticEngine Diags;
+      const CompileResult *R = It->second.recompile(
+          Source, Diags, Hint.empty() ? nullptr : &Hint);
+      if (!R || Diags.hasErrors()) {
+        Error("recompile failed: " + squash(Diags.str()));
+        continue; // last good state stays loaded and addressable
+      }
+      const IncrementalStats &S = It->second.lastStats();
+      Out << "ok recompiled " << Name << " procs=" << S.Procs
+          << " reused=" << S.Reused << " frontier=" << S.Frontier
+          << " summary_changed=" << S.SummaryChanged
+          << " hint_misses=" << S.HintMisses
+          << " full_rebuild=" << (S.FullRebuild ? 1 : 0) << "\n";
+      continue;
+    }
+
+    if (Cmd == "emit" || Cmd == "stats" || Cmd == "run") {
+      if (Toks.size() != 2) {
+        Error(Cmd + " takes exactly one module name");
+        continue;
+      }
+      IncrementalService *Svc = Lookup(Toks[1]);
+      if (!Svc)
+        continue;
+      const CompileResult &R = *Svc->current();
+      if (Cmd == "emit") {
+        Out << "ok emit " << Toks[1] << "\n";
+        for (const MProc &P : R.Program.Procs)
+          if (!P.IsExternal)
+            Out << toString(P);
+        Out << ".\n";
+      } else if (Cmd == "stats") {
+        Out << "ok stats " << Toks[1] << "\n";
+        StatCounters Totals = R.Stats.totals();
+        Totals.merge(Svc->lastStats().counters());
+        for (const auto &[CounterName, Value] : Totals.entries())
+          Out << CounterName << " " << Value << "\n";
+        Out << ".\n";
+      } else {
+        SimOptions SOpts;
+        SOpts.MaxSteps = 100 * 1000 * 1000;
+        RunStats Stats = runProgram(R.Program, SOpts);
+        if (!Stats.OK) {
+          Error("runtime: " + squash(Stats.Error));
+          continue;
+        }
+        Out << "ok run " << Toks[1] << " exit=" << Stats.ExitValue
+            << " cycles=" << Stats.Cycles << "\n";
+        for (int64_t V : Stats.Output)
+          Out << V << "\n";
+        Out << ".\n";
+      }
+      continue;
+    }
+
+    Error("unknown command '" + Cmd + "'");
+  }
+  return HadError ? 1 : 0;
+}

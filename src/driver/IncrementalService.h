@@ -1,0 +1,192 @@
+//===- driver/IncrementalService.h - Edit-recompile compile cache *- C++ -*-===//
+//
+// Part of the ipra project (Chow, PLDI 1988 reproduction).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A persistent in-process compile service for the edit-recompile loop:
+/// the same module is compiled over and over with small edits, and the
+/// one-pass IPRA invariant tells us exactly what an edit invalidates.
+///
+/// Invalidation contract (DESIGN.md section 13). A procedure's back-end
+/// result -- post-opt IR, allocation, published RegUsageSummary, machine
+/// code and stat counters -- is a pure function of
+///
+///   (its own pre-opt IR, the published summaries of its closed callees,
+///    its open/closed classification, the module's global layout, the
+///    compile options).
+///
+/// So after an edit, a procedure must be recompiled iff
+///
+///   (a) its own pre-opt IR content fingerprint changed
+///       (AnalysisManager::fingerprintIR), or
+///   (b) its open/closed classification changed, or
+///   (c) a callee's open/closed classification changed (the summary the
+///       caller consumes switches between the precise one and the default
+///       linkage protocol), or
+///   (d) some still-closed callee was recompiled and its newly published
+///       summary differs from the one it published last time.
+///
+/// Rule (d) is evaluated bottom-up over the SCC DAG schedule, so the
+/// dirty set grows into exactly the summary-changed ancestor frontier
+/// and nothing else: a summary-neutral edit recompiles one procedure.
+/// Everything outside the frontier is installed from the cache, which
+/// makes the incremental result byte-identical to a cold compile of the
+/// edited module -- machine code, summaries, clobber masks, stats JSON,
+/// diagnostics and (a fortiori) simulator behaviour. The differential
+/// harness (tests/IncrementalDifferentialTest.cpp) and the default-on
+/// MIR verifier, which reruns over every incremental result, enforce
+/// this byte-identity; they are the safety net, not the mechanism.
+///
+/// Edits that change the module's *shape* -- procedure set, name-to-id
+/// mapping, global variable names/sizes, or the compile options -- fall
+/// back to a full rebuild that reprimes the cache (observable through
+/// `incremental.full_rebuild`).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef IPRA_DRIVER_INCREMENTALSERVICE_H
+#define IPRA_DRIVER_INCREMENTALSERVICE_H
+
+#include "driver/Pipeline.h"
+
+#include <iosfwd>
+#include <memory>
+#include <string>
+#include <vector>
+
+namespace ipra {
+
+/// What one recompile() did, for observability and the frontier tests.
+/// counters() publishes the scalar facts under "incremental.*" names;
+/// the per-procedure flag vectors let tests assert frontier minimality
+/// and ancestor closure exactly.
+struct IncrementalStats {
+  /// Procedures in the module.
+  unsigned Procs = 0;
+  /// Procedures served from the cache.
+  unsigned Reused = 0;
+  /// Procedures recompiled (the frontier). Reused + Frontier == Procs.
+  unsigned Frontier = 0;
+  /// Frontier members whose own IR fingerprint changed (the dirty seed).
+  unsigned SelfChanged = 0;
+  /// Frontier members whose newly published summary differs from the
+  /// cached one (these dirty their closed callers).
+  unsigned SummaryChanged = 0;
+  /// Procedures that changed but were missing from the caller's
+  /// changed-procedures hint (the fingerprints are authoritative; a bad
+  /// hint can never cause stale output, only this counter).
+  unsigned HintMisses = 0;
+  /// True when a shape or options change forced a cold rebuild.
+  bool FullRebuild = false;
+
+  /// Per-procedure-id flags (empty after a full rebuild's reprime).
+  std::vector<char> RecompiledFlags;
+  std::vector<char> SelfChangedFlags;
+  std::vector<char> SummaryChangedFlags;
+
+  /// The scalar facts as "incremental.*" counters. Kept out of
+  /// CompileStats on purpose: the compile result of an incremental run
+  /// must stay byte-identical to a cold compile, counters included.
+  StatCounters counters() const;
+};
+
+/// The persistent service: owns the options, the previous compile result
+/// and the per-procedure fingerprints that key reuse. One instance per
+/// module being served; instances are single-threaded externally (the
+/// internal back end still fans out over CompileOptions::Threads).
+class IncrementalService {
+public:
+  /// \p Opts are fixed for the service's lifetime (an options change is a
+  /// different cache). Profile-guided compilation feeds compile results
+  /// back into compile options and is not supported here.
+  explicit IncrementalService(CompileOptions Opts);
+  ~IncrementalService();
+
+  IncrementalService(IncrementalService &&) = default;
+  IncrementalService &operator=(IncrementalService &&) = default;
+
+  /// Cold-compiles \p Source and primes the cache. \returns the compile
+  /// result (owned by the service, valid until the next compile/recompile
+  /// call), or nullptr on front-end/verification errors -- the previously
+  /// loaded state, if any, stays untouched and servable in that case.
+  const CompileResult *compile(const std::string &Source,
+                               DiagnosticEngine &Diags);
+  /// Same, from an already-built module.
+  const CompileResult *compileIR(std::unique_ptr<Module> IR,
+                                 DiagnosticEngine &Diags);
+
+  /// Recompiles after an edit: re-runs the front end on the new source,
+  /// diffs per-procedure fingerprints against the cache, and re-runs the
+  /// back end over only the dirty set plus its summary-changed ancestor
+  /// frontier. \p ChangedProcs, when non-null, is the caller's claim of
+  /// what was edited: every name must exist in the new module (else an
+  /// error and the previous state is kept), and any actually-changed
+  /// procedure missing from it is still recompiled (and counted in
+  /// IncrementalStats::HintMisses). \returns the new result, or nullptr
+  /// on errors; on any error the previously cached state is kept -- a
+  /// failed edit never corrupts or replaces the last good build.
+  const CompileResult *recompile(const std::string &Source,
+                                 DiagnosticEngine &Diags,
+                                 const std::vector<std::string> *ChangedProcs
+                                 = nullptr);
+  /// Same, from an already-built module (ids instead of names).
+  const CompileResult *recompileIR(std::unique_ptr<Module> IR,
+                                   DiagnosticEngine &Diags,
+                                   const std::vector<int> *ChangedProcs =
+                                       nullptr);
+
+  /// True once compile() succeeded and results can be served.
+  bool loaded() const { return Current != nullptr; }
+
+  /// The last successful compile result (nullptr before the first load).
+  const CompileResult *current() const { return Current.get(); }
+
+  /// What the last recompile() did. Reset by compile() to a full-rebuild
+  /// record covering every procedure.
+  const IncrementalStats &lastStats() const { return Last; }
+
+  const CompileOptions &options() const { return Opts; }
+
+private:
+  struct ProcKey {
+    uint64_t PreFP = 0; ///< pre-opt IR content fingerprint
+    bool Open = false;  ///< call-graph classification at compile time
+  };
+
+  const CompileResult *rebuild(std::unique_ptr<Module> IR,
+                               DiagnosticEngine &Diags);
+  /// True when \p IR has the same procedure set (names, order) and global
+  /// layout (names, sizes) as the cached module, i.e. per-procedure reuse
+  /// is meaningful at all.
+  bool sameShape(const Module &IR) const;
+
+  CompileOptions Opts;
+  std::unique_ptr<CompileResult> Current;
+  std::vector<ProcKey> Keys;
+  IncrementalStats Last;
+};
+
+/// The `ipracc --serve` line-oriented batch-request protocol. Requests
+/// are read from \p In and answered on \p Out, one session per call:
+///
+///   load <module>                 (source lines follow, ended by ".")
+///   recompile <module> [proc...]  (new full source follows, ended by ".")
+///   emit <module>                 print the machine code, ended by "."
+///   stats <module>                compile + incremental counters, "."-ended
+///   run <module>                  simulate; prints output and exit value
+///   quit
+///
+/// Every request is answered by exactly one "ok ..." line (optionally
+/// followed by a payload terminated by a line containing only ".") or one
+/// "error ..." line; malformed requests, unknown modules/procedures and
+/// compile failures produce errors and leave the addressed module's last
+/// good state untouched -- a failed edit never serves stale code as if it
+/// were new. \returns the process exit code: 0 iff no request errored.
+int serveLoop(std::istream &In, std::ostream &Out,
+              const CompileOptions &Opts);
+
+} // namespace ipra
+
+#endif // IPRA_DRIVER_INCREMENTALSERVICE_H

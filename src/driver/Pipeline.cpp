@@ -141,7 +141,8 @@ void compileProcedure(int ProcId, CompileResult &Result, const CallGraph &CG,
 /// the output is byte-identical by construction.
 std::unique_ptr<CompileResult> runBackEnd(std::unique_ptr<Module> IR,
                                           const CompileOptions &Opts,
-                                          DiagnosticEngine &Diags) {
+                                          DiagnosticEngine &Diags,
+                                          const BackEndHooks *Hooks) {
   ScopedTimer BackendTimer(Opts.Trace, "backend", "phase");
   auto Result = std::make_unique<CompileResult>();
   Result->IR = std::move(IR);
@@ -210,8 +211,13 @@ std::unique_ptr<CompileResult> runBackEnd(std::unique_ptr<Module> IR,
   std::vector<DiagnosticEngine> ProcDiags(NumProcs);
   auto runTaskBody = [&](int Task) {
     ScopedTimer T(Opts.Trace, "task " + std::to_string(Task), "scheduler");
-    for (int ProcId : Sched.TaskProcs[Task])
+    for (int ProcId : Sched.TaskProcs[Task]) {
+      if (Hooks && Hooks->TryReuse && Hooks->TryReuse(ProcId, *Result))
+        continue;
       compileProcedure(ProcId, *Result, CG, Opts, CGOpts);
+      if (Hooks && Hooks->Compiled)
+        Hooks->Compiled(ProcId, *Result);
+    }
   };
 
   if (Opts.Threads == 0 || NumTasks <= 1) {
@@ -303,7 +309,14 @@ std::unique_ptr<CompileResult> ipra::compileProgram(const std::string &Source,
   }
   if (!IR)
     return nullptr;
-  return runBackEnd(std::move(IR), Opts, Diags);
+  return runBackEnd(std::move(IR), Opts, Diags, nullptr);
+}
+
+std::unique_ptr<CompileResult> ipra::compileModule(std::unique_ptr<Module> IR,
+                                                   const CompileOptions &Opts,
+                                                   DiagnosticEngine &Diags,
+                                                   const BackEndHooks *Hooks) {
+  return runBackEnd(std::move(IR), Opts, Diags, Hooks);
 }
 
 std::unique_ptr<CompileResult> ipra::compileUnits(
@@ -321,7 +334,7 @@ std::unique_ptr<CompileResult> ipra::compileUnits(
   auto Linked = linkModules(std::move(Units), Diags, LOpts);
   if (!Linked)
     return nullptr;
-  return runBackEnd(std::move(Linked), Opts, Diags);
+  return runBackEnd(std::move(Linked), Opts, Diags, nullptr);
 }
 
 std::unique_ptr<CompileResult> ipra::compileWithProfile(

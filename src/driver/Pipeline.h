@@ -22,6 +22,7 @@
 #include "support/Diagnostics.h"
 #include "support/Statistics.h"
 
+#include <functional>
 #include <memory>
 #include <string>
 
@@ -121,6 +122,35 @@ struct CompileResult {
 std::unique_ptr<CompileResult> compileProgram(const std::string &Source,
                                               const CompileOptions &Opts,
                                               DiagnosticEngine &Diags);
+
+/// Per-procedure extension points for the scheduled back end, used by the
+/// incremental compile service (driver/IncrementalService.h). Both hooks
+/// run inside scheduler tasks, concurrently for distinct procedures; they
+/// may touch only the given procedure's slots in \p Result plus state of
+/// their own that is race-free under the scheduler's publish-before-
+/// release ordering (the same argument that makes SummaryTable safe).
+struct BackEndHooks {
+  /// Called before a procedure is compiled. Return true to skip the
+  /// normal mid-end/allocate/codegen path entirely -- the hook must then
+  /// have installed the procedure's IR body, Alloc slot, machine code,
+  /// stats slot, and published its summary itself.
+  std::function<bool(int ProcId, CompileResult &Result)> TryReuse;
+  /// Called after a procedure went through the normal compile path, with
+  /// its summary already published.
+  std::function<void(int ProcId, CompileResult &Result)> Compiled;
+};
+
+/// Runs the back end over an already-built module: IR verification,
+/// open/closed cross-check, the SCC DAG schedule, per-procedure
+/// allocation + codegen, and the MIR audit -- exactly what compileProgram
+/// does after the front end. Takes ownership of \p IR. \p Hooks, when
+/// non-null, lets the incremental service substitute cached results per
+/// procedure. \returns nullptr on verification failure.
+std::unique_ptr<CompileResult> compileModule(std::unique_ptr<Module> IR,
+                                             const CompileOptions &Opts,
+                                             DiagnosticEngine &Diags,
+                                             const BackEndHooks *Hooks =
+                                                 nullptr);
 
 /// Separate compilation: compiles each source as its own translation
 /// unit, links them (see driver/Linker.h), then runs the back end over

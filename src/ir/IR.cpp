@@ -88,6 +88,25 @@ void Procedure::recomputeCFG() {
       Blocks[Succ]->Preds.push_back(BB->id());
 }
 
+void Procedure::adoptBodyOf(const Procedure &Src) {
+  ParamVRegs = Src.ParamVRegs;
+  NumVRegs = Src.NumVRegs;
+  FrameObjects = Src.FrameObjects;
+  IsExternal = Src.IsExternal;
+  AddressTaken = Src.AddressTaken;
+  Exported = Src.Exported;
+  IsMain = Src.IsMain;
+  Blocks.clear();
+  for (const auto &SB : Src.Blocks) {
+    Blocks.push_back(std::make_unique<BasicBlock>(SB->id()));
+    BasicBlock &B = *Blocks.back();
+    B.Insts = SB->Insts;
+    B.Preds = SB->Preds;
+    B.Freq = SB->Freq;
+    B.LoopDepth = SB->LoopDepth;
+  }
+}
+
 std::vector<int> Procedure::reversePostOrder() const {
   std::vector<int> Order;
   if (Blocks.empty())

@@ -148,6 +148,14 @@ public:
   /// Recomputes predecessor lists from the terminators.
   void recomputeCFG();
 
+  /// Replaces this procedure's entire body -- blocks (including their
+  /// predecessor lists, frequencies and loop depths), virtual-register
+  /// count, parameter vregs, frame objects and linkage flags -- with a
+  /// deep copy of \p Src's. Name and id are untouched. The incremental
+  /// compile service uses this to graft a cached post-optimization body
+  /// onto a freshly parsed module when the procedure is proven unchanged.
+  void adoptBodyOf(const Procedure &Src);
+
   /// Drops every block whose \p Keep entry is false, renumbers the
   /// survivors, and rewrites branch targets. The entry block must be kept.
   /// \returns the number of blocks removed.

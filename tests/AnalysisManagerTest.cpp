@@ -166,6 +166,78 @@ TEST(AnalysisManagerDeathTest, ForgottenInvalidateIsCaught) {
   EXPECT_DEATH(AM.liveness(), "stale analysis cache");
 }
 
+TEST(AnalysisManagerDeathTest, InPlaceOperandRewriteIsCaught) {
+  // The staleness hazard the content fingerprint closed: a mutation that
+  // preserves the IR's *shape* -- same block count, same instruction
+  // counts, same vreg count -- but rewrites an operand in place used to
+  // slip past the old shape-only hash and be served stale dataflow.
+  // Every field of every instruction is now fingerprinted, so skipping
+  // invalidate() dies on the release-mode assert for this class of
+  // mutation too.
+  auto M = compileOK(Fixture);
+  ASSERT_NE(M, nullptr);
+  Procedure *P = firstBody(*M);
+  ASSERT_NE(P, nullptr);
+  prepare(*P);
+  AnalysisManager AM(*P);
+  AM.liveness();
+  ASSERT_FALSE(P->entry()->Insts.empty());
+  P->entry()->Insts.front().Imm += 1; // in-place rewrite, no invalidate()
+  EXPECT_DEATH(AM.liveness(), "stale analysis cache");
+}
+
+TEST(AnalysisManagerTest, FingerprintIsContentSensitive) {
+  // fingerprintIR keys the incremental compile service's reuse decisions:
+  // it must be stable across deep copies and move on any content change,
+  // not just shape changes.
+  auto M = compileOK(Fixture);
+  ASSERT_NE(M, nullptr);
+  Procedure *P = firstBody(*M);
+  ASSERT_NE(P, nullptr);
+  uint64_t Before = AnalysisManager::fingerprintIR(*P);
+  EXPECT_EQ(AnalysisManager::fingerprintIR(*P), Before)
+      << "fingerprinting is a pure function";
+
+  // A deep body copy fingerprints identically...
+  auto M2 = compileOK(Fixture);
+  ASSERT_NE(M2, nullptr);
+  Procedure *Copy = firstBody(*M2);
+  Copy->adoptBodyOf(*P);
+  EXPECT_EQ(AnalysisManager::fingerprintIR(*Copy), Before);
+
+  // ...an in-place operand tweak does not...
+  P->entry()->Insts.front().Imm += 1;
+  uint64_t Tweaked = AnalysisManager::fingerprintIR(*P);
+  EXPECT_NE(Tweaked, Before);
+  P->entry()->Insts.front().Imm -= 1;
+  EXPECT_EQ(AnalysisManager::fingerprintIR(*P), Before)
+      << "undoing the tweak restores the fingerprint";
+
+  // ...nor does appending an instruction, changing a linkage flag, or
+  // minting a vreg.
+  Instruction Dead(Opcode::LoadImm);
+  Dead.Dst = P->makeVReg();
+  Dead.Imm = 42;
+  P->entry()->Insts.insert(P->entry()->Insts.begin(), Dead);
+  uint64_t Grown = AnalysisManager::fingerprintIR(*P);
+  EXPECT_NE(Grown, Before);
+  bool SavedExported = P->Exported;
+  P->Exported = !P->Exported;
+  EXPECT_NE(AnalysisManager::fingerprintIR(*P), Grown);
+  P->Exported = SavedExported;
+  P->makeVReg();
+  EXPECT_NE(AnalysisManager::fingerprintIR(*P), Grown);
+
+  // Block frequencies are deliberately excluded: they are derived data,
+  // recomputed by the pipeline, not part of the procedure's identity.
+  auto M3 = compileOK(Fixture);
+  ASSERT_NE(M3, nullptr);
+  Procedure *Q = firstBody(*M3);
+  uint64_t QBefore = AnalysisManager::fingerprintIR(*Q);
+  Q->entry()->Freq *= 8.0;
+  EXPECT_EQ(AnalysisManager::fingerprintIR(*Q), QBefore);
+}
+
 TEST(AnalysisManagerTest, FusedBuilderMatchesTwoPassOracleOnSuite) {
   // computeRangesAndInterference promises bit-identical results to the
   // two-pass LiveRangeInfo::compute + InterferenceGraph::compute, on

@@ -1,0 +1,631 @@
+//===- tests/IncrementalDifferentialTest.cpp - Incremental vs cold --------===//
+//
+// The incremental compile service promises that recompiling after an edit
+// is *indistinguishable* from a cold compile of the edited module: same
+// machine code, same summaries, same stats, same diagnostics -- only
+// faster. These tests hold it to that promise with randomized edit
+// scripts replayed against both paths, and pin the frontier guarantees:
+// a summary-neutral edit recompiles exactly the edited procedure, a
+// clobber-visible edit recompiles its closed-caller frontier, and the
+// frontier is always ancestor-closed over the call graph.
+//
+// The edit language is IR-level and deterministic: replaying a script
+// against a freshly parsed module always yields the same edited module,
+// so the cold compiler and the incremental service see byte-identical
+// inputs and any output divergence is the service's fault.
+//
+//===----------------------------------------------------------------------===//
+
+#include "analysis/CallGraph.h"
+#include "driver/IncrementalService.h"
+#include "frontend/Frontend.h"
+#include "programs/Programs.h"
+
+#include "ProgramGenerator.h"
+#include "TestRender.h"
+
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <random>
+#include <string>
+#include <vector>
+
+using namespace ipra;
+
+namespace {
+
+//===----------------------------------------------------------------------===//
+// The deterministic edit language
+//===----------------------------------------------------------------------===//
+
+enum class EditKind {
+  /// Insert a dead `LoadImm fresh, Salt` at the entry block's front. The
+  /// mid-end deletes it, so the post-opt body -- and therefore the
+  /// allocation and the published summary -- is unchanged: the guaranteed
+  /// summary-neutral edit, used to pin frontier minimality.
+  DeadDef,
+  /// Bump the Aux-th LoadImm/AddImm immediate by a positive delta
+  /// (positive so divide-by-constant denominators can only grow). Falls
+  /// back to DeadDef when the procedure has no immediate to tweak.
+  ImmTweak,
+  /// Insert a call to procedure Aux (fresh constant arguments matching
+  /// its arity) before the entry terminator: the leaf-to-non-leaf and,
+  /// when it closes a call-graph cycle, the open/closed-flip edit.
+  AddCall,
+  /// Insert eight simultaneously-live constants, a sum reduction and a
+  /// Print before the entry terminator: forces the allocator onto many
+  /// registers so the procedure's clobber summary visibly grows.
+  ClobberGrowth,
+};
+
+struct Edit {
+  EditKind Kind = EditKind::DeadDef;
+  int Proc = 0;
+  int Aux = 0;
+  int64_t Salt = 1;
+};
+
+void applyEdit(Module &M, const Edit &E) {
+  Procedure &P = *M.procedure(E.Proc);
+  BasicBlock *Entry = P.entry();
+  switch (E.Kind) {
+  case EditKind::DeadDef: {
+    Instruction I(Opcode::LoadImm);
+    I.Dst = P.makeVReg();
+    I.Imm = E.Salt;
+    Entry->Insts.insert(Entry->Insts.begin(), I);
+    return;
+  }
+  case EditKind::ImmTweak: {
+    std::vector<Instruction *> Imms;
+    for (auto &BB : P)
+      for (Instruction &I : BB->Insts)
+        if (I.Op == Opcode::LoadImm || I.Op == Opcode::AddImm)
+          Imms.push_back(&I);
+    if (Imms.empty()) {
+      Edit Fallback = E;
+      Fallback.Kind = EditKind::DeadDef;
+      applyEdit(M, Fallback);
+      return;
+    }
+    Imms[unsigned(E.Aux) % Imms.size()]->Imm += 1 + (E.Salt % 3);
+    return;
+  }
+  case EditKind::AddCall: {
+    const Procedure &Callee = *M.procedure(E.Aux);
+    std::vector<Instruction> New;
+    Instruction C(Opcode::Call);
+    C.Callee = Callee.id();
+    for (unsigned A = 0; A < Callee.ParamVRegs.size(); ++A) {
+      Instruction L(Opcode::LoadImm);
+      L.Dst = P.makeVReg();
+      L.Imm = E.Salt + int64_t(A);
+      C.Args.push_back(L.Dst);
+      New.push_back(L);
+    }
+    C.Dst = P.makeVReg();
+    New.push_back(C);
+    Entry->Insts.insert(Entry->Insts.end() - 1, New.begin(), New.end());
+    return;
+  }
+  case EditKind::ClobberGrowth: {
+    // Anchor the chain on an opaque base -- the first parameter, or a
+    // scalar global -- so constant folding cannot collapse it back to a
+    // single immediate; a bare procedure in a global-free module falls
+    // back to a constant (and a weaker edit).
+    std::vector<Instruction> New;
+    VReg Base = P.ParamVRegs.empty() ? 0 : P.ParamVRegs[0];
+    if (!Base)
+      for (unsigned G = 0; G < M.Globals.size(); ++G)
+        if (M.Globals[G].SizeWords == 1) {
+          Instruction L(Opcode::LoadGlobal);
+          L.Dst = P.makeVReg();
+          L.Global = int(G);
+          New.push_back(L);
+          Base = L.Dst;
+          break;
+        }
+    if (!Base) {
+      Instruction L(Opcode::LoadImm);
+      L.Dst = P.makeVReg();
+      L.Imm = E.Salt;
+      New.push_back(L);
+      Base = L.Dst;
+    }
+    std::vector<VReg> Vals;
+    for (int I = 0; I < 8; ++I) {
+      Instruction A(Opcode::AddImm);
+      A.Dst = P.makeVReg();
+      A.Src1 = Base;
+      A.Imm = E.Salt + I;
+      Vals.push_back(A.Dst);
+      New.push_back(A);
+    }
+    VReg Acc = Vals[0];
+    for (int I = 1; I < 8; ++I) {
+      Instruction A(Opcode::Add);
+      A.Dst = P.makeVReg();
+      A.Src1 = Acc;
+      A.Src2 = Vals[unsigned(I)];
+      Acc = A.Dst;
+      New.push_back(A);
+    }
+    Instruction Pr(Opcode::Print);
+    Pr.Src1 = Acc;
+    New.push_back(Pr);
+    Entry->Insts.insert(Entry->Insts.end() - 1, New.begin(), New.end());
+    return;
+  }
+  }
+}
+
+/// Picks an edit applicable to \p M. Deterministic in (Rng state, M).
+Edit chooseEdit(std::mt19937 &Rng, const Module &M) {
+  std::vector<int> Bodies;
+  for (unsigned P = 0; P < M.numProcedures(); ++P)
+    if (!M.procedure(int(P))->IsExternal &&
+        M.procedure(int(P))->numBlocks() > 0)
+      Bodies.push_back(int(P));
+  Edit E;
+  E.Proc = Bodies[Rng() % Bodies.size()];
+  E.Salt = int64_t(Rng() % 50) + 1;
+  unsigned Roll = Rng() % 8;
+  if (Roll < 3) {
+    E.Kind = EditKind::DeadDef;
+  } else if (Roll < 5) {
+    E.Kind = EditKind::ImmTweak;
+    E.Aux = int(Rng() % 64);
+  } else if (Roll < 7) {
+    E.Kind = EditKind::ClobberGrowth;
+  } else {
+    // Keep the generated DAG acyclic: callees come from earlier ids (and
+    // never main, whose re-entry would recurse forever at runtime). The
+    // cycle-creating variant is pinned by a directed test instead.
+    std::vector<int> Callees;
+    for (int B : Bodies)
+      if (B < E.Proc && !M.procedure(B)->IsMain)
+        Callees.push_back(B);
+    if (Callees.empty()) {
+      E.Kind = EditKind::DeadDef;
+    } else {
+      E.Kind = EditKind::AddCall;
+      E.Aux = Callees[Rng() % Callees.size()];
+    }
+  }
+  return E;
+}
+
+//===----------------------------------------------------------------------===//
+// The differential harness
+//===----------------------------------------------------------------------===//
+
+std::unique_ptr<Module> mustIR(const std::string &Src) {
+  DiagnosticEngine Diags;
+  auto M = compileToIR(Src, Diags);
+  EXPECT_NE(M, nullptr) << Diags.str();
+  return M;
+}
+
+/// Every published summary, rendered for byte-exact comparison (the
+/// machine-code render already covers the clobber masks; this adds the
+/// precision flags and parameter locations callers would price against).
+std::string renderSummaries(const CompileResult &R) {
+  std::string Out;
+  for (unsigned P = 0; P < R.IR->numProcedures(); ++P) {
+    const RegUsageSummary &S = R.Summaries->lookup(int(P));
+    Out += R.IR->procedure(int(P))->name();
+    Out += S.Precise ? ": precise " + S.Clobbered.str() : ": default";
+    Out += " params";
+    for (unsigned L : S.ParamLocs)
+      Out += " " + std::to_string(L);
+    Out += "\n";
+  }
+  return Out;
+}
+
+/// One module's cold-vs-incremental replay state: the service holds the
+/// cached build, Script holds every edit applied so far, and editedIR()
+/// reconstructs the edited module from scratch -- the same bytes the
+/// service was fed, handed to the cold compiler as the oracle.
+class DiffHarness {
+public:
+  DiffHarness(std::string Source, const CompileOptions &Opts)
+      : Source(std::move(Source)), Opts(Opts), Svc(Opts) {}
+
+  std::unique_ptr<Module> editedIR() {
+    auto M = mustIR(Source);
+    if (M)
+      for (const Edit &E : Script)
+        applyEdit(*M, E);
+    return M;
+  }
+
+  void prime() {
+    DiagnosticEngine Diags;
+    auto M = editedIR();
+    ASSERT_NE(M, nullptr);
+    ASSERT_NE(Svc.compileIR(std::move(M), Diags), nullptr) << Diags.str();
+  }
+
+  /// Applies \p E to both paths and asserts byte-identity plus the
+  /// frontier invariants. \p SimCheck additionally executes both programs
+  /// and compares the runs (skipped where an edit may have created
+  /// unbounded recursion).
+  void stepAndCheck(const Edit &E, bool SimCheck, const std::string &Where) {
+    Script.push_back(E);
+
+    DiagnosticEngine ColdDiags;
+    auto Cold = compileModule(editedIR(), Opts, ColdDiags);
+    DiagnosticEngine IncDiags;
+    const CompileResult *Inc = Svc.recompileIR(editedIR(), IncDiags);
+    ASSERT_NE(Cold, nullptr) << Where << "\n" << ColdDiags.str();
+    ASSERT_NE(Inc, nullptr) << Where << "\n" << IncDiags.str();
+
+    // Byte-identity of every observable artifact.
+    ASSERT_EQ(renderProgram(*Inc), renderProgram(*Cold)) << Where;
+    ASSERT_EQ(renderSummaries(*Inc), renderSummaries(*Cold)) << Where;
+    ASSERT_TRUE(Inc->Stats == Cold->Stats)
+        << Where << "\nincremental: " << Inc->Stats.totals().json()
+        << "\ncold: " << Cold->Stats.totals().json();
+    ASSERT_EQ(IncDiags.str(), ColdDiags.str()) << Where;
+
+    // Frontier invariants. Reused + Frontier partitions the module, the
+    // edit's own procedure is always in the frontier, and the frontier is
+    // ancestor-closed: every closed caller of a summary-changed procedure
+    // was recompiled.
+    const IncrementalStats &S = Svc.lastStats();
+    EXPECT_FALSE(S.FullRebuild) << Where;
+    EXPECT_EQ(S.Reused + S.Frontier, S.Procs) << Where;
+    EXPECT_EQ(S.SelfChanged, 1u) << Where;
+    ASSERT_EQ(S.RecompiledFlags.size(), size_t(S.Procs)) << Where;
+    EXPECT_TRUE(S.RecompiledFlags[unsigned(E.Proc)]) << Where;
+    auto Edited = editedIR();
+    ASSERT_NE(Edited, nullptr);
+    CallGraph CG = CallGraph::build(*Edited);
+    for (unsigned C = 0; C < S.Procs; ++C) {
+      if (!S.SummaryChangedFlags[C] || CG.isOpen(int(C)))
+        continue;
+      for (unsigned P = 0; P < S.Procs; ++P)
+        for (int Callee : CG.node(int(P)).Callees)
+          if (Callee == int(C)) {
+            EXPECT_TRUE(S.RecompiledFlags[P])
+                << Where << ": " << Edited->procedure(int(P))->name()
+                << " calls summary-changed "
+                << Edited->procedure(int(C))->name()
+                << " but was served from the cache";
+          }
+    }
+    // Frontier minimality: the summary-neutral edit recompiles exactly
+    // the procedure it touched.
+    if (E.Kind == EditKind::DeadDef && Opts.MidEndOpt) {
+      EXPECT_EQ(S.Frontier, 1u) << Where;
+      EXPECT_EQ(S.SummaryChanged, 0u) << Where;
+    }
+
+    if (SimCheck) {
+      SimOptions SOpts;
+      SOpts.MaxSteps = 20 * 1000 * 1000;
+      RunStats ColdRun = runProgram(Cold->Program, SOpts);
+      RunStats IncRun = runProgram(Inc->Program, SOpts);
+      EXPECT_EQ(IncRun.OK, ColdRun.OK) << Where;
+      EXPECT_EQ(IncRun.Error, ColdRun.Error) << Where;
+      EXPECT_EQ(IncRun.Output, ColdRun.Output) << Where;
+      EXPECT_EQ(IncRun.ExitValue, ColdRun.ExitValue) << Where;
+    }
+  }
+
+  IncrementalService &service() { return Svc; }
+  const std::vector<Edit> &script() const { return Script; }
+
+private:
+  std::string Source;
+  CompileOptions Opts;
+  IncrementalService Svc;
+  std::vector<Edit> Script;
+};
+
+const PaperConfig AllConfigs[] = {PaperConfig::Base, PaperConfig::A,
+                                  PaperConfig::B,    PaperConfig::C,
+                                  PaperConfig::D,    PaperConfig::E};
+const unsigned ThreadCounts[] = {0, 1, 4};
+
+//===----------------------------------------------------------------------===//
+// Randomized edit scripts: generated programs
+//===----------------------------------------------------------------------===//
+
+// Ten shards x 20 scripts x 3 edits = 200 scripts / 600 differential
+// steps, cycling all 6 paper configurations x Threads {0, 1, 4} so every
+// combination recurs many times across the sweep.
+class IncrementalFuzzTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(IncrementalFuzzTest, RandomEditScriptsStayByteIdentical) {
+  const int ScriptsPerShard = 20;
+  for (int Script = 0; Script < ScriptsPerShard; ++Script) {
+    uint32_t Seed = uint32_t(GetParam() * 100000 + Script);
+    std::mt19937 Rng(Seed);
+    ProgramGenerator Gen(Seed);
+    std::string Src = Gen.generate();
+
+    int Cell = GetParam() * ScriptsPerShard + Script;
+    CompileOptions Opts = optionsFor(AllConfigs[unsigned(Cell) % 6]);
+    Opts.Threads = ThreadCounts[unsigned(Cell) % 3];
+
+    DiffHarness H(Src, Opts);
+    H.prime();
+    if (::testing::Test::HasFatalFailure())
+      return;
+    for (int Step = 0; Step < 3; ++Step) {
+      auto M = H.editedIR();
+      ASSERT_NE(M, nullptr);
+      Edit E = chooseEdit(Rng, *M);
+      std::string Where = "seed " + std::to_string(Seed) + " step " +
+                          std::to_string(Step) + " kind " +
+                          std::to_string(int(E.Kind)) + " proc " +
+                          M->procedure(E.Proc)->name() + "\n" + Src;
+      // The chooser never lets a generated script create recursion, so
+      // every step is also run through the simulator differentially.
+      H.stepAndCheck(E, /*SimCheck=*/Step == 2, Where);
+      if (::testing::Test::HasFatalFailure())
+        return;
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Shards, IncrementalFuzzTest,
+                         ::testing::Values(1, 2, 3, 4, 5, 6, 7, 8, 9, 10));
+
+//===----------------------------------------------------------------------===//
+// Randomized edit scripts: the benchmark suite
+//===----------------------------------------------------------------------===//
+
+class IncrementalSuiteTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(IncrementalSuiteTest, SuiteProgramsSurviveEditScripts) {
+  const auto &Suite = benchmarkSuite();
+  if (GetParam() >= int(Suite.size()))
+    GTEST_SKIP() << "suite has only " << Suite.size() << " programs";
+  const BenchmarkProgram &B = Suite[unsigned(GetParam())];
+  std::mt19937 Rng(0x1C0DEu + uint32_t(GetParam()));
+
+  CompileOptions Opts = optionsFor(AllConfigs[unsigned(GetParam()) % 6]);
+  Opts.Threads = ThreadCounts[unsigned(GetParam()) % 3];
+
+  DiffHarness H(B.Source, Opts);
+  H.prime();
+  if (::testing::Test::HasFatalFailure())
+    return;
+  for (int Step = 0; Step < 3; ++Step) {
+    auto M = H.editedIR();
+    ASSERT_NE(M, nullptr);
+    Edit E = chooseEdit(Rng, *M);
+    std::string Where = std::string(B.Name) + " step " +
+                        std::to_string(Step) + " kind " +
+                        std::to_string(int(E.Kind)) + " proc " +
+                        M->procedure(E.Proc)->name();
+    // Suite programs may be recursive already; an AddCall edit can extend
+    // a cycle into an unbounded runtime, so the simulator cross-check is
+    // reserved for scripts that stayed call-free.
+    bool CallFree = true;
+    for (const Edit &Prev : H.script())
+      CallFree &= Prev.Kind != EditKind::AddCall;
+    CallFree &= E.Kind != EditKind::AddCall;
+    H.stepAndCheck(E, /*SimCheck=*/CallFree && Step == 2, Where);
+    if (::testing::Test::HasFatalFailure())
+      return;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Programs, IncrementalSuiteTest,
+                         ::testing::Range(0, 13));
+
+//===----------------------------------------------------------------------===//
+// Directed frontier tests
+//===----------------------------------------------------------------------===//
+
+const char *Chain = R"(
+  func leaf(x) { return x + 1; }
+  func mid(x) { return leaf(x) + 2; }
+  func main() { print(mid(5)); return 0; }
+)";
+
+int procId(Module &M, const char *Name) {
+  Procedure *P = M.findProcedure(Name);
+  EXPECT_NE(P, nullptr) << Name;
+  return P ? P->id() : -1;
+}
+
+TEST(IncrementalFrontierTest, SummaryNeutralEditRecompilesExactlyOneProc) {
+  for (PaperConfig Config : AllConfigs) {
+    DiffHarness H(Chain, optionsFor(Config));
+    H.prime();
+    auto M = H.editedIR();
+    ASSERT_NE(M, nullptr);
+    Edit E{EditKind::DeadDef, procId(*M, "leaf"), 0, 7};
+    H.stepAndCheck(E, /*SimCheck=*/true, paperConfigName(Config));
+    const IncrementalStats &S = H.service().lastStats();
+    EXPECT_EQ(S.Frontier, 1u) << paperConfigName(Config);
+    EXPECT_EQ(S.Reused, S.Procs - 1) << paperConfigName(Config);
+    EXPECT_EQ(S.SummaryChanged, 0u) << paperConfigName(Config);
+    // The counters publish under the documented names.
+    StatCounters C = S.counters();
+    EXPECT_EQ(C.get("incremental.procs_reused"), uint64_t(S.Reused));
+    EXPECT_EQ(C.get("incremental.frontier_size"), 1u);
+    EXPECT_EQ(C.get("incremental.summary_changed"), 0u);
+    EXPECT_EQ(C.get("incremental.full_rebuild"), 0u);
+  }
+}
+
+TEST(IncrementalFrontierTest, ClobberGrowthDirtiesTheClosedCallerFrontier) {
+  // Under -O3 the leaf's precise clobber mask prices mid's call sites;
+  // growing it must pull mid into the frontier. (Under -O2 there is no
+  // summary coupling: the frontier stays at the edited leaf.)
+  DiffHarness H(Chain, optionsFor(PaperConfig::C));
+  H.prime();
+  auto M = H.editedIR();
+  ASSERT_NE(M, nullptr);
+  int Leaf = procId(*M, "leaf"), Mid = procId(*M, "mid"),
+      Main = procId(*M, "main");
+  Edit E{EditKind::ClobberGrowth, Leaf, 0, 3};
+  H.stepAndCheck(E, /*SimCheck=*/true, "clobber-growth");
+  const IncrementalStats &S = H.service().lastStats();
+  ASSERT_EQ(S.SummaryChangedFlags.size(), size_t(S.Procs));
+  EXPECT_TRUE(S.SummaryChangedFlags[unsigned(Leaf)])
+      << "eight simultaneously-live values must grow a one-register "
+         "leaf's clobber mask";
+  EXPECT_TRUE(S.RecompiledFlags[unsigned(Mid)]);
+  if (S.SummaryChangedFlags[unsigned(Mid)]) {
+    EXPECT_TRUE(S.RecompiledFlags[unsigned(Main)]);
+  }
+}
+
+TEST(IncrementalFrontierTest, CycleCreationFlipsOpenClosedEverywhere) {
+  // leaf -> mid closes a leaf/mid cycle: both flip to open, their precise
+  // summaries retract to the default protocol, and main -- whose call to
+  // mid was priced against the precise summary -- lands in the frontier
+  // too. (Compile-time only: the edited program would recurse forever.)
+  DiffHarness H(Chain, optionsFor(PaperConfig::C));
+  H.prime();
+  auto M = H.editedIR();
+  ASSERT_NE(M, nullptr);
+  Edit E{EditKind::AddCall, procId(*M, "leaf"), procId(*M, "mid"), 1};
+  H.stepAndCheck(E, /*SimCheck=*/false, "cycle-creation");
+  const IncrementalStats &S = H.service().lastStats();
+  EXPECT_EQ(S.Frontier, S.Procs);
+  EXPECT_EQ(S.Reused, 0u);
+}
+
+TEST(IncrementalFrontierTest, ShapeChangeFallsBackToFullRebuild) {
+  IncrementalService Svc(optionsFor(PaperConfig::C));
+  DiagnosticEngine Diags;
+  ASSERT_NE(Svc.compile(Chain, Diags), nullptr) << Diags.str();
+
+  // A new procedure changes the name-to-id mapping: no per-procedure
+  // reuse is meaningful, and the service must say so.
+  const char *Grown = R"(
+    func leaf(x) { return x + 1; }
+    func extra(x) { return x * 2; }
+    func mid(x) { return leaf(x) + 2; }
+    func main() { print(mid(5) + extra(1)); return 0; }
+  )";
+  DiagnosticEngine Diags2;
+  const CompileResult *Inc = Svc.recompile(Grown, Diags2);
+  ASSERT_NE(Inc, nullptr) << Diags2.str();
+  const IncrementalStats &S = Svc.lastStats();
+  EXPECT_TRUE(S.FullRebuild);
+  EXPECT_EQ(S.Frontier, S.Procs);
+  EXPECT_EQ(S.Reused, 0u);
+
+  DiagnosticEngine ColdDiags;
+  auto Cold = compileProgram(Grown, optionsFor(PaperConfig::C), ColdDiags);
+  ASSERT_NE(Cold, nullptr) << ColdDiags.str();
+  EXPECT_EQ(renderProgram(*Inc), renderProgram(*Cold));
+}
+
+TEST(IncrementalFrontierTest, HintsAreValidatedButNeverTrusted) {
+  DiffHarness H(Chain, optionsFor(PaperConfig::C));
+  H.prime();
+  IncrementalService &Svc = H.service();
+
+  // An edit to leaf, hinted as "main changed": the fingerprints catch the
+  // real change anyway (one hint miss), and the output is still exactly
+  // the cold compile of the edited module.
+  auto M = H.editedIR();
+  ASSERT_NE(M, nullptr);
+  int Leaf = procId(*M, "leaf"), Main = procId(*M, "main");
+  auto Edited = H.editedIR();
+  applyEdit(*Edited, Edit{EditKind::ImmTweak, Leaf, 0, 1});
+  auto ColdCopy = H.editedIR();
+  applyEdit(*ColdCopy, Edit{EditKind::ImmTweak, Leaf, 0, 1});
+
+  std::vector<int> Hint{Main};
+  DiagnosticEngine Diags;
+  const CompileResult *Inc =
+      Svc.recompileIR(std::move(Edited), Diags, &Hint);
+  ASSERT_NE(Inc, nullptr) << Diags.str();
+  EXPECT_EQ(Svc.lastStats().HintMisses, 1u);
+  EXPECT_TRUE(Svc.lastStats().RecompiledFlags[unsigned(Leaf)]);
+
+  DiagnosticEngine ColdDiags;
+  auto Cold = compileModule(std::move(ColdCopy), Svc.options(), ColdDiags);
+  ASSERT_NE(Cold, nullptr) << ColdDiags.str();
+  EXPECT_EQ(renderProgram(*Inc), renderProgram(*Cold));
+
+  // An out-of-range hint id is an error and must leave the cached state
+  // untouched (same artifacts served before and after).
+  std::string Before = renderProgram(*Svc.current());
+  std::vector<int> Bad{99};
+  DiagnosticEngine BadDiags;
+  EXPECT_EQ(Svc.recompileIR(H.editedIR(), BadDiags, &Bad), nullptr);
+  EXPECT_TRUE(BadDiags.hasErrors());
+  ASSERT_TRUE(Svc.loaded());
+  EXPECT_EQ(renderProgram(*Svc.current()), Before);
+}
+
+TEST(IncrementalFrontierTest, ThreadCountsProduceIdenticalFrontiers) {
+  // The reuse decisions ride inside the scheduler's tasks; they must be
+  // deterministic at any thread count -- same frontier flags, same bytes.
+  std::mt19937 Rng(0xF00Du);
+  ProgramGenerator Gen(0xF00Du);
+  std::string Src = Gen.generate();
+
+  std::vector<Edit> Script;
+  {
+    auto M = mustIR(Src);
+    ASSERT_NE(M, nullptr);
+    for (int Step = 0; Step < 3; ++Step) {
+      Script.push_back(chooseEdit(Rng, *M));
+      applyEdit(*M, Script.back());
+    }
+  }
+
+  std::string Render0;
+  std::vector<char> Flags0;
+  for (unsigned Threads : ThreadCounts) {
+    CompileOptions Opts = optionsFor(PaperConfig::C);
+    Opts.Threads = Threads;
+    DiffHarness H(Src, Opts);
+    H.prime();
+    if (::testing::Test::HasFatalFailure())
+      return;
+    for (const Edit &E : Script) {
+      H.stepAndCheck(E, /*SimCheck=*/false,
+                     "threads=" + std::to_string(Threads));
+      if (::testing::Test::HasFatalFailure())
+        return;
+    }
+    const IncrementalStats &S = H.service().lastStats();
+    std::string Render = renderProgram(*H.service().current());
+    if (Threads == 0) {
+      Render0 = Render;
+      Flags0 = S.RecompiledFlags;
+    } else {
+      EXPECT_EQ(Render, Render0) << "threads=" << Threads;
+      EXPECT_EQ(S.RecompiledFlags, Flags0) << "threads=" << Threads;
+    }
+  }
+}
+
+TEST(IncrementalFrontierTest, FailedRecompileKeepsTheLastGoodBuild) {
+  IncrementalService Svc(optionsFor(PaperConfig::C));
+  DiagnosticEngine Diags;
+  ASSERT_NE(Svc.compile(Chain, Diags), nullptr) << Diags.str();
+  std::string Before = renderProgram(*Svc.current());
+
+  DiagnosticEngine BadDiags;
+  EXPECT_EQ(Svc.recompile("func main( { syntax error", BadDiags), nullptr);
+  EXPECT_TRUE(BadDiags.hasErrors());
+  ASSERT_TRUE(Svc.loaded());
+  EXPECT_EQ(renderProgram(*Svc.current()), Before)
+      << "a failed edit must not corrupt the cached build";
+
+  // And the service still accepts good edits afterwards.
+  DiagnosticEngine GoodDiags;
+  const CompileResult *R = Svc.recompile(Chain, GoodDiags);
+  ASSERT_NE(R, nullptr) << GoodDiags.str();
+  EXPECT_EQ(renderProgram(*R), Before);
+  EXPECT_EQ(Svc.lastStats().Frontier, 0u)
+      << "recompiling identical source must reuse everything";
+}
+
+} // namespace

@@ -10,7 +10,10 @@
 //
 //===----------------------------------------------------------------------===//
 
+#include "analysis/CallGraph.h"
+#include "driver/IncrementalService.h"
 #include "driver/Pipeline.h"
+#include "frontend/Frontend.h"
 #include "programs/Programs.h"
 
 #include <gtest/gtest.h>
@@ -153,6 +156,100 @@ TEST(StatsInvariantTest, VerifierCoversEveryProcedureWithZeroViolations) {
       EXPECT_EQ(T.get("verify.violations"), 0u) << B.Name;
     }
   }
+}
+
+/// Inserts a dead `var __editK = Salt;` at the top of the K-th function
+/// body: a fingerprint-visible but summary-neutral source edit.
+std::string sourceEdit(const std::string &Src, unsigned FuncIdx,
+                       long Salt) {
+  size_t At = Src.find("func ");
+  for (unsigned I = 0; I < FuncIdx && At != std::string::npos; ++I)
+    At = Src.find("func ", At + 1);
+  if (At == std::string::npos)
+    return Src;
+  size_t Brace = Src.find('{', At);
+  if (Brace == std::string::npos)
+    return Src;
+  std::string Out = Src;
+  Out.insert(Brace + 1, " var __edit" + std::to_string(FuncIdx) + " = " +
+                            std::to_string(Salt) + ";");
+  return Out;
+}
+
+TEST(StatsInvariantTest, IncrementalCountersReconcileWithThePipeline) {
+  // The incremental service's counters must reconcile with the compile
+  // result they describe: reused + frontier partitions pipeline.procs,
+  // the frontier is ancestor-closed over the call graph, and the
+  // default-on MIR audit reran over the whole incremental result with
+  // zero violations -- cached code included.
+  for (const BenchmarkProgram &B : benchmarkSuite()) {
+    IncrementalService Svc(optionsFor(PaperConfig::C));
+    DiagnosticEngine Diags;
+    const CompileResult *Cold = Svc.compile(B.Source, Diags);
+    ASSERT_NE(Cold, nullptr) << B.Name << "\n" << Diags.str();
+    uint64_t Procs = Cold->Stats.totals().get("pipeline.procs");
+
+    // Priming is a full rebuild: the frontier is the whole module.
+    StatCounters Prime = Svc.lastStats().counters();
+    EXPECT_EQ(Prime.get("incremental.full_rebuild"), 1u) << B.Name;
+    EXPECT_EQ(Prime.get("incremental.frontier_size"), Procs) << B.Name;
+    EXPECT_EQ(Prime.get("incremental.procs_reused"), 0u) << B.Name;
+
+    // A no-op recompile reuses everything; an edit recompiles at least
+    // the edited procedure. Both must keep the partition identity and a
+    // clean, fully re-audited result.
+    const std::string Sources[] = {B.Source, sourceEdit(B.Source, 0, 41)};
+    for (const std::string &Src : Sources) {
+      DiagnosticEngine D;
+      const CompileResult *R = Svc.recompile(Src, D);
+      ASSERT_NE(R, nullptr) << B.Name << "\n" << D.str();
+      const IncrementalStats &S = Svc.lastStats();
+      StatCounters Inc = S.counters();
+      StatCounters Totals = R->Stats.totals();
+      EXPECT_EQ(Inc.get("incremental.procs_reused") +
+                    Inc.get("incremental.frontier_size"),
+                Totals.get("pipeline.procs"))
+          << B.Name;
+      EXPECT_EQ(Inc.get("incremental.full_rebuild"), 0u) << B.Name;
+      EXPECT_EQ(Totals.get("verify.procedures_checked"),
+                Totals.get("pipeline.procs"))
+          << B.Name << ": the MIR audit must cover cached procedures too";
+      EXPECT_EQ(Totals.get("verify.violations"), 0u) << B.Name;
+
+      // Ancestor closure: every closed caller of a summary-changed
+      // procedure is in the frontier.
+      DiagnosticEngine IRDiags;
+      auto M = compileToIR(Src, IRDiags);
+      ASSERT_NE(M, nullptr) << B.Name;
+      CallGraph CG = CallGraph::build(*M);
+      for (unsigned C = 0; C < S.Procs; ++C) {
+        if (!S.SummaryChangedFlags[C] || CG.isOpen(int(C)))
+          continue;
+        for (unsigned P = 0; P < S.Procs; ++P)
+          for (int Callee : CG.node(int(P)).Callees)
+            if (Callee == int(C)) {
+              EXPECT_TRUE(S.RecompiledFlags[P]) << B.Name;
+            }
+      }
+    }
+  }
+}
+
+TEST(StatsInvariantTest, NoOpRecompileReusesEveryProcedure) {
+  // Sharper form of the partition identity on one program: recompiling
+  // byte-identical source has an empty frontier and no summary churn.
+  const BenchmarkProgram &B = *findBenchmark("dhrystone");
+  IncrementalService Svc(optionsFor(PaperConfig::C));
+  DiagnosticEngine Diags;
+  ASSERT_NE(Svc.compile(B.Source, Diags), nullptr) << Diags.str();
+  DiagnosticEngine D2;
+  ASSERT_NE(Svc.recompile(B.Source, D2), nullptr) << D2.str();
+  const IncrementalStats &S = Svc.lastStats();
+  EXPECT_EQ(S.Frontier, 0u);
+  EXPECT_EQ(S.Reused, S.Procs);
+  EXPECT_EQ(S.SelfChanged, 0u);
+  EXPECT_EQ(S.SummaryChanged, 0u);
+  EXPECT_FALSE(S.FullRebuild);
 }
 
 TEST(StatsInvariantTest, CountersAgreeWithTheMachineProgram) {

@@ -47,12 +47,20 @@
 //                        per-procedure phase
 //   --benchmark=<name>   compile the named built-in suite program instead
 //                        of reading files (nim, map, ..., uopt)
+//   --serve              incremental compile service: read line-oriented
+//                        batch requests from stdin (load/recompile/emit/
+//                        stats/run/quit; see driver/IncrementalService.h),
+//                        recompiling only the summary-changed ancestor
+//                        frontier of each edit. Exit 0 iff no request
+//                        errored. Composes with the compile options above;
+//                        incompatible with input files and --profile.
 //
 // Multiple input files are compiled separately and cross-module linked
 // (the paper's Section 7 setting).
 //
 //===----------------------------------------------------------------------===//
 
+#include "driver/IncrementalService.h"
 #include "driver/Pipeline.h"
 #include "ir/Printer.h"
 #include "programs/Programs.h"
@@ -61,6 +69,7 @@
 #include <cstdlib>
 #include <cstring>
 #include <fstream>
+#include <iostream>
 #include <sstream>
 #include <string>
 #include <vector>
@@ -80,6 +89,7 @@ struct ToolOptions {
   bool Run = true;
   bool Stats = false;
   bool UseProfile = false;
+  bool Serve = false;
   std::string StatsJsonPath;
   std::string TraceJsonPath;
 };
@@ -89,7 +99,7 @@ void usage(const char *Argv0) {
                "usage: %s [-O2|-O3] [--shrink-wrap] [--no-combined] "
                "[--no-reg-params]\n              [--no-loop-ext] "
                "[--restrict=caller7|callee7] [--convention=<spec>]\n"
-               "              [--threads=N] [--profile]\n"
+               "              [--threads=N] [--profile] [--serve]\n"
                "              [--verify-mir] [--no-verify-mir]\n"
                "              "
                "[--emit-ir] [--emit-mir] [--summaries] [--run] [--stats]\n"
@@ -137,6 +147,8 @@ bool parseArgs(int Argc, char **Argv, ToolOptions &Opts) {
       Opts.Compile.Threads = unsigned(N);
     } else if (Arg == "--profile") {
       Opts.UseProfile = true;
+    } else if (Arg == "--serve") {
+      Opts.Serve = true;
     } else if (Arg == "--verify-mir") {
       Opts.Compile.VerifyMIR = true;
     } else if (Arg == "--no-verify-mir") {
@@ -265,6 +277,16 @@ int main(int Argc, char **Argv) {
   if (!parseArgs(Argc, Argv, Opts)) {
     usage(Argv[0]);
     return 2;
+  }
+
+  if (Opts.Serve) {
+    if (!Opts.Inputs.empty() || !Opts.Benchmark.empty() || Opts.UseProfile) {
+      std::fprintf(stderr, "ipracc: --serve takes requests on stdin; it is "
+                           "incompatible with input files, --benchmark and "
+                           "--profile\n");
+      return 2;
+    }
+    return serveLoop(std::cin, std::cout, Opts.Compile);
   }
 
   std::vector<std::string> Sources;
