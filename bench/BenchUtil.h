@@ -103,6 +103,53 @@ inline void checkSameOutput(const RunStats &A, const RunStats &B,
   }
 }
 
+/// One engine-mode row of the simulator throughput tables: a SimOptions
+/// preset plus the display name the row's label carries, so every
+/// printed line is self-describing about which engine produced it.
+struct EngineMode {
+  const char *Name; ///< Label component: "reference" ... "native-raw".
+  SimEngine Engine;
+  bool NativeRaw;
+  /// Whether the mode supports block profiling / convention checking
+  /// (raw native rejects both by contract).
+  bool SupportsChecking;
+};
+
+/// The four engine modes in throughput-table order.
+inline const std::vector<EngineMode> &engineModes() {
+  static const std::vector<EngineMode> Modes = {
+      {"reference", SimEngine::Reference, false, true},
+      {"decoded", SimEngine::Decoded, false, true},
+      {"native", SimEngine::Native, false, true},
+      {"native-raw", SimEngine::Native, true, false},
+  };
+  return Modes;
+}
+
+inline void applyEngineMode(SimOptions &Opts, const EngineMode &M) {
+  Opts.Engine = M.Engine;
+  Opts.NativeRaw = M.NativeRaw;
+}
+
+/// "<prog>/<engine>": the row label every sim throughput benchmark sets.
+inline std::string engineRowLabel(const char *Prog, const EngineMode &M) {
+  return std::string(Prog) + "/" + M.Name;
+}
+
+/// Human form of an instructions-per-second figure ("312.4 Minstr/s"):
+/// the unit every EXPERIMENTS.md simulator-throughput row uses, shared
+/// with the perf gate in tests/NativePerfTest.cpp.
+inline std::string formatInstrPerSec(double InstrPerSec) {
+  char Buf[64];
+  if (InstrPerSec >= 1e9)
+    std::snprintf(Buf, sizeof(Buf), "%.2f Ginstr/s", InstrPerSec / 1e9);
+  else if (InstrPerSec >= 1e6)
+    std::snprintf(Buf, sizeof(Buf), "%.1f Minstr/s", InstrPerSec / 1e6);
+  else
+    std::snprintf(Buf, sizeof(Buf), "%.0f Kinstr/s", InstrPerSec / 1e3);
+  return Buf;
+}
+
 /// Short key for one configuration, used in the stats report.
 inline const char *configKey(PaperConfig Config) {
   switch (Config) {

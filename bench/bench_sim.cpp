@@ -1,18 +1,22 @@
 //===- bench/bench_sim.cpp - Simulator engine throughput -------------------===//
 //
-// Instructions-per-second of the two execution engines over suite
-// programs, plus the checking modes (block profiling, convention
-// checking) whose costs the decoded engine hoists to decode time. Every
-// variant reports items/sec where one item is one executed guest
-// instruction, so the EXPERIMENTS.md throughput table reads straight off
-// the benchmark output. The engines are differentially tested for
-// byte-identical RunStats in tests/SimEngineTest.cpp; this file only
-// measures speed.
+// Instructions-per-second of the execution engines over suite programs
+// (the interpreters plus both native JIT modes), and the checking modes
+// (block profiling, convention checking) whose costs the decoded engine
+// hoists to decode time and the JIT compiles in. Every variant reports
+// items/sec where one item is one executed guest instruction, and every
+// row's label names its engine (see bench::engineModes), so the
+// EXPERIMENTS.md throughput table reads straight off the benchmark
+// output. The engines are differentially tested for byte-identical
+// RunStats in tests/SimEngineTest.cpp and tests/NativeEngineTest.cpp;
+// this file only measures speed. Native rows skip with the engine's own
+// reason string on hosts that cannot JIT.
 //
 //===----------------------------------------------------------------------===//
 
 #include "bench/BenchUtil.h"
 #include "sim/BatchRunner.h"
+#include "x64/NativeEngine.h"
 
 #include <benchmark/benchmark.h>
 
@@ -40,7 +44,19 @@ const MProgram &compiledProgram(int ProgIdx) {
   return Cache[ProgIdx]->Program;
 }
 
-void runEngineBench(benchmark::State &State, const SimOptions &Opts) {
+/// Runs one program/engine-mode cell. range(0) picks the program,
+/// range(1) indexes bench::engineModes(); the row label is always
+/// "<prog>/<engine>".
+void runEngineBench(benchmark::State &State, SimOptions Opts) {
+  const EngineMode &Mode = engineModes()[size_t(State.range(1))];
+  applyEngineMode(Opts, Mode);
+  if (Opts.Engine == SimEngine::Native) {
+    std::string Why;
+    if (!nativeEngineSupported(&Why)) {
+      State.SkipWithError(Why.c_str());
+      return;
+    }
+  }
   const MProgram &Prog = compiledProgram(int(State.range(0)));
   for (auto _ : State) {
     RunStats Stats = runProgram(Prog, Opts);
@@ -52,19 +68,16 @@ void runEngineBench(benchmark::State &State, const SimOptions &Opts) {
     State.SetItemsProcessed(State.items_processed() +
                             int64_t(Stats.Instructions));
   }
-  State.SetLabel(SimBenchPrograms[State.range(0)]);
+  State.SetLabel(engineRowLabel(SimBenchPrograms[State.range(0)], Mode));
 }
 
-/// Plain execution: the headline Reference vs. Decoded comparison.
-void BM_Sim(benchmark::State &State) {
-  SimOptions Opts;
-  Opts.Engine = SimEngine(State.range(1));
-  runEngineBench(State, Opts);
-}
+/// Plain execution: all four engine modes, including raw native (which
+/// re-JITs per run, so its row prices compile+execute like a user would
+/// pay it).
+void BM_Sim(benchmark::State &State) { runEngineBench(State, SimOptions()); }
 BENCHMARK(BM_Sim)
-    ->ArgsProduct({{0, 1, 2},
-                   {int(SimEngine::Reference), int(SimEngine::Decoded)}})
-    ->ArgNames({"prog", "engine"})
+    ->ArgsProduct({{0, 1, 2}, {0, 1, 2, 3}})
+    ->ArgNames({"prog", "mode"})
     ->Unit(benchmark::kMillisecond);
 
 /// Block-profile collection (the pipeline's training run): the decoded
@@ -72,28 +85,24 @@ BENCHMARK(BM_Sim)
 /// per-block conditional.
 void BM_SimProfiled(benchmark::State &State) {
   SimOptions Opts;
-  Opts.Engine = SimEngine(State.range(1));
   Opts.CollectBlockProfile = true;
   runEngineBench(State, Opts);
 }
 BENCHMARK(BM_SimProfiled)
-    ->ArgsProduct({{0},
-                   {int(SimEngine::Reference), int(SimEngine::Decoded)}})
-    ->ArgNames({"prog", "engine"})
+    ->ArgsProduct({{0}, {0, 1, 2}}) // checking modes only (no raw native)
+    ->ArgNames({"prog", "mode"})
     ->Unit(benchmark::kMillisecond);
 
 /// Dynamic convention checking: dominated by the per-call snapshot, which
 /// now records only the registers outside the callee's clobber mask.
 void BM_SimConventions(benchmark::State &State) {
   SimOptions Opts;
-  Opts.Engine = SimEngine(State.range(1));
   Opts.CheckConventions = true;
   runEngineBench(State, Opts);
 }
 BENCHMARK(BM_SimConventions)
-    ->ArgsProduct({{0},
-                   {int(SimEngine::Reference), int(SimEngine::Decoded)}})
-    ->ArgNames({"prog", "engine"})
+    ->ArgsProduct({{0}, {0, 1, 2}}) // checking modes only (no raw native)
+    ->ArgNames({"prog", "mode"})
     ->Unit(benchmark::kMillisecond);
 
 /// The batched form the table/fig drivers use: the suite's run matrix on

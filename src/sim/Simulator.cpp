@@ -4,6 +4,7 @@
 
 #include "sim/ConventionCheck.h"
 #include "sim/DecodedEngine.h"
+#include "x64/NativeEngine.h"
 
 using namespace ipra;
 
@@ -290,6 +291,8 @@ private:
 RunStats ipra::runProgram(const MProgram &Prog, const SimOptions &Opts) {
   if (Opts.Engine == SimEngine::Decoded)
     return runDecodedProgram(Prog, Opts);
+  if (Opts.Engine == SimEngine::Native)
+    return runNativeProgram(Prog, Opts);
   return Machine(Prog, Opts).run();
 }
 
@@ -320,5 +323,11 @@ StatCounters RunStats::counters() const {
     S.set("sim.dispatch.superops_retired", SuperopsRetired);
   if (CarefulEntries)
     S.set("sim.dispatch.careful_entries", CarefulEntries);
+  if (NativeProcs)
+    S.set("sim.native.procs", NativeProcs);
+  if (NativeCodeBytes)
+    S.set("sim.native.code_bytes", NativeCodeBytes);
+  if (NativeBailouts)
+    S.set("sim.native.bailouts", NativeBailouts);
   return S;
 }

@@ -67,6 +67,12 @@ struct RunStats {
   uint64_t SuperopsRetired = 0;  ///< Fused ops executed (2 insts each).
   uint64_t CarefulEntries = 0;   ///< Switches into the checking tail loop.
 
+  /// Native-engine observability (all zero elsewhere; excluded from
+  /// sameExecution like the decoded counters):
+  uint64_t NativeProcs = 0;     ///< Procedures JIT-compiled.
+  uint64_t NativeCodeBytes = 0; ///< Machine code emitted.
+  uint64_t NativeBailouts = 0;  ///< Switches into the careful tail.
+
   uint64_t scalarMemOps() const { return ScalarLoads + ScalarStores; }
   double cyclesPerCall() const {
     return double(Cycles) / double(Calls ? Calls : 1);
@@ -104,6 +110,11 @@ enum class SimEngine {
   /// Pre-decoded flat streams with threaded dispatch and superop fusion
   /// (see sim/DecodedEngine.h). The default.
   Decoded,
+  /// JIT-compiled x86-64 machine code (see x64/NativeEngine.h).
+  /// Instrumented by default -- byte-exact against the interpreters --
+  /// or uninstrumented pure-speed mode via SimOptions::NativeRaw.
+  /// Unsupported hosts report a clean RunStats error.
+  Native,
 };
 
 struct SimOptions {
@@ -126,6 +137,12 @@ struct SimOptions {
   /// Execution engine (see SimEngine). Decoded by default; Reference is
   /// the differential oracle.
   SimEngine Engine = SimEngine::Decoded;
+  /// Native engine only: drop the per-block cost instrumentation and run
+  /// uninstrumented code. Pixie counters stay exact on error-free runs;
+  /// budget enforcement becomes approximate (checked at loop back edges
+  /// and procedure entries) and block profiling / convention checking
+  /// are rejected. Ignored by the interpreter engines.
+  bool NativeRaw = false;
 };
 
 /// Executes \p Prog from its main procedure. Never throws; failures are

@@ -1,0 +1,104 @@
+//===- support/CodeBuffer.cpp ----------------------------------------------===//
+
+#include "support/CodeBuffer.h"
+
+#include <cstdlib>
+#include <cstring>
+
+#if defined(__unix__) || defined(__APPLE__)
+#define IPRA_CODEBUFFER_MMAP 1
+#include <sys/mman.h>
+#include <unistd.h>
+#else
+#define IPRA_CODEBUFFER_MMAP 0
+#endif
+
+using namespace ipra;
+
+namespace {
+
+size_t pageSize() {
+#if IPRA_CODEBUFFER_MMAP
+  long PS = sysconf(_SC_PAGESIZE);
+  return PS > 0 ? size_t(PS) : 4096;
+#else
+  return 4096;
+#endif
+}
+
+} // namespace
+
+bool CodeBuffer::hardwareSupported() { return IPRA_CODEBUFFER_MMAP != 0; }
+
+bool CodeBuffer::allocate(size_t Bytes, std::string &Err) {
+  reset();
+  if (Bytes == 0) {
+    Err = "cannot allocate an empty code buffer";
+    return false;
+  }
+  size_t PS = pageSize();
+  size_t Rounded = (Bytes + PS - 1) / PS * PS;
+  if (Rounded < Bytes) {
+    Err = "code buffer size overflows";
+    return false;
+  }
+#if IPRA_CODEBUFFER_MMAP
+  void *P = mmap(nullptr, Rounded, PROT_READ | PROT_WRITE,
+                 MAP_PRIVATE | MAP_ANONYMOUS, -1, 0);
+  if (P == MAP_FAILED) {
+    Err = "mmap of " + std::to_string(Rounded) + " code bytes failed";
+    return false;
+  }
+  Ptr = static_cast<uint8_t *>(P);
+  Mapped = true;
+#else
+  Ptr = static_cast<uint8_t *>(std::calloc(Rounded, 1));
+  if (!Ptr) {
+    Err = "allocation of " + std::to_string(Rounded) + " code bytes failed";
+    return false;
+  }
+  Mapped = false;
+#endif
+  Cap = Rounded;
+  Exec = false;
+  return true;
+}
+
+bool CodeBuffer::makeExecutable(std::string &Err) {
+  if (!Ptr) {
+    Err = "no code buffer allocated";
+    return false;
+  }
+  if (Exec)
+    return true;
+#if IPRA_CODEBUFFER_MMAP
+  if (Mapped) {
+    if (mprotect(Ptr, Cap, PROT_READ | PROT_EXEC) != 0) {
+      Err = "mprotect(PROT_READ|PROT_EXEC) refused; host policy forbids "
+            "executable mappings";
+      return false;
+    }
+    Exec = true;
+    return true;
+  }
+#endif
+  Err = "executable memory is unavailable on this host (heap fallback "
+        "buffer)";
+  return false;
+}
+
+void CodeBuffer::reset() {
+  if (!Ptr)
+    return;
+#if IPRA_CODEBUFFER_MMAP
+  if (Mapped)
+    munmap(Ptr, Cap);
+  else
+    std::free(Ptr);
+#else
+  std::free(Ptr);
+#endif
+  Ptr = nullptr;
+  Cap = 0;
+  Exec = Mapped = false;
+}

@@ -1,0 +1,94 @@
+//===- support/CodeBuffer.h - Executable memory with W^X ------*- C++ -*-===//
+//
+// Part of the ipra project (Chow, PLDI 1988 reproduction).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A page-aligned buffer that can be flipped from writable to executable
+/// (never both at once: strict W^X discipline, the policy hardened
+/// kernels and sanitizers expect). The JIT backend fills it while the
+/// mapping is read-write, then calls makeExecutable() exactly once to
+/// drop the write bit and gain execute; after that the code is sealed.
+///
+/// On hosts without an mmap/mprotect pair the buffer degrades to plain
+/// heap memory: still usable as a byte sink (so encoder tests run
+/// anywhere), but makeExecutable() reports failure with a diagnostic
+/// instead of handing out a non-executable pointer. Callers own the
+/// "refuse to run, don't crash" policy on top of that.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef IPRA_SUPPORT_CODEBUFFER_H
+#define IPRA_SUPPORT_CODEBUFFER_H
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+
+namespace ipra {
+
+class CodeBuffer {
+public:
+  CodeBuffer() = default;
+  ~CodeBuffer() { reset(); }
+
+  CodeBuffer(const CodeBuffer &) = delete;
+  CodeBuffer &operator=(const CodeBuffer &) = delete;
+  CodeBuffer(CodeBuffer &&O) noexcept { *this = static_cast<CodeBuffer &&>(O); }
+  CodeBuffer &operator=(CodeBuffer &&O) noexcept {
+    if (this != &O) {
+      reset();
+      Ptr = O.Ptr;
+      Cap = O.Cap;
+      Exec = O.Exec;
+      Mapped = O.Mapped;
+      O.Ptr = nullptr;
+      O.Cap = 0;
+      O.Exec = O.Mapped = false;
+    }
+    return *this;
+  }
+
+  /// True when this build can hand out genuinely executable memory
+  /// (an mmap/mprotect pair exists). When false, allocate() still works
+  /// but makeExecutable() always fails.
+  static bool hardwareSupported();
+
+  /// Maps \p Bytes of zeroed read-write memory (rounded up to whole
+  /// pages). \returns false with a message in \p Err on failure. A
+  /// previously held mapping is released first.
+  bool allocate(size_t Bytes, std::string &Err);
+
+  /// Flips the mapping from RW to RX (W^X: the write permission is gone
+  /// afterwards, so the code is sealed). Idempotent once it succeeded.
+  /// \returns false with a diagnostic in \p Err when execute permission
+  /// cannot be granted -- the heap fallback, or a kernel refusing
+  /// PROT_EXEC -- in which case the memory stays writable data.
+  bool makeExecutable(std::string &Err);
+
+  uint8_t *data() { return Ptr; }
+  const uint8_t *data() const { return Ptr; }
+  /// Usable size in bytes (the rounded-up allocation).
+  size_t capacity() const { return Cap; }
+  bool executable() const { return Exec; }
+
+  /// Entry pointer at byte offset \p Off; null until makeExecutable()
+  /// succeeded (callers must not jump into writable memory).
+  const void *entry(size_t Off = 0) const {
+    return Exec && Off < Cap ? Ptr + Off : nullptr;
+  }
+
+  /// Releases the mapping (automatic on destruction).
+  void reset();
+
+private:
+  uint8_t *Ptr = nullptr;
+  size_t Cap = 0;
+  bool Exec = false;
+  bool Mapped = false; ///< mmap'd (vs. the heap fallback).
+};
+
+} // namespace ipra
+
+#endif // IPRA_SUPPORT_CODEBUFFER_H

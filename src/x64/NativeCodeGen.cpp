@@ -1,0 +1,1029 @@
+//===- x64/NativeCodeGen.cpp - MIR to x86-64 lowering ----------------------===//
+//
+// The lowering contract (DESIGN.md section 14), in brief:
+//
+//  * r15 holds the NativeEnv pointer, r14 the guest memory base. rax,
+//    rcx and rdx are per-instruction scratch. The hottest guest
+//    registers (by static operand frequency) are pinned to rbx/rbp/
+//    r12/r13 (callee-saved: survive helper calls) then rsi/rdi/r8-r11
+//    (caller-saved: synced to NativeEnv::Regs and reloaded around
+//    helpers); the rest live in NativeEnv::Regs permanently. Raw mode
+//    keeps r12/r13 for its own accumulators and pins eight.
+//
+//  * Instrumented mode reproduces the decoded engine's observable cost
+//    accounting. Every block head runs one hoisted budget test
+//    (remaining budget >= whole-block cost, else bail to the careful
+//    tail) and then, within the block, counters are settled lazily: one
+//    "add [steps], k" per segment, where segments end at control
+//    transfers and error exits. After each call a resume test against
+//    the program-wide worst-case block cost re-establishes the "budget
+//    covers the rest of any block" invariant the head test provides.
+//
+//  * Raw mode charges each block once at its head (steps, loads/stores,
+//    calls -- exact on error-free runs) and tests the budget only at
+//    loop back-edge targets and procedure entries, which bounds
+//    overshoot without per-block arithmetic on straight-line paths.
+//    Steps accumulate in r12 and calls in r13 (synced to NativeEnv only
+//    at exits and error stubs): per-block "add [env], k" would chain
+//    every block through a store-to-load forward on the same address,
+//    and on call-heavy code that chain, not the guest work, sets the
+//    throughput ceiling. Call depth needs no cursor at all -- the host
+//    stack mirrors guest depth at 16 bytes per frame, so one
+//    "cmp rsp, floor" per call is the whole check (the trampoline
+//    computes the floor from MaxCallDepth at run entry).
+//
+//  * Cold paths (errors, bailouts) are per-procedure stubs after the
+//    body, so the hot path stays branch-not-taken shaped. Error stubs
+//    charge the partial segment, fill the NativeEnv mailbox and call
+//    the noreturn FnError helper; bail stubs sync the pinned registers
+//    and hand the exact source position to FnBail.
+//
+//===----------------------------------------------------------------------===//
+
+#include "x64/NativeCodeGen.h"
+
+#include "x64/NativeRuntime.h"
+#include "x64/X64Assembler.h"
+
+#include <algorithm>
+#include <cassert>
+#include <cstddef>
+#include <cstring>
+#include <utility>
+
+using namespace ipra;
+using namespace ipra::x64;
+
+namespace {
+
+constexpr Reg CalleeSavedHosts[] = {RBX, RBP, R12, R13};
+constexpr Reg CallerSavedHosts[] = {RSI, RDI, R8, R9, R10, R11};
+
+/// Raw mode's dedicated accumulators (callee-saved: survive FnPrint).
+constexpr Reg RawSteps = R12;
+constexpr Reg RawCalls = R13;
+
+bool isCallerSavedHost(Reg H) {
+  for (Reg R : CallerSavedHosts)
+    if (R == H)
+      return true;
+  return false;
+}
+
+bool fitsI32(int64_t V) { return V >= INT32_MIN && V <= INT32_MAX; }
+
+Mem env(size_t Off) {
+  assert(Off <= size_t(INT32_MAX));
+  return Mem{R15, int32_t(Off)};
+}
+
+#define ENV(Field) env(offsetof(NativeEnv, Field))
+
+Mem regSlot(unsigned G) { return env(offsetof(NativeEnv, Regs) + 8 * G); }
+
+/// Pixie counter category within a segment: 0/1 scalar load/store,
+/// 2/3 data load/store.
+unsigned memCounterIndex(const MInst &I) {
+  unsigned K = I.Mem == MemKind::Scalar ? 0 : 2;
+  return K + (I.Op == MOpcode::Store ? 1 : 0);
+}
+
+Mem memCounterField(unsigned K) {
+  switch (K) {
+  case 0:
+    return ENV(ScalarLoads);
+  case 1:
+    return ENV(ScalarStores);
+  case 2:
+    return ENV(DataLoads);
+  default:
+    return ENV(DataStores);
+  }
+}
+
+Cond cmpCond(MOpcode Op) {
+  switch (Op) {
+  case MOpcode::CmpEq:
+    return Cond::E;
+  case MOpcode::CmpNe:
+    return Cond::NE;
+  case MOpcode::CmpLt:
+    return Cond::L;
+  case MOpcode::CmpLe:
+    return Cond::LE;
+  case MOpcode::CmpGt:
+    return Cond::G;
+  default:
+    return Cond::GE;
+  }
+}
+
+class Emitter {
+public:
+  Emitter(const MProgram &Prog, const NativeCodeGenOptions &Opts,
+          const RegisterMap &Map, const std::vector<size_t> &ProfOff,
+          NativeCode &Out, std::string &Err)
+      : Prog(Prog), Opts(Opts), Map(Map), ProfOff(ProfOff), Out(Out),
+        Err(Err) {}
+
+  bool run() {
+    if (!preflight())
+      return false;
+    // ~16 bytes per lowered instruction is the observed envelope; one
+    // upfront reservation keeps the emitter out of vector regrowth.
+    A.reserve(TotalInsts * 16 + Prog.Procs.size() * 48 + 256);
+    emitTrampoline();
+    if (Opts.Raw) {
+      RawBudgetLabel = A.newLabel();
+      A.bind(RawBudgetLabel);
+      syncRawCounters();
+      A.movMI(ENV(ErrorCode), int32_t(NativeErr::Budget));
+      A.movRR(RDI, R15);
+      A.callM(ENV(FnError));
+    }
+    Out.ProcEntry.assign(Prog.Procs.size(), size_t(-1));
+    for (unsigned P = 0; P < Prog.Procs.size(); ++P)
+      if (!emitProc(P))
+        return false;
+    A.finalize();
+    for (const auto &[Pos, Callee] : CallPatches) {
+      assert(Out.ProcEntry[Callee] != size_t(-1));
+      A.patchCall(Pos, Out.ProcEntry[Callee]);
+    }
+    Out.Bytes = A.code();
+    return true;
+  }
+
+private:
+  //===--------------------------------------------------------------------===//
+  // Validation
+  //===--------------------------------------------------------------------===//
+
+  bool preflight() {
+    if (Prog.Procs.size() > size_t(INT32_MAX))
+      return bad("too many procedures for the native engine");
+    size_t TotalBlocks = 0;
+    for (const MProc &P : Prog.Procs) {
+      for (const MBlock &B : P.Blocks) {
+        if (B.Insts.empty())
+          return bad("procedure '" + P.Name + "' has an empty block");
+        if (!B.Insts.back().isTerminator())
+          return bad("procedure '" + P.Name +
+                     "' has a block without a terminator");
+        if (B.Insts.size() > size_t(INT32_MAX) / 2)
+          return bad("procedure '" + P.Name +
+                     "' has a block too large for the native engine");
+        ++TotalBlocks;
+        TotalInsts += B.Insts.size();
+      }
+    }
+    if (Opts.MaxBlockCost > uint64_t(INT32_MAX))
+      return bad("block cost bound too large for the native engine");
+    if (Opts.Profile && TotalBlocks * 8 > size_t(INT32_MAX))
+      return bad("block profile too large for the native engine");
+    return true;
+  }
+
+  bool bad(std::string Why) {
+    Err = std::move(Why);
+    return false;
+  }
+
+  //===--------------------------------------------------------------------===//
+  // Guest register file access
+  //===--------------------------------------------------------------------===//
+
+  int hostOf(unsigned G) const { return Map.GuestToHost[G]; }
+
+  void loadGuest(Reg Dst, unsigned G) {
+    int H = hostOf(G);
+    if (H >= 0)
+      A.movRR(Dst, Reg(H));
+    else
+      A.movRM(Dst, regSlot(G));
+  }
+
+  void storeGuest(unsigned G, Reg Src) {
+    int H = hostOf(G);
+    if (H >= 0)
+      A.movRR(Reg(H), Src);
+    else
+      A.movMR(regSlot(G), Src);
+  }
+
+  void aluGuest(Alu Op, Reg Dst, unsigned G) {
+    int H = hostOf(G);
+    if (H >= 0)
+      A.aluRR(Op, Dst, Reg(H));
+    else
+      A.aluRM(Op, Dst, regSlot(G));
+  }
+
+  void imulGuest(Reg Dst, unsigned G) {
+    int H = hostOf(G);
+    if (H >= 0) {
+      A.imulRR(Dst, Reg(H));
+    } else {
+      A.movRM(RDX, regSlot(G));
+      A.imulRR(Dst, RDX);
+    }
+  }
+
+  void forEachPinned(bool CallerSavedOnly, void (Emitter::*F)(unsigned, Reg)) {
+    for (unsigned G = 0; G < NumPhysRegs; ++G) {
+      int H = hostOf(G);
+      if (H < 0 || (CallerSavedOnly && !isCallerSavedHost(Reg(H))))
+        continue;
+      (this->*F)(G, Reg(H));
+    }
+  }
+
+  void syncOne(unsigned G, Reg H) { A.movMR(regSlot(G), H); }
+  void reloadOne(unsigned G, Reg H) { A.movRM(H, regSlot(G)); }
+
+  void syncAllPinned() { forEachPinned(false, &Emitter::syncOne); }
+  void reloadAllPinned() { forEachPinned(false, &Emitter::reloadOne); }
+  void syncCallerSavedPinned() { forEachPinned(true, &Emitter::syncOne); }
+  void reloadCallerSavedPinned() { forEachPinned(true, &Emitter::reloadOne); }
+
+  //===--------------------------------------------------------------------===//
+  // Small emission helpers
+  //===--------------------------------------------------------------------===//
+
+  void addImmTo(Reg R, int64_t Imm) {
+    if (fitsI32(Imm)) {
+      A.aluRI(Alu::Add, R, int32_t(Imm));
+    } else {
+      A.movRI(RCX, Imm);
+      A.aluRR(Alu::Add, R, RCX);
+    }
+  }
+
+  /// cmp R, V with unsigned semantics over the full u64 range.
+  void cmpRegU64(Reg R, uint64_t V, Reg Scratch) {
+    if (V <= uint64_t(INT32_MAX)) {
+      A.aluRI(Alu::Cmp, R, int32_t(V));
+    } else {
+      A.movRI(Scratch, int64_t(V));
+      A.aluRR(Alu::Cmp, R, Scratch);
+    }
+  }
+
+  /// Publishes raw mode's register accumulators to NativeEnv. Required
+  /// on every path that leaves JIT code with the run's counters live:
+  /// the trampoline's normal return and all error stubs.
+  void syncRawCounters() {
+    assert(Opts.Raw);
+    A.movMR(ENV(Steps), RawSteps);
+    A.movMR(ENV(Calls), RawCalls);
+  }
+
+  //===--------------------------------------------------------------------===//
+  // Segment accounting (instrumented mode)
+  //===--------------------------------------------------------------------===//
+
+  void segReset(size_t Next) {
+    SegStart = Next;
+    std::memset(SegCnt, 0, sizeof(SegCnt));
+  }
+
+  /// Settles steps and memory counters for the segment ending at (and
+  /// including) instruction \p LastIdx. Clobbers flags.
+  void settleThrough(size_t LastIdx) {
+    assert(!Opts.Raw);
+    A.aluMI(Alu::Add, ENV(Steps), int32_t(LastIdx + 1 - SegStart));
+    for (unsigned K = 0; K < 4; ++K)
+      if (SegCnt[K])
+        A.aluMI(Alu::Add, memCounterField(K), int32_t(SegCnt[K]));
+    segReset(LastIdx + 1);
+  }
+
+  //===--------------------------------------------------------------------===//
+  // Cold stubs
+  //===--------------------------------------------------------------------===//
+
+  struct ErrStub {
+    int Label;
+    NativeErr Code;
+    uint32_t Block;
+    uint32_t Steps;    ///< Partial-segment charge (instrumented).
+    uint32_t Cnt[4];   ///< Partial-segment memory counters.
+    bool ValInReg;
+    Reg ValReg;
+    int64_t ValImm;
+  };
+
+  struct BailStub {
+    int Label;
+    uint32_t Block;
+    uint32_t Inst;
+    uint32_t Entry;
+  };
+
+  /// An error stub at instruction \p Idx that still owes the partial
+  /// segment (arithmetic faults and out-of-bounds accesses: the failing
+  /// instruction was stepped but its own side effects never happened).
+  int errStubMid(NativeErr Code, size_t Idx, bool ValInReg, Reg VR,
+                 int64_t VI) {
+    ErrStub S{};
+    S.Label = A.newLabel();
+    S.Code = Code;
+    S.Block = BlockId;
+    if (!Opts.Raw) {
+      S.Steps = uint32_t(Idx + 1 - SegStart);
+      for (unsigned K = 0; K < 4; ++K)
+        S.Cnt[K] = SegCnt[K];
+    }
+    S.ValInReg = ValInReg;
+    S.ValReg = VR;
+    S.ValImm = VI;
+    ErrStubs.push_back(S);
+    return S.Label;
+  }
+
+  /// An error stub whose charges were already settled inline (the call
+  /// family: steps and the Calls counter are charged before the checks,
+  /// matching the reference interpreter's enter()).
+  int errStubSettled(NativeErr Code, bool ValInReg, Reg VR, int64_t VI) {
+    ErrStub S{};
+    S.Label = A.newLabel();
+    S.Code = Code;
+    S.Block = BlockId;
+    S.ValInReg = ValInReg;
+    S.ValReg = VR;
+    S.ValImm = VI;
+    ErrStubs.push_back(S);
+    return S.Label;
+  }
+
+  int bailStub(uint32_t Inst, uint32_t Entry) {
+    BailStubs.push_back({A.newLabel(), BlockId, Inst, Entry});
+    return BailStubs.back().Label;
+  }
+
+  void emitStubs() {
+    for (const ErrStub &S : ErrStubs) {
+      A.bind(S.Label);
+      if (Opts.Raw)
+        syncRawCounters();
+      if (S.Steps)
+        A.aluMI(Alu::Add, ENV(Steps), int32_t(S.Steps));
+      for (unsigned K = 0; K < 4; ++K)
+        if (S.Cnt[K])
+          A.aluMI(Alu::Add, memCounterField(K), int32_t(S.Cnt[K]));
+      A.movMI(ENV(ErrorCode), int32_t(S.Code));
+      if (S.ValInReg) {
+        A.movMR(ENV(ErrorValue), S.ValReg);
+      } else if (fitsI32(S.ValImm)) {
+        A.movMI(ENV(ErrorValue), int32_t(S.ValImm));
+      } else {
+        A.movRI(RAX, S.ValImm);
+        A.movMR(ENV(ErrorValue), RAX);
+      }
+      A.movMI(ENV(ErrorProc), int32_t(ProcId));
+      A.movMI(ENV(ErrorBlock), int32_t(S.Block));
+      A.movRR(RDI, R15);
+      A.callM(ENV(FnError));
+    }
+    ErrStubs.clear();
+    for (const BailStub &S : BailStubs) {
+      A.bind(S.Label);
+      syncAllPinned();
+      A.movMI(ENV(BailProc), int32_t(ProcId));
+      A.movMI(ENV(BailBlock), int32_t(S.Block));
+      A.movMI(ENV(BailInst), int32_t(S.Inst));
+      A.movMI(ENV(BailEntry), int32_t(S.Entry));
+      A.movRR(RDI, R15);
+      A.callM(ENV(FnBail));
+    }
+    BailStubs.clear();
+  }
+
+  //===--------------------------------------------------------------------===//
+  // Trampoline
+  //===--------------------------------------------------------------------===//
+
+  void emitTrampoline() {
+    Out.TrampolineOff = A.size();
+    for (Reg R : {RBX, RBP, R12, R13, R14, R15})
+      A.pushR(R);
+    A.movRR(R15, RDI);
+    A.movRM(R14, ENV(Mem));
+    reloadAllPinned();
+    if (Opts.Raw) {
+      A.aluRR(Alu::Xor, RawSteps, RawSteps);
+      A.aluRR(Alu::Xor, RawCalls, RawCalls);
+      // Depth checks compare rsp against a floor: the host stack mirrors
+      // guest call depth at exactly 16 bytes per frame. The engine
+      // parks 16*MaxCallDepth + 24 in ShadowLimit (24 = this
+      // trampoline's pad + call + the body's own pad between here and
+      // main's call sites); rewrite it in place as an absolute floor.
+      A.movRR(RAX, RSP);
+      A.aluRM(Alu::Sub, RAX, ENV(ShadowLimit));
+      A.movMR(ENV(ShadowLimit), RAX);
+    }
+    // Keep rsp == 0 mod 16 inside every guest body so helper calls meet
+    // the SysV alignment contract; each guest frame is 16 host bytes
+    // (this pad + the return address).
+    A.aluRI(Alu::Sub, RSP, 8);
+    CallPatches.push_back({A.callRelPatchable(), Prog.MainProcId});
+    A.aluRI(Alu::Add, RSP, 8);
+    if (Opts.Raw)
+      syncRawCounters();
+    syncAllPinned();
+    for (Reg R : {R15, R14, R13, R12, RBP, RBX})
+      A.popR(R);
+    A.ret();
+  }
+
+  //===--------------------------------------------------------------------===//
+  // Procedure emission
+  //===--------------------------------------------------------------------===//
+
+  bool emitProc(unsigned P) {
+    const MProc &Proc = Prog.Procs[P];
+    if (Proc.IsExternal || Proc.Blocks.empty())
+      return true;
+    ProcId = P;
+    Out.ProcEntry[P] = A.size();
+    ++Out.ProcsEmitted;
+
+    BlockLabels.assign(Proc.Blocks.size(), -1);
+    for (unsigned B = 0; B < Proc.Blocks.size(); ++B)
+      BlockLabels[B] = A.newLabel();
+
+    // Raw mode tests the budget only where repetition can occur:
+    // procedure entry and layout back-edge targets.
+    std::vector<char> NeedsCheck(Proc.Blocks.size(), 0);
+    NeedsCheck[0] = 1;
+    if (Opts.Raw) {
+      for (unsigned B = 0; B < Proc.Blocks.size(); ++B) {
+        const MInst &T = Proc.Blocks[B].Insts.back();
+        for (int Tgt : {T.Target1, T.Target2})
+          if (Tgt >= 0 && unsigned(Tgt) <= B)
+            NeedsCheck[Tgt] = 1;
+      }
+    }
+
+    A.aluRI(Alu::Sub, RSP, 8);
+    for (unsigned B = 0; B < Proc.Blocks.size(); ++B) {
+      const MBlock &Blk = Proc.Blocks[B];
+      BlockId = B;
+      A.bind(BlockLabels[B]);
+      emitBlockHead(Blk, NeedsCheck[B]);
+      segReset(0);
+      for (size_t Idx = 0; Idx < Blk.Insts.size();)
+        Idx = lowerInst(Blk, Idx);
+    }
+    emitStubs();
+    return true;
+  }
+
+  void emitBlockHead(const MBlock &Blk, bool RawCheck) {
+    int32_t Cost = int32_t(Blk.Insts.size());
+    if (!Opts.Raw) {
+      // Hoisted budget test: remaining budget must cover the whole
+      // block, else the careful tail replays it with exact per-step
+      // checks (same contract as the decoded engine's block dispatch).
+      A.movRI(RAX, int64_t(Opts.MaxSteps));
+      A.aluRM(Alu::Sub, RAX, ENV(Steps));
+      A.aluRI(Alu::Cmp, RAX, Cost);
+      A.jcc(Cond::B, bailStub(0, /*Entry=*/1));
+      if (Opts.Profile) {
+        A.movRM(RAX, ENV(ProfBase));
+        A.aluMI(Alu::Add, Mem{RAX, int32_t((ProfOff[ProcId] + BlockId) * 8)},
+                1);
+      }
+      return;
+    }
+    // Raw: settle the whole block up front. Exact on runs that do not
+    // fault out of the block; approximate (overshooting) otherwise.
+    // Steps and calls go to register accumulators -- a per-block memory
+    // add would chain all blocks through one address's store-to-load
+    // forwards -- while the rarer memory counters stay RMW adds.
+    A.aluRI(Alu::Add, RawSteps, Cost);
+    uint32_t Cnt[4] = {0, 0, 0, 0};
+    uint32_t Calls = 0;
+    for (const MInst &I : Blk.Insts) {
+      if (I.Op == MOpcode::Load || I.Op == MOpcode::Store)
+        ++Cnt[memCounterIndex(I)];
+      else if (I.Op == MOpcode::Call || I.Op == MOpcode::CallInd)
+        ++Calls;
+    }
+    for (unsigned K = 0; K < 4; ++K)
+      if (Cnt[K])
+        A.aluMI(Alu::Add, memCounterField(K), int32_t(Cnt[K]));
+    if (Calls)
+      A.aluRI(Alu::Add, RawCalls, int32_t(Calls));
+    if (RawCheck) {
+      cmpRegU64(RawSteps, Opts.MaxSteps, RAX);
+      A.jcc(Cond::AE, RawBudgetLabel);
+    }
+  }
+
+  /// Emits the jump to \p Target, eliding it when the target is the
+  /// next block in layout order.
+  void jumpTo(int Target) {
+    if (unsigned(Target) != BlockId + 1)
+      A.jmp(BlockLabels[Target]);
+  }
+
+  //===--------------------------------------------------------------------===//
+  // Instruction lowering
+  //===--------------------------------------------------------------------===//
+
+  size_t lowerInst(const MBlock &Blk, size_t Idx) {
+    const MInst &I = Blk.Insts[Idx];
+    switch (I.Op) {
+    case MOpcode::Add:
+      lowerBinary(I, Alu::Add);
+      break;
+    case MOpcode::Sub:
+      lowerBinary(I, Alu::Sub);
+      break;
+    case MOpcode::And:
+      lowerBinary(I, Alu::And);
+      break;
+    case MOpcode::Or:
+      lowerBinary(I, Alu::Or);
+      break;
+    case MOpcode::Xor:
+      lowerBinary(I, Alu::Xor);
+      break;
+    case MOpcode::Mul:
+      lowerMul(I);
+      break;
+    case MOpcode::Div:
+    case MOpcode::Rem:
+      lowerDivRem(I, Idx);
+      break;
+    case MOpcode::Shl:
+    case MOpcode::Shr:
+      lowerShift(I);
+      break;
+    case MOpcode::CmpEq:
+    case MOpcode::CmpNe:
+    case MOpcode::CmpLt:
+    case MOpcode::CmpLe:
+    case MOpcode::CmpGt:
+    case MOpcode::CmpGe:
+      return lowerCmp(Blk, Idx);
+    case MOpcode::Neg:
+    case MOpcode::Not:
+      loadGuest(RAX, I.Rs);
+      if (I.Op == MOpcode::Neg)
+        A.negR(RAX);
+      else
+        A.notR(RAX);
+      storeGuest(I.Rd, RAX);
+      break;
+    case MOpcode::Move:
+      lowerMove(I);
+      break;
+    case MOpcode::LoadImm:
+      lowerLoadImm(I);
+      break;
+    case MOpcode::AddImm:
+      lowerAddImm(I);
+      break;
+    case MOpcode::Load:
+    case MOpcode::Store:
+      lowerMemOp(I, Idx);
+      break;
+    case MOpcode::Call:
+      lowerDirectCall(I, Idx);
+      break;
+    case MOpcode::CallInd:
+      lowerIndirectCall(I, Idx);
+      break;
+    case MOpcode::Ret:
+      lowerRet(Idx);
+      break;
+    case MOpcode::Br:
+      if (!Opts.Raw)
+        settleThrough(Idx);
+      jumpTo(I.Target1);
+      break;
+    case MOpcode::CondBr:
+      if (!Opts.Raw)
+        settleThrough(Idx);
+      loadGuest(RAX, I.Rs);
+      A.testRR(RAX, RAX);
+      A.jcc(Cond::NE, BlockLabels[I.Target1]);
+      jumpTo(I.Target2);
+      break;
+    case MOpcode::Print:
+      syncCallerSavedPinned();
+      loadGuest(RSI, I.Rs);
+      A.movRR(RDI, R15);
+      A.callM(ENV(FnPrint));
+      reloadCallerSavedPinned();
+      break;
+    }
+    return Idx + 1;
+  }
+
+  void lowerBinary(const MInst &I, Alu Op) {
+    int HD = hostOf(I.Rd);
+    if (I.Rd == I.Rs && HD >= 0) {
+      aluGuest(Op, Reg(HD), I.Rt);
+      return;
+    }
+    loadGuest(RAX, I.Rs);
+    aluGuest(Op, RAX, I.Rt);
+    storeGuest(I.Rd, RAX);
+  }
+
+  void lowerMul(const MInst &I) {
+    int HD = hostOf(I.Rd);
+    if (I.Rd == I.Rs && HD >= 0) {
+      imulGuest(Reg(HD), I.Rt);
+      return;
+    }
+    loadGuest(RAX, I.Rs);
+    imulGuest(RAX, I.Rt);
+    storeGuest(I.Rd, RAX);
+  }
+
+  void lowerDivRem(const MInst &I, size_t Idx) {
+    bool IsDiv = I.Op == MOpcode::Div;
+    loadGuest(RAX, I.Rs);
+    loadGuest(RCX, I.Rt);
+    A.testRR(RCX, RCX);
+    A.jcc(Cond::E, errStubMid(IsDiv ? NativeErr::DivZero : NativeErr::RemZero,
+                              Idx, false, RAX, 0));
+    // rt == -1 would overflow idiv on INT64_MIN; the reference defines
+    // INT64_MIN/-1 == INT64_MIN and x%-1 == 0, which `neg` / `xor`
+    // deliver for every rs.
+    A.aluRI(Alu::Cmp, RCX, -1);
+    int LSpecial = A.newLabel(), LDone = A.newLabel();
+    A.jcc(Cond::E, LSpecial);
+    A.cqo();
+    A.idivR(RCX);
+    if (!IsDiv)
+      A.movRR(RAX, RDX);
+    A.jmp(LDone);
+    A.bind(LSpecial);
+    if (IsDiv)
+      A.negR(RAX);
+    else
+      A.aluRR(Alu::Xor, RAX, RAX);
+    A.bind(LDone);
+    storeGuest(I.Rd, RAX);
+  }
+
+  void lowerShift(const MInst &I) {
+    loadGuest(RAX, I.Rs);
+    loadGuest(RCX, I.Rt);
+    // Shift counts outside [0, 62] yield 0 (one unsigned compare
+    // covers the negative case too).
+    A.aluRI(Alu::Cmp, RCX, 62);
+    int LZero = A.newLabel(), LDone = A.newLabel();
+    A.jcc(Cond::A, LZero);
+    if (I.Op == MOpcode::Shl)
+      A.shlCL(RAX);
+    else
+      A.sarCL(RAX);
+    A.jmp(LDone);
+    A.bind(LZero);
+    A.aluRR(Alu::Xor, RAX, RAX);
+    A.bind(LDone);
+    storeGuest(I.Rd, RAX);
+  }
+
+  size_t lowerCmp(const MBlock &Blk, size_t Idx) {
+    const MInst &I = Blk.Insts[Idx];
+    Cond C = cmpCond(I.Op);
+    const MInst *Br =
+        Idx + 1 < Blk.Insts.size() ? &Blk.Insts[Idx + 1] : nullptr;
+    bool Fuse = Br && Br->Op == MOpcode::CondBr && Br->Rs == I.Rd;
+    // Counter settlement clobbers flags, so for a fused pair the whole
+    // two-instruction segment is settled before the compare.
+    if (Fuse && !Opts.Raw)
+      settleThrough(Idx + 1);
+    loadGuest(RAX, I.Rs);
+    aluGuest(Alu::Cmp, RAX, I.Rt);
+    A.setccR8(C, RAX);
+    A.movzxRR8(RAX, RAX);
+    storeGuest(I.Rd, RAX); // mov only: the compare flags survive
+    if (!Fuse)
+      return Idx + 1;
+    A.jcc(C, BlockLabels[Br->Target1]);
+    jumpTo(Br->Target2);
+    segReset(Idx + 2);
+    return Idx + 2;
+  }
+
+  void lowerMove(const MInst &I) {
+    int HD = hostOf(I.Rd), HS = hostOf(I.Rs);
+    if (HD >= 0) {
+      loadGuest(Reg(HD), I.Rs);
+    } else if (HS >= 0) {
+      A.movMR(regSlot(I.Rd), Reg(HS));
+    } else {
+      A.movRM(RAX, regSlot(I.Rs));
+      A.movMR(regSlot(I.Rd), RAX);
+    }
+  }
+
+  void lowerLoadImm(const MInst &I) {
+    int HD = hostOf(I.Rd);
+    if (HD >= 0) {
+      A.movRI(Reg(HD), I.Imm);
+    } else if (fitsI32(I.Imm)) {
+      A.movMI(regSlot(I.Rd), int32_t(I.Imm));
+    } else {
+      A.movRI(RAX, I.Imm);
+      A.movMR(regSlot(I.Rd), RAX);
+    }
+  }
+
+  void lowerAddImm(const MInst &I) {
+    int HD = hostOf(I.Rd);
+    if (I.Rd == I.Rs && HD >= 0 && fitsI32(I.Imm)) {
+      A.aluRI(Alu::Add, Reg(HD), int32_t(I.Imm));
+      return;
+    }
+    loadGuest(RAX, I.Rs);
+    addImmTo(RAX, I.Imm);
+    storeGuest(I.Rd, RAX);
+  }
+
+  void lowerMemOp(const MInst &I, size_t Idx) {
+    bool IsLoad = I.Op == MOpcode::Load;
+    loadGuest(RAX, I.Rs);
+    if (I.Imm)
+      addImmTo(RAX, I.Imm);
+    // One unsigned compare is both bounds checks; the stub reads the
+    // faulting address from rax.
+    cmpRegU64(RAX, Opts.MemWords, RCX);
+    A.jcc(Cond::AE,
+          errStubMid(IsLoad ? NativeErr::LoadOOB : NativeErr::StoreOOB, Idx,
+                     true, RAX, 0));
+    if (IsLoad) {
+      A.movRMScaled8(RDX, R14, RAX);
+      storeGuest(I.Rd, RDX);
+    } else {
+      loadGuest(RCX, I.Rt);
+      A.movMRScaled8(R14, RAX, RCX);
+    }
+    if (!Opts.Raw)
+      ++SegCnt[memCounterIndex(I)];
+  }
+
+  /// The shadow-frame push shared by both call forms (instrumented):
+  /// rax holds the current ShadowPtr on entry.
+  void pushShadowFrame(size_t CallIdx) {
+    A.movRI(RCX, int64_t(uint64_t(ProcId) | (uint64_t(BlockId) << 32)));
+    A.movMR(Mem{RAX, 0}, RCX);
+    A.movMI(Mem{RAX, 8}, int32_t(CallIdx + 1));
+    A.aluRI(Alu::Add, RAX, 16);
+    A.movMR(ENV(ShadowPtr), RAX);
+  }
+
+  /// After a callee returns, re-establish the head-test invariant: the
+  /// remaining budget must cover the worst-case rest of this block.
+  void emitResumeCheck(size_t CallIdx) {
+    A.movRI(RAX, int64_t(Opts.MaxSteps));
+    A.aluRM(Alu::Sub, RAX, ENV(Steps));
+    A.aluRI(Alu::Cmp, RAX, int32_t(Opts.MaxBlockCost));
+    A.jcc(Cond::B, bailStub(uint32_t(CallIdx + 1), /*Entry=*/0));
+    segReset(CallIdx + 1);
+  }
+
+  void lowerDirectCall(const MInst &I, size_t Idx) {
+    // Reference order inside enter(): the call instruction and the
+    // Calls counter are charged before any validity check fails.
+    if (!Opts.Raw) {
+      settleThrough(Idx);
+      A.aluMI(Alu::Add, ENV(Calls), 1);
+    }
+    if (I.Callee < 0 || size_t(I.Callee) >= Prog.Procs.size()) {
+      A.jmp(errStubSettled(NativeErr::CallBadId, false, RAX, I.Callee));
+      return;
+    }
+    const MProc &Callee = Prog.Procs[I.Callee];
+    if (Callee.IsExternal || Callee.Blocks.empty()) {
+      A.jmp(errStubSettled(NativeErr::CallExternal, false, RAX, I.Callee));
+      return;
+    }
+    if (Opts.Raw) {
+      // Depth check without a cursor: the host stack IS the guest call
+      // depth (16 bytes per frame), so one compare against the floor
+      // the trampoline computed is the whole test.
+      A.aluRM(Alu::Cmp, RSP, ENV(ShadowLimit));
+      A.jcc(Cond::BE, errStubSettled(NativeErr::CallDepth, false, RAX, 0));
+      CallPatches.push_back({A.callRelPatchable(), I.Callee});
+      return;
+    }
+    A.movRM(RAX, ENV(ShadowPtr));
+    A.aluRM(Alu::Cmp, RAX, ENV(ShadowLimit));
+    A.jcc(Cond::AE, errStubSettled(NativeErr::CallDepth, false, RAX, 0));
+    if (Opts.Check) {
+      syncAllPinned();
+      A.movRI(RSI, I.Callee);
+      A.movRR(RDI, R15);
+      A.callM(ENV(FnSnapshot));
+      reloadCallerSavedPinned();
+      A.movRM(RAX, ENV(ShadowPtr));
+    }
+    pushShadowFrame(Idx);
+    CallPatches.push_back({A.callRelPatchable(), I.Callee});
+    emitResumeCheck(Idx);
+  }
+
+  void lowerIndirectCall(const MInst &I, size_t Idx) {
+    if (!Opts.Raw) {
+      settleThrough(Idx);
+      A.aluMI(Alu::Add, ENV(Calls), 1);
+    }
+    loadGuest(RAX, I.Rs);
+    A.movsxdRR(RDX, RAX); // int(rs): the reference truncates to int
+    A.aluRI(Alu::Cmp, RDX, int32_t(Prog.Procs.size()));
+    A.jcc(Cond::AE, errStubSettled(NativeErr::CallBadId, true, RDX, 0));
+    A.movRR(RAX, RDX);
+    A.shlRI(RAX, 4);
+    A.aluRM(Alu::Add, RAX, ENV(ProcTable));
+    A.aluMI(Alu::Cmp, Mem{RAX, 8}, 0); // ProcTableEntry::HasBody
+    A.jcc(Cond::E, errStubSettled(NativeErr::CallExternal, true, RDX, 0));
+    if (Opts.Raw) {
+      A.aluRM(Alu::Cmp, RSP, ENV(ShadowLimit));
+      A.jcc(Cond::BE, errStubSettled(NativeErr::CallDepth, false, RAX, 0));
+      A.callM(Mem{RAX, 0}); // ProcTableEntry::Entry
+      return;
+    }
+    A.movRM(RCX, ENV(ShadowPtr));
+    A.aluRM(Alu::Cmp, RCX, ENV(ShadowLimit));
+    A.jcc(Cond::AE, errStubSettled(NativeErr::CallDepth, false, RAX, 0));
+    // The snapshot helper clobbers all scratch; park the callee id in
+    // the Env spill slot and rebuild the table pointer afterwards.
+    A.movMR(ENV(ScratchA), RDX);
+    if (Opts.Check) {
+      syncAllPinned();
+      A.movRM(RSI, ENV(ScratchA));
+      A.movRR(RDI, R15);
+      A.callM(ENV(FnSnapshot));
+      reloadCallerSavedPinned();
+    }
+    A.movRM(RAX, ENV(ShadowPtr));
+    pushShadowFrame(Idx);
+    A.movRM(RAX, ENV(ScratchA));
+    A.shlRI(RAX, 4);
+    A.aluRM(Alu::Add, RAX, ENV(ProcTable));
+    A.callM(Mem{RAX, 0});
+    emitResumeCheck(Idx);
+  }
+
+  void lowerRet(size_t Idx) {
+    if (Opts.Raw) {
+      // Depth tracking is the host stack itself; nothing to pop.
+      A.aluRI(Alu::Add, RSP, 8);
+      A.ret();
+      return;
+    }
+    settleThrough(Idx);
+    if (Opts.Check) {
+      syncAllPinned();
+      A.movRR(RDI, R15);
+      A.callM(ENV(FnCheckRet));
+      A.testRR(RAX, RAX);
+      A.jcc(Cond::NE, errStubSettled(NativeErr::Convention, false, RAX, 0));
+      reloadCallerSavedPinned();
+    }
+    // Conditional pop: main's ret runs at shadow depth 0 and must not
+    // underflow the cursor.
+    A.movRM(RAX, ENV(ShadowPtr));
+    A.aluRM(Alu::Cmp, RAX, ENV(ShadowBase));
+    int LSkip = A.newLabel();
+    A.jcc(Cond::BE, LSkip);
+    A.aluRI(Alu::Sub, RAX, 16);
+    A.movMR(ENV(ShadowPtr), RAX);
+    A.bind(LSkip);
+    A.aluRI(Alu::Add, RSP, 8);
+    A.ret();
+  }
+
+  //===--------------------------------------------------------------------===//
+  // State
+  //===--------------------------------------------------------------------===//
+
+  const MProgram &Prog;
+  const NativeCodeGenOptions &Opts;
+  const RegisterMap &Map;
+  const std::vector<size_t> &ProfOff;
+  NativeCode &Out;
+  std::string &Err;
+
+  Assembler A;
+  std::vector<std::pair<size_t, int>> CallPatches;
+  int RawBudgetLabel = -1;
+
+  size_t TotalInsts = 0;
+  unsigned ProcId = 0;
+  unsigned BlockId = 0;
+  std::vector<int> BlockLabels;
+  size_t SegStart = 0;
+  uint32_t SegCnt[4] = {0, 0, 0, 0};
+  std::vector<ErrStub> ErrStubs;
+  std::vector<BailStub> BailStubs;
+};
+
+} // namespace
+
+RegisterMap ipra::x64::chooseRegisterMap(const MProgram &Prog, bool Raw) {
+  uint64_t Freq[NumPhysRegs] = {};
+  auto Use = [&Freq](unsigned R) {
+    if (R < NumPhysRegs)
+      ++Freq[R];
+  };
+  for (const MProc &P : Prog.Procs) {
+    for (const MBlock &B : P.Blocks) {
+      for (const MInst &I : B.Insts) {
+        switch (I.Op) {
+        case MOpcode::Add:
+        case MOpcode::Sub:
+        case MOpcode::Mul:
+        case MOpcode::Div:
+        case MOpcode::Rem:
+        case MOpcode::And:
+        case MOpcode::Or:
+        case MOpcode::Xor:
+        case MOpcode::Shl:
+        case MOpcode::Shr:
+        case MOpcode::CmpEq:
+        case MOpcode::CmpNe:
+        case MOpcode::CmpLt:
+        case MOpcode::CmpLe:
+        case MOpcode::CmpGt:
+        case MOpcode::CmpGe:
+          Use(I.Rd);
+          Use(I.Rs);
+          Use(I.Rt);
+          break;
+        case MOpcode::Neg:
+        case MOpcode::Not:
+        case MOpcode::Move:
+        case MOpcode::AddImm:
+        case MOpcode::Load:
+          Use(I.Rd);
+          Use(I.Rs);
+          break;
+        case MOpcode::LoadImm:
+          Use(I.Rd);
+          break;
+        case MOpcode::Store:
+          Use(I.Rs);
+          Use(I.Rt);
+          break;
+        case MOpcode::CallInd:
+        case MOpcode::CondBr:
+        case MOpcode::Print:
+          Use(I.Rs);
+          break;
+        case MOpcode::Call:
+        case MOpcode::Ret:
+        case MOpcode::Br:
+          break;
+        }
+      }
+    }
+  }
+
+  RegisterMap M;
+  for (unsigned G = 0; G < NumPhysRegs; ++G)
+    M.GuestToHost[G] = -1;
+
+  unsigned Order[NumPhysRegs];
+  for (unsigned G = 0; G < NumPhysRegs; ++G)
+    Order[G] = G;
+  std::stable_sort(Order, Order + NumPhysRegs,
+                   [&Freq](unsigned A, unsigned B) { return Freq[A] > Freq[B]; });
+
+  // Hottest first into callee-saved hosts (no traffic at helper calls),
+  // then caller-saved. Raw mode gives up r12/r13: they hold the step
+  // and call accumulators instead of guest state.
+  static constexpr Reg Hosts[] = {RBX, RBP, R12, R13, RSI, RDI, R8, R9, R10, R11};
+  static constexpr Reg RawHosts[] = {RBX, RBP, RSI, RDI, R8, R9, R10, R11};
+  const Reg *Pool = Raw ? RawHosts : Hosts;
+  const unsigned NumHosts =
+      Raw ? sizeof(RawHosts) / sizeof(RawHosts[0])
+          : sizeof(Hosts) / sizeof(Hosts[0]);
+  unsigned N = 0;
+  for (unsigned I = 0; I < NumPhysRegs && N < NumHosts; ++I) {
+    unsigned G = Order[I];
+    if (Freq[G] == 0)
+      break;
+    M.GuestToHost[G] = char(Pool[N++]);
+  }
+  M.NumPinned = N;
+  return M;
+}
+
+bool ipra::x64::emitNativeProgram(const MProgram &Prog,
+                                  const NativeCodeGenOptions &Opts,
+                                  const RegisterMap &Map,
+                                  const std::vector<size_t> &ProfOff,
+                                  NativeCode &Out, std::string &Err) {
+  Out = NativeCode();
+  return Emitter(Prog, Opts, Map, ProfOff, Out, Err).run();
+}

@@ -1,0 +1,90 @@
+//===- x64/NativeCodeGen.h - MIR to x86-64 lowering ------------*- C++ -*-===//
+//
+// Part of the ipra project (Chow, PLDI 1988 reproduction).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Lowers an MProgram to one position-independent x86-64 code image:
+/// a trampoline (C++ ABI in, pinned guest state out) plus one body per
+/// procedure. Two emission modes share the ALU lowering:
+///
+///  * Instrumented: byte-exact replay of the decoded engine's lazy cost
+///    accounting -- per-block hoisted budget tests that bail to the C++
+///    careful tail interpreter, per-segment counter settlement at every
+///    transfer, a shadow call stack mirroring the source-level frames,
+///    optional block-profile counting and convention-check helper calls.
+///  * Raw: block-granularity step/counter charging, budget checks only
+///    at loop back edges and procedure entries, no shadow frames beyond
+///    the depth cursor -- the pure-speed mode (exact pixie counters on
+///    error-free runs, approximate on failing ones).
+///
+/// See DESIGN.md section 14 for the lowering contract and register map.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef IPRA_X64_NATIVECODEGEN_H
+#define IPRA_X64_NATIVECODEGEN_H
+
+#include "codegen/MIR.h"
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace ipra {
+namespace x64 {
+
+struct NativeCodeGenOptions {
+  bool Raw = false;
+  bool Profile = false;
+  bool Check = false;
+  uint64_t MaxSteps = 0;
+  uint64_t MemWords = 0;
+  uint64_t MaxBlockCost = 1;
+};
+
+/// Guest register -> host register map: the hardware Reg number, or -1
+/// when the guest register lives in NativeEnv::Regs memory.
+struct RegisterMap {
+  signed char GuestToHost[NumPhysRegs];
+  /// Pinned guest registers whose host register is caller-saved in the
+  /// SysV ABI (synced/reloaded around C++ helper calls); the rest of
+  /// the pinned set sits in callee-saved hosts.
+  unsigned NumPinned = 0;
+};
+
+/// Chooses the pinned set by static operand-use frequency over \p Prog
+/// (hotter guest registers get callee-saved hosts, which survive helper
+/// calls without a reload). Instrumented mode pins the ten hottest; raw
+/// mode pins eight, because it dedicates r12 to the step count and r13
+/// to the call count so straight-line blocks never touch NativeEnv's
+/// counters (the memory read-modify-write chain those adds form is the
+/// dominant cost on call-heavy programs).
+RegisterMap chooseRegisterMap(const MProgram &Prog, bool Raw);
+
+struct NativeCode {
+  std::vector<uint8_t> Bytes;
+  size_t TrampolineOff = 0;
+  /// Per-procedure body entry offsets (SIZE_MAX for procedures without
+  /// a body -- direct calls to those become error stubs, like the
+  /// decoded engine's CallBad/CallExt ops).
+  std::vector<size_t> ProcEntry;
+  uint64_t ProcsEmitted = 0;
+};
+
+/// Emits the whole program. \p ProfOff[p] is procedure p's word offset
+/// into the flat profile-counter array (ignored unless Opts.Profile).
+/// \returns false with a diagnostic in \p Err when the program does not
+/// fit the encoder's disp32/imm32 envelope (callers must reject the
+/// run cleanly, not crash).
+bool emitNativeProgram(const MProgram &Prog, const NativeCodeGenOptions &Opts,
+                       const RegisterMap &Map,
+                       const std::vector<size_t> &ProfOff, NativeCode &Out,
+                       std::string &Err);
+
+} // namespace x64
+} // namespace ipra
+
+#endif // IPRA_X64_NATIVECODEGEN_H

@@ -1,0 +1,704 @@
+//===- x64/NativeEngine.cpp - JIT execution engine -------------------------===//
+//
+// The C++ half of the native backend. Responsibilities:
+//
+//  * Guard rails: main-procedure diagnostics identical to the
+//    interpreters, then clean refusals (never crashes) when the host
+//    cannot execute natively, when raw mode is combined with
+//    instrumentation-only features, or when MaxCallDepth exceeds the
+//    host-stack budget.
+//
+//  * Run setup: register-map selection, code emission, the W^X
+//    CodeBuffer flip, the indirect-call procedure table, guest memory
+//    (calloc, like the decoded engine, for lazy zero pages) and the
+//    NativeEnv wiring. Compiled images are memoized in a process-wide
+//    cache keyed by a fingerprint of the MIR and the codegen options,
+//    so repeat runs of one program pay only execution.
+//
+//  * The helper surface JIT code calls through NativeEnv function
+//    pointers: Print, convention snapshot/check, the noreturn error
+//    exit, and the budget bailout that switches to the careful tail.
+//
+//  * The careful tail interpreter: once the remaining budget no longer
+//    covers a whole block, execution leaves native code for good and
+//    this per-instruction loop -- a faithful copy of the reference
+//    Machine's slow path -- finishes the run with exact budget checks,
+//    unwinding through native frames via the shadow call stack and
+//    longjmp'ing back to runNativeProgram when done.
+//
+//===----------------------------------------------------------------------===//
+
+#include "x64/NativeEngine.h"
+
+#include "sim/ConventionCheck.h"
+#include "support/CodeBuffer.h"
+#include "x64/NativeCodeGen.h"
+#include "x64/NativeRuntime.h"
+
+#include <csetjmp>
+#include <cstdlib>
+#include <cstring>
+#include <memory>
+#include <mutex>
+#include <unordered_map>
+
+using namespace ipra;
+using namespace ipra::x64;
+
+namespace ipra {
+namespace x64 {
+
+/// C++-side run state reachable from helpers via NativeEnv::Ctx.
+struct NativeContext {
+  const MProgram *Prog = nullptr;
+  bool Profile = false;
+  bool Check = false;
+  uint64_t MaxCallDepth = 0;
+
+  std::vector<int64_t> Output;
+  std::vector<sim::CallRecord> CallRecords;
+  /// Shadow-stack backing store (instrumented). Default-initialized on
+  /// purpose: frames are only ever read below the cursor, i.e. after
+  /// being written, and zeroing the worst-case 1.6 MiB costs more than
+  /// running a small program.
+  std::unique_ptr<ShadowFrame[]> Shadow;
+  std::vector<uint64_t> Prof;      ///< Flat per-(proc,block) counters.
+  std::vector<size_t> ProfOff;
+
+  std::string PendingError; ///< Convention message from FnCheckRet.
+  uint64_t Bailouts = 0;
+
+  /// Careful-tail outcome (valid after a longjmp with code 2).
+  bool CarefulOK = false;
+  int64_t CarefulExit = 0;
+  std::string CarefulError;
+
+  std::jmp_buf Jb;
+};
+
+} // namespace x64
+} // namespace ipra
+
+namespace {
+
+int64_t wrap(uint64_t V) { return int64_t(V); }
+
+/// The per-instruction slow path. Entered once the native code's
+/// hoisted budget test fails; never returns to native code. Mirrors the
+/// reference Machine's dispatch loop statement for statement so the
+/// final counters and diagnostics are byte-identical.
+void carefulRun(NativeEnv &E) {
+  NativeContext &C = *E.Ctx;
+  const MProgram &Prog = *C.Prog;
+  int64_t *R = E.Regs;
+  int64_t *M = E.Mem;
+  unsigned Proc = unsigned(E.BailProc);
+  unsigned Block = unsigned(E.BailBlock);
+  size_t Inst = size_t(E.BailInst);
+
+  auto Fail = [&C](std::string Why) {
+    C.CarefulOK = false;
+    C.CarefulError = std::move(Why);
+  };
+  auto ErrorOut = [&](std::string Why) {
+    Fail(std::move(Why) + " (in " + Prog.Procs[Proc].Name + ", block " +
+         std::to_string(Block) + ")");
+  };
+  auto Depth = [&E] {
+    return size_t((E.ShadowPtr - E.ShadowBase) / sizeof(ShadowFrame));
+  };
+  // Budget test, then the profile count: the order the reference
+  // interpreter uses at every block visit.
+  auto EnterBlock = [&]() -> bool {
+    if (E.Steps >= E.MaxSteps) {
+      Fail("execution budget exceeded (infinite loop?)");
+      return false;
+    }
+    if (C.Profile)
+      ++C.Prof[C.ProfOff[Proc] + Block];
+    return true;
+  };
+  auto AddrOK = [&E](int64_t Addr) {
+    return Addr >= 0 && uint64_t(Addr) < E.MemWords;
+  };
+
+  if (E.BailEntry && !EnterBlock())
+    return;
+
+  while (true) {
+    if (E.Steps >= E.MaxSteps) {
+      Fail("execution budget exceeded (infinite loop?)");
+      return;
+    }
+    const MInst &I = Prog.Procs[Proc].Blocks[Block].Insts[Inst];
+    ++E.Steps;
+    int64_t &RD = R[I.Rd];
+    int64_t RS = R[I.Rs];
+    int64_t RT = R[I.Rt];
+    switch (I.Op) {
+    case MOpcode::Add:
+      RD = wrap(uint64_t(RS) + uint64_t(RT));
+      break;
+    case MOpcode::Sub:
+      RD = wrap(uint64_t(RS) - uint64_t(RT));
+      break;
+    case MOpcode::Mul:
+      RD = wrap(uint64_t(RS) * uint64_t(RT));
+      break;
+    case MOpcode::Div:
+      if (RT == 0)
+        return ErrorOut("division by zero");
+      if (RS == INT64_MIN && RT == -1)
+        RD = RS;
+      else
+        RD = RS / RT;
+      break;
+    case MOpcode::Rem:
+      if (RT == 0)
+        return ErrorOut("remainder by zero");
+      if (RS == INT64_MIN && RT == -1)
+        RD = 0;
+      else
+        RD = RS % RT;
+      break;
+    case MOpcode::And:
+      RD = RS & RT;
+      break;
+    case MOpcode::Or:
+      RD = RS | RT;
+      break;
+    case MOpcode::Xor:
+      RD = RS ^ RT;
+      break;
+    case MOpcode::Shl:
+      RD = (RT < 0 || RT > 62) ? 0 : wrap(uint64_t(RS) << RT);
+      break;
+    case MOpcode::Shr:
+      RD = (RT < 0 || RT > 62) ? 0 : RS >> RT;
+      break;
+    case MOpcode::CmpEq:
+      RD = RS == RT;
+      break;
+    case MOpcode::CmpNe:
+      RD = RS != RT;
+      break;
+    case MOpcode::CmpLt:
+      RD = RS < RT;
+      break;
+    case MOpcode::CmpLe:
+      RD = RS <= RT;
+      break;
+    case MOpcode::CmpGt:
+      RD = RS > RT;
+      break;
+    case MOpcode::CmpGe:
+      RD = RS >= RT;
+      break;
+    case MOpcode::Neg:
+      RD = wrap(0 - uint64_t(RS));
+      break;
+    case MOpcode::Not:
+      RD = ~RS;
+      break;
+    case MOpcode::Move:
+      RD = RS;
+      break;
+    case MOpcode::LoadImm:
+      RD = I.Imm;
+      break;
+    case MOpcode::AddImm:
+      RD = wrap(uint64_t(RS) + uint64_t(I.Imm));
+      break;
+    case MOpcode::Load: {
+      int64_t Addr = RS + I.Imm;
+      if (!AddrOK(Addr))
+        return ErrorOut("load out of bounds at word " + std::to_string(Addr));
+      RD = M[Addr];
+      if (I.Mem == MemKind::Scalar)
+        ++E.ScalarLoads;
+      else
+        ++E.DataLoads;
+      break;
+    }
+    case MOpcode::Store: {
+      int64_t Addr = RS + I.Imm;
+      if (!AddrOK(Addr))
+        return ErrorOut("store out of bounds at word " + std::to_string(Addr));
+      M[Addr] = RT;
+      if (I.Mem == MemKind::Scalar)
+        ++E.ScalarStores;
+      else
+        ++E.DataStores;
+      break;
+    }
+    case MOpcode::Call:
+    case MOpcode::CallInd: {
+      int Callee = I.Op == MOpcode::Call ? I.Callee : int(RS);
+      ++E.Calls;
+      if (Callee < 0 || Callee >= int(Prog.Procs.size()))
+        return ErrorOut("call to invalid procedure id " +
+                        std::to_string(Callee));
+      const MProc &P = Prog.Procs[Callee];
+      if (P.IsExternal || P.Blocks.empty())
+        return ErrorOut("call to external procedure '" + P.Name + "'");
+      if (Depth() >= C.MaxCallDepth)
+        return ErrorOut("call depth exceeded");
+      if (C.Check)
+        C.CallRecords.push_back(sim::snapshotCall(Prog, Callee, R));
+      auto *F = reinterpret_cast<ShadowFrame *>(uintptr_t(E.ShadowPtr));
+      F->Proc = Proc;
+      F->Block = Block;
+      F->Inst = Inst + 1;
+      E.ShadowPtr += sizeof(ShadowFrame);
+      Proc = unsigned(Callee);
+      Block = 0;
+      Inst = 0;
+      if (!EnterBlock())
+        return;
+      continue;
+    }
+    case MOpcode::Ret: {
+      if (C.Check && !C.CallRecords.empty()) {
+        std::string Msg =
+            sim::checkCallConvention(Prog, C.CallRecords.back(), R);
+        if (!Msg.empty())
+          return ErrorOut(std::move(Msg));
+        C.CallRecords.pop_back();
+      }
+      if (Depth() == 0) {
+        C.CarefulOK = true;
+        C.CarefulExit = R[RegV0];
+        return;
+      }
+      E.ShadowPtr -= sizeof(ShadowFrame);
+      const auto *F =
+          reinterpret_cast<const ShadowFrame *>(uintptr_t(E.ShadowPtr));
+      Proc = F->Proc;
+      Block = F->Block;
+      Inst = size_t(F->Inst);
+      continue; // mid-block resume: no block entry bookkeeping
+    }
+    case MOpcode::Br:
+      Block = unsigned(I.Target1);
+      Inst = 0;
+      if (!EnterBlock())
+        return;
+      continue;
+    case MOpcode::CondBr:
+      Block = unsigned(RS != 0 ? I.Target1 : I.Target2);
+      Inst = 0;
+      if (!EnterBlock())
+        return;
+      continue;
+    case MOpcode::Print:
+      C.Output.push_back(RS);
+      break;
+    }
+    ++Inst;
+  }
+}
+
+} // namespace
+
+//===----------------------------------------------------------------------===//
+// Helpers called from JIT code
+//===----------------------------------------------------------------------===//
+
+extern "C" {
+
+static void ipraNativePrint(NativeEnv *E, int64_t V) {
+  E->Ctx->Output.push_back(V);
+}
+
+static void ipraNativeSnapshot(NativeEnv *E, int64_t CalleeId) {
+  NativeContext &C = *E->Ctx;
+  C.CallRecords.push_back(sim::snapshotCall(*C.Prog, int(CalleeId), E->Regs));
+}
+
+/// \returns 0 when the convention holds (record popped), 1 when it was
+/// violated (message parked for the error stub).
+static uint64_t ipraNativeCheckRet(NativeEnv *E) {
+  NativeContext &C = *E->Ctx;
+  if (C.CallRecords.empty())
+    return 0;
+  std::string Msg = sim::checkCallConvention(*C.Prog, C.CallRecords.back(),
+                                             E->Regs);
+  if (Msg.empty()) {
+    C.CallRecords.pop_back();
+    return 0;
+  }
+  C.PendingError = std::move(Msg);
+  return 1;
+}
+
+[[noreturn]] static void ipraNativeError(NativeEnv *E) {
+  std::longjmp(E->Ctx->Jb, 1);
+}
+
+[[noreturn]] static void ipraNativeBail(NativeEnv *E) {
+  ++E->Ctx->Bailouts;
+  carefulRun(*E);
+  std::longjmp(E->Ctx->Jb, 2);
+}
+
+} // extern "C"
+
+//===----------------------------------------------------------------------===//
+// Engine entry
+//===----------------------------------------------------------------------===//
+
+bool ipra::nativeEngineSupported(std::string *Why) {
+#if !defined(__x86_64__) && !defined(_M_X64)
+  if (Why)
+    *Why = "native engine requires an x86-64 host";
+  return false;
+#else
+  if (const char *V = std::getenv("IPRA_NATIVE_DISABLE");
+      V && V[0] && !(V[0] == '0' && V[1] == '\0')) {
+    if (Why)
+      *Why = "native engine disabled by IPRA_NATIVE_DISABLE";
+    return false;
+  }
+  if (!CodeBuffer::hardwareSupported()) {
+    if (Why)
+      *Why = "native engine requires executable memory (mmap/mprotect), "
+             "which this build does not provide";
+    return false;
+  }
+  return true;
+#endif
+}
+
+namespace {
+
+//===----------------------------------------------------------------------===//
+// Code cache
+//===----------------------------------------------------------------------===//
+//
+// Compilation is the native engine's only per-run fixed cost that does
+// not shrink with the program's runtime, and the common callers
+// (BatchRunner sweeps, benchmarks, the differential tests) run one
+// program many times under the same options. Images are immutable once
+// published -- the buffer is sealed RX and the entry table never
+// changes -- so concurrent threads may execute one image simultaneously;
+// the mutex only guards the map itself. Set IPRA_NATIVE_NOCACHE=1 to
+// force a fresh compile per run (e.g. when measuring cold costs).
+
+/// One compiled image, shared by every run of a structurally identical
+/// program under identical codegen options.
+struct CachedImage {
+  CodeBuffer Buf;
+  std::vector<size_t> ProcEntry;
+  size_t TrampolineOff = 0;
+  uint64_t ProcsEmitted = 0;
+  uint64_t NumBytes = 0;
+  uint64_t Check = 0; ///< Secondary fingerprint (collision guard).
+};
+
+struct Fingerprint {
+  uint64_t Key = 0;   ///< Cache index (FNV-1a).
+  uint64_t Check = 0; ///< Independent second hash.
+};
+
+/// Hashes every input the emitted bytes depend on: the whole MIR
+/// instruction stream, the block/procedure shape (which also fixes the
+/// profile-slot offsets and the register map), the main id, and the
+/// codegen options (MaxSteps and the memory bound become immediates).
+/// Procedure names, the global image and MaxCallDepth are runtime
+/// inputs and deliberately excluded. Two independent 64-bit hashes are
+/// compared on lookup, so a false hit needs a simultaneous collision
+/// in both.
+Fingerprint fingerprintProgram(const MProgram &Prog,
+                               const NativeCodeGenOptions &CG) {
+  uint64_t H1 = 1469598103934665603ull;
+  uint64_t H2 = 0x9e3779b97f4a7c15ull;
+  auto Mix = [&H1, &H2](uint64_t V) {
+    H1 = (H1 ^ V) * 1099511628211ull;
+    H2 = (H2 ^ (V + (H2 << 6) + (H2 >> 2))) * 0xff51afd7ed558ccdull;
+  };
+  Mix(uint64_t(CG.Raw) | uint64_t(CG.Profile) << 1 | uint64_t(CG.Check) << 2);
+  Mix(CG.MaxSteps);
+  Mix(CG.MemWords);
+  Mix(uint64_t(int64_t(Prog.MainProcId)));
+  Mix(Prog.Procs.size());
+  for (const MProc &P : Prog.Procs) {
+    Mix(uint64_t(P.IsExternal));
+    Mix(P.Blocks.size());
+    for (const MBlock &B : P.Blocks) {
+      Mix(B.Insts.size());
+      for (const MInst &I : B.Insts) {
+        Mix(uint64_t(uint8_t(I.Op)) | uint64_t(I.Rd) << 8 |
+            uint64_t(I.Rs) << 16 | uint64_t(I.Rt) << 24 |
+            uint64_t(uint8_t(I.Mem)) << 32);
+        Mix(uint64_t(I.Imm));
+        Mix(uint64_t(uint32_t(I.Callee)) |
+            uint64_t(uint32_t(I.Target1)) << 32);
+        Mix(uint64_t(uint32_t(I.Target2)));
+      }
+    }
+  }
+  return {H1, H2};
+}
+
+class NativeCodeCache {
+public:
+  std::shared_ptr<const CachedImage> find(const Fingerprint &FP) {
+    std::lock_guard<std::mutex> Lock(M);
+    auto It = Map.find(FP.Key);
+    if (It == Map.end() || It->second->Check != FP.Check)
+      return nullptr;
+    return It->second;
+  }
+
+  void insert(const Fingerprint &FP, std::shared_ptr<const CachedImage> Img) {
+    std::lock_guard<std::mutex> Lock(M);
+    // Bounded by wholesale reset: in-flight runs keep their image alive
+    // through their shared_ptr, so eviction is always safe.
+    if (Map.size() >= MaxEntries)
+      Map.clear();
+    Map[FP.Key] = std::move(Img);
+  }
+
+private:
+  static constexpr size_t MaxEntries = 64;
+  std::mutex M;
+  std::unordered_map<uint64_t, std::shared_ptr<const CachedImage>> Map;
+};
+
+NativeCodeCache &codeCache() {
+  static NativeCodeCache C;
+  return C;
+}
+
+// Out of line so its local never shares a frame with runNativeProgram's
+// setjmp (-Wclobbered).
+#if defined(__GNUC__)
+__attribute__((noinline))
+#endif
+bool cacheDisabled() {
+  const char *V = std::getenv("IPRA_NATIVE_NOCACHE");
+  return V && V[0] && !(V[0] == '0' && V[1] == '\0');
+}
+
+RunStats failStats(std::string Why) {
+  RunStats S;
+  S.OK = false;
+  S.Error = std::move(Why);
+  return S;
+}
+
+void composeNativeError(RunStats &Stats, const MProgram &Prog,
+                        const NativeEnv &Env, NativeContext &Ctx) {
+  std::string Msg;
+  bool Located = true;
+  switch (NativeErr(Env.ErrorCode)) {
+  case NativeErr::DivZero:
+    Msg = "division by zero";
+    break;
+  case NativeErr::RemZero:
+    Msg = "remainder by zero";
+    break;
+  case NativeErr::LoadOOB:
+    Msg = "load out of bounds at word " + std::to_string(Env.ErrorValue);
+    break;
+  case NativeErr::StoreOOB:
+    Msg = "store out of bounds at word " + std::to_string(Env.ErrorValue);
+    break;
+  case NativeErr::CallBadId:
+    Msg = "call to invalid procedure id " + std::to_string(Env.ErrorValue);
+    break;
+  case NativeErr::CallExternal:
+    Msg = "call to external procedure '" +
+          Prog.Procs[size_t(Env.ErrorValue)].Name + "'";
+    break;
+  case NativeErr::CallDepth:
+    Msg = "call depth exceeded";
+    break;
+  case NativeErr::Budget:
+    Msg = "execution budget exceeded (infinite loop?)";
+    Located = false;
+    break;
+  case NativeErr::Convention:
+    Msg = std::move(Ctx.PendingError);
+    break;
+  case NativeErr::None:
+    Msg = "native engine reported an unknown error";
+    Located = false;
+    break;
+  }
+  if (Located)
+    Msg += " (in " + Prog.Procs[Env.ErrorProc].Name + ", block " +
+           std::to_string(Env.ErrorBlock) + ")";
+  Stats.OK = false;
+  Stats.Error = std::move(Msg);
+}
+
+} // namespace
+
+RunStats ipra::runNativeProgram(const MProgram &Prog, const SimOptions &Opts) {
+  // Program-shape diagnostics first, with the interpreters' wording.
+  if (Prog.MainProcId < 0)
+    return failStats("program has no main procedure");
+  const MProc &Main = Prog.Procs[Prog.MainProcId];
+  if (Main.IsExternal || Main.Blocks.empty())
+    return failStats("main procedure has no body");
+
+  std::string Why;
+  if (!nativeEngineSupported(&Why))
+    return failStats(std::move(Why));
+  if (Opts.NativeRaw && (Opts.CollectBlockProfile || Opts.CheckConventions))
+    return failStats("native raw mode supports neither block profiling nor "
+                     "convention checking; use the instrumented native "
+                     "engine");
+  if (Opts.MaxCallDepth > NativeMaxCallDepth)
+    return failStats("MaxCallDepth " + std::to_string(Opts.MaxCallDepth) +
+                     " exceeds the native engine's host-stack budget (max " +
+                     std::to_string(NativeMaxCallDepth) + ")");
+
+  // Lowering.
+  NativeCodeGenOptions CG;
+  CG.Raw = Opts.NativeRaw;
+  CG.Profile = Opts.CollectBlockProfile;
+  CG.Check = Opts.CheckConventions;
+  CG.MaxSteps = Opts.MaxSteps;
+  CG.MemWords = Opts.MemWords;
+  CG.MaxBlockCost = 1;
+  size_t TotalBlocks = 0;
+  std::vector<size_t> ProfOff(Prog.Procs.size(), 0);
+  for (unsigned P = 0; P < Prog.Procs.size(); ++P) {
+    ProfOff[P] = TotalBlocks;
+    TotalBlocks += Prog.Procs[P].Blocks.size();
+    for (const MBlock &B : Prog.Procs[P].Blocks)
+      CG.MaxBlockCost = std::max(CG.MaxBlockCost, uint64_t(B.Insts.size()));
+  }
+
+  Fingerprint FP = fingerprintProgram(Prog, CG);
+  const bool UseCache = !cacheDisabled();
+  std::shared_ptr<const CachedImage> Img;
+  if (UseCache)
+    Img = codeCache().find(FP);
+  if (!Img) {
+    RegisterMap Map = chooseRegisterMap(Prog, Opts.NativeRaw);
+    NativeCode Code;
+    std::string Err;
+    if (!emitNativeProgram(Prog, CG, Map, ProfOff, Code, Err))
+      return failStats("native code generation failed: " + Err);
+
+    auto Fresh = std::make_shared<CachedImage>();
+    if (!Fresh->Buf.allocate(Code.Bytes.size(), Err))
+      return failStats("native engine: " + Err);
+    std::memcpy(Fresh->Buf.data(), Code.Bytes.data(), Code.Bytes.size());
+    if (!Fresh->Buf.makeExecutable(Err))
+      return failStats("native engine: " + Err);
+    Fresh->ProcEntry = std::move(Code.ProcEntry);
+    Fresh->TrampolineOff = Code.TrampolineOff;
+    Fresh->ProcsEmitted = Code.ProcsEmitted;
+    Fresh->NumBytes = Code.Bytes.size();
+    Fresh->Check = FP.Check;
+    Img = std::move(Fresh);
+    if (UseCache)
+      codeCache().insert(FP, Img);
+  }
+
+  std::vector<ProcTableEntry> Table(Prog.Procs.size());
+  for (unsigned P = 0; P < Prog.Procs.size(); ++P) {
+    if (Img->ProcEntry[P] != size_t(-1))
+      Table[P] = {Img->Buf.entry(Img->ProcEntry[P]), 1};
+    else
+      Table[P] = {nullptr, 0};
+  }
+
+  // Guest memory: calloc for lazy zero pages, like the decoded engine.
+  std::unique_ptr<int64_t[], decltype(&std::free)> GuestMem(
+      static_cast<int64_t *>(std::calloc(Opts.MemWords, sizeof(int64_t))),
+      &std::free);
+  if (Opts.MemWords && !GuestMem)
+    return failStats("native engine: cannot allocate " +
+                     std::to_string(Opts.MemWords) + " words of guest memory");
+  for (size_t I = 0; I < Prog.GlobalImage.size(); ++I)
+    GuestMem[I] = Prog.GlobalImage[I];
+
+  NativeContext Ctx;
+  Ctx.Prog = &Prog;
+  Ctx.Profile = Opts.CollectBlockProfile;
+  Ctx.Check = Opts.CheckConventions;
+  Ctx.MaxCallDepth = Opts.MaxCallDepth;
+  Ctx.ProfOff = std::move(ProfOff);
+  if (Ctx.Profile)
+    Ctx.Prof.assign(TotalBlocks, 0);
+
+  NativeEnv Env{};
+  Env.Mem = GuestMem.get();
+  Env.MemWords = Opts.MemWords;
+  Env.MaxSteps = Opts.MaxSteps;
+  Env.Regs[RegSP] = int64_t(Opts.MemWords);
+  if (Opts.NativeRaw) {
+    // No shadow frames at all: the host stack mirrors guest depth at 16
+    // bytes per frame. ShadowLimit is pre-seeded with the span of
+    // MaxCallDepth frames (plus the trampoline-to-body rsp delta); the
+    // trampoline rewrites it in place as an absolute rsp floor for the
+    // one-compare depth check at call sites.
+    Env.ShadowBase = Env.ShadowPtr = 0;
+    Env.ShadowLimit = uint64_t(Opts.MaxCallDepth) * sizeof(ShadowFrame) + 24;
+  } else {
+    Ctx.Shadow.reset(new ShadowFrame[Opts.MaxCallDepth]);
+    Env.ShadowBase = Env.ShadowPtr = uint64_t(uintptr_t(Ctx.Shadow.get()));
+    Env.ShadowLimit =
+        Env.ShadowBase + uint64_t(Opts.MaxCallDepth) * sizeof(ShadowFrame);
+  }
+  Env.ProfBase = Ctx.Prof.empty() ? nullptr : Ctx.Prof.data();
+  Env.ProcTable = Table.data();
+  Env.NumProcs = Prog.Procs.size();
+  Env.FnPrint = ipraNativePrint;
+  Env.FnSnapshot = ipraNativeSnapshot;
+  Env.FnCheckRet = ipraNativeCheckRet;
+  Env.FnBail = ipraNativeBail;
+  Env.FnError = ipraNativeError;
+  Env.Ctx = &Ctx;
+
+  using EntryFn = void (*)(NativeEnv *);
+  EntryFn Fn;
+  const void *Entry = Img->Buf.entry(Img->TrampolineOff);
+  static_assert(sizeof(Fn) == sizeof(Entry));
+  std::memcpy(&Fn, &Entry, sizeof(Fn));
+
+  RunStats Stats;
+  switch (setjmp(Ctx.Jb)) {
+  case 0:
+    Fn(&Env);
+    Stats.OK = true;
+    Stats.ExitValue = Env.Regs[RegV0];
+    break;
+  case 1: // an error stub fired
+    composeNativeError(Stats, Prog, Env, Ctx);
+    break;
+  default: // careful tail finished the run
+    Stats.OK = Ctx.CarefulOK;
+    if (Ctx.CarefulOK)
+      Stats.ExitValue = Ctx.CarefulExit;
+    else
+      Stats.Error = std::move(Ctx.CarefulError);
+    break;
+  }
+
+  Stats.Instructions = Stats.Cycles = Env.Steps;
+  Stats.ScalarLoads = Env.ScalarLoads;
+  Stats.ScalarStores = Env.ScalarStores;
+  Stats.DataLoads = Env.DataLoads;
+  Stats.DataStores = Env.DataStores;
+  Stats.Calls = Env.Calls;
+  Stats.Output = std::move(Ctx.Output);
+  if (Ctx.Profile) {
+    Stats.Profile.BlockCounts.resize(Prog.Procs.size());
+    for (unsigned P = 0; P < Prog.Procs.size(); ++P) {
+      size_t NB = Prog.Procs[P].Blocks.size();
+      Stats.Profile.BlockCounts[P].assign(
+          Ctx.Prof.begin() + Ctx.ProfOff[P],
+          Ctx.Prof.begin() + Ctx.ProfOff[P] + NB);
+    }
+  }
+  Stats.NativeProcs = Img->ProcsEmitted;
+  Stats.NativeCodeBytes = Img->NumBytes;
+  Stats.NativeBailouts = Ctx.Bailouts;
+  return Stats;
+}

@@ -1,0 +1,46 @@
+//===- x64/NativeEngine.h - JIT execution engine ---------------*- C++ -*-===//
+//
+// Part of the ipra project (Chow, PLDI 1988 reproduction).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The native x86-64 execution engine behind SimEngine::Native: lowers
+/// the program with NativeCodeGen into a CodeBuffer, runs it through a
+/// trampoline, and reports the run through the same RunStats surface as
+/// the interpreters. Instrumented runs are byte-exact against the
+/// reference and decoded engines (RunStats::sameExecution); raw runs
+/// (SimOptions::NativeRaw) trade exact budget/error accounting for
+/// speed. See DESIGN.md section 14.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef IPRA_X64_NATIVEENGINE_H
+#define IPRA_X64_NATIVEENGINE_H
+
+#include "sim/Simulator.h"
+
+#include <string>
+
+namespace ipra {
+
+/// True when this build/host/process can execute guest programs
+/// natively: an x86-64 host with executable-memory support, and the
+/// IPRA_NATIVE_DISABLE environment kill switch not set. When false,
+/// \p Why (if given) receives the reason; runNativeProgram reports the
+/// same reason as a clean RunStats error, never a crash.
+bool nativeEngineSupported(std::string *Why = nullptr);
+
+/// Host-stack budget cap: each guest frame costs 16 host bytes, so
+/// deeper MaxCallDepth settings are rejected cleanly rather than
+/// risking a host stack overflow.
+constexpr unsigned NativeMaxCallDepth = 262144;
+
+/// Executes \p Prog natively (the SimEngine::Native dispatch target).
+/// Same contract as runProgram: never throws, failures land in
+/// RunStats::OK / Error.
+RunStats runNativeProgram(const MProgram &Prog, const SimOptions &Opts);
+
+} // namespace ipra
+
+#endif // IPRA_X64_NATIVEENGINE_H

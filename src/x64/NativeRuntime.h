@@ -1,0 +1,122 @@
+//===- x64/NativeRuntime.h - JIT<->host runtime contract -------*- C++ -*-===//
+//
+// Part of the ipra project (Chow, PLDI 1988 reproduction).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The data contract between JIT-emitted code and the C++ half of the
+/// native engine. All run state the machine code touches lives behind
+/// one pinned pointer (r15 -> NativeEnv): the guest register file, the
+/// pixie counters, the shadow call stack cursor, the indirect-call
+/// procedure table, the helper function pointers, and the error/bailout
+/// mailbox the cold stubs fill before longjmp'ing back to the C++
+/// wrapper. NativeCodeGen addresses every field as [r15 + offsetof],
+/// so the struct must stay standard-layout (static_assert'd below).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef IPRA_X64_NATIVERUNTIME_H
+#define IPRA_X64_NATIVERUNTIME_H
+
+#include "target/Machine.h"
+
+#include <cstdint>
+#include <type_traits>
+
+namespace ipra {
+namespace x64 {
+
+/// Why a cold stub ended the run (NativeEnv::ErrorCode). The C++
+/// wrapper composes the reference interpreter's exact message from the
+/// code plus the mailbox operands.
+enum class NativeErr : uint64_t {
+  None = 0,
+  DivZero,     ///< "division by zero"
+  RemZero,     ///< "remainder by zero"
+  LoadOOB,     ///< "load out of bounds at word <ErrorValue>"
+  StoreOOB,    ///< "store out of bounds at word <ErrorValue>"
+  CallBadId,   ///< "call to invalid procedure id <ErrorValue>"
+  CallExternal,///< "call to external procedure '<name of ErrorValue>'"
+  CallDepth,   ///< "call depth exceeded"
+  Budget,      ///< "execution budget exceeded (infinite loop?)" (raw mode)
+  Convention,  ///< convention message pending in the context
+};
+
+/// One shadow-call-stack entry (instrumented mode): where execution
+/// resumes in the *caller* after the callee's native ret, in source
+/// coordinates. The careful tail interpreter walks these to unwind past
+/// the bailout point; raw mode only advances the cursor (depth check)
+/// without writing entries.
+struct ShadowFrame {
+  uint32_t Proc;
+  uint32_t Block;
+  uint64_t Inst; ///< Resume instruction index within Block.
+};
+static_assert(sizeof(ShadowFrame) == 16);
+
+/// Indirect-call dispatch row, indexed by guest procedure id.
+struct ProcTableEntry {
+  const void *Entry;  ///< Native entry point (null without a body).
+  uint64_t HasBody;   ///< Non-zero when callable.
+};
+static_assert(sizeof(ProcTableEntry) == 16);
+
+struct NativeContext; // C++-side state (NativeEngine.cpp)
+
+/// The single block of state JIT code addresses through r15.
+struct NativeEnv {
+  /// Guest register file. Pinned guest registers are synced here around
+  /// helper calls and bailouts; unpinned ones live here permanently.
+  int64_t Regs[NumPhysRegs];
+
+  int64_t *Mem;       ///< Guest data memory (word-addressed base, r14).
+  uint64_t MemWords;
+
+  uint64_t MaxSteps;
+  uint64_t Steps;     ///< Exact at transfers/errors (lazy segment charge).
+  uint64_t ScalarLoads;
+  uint64_t ScalarStores;
+  uint64_t DataLoads;
+  uint64_t DataStores;
+  uint64_t Calls;
+
+  uint64_t ShadowPtr;   ///< Byte cursor into the shadow stack.
+  uint64_t ShadowBase;  ///< Cursor at depth 0.
+  uint64_t ShadowLimit; ///< Base + 16*MaxCallDepth (the depth check).
+
+  uint64_t *ProfBase;   ///< Flat per-(proc,block) counters, or null.
+  const ProcTableEntry *ProcTable;
+  uint64_t NumProcs;
+
+  /// Helper entry points (call qword [r15 + offset]).
+  void (*FnPrint)(NativeEnv *, int64_t);
+  void (*FnSnapshot)(NativeEnv *, int64_t);
+  uint64_t (*FnCheckRet)(NativeEnv *);
+  void (*FnBail)(NativeEnv *);  ///< [[noreturn]]: careful tail + longjmp.
+  void (*FnError)(NativeEnv *); ///< [[noreturn]]: longjmp with ErrorCode.
+
+  /// Error mailbox (filled by cold stubs before FnError).
+  uint64_t ErrorCode; ///< A NativeErr value.
+  int64_t ErrorValue; ///< Address / procedure id operand.
+  uint64_t ErrorProc;
+  uint64_t ErrorBlock;
+
+  /// Bailout mailbox (filled by budget-bail stubs before FnBail).
+  uint64_t BailProc;
+  uint64_t BailBlock;
+  uint64_t BailInst;
+  uint64_t BailEntry; ///< 1 = block entry (bookkeeping due), 0 = mid-block.
+
+  int64_t ScratchA; ///< JIT spill slot (indirect-call id across helpers).
+
+  NativeContext *Ctx;
+};
+
+static_assert(std::is_standard_layout_v<NativeEnv>,
+              "JIT code addresses NativeEnv by offsetof");
+
+} // namespace x64
+} // namespace ipra
+
+#endif // IPRA_X64_NATIVERUNTIME_H

@@ -1,0 +1,444 @@
+//===- x64/X64Assembler.h - Minimal x86-64 machine-code emitter -*- C++ -*-===//
+//
+// Part of the ipra project (Chow, PLDI 1988 reproduction).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The byte-level x86-64 encoder underneath the native JIT backend
+/// (NativeCodeGen). It covers exactly the instruction forms the MIR
+/// lowering needs -- 64-bit ALU ops in reg/reg, reg/mem, mem/reg and
+/// reg/imm32 forms, moves, scaled-index loads/stores for the guest
+/// memory image, setcc/movzx for compares, shifts by CL, idiv with its
+/// cqo prologue, rel32 branches and calls with label fixups, and the
+/// push/pop/ret frame glue -- nothing more. Memory operands are always
+/// encoded [base + disp32] (mod=10, SIB only where rsp/r12 forces one),
+/// so every emission has exactly one canonical byte sequence; the
+/// encoder golden tests in tests/X64EncoderTest.cpp pin those bytes
+/// against hand-assembled expectations.
+///
+/// Labels are forward-friendly: bind() may happen before or after the
+/// jumps that reference it; finalize() patches all rel32 sites.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef IPRA_X64_X64ASSEMBLER_H
+#define IPRA_X64_X64ASSEMBLER_H
+
+#include <cassert>
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+namespace ipra {
+namespace x64 {
+
+/// Host register numbering (the hardware encoding: bit 3 goes to REX).
+enum Reg : uint8_t {
+  RAX = 0,
+  RCX = 1,
+  RDX = 2,
+  RBX = 3,
+  RSP = 4,
+  RBP = 5,
+  RSI = 6,
+  RDI = 7,
+  R8 = 8,
+  R9 = 9,
+  R10 = 10,
+  R11 = 11,
+  R12 = 12,
+  R13 = 13,
+  R14 = 14,
+  R15 = 15,
+};
+
+/// A [Base + Disp] memory operand (always encoded with a 4-byte
+/// displacement).
+struct Mem {
+  Reg Base;
+  int32_t Disp;
+};
+
+/// Condition codes (the low nibble of the 0F 8x / 0F 9x opcodes).
+enum class Cond : uint8_t {
+  O = 0x0,
+  NO = 0x1,
+  B = 0x2,  ///< unsigned <
+  AE = 0x3, ///< unsigned >=
+  E = 0x4,
+  NE = 0x5,
+  BE = 0x6, ///< unsigned <=
+  A = 0x7,  ///< unsigned >
+  S = 0x8,
+  NS = 0x9,
+  L = 0xC, ///< signed <
+  GE = 0xD,
+  LE = 0xE,
+  G = 0xF,
+};
+
+/// Group-1 ALU operations; the value is the ModRM /r extension of the
+/// 81-family immediate form (and selects the reg/rm opcode bytes).
+enum class Alu : uint8_t {
+  Add = 0,
+  Or = 1,
+  And = 4,
+  Sub = 5,
+  Xor = 6,
+  Cmp = 7,
+};
+
+class Assembler {
+public:
+  const std::vector<uint8_t> &code() const { return Code; }
+  size_t size() const { return Code.size(); }
+  void reserve(size_t Bytes) { Code.reserve(Bytes); }
+
+  //===--------------------------------------------------------------------===//
+  // Labels
+  //===--------------------------------------------------------------------===//
+
+  int newLabel() {
+    Labels.push_back(-1);
+    return int(Labels.size()) - 1;
+  }
+
+  void bind(int Label) {
+    assert(Labels[Label] < 0 && "label bound twice");
+    Labels[Label] = int64_t(Code.size());
+  }
+
+  bool bound(int Label) const { return Labels[Label] >= 0; }
+  size_t labelOffset(int Label) const {
+    assert(bound(Label));
+    return size_t(Labels[Label]);
+  }
+
+  /// Patches every recorded rel32 site. Call once, after all binds.
+  void finalize() {
+    for (const Fixup &F : Fixups) {
+      assert(Labels[F.Label] >= 0 && "unbound label at finalize");
+      int64_t Rel = Labels[F.Label] - (int64_t(F.Pos) + 4);
+      assert(Rel >= INT32_MIN && Rel <= INT32_MAX);
+      patch32(F.Pos, int32_t(Rel));
+    }
+    Fixups.clear();
+  }
+
+  //===--------------------------------------------------------------------===//
+  // Moves
+  //===--------------------------------------------------------------------===//
+
+  /// mov r64, r64 (REX.W 89 /r, store form).
+  void movRR(Reg Dst, Reg Src) {
+    rex(1, Src, Dst);
+    emit(0x89);
+    modrmReg(Src, Dst);
+  }
+
+  /// mov r64, [base+disp32] (REX.W 8B /r).
+  void movRM(Reg Dst, Mem M) {
+    rex(1, Dst, M.Base);
+    emit(0x8B);
+    modrmMem(Dst, M);
+  }
+
+  /// mov [base+disp32], r64 (REX.W 89 /r).
+  void movMR(Mem M, Reg Src) {
+    rex(1, Src, M.Base);
+    emit(0x89);
+    modrmMem(Src, M);
+  }
+
+  /// mov r64, imm: REX.W C7 /0 (sign-extended imm32) when it fits,
+  /// else the full movabs (REX.W B8+r imm64).
+  void movRI(Reg Dst, int64_t Imm) {
+    if (Imm >= INT32_MIN && Imm <= INT32_MAX) {
+      rex(1, Reg(0), Dst);
+      emit(0xC7);
+      modrmReg(Reg(0), Dst);
+      emit32(int32_t(Imm));
+    } else {
+      rex(1, Reg(0), Dst);
+      emit(uint8_t(0xB8 | (Dst & 7)));
+      emit64(Imm);
+    }
+  }
+
+  /// mov qword [base+disp32], imm32 (sign-extended; REX.W C7 /0).
+  void movMI(Mem M, int32_t Imm) {
+    rex(1, Reg(0), M.Base);
+    emit(0xC7);
+    modrmMem(Reg(0), M);
+    emit32(Imm);
+  }
+
+  /// mov r64, [base + index*8] (the guest-memory word access).
+  void movRMScaled8(Reg Dst, Reg Base, Reg Index) {
+    assert((Base & 7) != 5 && "mod=00 with rbp/r13 base needs a disp");
+    rexXB(1, Dst, Index, Base);
+    emit(0x8B);
+    emit(uint8_t(0x04 | ((Dst & 7) << 3))); // mod=00 rm=100 (SIB)
+    emit(uint8_t(0xC0 | ((Index & 7) << 3) | (Base & 7))); // scale=8
+  }
+
+  /// mov [base + index*8], r64.
+  void movMRScaled8(Reg Base, Reg Index, Reg Src) {
+    assert((Base & 7) != 5 && "mod=00 with rbp/r13 base needs a disp");
+    rexXB(1, Src, Index, Base);
+    emit(0x89);
+    emit(uint8_t(0x04 | ((Src & 7) << 3)));
+    emit(uint8_t(0xC0 | ((Index & 7) << 3) | (Base & 7)));
+  }
+
+  /// movsxd r64, r32 (sign-extend the low 32 bits: the int(RS) cast of
+  /// indirect call targets).
+  void movsxdRR(Reg Dst, Reg Src) {
+    rex(1, Dst, Src);
+    emit(0x63);
+    modrmReg(Dst, Src);
+  }
+
+  /// movzx r64, r8-low (clears everything above a setcc result).
+  void movzxRR8(Reg Dst, Reg Src8) {
+    assert(Src8 <= RBX && "low-byte form only (al/cl/dl/bl)");
+    rex(1, Dst, Src8);
+    emit(0x0F);
+    emit(0xB6);
+    modrmReg(Dst, Src8);
+  }
+
+  //===--------------------------------------------------------------------===//
+  // ALU (64-bit forms only)
+  //===--------------------------------------------------------------------===//
+
+  /// op r64, r64 (the RM "load" form: 03/0B/23/2B/33/3B /r).
+  void aluRR(Alu Op, Reg Dst, Reg Src) {
+    rex(1, Dst, Src);
+    emit(uint8_t(unsigned(Op) * 8 + 3));
+    modrmReg(Dst, Src);
+  }
+
+  /// op r64, [base+disp32].
+  void aluRM(Alu Op, Reg Dst, Mem M) {
+    rex(1, Dst, M.Base);
+    emit(uint8_t(unsigned(Op) * 8 + 3));
+    modrmMem(Dst, M);
+  }
+
+  /// op [base+disp32], r64 (the MR "store" form: 01/09/21/29/31/39).
+  void aluMR(Alu Op, Mem M, Reg Src) {
+    rex(1, Src, M.Base);
+    emit(uint8_t(unsigned(Op) * 8 + 1));
+    modrmMem(Src, M);
+  }
+
+  /// op r64, imm32 (81 /n, sign-extended).
+  void aluRI(Alu Op, Reg Dst, int32_t Imm) {
+    rex(1, Reg(0), Dst);
+    emit(0x81);
+    modrmReg(Reg(unsigned(Op)), Dst);
+    emit32(Imm);
+  }
+
+  /// op qword [base+disp32], imm32 (81 /n, sign-extended).
+  void aluMI(Alu Op, Mem M, int32_t Imm) {
+    rex(1, Reg(0), M.Base);
+    emit(0x81);
+    modrmMem(Reg(unsigned(Op)), M);
+    emit32(Imm);
+  }
+
+  /// imul r64, r64 (0F AF /r).
+  void imulRR(Reg Dst, Reg Src) {
+    rex(1, Dst, Src);
+    emit(0x0F);
+    emit(0xAF);
+    modrmReg(Dst, Src);
+  }
+
+  void cqo() {
+    emit(0x48);
+    emit(0x99);
+  }
+
+  /// idiv r64 (F7 /7): rdx:rax / r -> rax, remainder rdx.
+  void idivR(Reg R) {
+    rex(1, Reg(0), R);
+    emit(0xF7);
+    modrmReg(Reg(7), R);
+  }
+
+  void negR(Reg R) {
+    rex(1, Reg(0), R);
+    emit(0xF7);
+    modrmReg(Reg(3), R);
+  }
+
+  void notR(Reg R) {
+    rex(1, Reg(0), R);
+    emit(0xF7);
+    modrmReg(Reg(2), R);
+  }
+
+  /// shl r64, cl (D3 /4).
+  void shlCL(Reg R) {
+    rex(1, Reg(0), R);
+    emit(0xD3);
+    modrmReg(Reg(4), R);
+  }
+
+  /// sar r64, cl (D3 /7): arithmetic right shift, the guest Shr.
+  void sarCL(Reg R) {
+    rex(1, Reg(0), R);
+    emit(0xD3);
+    modrmReg(Reg(7), R);
+  }
+
+  /// shl r64, imm8 (C1 /4): the *8 scaling of table indices.
+  void shlRI(Reg R, uint8_t Imm) {
+    rex(1, Reg(0), R);
+    emit(0xC1);
+    modrmReg(Reg(4), R);
+    emit(Imm);
+  }
+
+  /// test r64, r64 (85 /r).
+  void testRR(Reg A, Reg B) {
+    rex(1, B, A);
+    emit(0x85);
+    modrmReg(B, A);
+  }
+
+  /// setcc r8-low (0F 9x /0), then movzx to widen.
+  void setccR8(Cond C, Reg Dst8) {
+    assert(Dst8 <= RBX && "low-byte form only (al/cl/dl/bl)");
+    emit(0x0F);
+    emit(uint8_t(0x90 | unsigned(C)));
+    modrmReg(Reg(0), Dst8);
+  }
+
+  //===--------------------------------------------------------------------===//
+  // Control flow
+  //===--------------------------------------------------------------------===//
+
+  void jmp(int Label) {
+    emit(0xE9);
+    emitRel32(Label);
+  }
+
+  void jcc(Cond C, int Label) {
+    emit(0x0F);
+    emit(uint8_t(0x80 | unsigned(C)));
+    emitRel32(Label);
+  }
+
+  void callLabel(int Label) {
+    emit(0xE8);
+    emitRel32(Label);
+  }
+
+  /// call rel32 whose target is patched manually later (cross-procedure
+  /// calls resolved once every entry offset is known). \returns the
+  /// position of the rel32 field.
+  size_t callRelPatchable() {
+    emit(0xE8);
+    size_t Pos = Code.size();
+    emit32(0);
+    return Pos;
+  }
+
+  /// Patches a callRelPatchable() site to target byte offset \p Target.
+  void patchCall(size_t RelPos, size_t Target) {
+    int64_t Rel = int64_t(Target) - (int64_t(RelPos) + 4);
+    assert(Rel >= INT32_MIN && Rel <= INT32_MAX);
+    patch32(RelPos, int32_t(Rel));
+  }
+
+  /// call qword [base+disp32] (FF /2): the C++ helper trampolines.
+  void callM(Mem M) {
+    if (M.Base >= R8)
+      emit(0x41);
+    emit(0xFF);
+    modrmMem(Reg(2), M);
+  }
+
+  void ret() { emit(0xC3); }
+
+  void pushR(Reg R) {
+    if (R >= R8)
+      emit(0x41);
+    emit(uint8_t(0x50 | (R & 7)));
+  }
+
+  void popR(Reg R) {
+    if (R >= R8)
+      emit(0x41);
+    emit(uint8_t(0x58 | (R & 7)));
+  }
+
+private:
+  struct Fixup {
+    size_t Pos;
+    int Label;
+  };
+
+  void emit(uint8_t B) { Code.push_back(B); }
+  void emit32(int32_t V) {
+    for (int I = 0; I < 4; ++I)
+      Code.push_back(uint8_t(uint32_t(V) >> (8 * I)));
+  }
+  void emit64(int64_t V) {
+    for (int I = 0; I < 8; ++I)
+      Code.push_back(uint8_t(uint64_t(V) >> (8 * I)));
+  }
+  void patch32(size_t Pos, int32_t V) {
+    for (int I = 0; I < 4; ++I)
+      Code[Pos + I] = uint8_t(uint32_t(V) >> (8 * I));
+  }
+
+  void rex(int W, Reg RField, Reg BField) {
+    emit(uint8_t(0x40 | (W << 3) | (((RField >> 3) & 1) << 2) |
+                 ((BField >> 3) & 1)));
+  }
+  void rexXB(int W, Reg RField, Reg XField, Reg BField) {
+    emit(uint8_t(0x40 | (W << 3) | (((RField >> 3) & 1) << 2) |
+                 (((XField >> 3) & 1) << 1) | ((BField >> 3) & 1)));
+  }
+
+  void modrmReg(Reg RField, Reg RM) {
+    emit(uint8_t(0xC0 | ((RField & 7) << 3) | (RM & 7)));
+  }
+
+  /// mod=10 [base+disp32]; rsp/r12 bases take the mandatory SIB byte.
+  void modrmMem(Reg RField, Mem M) {
+    if ((M.Base & 7) == 4) {
+      emit(uint8_t(0x80 | ((RField & 7) << 3) | 4));
+      emit(0x24); // scale=1, no index, base=rsp/r12
+    } else {
+      emit(uint8_t(0x80 | ((RField & 7) << 3) | (M.Base & 7)));
+    }
+    emit32(M.Disp);
+  }
+
+  void emitRel32(int Label) {
+    if (Labels[Label] >= 0) {
+      int64_t Rel = Labels[Label] - (int64_t(Code.size()) + 4);
+      assert(Rel >= INT32_MIN && Rel <= INT32_MAX);
+      emit32(int32_t(Rel));
+    } else {
+      Fixups.push_back({Code.size(), Label});
+      emit32(0);
+    }
+  }
+
+  std::vector<uint8_t> Code;
+  std::vector<int64_t> Labels;
+  std::vector<Fixup> Fixups;
+};
+
+} // namespace x64
+} // namespace ipra
+
+#endif // IPRA_X64_X64ASSEMBLER_H

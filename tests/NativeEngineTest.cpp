@@ -1,0 +1,560 @@
+//===- tests/NativeEngineTest.cpp - JIT vs. interpreter differentials -----===//
+//
+// The native engine's contract (DESIGN.md section 14): instrumented runs
+// are byte-identical RunStats with both interpreters on every program --
+// outcome, error text, exit value, output, every pixie counter and the
+// block profile. This suite proves it the same four ways the decoded
+// engine earned its stripes in SimEngineTest.cpp: the whole benchmark
+// suite x all six paper configurations in the strongest checking mode; a
+// randomized differential sweep x configurations x checking modes; an
+// exhaustive execution-budget walk across the MaxSteps boundary (the
+// bail-to-careful-tail edge); and hand-built MIR for every runtime-error
+// path the JIT lowers to stubs (division, bounds, call targets, depth).
+// A further group pins the raw mode's contract (exact counters on clean
+// runs, approximate budget, profiling/conventions rejected), the
+// unsupported-host and kill-switch guard rails, and BatchRunner fan-out
+// determinism with the native engine.
+//
+// Every test that executes JIT code skips cleanly (with the engine's own
+// reason string) on hosts where nativeEngineSupported() is false.
+//
+//===----------------------------------------------------------------------===//
+
+#include "driver/Pipeline.h"
+#include "programs/Programs.h"
+#include "sim/BatchRunner.h"
+#include "x64/NativeEngine.h"
+
+#include "ProgramGenerator.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <cstdlib>
+#include <memory>
+#include <string>
+#include <vector>
+
+using namespace ipra;
+
+namespace {
+
+#define SKIP_WITHOUT_NATIVE()                                                  \
+  do {                                                                         \
+    std::string Why;                                                           \
+    if (!nativeEngineSupported(&Why))                                          \
+      GTEST_SKIP() << Why;                                                     \
+  } while (0)
+
+std::string describe(const char *Tag, const RunStats &S) {
+  std::string D = std::string("  ") + Tag + ": OK=" + (S.OK ? "1" : "0") +
+                  " err='" + S.Error + "' exit=" + std::to_string(S.ExitValue) +
+                  " cycles=" + std::to_string(S.Cycles) +
+                  " insts=" + std::to_string(S.Instructions) + " scalar=" +
+                  std::to_string(S.ScalarLoads) + "/" +
+                  std::to_string(S.ScalarStores) + " data=" +
+                  std::to_string(S.DataLoads) + "/" +
+                  std::to_string(S.DataStores) +
+                  " calls=" + std::to_string(S.Calls) +
+                  " out=" + std::to_string(S.Output.size());
+  return D;
+}
+
+/// Runs \p Prog under all three engines (native instrumented) and demands
+/// byte-identical RunStats across the board.
+void expectThreeWayAgree(const MProgram &Prog, SimOptions Opts,
+                         const std::string &What) {
+  Opts.NativeRaw = false;
+  Opts.Engine = SimEngine::Reference;
+  RunStats Ref = runProgram(Prog, Opts);
+  Opts.Engine = SimEngine::Decoded;
+  RunStats Dec = runProgram(Prog, Opts);
+  Opts.Engine = SimEngine::Native;
+  RunStats Nat = runProgram(Prog, Opts);
+  EXPECT_TRUE(Ref.sameExecution(Nat))
+      << What << ":\n"
+      << describe("reference", Ref) << "\n"
+      << describe("native   ", Nat);
+  EXPECT_TRUE(Dec.sameExecution(Nat))
+      << What << ":\n"
+      << describe("decoded", Dec) << "\n"
+      << describe("native ", Nat);
+}
+
+const std::pair<bool, bool> CheckModes[] = {
+    {false, false}, {true, false}, {false, true}, {true, true}};
+
+// The acceptance sweep: every real suite program under every paper
+// configuration, profiles + conventions both on (the checked-return and
+// profiled-block lowering paths carry the load).
+class NativeSuiteTest : public ::testing::TestWithParam<BenchmarkProgram> {};
+
+TEST_P(NativeSuiteTest, WholeSuiteAllConfigsThreeWay) {
+  SKIP_WITHOUT_NATIVE();
+  const BenchmarkProgram &B = GetParam();
+  for (PaperConfig Config :
+       {PaperConfig::Base, PaperConfig::A, PaperConfig::B, PaperConfig::C,
+        PaperConfig::D, PaperConfig::E}) {
+    DiagnosticEngine Diags;
+    auto Compiled = compileProgram(B.Source, optionsFor(Config), Diags);
+    ASSERT_NE(Compiled, nullptr)
+        << B.Name << " under " << paperConfigName(Config) << ":\n"
+        << Diags.str();
+    SimOptions Opts;
+    Opts.CollectBlockProfile = true;
+    Opts.CheckConventions = true;
+    expectThreeWayAgree(Compiled->Program, Opts,
+                        std::string(B.Name) + " under " +
+                            paperConfigName(Config));
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Suite, NativeSuiteTest, ::testing::ValuesIn(benchmarkSuite()),
+    [](const ::testing::TestParamInfo<BenchmarkProgram> &Info) {
+      return std::string(Info.param.Name);
+    });
+
+// Randomized differential: generated programs x configurations x all four
+// checking-mode combinations (each selects different lowering variants:
+// profiled block heads, convention snapshots and checked returns).
+class NativeDifferentialTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(NativeDifferentialTest, RandomProgramsAllConfigsAllModes) {
+  SKIP_WITHOUT_NATIVE();
+  for (int Trial = 0; Trial < 2; ++Trial) {
+    // Same seed formula as SimEngineTest so a divergence here and not
+    // there isolates the JIT, not the program shape.
+    uint32_t Seed = uint32_t(42000 + GetParam() * 1000 + Trial);
+    ProgramGenerator Gen(Seed);
+    std::string Src = Gen.generate();
+    for (PaperConfig Config :
+         {PaperConfig::Base, PaperConfig::B, PaperConfig::C, PaperConfig::E}) {
+      DiagnosticEngine Diags;
+      auto Compiled = compileProgram(Src, optionsFor(Config), Diags);
+      ASSERT_NE(Compiled, nullptr)
+          << "seed " << Seed << " under " << paperConfigName(Config) << ":\n"
+          << Diags.str();
+      for (auto [Profile, Check] : CheckModes) {
+        SimOptions Opts;
+        Opts.MaxSteps = 2 * 1000 * 1000;
+        Opts.CollectBlockProfile = Profile;
+        Opts.CheckConventions = Check;
+        expectThreeWayAgree(Compiled->Program, Opts,
+                            "seed " + std::to_string(Seed) + " under " +
+                                paperConfigName(Config) + " profile=" +
+                                std::to_string(Profile) + " conventions=" +
+                                std::to_string(Check));
+      }
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, NativeDifferentialTest,
+                         ::testing::Values(1, 2, 3));
+
+// Walks the execution budget one instruction at a time across a program
+// with calls, branches and memory traffic. Every budget value must fail
+// (or succeed) at the same instruction with the same error, the same
+// partial counters and the same partial block profile as the reference
+// interpreter. This is the hardest native edge: budgets landing inside a
+// block trip the block-head test, bail out to the careful C++ tail, and
+// the tail must then fail (or finish) exactly like the interpreter.
+TEST(NativeBudgetTest, ExhaustiveBudgetBoundarySweep) {
+  SKIP_WITHOUT_NATIVE();
+  const char *Src = R"(
+var g = 3;
+func mix(a, b) {
+  var s = a * 2;
+  if (s > b) { s = s - b; } else { s = s + b; }
+  return s + g;
+}
+func main() {
+  var acc = 0;
+  for (var i = 0; i < 6; i = i + 1) {
+    acc = acc + mix(i, acc);
+    g = g + 1;
+  }
+  print(acc);
+  return acc;
+}
+)";
+  DiagnosticEngine Diags;
+  auto Compiled = compileProgram(Src, optionsFor(PaperConfig::C), Diags);
+  ASSERT_NE(Compiled, nullptr) << Diags.str();
+
+  SimOptions Full;
+  Full.MemWords = 1u << 16;
+  Full.CollectBlockProfile = true;
+  Full.CheckConventions = true;
+  Full.Engine = SimEngine::Reference;
+  RunStats Whole = runProgram(Compiled->Program, Full);
+  ASSERT_TRUE(Whole.OK) << Whole.Error;
+  ASSERT_LT(Whole.Instructions, 5000u) << "keep the sweep cheap";
+
+  uint64_t Bailouts = 0;
+  for (uint64_t Budget = 0; Budget <= Whole.Instructions + 2; ++Budget) {
+    SimOptions Opts = Full;
+    Opts.MaxSteps = Budget;
+    expectThreeWayAgree(Compiled->Program, Opts,
+                        "budget " + std::to_string(Budget) + " of " +
+                            std::to_string(Whole.Instructions));
+    Opts.Engine = SimEngine::Native;
+    Bailouts += runProgram(Compiled->Program, Opts).NativeBailouts;
+  }
+  // The sweep is only meaningful if it actually drove the careful tail.
+  EXPECT_GT(Bailouts, 0u);
+}
+
+// Hand-built MIR for the runtime-error paths the JIT lowers to error
+// stubs, plus the value edge cases with dedicated instruction sequences
+// (INT64_MIN division, out-of-range shifts, wrap-around). Error messages
+// must match byte-for-byte, including the location suffix.
+class NativeErrorTest : public ::testing::Test {
+protected:
+  void SetUp() override { SKIP_WITHOUT_NATIVE(); }
+
+  static MProgram oneBlockProgram(std::vector<MInst> Insts) {
+    MProgram Prog;
+    MProc Main;
+    Main.Name = "main";
+    Main.Id = 0;
+    MBlock B;
+    B.Id = 0;
+    Insts.push_back(MInst(MOpcode::Ret));
+    B.Insts = std::move(Insts);
+    Main.Blocks.push_back(std::move(B));
+    Prog.Procs.push_back(std::move(Main));
+    Prog.MainProcId = 0;
+    return Prog;
+  }
+
+  static MInst loadImm(uint8_t Rd, int64_t Imm) {
+    MInst I(MOpcode::LoadImm);
+    I.Rd = Rd;
+    I.Imm = Imm;
+    return I;
+  }
+};
+
+TEST_F(NativeErrorTest, OutOfBoundsLoadAndStore) {
+  MInst Load(MOpcode::Load);
+  Load.Rd = RegT1;
+  Load.Rs = RegT0;
+  Load.Imm = -7;
+  expectThreeWayAgree(oneBlockProgram({loadImm(RegT0, 2), Load}), {},
+                      "negative load address");
+
+  MInst Store(MOpcode::Store);
+  Store.Rs = RegT0;
+  Store.Rt = RegT0;
+  Store.Imm = 1;
+  SimOptions Small;
+  Small.MemWords = 64;
+  expectThreeWayAgree(oneBlockProgram({loadImm(RegT0, 64), Store}), Small,
+                      "store past the top of memory");
+}
+
+TEST_F(NativeErrorTest, DivisionAndRemainderEdges) {
+  for (MOpcode Op : {MOpcode::Div, MOpcode::Rem}) {
+    MInst I(Op);
+    I.Rd = RegT2;
+    I.Rs = RegT0;
+    I.Rt = RegT1;
+    expectThreeWayAgree(oneBlockProgram({loadImm(RegT0, 5), I}), {},
+                        "divide/remainder by zero (t1 stays 0)");
+    // INT64_MIN / -1: idiv would fault on the host; the JIT must take
+    // the RT==-1 special path and pin the interpreter's result.
+    MInst Print(MOpcode::Print);
+    Print.Rs = RegT2;
+    expectThreeWayAgree(oneBlockProgram({loadImm(RegT0, INT64_MIN),
+                                         loadImm(RegT1, -1), I, Print}),
+                        {}, "INT64_MIN / -1");
+  }
+}
+
+TEST_F(NativeErrorTest, BadAndExternalCallTargets) {
+  MInst BadCall(MOpcode::Call);
+  BadCall.Callee = 7; // out of range: resolved to a stub at JIT time
+  expectThreeWayAgree(oneBlockProgram({BadCall}), {}, "call to invalid id");
+
+  MProgram Ext = oneBlockProgram({});
+  MProc External;
+  External.Name = "printf";
+  External.Id = 1;
+  External.IsExternal = true;
+  Ext.Procs.push_back(std::move(External));
+  MInst ExtCall(MOpcode::Call);
+  ExtCall.Callee = 1;
+  Ext.Procs[0].Blocks[0].Insts.insert(Ext.Procs[0].Blocks[0].Insts.begin(),
+                                      ExtCall);
+  expectThreeWayAgree(Ext, {}, "call to external procedure");
+
+  // Indirect forms go through the runtime procedure table, including the
+  // sign-extending int cast of the register value.
+  MInst IndBad(MOpcode::CallInd);
+  IndBad.Rs = RegT0;
+  expectThreeWayAgree(oneBlockProgram({loadImm(RegT0, -3), IndBad}), {},
+                      "indirect call to invalid id");
+  expectThreeWayAgree(
+      oneBlockProgram({loadImm(RegT0, int64_t(1) << 32), IndBad}), {},
+      "indirect call id truncated to int (1<<32 -> 0 -> recursion guard)");
+  MInst IndExt(MOpcode::CallInd);
+  IndExt.Rs = RegT0;
+  MProgram Ext2 = oneBlockProgram({loadImm(RegT0, 1), IndExt});
+  MProc External2;
+  External2.Name = "malloc";
+  External2.Id = 1;
+  External2.IsExternal = true;
+  Ext2.Procs.push_back(std::move(External2));
+  expectThreeWayAgree(Ext2, {}, "indirect call to external procedure");
+}
+
+TEST_F(NativeErrorTest, CallDepthExceeded) {
+  MInst Recurse(MOpcode::Call);
+  Recurse.Callee = 0;
+  SimOptions Opts;
+  Opts.MaxCallDepth = 9;
+  expectThreeWayAgree(oneBlockProgram({Recurse}), Opts, "call depth");
+  // Same with the indirect form (a separate depth-check emission site).
+  MInst IndRecurse(MOpcode::CallInd);
+  IndRecurse.Rs = RegT0;
+  expectThreeWayAgree(oneBlockProgram({loadImm(RegT0, 0), IndRecurse}), Opts,
+                      "indirect call depth");
+}
+
+TEST_F(NativeErrorTest, ShiftRangeAndWrapArithmetic) {
+  std::vector<MInst> Insts;
+  Insts.push_back(loadImm(RegT0, INT64_MAX));
+  Insts.push_back(loadImm(RegT1, 63));
+  for (MOpcode Op : {MOpcode::Shl, MOpcode::Shr, MOpcode::Add}) {
+    MInst I(Op);
+    I.Rd = RegT2;
+    I.Rs = RegT0;
+    I.Rt = Op == MOpcode::Add ? RegT0 : RegT1;
+    Insts.push_back(I);
+    MInst Print(MOpcode::Print);
+    Print.Rs = RegT2;
+    Insts.push_back(Print);
+  }
+  // And a negative shift amount (must also produce 0, via the unsigned
+  // range compare).
+  Insts.push_back(loadImm(RegT1, -1));
+  MInst NegShift(MOpcode::Shl);
+  NegShift.Rd = RegT2;
+  NegShift.Rs = RegT0;
+  NegShift.Rt = RegT1;
+  Insts.push_back(NegShift);
+  MInst Print(MOpcode::Print);
+  Print.Rs = RegT2;
+  Insts.push_back(Print);
+  expectThreeWayAgree(oneBlockProgram(std::move(Insts)), {},
+                      "shift range and wrap-around");
+}
+
+//===----------------------------------------------------------------------===//
+// Raw mode: exact pixie counters on clean runs, approximate budget
+// enforcement on runaways, profiling/conventions rejected up front.
+//===----------------------------------------------------------------------===//
+
+TEST(NativeRawTest, CleanRunsMatchInstrumentedExactly) {
+  SKIP_WITHOUT_NATIVE();
+  for (const BenchmarkProgram &B : benchmarkSuite()) {
+    DiagnosticEngine Diags;
+    auto Compiled =
+        compileProgram(B.Source, optionsFor(PaperConfig::C), Diags);
+    ASSERT_NE(Compiled, nullptr) << B.Name << ":\n" << Diags.str();
+    SimOptions Opts;
+    Opts.Engine = SimEngine::Decoded;
+    RunStats Dec = runProgram(Compiled->Program, Opts);
+    ASSERT_TRUE(Dec.OK) << B.Name << ": " << Dec.Error;
+    Opts.Engine = SimEngine::Native;
+    Opts.NativeRaw = true;
+    RunStats Raw = runProgram(Compiled->Program, Opts);
+    EXPECT_TRUE(Dec.sameExecution(Raw))
+        << B.Name << ":\n"
+        << describe("decoded", Dec) << "\n"
+        << describe("raw    ", Raw);
+  }
+}
+
+TEST(NativeRawTest, RunawayLoopStillHitsTheBudget) {
+  SKIP_WITHOUT_NATIVE();
+  // main: block 0 branches to itself forever. Raw mode checks the budget
+  // at back-edge targets, so this must terminate with the exact budget
+  // error (which carries no location suffix, in every engine).
+  MProgram Prog;
+  MProc Main;
+  Main.Name = "main";
+  Main.Id = 0;
+  MBlock B;
+  B.Id = 0;
+  MInst Br(MOpcode::Br);
+  Br.Target1 = 0;
+  B.Insts.push_back(Br);
+  Main.Blocks.push_back(std::move(B));
+  Prog.Procs.push_back(std::move(Main));
+  Prog.MainProcId = 0;
+
+  SimOptions Opts;
+  Opts.Engine = SimEngine::Native;
+  Opts.NativeRaw = true;
+  Opts.MaxSteps = 10000;
+  RunStats Raw = runProgram(Prog, Opts);
+  EXPECT_FALSE(Raw.OK);
+  EXPECT_EQ(Raw.Error, "execution budget exceeded (infinite loop?)");
+  // Raw charging is per whole block, so the step count lands within one
+  // block length of the budget, never below it.
+  EXPECT_GE(Raw.Instructions, Opts.MaxSteps);
+  EXPECT_LE(Raw.Instructions, Opts.MaxSteps + 1);
+}
+
+TEST(NativeRawTest, RejectsProfilingAndConventionChecking) {
+  SKIP_WITHOUT_NATIVE();
+  MProgram Prog;
+  MProc Main;
+  Main.Name = "main";
+  Main.Id = 0;
+  MBlock B;
+  B.Id = 0;
+  B.Insts.push_back(MInst(MOpcode::Ret));
+  Main.Blocks.push_back(std::move(B));
+  Prog.Procs.push_back(std::move(Main));
+  Prog.MainProcId = 0;
+
+  for (auto [Profile, Check] :
+       {std::pair{true, false}, {false, true}, {true, true}}) {
+    SimOptions Opts;
+    Opts.Engine = SimEngine::Native;
+    Opts.NativeRaw = true;
+    Opts.CollectBlockProfile = Profile;
+    Opts.CheckConventions = Check;
+    RunStats S = runProgram(Prog, Opts);
+    EXPECT_FALSE(S.OK);
+    EXPECT_EQ(S.Error,
+              "native raw mode supports neither block profiling nor "
+              "convention checking; use the instrumented native engine");
+  }
+}
+
+//===----------------------------------------------------------------------===//
+// Guard rails: kill switch, depth cap, missing main.
+//===----------------------------------------------------------------------===//
+
+TEST(NativeGuardTest, KillSwitchYieldsCleanError) {
+  SKIP_WITHOUT_NATIVE(); // the disable reason must win over others below
+  ASSERT_EQ(setenv("IPRA_NATIVE_DISABLE", "1", 1), 0);
+  std::string Why;
+  EXPECT_FALSE(nativeEngineSupported(&Why));
+  EXPECT_EQ(Why, "native engine disabled by IPRA_NATIVE_DISABLE");
+
+  MProgram Prog;
+  MProc Main;
+  Main.Name = "main";
+  Main.Id = 0;
+  MBlock B;
+  B.Id = 0;
+  B.Insts.push_back(MInst(MOpcode::Ret));
+  Main.Blocks.push_back(std::move(B));
+  Prog.Procs.push_back(std::move(Main));
+  Prog.MainProcId = 0;
+  SimOptions Opts;
+  Opts.Engine = SimEngine::Native;
+  RunStats S = runProgram(Prog, Opts);
+  EXPECT_FALSE(S.OK);
+  EXPECT_EQ(S.Error, Why);
+
+  ASSERT_EQ(unsetenv("IPRA_NATIVE_DISABLE"), 0);
+  // "0" means enabled, same as unset.
+  ASSERT_EQ(setenv("IPRA_NATIVE_DISABLE", "0", 1), 0);
+  std::string Why2;
+  bool Supported = nativeEngineSupported(&Why2);
+  ASSERT_EQ(unsetenv("IPRA_NATIVE_DISABLE"), 0);
+  EXPECT_EQ(Supported, nativeEngineSupported());
+}
+
+TEST(NativeGuardTest, OversizedCallDepthRejected) {
+  SKIP_WITHOUT_NATIVE();
+  MProgram Prog;
+  MProc Main;
+  Main.Name = "main";
+  Main.Id = 0;
+  MBlock B;
+  B.Id = 0;
+  B.Insts.push_back(MInst(MOpcode::Ret));
+  Main.Blocks.push_back(std::move(B));
+  Prog.Procs.push_back(std::move(Main));
+  Prog.MainProcId = 0;
+  SimOptions Opts;
+  Opts.Engine = SimEngine::Native;
+  Opts.MaxCallDepth = NativeMaxCallDepth + 1;
+  RunStats S = runProgram(Prog, Opts);
+  EXPECT_FALSE(S.OK);
+  EXPECT_NE(S.Error.find("host-stack budget"), std::string::npos) << S.Error;
+  // At the cap itself the run goes through.
+  Opts.MaxCallDepth = NativeMaxCallDepth;
+  RunStats OK = runProgram(Prog, Opts);
+  EXPECT_TRUE(OK.OK) << OK.Error;
+}
+
+TEST(NativeGuardTest, MissingMainMatchesInterpreters) {
+  // Checked before any JIT machinery, so no SKIP needed; the message must
+  // be the interpreters' exact text.
+  MProgram Empty;
+  SimOptions Opts;
+  Opts.Engine = SimEngine::Native;
+  RunStats S = runProgram(Empty, Opts);
+  EXPECT_FALSE(S.OK);
+  EXPECT_EQ(S.Error, "program has no main procedure");
+
+  MProgram External;
+  MProc Main;
+  Main.Name = "main";
+  Main.Id = 0;
+  Main.IsExternal = true;
+  External.Procs.push_back(std::move(Main));
+  External.MainProcId = 0;
+  RunStats S2 = runProgram(External, Opts);
+  EXPECT_FALSE(S2.OK);
+  EXPECT_EQ(S2.Error, "main procedure has no body");
+}
+
+// Fan-out determinism: the same job list through BatchRunner with the
+// native engine must reproduce the inline baseline at any thread count
+// (each run JITs its own buffer; nothing may be shared mutable state).
+TEST(NativeBatchTest, DeterministicAcrossThreadCounts) {
+  SKIP_WITHOUT_NATIVE();
+  std::vector<std::unique_ptr<CompileResult>> Compiled;
+  for (uint32_t Seed : {9301u, 9302u, 9303u}) {
+    ProgramGenerator Gen(Seed);
+    DiagnosticEngine Diags;
+    auto Result = compileProgram(Gen.generate(), optionsFor(PaperConfig::C),
+                                 Diags);
+    ASSERT_NE(Result, nullptr) << Diags.str();
+    Compiled.push_back(std::move(Result));
+  }
+  std::vector<const MProgram *> Progs;
+  for (int Copy = 0; Copy < 2; ++Copy)
+    for (const auto &Result : Compiled)
+      Progs.push_back(&Result->Program);
+
+  SimOptions Opts;
+  Opts.Engine = SimEngine::Native;
+  Opts.CollectBlockProfile = true;
+  sim::BatchRunner Inline(0);
+  std::vector<RunStats> Baseline = Inline.runPrograms(Progs, Opts);
+  ASSERT_EQ(Baseline.size(), Progs.size());
+  for (const RunStats &S : Baseline)
+    ASSERT_TRUE(S.OK) << S.Error;
+
+  for (unsigned Threads : {1u, 4u}) {
+    sim::BatchRunner Runner(Threads);
+    std::vector<RunStats> Results = Runner.runPrograms(Progs, Opts);
+    ASSERT_EQ(Results.size(), Baseline.size()) << Threads << " threads";
+    for (size_t I = 0; I < Results.size(); ++I)
+      EXPECT_TRUE(Results[I].sameExecution(Baseline[I]))
+          << "slot " << I << " at " << Threads << " threads";
+  }
+}
+
+} // namespace

@@ -15,6 +15,8 @@
 #include "driver/Pipeline.h"
 #include "frontend/Frontend.h"
 #include "programs/Programs.h"
+#include "sim/Simulator.h"
+#include "x64/NativeEngine.h"
 
 #include <gtest/gtest.h>
 
@@ -250,6 +252,48 @@ TEST(StatsInvariantTest, NoOpRecompileReusesEveryProcedure) {
   EXPECT_EQ(S.SelfChanged, 0u);
   EXPECT_EQ(S.SummaryChanged, 0u);
   EXPECT_FALSE(S.FullRebuild);
+}
+
+TEST(StatsInvariantTest, NativeCountersPublishedAndStepsMatchDecoded) {
+  // The native engine's observability counters (sim.native.*) must be
+  // published for native runs and absent from interpreter reports (so
+  // pre-existing --stats-json goldens cannot shift), and the instrumented
+  // JIT's step accounting must equal the decoded engine's across the
+  // whole suite -- the counter-level form of the byte-exactness contract
+  // tests/NativeEngineTest.cpp proves field by field.
+  std::string Why;
+  if (!nativeEngineSupported(&Why))
+    GTEST_SKIP() << Why;
+  for (const BenchmarkProgram &B : benchmarkSuite()) {
+    DiagnosticEngine Diags;
+    auto Result =
+        compileProgram(B.Source, optionsFor(PaperConfig::C), Diags);
+    ASSERT_NE(Result, nullptr) << Diags.str();
+    SimOptions Opts;
+    Opts.Engine = SimEngine::Decoded;
+    RunStats Dec = runProgram(Result->Program, Opts);
+    ASSERT_TRUE(Dec.OK) << B.Name << ": " << Dec.Error;
+    Opts.Engine = SimEngine::Native;
+    RunStats Nat = runProgram(Result->Program, Opts);
+    ASSERT_TRUE(Nat.OK) << B.Name << ": " << Nat.Error;
+
+    EXPECT_EQ(Nat.Instructions, Dec.Instructions) << B.Name;
+    EXPECT_EQ(Nat.Cycles, Dec.Cycles) << B.Name;
+    // Every procedure with a body was JIT-compiled (externals are not).
+    EXPECT_GT(Nat.NativeProcs, 0u) << B.Name;
+    EXPECT_LE(Nat.NativeProcs, uint64_t(Result->Program.Procs.size()))
+        << B.Name;
+    EXPECT_GT(Nat.NativeCodeBytes, 0u) << B.Name;
+    // A clean full run never enters the careful tail.
+    EXPECT_EQ(Nat.NativeBailouts, 0u) << B.Name;
+
+    StatCounters NC = Nat.counters();
+    EXPECT_EQ(NC.get("sim.native.procs"), Nat.NativeProcs) << B.Name;
+    EXPECT_EQ(NC.get("sim.native.code_bytes"), Nat.NativeCodeBytes)
+        << B.Name;
+    EXPECT_EQ(Dec.counters().json().find("sim.native"), std::string::npos)
+        << B.Name;
+  }
 }
 
 TEST(StatsInvariantTest, CountersAgreeWithTheMachineProgram) {

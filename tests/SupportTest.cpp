@@ -1,6 +1,7 @@
 //===- tests/SupportTest.cpp - Unit tests for support utilities -----------===//
 
 #include "support/BitVector.h"
+#include "support/CodeBuffer.h"
 #include "support/Diagnostics.h"
 #include "support/ThreadPool.h"
 
@@ -8,6 +9,7 @@
 
 #include <algorithm>
 #include <atomic>
+#include <cstring>
 #include <functional>
 #include <mutex>
 #include <random>
@@ -252,3 +254,85 @@ TEST(ThreadPoolTest, DependencyCountingRespectsTaskOrder) {
     EXPECT_LT(Pos(3), Pos(4));
   }
 }
+
+//===----------------------------------------------------------------------===//
+// CodeBuffer (the JIT backend's W^X executable-memory helper)
+//===----------------------------------------------------------------------===//
+
+TEST(CodeBufferTest, AllocateGivesZeroedWritablePages) {
+  CodeBuffer Buf;
+  std::string Err;
+  ASSERT_TRUE(Buf.allocate(100, Err)) << Err;
+  ASSERT_NE(Buf.data(), nullptr);
+  // Rounded up to whole pages, zero-filled, and writable/readable.
+  EXPECT_GE(Buf.capacity(), 100u);
+  EXPECT_EQ(Buf.capacity() % 4096, 0u);
+  for (size_t I = 0; I < Buf.capacity(); ++I)
+    ASSERT_EQ(Buf.data()[I], 0) << "byte " << I;
+  Buf.data()[0] = 0xC3;
+  Buf.data()[Buf.capacity() - 1] = 0x90;
+  EXPECT_EQ(Buf.data()[0], 0xC3);
+  // Not executable yet: no entry pointer before the W^X flip.
+  EXPECT_FALSE(Buf.executable());
+  EXPECT_EQ(Buf.entry(), nullptr);
+}
+
+TEST(CodeBufferTest, RejectsEmptyAllocation) {
+  CodeBuffer Buf;
+  std::string Err;
+  EXPECT_FALSE(Buf.allocate(0, Err));
+  EXPECT_FALSE(Err.empty());
+}
+
+TEST(CodeBufferTest, MakeExecutableFlipsAndSeals) {
+  if (!CodeBuffer::hardwareSupported())
+    GTEST_SKIP() << "no executable-memory support in this build";
+  CodeBuffer Buf;
+  std::string Err;
+  ASSERT_TRUE(Buf.allocate(16, Err)) << Err;
+  Buf.data()[0] = 0xC3; // ret
+  ASSERT_TRUE(Buf.makeExecutable(Err)) << Err;
+  EXPECT_TRUE(Buf.executable());
+  EXPECT_NE(Buf.entry(), nullptr);
+  EXPECT_EQ(Buf.entry(0), Buf.data());
+  // Out-of-range entry offsets stay null.
+  EXPECT_EQ(Buf.entry(Buf.capacity()), nullptr);
+  // Idempotent once flipped.
+  EXPECT_TRUE(Buf.makeExecutable(Err));
+}
+
+TEST(CodeBufferTest, MakeExecutableWithoutAllocationFails) {
+  CodeBuffer Buf;
+  std::string Err;
+  EXPECT_FALSE(Buf.makeExecutable(Err));
+  EXPECT_FALSE(Err.empty());
+}
+
+TEST(CodeBufferTest, MoveTransfersOwnership) {
+  CodeBuffer A;
+  std::string Err;
+  ASSERT_TRUE(A.allocate(8, Err)) << Err;
+  uint8_t *P = A.data();
+  CodeBuffer B = std::move(A);
+  EXPECT_EQ(B.data(), P);
+  EXPECT_EQ(A.data(), nullptr);
+  EXPECT_EQ(A.capacity(), 0u);
+}
+
+#if defined(__x86_64__) || defined(_M_X64)
+TEST(CodeBufferTest, ExecutesEmittedCodeOnX64) {
+  if (!CodeBuffer::hardwareSupported())
+    GTEST_SKIP() << "no executable-memory support in this build";
+  CodeBuffer Buf;
+  std::string Err;
+  ASSERT_TRUE(Buf.allocate(16, Err)) << Err;
+  // mov eax, 42; ret
+  const uint8_t Code[] = {0xB8, 0x2A, 0x00, 0x00, 0x00, 0xC3};
+  std::memcpy(Buf.data(), Code, sizeof(Code));
+  ASSERT_TRUE(Buf.makeExecutable(Err)) << Err;
+  int (*Fn)();
+  const void *Entry = Buf.entry();
+  std::memcpy(&Fn, &Entry, sizeof(Fn));
+  EXPECT_EQ(Fn(), 42);
+}
+#endif

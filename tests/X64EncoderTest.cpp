@@ -1,0 +1,208 @@
+//===- tests/X64EncoderTest.cpp - Byte-exact x86-64 encoder goldens -------===//
+//
+// The Assembler promises one canonical byte sequence per emission (see
+// x64/X64Assembler.h): memory operands are always [base + disp32],
+// REX.W on every 64-bit form, SIB only where rsp/r12 forces one. These
+// goldens pin each form against hand-assembled expectations so an
+// encoding regression shows up as a byte diff here, not as a
+// miscompiled guest program three layers up.
+//
+//===----------------------------------------------------------------------===//
+
+#include "x64/X64Assembler.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <initializer_list>
+#include <vector>
+
+using namespace ipra::x64;
+
+namespace {
+
+/// Compares the assembler's buffer against hand-written hex bytes and
+/// renders both sides in hex on mismatch.
+void expectBytes(const Assembler &A, std::initializer_list<int> Want) {
+  std::vector<uint8_t> W;
+  for (int B : Want)
+    W.push_back(uint8_t(B));
+  if (A.code() == W)
+    return;
+  auto Hex = [](const std::vector<uint8_t> &Bytes) {
+    std::string S;
+    char Buf[4];
+    for (uint8_t B : Bytes) {
+      std::snprintf(Buf, sizeof(Buf), "%02X ", B);
+      S += Buf;
+    }
+    return S;
+  };
+  ADD_FAILURE() << "encoding mismatch\n  want: " << Hex(W)
+                << "\n  got:  " << Hex(A.code());
+}
+
+TEST(X64EncoderTest, MovRegReg) {
+  Assembler A;
+  A.movRR(RAX, RBX); // mov rax, rbx
+  A.movRR(R8, RAX);  // mov r8, rax
+  A.movRR(RCX, R15); // mov rcx, r15
+  expectBytes(A, {0x48, 0x89, 0xD8, 0x49, 0x89, 0xC0, 0x4C, 0x89, 0xF9});
+}
+
+TEST(X64EncoderTest, MovRegMemDisp32) {
+  Assembler A;
+  A.movRM(RAX, {R15, 64}); // mov rax, [r15+64]
+  A.movMR({R15, 8}, RCX);  // mov [r15+8], rcx
+  expectBytes(A, {0x49, 0x8B, 0x87, 0x40, 0x00, 0x00, 0x00,
+                  0x49, 0x89, 0x8F, 0x08, 0x00, 0x00, 0x00});
+}
+
+TEST(X64EncoderTest, MovMemRspAndR12BasesTakeSIB) {
+  Assembler A;
+  A.movRM(RAX, {RSP, 16}); // mov rax, [rsp+16]
+  A.movRM(RAX, {R12, 16}); // mov rax, [r12+16]
+  expectBytes(A, {0x48, 0x8B, 0x84, 0x24, 0x10, 0x00, 0x00, 0x00,
+                  0x49, 0x8B, 0x84, 0x24, 0x10, 0x00, 0x00, 0x00});
+}
+
+TEST(X64EncoderTest, MovImmediateFormsBySize) {
+  Assembler A;
+  A.movRI(RAX, 42); // imm32 form
+  A.movRI(RAX, -1); // still imm32 (sign-extended)
+  A.movRI(RCX, 0x123456789LL); // movabs
+  expectBytes(A, {0x48, 0xC7, 0xC0, 0x2A, 0x00, 0x00, 0x00,
+                  0x48, 0xC7, 0xC0, 0xFF, 0xFF, 0xFF, 0xFF,
+                  0x48, 0xB9, 0x89, 0x67, 0x45, 0x23, 0x01, 0x00, 0x00, 0x00});
+}
+
+TEST(X64EncoderTest, MovMemImmediate) {
+  Assembler A;
+  A.movMI({R15, 8}, 7); // mov qword [r15+8], 7
+  expectBytes(A, {0x49, 0xC7, 0x87, 0x08, 0x00, 0x00, 0x00,
+                  0x07, 0x00, 0x00, 0x00});
+}
+
+TEST(X64EncoderTest, ScaledGuestMemoryAccess) {
+  Assembler A;
+  A.movRMScaled8(RDX, R14, RAX); // mov rdx, [r14+rax*8]
+  A.movMRScaled8(R14, RAX, RCX); // mov [r14+rax*8], rcx
+  expectBytes(A, {0x49, 0x8B, 0x14, 0xC6, 0x49, 0x89, 0x0C, 0xC6});
+}
+
+TEST(X64EncoderTest, SignAndZeroExtensions) {
+  Assembler A;
+  A.movsxdRR(RDX, RAX); // movsxd rdx, eax
+  A.movzxRR8(RAX, RAX); // movzx rax, al
+  expectBytes(A, {0x48, 0x63, 0xD0, 0x48, 0x0F, 0xB6, 0xC0});
+}
+
+TEST(X64EncoderTest, AluRegisterForms) {
+  Assembler A;
+  A.aluRR(Alu::Add, RAX, RCX); // add rax, rcx
+  A.aluRR(Alu::Sub, RAX, R9);  // sub rax, r9
+  A.aluRR(Alu::Xor, RDX, RDX); // xor rdx, rdx
+  A.aluRR(Alu::Cmp, RAX, RBX); // cmp rax, rbx
+  expectBytes(A, {0x48, 0x03, 0xC1, 0x49, 0x2B, 0xC1, 0x48, 0x33, 0xD2,
+                  0x48, 0x3B, 0xC3});
+}
+
+TEST(X64EncoderTest, AluMemoryForms) {
+  Assembler A;
+  A.aluRM(Alu::Sub, RAX, {R15, 32}); // sub rax, [r15+32]
+  A.aluMR(Alu::Add, {R15, 16}, RCX); // add [r15+16], rcx
+  expectBytes(A, {0x49, 0x2B, 0x87, 0x20, 0x00, 0x00, 0x00,
+                  0x49, 0x01, 0x8F, 0x10, 0x00, 0x00, 0x00});
+}
+
+TEST(X64EncoderTest, AluImmediateForms) {
+  Assembler A;
+  A.aluRI(Alu::Cmp, RCX, 62);      // cmp rcx, 62
+  A.aluMI(Alu::Cmp, {R15, 24}, 5); // cmp qword [r15+24], 5
+  A.aluMI(Alu::Add, {R15, 40}, 3); // add qword [r15+40], 3
+  expectBytes(A, {0x48, 0x81, 0xF9, 0x3E, 0x00, 0x00, 0x00,
+                  0x49, 0x81, 0xBF, 0x18, 0x00, 0x00, 0x00,
+                  0x05, 0x00, 0x00, 0x00,
+                  0x49, 0x81, 0x87, 0x28, 0x00, 0x00, 0x00,
+                  0x03, 0x00, 0x00, 0x00});
+}
+
+TEST(X64EncoderTest, MulDivShiftUnary) {
+  Assembler A;
+  A.imulRR(RAX, RBX); // imul rax, rbx
+  A.cqo();
+  A.idivR(RCX);   // idiv rcx
+  A.negR(RAX);    // neg rax
+  A.notR(RAX);    // not rax
+  A.shlCL(RAX);   // shl rax, cl
+  A.sarCL(RAX);   // sar rax, cl
+  A.shlRI(RDX, 3); // shl rdx, 3
+  expectBytes(A, {0x48, 0x0F, 0xAF, 0xC3, 0x48, 0x99, 0x48, 0xF7, 0xF9,
+                  0x48, 0xF7, 0xD8, 0x48, 0xF7, 0xD0, 0x48, 0xD3, 0xE0,
+                  0x48, 0xD3, 0xF8, 0x48, 0xC1, 0xE2, 0x03});
+}
+
+TEST(X64EncoderTest, TestAndSetcc) {
+  Assembler A;
+  A.testRR(RCX, RCX);       // test rcx, rcx
+  A.setccR8(Cond::E, RAX);  // sete al
+  A.setccR8(Cond::GE, RCX); // setge cl
+  expectBytes(A, {0x48, 0x85, 0xC9, 0x0F, 0x94, 0xC0, 0x0F, 0x9D, 0xC1});
+}
+
+TEST(X64EncoderTest, PushPopRetFrameGlue) {
+  Assembler A;
+  A.pushR(RBX);
+  A.pushR(R12);
+  A.popR(R12);
+  A.popR(RBX);
+  A.ret();
+  expectBytes(A, {0x53, 0x41, 0x54, 0x41, 0x5C, 0x5B, 0xC3});
+}
+
+TEST(X64EncoderTest, BackwardBranchEncodesImmediately) {
+  Assembler A;
+  int L = A.newLabel();
+  A.bind(L);
+  A.jmp(L); // rel32 = 0 - (1 + 4) = -5
+  A.finalize();
+  expectBytes(A, {0xE9, 0xFB, 0xFF, 0xFF, 0xFF});
+}
+
+TEST(X64EncoderTest, ForwardBranchPatchedAtFinalize) {
+  Assembler A;
+  int L = A.newLabel();
+  A.jcc(Cond::NE, L); // bytes 0..5, rel32 field at 2
+  A.ret();            // byte 6: skipped when the branch fires
+  A.bind(L);          // offset 7
+  A.ret();
+  A.finalize();
+  EXPECT_TRUE(A.bound(L));
+  EXPECT_EQ(A.labelOffset(L), 7u);
+  expectBytes(A, {0x0F, 0x85, 0x01, 0x00, 0x00, 0x00, 0xC3, 0xC3});
+}
+
+TEST(X64EncoderTest, CallLabelAndManualPatch) {
+  Assembler A;
+  int L = A.newLabel();
+  A.callLabel(L); // rel32 field at 1
+  size_t Pos = A.callRelPatchable(); // field at 6
+  A.ret();        // offset 10
+  A.bind(L);      // offset 11
+  A.ret();
+  A.finalize();
+  EXPECT_EQ(Pos, 6u);
+  A.patchCall(Pos, 100); // rel = 100 - (6 + 4) = 90 = 0x5A
+  expectBytes(A, {0xE8, 0x06, 0x00, 0x00, 0x00, 0xE8, 0x5A, 0x00, 0x00, 0x00,
+                  0xC3, 0xC3});
+}
+
+TEST(X64EncoderTest, CallThroughMemory) {
+  Assembler A;
+  A.callM({R15, 0x40}); // call qword [r15+0x40]
+  A.callM({RBX, 0x10}); // call qword [rbx+0x10]
+  expectBytes(A, {0x41, 0xFF, 0x97, 0x40, 0x00, 0x00, 0x00,
+                  0xFF, 0x93, 0x10, 0x00, 0x00, 0x00});
+}
+
+} // namespace

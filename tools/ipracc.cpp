@@ -32,11 +32,17 @@
 //   --emit-mir           print the generated machine code
 //   --summaries          print each procedure's register-usage summary
 //   --run                execute on the simulator (default)
-//   --sim-engine=reference|decoded
+//   --sim-engine=reference|decoded|native|native-raw
 //                        pick the execution engine: the pre-decoded
-//                        threaded-dispatch engine (default) or the
+//                        threaded-dispatch engine (default), the
 //                        reference switch interpreter it is verified
-//                        against (both produce identical counters)
+//                        against (both produce identical counters), the
+//                        JIT-compiled x86-64 backend (instrumented:
+//                        identical counters again), or its
+//                        uninstrumented pure-speed mode (native-raw:
+//                        exact counters on error-free runs, approximate
+//                        budget enforcement, no profiling/convention
+//                        checks)
 //   --stats              print compile-time statistics, and the pixie
 //                        counters after the run
 //   --stats-json=<file>  write the machine-readable statistics report
@@ -103,7 +109,8 @@ void usage(const char *Argv0) {
                "              [--verify-mir] [--no-verify-mir]\n"
                "              "
                "[--emit-ir] [--emit-mir] [--summaries] [--run] [--stats]\n"
-               "              [--sim-engine=reference|decoded]\n"
+               "              [--sim-engine=reference|decoded|native|"
+               "native-raw]\n"
                "              [--stats-json=<file>] [--trace-json=<file>]\n"
                "              [--benchmark=<name>] file.mc [file2.mc ...]\n",
                Argv0);
@@ -171,6 +178,12 @@ bool parseArgs(int Argc, char **Argv, ToolOptions &Opts) {
         Opts.Sim.Engine = SimEngine::Reference;
       } else if (Engine == "decoded") {
         Opts.Sim.Engine = SimEngine::Decoded;
+      } else if (Engine == "native") {
+        Opts.Sim.Engine = SimEngine::Native;
+        Opts.Sim.NativeRaw = false;
+      } else if (Engine == "native-raw") {
+        Opts.Sim.Engine = SimEngine::Native;
+        Opts.Sim.NativeRaw = true;
       } else {
         std::fprintf(stderr, "ipracc: unknown sim engine '%s'\n",
                      Engine.c_str());
