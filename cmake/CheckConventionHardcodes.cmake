@@ -6,6 +6,14 @@
 # RegV0, RegV1, RegSP, RegRA) are machine, not convention, and stay fair
 # game.
 #
+# The x86-64 JIT layer (src/x64/, and its auditor in src/verify/) is the
+# likeliest place for a regression: it re-lowers guest registers to host
+# ones and could easily bake a pool name into a register map or a
+# verifier entry state. Those layers must go through RegisterMap /
+# MachineDesc like everyone else, so they are explicitly required below
+# -- the guard fails if the glob ever stops seeing them (e.g. after a
+# directory move), rather than silently shrinking its coverage.
+#
 # Run as a ctest:  cmake -DSOURCE_DIR=<repo> -P CheckConventionHardcodes.cmake
 
 if(NOT SOURCE_DIR)
@@ -16,16 +24,30 @@ file(GLOB_RECURSE sources
   "${SOURCE_DIR}/src/*.cpp" "${SOURCE_DIR}/src/*.h"
   "${SOURCE_DIR}/tools/*.cpp")
 
+set(x64_covered 0)
+set(verify_covered 0)
 set(violations "")
 foreach(file ${sources})
   if(file MATCHES "/src/target/")
     continue()
+  endif()
+  if(file MATCHES "/src/x64/")
+    math(EXPR x64_covered "${x64_covered} + 1")
+  endif()
+  if(file MATCHES "/src/verify/")
+    math(EXPR verify_covered "${verify_covered} + 1")
   endif()
   file(STRINGS "${file}" hits REGEX "Reg(A[0-3]|T[0-6]|S[0-8])[^a-zA-Z0-9_]")
   foreach(hit ${hits})
     string(APPEND violations "${file}: ${hit}\n")
   endforeach()
 endforeach()
+
+if(x64_covered EQUAL 0 OR verify_covered EQUAL 0)
+  message(FATAL_ERROR
+    "convention-hardcode guard lost coverage of src/x64/ (${x64_covered} "
+    "files) or src/verify/ (${verify_covered} files) -- update the globs")
+endif()
 
 if(violations)
   message(FATAL_ERROR

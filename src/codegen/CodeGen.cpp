@@ -734,6 +734,7 @@ MProgram ipra::generateCode(const Module &Mod,
                             const CodeGenOptions &Opts) {
   MProgram Prog;
   layoutGlobals(Mod, Prog);
+  Prog.DefaultClobber = Summaries.machine().defaultClobber();
   for (unsigned Id = 0; Id < Mod.numProcedures(); ++Id) {
     const Procedure *P = Mod.procedure(int(Id));
     // What a call to this procedure may destroy, for the simulator's

@@ -124,6 +124,14 @@ struct MProgram {
   /// checker enforces this dynamically (see SimOptions::CheckConventions).
   std::vector<BitVector> ClobberMasks;
 
+  /// The target's default (convention-only) clobber mask, recorded by the
+  /// pipeline alongside ClobberMasks. This is the contract at indirect
+  /// call sites: address-taken procedures are forced open in the call
+  /// graph, so every procedure an indirect call can reach published
+  /// exactly this mask. Empty for hand-built programs, which carry no
+  /// clobber contracts at all.
+  BitVector DefaultClobber;
+
   unsigned instructionCount() const {
     unsigned N = 0;
     for (const MProc &P : Procs)

@@ -247,6 +247,7 @@ std::unique_ptr<CompileResult> runBackEnd(std::unique_ptr<Module> IR,
 
   // Serial epilogue in original program order: convention-checker clobber
   // masks, entry point, and the per-procedure diagnostic buffers.
+  Result->Program.DefaultClobber = Result->Machine.defaultClobber();
   for (unsigned Id = 0; Id < NumProcs; ++Id) {
     const RegUsageSummary &S = Result->Summaries->lookup(int(Id));
     Result->Program.ClobberMasks.push_back(
@@ -369,5 +370,10 @@ RunStats ipra::compileAndRun(const std::string &Source,
     Stats.Error = "compilation failed:\n" + Diags.str();
     return Stats;
   }
-  return runProgram(Compiled->Program, SimOpts);
+  // The compile-side audit switch reaches the native engine through the
+  // sim options; either side saying "off" wins (benchmarks disable one
+  // switch and expect no audits anywhere).
+  SimOptions S = SimOpts;
+  S.VerifyNative = SimOpts.VerifyNative && Opts.VerifyNative;
+  return runProgram(Compiled->Program, S);
 }

@@ -60,6 +60,17 @@ struct CompileOptions {
   /// debugging. Default-on; compile-time benchmarks switch it off to
   /// stay comparable with earlier measurements.
   bool VerifyMIR = true;
+  /// The same discipline one level further down: statically audit the
+  /// x86-64 images the native engine JITs from this compile's output
+  /// (see verify/NativeVerifier.h and SimOptions::VerifyNative).
+  /// compileAndRun forwards it into the simulator options; it has no
+  /// effect on compilation itself or on the interpreter engines.
+  /// Default-on in debug builds like VerifyMIR's machine-code audit.
+#ifdef NDEBUG
+  bool VerifyNative = false;
+#else
+  bool VerifyNative = true;
+#endif
   /// Optional block profile from a training run (see compileWithProfile).
   const ProfileData *Profile = nullptr;
   /// Back-end worker threads. The per-procedure pipeline (mid-end opt,

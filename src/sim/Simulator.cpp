@@ -324,10 +324,17 @@ StatCounters RunStats::counters() const {
   if (CarefulEntries)
     S.set("sim.dispatch.careful_entries", CarefulEntries);
   if (NativeProcs)
-    S.set("sim.native.procs", NativeProcs);
+    S.set("sim.native.procs_compiled", NativeProcs);
   if (NativeCodeBytes)
     S.set("sim.native.code_bytes", NativeCodeBytes);
   if (NativeBailouts)
     S.set("sim.native.bailouts", NativeBailouts);
+  // The pair appears together whenever the native verifier ran, so the
+  // procedures_checked == procs_compiled reconciliation (and the
+  // violations == 0 guarantee on OK runs) is visible in every report.
+  if (NativeVerifiedProcs) {
+    S.set("verify.native.procedures_checked", NativeVerifiedProcs);
+    S.set("verify.native.violations", NativeVerifyViolations);
+  }
   return S;
 }

@@ -72,6 +72,10 @@ struct RunStats {
   uint64_t NativeProcs = 0;     ///< Procedures JIT-compiled.
   uint64_t NativeCodeBytes = 0; ///< Machine code emitted.
   uint64_t NativeBailouts = 0;  ///< Switches into the careful tail.
+  /// Native-verifier results for the image this run executed (zero when
+  /// the audit was off or another engine ran; see SimOptions::VerifyNative).
+  uint64_t NativeVerifiedProcs = 0;    ///< Procedure bodies audited.
+  uint64_t NativeVerifyViolations = 0; ///< Findings (0 on any OK run).
 
   uint64_t scalarMemOps() const { return ScalarLoads + ScalarStores; }
   double cyclesPerCall() const {
@@ -143,6 +147,20 @@ struct SimOptions {
   /// and procedure entries) and block profiling / convention checking
   /// are rejected. Ignored by the interpreter engines.
   bool NativeRaw = false;
+  /// Native engine only: statically audit every freshly compiled image
+  /// (full decode + re-encode + abstract interpretation; see
+  /// verify/NativeVerifier.h) before it may execute or enter the code
+  /// cache. A violation fails the run with the verifier's diagnostics --
+  /// it means the JIT emitted code that breaks the runtime contract.
+  /// Default-on in debug builds, mirroring CompileOptions::VerifyMIR one
+  /// level up; release builds and `ipracc --no-verify-native` switch it
+  /// off (cold-compile benchmarks, primarily -- the cache amortizes the
+  /// audit everywhere else).
+#ifdef NDEBUG
+  bool VerifyNative = false;
+#else
+  bool VerifyNative = true;
+#endif
 };
 
 /// Executes \p Prog from its main procedure. Never throws; failures are

@@ -1,0 +1,1193 @@
+//===- verify/NativeVerifier.cpp - JIT machine-code auditor ----------------===//
+//
+// Implementation notes.
+//
+// The image is partitioned into regions (trampoline, raw mode's shared
+// budget stub, one region per emitted procedure body) that tile the
+// byte range by construction: regions are sorted by entry offset and
+// each ends where the next begins. Each region is decoded with
+// X64Decoder's canonical-strict decoder (obligation (a): every byte
+// decodes, and per instruction encode(decode(bytes)) == bytes), then
+// audited by a forward abstract interpretation over the reconstructed
+// basic-block graph with a path-intersection join -- the MIRVerifier's
+// discipline one level down.
+//
+// The abstract domain tracks, per host register and per NativeEnv::Regs
+// slot, a small symbolic value: "guest register g's entry value plus a
+// known delta", "this host register's own region-entry value", "the
+// NativeEnv pointer", "the guest memory base", "the shadow cursor",
+// "a range-checked index", and so on. Memory writes are classified
+// against that domain (obligation (d)); the register-map discipline and
+// the published clobber masks are checked at every ret (obligations (b)
+// and (c)) against the callee-contract call effects described in the
+// header. Budget placement (obligation (e)) is a separate syntactic
+// scan: the exact compare-and-branch shapes NativeCodeGen emits must
+// appear at the region entry and at every backward branch target
+// (backward in bytes iff a layout back edge: blocks are emitted in
+// layout order and every other intra-procedure branch is forward).
+//
+// The fixpoint runs silently; violations are reported in a single
+// deterministic pass over the final block-entry states, so a defect on
+// a loop path is reported once, not once per worklist visit.
+//
+//===----------------------------------------------------------------------===//
+
+#include "verify/NativeVerifier.h"
+
+#include "x64/NativeRuntime.h"
+#include "x64/X64Decoder.h"
+
+#include <algorithm>
+#include <cstddef>
+#include <cstdio>
+#include <cstring>
+#include <map>
+#include <set>
+
+using namespace ipra;
+using namespace ipra::x64;
+
+namespace {
+
+const char *HostNames[16] = {"rax", "rcx", "rdx", "rbx", "rsp", "rbp",
+                             "rsi", "rdi", "r8",  "r9",  "r10", "r11",
+                             "r12", "r13", "r14", "r15"};
+
+std::string hexOff(size_t Off) {
+  char Buf[32];
+  std::snprintf(Buf, sizeof(Buf), "0x%zx", Off);
+  return Buf;
+}
+
+constexpr size_t RegsOff = offsetof(NativeEnv, Regs);
+constexpr size_t RegsEnd = RegsOff + 8 * NumPhysRegs;
+
+//===----------------------------------------------------------------------===//
+// Abstract values
+//===----------------------------------------------------------------------===//
+
+/// What a 64-bit value is known to be on every path reaching a point.
+enum class VK : uint8_t {
+  Top,          ///< Anything.
+  Const,        ///< The constant A.
+  EnvPtr,       ///< The NativeEnv pointer (r15's pinned value).
+  MemBase,      ///< NativeEnv::Mem (r14's pinned value).
+  GuestEntry,   ///< Guest register A's region-entry value, plus D.
+  ProcEntryHost,///< Host register A's own procedure-entry value.
+  HostEntry,    ///< Host register A's trampoline-entry value.
+  ShadowPtr,    ///< NativeEnv::ShadowPtr as last loaded, plus D.
+  ProfBase,     ///< NativeEnv::ProfBase.
+  CheckedIdx,   ///< An index proven < Procs.size() on this path.
+  Idx16,        ///< A CheckedIdx shifted left by 4 (table row offset).
+  ProcTabPtr,   ///< ProcTable + Idx16 (one dispatch row).
+};
+
+struct AbsVal {
+  VK K = VK::Top;
+  int64_t A = 0;
+  int64_t D = 0;
+  /// Proven < MemWords (unsigned) on this path; survives joins only
+  /// when both sides are bounded.
+  bool Bounded = false;
+
+  bool sameValue(const AbsVal &O) const {
+    return K == O.K && A == O.A && D == O.D;
+  }
+  bool operator==(const AbsVal &O) const {
+    return sameValue(O) && Bounded == O.Bounded;
+  }
+  bool operator!=(const AbsVal &O) const { return !(*this == O); }
+};
+
+AbsVal mkVal(VK K, int64_t A = 0, int64_t D = 0) {
+  AbsVal V;
+  V.K = K;
+  V.A = A;
+  V.D = D;
+  return V;
+}
+
+/// Path-intersection join; \returns true when \p Dst changed.
+bool joinVal(AbsVal &Dst, const AbsVal &Src) {
+  bool B = Dst.Bounded && Src.Bounded;
+  AbsVal New = Dst.sameValue(Src) ? Dst : AbsVal{};
+  New.Bounded = B;
+  if (New != Dst) {
+    Dst = New;
+    return true;
+  }
+  return false;
+}
+
+//===----------------------------------------------------------------------===//
+// Abstract state
+//===----------------------------------------------------------------------===//
+
+struct AbsState {
+  bool Reachable = false;
+  AbsVal Host[16];
+  AbsVal Slot[NumPhysRegs];
+  AbsVal ScratchA;
+  /// Host stack: bytes-below-region-entry-rsp at push time -> value.
+  std::map<int64_t, AbsVal> Stack;
+  /// Guest frame saves: word delta off the guest sp's entry value ->
+  /// value (the callees-below-sp / no-alias assumptions make these
+  /// survive calls and non-sp-indexed guest memory traffic).
+  std::map<int64_t, AbsVal> GuestSaves;
+  int64_t SPDelta = 0;
+  bool SPKnown = true;
+  /// env.ShadowPtr < env.ShadowLimit proven on this path.
+  bool ShadowChecked = false;
+};
+
+bool joinMap(std::map<int64_t, AbsVal> &Dst,
+             const std::map<int64_t, AbsVal> &Src) {
+  bool Ch = false;
+  for (auto It = Dst.begin(); It != Dst.end();) {
+    auto Jt = Src.find(It->first);
+    if (Jt == Src.end()) {
+      It = Dst.erase(It);
+      Ch = true;
+      continue;
+    }
+    Ch |= joinVal(It->second, Jt->second);
+    ++It;
+  }
+  return Ch;
+}
+
+bool joinState(AbsState &Dst, const AbsState &Src) {
+  if (!Src.Reachable)
+    return false;
+  if (!Dst.Reachable) {
+    Dst = Src;
+    return true;
+  }
+  bool Ch = false;
+  for (unsigned H = 0; H < 16; ++H)
+    Ch |= joinVal(Dst.Host[H], Src.Host[H]);
+  for (unsigned G = 0; G < NumPhysRegs; ++G)
+    Ch |= joinVal(Dst.Slot[G], Src.Slot[G]);
+  Ch |= joinVal(Dst.ScratchA, Src.ScratchA);
+  Ch |= joinMap(Dst.Stack, Src.Stack);
+  Ch |= joinMap(Dst.GuestSaves, Src.GuestSaves);
+  if (Dst.SPKnown && (!Src.SPKnown || Src.SPDelta != Dst.SPDelta)) {
+    Dst.SPKnown = false;
+    Ch = true;
+  }
+  if (Dst.ShadowChecked && !Src.ShadowChecked) {
+    Dst.ShadowChecked = false;
+    Ch = true;
+  }
+  return Ch;
+}
+
+/// Compare-instruction fact carried to the block's terminating jcc.
+/// Every pattern the refinements rely on keeps the compare and the
+/// branch inside one decoded block (no labels bind between them).
+struct FlagsFact {
+  enum Tag : uint8_t { None, RegImm, RegEnv } T = None;
+  Reg R = RAX;
+  uint64_t Imm = 0;
+  int32_t Disp = 0;
+};
+
+/// Forms that leave the hardware flags untouched (the compare facts
+/// survive them; everything else clears the fact).
+bool preservesFlags(IForm F) {
+  switch (F) {
+  case IForm::MovRR:
+  case IForm::MovRM:
+  case IForm::MovMR:
+  case IForm::MovRI32:
+  case IForm::MovRI64:
+  case IForm::MovMI:
+  case IForm::MovRMScaled8:
+  case IForm::MovMRScaled8:
+  case IForm::MovsxdRR:
+  case IForm::MovzxRR8:
+  case IForm::SetccR8:
+  case IForm::Cqo:
+  case IForm::PushR:
+  case IForm::PopR:
+    return true;
+  default:
+    return false;
+  }
+}
+
+//===----------------------------------------------------------------------===//
+// The auditor
+//===----------------------------------------------------------------------===//
+
+struct RegionSpec {
+  size_t Begin = 0;
+  size_t End = 0;
+  /// >= 0: procedure id; -1: trampoline; -2: raw budget stub.
+  int Proc = -1;
+};
+
+class Auditor {
+public:
+  Auditor(const MProgram &Prog, const NativeCodeGenOptions &Opts,
+          const RegisterMap &Map, const std::vector<size_t> &ProfOff,
+          const NativeCode &Code, const NVerifyOptions &VO)
+      : Prog(Prog), Opts(Opts), Map(Map), ProfOff(ProfOff), Code(Code),
+        VO(VO) {}
+
+  NVerifyResult run() {
+    for (unsigned P = 0; P < Code.ProcEntry.size(); ++P)
+      if (Code.ProcEntry[P] != size_t(-1))
+        EntryToProc[Code.ProcEntry[P]] = int(P);
+
+    std::vector<RegionSpec> Specs;
+    Specs.push_back({Code.TrampolineOff, 0, -1});
+    if (Code.RawStubOff != size_t(-1))
+      Specs.push_back({Code.RawStubOff, 0, -2});
+    for (const auto &[Off, P] : EntryToProc)
+      Specs.push_back({Off, 0, P});
+    std::sort(Specs.begin(), Specs.end(),
+              [](const RegionSpec &A, const RegionSpec &B) {
+                return A.Begin < B.Begin;
+              });
+    for (size_t N = 0; N < Specs.size(); ++N)
+      Specs[N].End =
+          N + 1 < Specs.size() ? Specs[N + 1].Begin : Code.Bytes.size();
+    if (!Specs.empty() && Specs[0].Begin != 0)
+      report(NVCode::Structure, -1, 0,
+             "image does not begin with the trampoline");
+
+    for (const RegionSpec &R : Specs)
+      auditRegion(R);
+    return std::move(Res);
+  }
+
+private:
+  const MProgram &Prog;
+  const NativeCodeGenOptions &Opts;
+  const RegisterMap &Map;
+  const std::vector<size_t> &ProfOff;
+  const NativeCode &Code;
+  const NVerifyOptions &VO;
+
+  NVerifyResult Res;
+  std::map<size_t, int> EntryToProc;
+
+  // Per-region analysis context.
+  int CurProc = -1;
+  const DecodedRegion *Reg_ = nullptr;
+  bool Reporting = false;
+  std::vector<AbsState> In;
+  std::set<unsigned> Work;
+
+  void report(NVCode C, int Proc, size_t Off, std::string Msg) {
+    if (Res.Violations.size() >= VO.MaxViolations)
+      return;
+    NVerifyDiag D;
+    D.Code = C;
+    D.Proc = Proc;
+    D.Offset = Off;
+    D.Message = std::move(Msg);
+    Res.Violations.push_back(std::move(D));
+  }
+
+  /// Reporting-pass-only variant used inside the transfer function.
+  void flag(NVCode C, size_t Off, std::string Msg) {
+    if (Reporting)
+      report(C, CurProc, Off, std::move(Msg));
+  }
+
+  bool pinnedHost(Reg H) const {
+    for (unsigned G = 0; G < NumPhysRegs; ++G)
+      if (Map.GuestToHost[G] == int(H))
+        return true;
+    return false;
+  }
+
+  bool rawCounter(Reg H) const {
+    return Opts.Raw && (H == R12 || H == R13);
+  }
+
+  bool masked(const BitVector *Mask, unsigned G) const {
+    return !Mask || G >= Mask->size() || Mask->test(G);
+  }
+
+  //===--------------------------------------------------------------------===//
+  // Region driver
+  //===--------------------------------------------------------------------===//
+
+  static bool isNoReturnCall(const DecodedInst &I) {
+    return I.Form == IForm::CallM && I.M.Base == R15 &&
+           (size_t(I.M.Disp) == offsetof(NativeEnv, FnError) ||
+            size_t(I.M.Disp) == offsetof(NativeEnv, FnBail));
+  }
+
+  void auditRegion(const RegionSpec &Spec) {
+    CurProc = Spec.Proc;
+    if (CurProc >= 0)
+      ++Res.ProceduresChecked;
+
+    CFGPolicy Policy;
+    Policy.IsNoReturnCall = [](const DecodedInst &I) {
+      return isNoReturnCall(I);
+    };
+    if (Code.RawStubOff != size_t(-1) && CurProc >= 0)
+      Policy.ExternalTargets.push_back(Code.RawStubOff);
+    for (const auto &[Off, P] : EntryToProc) {
+      (void)P;
+      Policy.CallTargets.push_back(Off);
+    }
+
+    DecodedRegion R;
+    std::string Why;
+    if (!decodeRegion(Code.Bytes.data(), Code.Bytes.size(), Spec.Begin,
+                      Spec.End, Policy, R, Why)) {
+      report(NVCode::Decode, CurProc, Spec.Begin, Why);
+      return;
+    }
+    Res.InstructionsDecoded += R.Insts.size();
+    Reg_ = &R;
+
+    roundTrip(R);
+
+    // Fixpoint, then one deterministic reporting pass.
+    In.assign(R.Blocks.size(), AbsState());
+    Work.clear();
+    if (!R.Blocks.empty()) {
+      In[0] = entryState();
+      Work.insert(0);
+    }
+    Reporting = false;
+    while (!Work.empty()) {
+      unsigned B = *Work.begin();
+      Work.erase(Work.begin());
+      AbsState S = In[B];
+      runBlock(R, B, S);
+    }
+    Reporting = true;
+    for (unsigned B = 0; B < R.Blocks.size(); ++B) {
+      if (!In[B].Reachable)
+        continue;
+      AbsState S = In[B];
+      runBlock(R, B, S);
+    }
+    Reporting = false;
+
+    if (CurProc >= 0)
+      budgetScan(R);
+    Reg_ = nullptr;
+  }
+
+  /// Per-instruction re-encode: the decoded stream must reproduce the
+  /// image byte for byte (obligation (a), second half).
+  void roundTrip(const DecodedRegion &R) {
+    Assembler A;
+    size_t Prev = 0;
+    for (const DecodedInst &I : R.Insts) {
+      reencode(I, A);
+      const std::vector<uint8_t> &B = A.code();
+      if (B.size() - Prev != I.Len ||
+          std::memcmp(B.data() + Prev, Code.Bytes.data() + I.Offset,
+                      I.Len) != 0) {
+        report(NVCode::Encoding, CurProc, I.Offset,
+               std::string("non-canonical encoding of ") +
+                   formName(I.Form));
+      }
+      Prev = B.size();
+    }
+  }
+
+  AbsState entryState() {
+    AbsState S;
+    S.Reachable = true;
+    if (CurProc == -1) {
+      // Trampoline: the C++ caller's registers, NativeEnv in rdi, and
+      // every guest slot at its run-entry value.
+      for (unsigned H = 0; H < 16; ++H)
+        if (H != RSP)
+          S.Host[H] = mkVal(VK::HostEntry, H);
+      S.Host[RDI] = mkVal(VK::EnvPtr);
+      for (unsigned G = 0; G < NumPhysRegs; ++G)
+        S.Slot[G] = mkVal(VK::GuestEntry, G);
+      return S;
+    }
+    // Procedure bodies and the raw budget stub run under the pinned
+    // bases; pinned guest registers arrive in their hosts, unpinned
+    // ones in their slots (a pinned register's slot is stale).
+    S.Host[R15] = mkVal(VK::EnvPtr);
+    S.Host[R14] = mkVal(VK::MemBase);
+    if (CurProc >= 0) {
+      for (unsigned G = 0; G < NumPhysRegs; ++G) {
+        int H = Map.GuestToHost[G];
+        if (H >= 0)
+          S.Host[H] = mkVal(VK::GuestEntry, G);
+        else
+          S.Slot[G] = mkVal(VK::GuestEntry, G);
+      }
+      for (Reg H : {RBX, RBP, R12, R13})
+        if (!pinnedHost(H) && !rawCounter(H))
+          S.Host[H] = mkVal(VK::ProcEntryHost, H);
+    }
+    return S;
+  }
+
+  void propagate(int Succ, const AbsState &S) {
+    if (Succ < 0 || Reporting)
+      return;
+    if (joinState(In[Succ], S))
+      Work.insert(unsigned(Succ));
+  }
+
+  void runBlock(const DecodedRegion &R, unsigned B, AbsState &S) {
+    const DecodedRegion::Block &Blk = R.Blocks[B];
+    FlagsFact F;
+    for (unsigned N = 0; N < Blk.NumInsts; ++N) {
+      const DecodedInst &I = R.Insts[Blk.FirstInst + N];
+      switch (I.Form) {
+      case IForm::Jmp:
+        // External targets (the raw budget stub) were validated by the
+        // decoder; in-region targets propagate.
+        propagate(Blk.Succ1, S);
+        return;
+      case IForm::Jcc: {
+        propagate(Blk.Succ1, S);
+        if (Blk.Succ2 >= 0) {
+          AbsState FT = S;
+          refine(FT, F, I.CC);
+          propagate(Blk.Succ2, FT);
+        } else if (Blk.FirstInst + N + 1 >= R.Insts.size()) {
+          flag(NVCode::Structure, I.Offset,
+               "conditional branch falls off the region end");
+        }
+        return;
+      }
+      case IForm::Ret:
+        if (Reporting)
+          retChecks(S, I);
+        return;
+      default:
+        break;
+      }
+      FlagsFact Saved = F;
+      F = FlagsFact();
+      exec(I, S, F);
+      if (F.T == FlagsFact::None && preservesFlags(I.Form))
+        F = Saved;
+      if (isNoReturnCall(I))
+        return; // terminator (the decoder ended the block here)
+    }
+    // Plain fallthrough into the next block.
+    if (Blk.Succ1 >= 0) {
+      propagate(Blk.Succ1, S);
+    } else {
+      flag(NVCode::Structure,
+           R.Insts[Blk.FirstInst + Blk.NumInsts - 1].Offset,
+           "control falls off the region end");
+    }
+  }
+
+  /// Path-sensitive facts on the not-taken edge of the emitter's
+  /// check-and-branch-to-stub patterns.
+  void refine(AbsState &S, const FlagsFact &F, Cond CC) {
+    if (CC != Cond::AE)
+      return;
+    if (F.T == FlagsFact::RegImm) {
+      AbsVal &V = S.Host[F.R];
+      if (F.Imm == Opts.MemWords)
+        V.Bounded = true;
+      if (F.Imm == uint64_t(Prog.Procs.size()) && V.K == VK::Top)
+        V.K = VK::CheckedIdx;
+    } else if (F.T == FlagsFact::RegEnv &&
+               size_t(F.Disp) == offsetof(NativeEnv, ShadowLimit) &&
+               S.Host[F.R].K == VK::ShadowPtr && S.Host[F.R].D == 0) {
+      S.ShadowChecked = true;
+    }
+  }
+
+  //===--------------------------------------------------------------------===//
+  // Transfer function
+  //===--------------------------------------------------------------------===//
+
+  AbsVal readHost(const AbsState &S, Reg R) const {
+    return R == RSP ? AbsVal{} : S.Host[R];
+  }
+
+  void writeHost(AbsState &S, Reg R, AbsVal V, const DecodedInst &I,
+                 bool Accounting = false) {
+    if (R == RSP) {
+      flag(NVCode::Structure, I.Offset, "unexpected write to rsp");
+      S.SPKnown = false;
+      return;
+    }
+    if (CurProc != -1 && (R == R14 || R == R15))
+      flag(NVCode::HostCalleeSavedNotPreserved, I.Offset,
+           std::string("write to pinned base ") + HostNames[R]);
+    if (rawCounter(R) && CurProc != -1 && !Accounting)
+      flag(NVCode::CounterClobbered, I.Offset,
+           std::string(HostNames[R]) +
+               " written outside the accounting pattern");
+    S.Host[R] = V;
+  }
+
+  enum class StoreSrc { FromReg, FromImm, Rmw };
+
+  void exec(const DecodedInst &I, AbsState &S, FlagsFact &F) {
+    switch (I.Form) {
+    case IForm::MovRR:
+      writeHost(S, I.R1, readHost(S, I.R2), I);
+      break;
+    case IForm::MovRI32:
+    case IForm::MovRI64: {
+      AbsVal V = mkVal(VK::Const, I.Imm);
+      writeHost(S, I.R1, V, I);
+      break;
+    }
+    case IForm::MovRM: {
+      AbsVal V;
+      if (S.Host[I.M.Base].K == VK::EnvPtr)
+        V = envLoad(S, I);
+      else
+        flag(NVCode::UncheckedMemAccess, I.Offset,
+             std::string("load through unclassified pointer in ") +
+                 HostNames[I.M.Base]);
+      writeHost(S, I.R1, V, I);
+      break;
+    }
+    case IForm::MovMR:
+      doStore(I, S, readHost(S, I.R1), StoreSrc::FromReg, I.R1);
+      break;
+    case IForm::MovMI:
+      doStore(I, S, mkVal(VK::Const, I.Imm), StoreSrc::FromImm, RAX);
+      break;
+    case IForm::MovRMScaled8: {
+      AbsVal V;
+      const AbsVal &X = S.Host[I.R2];
+      if (S.Host[I.M.Base].K != VK::MemBase)
+        flag(NVCode::UncheckedMemAccess, I.Offset,
+             "guest-memory load through a base that is not the pinned "
+             "memory base");
+      else if (!X.Bounded)
+        flag(NVCode::UncheckedMemAccess, I.Offset,
+             "guest-memory load whose index lacks a dominating bounds "
+             "check");
+      if (X.K == VK::GuestEntry && X.A == RegSP) {
+        auto It = S.GuestSaves.find(X.D);
+        if (It != S.GuestSaves.end())
+          V = It->second;
+      }
+      writeHost(S, I.R1, V, I);
+      break;
+    }
+    case IForm::MovMRScaled8: {
+      const AbsVal &X = S.Host[I.R2];
+      if (S.Host[I.M.Base].K != VK::MemBase) {
+        flag(NVCode::StrayStore, I.Offset,
+             "guest-memory store through a base that is not the pinned "
+             "memory base");
+      } else if (!X.Bounded) {
+        flag(NVCode::UncheckedMemAccess, I.Offset,
+             "guest-memory store whose index lacks a dominating bounds "
+             "check");
+      } else if (X.K == VK::GuestEntry && X.A == RegSP) {
+        S.GuestSaves[X.D] = readHost(S, I.R1);
+      }
+      break;
+    }
+    case IForm::MovsxdRR:
+    case IForm::MovzxRR8:
+    case IForm::SetccR8:
+    case IForm::NegR:
+    case IForm::NotR:
+    case IForm::ShlCL:
+    case IForm::SarCL:
+      writeHost(S, I.R1, AbsVal{}, I);
+      break;
+    case IForm::ImulRR:
+      writeHost(S, I.R1, AbsVal{}, I);
+      break;
+    case IForm::Cqo:
+      writeHost(S, RDX, AbsVal{}, I);
+      break;
+    case IForm::IdivR:
+      writeHost(S, RAX, AbsVal{}, I);
+      writeHost(S, RDX, AbsVal{}, I);
+      break;
+    case IForm::ShlRI: {
+      AbsVal V;
+      if (I.Imm == 4 && S.Host[I.R1].K == VK::CheckedIdx)
+        V = mkVal(VK::Idx16);
+      writeHost(S, I.R1, V, I);
+      break;
+    }
+    case IForm::TestRR:
+      break;
+    case IForm::AluRR: {
+      if (I.Op == Alu::Cmp) {
+        const AbsVal &Src = readHost(S, I.R2);
+        if (Src.K == VK::Const) {
+          F.T = FlagsFact::RegImm;
+          F.R = I.R1;
+          F.Imm = uint64_t(Src.A);
+        }
+        break;
+      }
+      AbsVal V;
+      const AbsVal &Cur = S.Host[I.R1];
+      const AbsVal &Src = readHost(S, I.R2);
+      if (I.Op == Alu::Xor && I.R1 == I.R2) {
+        V = mkVal(VK::Const, 0);
+      } else if (I.Op == Alu::Add && Cur.K == VK::GuestEntry &&
+                 Src.K == VK::Const) {
+        V = Cur;
+        V.D += Src.A;
+        V.Bounded = false;
+      }
+      writeHost(S, I.R1, V, I,
+                /*Accounting=*/rawCounter(I.R1) && I.Op == Alu::Xor &&
+                    I.R1 == I.R2 && CurProc == -1);
+      break;
+    }
+    case IForm::AluRI:
+      execAluRI(I, S, F);
+      break;
+    case IForm::AluRM: {
+      size_t Disp = size_t(I.M.Disp);
+      if (S.Host[I.M.Base].K != VK::EnvPtr)
+        flag(NVCode::UncheckedMemAccess, I.Offset,
+             std::string("memory operand through unclassified pointer "
+                         "in ") +
+                 HostNames[I.M.Base]);
+      else if (I.M.Disp < 0 || Disp + 8 > sizeof(NativeEnv))
+        flag(NVCode::UncheckedMemAccess, I.Offset,
+             "memory operand outside the NativeEnv region");
+      if (I.Op == Alu::Cmp) {
+        F.T = FlagsFact::RegEnv;
+        F.R = I.R1;
+        F.Disp = I.M.Disp;
+        break;
+      }
+      AbsVal V;
+      if (I.Op == Alu::Add && S.Host[I.R1].K == VK::Idx16 &&
+          Disp == offsetof(NativeEnv, ProcTable))
+        V = mkVal(VK::ProcTabPtr);
+      writeHost(S, I.R1, V, I);
+      break;
+    }
+    case IForm::AluMR:
+      if (I.Op == Alu::Cmp) {
+        if (S.Host[I.M.Base].K != VK::EnvPtr || I.M.Disp < 0 ||
+            size_t(I.M.Disp) + 8 > sizeof(NativeEnv))
+          flag(NVCode::UncheckedMemAccess, I.Offset,
+               "compare against memory outside the NativeEnv region");
+        break;
+      }
+      doStore(I, S, AbsVal{}, StoreSrc::Rmw, RAX);
+      break;
+    case IForm::AluMI: {
+      if (I.Op == Alu::Cmp) {
+        const AbsVal &B = S.Host[I.M.Base];
+        bool Ok =
+            (B.K == VK::EnvPtr && I.M.Disp >= 0 &&
+             size_t(I.M.Disp) + 8 <= sizeof(NativeEnv)) ||
+            (B.K == VK::ProcTabPtr && (I.M.Disp == 0 || I.M.Disp == 8));
+        if (!Ok)
+          flag(NVCode::UncheckedMemAccess, I.Offset,
+               "compare against memory outside every sanctioned region");
+        break;
+      }
+      doStore(I, S, AbsVal{}, StoreSrc::Rmw, RAX);
+      break;
+    }
+    case IForm::PushR: {
+      AbsVal V = readHost(S, I.R1);
+      if (S.SPKnown) {
+        S.SPDelta += 8;
+        S.Stack[S.SPDelta] = V;
+      }
+      break;
+    }
+    case IForm::PopR: {
+      AbsVal V;
+      if (S.SPKnown) {
+        auto It = S.Stack.find(S.SPDelta);
+        if (It != S.Stack.end()) {
+          V = It->second;
+          S.Stack.erase(It);
+        }
+        S.SPDelta -= 8;
+        if (S.SPDelta < 0) {
+          flag(NVCode::Structure, I.Offset, "pop below the entry rsp");
+          S.SPKnown = false;
+        }
+      }
+      writeHost(S, I.R1, V, I);
+      break;
+    }
+    case IForm::Call:
+      execCall(I, S);
+      break;
+    case IForm::CallM:
+      execCallM(I, S);
+      break;
+    case IForm::Jmp:
+    case IForm::Jcc:
+    case IForm::Ret:
+      break; // handled by runBlock
+    }
+  }
+
+  void execAluRI(const DecodedInst &I, AbsState &S, FlagsFact &F) {
+    if (I.Op == Alu::Cmp) {
+      F.T = FlagsFact::RegImm;
+      F.R = I.R1;
+      F.Imm = uint64_t(I.Imm);
+      return;
+    }
+    if (I.R1 == RSP) {
+      if (I.Op == Alu::Sub) {
+        if (S.SPKnown)
+          S.SPDelta += I.Imm;
+      } else if (I.Op == Alu::Add) {
+        if (S.SPKnown) {
+          S.SPDelta -= I.Imm;
+          if (S.SPDelta < 0) {
+            flag(NVCode::Structure, I.Offset,
+                 "rsp adjusted above the region entry");
+            S.SPKnown = false;
+          } else {
+            // Bytes freed by the add are dead.
+            S.Stack.erase(S.Stack.upper_bound(S.SPDelta), S.Stack.end());
+          }
+        }
+      } else {
+        flag(NVCode::Structure, I.Offset, "unexpected ALU op on rsp");
+        S.SPKnown = false;
+      }
+      return;
+    }
+    if (rawCounter(I.R1) && CurProc != -1) {
+      // Raw mode's dedicated step/call accumulators: accounting adds
+      // only (obligation (e), second half).
+      if (I.Op != Alu::Add)
+        flag(NVCode::CounterClobbered, I.Offset,
+             std::string(HostNames[I.R1]) +
+                 " written outside the accounting pattern");
+      writeHost(S, I.R1, AbsVal{}, I, /*Accounting=*/true);
+      return;
+    }
+    AbsVal V;
+    const AbsVal &Cur = S.Host[I.R1];
+    if ((Cur.K == VK::GuestEntry || Cur.K == VK::ShadowPtr) &&
+        (I.Op == Alu::Add || I.Op == Alu::Sub)) {
+      V = Cur;
+      V.D += I.Op == Alu::Add ? I.Imm : -I.Imm;
+      V.Bounded = false;
+    }
+    writeHost(S, I.R1, V, I);
+  }
+
+  //===--------------------------------------------------------------------===//
+  // Memory
+  //===--------------------------------------------------------------------===//
+
+  AbsVal envLoad(AbsState &S, const DecodedInst &I) {
+    if (I.M.Disp < 0 || size_t(I.M.Disp) + 8 > sizeof(NativeEnv)) {
+      flag(NVCode::UncheckedMemAccess, I.Offset,
+           "load outside the NativeEnv region");
+      return AbsVal{};
+    }
+    size_t D = size_t(I.M.Disp);
+    if (D >= RegsOff && D < RegsEnd && (D - RegsOff) % 8 == 0)
+      return S.Slot[(D - RegsOff) / 8];
+    if (D == offsetof(NativeEnv, Mem))
+      return mkVal(VK::MemBase);
+    if (D == offsetof(NativeEnv, ShadowPtr))
+      return mkVal(VK::ShadowPtr);
+    if (D == offsetof(NativeEnv, ProfBase))
+      return mkVal(VK::ProfBase);
+    if (D == offsetof(NativeEnv, ScratchA))
+      return S.ScratchA;
+    return AbsVal{};
+  }
+
+  void doStore(const DecodedInst &I, AbsState &S, AbsVal Val, StoreSrc Src,
+               Reg SrcReg) {
+    const AbsVal B = S.Host[I.M.Base];
+    switch (B.K) {
+    case VK::EnvPtr:
+      envStore(I, S, Val, Src, SrcReg);
+      return;
+    case VK::ShadowPtr:
+      if (B.D != 0 || !S.ShadowChecked)
+        flag(NVCode::UncheckedMemAccess, I.Offset,
+             "shadow-stack store without a dominating depth check");
+      else if (I.M.Disp != 0 && I.M.Disp != 8)
+        flag(NVCode::StrayStore, I.Offset,
+             "shadow-stack store outside the frame being pushed");
+      return;
+    case VK::ProfBase: {
+      bool Ok = false;
+      if (Opts.Profile && CurProc >= 0 &&
+          size_t(CurProc) < ProfOff.size()) {
+        int64_t Lo = int64_t(ProfOff[CurProc]) * 8;
+        int64_t Hi =
+            Lo + int64_t(Prog.Procs[CurProc].Blocks.size()) * 8;
+        Ok = I.M.Disp >= Lo && I.M.Disp < Hi && (I.M.Disp - Lo) % 8 == 0;
+      }
+      if (!Ok)
+        flag(NVCode::StrayStore, I.Offset,
+             "profile-counter store outside this procedure's window");
+      return;
+    }
+    default:
+      flag(NVCode::StrayStore, I.Offset,
+           std::string("store through unclassified pointer in ") +
+               HostNames[I.M.Base]);
+      return;
+    }
+  }
+
+  void envStore(const DecodedInst &I, AbsState &S, AbsVal Val, StoreSrc Src,
+                Reg SrcReg) {
+    if (I.M.Disp < 0 || size_t(I.M.Disp) + 8 > sizeof(NativeEnv)) {
+      flag(NVCode::StrayStore, I.Offset,
+           "store outside the NativeEnv region (r15" +
+               std::string(I.M.Disp >= 0 ? "+" : "") +
+               std::to_string(I.M.Disp) + ")");
+      return;
+    }
+    size_t D = size_t(I.M.Disp);
+    if (D >= RegsOff && D < RegsEnd) {
+      if ((D - RegsOff) % 8 != 0) {
+        flag(NVCode::StrayStore, I.Offset,
+             "misaligned store into the guest register file");
+        return;
+      }
+      unsigned G = unsigned((D - RegsOff) / 8);
+      int H = Map.GuestToHost[G];
+      if (H >= 0 && !(Src == StoreSrc::FromReg && SrcReg == Reg(H) &&
+                      I.Form == IForm::MovMR))
+        flag(NVCode::PinnedSlotBypass, I.Offset,
+             std::string("slot of pinned ") + regName(G) +
+                 " stored from something other than its host " +
+                 HostNames[H]);
+      S.Slot[G] = Src == StoreSrc::Rmw ? AbsVal{} : Val;
+      return;
+    }
+    if (D == offsetof(NativeEnv, ShadowPtr) ||
+        D == offsetof(NativeEnv, ShadowBase) ||
+        D == offsetof(NativeEnv, ShadowLimit)) {
+      // The cursor (or its bounds) moved: every held cursor copy and
+      // the dominating check are stale.
+      S.ShadowChecked = false;
+      for (unsigned H = 0; H < 16; ++H)
+        if (S.Host[H].K == VK::ShadowPtr)
+          S.Host[H] = AbsVal{};
+      if (S.ScratchA.K == VK::ShadowPtr)
+        S.ScratchA = AbsVal{};
+    }
+    if (D == offsetof(NativeEnv, ScratchA))
+      S.ScratchA = Src == StoreSrc::Rmw ? AbsVal{} : Val;
+  }
+
+  //===--------------------------------------------------------------------===//
+  // Calls
+  //===--------------------------------------------------------------------===//
+
+  void execCall(const DecodedInst &I, AbsState &S) {
+    auto It = EntryToProc.find(I.target());
+    if (It == EntryToProc.end()) {
+      // decodeRegion validated call targets; defensive only.
+      flag(NVCode::Structure, I.Offset,
+           "call to an offset that is no procedure entry");
+      guestCallEffect(S, nullptr);
+      return;
+    }
+    const BitVector *Mask = nullptr;
+    if (!Prog.ClobberMasks.empty() &&
+        size_t(It->second) < Prog.ClobberMasks.size())
+      Mask = &Prog.ClobberMasks[It->second];
+    guestCallEffect(S, Mask);
+  }
+
+  void execCallM(const DecodedInst &I, AbsState &S) {
+    const AbsVal B = S.Host[I.M.Base];
+    size_t D = size_t(I.M.Disp);
+    if (B.K == VK::EnvPtr) {
+      if (D == offsetof(NativeEnv, FnPrint) ||
+          D == offsetof(NativeEnv, FnSnapshot) ||
+          D == offsetof(NativeEnv, FnCheckRet)) {
+        helperEffect(S);
+      } else if (D == offsetof(NativeEnv, FnError) ||
+                 D == offsetof(NativeEnv, FnBail)) {
+        // noreturn: runBlock ends the block here.
+      } else {
+        flag(NVCode::Structure, I.Offset,
+             "call through an unexpected NativeEnv field (r15+" +
+                 std::to_string(I.M.Disp) + ")");
+      }
+      return;
+    }
+    if (B.K == VK::ProcTabPtr && I.M.Disp == 0) {
+      guestCallEffect(S, Prog.DefaultClobber.size() ? &Prog.DefaultClobber
+                                                    : nullptr);
+      return;
+    }
+    flag(NVCode::Structure, I.Offset,
+         std::string("indirect call through unclassified pointer in ") +
+             HostNames[I.M.Base]);
+    guestCallEffect(S, nullptr);
+  }
+
+  /// A guest procedure call under the callee's contract \p Mask (null:
+  /// no contract, clobber everything). Guest registers outside the mask
+  /// keep their canonical location's value; pinned hosts of masked
+  /// registers and everything scratch go to Top. Host stack slots and
+  /// sp-relative guest saves survive (callees run below both pointers).
+  void guestCallEffect(AbsState &S, const BitVector *Mask) {
+    S.Host[RAX] = S.Host[RCX] = S.Host[RDX] = AbsVal{};
+    for (Reg H : {RSI, RDI, R8, R9, R10, R11})
+      if (!pinnedHost(H))
+        S.Host[H] = AbsVal{};
+    if (Opts.Raw) {
+      // The callee accumulates into the dedicated counters.
+      S.Host[R12] = AbsVal{};
+      S.Host[R13] = AbsVal{};
+    }
+    for (unsigned G = 0; G < NumPhysRegs; ++G) {
+      int H = Map.GuestToHost[G];
+      if (H >= 0) {
+        if (masked(Mask, G))
+          S.Host[H] = AbsVal{};
+        S.Slot[G] = AbsVal{}; // pinned slots may be synced stale
+      } else if (masked(Mask, G)) {
+        S.Slot[G] = AbsVal{};
+      }
+    }
+    S.ScratchA = AbsVal{};
+    S.ShadowChecked = false;
+  }
+
+  /// FnPrint / FnSnapshot / FnCheckRet: plain C++ functions -- they
+  /// clobber exactly the SysV caller-saved hosts and leave NativeEnv's
+  /// JIT-owned fields (slots, ScratchA, the shadow cursor) alone.
+  void helperEffect(AbsState &S) {
+    for (Reg H : {RAX, RCX, RDX, RSI, RDI, R8, R9, R10, R11})
+      S.Host[H] = AbsVal{};
+  }
+
+  //===--------------------------------------------------------------------===//
+  // Return checks (obligations (b) and (c))
+  //===--------------------------------------------------------------------===//
+
+  void retChecks(const AbsState &S, const DecodedInst &I) {
+    if (!S.SPKnown || S.SPDelta != 0)
+      report(NVCode::HostCalleeSavedNotPreserved, CurProc, I.Offset,
+             "rsp not provably restored at ret");
+    if (CurProc == -1) {
+      for (Reg H : {RBX, RBP, R12, R13, R14, R15}) {
+        const AbsVal &V = S.Host[H];
+        if (!(V.K == VK::HostEntry && V.A == int64_t(H)))
+          report(NVCode::HostCalleeSavedNotPreserved, CurProc, I.Offset,
+                 std::string("callee-saved ") + HostNames[H] +
+                     " not restored by the trampoline");
+      }
+      return;
+    }
+    if (S.Host[R15].K != VK::EnvPtr)
+      report(NVCode::HostCalleeSavedNotPreserved, CurProc, I.Offset,
+             "r15 no longer holds the NativeEnv pointer at ret");
+    if (S.Host[R14].K != VK::MemBase)
+      report(NVCode::HostCalleeSavedNotPreserved, CurProc, I.Offset,
+             "r14 no longer holds the guest memory base at ret");
+    for (Reg H : {RBX, RBP, R12, R13}) {
+      if (pinnedHost(H) || rawCounter(H))
+        continue;
+      const AbsVal &V = S.Host[H];
+      if (!(V.K == VK::ProcEntryHost && V.A == int64_t(H)))
+        report(NVCode::HostCalleeSavedNotPreserved, CurProc, I.Offset,
+               std::string("callee-saved ") + HostNames[H] +
+                   " not preserved at ret");
+    }
+    if (Prog.ClobberMasks.empty() ||
+        size_t(CurProc) >= Prog.ClobberMasks.size())
+      return; // no contracts published (hand-built program)
+    const BitVector &Mask = Prog.ClobberMasks[CurProc];
+    for (unsigned G = 0; G < NumPhysRegs; ++G) {
+      if (G == RegZero || G == RegSP || G == RegRA)
+        continue;
+      if (G < Mask.size() && Mask.test(G))
+        continue;
+      int H = Map.GuestToHost[G];
+      const AbsVal &V = H >= 0 ? S.Host[H] : S.Slot[G];
+      if (!(V.K == VK::GuestEntry && V.A == int64_t(G) && V.D == 0))
+        report(NVCode::GuestClobberBeyondSummary, CurProc, I.Offset,
+               std::string(regName(G)) +
+                   " may not hold its entry value at ret but is outside "
+                   "the published clobber mask");
+    }
+  }
+
+  //===--------------------------------------------------------------------===//
+  // Budget placement (obligation (e))
+  //===--------------------------------------------------------------------===//
+
+  static int indexAt(const DecodedRegion &R, size_t Off) {
+    size_t Lo = 0, Hi = R.Insts.size();
+    while (Lo < Hi) {
+      size_t Mid = (Lo + Hi) / 2;
+      if (R.Insts[Mid].Offset < Off)
+        Lo = Mid + 1;
+      else
+        Hi = Mid;
+    }
+    if (Lo < R.Insts.size() && R.Insts[Lo].Offset == Off)
+      return int(Lo);
+    return -1;
+  }
+
+  void budgetScan(const DecodedRegion &R) {
+    // A backward byte branch is exactly a layout back edge: blocks are
+    // emitted in layout order and every other intra-procedure branch
+    // (stub exits, the div/shift internal labels) is forward.
+    std::set<size_t> Targets;
+    Targets.insert(R.Begin);
+    for (const DecodedInst &I : R.Insts)
+      if (I.isBranch()) {
+        size_t Tgt = I.target();
+        if (Tgt >= R.Begin && Tgt < R.End && Tgt <= I.Offset)
+          Targets.insert(Tgt);
+      }
+    for (size_t T : Targets)
+      if (!matchBudget(R, T))
+        report(NVCode::MissingBudgetCheck, CurProc, T,
+               T == R.Begin
+                   ? "procedure entry without its budget check"
+                   : "back-edge target without its budget check");
+  }
+
+  bool matchBudget(const DecodedRegion &R, size_t T) {
+    int N = indexAt(R, T);
+    if (N < 0)
+      return false;
+    size_t I = size_t(N);
+    auto At = [&](size_t K) -> const DecodedInst * {
+      return K < R.Insts.size() ? &R.Insts[K] : nullptr;
+    };
+    // The procedure entry's frame pad precedes the first block's head.
+    const DecodedInst *P = At(I);
+    if (T == R.Begin && P && P->Form == IForm::AluRI &&
+        P->Op == Alu::Sub && P->R1 == RSP && P->Imm == 8)
+      P = At(++I);
+    if (!P)
+      return false;
+    if (!Opts.Raw) {
+      // movri rax, MaxSteps; sub rax, [r15+Steps]; cmp rax, cost; jb bail
+      if (!((P->Form == IForm::MovRI32 || P->Form == IForm::MovRI64) &&
+            P->R1 == RAX && uint64_t(P->Imm) == Opts.MaxSteps))
+        return false;
+      P = At(++I);
+      if (!(P && P->Form == IForm::AluRM && P->Op == Alu::Sub &&
+            P->R1 == RAX && P->M.Base == R15 &&
+            size_t(P->M.Disp) == offsetof(NativeEnv, Steps)))
+        return false;
+      P = At(++I);
+      if (!(P && P->Form == IForm::AluRI && P->Op == Alu::Cmp &&
+            P->R1 == RAX))
+        return false;
+      P = At(++I);
+      return P && P->Form == IForm::Jcc && P->CC == Cond::B &&
+             P->target() >= R.Begin && P->target() < R.End;
+    }
+    // add r12, cost; [mem-counter adds]; [add r13, calls];
+    // (cmp r12, MaxSteps | movri rax, MaxSteps; cmp r12, rax); jae stub
+    if (!(P->Form == IForm::AluRI && P->Op == Alu::Add && P->R1 == R12))
+      return false;
+    P = At(++I);
+    while (P && P->Form == IForm::AluMI && P->Op == Alu::Add &&
+           P->M.Base == R15)
+      P = At(++I);
+    if (P && P->Form == IForm::AluRI && P->Op == Alu::Add && P->R1 == R13)
+      P = At(++I);
+    if (!P)
+      return false;
+    if (P->Form == IForm::AluRI && P->Op == Alu::Cmp && P->R1 == R12 &&
+        uint64_t(P->Imm) == Opts.MaxSteps) {
+      P = At(++I);
+    } else if ((P->Form == IForm::MovRI32 || P->Form == IForm::MovRI64) &&
+               P->R1 == RAX && uint64_t(P->Imm) == Opts.MaxSteps) {
+      P = At(++I);
+      if (!(P && P->Form == IForm::AluRR && P->Op == Alu::Cmp &&
+            P->R1 == R12 && P->R2 == RAX))
+        return false;
+      P = At(++I);
+    } else {
+      return false;
+    }
+    return P && P->Form == IForm::Jcc && P->CC == Cond::AE &&
+           P->target() == Code.RawStubOff;
+  }
+};
+
+} // namespace
+
+//===----------------------------------------------------------------------===//
+// Public surface
+//===----------------------------------------------------------------------===//
+
+const char *ipra::x64::nvCodeName(NVCode Code) {
+  switch (Code) {
+  case NVCode::Decode:
+    return "decode";
+  case NVCode::Encoding:
+    return "encoding";
+  case NVCode::Structure:
+    return "structure";
+  case NVCode::PinnedSlotBypass:
+    return "pinned-slot-bypass";
+  case NVCode::GuestClobberBeyondSummary:
+    return "guest-clobber-beyond-summary";
+  case NVCode::HostCalleeSavedNotPreserved:
+    return "host-callee-saved-not-preserved";
+  case NVCode::StrayStore:
+    return "stray-store";
+  case NVCode::UncheckedMemAccess:
+    return "unchecked-mem-access";
+  case NVCode::MissingBudgetCheck:
+    return "missing-budget-check";
+  case NVCode::CounterClobbered:
+    return "counter-clobbered";
+  }
+  return "?";
+}
+
+std::string ipra::x64::NVerifyDiag::str() const {
+  std::string Where;
+  if (Proc == -1)
+    Where = "trampoline";
+  else if (Proc == -2)
+    Where = "raw-budget-stub";
+  else
+    Where = "proc #" + std::to_string(Proc);
+  return "[" + std::string(nvCodeName(Code)) + "] " + Where + " +" +
+         hexOff(Offset) + ": " + Message;
+}
+
+std::string ipra::x64::NVerifyResult::str() const {
+  std::string Out;
+  for (const NVerifyDiag &D : Violations) {
+    if (!Out.empty())
+      Out += '\n';
+    Out += D.str();
+  }
+  return Out;
+}
+
+NVerifyResult ipra::x64::verifyNativeCode(const MProgram &Prog,
+                                          const NativeCodeGenOptions &Opts,
+                                          const RegisterMap &Map,
+                                          const std::vector<size_t> &ProfOff,
+                                          const NativeCode &Code,
+                                          const NVerifyOptions &VO) {
+  return Auditor(Prog, Opts, Map, ProfOff, Code, VO).run();
+}

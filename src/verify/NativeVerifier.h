@@ -1,0 +1,158 @@
+//===- verify/NativeVerifier.h - JIT machine-code auditor ------*- C++ -*-===//
+//
+// Part of the ipra project (Chow, PLDI 1988 reproduction).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The MIRVerifier's discipline carried down to the bytes the native
+/// backend actually emits: a static audit of a sealed NativeCodeGen
+/// image. Where MIRVerifier proves the *compiler's* code honors the
+/// published register-usage summaries, this verifier proves the *JIT's
+/// re-lowering* of that code still does -- without running it. Per
+/// emitted procedure (plus the trampoline and raw mode's shared budget
+/// stub) it establishes:
+///
+///  (a) every byte decodes (X64Decoder, canonical-strict) and the
+///      decoded form re-encodes to the identical bytes;
+///  (b) pinned guest registers are written only through their register
+///      map slots (a NativeEnv::Regs slot of a pinned guest register
+///      may be stored only from its mapped host register), and the
+///      guest registers whose canonical location may not hold its
+///      entry value at a return form a subset of the procedure's
+///      published clobber mask -- the paper's invariant at machine
+///      level;
+///  (c) SysV callee-saved host registers are preserved on every path:
+///      the trampoline's ret restores rbx/rbp/r12/r13/r14/r15 and the
+///      entry rsp, and procedure bodies never leak a modified unpinned
+///      callee-saved host (forward dataflow with the MIRVerifier's
+///      path-intersection join);
+///  (d) every memory write lands in a region the runtime contract
+///      sanctions: the NativeEnv block (r15-relative), the host stack
+///      (push), guest memory through r14 with a dominating bounds
+///      check, the shadow stack through a cursor checked against
+///      ShadowLimit, or the profile array through ProfBase within the
+///      procedure's counter window -- no stray stores;
+///  (e) a budget check dominates every procedure entry and layout
+///      back-edge target (raw mode: the r12 compare branching to the
+///      shared budget stub; instrumented: the hoisted remaining-budget
+///      test), and raw mode's step/call accumulators r12/r13 are
+///      written only by accounting code.
+///
+/// Modelling notes. Like MIRVerifier the analysis is assume-guarantee:
+/// call effects come from the callee's contract (MProgram::ClobberMasks
+/// for direct calls, MProgram::DefaultClobber for indirect ones --
+/// sound because address-taken procedures are forced open), so a broken
+/// procedure is reported at its own definition. C++ helper calls
+/// (FnPrint/FnSnapshot/FnCheckRet) clobber exactly the SysV
+/// caller-saved host registers and preserve NativeEnv; FnError/FnBail
+/// are noreturn terminators. Callees are assumed to operate below the
+/// caller's host rsp and guest sp, so host stack slots and sp-relative
+/// guest frame saves survive calls; guest memory traffic whose index is
+/// not sp-derived is assumed not to alias the sp-relative save slots
+/// (codegen addresses frame slots exclusively through the guest sp) --
+/// the exact assumptions MIRVerifier states one level up.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef IPRA_VERIFY_NATIVEVERIFIER_H
+#define IPRA_VERIFY_NATIVEVERIFIER_H
+
+#include "codegen/MIR.h"
+#include "x64/NativeCodeGen.h"
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+namespace ipra {
+namespace x64 {
+
+/// Diagnostic codes, one per violated invariant class. The mutation
+/// harness (tests/NativeVerifierTest.cpp) asserts each planted defect
+/// is reported under the right code.
+enum class NVCode {
+  /// A byte sequence the assembler cannot have produced: an unknown or
+  /// non-canonical encoding, a branch into the middle of an
+  /// instruction, or a branch/call to an illegal target.
+  Decode,
+  /// A decoded instruction re-encodes to different bytes (a decodable
+  /// but non-canonical form, e.g. a movabs of a small immediate).
+  Encoding,
+  /// The image's shape breaks the emitter contract: bad entry offsets,
+  /// an unexpected helper-call form, stack-pointer abuse, or a
+  /// rel32/indirect call that is not a procedure entry or helper.
+  Structure,
+  /// A pinned guest register's NativeEnv::Regs slot is stored from
+  /// something other than its mapped host register.
+  PinnedSlotBypass,
+  /// A guest register outside the procedure's published clobber mask
+  /// may not hold its entry value at a return.
+  GuestClobberBeyondSummary,
+  /// A SysV callee-saved host register (or rsp, or the pinned r14/r15
+  /// bases) is not provably restored at a return.
+  HostCalleeSavedNotPreserved,
+  /// A memory write outside every sanctioned region.
+  StrayStore,
+  /// A guest-memory access (r14-scaled) or shadow-stack store whose
+  /// pointer lacks the dominating range check on this path.
+  UncheckedMemAccess,
+  /// A procedure entry or back-edge target without its budget test.
+  MissingBudgetCheck,
+  /// Raw mode's step/call accumulator (r12/r13) written by
+  /// non-accounting code.
+  CounterClobbered,
+};
+
+/// Short stable name, e.g. "missing-budget-check".
+const char *nvCodeName(NVCode Code);
+
+/// One verifier finding, located by procedure and byte offset into the
+/// sealed image (Proc -1 = trampoline, -2 = raw budget stub).
+struct NVerifyDiag {
+  NVCode Code;
+  int Proc = -1;
+  size_t Offset = 0;
+  std::string Message;
+
+  std::string str() const;
+};
+
+struct NVerifyOptions {
+  /// Stop reporting (but keep analyzing) after this many violations.
+  unsigned MaxViolations = 64;
+};
+
+struct NVerifyResult {
+  std::vector<NVerifyDiag> Violations;
+  /// Emitted procedure bodies examined.
+  unsigned ProceduresChecked = 0;
+  /// Instructions decoded across all regions.
+  uint64_t InstructionsDecoded = 0;
+
+  bool ok() const { return Violations.empty(); }
+  bool hasCode(NVCode Code) const {
+    for (const NVerifyDiag &D : Violations)
+      if (D.Code == Code)
+        return true;
+    return false;
+  }
+  /// All findings joined with newlines.
+  std::string str() const;
+};
+
+/// Audits \p Code, the sealed image emitNativeProgram produced for
+/// \p Prog under \p Opts / \p Map / \p ProfOff (the verifier needs the
+/// exact same inputs to know the register map, the budget constants and
+/// the profile windows). Pure; safe to call on mutated images in tests.
+NVerifyResult verifyNativeCode(const MProgram &Prog,
+                               const NativeCodeGenOptions &Opts,
+                               const RegisterMap &Map,
+                               const std::vector<size_t> &ProfOff,
+                               const NativeCode &Code,
+                               const NVerifyOptions &VO = {});
+
+} // namespace x64
+} // namespace ipra
+
+#endif // IPRA_VERIFY_NATIVEVERIFIER_H

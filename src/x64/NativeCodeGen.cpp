@@ -56,6 +56,10 @@ using namespace ipra::x64;
 
 namespace {
 
+/// Armed by the NativeVerifier mutation harness; never set in
+/// production. Checked once per emitNativeProgram call.
+const NativeCodeGenTestHooks *TestHooks = nullptr;
+
 constexpr Reg CalleeSavedHosts[] = {RBX, RBP, R12, R13};
 constexpr Reg CallerSavedHosts[] = {RSI, RDI, R8, R9, R10, R11};
 
@@ -135,6 +139,7 @@ public:
     emitTrampoline();
     if (Opts.Raw) {
       RawBudgetLabel = A.newLabel();
+      Out.RawStubOff = A.size();
       A.bind(RawBudgetLabel);
       syncRawCounters();
       A.movMI(ENV(ErrorCode), int32_t(NativeErr::Budget));
@@ -151,6 +156,14 @@ public:
       A.patchCall(Pos, Out.ProcEntry[Callee]);
     }
     Out.Bytes = A.code();
+    if (Hooks && Hooks->Defect == NativeDefect::CorruptByte) {
+      for (size_t E : Out.ProcEntry) {
+        if (E != size_t(-1)) {
+          Out.Bytes[E] = 0x06; // "push es": invalid in 64-bit mode
+          break;
+        }
+      }
+    }
     return true;
   }
 
@@ -403,10 +416,15 @@ private:
   // Trampoline
   //===--------------------------------------------------------------------===//
 
+  bool dropR12Save() const {
+    return Hooks && Hooks->Defect == NativeDefect::DropCalleeSave;
+  }
+
   void emitTrampoline() {
     Out.TrampolineOff = A.size();
     for (Reg R : {RBX, RBP, R12, R13, R14, R15})
-      A.pushR(R);
+      if (R != R12 || !dropR12Save())
+        A.pushR(R);
     A.movRR(R15, RDI);
     A.movRM(R14, ENV(Mem));
     reloadAllPinned();
@@ -432,7 +450,8 @@ private:
       syncRawCounters();
     syncAllPinned();
     for (Reg R : {R15, R14, R13, R12, RBP, RBX})
-      A.popR(R);
+      if (R != R12 || !dropR12Save())
+        A.popR(R);
     A.ret();
   }
 
@@ -471,6 +490,8 @@ private:
       BlockId = B;
       A.bind(BlockLabels[B]);
       emitBlockHead(Blk, NeedsCheck[B]);
+      if (B == 0)
+        plantEntryDefect();
       segReset(0);
       for (size_t Idx = 0; Idx < Blk.Insts.size();)
         Idx = lowerInst(Blk, Idx);
@@ -479,16 +500,43 @@ private:
     return true;
   }
 
+  /// Plants the StrayStore / ClobberBeyondSummary mutation at the top
+  /// of the first emitted procedure's entry block (after the block
+  /// head, so the budget-check shape stays intact and the verifier
+  /// attributes the defect to its own code, not MissingBudgetCheck).
+  void plantEntryDefect() {
+    if (!Hooks || DefectPlanted)
+      return;
+    if (Hooks->Defect == NativeDefect::StrayStore) {
+      // One qword past the NativeEnv region: still r15-relative, so
+      // only the region-bounds half of check (d) can reject it.
+      A.movMI(env(sizeof(NativeEnv)), 7);
+      DefectPlanted = true;
+    } else if (Hooks->Defect == NativeDefect::ClobberBeyondSummary) {
+      A.movRI(RAX, 12345);
+      storeGuest(Hooks->GuestReg, RAX);
+      DefectPlanted = true;
+    }
+  }
+
   void emitBlockHead(const MBlock &Blk, bool RawCheck) {
+    bool SkipTest = false;
+    if (Hooks && Hooks->Defect == NativeDefect::SkipBudgetCheck &&
+        !DefectPlanted && BlockId > 0 && (!Opts.Raw || RawCheck)) {
+      SkipTest = true;
+      DefectPlanted = true;
+    }
     int32_t Cost = int32_t(Blk.Insts.size());
     if (!Opts.Raw) {
       // Hoisted budget test: remaining budget must cover the whole
       // block, else the careful tail replays it with exact per-step
       // checks (same contract as the decoded engine's block dispatch).
-      A.movRI(RAX, int64_t(Opts.MaxSteps));
-      A.aluRM(Alu::Sub, RAX, ENV(Steps));
-      A.aluRI(Alu::Cmp, RAX, Cost);
-      A.jcc(Cond::B, bailStub(0, /*Entry=*/1));
+      if (!SkipTest) {
+        A.movRI(RAX, int64_t(Opts.MaxSteps));
+        A.aluRM(Alu::Sub, RAX, ENV(Steps));
+        A.aluRI(Alu::Cmp, RAX, Cost);
+        A.jcc(Cond::B, bailStub(0, /*Entry=*/1));
+      }
       if (Opts.Profile) {
         A.movRM(RAX, ENV(ProfBase));
         A.aluMI(Alu::Add, Mem{RAX, int32_t((ProfOff[ProcId] + BlockId) * 8)},
@@ -515,7 +563,7 @@ private:
         A.aluMI(Alu::Add, memCounterField(K), int32_t(Cnt[K]));
     if (Calls)
       A.aluRI(Alu::Add, RawCalls, int32_t(Calls));
-    if (RawCheck) {
+    if (RawCheck && !SkipTest) {
       cmpRegU64(RawSteps, Opts.MaxSteps, RAX);
       A.jcc(Cond::AE, RawBudgetLabel);
     }
@@ -917,6 +965,8 @@ private:
   Assembler A;
   std::vector<std::pair<size_t, int>> CallPatches;
   int RawBudgetLabel = -1;
+  const NativeCodeGenTestHooks *Hooks = TestHooks;
+  bool DefectPlanted = false;
 
   size_t TotalInsts = 0;
   unsigned ProcId = 0;
@@ -1017,6 +1067,14 @@ RegisterMap ipra::x64::chooseRegisterMap(const MProgram &Prog, bool Raw) {
   }
   M.NumPinned = N;
   return M;
+}
+
+void ipra::x64::setNativeCodeGenTestHooks(const NativeCodeGenTestHooks *Hooks) {
+  TestHooks = Hooks;
+}
+
+const NativeCodeGenTestHooks *ipra::x64::nativeCodeGenTestHooks() {
+  return TestHooks;
 }
 
 bool ipra::x64::emitNativeProgram(const MProgram &Prog,

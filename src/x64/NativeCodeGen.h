@@ -67,6 +67,10 @@ RegisterMap chooseRegisterMap(const MProgram &Prog, bool Raw);
 struct NativeCode {
   std::vector<uint8_t> Bytes;
   size_t TrampolineOff = 0;
+  /// Raw mode's shared budget-error stub (SIZE_MAX when not raw): the
+  /// one legal out-of-procedure branch target, which the native
+  /// verifier needs to model back-edge budget checks.
+  size_t RawStubOff = size_t(-1);
   /// Per-procedure body entry offsets (SIZE_MAX for procedures without
   /// a body -- direct calls to those become error stubs, like the
   /// decoded engine's CallBad/CallExt ops).
@@ -83,6 +87,31 @@ bool emitNativeProgram(const MProgram &Prog, const NativeCodeGenOptions &Opts,
                        const RegisterMap &Map,
                        const std::vector<size_t> &ProfOff, NativeCode &Out,
                        std::string &Err);
+
+/// Defect classes the NativeVerifier mutation harness plants into the
+/// emitter, one per verifier obligation (see DESIGN.md section 15).
+enum class NativeDefect {
+  None,
+  DropCalleeSave,       ///< Trampoline skips push/pop of r12.
+  StrayStore,           ///< A store one byte past the NativeEnv region.
+  SkipBudgetCheck,      ///< First back-edge-target block loses its test.
+  ClobberBeyondSummary, ///< Writes a guest register outside the summary.
+  CorruptByte,          ///< First body entry byte becomes undecodable.
+};
+
+struct NativeCodeGenTestHooks {
+  NativeDefect Defect = NativeDefect::None;
+  /// Guest register ClobberBeyondSummary writes (must be outside the
+  /// victim procedure's published clobber set and not zero/sp/ra).
+  unsigned GuestReg = 0;
+};
+
+/// Test-only: plants \p Hooks' defect into every subsequent
+/// emitNativeProgram call until disarmed with nullptr. The native
+/// engine bypasses its code cache while hooks are armed so mutated
+/// images are never reused.
+void setNativeCodeGenTestHooks(const NativeCodeGenTestHooks *Hooks);
+const NativeCodeGenTestHooks *nativeCodeGenTestHooks();
 
 } // namespace x64
 } // namespace ipra

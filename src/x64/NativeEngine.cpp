@@ -32,6 +32,7 @@
 
 #include "sim/ConventionCheck.h"
 #include "support/CodeBuffer.h"
+#include "verify/NativeVerifier.h"
 #include "x64/NativeCodeGen.h"
 #include "x64/NativeRuntime.h"
 
@@ -393,6 +394,12 @@ struct CachedImage {
   uint64_t ProcsEmitted = 0;
   uint64_t NumBytes = 0;
   uint64_t Check = 0; ///< Secondary fingerprint (collision guard).
+  /// Native-verifier verdict, established before the image was published
+  /// (images are immutable, so one clean audit covers every later run).
+  /// A hit that is not Verified under a VerifyNative run is treated as a
+  /// miss: the program recompiles, audits, and replaces the entry.
+  bool Verified = false;
+  uint64_t VerifiedProcs = 0;
 };
 
 struct Fingerprint {
@@ -573,16 +580,35 @@ RunStats ipra::runNativeProgram(const MProgram &Prog, const SimOptions &Opts) {
   }
 
   Fingerprint FP = fingerprintProgram(Prog, CG);
-  const bool UseCache = !cacheDisabled();
+  // Armed test hooks make the emitter nondeterministic relative to the
+  // fingerprint (planted defects), so mutated images must neither be
+  // served from nor published to the cache.
+  const bool UseCache = !cacheDisabled() && !nativeCodeGenTestHooks();
   std::shared_ptr<const CachedImage> Img;
   if (UseCache)
     Img = codeCache().find(FP);
+  if (Img && Opts.VerifyNative && !Img->Verified)
+    Img = nullptr; // cached by an unaudited run; recompile and audit
   if (!Img) {
     RegisterMap Map = chooseRegisterMap(Prog, Opts.NativeRaw);
     NativeCode Code;
     std::string Err;
     if (!emitNativeProgram(Prog, CG, Map, ProfOff, Code, Err))
       return failStats("native code generation failed: " + Err);
+
+    NVerifyResult Audit;
+    if (Opts.VerifyNative) {
+      Audit = verifyNativeCode(Prog, CG, Map, ProfOff, Code);
+      if (!Audit.ok()) {
+        RunStats S = failStats(
+            "native verifier rejected the compiled image (" +
+            std::to_string(Audit.Violations.size()) + " violation" +
+            (Audit.Violations.size() == 1 ? "" : "s") + "):\n" + Audit.str());
+        S.NativeVerifiedProcs = Audit.ProceduresChecked;
+        S.NativeVerifyViolations = Audit.Violations.size();
+        return S;
+      }
+    }
 
     auto Fresh = std::make_shared<CachedImage>();
     if (!Fresh->Buf.allocate(Code.Bytes.size(), Err))
@@ -595,6 +621,8 @@ RunStats ipra::runNativeProgram(const MProgram &Prog, const SimOptions &Opts) {
     Fresh->ProcsEmitted = Code.ProcsEmitted;
     Fresh->NumBytes = Code.Bytes.size();
     Fresh->Check = FP.Check;
+    Fresh->Verified = Opts.VerifyNative;
+    Fresh->VerifiedProcs = Audit.ProceduresChecked;
     Img = std::move(Fresh);
     if (UseCache)
       codeCache().insert(FP, Img);
@@ -700,5 +728,7 @@ RunStats ipra::runNativeProgram(const MProgram &Prog, const SimOptions &Opts) {
   Stats.NativeProcs = Img->ProcsEmitted;
   Stats.NativeCodeBytes = Img->NumBytes;
   Stats.NativeBailouts = Ctx.Bailouts;
+  if (Img->Verified)
+    Stats.NativeVerifiedProcs = Img->VerifiedProcs; // violations stay 0
   return Stats;
 }

@@ -334,6 +334,25 @@ public:
     emitRel32(Label);
   }
 
+  /// Raw-displacement branch/call forms: the decoder's re-encoding path
+  /// (X64Decoder) reproduces label-resolved control flow byte-for-byte
+  /// without inventing labels for already-linked code.
+  void jmpRel32(int32_t Rel) {
+    emit(0xE9);
+    emit32(Rel);
+  }
+
+  void jccRel32(Cond C, int32_t Rel) {
+    emit(0x0F);
+    emit(uint8_t(0x80 | unsigned(C)));
+    emit32(Rel);
+  }
+
+  void callRel32(int32_t Rel) {
+    emit(0xE8);
+    emit32(Rel);
+  }
+
   void callLabel(int Label) {
     emit(0xE8);
     emitRel32(Label);

@@ -1,0 +1,727 @@
+//===- x64/X64Decoder.cpp - Decoder for the JIT's instruction set ---------===//
+//
+// Exact-inverse decoding of X64Assembler output. Layout of the decode
+// switch mirrors the hardware encoding scheme the assembler uses:
+//
+//  * No-prefix opcodes first (ret, rel32 jumps/calls, the 0F page,
+//    push/pop, FF /2), then the lone legal bare REX prefix 0x41
+//    (push/pop/callM touching r8..r15), then the REX.W page carrying
+//    every 64-bit form.
+//
+//  * Memory operands accept exactly the two shapes the assembler emits:
+//    mod=10 [base+disp32] (SIB only for rsp/r12 bases) and the mod=00
+//    SIB scale=8 guest-memory access. Everything else -- disp8 forms,
+//    other scales, RIP-relative, missing REX.W -- is a decode error,
+//    not a tolerated variant, so the verifier's re-encode check can
+//    prove byte identity instead of mere semantic equivalence.
+//
+//===----------------------------------------------------------------------===//
+
+#include "x64/X64Decoder.h"
+
+#include <algorithm>
+#include <cassert>
+
+using namespace ipra;
+using namespace ipra::x64;
+
+namespace {
+
+const char *const FormNames[] = {
+    "mov-rr",         "mov-rm",     "mov-mr",    "mov-ri32", "mov-ri64",
+    "mov-mi",         "mov-rm-scaled8", "mov-mr-scaled8", "movsxd",
+    "movzx-r8",       "alu-rr",     "alu-rm",    "alu-mr",   "alu-ri",
+    "alu-mi",         "imul-rr",    "cqo",       "idiv",     "neg",
+    "not",            "shl-cl",     "sar-cl",    "shl-ri",   "test-rr",
+    "setcc-r8",       "jmp",        "jcc",       "call",     "call-m",
+    "ret",            "push",       "pop",
+};
+
+std::string hexOff(size_t Off) {
+  static const char Digits[] = "0123456789abcdef";
+  std::string S;
+  do {
+    S.insert(S.begin(), Digits[Off & 15]);
+    Off >>= 4;
+  } while (Off);
+  return "+0x" + S;
+}
+
+/// True when \p V is a group-1 ALU selector the assembler knows.
+bool validAlu(unsigned V) {
+  switch (Alu(V)) {
+  case Alu::Add:
+  case Alu::Or:
+  case Alu::And:
+  case Alu::Sub:
+  case Alu::Xor:
+  case Alu::Cmp:
+    return true;
+  }
+  return false;
+}
+
+/// Decode state for one instruction: a cursor plus the REX fields.
+struct Decode {
+  const uint8_t *Buf;
+  size_t Size;
+  size_t Off; ///< Instruction start (for diagnostics).
+  size_t P;   ///< Read cursor.
+  std::string &Why;
+  unsigned RexR = 0, RexX = 0, RexB = 0;
+
+  Decode(const uint8_t *Buf, size_t Size, size_t Off, std::string &Why)
+      : Buf(Buf), Size(Size), Off(Off), P(Off), Why(Why) {}
+
+  bool fail(const std::string &Reason) {
+    Why = hexOff(Off) + ": " + Reason;
+    return false;
+  }
+
+  bool byte(uint8_t &B) {
+    if (P >= Size)
+      return fail("truncated instruction");
+    B = Buf[P++];
+    return true;
+  }
+
+  bool imm32(int64_t &V) {
+    if (P + 4 > Size)
+      return fail("truncated imm32/disp32");
+    uint32_t U = 0;
+    for (int I = 3; I >= 0; --I)
+      U = (U << 8) | Buf[P + size_t(I)];
+    P += 4;
+    V = int64_t(int32_t(U));
+    return true;
+  }
+
+  bool imm64(int64_t &V) {
+    if (P + 8 > Size)
+      return fail("truncated imm64");
+    uint64_t U = 0;
+    for (int I = 7; I >= 0; --I)
+      U = (U << 8) | Buf[P + size_t(I)];
+    P += 8;
+    V = int64_t(U);
+    return true;
+  }
+
+  /// ModRM mod=11: \p RegF gets reg|REX.R, \p RM gets rm|REX.B.
+  bool regForm(uint8_t ModRM, Reg &RegF, Reg &RM) {
+    if ((ModRM >> 6) != 3)
+      return false;
+    if (RexX)
+      return fail("REX.X on a register-form instruction");
+    RegF = Reg(((ModRM >> 3) & 7) | (RexR << 3));
+    RM = Reg((ModRM & 7) | (RexB << 3));
+    return true;
+  }
+
+  /// ModRM mod=10 [base+disp32], the assembler's only plain memory
+  /// shape. rsp/r12 bases carry the mandatory one-byte SIB (0x24).
+  bool memForm(uint8_t ModRM, Mem &M) {
+    if (((ModRM >> 6) & 3) != 2)
+      return fail("memory operand is not the canonical [base+disp32]");
+    if (RexX)
+      return fail("REX.X on an unscaled memory operand");
+    unsigned RM = ModRM & 7;
+    if (RM == 4) {
+      uint8_t Sib;
+      if (!byte(Sib))
+        return false;
+      if (Sib != 0x24)
+        return fail("non-canonical SIB for an rsp/r12 base");
+      M.Base = Reg(4 | (RexB << 3));
+    } else {
+      M.Base = Reg(RM | (RexB << 3));
+    }
+    int64_t D;
+    if (!imm32(D))
+      return false;
+    M.Disp = int32_t(D);
+    return true;
+  }
+
+  /// ModRM mod=00 rm=100 with a scale-8 SIB: the guest-memory access.
+  bool scaledForm(uint8_t ModRM, Reg &Base, Reg &Index) {
+    if (((ModRM >> 6) & 3) != 0 || (ModRM & 7) != 4)
+      return fail("expected the mod=00 SIB guest-memory form");
+    uint8_t Sib;
+    if (!byte(Sib))
+      return false;
+    if ((Sib >> 6) != 3)
+      return fail("guest-memory access must scale by 8");
+    unsigned IdxBits = (Sib >> 3) & 7;
+    unsigned BaseBits = Sib & 7;
+    if (IdxBits == 4 && !RexX)
+      return fail("scaled access without an index register");
+    if (BaseBits == 5)
+      return fail("mod=00 with an rbp/r13 base needs a displacement");
+    Index = Reg(IdxBits | (RexX << 3));
+    Base = Reg(BaseBits | (RexB << 3));
+    return true;
+  }
+};
+
+/// The REX.W page: every 64-bit form. \p Op is the byte after the REX.
+bool decodeW(Decode &D, uint8_t Rex, uint8_t Op, DecodedInst &I) {
+  D.RexR = (Rex >> 2) & 1;
+  D.RexX = (Rex >> 1) & 1;
+  D.RexB = Rex & 1;
+
+  // cqo is exactly 48 99: any REX bit beyond W is not the assembler's.
+  if (Op == 0x99) {
+    if (Rex != 0x48)
+      return D.fail("cqo with stray REX bits");
+    I.Form = IForm::Cqo;
+    return true;
+  }
+
+  if (Op >= 0xB8 && Op <= 0xBF) {
+    if (D.RexR || D.RexX)
+      return D.fail("movabs with stray REX bits");
+    I.Form = IForm::MovRI64;
+    I.R1 = Reg((Op & 7) | (D.RexB << 3));
+    return D.imm64(I.Imm);
+  }
+
+  uint8_t ModRM;
+  Reg RegF, RM;
+
+  switch (Op) {
+  case 0x0F: { // two-byte page: imul / movzx
+    uint8_t Op2;
+    if (!D.byte(Op2) || !D.byte(ModRM))
+      return false;
+    if (!D.regForm(ModRM, RegF, RM))
+      return D.fail("0F-page instruction with a memory operand");
+    if (Op2 == 0xAF) {
+      I.Form = IForm::ImulRR;
+    } else if (Op2 == 0xB6) {
+      if (RM > RBX)
+        return D.fail("movzx source is not a low byte register");
+      I.Form = IForm::MovzxRR8;
+    } else {
+      return D.fail("unknown 0F-page opcode");
+    }
+    I.R1 = RegF;
+    I.R2 = RM;
+    return true;
+  }
+
+  case 0x63: // movsxd
+    if (!D.byte(ModRM))
+      return false;
+    if (!D.regForm(ModRM, RegF, RM))
+      return D.fail("movsxd with a memory operand");
+    I.Form = IForm::MovsxdRR;
+    I.R1 = RegF;
+    I.R2 = RM;
+    return true;
+
+  case 0x89: // mov store form: RR (mod=11), MR (mod=10), scaled MR
+    if (!D.byte(ModRM))
+      return false;
+    switch (ModRM >> 6) {
+    case 3:
+      if (!D.regForm(ModRM, RegF, RM))
+        return false;
+      I.Form = IForm::MovRR;
+      I.R1 = RM;   // dst
+      I.R2 = RegF; // src
+      return true;
+    case 2:
+      I.Form = IForm::MovMR;
+      I.R1 = Reg(((ModRM >> 3) & 7) | (D.RexR << 3));
+      return D.memForm(ModRM, I.M);
+    case 0:
+      I.Form = IForm::MovMRScaled8;
+      I.R1 = Reg(((ModRM >> 3) & 7) | (D.RexR << 3));
+      return D.scaledForm(ModRM, I.M.Base, I.R2);
+    default:
+      return D.fail("non-canonical mov addressing mode");
+    }
+
+  case 0x8B: // mov load form: RM (mod=10), scaled RM
+    if (!D.byte(ModRM))
+      return false;
+    switch (ModRM >> 6) {
+    case 2:
+      I.Form = IForm::MovRM;
+      I.R1 = Reg(((ModRM >> 3) & 7) | (D.RexR << 3));
+      return D.memForm(ModRM, I.M);
+    case 0:
+      I.Form = IForm::MovRMScaled8;
+      I.R1 = Reg(((ModRM >> 3) & 7) | (D.RexR << 3));
+      return D.scaledForm(ModRM, I.M.Base, I.R2);
+    default:
+      // mod=11 would be a second encoding of mov r,r: the assembler's
+      // canonical register move is the 89 store form.
+      return D.fail("non-canonical mov load form");
+    }
+
+  case 0xC7: // mov imm32: register (mod=11) or memory (mod=10)
+    if (!D.byte(ModRM))
+      return false;
+    if (((ModRM >> 3) & 7) != 0)
+      return D.fail("C7 with a non-zero reg field");
+    if ((ModRM >> 6) == 3) {
+      if (!D.regForm(ModRM, RegF, RM))
+        return false;
+      I.Form = IForm::MovRI32;
+      I.R1 = RM;
+      return D.imm32(I.Imm);
+    }
+    I.Form = IForm::MovMI;
+    return D.memForm(ModRM, I.M) && D.imm32(I.Imm);
+
+  case 0x81: // group-1 ALU imm32
+    if (!D.byte(ModRM))
+      return false;
+    if (!validAlu((ModRM >> 3) & 7))
+      return D.fail("unknown ALU immediate extension");
+    I.Op = Alu((ModRM >> 3) & 7);
+    if ((ModRM >> 6) == 3) {
+      if (D.RexX)
+        return D.fail("REX.X on a register-form instruction");
+      I.Form = IForm::AluRI;
+      I.R1 = Reg((ModRM & 7) | (D.RexB << 3));
+      return D.imm32(I.Imm);
+    }
+    I.Form = IForm::AluMI;
+    return D.memForm(ModRM, I.M) && D.imm32(I.Imm);
+
+  case 0x85: // test rr
+    if (!D.byte(ModRM))
+      return false;
+    if (!D.regForm(ModRM, RegF, RM))
+      return D.fail("test with a memory operand");
+    I.Form = IForm::TestRR;
+    I.R1 = RM;   // first assembler operand
+    I.R2 = RegF; // second
+    return true;
+
+  case 0xC1: // shl r, imm8
+    if (!D.byte(ModRM))
+      return false;
+    if (((ModRM >> 3) & 7) != 4)
+      return D.fail("C1 extension is not shl");
+    if (!D.regForm(ModRM, RegF, RM))
+      return D.fail("shl-imm with a memory operand");
+    I.Form = IForm::ShlRI;
+    I.R1 = RM;
+    uint8_t Amt;
+    if (!D.byte(Amt))
+      return false;
+    I.Imm = Amt;
+    return true;
+
+  case 0xD3: // shift by cl
+    if (!D.byte(ModRM))
+      return false;
+    if (!D.regForm(ModRM, RegF, RM))
+      return D.fail("cl-shift with a memory operand");
+    if (RegF == Reg(4))
+      I.Form = IForm::ShlCL;
+    else if (RegF == Reg(7))
+      I.Form = IForm::SarCL;
+    else
+      return D.fail("unknown D3 shift extension");
+    I.R1 = RM;
+    return true;
+
+  case 0xF7: // group-3 unary
+    if (!D.byte(ModRM))
+      return false;
+    if (!D.regForm(ModRM, RegF, RM))
+      return D.fail("group-3 op with a memory operand");
+    if (RegF == Reg(7))
+      I.Form = IForm::IdivR;
+    else if (RegF == Reg(3))
+      I.Form = IForm::NegR;
+    else if (RegF == Reg(2))
+      I.Form = IForm::NotR;
+    else
+      return D.fail("unknown group-3 extension");
+    I.R1 = RM;
+    return true;
+
+  default:
+    break;
+  }
+
+  // Group-1 ALU register/memory opcodes: op*8+3 is the RM "load" form
+  // (also the canonical reg/reg), op*8+1 the MR "store" form.
+  if ((Op & 7) == 3 && validAlu(Op >> 3)) {
+    if (!D.byte(ModRM))
+      return false;
+    I.Op = Alu(Op >> 3);
+    if ((ModRM >> 6) == 3) {
+      if (!D.regForm(ModRM, RegF, RM))
+        return false;
+      I.Form = IForm::AluRR;
+      I.R1 = RegF; // dst
+      I.R2 = RM;   // src
+      return true;
+    }
+    I.Form = IForm::AluRM;
+    I.R1 = Reg(((ModRM >> 3) & 7) | (D.RexR << 3));
+    return D.memForm(ModRM, I.M);
+  }
+  if ((Op & 7) == 1 && validAlu(Op >> 3)) {
+    if (!D.byte(ModRM))
+      return false;
+    if ((ModRM >> 6) == 3)
+      return D.fail("non-canonical ALU reg/reg store form");
+    I.Op = Alu(Op >> 3);
+    I.Form = IForm::AluMR;
+    I.R1 = Reg(((ModRM >> 3) & 7) | (D.RexR << 3));
+    return D.memForm(ModRM, I.M);
+  }
+
+  return D.fail("unknown REX.W opcode");
+}
+
+/// call qword [base+disp32] (FF /2); \p HighBase when the 41 prefix
+/// extended the base register.
+bool decodeCallM(Decode &D, bool HighBase, DecodedInst &I) {
+  D.RexB = HighBase ? 1 : 0;
+  uint8_t ModRM;
+  if (!D.byte(ModRM))
+    return false;
+  if (((ModRM >> 3) & 7) != 2)
+    return D.fail("FF extension is not call");
+  I.Form = IForm::CallM;
+  return D.memForm(ModRM, I.M);
+}
+
+} // namespace
+
+const char *ipra::x64::formName(IForm F) {
+  static_assert(sizeof(FormNames) / sizeof(FormNames[0]) ==
+                    unsigned(IForm::PopR) + 1,
+                "form name table out of sync");
+  return FormNames[unsigned(F)];
+}
+
+bool ipra::x64::decodeInst(const uint8_t *Buf, size_t Size, size_t Off,
+                           DecodedInst &Out, std::string &Why) {
+  Out = DecodedInst();
+  Out.Offset = Off;
+  Decode D(Buf, Size, Off, Why);
+  uint8_t B0;
+  if (!D.byte(B0))
+    return false;
+
+  bool OK = false;
+  switch (B0) {
+  case 0xC3:
+    Out.Form = IForm::Ret;
+    OK = true;
+    break;
+  case 0xE9:
+  case 0xE8: {
+    Out.Form = B0 == 0xE9 ? IForm::Jmp : IForm::Call;
+    int64_t R;
+    OK = D.imm32(R);
+    Out.Rel = int32_t(R);
+    break;
+  }
+  case 0x0F: { // jcc rel32 / setcc (the only REX-less 0F users)
+    uint8_t Op2;
+    if (!D.byte(Op2))
+      return false;
+    if ((Op2 & 0xF0) == 0x80) {
+      Out.Form = IForm::Jcc;
+      Out.CC = Cond(Op2 & 15);
+      int64_t R;
+      OK = D.imm32(R);
+      Out.Rel = int32_t(R);
+    } else if ((Op2 & 0xF0) == 0x90) {
+      uint8_t ModRM;
+      if (!D.byte(ModRM))
+        return false;
+      if ((ModRM & 0xF8) != 0xC0 || (ModRM & 7) > 3)
+        return D.fail("setcc destination is not a low byte register");
+      Out.Form = IForm::SetccR8;
+      Out.CC = Cond(Op2 & 15);
+      Out.R1 = Reg(ModRM & 7);
+      OK = true;
+    } else {
+      return D.fail("unknown REX-less 0F opcode");
+    }
+    break;
+  }
+  case 0xFF:
+    OK = decodeCallM(D, /*HighBase=*/false, Out);
+    break;
+  case 0x41: { // bare REX.B: push/pop/callM on r8..r15
+    uint8_t B1;
+    if (!D.byte(B1))
+      return false;
+    if (B1 >= 0x50 && B1 <= 0x5F) {
+      Out.Form = B1 < 0x58 ? IForm::PushR : IForm::PopR;
+      Out.R1 = Reg(8 + (B1 & 7));
+      OK = true;
+    } else if (B1 == 0xFF) {
+      OK = decodeCallM(D, /*HighBase=*/true, Out);
+    } else {
+      return D.fail("unknown opcode after a bare 41 prefix");
+    }
+    break;
+  }
+  default:
+    if (B0 >= 0x50 && B0 <= 0x5F) {
+      Out.Form = B0 < 0x58 ? IForm::PushR : IForm::PopR;
+      Out.R1 = Reg(B0 & 7);
+      OK = true;
+    } else if (B0 >= 0x48 && B0 <= 0x4F) {
+      uint8_t Op;
+      if (!D.byte(Op))
+        return false;
+      OK = decodeW(D, B0, Op, Out);
+    } else {
+      return D.fail("unknown opcode byte");
+    }
+    break;
+  }
+  if (!OK)
+    return false;
+  size_t Len = D.P - Off;
+  assert(Len > 0 && Len <= 15 && "impossible x86-64 instruction length");
+  Out.Len = uint8_t(Len);
+  return true;
+}
+
+void ipra::x64::reencode(const DecodedInst &I, Assembler &A) {
+  switch (I.Form) {
+  case IForm::MovRR:
+    A.movRR(I.R1, I.R2);
+    break;
+  case IForm::MovRM:
+    A.movRM(I.R1, I.M);
+    break;
+  case IForm::MovMR:
+    A.movMR(I.M, I.R1);
+    break;
+  case IForm::MovRI32:
+  case IForm::MovRI64:
+    // movRI picks the short form iff the value fits in simm32, so a
+    // MovRI64 carrying a small immediate re-encodes shorter than the
+    // original bytes -- exactly the mismatch the round-trip check wants
+    // to expose for non-canonical input.
+    A.movRI(I.R1, I.Imm);
+    break;
+  case IForm::MovMI:
+    A.movMI(I.M, int32_t(I.Imm));
+    break;
+  case IForm::MovRMScaled8:
+    A.movRMScaled8(I.R1, I.M.Base, I.R2);
+    break;
+  case IForm::MovMRScaled8:
+    A.movMRScaled8(I.M.Base, I.R2, I.R1);
+    break;
+  case IForm::MovsxdRR:
+    A.movsxdRR(I.R1, I.R2);
+    break;
+  case IForm::MovzxRR8:
+    A.movzxRR8(I.R1, I.R2);
+    break;
+  case IForm::AluRR:
+    A.aluRR(I.Op, I.R1, I.R2);
+    break;
+  case IForm::AluRM:
+    A.aluRM(I.Op, I.R1, I.M);
+    break;
+  case IForm::AluMR:
+    A.aluMR(I.Op, I.M, I.R1);
+    break;
+  case IForm::AluRI:
+    A.aluRI(I.Op, I.R1, int32_t(I.Imm));
+    break;
+  case IForm::AluMI:
+    A.aluMI(I.Op, I.M, int32_t(I.Imm));
+    break;
+  case IForm::ImulRR:
+    A.imulRR(I.R1, I.R2);
+    break;
+  case IForm::Cqo:
+    A.cqo();
+    break;
+  case IForm::IdivR:
+    A.idivR(I.R1);
+    break;
+  case IForm::NegR:
+    A.negR(I.R1);
+    break;
+  case IForm::NotR:
+    A.notR(I.R1);
+    break;
+  case IForm::ShlCL:
+    A.shlCL(I.R1);
+    break;
+  case IForm::SarCL:
+    A.sarCL(I.R1);
+    break;
+  case IForm::ShlRI:
+    A.shlRI(I.R1, uint8_t(I.Imm));
+    break;
+  case IForm::TestRR:
+    A.testRR(I.R1, I.R2);
+    break;
+  case IForm::SetccR8:
+    A.setccR8(I.CC, I.R1);
+    break;
+  case IForm::Jmp:
+    A.jmpRel32(I.Rel);
+    break;
+  case IForm::Jcc:
+    A.jccRel32(I.CC, I.Rel);
+    break;
+  case IForm::Call:
+    A.callRel32(I.Rel);
+    break;
+  case IForm::CallM:
+    A.callM(I.M);
+    break;
+  case IForm::Ret:
+    A.ret();
+    break;
+  case IForm::PushR:
+    A.pushR(I.R1);
+    break;
+  case IForm::PopR:
+    A.popR(I.R1);
+    break;
+  }
+}
+
+int ipra::x64::DecodedRegion::blockAt(size_t Off) const {
+  for (unsigned B = 0; B < Blocks.size(); ++B)
+    if (Insts[Blocks[B].FirstInst].Offset == Off)
+      return int(B);
+  return -1;
+}
+
+bool ipra::x64::decodeRegion(const uint8_t *Buf, size_t Size, size_t Begin,
+                             size_t End, const CFGPolicy &Policy,
+                             DecodedRegion &Out, std::string &Why) {
+  Out = DecodedRegion();
+  Out.Begin = Begin;
+  Out.End = End;
+  if (Begin > End || End > Size) {
+    Why = hexOff(Begin) + ": region out of image bounds";
+    return false;
+  }
+
+  // Linear decode: every byte of the region must belong to exactly one
+  // instruction (check (a) of the native verifier).
+  for (size_t P = Begin; P < End;) {
+    DecodedInst I;
+    if (!decodeInst(Buf, Size, P, I, Why))
+      return false;
+    if (P + I.Len > End) {
+      Why = hexOff(P) + ": instruction spills past the region end";
+      return false;
+    }
+    Out.Insts.push_back(I);
+    P += I.Len;
+  }
+
+  // Instruction boundary lookup (offset -> index), then target checks.
+  auto IndexAt = [&Out, Begin](size_t Off) -> int {
+    // Offsets are strictly increasing: binary search.
+    size_t Lo = 0, Hi = Out.Insts.size();
+    while (Lo < Hi) {
+      size_t Mid = (Lo + Hi) / 2;
+      if (Out.Insts[Mid].Offset < Off)
+        Lo = Mid + 1;
+      else
+        Hi = Mid;
+    }
+    if (Lo < Out.Insts.size() && Out.Insts[Lo].Offset == Off)
+      return int(Lo);
+    (void)Begin;
+    return -1;
+  };
+  auto IsExternal = [&Policy](size_t Off) {
+    return std::find(Policy.ExternalTargets.begin(),
+                     Policy.ExternalTargets.end(),
+                     Off) != Policy.ExternalTargets.end();
+  };
+
+  std::vector<char> Leader(Out.Insts.size(), 0);
+  if (!Leader.empty())
+    Leader[0] = 1;
+  for (size_t N = 0; N < Out.Insts.size(); ++N) {
+    const DecodedInst &I = Out.Insts[N];
+    if (I.isBranch()) {
+      size_t Tgt = I.target();
+      if (Tgt >= Begin && Tgt < End) {
+        int TN = IndexAt(Tgt);
+        if (TN < 0) {
+          Why = hexOff(I.Offset) + ": branch into the middle of an "
+                                   "instruction at " +
+                hexOff(Tgt);
+          return false;
+        }
+        Leader[size_t(TN)] = 1;
+      } else if (!IsExternal(Tgt)) {
+        Why = hexOff(I.Offset) + ": branch leaves the region (target " +
+              hexOff(Tgt) + ")";
+        return false;
+      }
+      if (N + 1 < Out.Insts.size())
+        Leader[N + 1] = 1;
+    } else if (I.Form == IForm::Ret ||
+               (I.isCall() && Policy.IsNoReturnCall &&
+                Policy.IsNoReturnCall(I))) {
+      if (N + 1 < Out.Insts.size())
+        Leader[N + 1] = 1;
+    } else if (I.Form == IForm::Call && !Policy.CallTargets.empty()) {
+      size_t Tgt = I.target();
+      if (std::find(Policy.CallTargets.begin(), Policy.CallTargets.end(),
+                    Tgt) == Policy.CallTargets.end()) {
+        Why = hexOff(I.Offset) + ": call targets " + hexOff(Tgt) +
+              ", which is no procedure entry";
+        return false;
+      }
+    }
+  }
+
+  // Split at leaders and wire successors.
+  Out.BlockOf.assign(Out.Insts.size(), -1);
+  for (size_t N = 0; N < Out.Insts.size(); ++N) {
+    if (Leader[N]) {
+      Out.Blocks.push_back({unsigned(N), 0, -1, -1});
+    }
+    Out.Blocks.back().NumInsts++;
+    Out.BlockOf[N] = int(Out.Blocks.size()) - 1;
+  }
+  for (auto &B : Out.Blocks) {
+    const DecodedInst &T = Out.Insts[B.FirstInst + B.NumInsts - 1];
+    size_t NextIdx = B.FirstInst + B.NumInsts;
+    auto BlockOfTarget = [&](size_t Tgt) -> int {
+      if (Tgt < Begin || Tgt >= End)
+        return -1; // external (validated above)
+      int TN = IndexAt(Tgt);
+      assert(TN >= 0);
+      return Out.BlockOf[size_t(TN)];
+    };
+    if (T.Form == IForm::Jmp) {
+      B.Succ1 = BlockOfTarget(T.target());
+    } else if (T.Form == IForm::Jcc) {
+      B.Succ1 = BlockOfTarget(T.target());
+      if (NextIdx < Out.Insts.size())
+        B.Succ2 = Out.BlockOf[NextIdx];
+    } else if (T.Form == IForm::Ret ||
+               (T.isCall() && Policy.IsNoReturnCall &&
+                Policy.IsNoReturnCall(T))) {
+      // terminator with no successors
+    } else if (NextIdx < Out.Insts.size()) {
+      B.Succ1 = Out.BlockOf[NextIdx];
+    }
+  }
+  return true;
+}

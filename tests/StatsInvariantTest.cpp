@@ -288,11 +288,25 @@ TEST(StatsInvariantTest, NativeCountersPublishedAndStepsMatchDecoded) {
     EXPECT_EQ(Nat.NativeBailouts, 0u) << B.Name;
 
     StatCounters NC = Nat.counters();
-    EXPECT_EQ(NC.get("sim.native.procs"), Nat.NativeProcs) << B.Name;
+    EXPECT_EQ(NC.get("sim.native.procs_compiled"), Nat.NativeProcs) << B.Name;
     EXPECT_EQ(NC.get("sim.native.code_bytes"), Nat.NativeCodeBytes)
         << B.Name;
     EXPECT_EQ(Dec.counters().json().find("sim.native"), std::string::npos)
         << B.Name;
+    EXPECT_EQ(Dec.counters().json().find("verify.native"), std::string::npos)
+        << B.Name;
+
+    // Native-verifier reconciliation: with the audit on (the default in
+    // these builds) every compiled procedure body was checked, none was
+    // skipped, and an OK run carries zero findings by construction.
+    if (Opts.VerifyNative) {
+      EXPECT_EQ(Nat.NativeVerifiedProcs, Nat.NativeProcs) << B.Name;
+      EXPECT_EQ(Nat.NativeVerifyViolations, 0u) << B.Name;
+      EXPECT_EQ(NC.get("verify.native.procedures_checked"),
+                NC.get("sim.native.procs_compiled"))
+          << B.Name;
+      EXPECT_EQ(NC.get("verify.native.violations"), 0u) << B.Name;
+    }
   }
 }
 

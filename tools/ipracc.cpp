@@ -28,6 +28,14 @@
 //                        audit the generated code against the published
 //                        summaries, shrink-wrap pairing and linkage
 //                        protocol (on by default; violations exit 1)
+//   --verify-native / --no-verify-native
+//                        statically audit the x86-64 images the native
+//                        engine JITs: decode + re-encode every byte and
+//                        prove the register-map, callee-save, memory-
+//                        region and budget-check contracts hold (on by
+//                        default in debug builds; a violation fails the
+//                        run). Only meaningful with --sim-engine=native
+//                        or native-raw.
 //   --emit-ir            print the optimized IR
 //   --emit-mir           print the generated machine code
 //   --summaries          print each procedure's register-usage summary
@@ -107,6 +115,7 @@ void usage(const char *Argv0) {
                "[--restrict=caller7|callee7] [--convention=<spec>]\n"
                "              [--threads=N] [--profile] [--serve]\n"
                "              [--verify-mir] [--no-verify-mir]\n"
+               "              [--verify-native] [--no-verify-native]\n"
                "              "
                "[--emit-ir] [--emit-mir] [--summaries] [--run] [--stats]\n"
                "              [--sim-engine=reference|decoded|native|"
@@ -160,6 +169,10 @@ bool parseArgs(int Argc, char **Argv, ToolOptions &Opts) {
       Opts.Compile.VerifyMIR = true;
     } else if (Arg == "--no-verify-mir") {
       Opts.Compile.VerifyMIR = false;
+    } else if (Arg == "--verify-native") {
+      Opts.Compile.VerifyNative = Opts.Sim.VerifyNative = true;
+    } else if (Arg == "--no-verify-native") {
+      Opts.Compile.VerifyNative = Opts.Sim.VerifyNative = false;
     } else if (Arg == "--emit-ir") {
       Opts.EmitIR = true;
     } else if (Arg == "--emit-mir") {
