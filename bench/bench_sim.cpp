@@ -20,6 +20,10 @@
 
 #include <benchmark/benchmark.h>
 
+#include <chrono>
+#include <cstring>
+#include <fstream>
+
 using namespace ipra;
 using namespace ipra::bench;
 
@@ -132,6 +136,108 @@ BENCHMARK(BM_SimBatch)
     ->ArgName("threads")
     ->Unit(benchmark::kMillisecond);
 
+/// The machine-readable engine x program x instr/s report
+/// (`--native-json=<file>`, conventionally BENCH_native.json): one
+/// best-of-N instructions-per-second figure per cell, measured outside
+/// google-benchmark so the document's shape is stable across benchmark
+/// library versions and the perf trajectory can be diffed across PRs.
+/// Native rows carry null on hosts that cannot JIT. The native-raw cell
+/// is repeated under both register-map policies so the per-procedure
+/// allocator's trajectory is tracked explicitly.
+void writeNativeThroughputJson(const std::string &Path) {
+  struct Row {
+    const char *Key;
+    SimOptions Opts;
+  };
+  std::vector<Row> Rows;
+  for (const EngineMode &M : engineModes()) {
+    SimOptions Opts;
+    applyEngineMode(Opts, M);
+    Rows.push_back({M.Name, Opts});
+  }
+  {
+    SimOptions Opts;
+    Opts.Engine = SimEngine::Native;
+    Opts.NativeRaw = true;
+    Opts.NativeMap = SimOptions::NativeMapPolicy::Global;
+    Rows.push_back({"native-raw-global", Opts});
+  }
+
+  std::string NativeWhy;
+  bool HaveNative = nativeEngineSupported(&NativeWhy);
+  std::string Doc = "{\n\"schema\": \"ipra-native-throughput-v1\",\n"
+                    "\"config\": \"C\",\n\"unit\": \"instr/s\",\n"
+                    "\"programs\": [\n";
+  for (int P = 0; P < 3; ++P) {
+    const MProgram &Prog = compiledProgram(P);
+    Doc += std::string(P ? ",\n" : "") + "  {\"name\": \"" +
+           SimBenchPrograms[P] + "\", \"engines\": {";
+    bool FirstRow = true;
+    for (const Row &R : Rows) {
+      Doc += std::string(FirstRow ? "" : ", ") + "\"" + R.Key + "\": ";
+      FirstRow = false;
+      if (R.Opts.Engine == SimEngine::Native && !HaveNative) {
+        Doc += "null";
+        continue;
+      }
+      RunStats Warm = runProgram(Prog, R.Opts); // cache + predictors
+      if (!Warm.OK) {
+        std::fprintf(stderr, "bench_sim: %s/%s failed: %s\n",
+                     SimBenchPrograms[P], R.Key, Warm.Error.c_str());
+        std::exit(1);
+      }
+      double Best = 0.0;
+      for (int Run = 0; Run < 5; ++Run) {
+        auto T0 = std::chrono::steady_clock::now();
+        RunStats Stats = runProgram(Prog, R.Opts);
+        auto T1 = std::chrono::steady_clock::now();
+        double Secs = std::chrono::duration<double>(T1 - T0).count();
+        if (Stats.OK && Secs > 0.0)
+          Best = std::max(Best, double(Stats.Instructions) / Secs);
+      }
+      char Buf[32];
+      std::snprintf(Buf, sizeof(Buf), "%.6g", Best);
+      Doc += Buf;
+    }
+    Doc += "}}";
+  }
+  Doc += "\n]\n}\n";
+  std::ofstream OutFile(Path);
+  OutFile << Doc;
+  OutFile.flush();
+  if (!OutFile) {
+    std::fprintf(stderr, "bench_sim: cannot write --native-json file '%s'\n",
+                 Path.c_str());
+    std::exit(1);
+  }
+}
+
+/// Pulls `--native-json=<file>` out of argv before benchmark::Initialize
+/// rejects the unknown flag (same contract as takeStatsJsonFlag).
+std::string takeNativeJsonFlag(int &argc, char **argv) {
+  std::string Path;
+  int Out = 1;
+  for (int I = 1; I < argc; ++I) {
+    std::string Arg = argv[I];
+    if (Path.empty() && Arg.rfind("--native-json=", 0) == 0)
+      Path = Arg.substr(std::strlen("--native-json="));
+    else
+      argv[Out++] = argv[I];
+  }
+  argc = Out;
+  return Path;
+}
+
 } // namespace
 
-BENCHMARK_MAIN();
+int main(int argc, char **argv) {
+  std::string JsonPath = takeNativeJsonFlag(argc, argv);
+  benchmark::Initialize(&argc, argv);
+  if (benchmark::ReportUnrecognizedArguments(argc, argv))
+    return 1;
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  if (!JsonPath.empty())
+    writeNativeThroughputJson(JsonPath);
+  return 0;
+}

@@ -744,6 +744,8 @@ MProgram ipra::generateCode(const Module &Mod,
       const RegUsageSummary &S = Summaries.lookup(int(Id));
       Prog.ClobberMasks.push_back(
           S.Precise ? S.Clobbered : Summaries.machine().defaultClobber());
+      Prog.ParamRegMasks.push_back(Summaries.paramRegMask(
+          int(Id), unsigned(P->ParamVRegs.size())));
     }
     if (P->IsExternal) {
       MProc MP;

@@ -132,6 +132,15 @@ struct MProgram {
   /// clobber contracts at all.
   BitVector DefaultClobber;
 
+  /// Per-procedure incoming parameter registers (from the allocator's
+  /// published ParamLocs; default-protocol procedures get the convention's
+  /// leading parameter registers). These are the registers a callee may
+  /// *read* on entry without defining them first -- the native backend's
+  /// per-procedure register maps need them because a callee's clobber mask
+  /// only bounds its writes, not its reads. Empty for hand-built programs
+  /// (no contracts; callers must assume everything is read).
+  std::vector<BitVector> ParamRegMasks;
+
   unsigned instructionCount() const {
     unsigned N = 0;
     for (const MProc &P : Procs)

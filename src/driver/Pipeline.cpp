@@ -253,6 +253,8 @@ std::unique_ptr<CompileResult> runBackEnd(std::unique_ptr<Module> IR,
     Result->Program.ClobberMasks.push_back(
         S.Precise ? S.Clobbered : Result->Machine.defaultClobber());
     const Procedure *P = Mod.procedure(int(Id));
+    Result->Program.ParamRegMasks.push_back(Result->Summaries->paramRegMask(
+        int(Id), unsigned(P->ParamVRegs.size())));
     if (P->IsMain && !P->IsExternal)
       Result->Program.MainProcId = int(Id);
   }

@@ -111,6 +111,25 @@ public:
     return makeDefault(Call.Args.size()).ParamLocs;
   }
 
+  /// Registers that carry \p ProcId's incoming parameters: the published
+  /// ParamLocs when precise, else the default protocol's leading parameter
+  /// registers for its \p NumParams arity. This is the callee's *read*
+  /// contract at entry -- what a caller must materialize before the call
+  /// even though the clobber mask (a write contract) never mentions it.
+  BitVector paramRegMask(int ProcId, unsigned NumParams) const {
+    BitVector Mask(NumPhysRegs);
+    const RegUsageSummary &S = lookup(ProcId);
+    if (S.Precise) {
+      for (unsigned Loc : S.ParamLocs)
+        if (Loc != StackParamLoc)
+          Mask.set(Loc);
+    } else {
+      for (unsigned I = 0; I < NumParams && I < M.paramRegs().size(); ++I)
+        Mask.set(M.paramRegs()[I]);
+    }
+    return Mask;
+  }
+
   const MachineDesc &machine() const { return M; }
 
 private:

@@ -329,6 +329,15 @@ StatCounters RunStats::counters() const {
     S.set("sim.native.code_bytes", NativeCodeBytes);
   if (NativeBailouts)
     S.set("sim.native.bailouts", NativeBailouts);
+  // Register-map policy counters: pins always accompanies the sync
+  // traffic so "0 syncs avoided" is distinguishable from "counter
+  // absent" in any report with at least one pinned register.
+  if (NativeMapPins) {
+    S.set("sim.native.map.pins", NativeMapPins);
+    S.set("sim.native.map.sync_stores", NativeMapSyncStores);
+    S.set("sim.native.map.reload_loads", NativeMapReloadLoads);
+    S.set("sim.native.map.syncs_avoided", NativeMapSyncsAvoided);
+  }
   // The pair appears together whenever the native verifier ran, so the
   // procedures_checked == procs_compiled reconciliation (and the
   // violations == 0 guarantee on OK runs) is visible in every report.

@@ -72,6 +72,13 @@ struct RunStats {
   uint64_t NativeProcs = 0;     ///< Procedures JIT-compiled.
   uint64_t NativeCodeBytes = 0; ///< Machine code emitted.
   uint64_t NativeBailouts = 0;  ///< Switches into the careful tail.
+  /// Register-map policy counters (static, per image; see
+  /// x64/NativeCodeGen.h NativeCode):
+  uint64_t NativeMapPins = 0;         ///< Pinned registers across bodies.
+  uint64_t NativeMapSyncStores = 0;   ///< Call-site sync stores emitted.
+  uint64_t NativeMapReloadLoads = 0;  ///< Post-call reloads emitted.
+  uint64_t NativeMapSyncsAvoided = 0; ///< Dirty-pin syncs the callee's
+                                      ///< summary proved unnecessary.
   /// Native-verifier results for the image this run executed (zero when
   /// the audit was off or another engine ran; see SimOptions::VerifyNative).
   uint64_t NativeVerifiedProcs = 0;    ///< Procedure bodies audited.
@@ -147,6 +154,14 @@ struct SimOptions {
   /// and procedure entries) and block profiling / convention checking
   /// are rejected. Ignored by the interpreter engines.
   bool NativeRaw = false;
+  /// Native engine only: host-register map policy (see
+  /// x64/NativeCodeGen.h). PerProc gives every procedure its own pinned
+  /// set chosen from its own loop-weighted operand frequencies, with
+  /// summary-driven sync at call boundaries -- the paper's
+  /// interprocedural discipline applied to the JIT's host registers.
+  /// Global is the legacy single program-wide map.
+  enum class NativeMapPolicy { Global, PerProc };
+  NativeMapPolicy NativeMap = NativeMapPolicy::PerProc;
   /// Native engine only: statically audit every freshly compiled image
   /// (full decode + re-encode + abstract interpretation; see
   /// verify/NativeVerifier.h) before it may execute or enter the code

@@ -138,6 +138,14 @@ struct AbsState {
   bool SPKnown = true;
   /// env.ShadowPtr < env.ShadowLimit proven on this path.
   bool ShadowChecked = false;
+  /// Per-procedure maps only; bit g is pinned guest register g.
+  /// HostStale: the host copy does not hold g's current value (entry
+  /// before the prologue load, after a call destroyed/redefined it).
+  /// SlotStale: the host copy is newer than the NativeEnv::Regs slot
+  /// (a dirty pin that a sync point must write back). May-facts, so
+  /// the join is union, not intersection.
+  uint32_t HostStale = 0;
+  uint32_t SlotStale = 0;
 };
 
 bool joinMap(std::map<int64_t, AbsVal> &Dst,
@@ -179,6 +187,11 @@ bool joinState(AbsState &Dst, const AbsState &Src) {
     Dst.ShadowChecked = false;
     Ch = true;
   }
+  uint32_t HS = Dst.HostStale | Src.HostStale;
+  uint32_t SS = Dst.SlotStale | Src.SlotStale;
+  Ch |= HS != Dst.HostStale || SS != Dst.SlotStale;
+  Dst.HostStale = HS;
+  Dst.SlotStale = SS;
   return Ch;
 }
 
@@ -230,10 +243,13 @@ struct RegionSpec {
 class Auditor {
 public:
   Auditor(const MProgram &Prog, const NativeCodeGenOptions &Opts,
-          const RegisterMap &Map, const std::vector<size_t> &ProfOff,
+          const RegMapTable &Table, const std::vector<size_t> &ProfOff,
           const NativeCode &Code, const NVerifyOptions &VO)
-      : Prog(Prog), Opts(Opts), Map(Map), ProfOff(ProfOff), Code(Code),
-        VO(VO) {}
+      : Prog(Prog), Opts(Opts), Table(Table), ProfOff(ProfOff), Code(Code),
+        VO(VO), PP(Table.PerProc) {
+    for (unsigned G = 0; G < NumPhysRegs; ++G)
+      Empty.GuestToHost[G] = -1;
+  }
 
   NVerifyResult run() {
     for (unsigned P = 0; P < Code.ProcEntry.size(); ++P)
@@ -265,16 +281,21 @@ public:
 private:
   const MProgram &Prog;
   const NativeCodeGenOptions &Opts;
-  const RegisterMap &Map;
+  const RegMapTable &Table;
   const std::vector<size_t> &ProfOff;
   const NativeCode &Code;
   const NVerifyOptions &VO;
+  const bool PP; ///< Per-procedure map policy.
+  RegisterMap Empty; ///< All-slot map (per-proc trampoline/raw stub).
 
   NVerifyResult Res;
   std::map<size_t, int> EntryToProc;
 
   // Per-region analysis context.
   int CurProc = -1;
+  const RegisterMap *RM = nullptr; ///< This region's map.
+  uint32_t PinMask = 0;    ///< Bit g: guest g pinned in this region.
+  uint32_t VolPinMask = 0; ///< Pins whose host is SysV caller-saved.
   const DecodedRegion *Reg_ = nullptr;
   bool Reporting = false;
   std::vector<AbsState> In;
@@ -297,11 +318,13 @@ private:
       report(C, CurProc, Off, std::move(Msg));
   }
 
-  bool pinnedHost(Reg H) const {
+  bool pinnedHost(Reg H) const { return guestOfHost(H) >= 0; }
+
+  int guestOfHost(Reg H) const {
     for (unsigned G = 0; G < NumPhysRegs; ++G)
-      if (Map.GuestToHost[G] == int(H))
-        return true;
-    return false;
+      if (RM->GuestToHost[G] == int(H))
+        return int(G);
+    return -1;
   }
 
   bool rawCounter(Reg H) const {
@@ -326,6 +349,20 @@ private:
     CurProc = Spec.Proc;
     if (CurProc >= 0)
       ++Res.ProceduresChecked;
+
+    // Each region audits against its own map. Under per-procedure maps
+    // the trampoline and the raw budget stub pin nothing: they see the
+    // register file purely through its canonical NativeEnv slots.
+    RM = PP ? (CurProc >= 0 ? &Table.Maps[CurProc] : &Empty) : &Table.Global;
+    PinMask = VolPinMask = 0;
+    for (unsigned G = 0; G < NumPhysRegs; ++G) {
+      int H = RM->GuestToHost[G];
+      if (H < 0)
+        continue;
+      PinMask |= 1u << G;
+      if (!(H == RBX || H == RBP || H == R12 || H == R13))
+        VolPinMask |= 1u << G;
+    }
 
     CFGPolicy Policy;
     Policy.IsNoReturnCall = [](const DecodedInst &I) {
@@ -412,21 +449,32 @@ private:
       return S;
     }
     // Procedure bodies and the raw budget stub run under the pinned
-    // bases; pinned guest registers arrive in their hosts, unpinned
-    // ones in their slots (a pinned register's slot is stale).
+    // bases. Global map: pinned guest registers arrive in their hosts,
+    // unpinned ones in their slots (a pinned register's slot is stale).
+    // Per-procedure maps: every slot is canonical at the boundary and
+    // every pinned host is stale until the prologue load.
     S.Host[R15] = mkVal(VK::EnvPtr);
     S.Host[R14] = mkVal(VK::MemBase);
     if (CurProc >= 0) {
-      for (unsigned G = 0; G < NumPhysRegs; ++G) {
-        int H = Map.GuestToHost[G];
-        if (H >= 0)
-          S.Host[H] = mkVal(VK::GuestEntry, G);
-        else
+      if (PP) {
+        for (unsigned G = 0; G < NumPhysRegs; ++G)
           S.Slot[G] = mkVal(VK::GuestEntry, G);
+        for (Reg H : {RBX, RBP, R12, R13})
+          if (!rawCounter(H))
+            S.Host[H] = mkVal(VK::ProcEntryHost, H);
+        S.HostStale = PinMask;
+      } else {
+        for (unsigned G = 0; G < NumPhysRegs; ++G) {
+          int H = RM->GuestToHost[G];
+          if (H >= 0)
+            S.Host[H] = mkVal(VK::GuestEntry, G);
+          else
+            S.Slot[G] = mkVal(VK::GuestEntry, G);
+        }
+        for (Reg H : {RBX, RBP, R12, R13})
+          if (!pinnedHost(H) && !rawCounter(H))
+            S.Host[H] = mkVal(VK::ProcEntryHost, H);
       }
-      for (Reg H : {RBX, RBP, R12, R13})
-        if (!pinnedHost(H) && !rawCounter(H))
-          S.Host[H] = mkVal(VK::ProcEntryHost, H);
     }
     return S;
   }
@@ -526,12 +574,97 @@ private:
       flag(NVCode::CounterClobbered, I.Offset,
            std::string(HostNames[R]) +
                " written outside the accounting pattern");
+    if (PP) {
+      // By emitter convention a value written into a pinned host IS
+      // guest g's current value: the host copy is fresh again and the
+      // slot falls behind until a sync store. MovRM reloads and PopR
+      // restores override this in exec().
+      int G = guestOfHost(R);
+      if (G >= 0) {
+        S.HostStale &= ~(1u << G);
+        S.SlotStale |= 1u << G;
+      }
+    }
     S.Host[R] = V;
+  }
+
+  /// StaleCachedValue: no instruction may consume a pinned host whose
+  /// cached guest value a call destroyed (per-procedure maps). PushR is
+  /// exempt -- the epilogue-paired pushes save the *host's* value.
+  void checkStaleReads(const DecodedInst &I, const AbsState &S) {
+    if (!PP || !S.HostStale)
+      return;
+    Reg Rs[4];
+    unsigned N = 0;
+    switch (I.Form) {
+    case IForm::MovRR:
+    case IForm::MovsxdRR:
+    case IForm::MovzxRR8:
+      Rs[N++] = I.R2;
+      break;
+    case IForm::MovRM:
+    case IForm::MovMI:
+    case IForm::AluMI:
+    case IForm::CallM:
+      Rs[N++] = I.M.Base;
+      break;
+    case IForm::MovMR:
+    case IForm::AluRM:
+    case IForm::AluMR:
+      Rs[N++] = I.R1;
+      Rs[N++] = I.M.Base;
+      break;
+    case IForm::MovRMScaled8:
+      Rs[N++] = I.R2;
+      Rs[N++] = I.M.Base;
+      break;
+    case IForm::MovMRScaled8:
+      Rs[N++] = I.R1;
+      Rs[N++] = I.R2;
+      Rs[N++] = I.M.Base;
+      break;
+    case IForm::NegR:
+    case IForm::NotR:
+    case IForm::ShlRI:
+    case IForm::AluRI:
+      Rs[N++] = I.R1;
+      break;
+    case IForm::ShlCL:
+    case IForm::SarCL:
+      Rs[N++] = I.R1;
+      Rs[N++] = RCX;
+      break;
+    case IForm::ImulRR:
+    case IForm::TestRR:
+    case IForm::AluRR:
+      Rs[N++] = I.R1;
+      Rs[N++] = I.R2;
+      break;
+    case IForm::IdivR:
+      Rs[N++] = I.R1;
+      Rs[N++] = RAX;
+      Rs[N++] = RDX;
+      break;
+    case IForm::Cqo:
+      Rs[N++] = RAX;
+      break;
+    default:
+      break; // MovRI/SetccR8/PushR/PopR/Call/Jmp/Jcc/Ret
+    }
+    for (unsigned K = 0; K < N; ++K) {
+      int G = guestOfHost(Rs[K]);
+      if (G >= 0 && (S.HostStale & (1u << G)))
+        flag(NVCode::StaleCachedValue, I.Offset,
+             std::string(HostNames[Rs[K]]) + " read while its cached " +
+                 regName(unsigned(G)) +
+                 " is stale (missing post-call reload)");
+    }
   }
 
   enum class StoreSrc { FromReg, FromImm, Rmw };
 
   void exec(const DecodedInst &I, AbsState &S, FlagsFact &F) {
+    checkStaleReads(I, S);
     switch (I.Form) {
     case IForm::MovRR:
       writeHost(S, I.R1, readHost(S, I.R2), I);
@@ -544,13 +677,28 @@ private:
     }
     case IForm::MovRM: {
       AbsVal V;
-      if (S.Host[I.M.Base].K == VK::EnvPtr)
+      int OwnSlot = -1;
+      if (S.Host[I.M.Base].K == VK::EnvPtr) {
         V = envLoad(S, I);
-      else
+        size_t D = size_t(I.M.Disp);
+        if (PP && I.M.Disp >= 0 && D >= RegsOff && D < RegsEnd &&
+            (D - RegsOff) % 8 == 0) {
+          unsigned G = unsigned((D - RegsOff) / 8);
+          if (RM->GuestToHost[G] == int(I.R1))
+            OwnSlot = int(G);
+        }
+      } else {
         flag(NVCode::UncheckedMemAccess, I.Offset,
              std::string("load through unclassified pointer in ") +
                  HostNames[I.M.Base]);
+      }
       writeHost(S, I.R1, V, I);
+      if (OwnSlot >= 0) {
+        // A reload from g's own slot leaves host and slot equal:
+        // nothing stale in either direction.
+        S.HostStale &= ~(1u << OwnSlot);
+        S.SlotStale &= ~(1u << OwnSlot);
+      }
       break;
     }
     case IForm::MovMR:
@@ -720,7 +868,18 @@ private:
           S.SPKnown = false;
         }
       }
+      uint32_t SavedSlotStale = S.SlotStale;
       writeHost(S, I.R1, V, I);
+      if (PP) {
+        // An epilogue pop restores the caller's host value, not guest
+        // g's: the host copy is stale again, and the pop must not mask
+        // a sync the ret check still owes (keep SlotStale as it was).
+        int G = guestOfHost(I.R1);
+        if (G >= 0) {
+          S.HostStale |= 1u << G;
+          S.SlotStale = SavedSlotStale;
+        }
+      }
       break;
     }
     case IForm::Call:
@@ -864,13 +1023,15 @@ private:
         return;
       }
       unsigned G = unsigned((D - RegsOff) / 8);
-      int H = Map.GuestToHost[G];
+      int H = RM->GuestToHost[G];
       if (H >= 0 && !(Src == StoreSrc::FromReg && SrcReg == Reg(H) &&
                       I.Form == IForm::MovMR))
         flag(NVCode::PinnedSlotBypass, I.Offset,
              std::string("slot of pinned ") + regName(G) +
                  " stored from something other than its host " +
                  HostNames[H]);
+      else if (PP && H >= 0)
+        S.SlotStale &= ~(1u << G); // sync store: slot is canonical again
       S.Slot[G] = Src == StoreSrc::Rmw ? AbsVal{} : Val;
       return;
     }
@@ -894,32 +1055,67 @@ private:
   // Calls
   //===--------------------------------------------------------------------===//
 
+  /// CallSyncMissing at a point where NativeEnv::Regs must be current
+  /// for the guest registers in \p Req: any still-dirty pin there
+  /// missed its required write-back.
+  void checkSynced(const DecodedInst &I, const AbsState &S, uint32_t Req,
+                   const char *What) {
+    if (!PP)
+      return;
+    uint32_t Bad = S.SlotStale & Req;
+    if (!Bad)
+      return;
+    unsigned G = unsigned(__builtin_ctz(Bad));
+    flag(NVCode::CallSyncMissing, I.Offset,
+         std::string("dirty pinned ") + regName(G) +
+             " not written back before " + What);
+  }
+
   void execCall(const DecodedInst &I, AbsState &S) {
     auto It = EntryToProc.find(I.target());
     if (It == EntryToProc.end()) {
       // decodeRegion validated call targets; defensive only.
       flag(NVCode::Structure, I.Offset,
            "call to an offset that is no procedure entry");
-      guestCallEffect(S, nullptr);
+      checkSynced(I, S, ~0u, "a guest call");
+      guestCallEffect(S, nullptr, -1);
       return;
     }
+    // Required sync set: raw mode trusts the callee's published masks
+    // plus the host-clobber boundary (volatile pins the callee may
+    // overwrite, same-host agreements whose entry reload reads the
+    // slot); instrumented mode must leave every slot canonical because
+    // a bailing callee's careful tail reads NativeEnv::Regs as truth.
+    uint32_t Req = ~0u;
+    if (Opts.Raw && size_t(It->second) < Table.CallSync.size())
+      Req = x64::rawCallBoundary(*RM, Table.CallSync[It->second],
+                                 Table.CallReload[It->second],
+                                 Table.HostClobber[It->second],
+                                 Table.agreementMapFor(It->second))
+                .SyncNeed;
+    checkSynced(I, S, Req, "a guest call");
     const BitVector *Mask = nullptr;
     if (!Prog.ClobberMasks.empty() &&
         size_t(It->second) < Prog.ClobberMasks.size())
       Mask = &Prog.ClobberMasks[It->second];
-    guestCallEffect(S, Mask);
+    guestCallEffect(S, Mask, int(It->second));
   }
 
   void execCallM(const DecodedInst &I, AbsState &S) {
     const AbsVal B = S.Host[I.M.Base];
     size_t D = size_t(I.M.Disp);
     if (B.K == VK::EnvPtr) {
-      if (D == offsetof(NativeEnv, FnPrint) ||
-          D == offsetof(NativeEnv, FnSnapshot) ||
-          D == offsetof(NativeEnv, FnCheckRet)) {
+      if (D == offsetof(NativeEnv, FnPrint)) {
         helperEffect(S);
-      } else if (D == offsetof(NativeEnv, FnError) ||
-                 D == offsetof(NativeEnv, FnBail)) {
+      } else if (D == offsetof(NativeEnv, FnSnapshot) ||
+                 D == offsetof(NativeEnv, FnCheckRet)) {
+        // These helpers read the guest register file.
+        checkSynced(I, S, ~0u, "a register-file-reading helper call");
+        helperEffect(S);
+      } else if (D == offsetof(NativeEnv, FnBail)) {
+        // noreturn; the careful tail resumes from NativeEnv::Regs.
+        checkSynced(I, S, ~0u, "the bailout helper");
+      } else if (D == offsetof(NativeEnv, FnError)) {
         // noreturn: runBlock ends the block here.
       } else {
         flag(NVCode::Structure, I.Offset,
@@ -929,39 +1125,118 @@ private:
       return;
     }
     if (B.K == VK::ProcTabPtr && I.M.Disp == 0) {
+      uint32_t Req = ~0u;
+      if (Opts.Raw && PP)
+        Req = x64::rawCallBoundary(*RM, Table.IndSync, Table.IndReload,
+                                   Table.IndHostClobber, nullptr)
+                  .SyncNeed;
+      checkSynced(I, S, Req, "an indirect guest call");
       guestCallEffect(S, Prog.DefaultClobber.size() ? &Prog.DefaultClobber
-                                                    : nullptr);
+                                                    : nullptr,
+                      -1);
       return;
     }
     flag(NVCode::Structure, I.Offset,
          std::string("indirect call through unclassified pointer in ") +
              HostNames[I.M.Base]);
-    guestCallEffect(S, nullptr);
+    checkSynced(I, S, ~0u, "a guest call");
+    guestCallEffect(S, nullptr, -1);
   }
 
   /// A guest procedure call under the callee's contract \p Mask (null:
-  /// no contract, clobber everything). Guest registers outside the mask
-  /// keep their canonical location's value; pinned hosts of masked
-  /// registers and everything scratch go to Top. Host stack slots and
-  /// sp-relative guest saves survive (callees run below both pointers).
-  void guestCallEffect(AbsState &S, const BitVector *Mask) {
+  /// no contract, clobber everything); \p Callee is the direct callee's
+  /// procedure id, or -1 (indirect / unresolved: assume the default
+  /// contract). Guest registers outside the mask keep their canonical
+  /// location's value; pinned hosts of masked registers and everything
+  /// scratch go to Top. Host stack slots and sp-relative guest saves
+  /// survive (callees run below both pointers).
+  void guestCallEffect(AbsState &S, const BitVector *Mask, int Callee) {
     S.Host[RAX] = S.Host[RCX] = S.Host[RDX] = AbsVal{};
-    for (Reg H : {RSI, RDI, R8, R9, R10, R11})
-      if (!pinnedHost(H))
-        S.Host[H] = AbsVal{};
     if (Opts.Raw) {
       // The callee accumulates into the dedicated counters.
       S.Host[R12] = AbsVal{};
       S.Host[R13] = AbsVal{};
     }
-    for (unsigned G = 0; G < NumPhysRegs; ++G) {
-      int H = Map.GuestToHost[G];
-      if (H >= 0) {
-        if (masked(Mask, G))
+    if (PP && Opts.Raw) {
+      // Raw per-procedure maps mirror rawCallBoundary exactly: a
+      // volatile pin outside the callee's host-clobber summary is
+      // carried -- host value and staleness both ride through the call.
+      // A same-host agreement (callee pins this guest in this host)
+      // leaves the host holding the guest's current value at ret, so
+      // the host goes to Top without becoming stale.
+      bool Known = Callee >= 0 && size_t(Callee) < Table.HostClobber.size();
+      x64::CallBoundary B =
+          Known ? x64::rawCallBoundary(*RM, Table.CallSync[Callee],
+                                       Table.CallReload[Callee],
+                                       Table.HostClobber[Callee],
+                                       Table.agreementMapFor(Callee))
+                : x64::rawCallBoundary(*RM, Table.IndSync, Table.IndReload,
+                                       Table.IndHostClobber, nullptr);
+      // Unpinned volatile hosts die unconditionally. Pinned ones are
+      // governed entirely by the per-guest loop below: a host in the
+      // callee's clobber summary is wiped through ReloadNeed, while a
+      // same-host agreement (the callee pins the same guest there, so
+      // its epilogue leaves the guest's current value in place) and a
+      // carried pin (the callee provably never touches the host) both
+      // keep their abstract value -- wiping them here would erase
+      // exactly the facts the carried protocol exists to preserve.
+      S.Host[RSI] = S.Host[RDI] = AbsVal{};
+      for (Reg H : {R8, R9, R10, R11})
+        if (!pinnedHost(H))
           S.Host[H] = AbsVal{};
-        S.Slot[G] = AbsVal{}; // pinned slots may be synced stale
-      } else if (masked(Mask, G)) {
-        S.Slot[G] = AbsVal{};
+      for (unsigned G = 0; G < NumPhysRegs; ++G) {
+        int H = RM->GuestToHost[G];
+        bool Clobbered = masked(Mask, G);
+        if (Clobbered) {
+          S.Slot[G] = AbsVal{};
+          S.SlotStale &= ~(1u << G); // the callee's value supersedes ours
+        }
+        if (H < 0)
+          continue;
+        if (B.ReloadNeed & (1u << G)) {
+          S.Host[H] = AbsVal{};
+          S.HostStale |= 1u << G;
+        } else if (Clobbered) {
+          S.Host[H] = AbsVal{}; // same-host pin: new value, not stale
+        }
+      }
+    } else if (PP) {
+      // Instrumented per-procedure maps: the callee's prologue/epilogue
+      // keeps every slot canonical at the boundary -- a masked slot
+      // holds whatever the callee left (Top), an unmasked one provably
+      // its pre-call value (a callee writing outside its mask must
+      // restore it, and its ret sync then stores the entry value back).
+      // Volatile hosts die outright; callee-saved hosts of unmasked
+      // pins survive.
+      for (Reg H : {RSI, RDI, R8, R9, R10, R11})
+        S.Host[H] = AbsVal{};
+      for (unsigned G = 0; G < NumPhysRegs; ++G) {
+        int H = RM->GuestToHost[G];
+        bool Clobbered = masked(Mask, G);
+        if (Clobbered) {
+          S.Slot[G] = AbsVal{};
+          S.SlotStale &= ~(1u << G); // the callee's value supersedes ours
+        }
+        if (H < 0)
+          continue;
+        if (Clobbered || (VolPinMask & (1u << G))) {
+          S.Host[H] = AbsVal{};
+          S.HostStale |= 1u << G;
+        }
+      }
+    } else {
+      for (Reg H : {RSI, RDI, R8, R9, R10, R11})
+        if (!pinnedHost(H))
+          S.Host[H] = AbsVal{};
+      for (unsigned G = 0; G < NumPhysRegs; ++G) {
+        int H = RM->GuestToHost[G];
+        if (H >= 0) {
+          if (masked(Mask, G))
+            S.Host[H] = AbsVal{};
+          S.Slot[G] = AbsVal{}; // pinned slots may be synced stale
+        } else if (masked(Mask, G)) {
+          S.Slot[G] = AbsVal{};
+        }
       }
     }
     S.ScratchA = AbsVal{};
@@ -974,6 +1249,8 @@ private:
   void helperEffect(AbsState &S) {
     for (Reg H : {RAX, RCX, RDX, RSI, RDI, R8, R9, R10, R11})
       S.Host[H] = AbsVal{};
+    if (PP)
+      S.HostStale |= VolPinMask; // volatile-hosted pins died with them
   }
 
   //===--------------------------------------------------------------------===//
@@ -1001,13 +1278,22 @@ private:
       report(NVCode::HostCalleeSavedNotPreserved, CurProc, I.Offset,
              "r14 no longer holds the guest memory base at ret");
     for (Reg H : {RBX, RBP, R12, R13}) {
-      if (pinnedHost(H) || rawCounter(H))
+      // Per-procedure maps restore pinned callee-saved hosts through
+      // the epilogue pops, so they owe the check too; the global map
+      // dedicates them to their guests for the whole run.
+      if ((!PP && pinnedHost(H)) || rawCounter(H))
         continue;
       const AbsVal &V = S.Host[H];
       if (!(V.K == VK::ProcEntryHost && V.A == int64_t(H)))
         report(NVCode::HostCalleeSavedNotPreserved, CurProc, I.Offset,
                std::string("callee-saved ") + HostNames[H] +
                    " not preserved at ret");
+    }
+    if (PP && S.SlotStale) {
+      unsigned G = unsigned(__builtin_ctz(S.SlotStale));
+      report(NVCode::CallSyncMissing, CurProc, I.Offset,
+             std::string("dirty pinned ") + regName(G) +
+                 " not written back before ret");
     }
     if (Prog.ClobberMasks.empty() ||
         size_t(CurProc) >= Prog.ClobberMasks.size())
@@ -1018,8 +1304,11 @@ private:
         continue;
       if (G < Mask.size() && Mask.test(G))
         continue;
-      int H = Map.GuestToHost[G];
-      const AbsVal &V = H >= 0 ? S.Host[H] : S.Slot[G];
+      int H = RM->GuestToHost[G];
+      // Per-procedure maps: the slot is the canonical location at ret
+      // (the epilogue popped the hosts); global map: a pinned register
+      // lives in its host.
+      const AbsVal &V = (!PP && H >= 0) ? S.Host[H] : S.Slot[G];
       if (!(V.K == VK::GuestEntry && V.A == int64_t(G) && V.D == 0))
         report(NVCode::GuestClobberBeyondSummary, CurProc, I.Offset,
                std::string(regName(G)) +
@@ -1074,11 +1363,30 @@ private:
     auto At = [&](size_t K) -> const DecodedInst * {
       return K < R.Insts.size() ? &R.Insts[K] : nullptr;
     };
-    // The procedure entry's frame pad precedes the first block's head.
+    // The procedure prologue precedes the first block's head: under
+    // per-procedure maps [push host]*, the optional alignment pad, then
+    // the pinned-register loads from their own slots; under the global
+    // map just the pad.
     const DecodedInst *P = At(I);
+    if (T == R.Begin && PP && CurProc >= 0)
+      while (P && P->Form == IForm::PushR)
+        P = At(++I);
     if (T == R.Begin && P && P->Form == IForm::AluRI &&
         P->Op == Alu::Sub && P->R1 == RSP && P->Imm == 8)
       P = At(++I);
+    if (T == R.Begin && PP && CurProc >= 0) {
+      auto IsOwnSlotLoad = [&](const DecodedInst *Q) {
+        if (!Q || Q->Form != IForm::MovRM || Q->M.Base != R15 ||
+            Q->M.Disp < 0)
+          return false;
+        size_t D = size_t(Q->M.Disp);
+        if (D < RegsOff || D >= RegsEnd || (D - RegsOff) % 8 != 0)
+          return false;
+        return RM->GuestToHost[(D - RegsOff) / 8] == int(Q->R1);
+      };
+      while (IsOwnSlotLoad(P))
+        P = At(++I);
+    }
     if (!P)
       return false;
     if (!Opts.Raw) {
@@ -1157,6 +1465,10 @@ const char *ipra::x64::nvCodeName(NVCode Code) {
     return "missing-budget-check";
   case NVCode::CounterClobbered:
     return "counter-clobbered";
+  case NVCode::CallSyncMissing:
+    return "call-sync-missing";
+  case NVCode::StaleCachedValue:
+    return "stale-cached-value";
   }
   return "?";
 }
@@ -1185,9 +1497,9 @@ std::string ipra::x64::NVerifyResult::str() const {
 
 NVerifyResult ipra::x64::verifyNativeCode(const MProgram &Prog,
                                           const NativeCodeGenOptions &Opts,
-                                          const RegisterMap &Map,
+                                          const RegMapTable &Maps,
                                           const std::vector<size_t> &ProfOff,
                                           const NativeCode &Code,
                                           const NVerifyOptions &VO) {
-  return Auditor(Prog, Opts, Map, ProfOff, Code, VO).run();
+  return Auditor(Prog, Opts, Maps, ProfOff, Code, VO).run();
 }

@@ -102,6 +102,17 @@ enum class NVCode {
   /// Raw mode's step/call accumulator (r12/r13) written by
   /// non-accounting code.
   CounterClobbered,
+  /// Per-procedure maps: a pinned guest register whose host copy is
+  /// newer than its NativeEnv::Regs slot reaches a point where the
+  /// slot is the canonical value -- a guest call whose callee's summary
+  /// covers the register, a register-file-reading helper call
+  /// (FnSnapshot/FnCheckRet/FnBail), or a return -- without the
+  /// required write-back.
+  CallSyncMissing,
+  /// Per-procedure maps: an instruction consumes a pinned host register
+  /// after a call destroyed or may have redefined the cached guest
+  /// value, without the post-call reload.
+  StaleCachedValue,
 };
 
 /// Short stable name, e.g. "missing-budget-check".
@@ -142,12 +153,18 @@ struct NVerifyResult {
 };
 
 /// Audits \p Code, the sealed image emitNativeProgram produced for
-/// \p Prog under \p Opts / \p Map / \p ProfOff (the verifier needs the
-/// exact same inputs to know the register map, the budget constants and
-/// the profile windows). Pure; safe to call on mutated images in tests.
+/// \p Prog under \p Opts / \p Maps / \p ProfOff (the verifier needs the
+/// exact same inputs to know the register maps, the budget constants
+/// and the profile windows). Under per-procedure maps each body region
+/// is audited against its own map plus the call-boundary sync protocol
+/// (NativeRuntime.h): slot-vs-host staleness is tracked per pinned
+/// guest register, every required call-site write-back and post-call
+/// reload is checked against the callee's summary-derived masks, and
+/// returns must leave every slot canonical. Pure; safe to call on
+/// mutated images in tests.
 NVerifyResult verifyNativeCode(const MProgram &Prog,
                                const NativeCodeGenOptions &Opts,
-                               const RegisterMap &Map,
+                               const RegMapTable &Maps,
                                const std::vector<size_t> &ProfOff,
                                const NativeCode &Code,
                                const NVerifyOptions &VO = {});

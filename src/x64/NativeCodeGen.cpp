@@ -125,10 +125,18 @@ Cond cmpCond(MOpcode Op) {
 class Emitter {
 public:
   Emitter(const MProgram &Prog, const NativeCodeGenOptions &Opts,
-          const RegisterMap &Map, const std::vector<size_t> &ProfOff,
+          const RegMapTable &Maps, const std::vector<size_t> &ProfOff,
           NativeCode &Out, std::string &Err)
-      : Prog(Prog), Opts(Opts), Map(Map), ProfOff(ProfOff), Out(Out),
-        Err(Err) {}
+      : Prog(Prog), Opts(Opts), Maps(Maps), ProfOff(ProfOff), Out(Out),
+        Err(Err) {
+    for (unsigned G = 0; G < NumPhysRegs; ++G)
+      NoPins.GuestToHost[G] = -1;
+    // The trampoline runs under the global map (its reload/sync pair is
+    // the whole pinning protocol there); with per-procedure maps the
+    // canonical home at every boundary is the Regs slots, so the
+    // trampoline pins nothing at all.
+    Map = Maps.PerProc ? &NoPins : &Maps.Global;
+  }
 
   bool run() {
     if (!preflight())
@@ -147,6 +155,9 @@ public:
       A.callM(ENV(FnError));
     }
     Out.ProcEntry.assign(Prog.Procs.size(), size_t(-1));
+    Out.BlockSlotOps.assign(Prog.Procs.size(), {});
+    Out.BlockCallOps.assign(Prog.Procs.size(), {});
+    Out.ProcEntryOps.assign(Prog.Procs.size(), 0);
     for (unsigned P = 0; P < Prog.Procs.size(); ++P)
       if (!emitProc(P))
         return false;
@@ -206,30 +217,43 @@ private:
   // Guest register file access
   //===--------------------------------------------------------------------===//
 
-  int hostOf(unsigned G) const { return Map.GuestToHost[G]; }
+  int hostOf(unsigned G) const { return Map->GuestToHost[G]; }
+
+  static uint32_t bit(unsigned G) { return 1u << G; }
 
   void loadGuest(Reg Dst, unsigned G) {
     int H = hostOf(G);
-    if (H >= 0)
+    if (H >= 0) {
       A.movRR(Dst, Reg(H));
-    else
+    } else {
       A.movRM(Dst, regSlot(G));
+      ++SlotOps;
+    }
   }
 
   void storeGuest(unsigned G, Reg Src) {
     int H = hostOf(G);
-    if (H >= 0)
+    if (H >= 0) {
       A.movRR(Reg(H), Src);
-    else
+      Dirty |= bit(G);
+    } else {
       A.movMR(regSlot(G), Src);
+      ++SlotOps;
+    }
   }
+
+  /// Records that a lowering wrote guest \p G's pinned host in place
+  /// (the storeGuest-free fast paths).
+  void markDirty(unsigned G) { Dirty |= bit(G); }
 
   void aluGuest(Alu Op, Reg Dst, unsigned G) {
     int H = hostOf(G);
-    if (H >= 0)
+    if (H >= 0) {
       A.aluRR(Op, Dst, Reg(H));
-    else
+    } else {
       A.aluRM(Op, Dst, regSlot(G));
+      ++SlotOps;
+    }
   }
 
   void imulGuest(Reg Dst, unsigned G) {
@@ -238,6 +262,7 @@ private:
       A.imulRR(Dst, Reg(H));
     } else {
       A.movRM(RDX, regSlot(G));
+      ++SlotOps;
       A.imulRR(Dst, RDX);
     }
   }
@@ -251,13 +276,65 @@ private:
     }
   }
 
-  void syncOne(unsigned G, Reg H) { A.movMR(regSlot(G), H); }
-  void reloadOne(unsigned G, Reg H) { A.movRM(H, regSlot(G)); }
+  void syncOne(unsigned G, Reg H) {
+    A.movMR(regSlot(G), H);
+    ++SlotOps;
+    Dirty &= ~bit(G);
+  }
+  void reloadOne(unsigned G, Reg H) {
+    A.movRM(H, regSlot(G));
+    ++SlotOps;
+    Dirty &= ~bit(G); // host == slot now
+  }
 
   void syncAllPinned() { forEachPinned(false, &Emitter::syncOne); }
   void reloadAllPinned() { forEachPinned(false, &Emitter::reloadOne); }
   void syncCallerSavedPinned() { forEachPinned(true, &Emitter::syncOne); }
   void reloadCallerSavedPinned() { forEachPinned(true, &Emitter::reloadOne); }
+
+  //===--------------------------------------------------------------------===//
+  // Call-boundary sync protocol (per-procedure maps)
+  //===--------------------------------------------------------------------===//
+
+  /// Writes back dirty pinned guests a callee may observe: the fully
+  /// computed \p Need set (rawCallBoundary's SyncNeed for raw calls,
+  /// everything for instrumented ones -- a bailing callee's careful
+  /// tail reads the slots as global truth). Dirty pins outside the set
+  /// are *carried*: they ride through the call in their hosts, still
+  /// dirty. \p ClobberBits is the callee's pure clobber set, used only
+  /// to target the SkipCallSync mutation at a summary-covered register.
+  void syncForCall(uint32_t Need, uint32_t ClobberBits) {
+    assert(Maps.PerProc);
+    uint32_t DoSync = Dirty & Need;
+    if (Hooks && Hooks->Defect == NativeDefect::SkipCallSync) {
+      uint32_t Victims = DoSync & ClobberBits;
+      if (Victims)
+        DoSync &= ~(Victims & -Victims); // drop one covered register
+    }
+    Out.CallSyncsAvoided += unsigned(__builtin_popcount(Dirty & ~DoSync));
+    Out.CallSyncStores += unsigned(__builtin_popcount(DoSync));
+    CallOps += unsigned(__builtin_popcount(DoSync));
+    for (unsigned G = 0; G < NumPhysRegs; ++G)
+      if (DoSync & bit(G))
+        syncOne(G, Reg(hostOf(G)));
+  }
+
+  /// Reloads pinned guests whose host no longer holds their current
+  /// value (rawCallBoundary's ReloadNeed for raw calls; the clobber set
+  /// plus every volatile pin for instrumented ones). Must run before
+  /// any bail stub can fire (bail stubs sync every pinned host back to
+  /// the slots, so all of them must hold live values again).
+  void reloadAfterCall(uint32_t Need) {
+    assert(Maps.PerProc);
+    if (Hooks && Hooks->Defect == NativeDefect::SkipCallReload)
+      return;
+    uint32_t DoReload = PinnedMask & Need;
+    Out.CallReloadLoads += unsigned(__builtin_popcount(DoReload));
+    CallOps += unsigned(__builtin_popcount(DoReload));
+    for (unsigned G = 0; G < NumPhysRegs; ++G)
+      if (DoReload & bit(G))
+        reloadOne(G, Reg(hostOf(G)));
+  }
 
   //===--------------------------------------------------------------------===//
   // Small emission helpers
@@ -467,6 +544,10 @@ private:
     Out.ProcEntry[P] = A.size();
     ++Out.ProcsEmitted;
 
+    Map = &Maps.mapFor(P);
+    computeProcMasks(Proc);
+    Out.MapPins += Map->NumPinned;
+
     BlockLabels.assign(Proc.Blocks.size(), -1);
     for (unsigned B = 0; B < Proc.Blocks.size(); ++B)
       BlockLabels[B] = A.newLabel();
@@ -484,20 +565,124 @@ private:
       }
     }
 
-    A.aluRI(Alu::Sub, RSP, 8);
+    Out.BlockSlotOps[P].assign(Proc.Blocks.size(), 0);
+    Out.BlockCallOps[P].assign(Proc.Blocks.size(), 0);
+    SlotOps = 0;
+    emitProcPrologue(Proc);
+    Out.ProcEntryOps[P] = SlotOps;
     for (unsigned B = 0; B < Proc.Blocks.size(); ++B) {
       const MBlock &Blk = Proc.Blocks[B];
       BlockId = B;
       A.bind(BlockLabels[B]);
+      Dirty = WrittenMask; // conservative join over block predecessors
       emitBlockHead(Blk, NeedsCheck[B]);
       if (B == 0)
         plantEntryDefect();
       segReset(0);
+      SlotOps = CallOps = 0;
       for (size_t Idx = 0; Idx < Blk.Insts.size();)
         Idx = lowerInst(Blk, Idx);
+      Out.BlockSlotOps[P][B] = SlotOps;
+      Out.BlockCallOps[P][B] = CallOps;
     }
+    // Stubs follow the blocks; their slot traffic runs only on bailing
+    // or erroring executions, so it stays out of the per-block counts.
     emitStubs();
     return true;
+  }
+
+  /// Per-procedure pin bookkeeping: which guests are pinned, which of
+  /// those sit in volatile (SysV caller-saved) hosts, and which the
+  /// procedure's MIR ever writes (the conservative dirty set).
+  void computeProcMasks(const MProc &Proc) {
+    PinnedMask = VolPinnedMask = WrittenMask = 0;
+    SavedHosts.clear();
+    for (unsigned G = 0; G < NumPhysRegs; ++G) {
+      int H = Map->GuestToHost[G];
+      if (H < 0)
+        continue;
+      PinnedMask |= bit(G);
+      if (isCallerSavedHost(Reg(H)))
+        VolPinnedMask |= bit(G);
+    }
+    bool HasCalls = false;
+    for (const MBlock &B : Proc.Blocks) {
+      for (const MInst &I : B.Insts) {
+        if (I.Op == MOpcode::Call || I.Op == MOpcode::CallInd)
+          HasCalls = true;
+        if (writesRd(I.Op) && I.Rd < NumPhysRegs)
+          WrittenMask |= bit(I.Rd);
+      }
+    }
+    WrittenMask &= PinnedMask;
+    if (!Maps.PerProc)
+      return;
+    if (Opts.Raw) {
+      // Procedures containing call sites must keep the fixed 32-byte
+      // host frame the rsp depth check assumes (see NativeRuntime.h):
+      // push rbx+rbp whether pinned or not. Leaves are never live on
+      // the host stack when a depth check runs, so they push only what
+      // they pin.
+      if (HasCalls) {
+        SavedHosts.push_back(RBX);
+        SavedHosts.push_back(RBP);
+      } else {
+        for (Reg H : {RBX, RBP})
+          if (hostPinned(H))
+            SavedHosts.push_back(H);
+      }
+    } else {
+      for (Reg H : CalleeSavedHosts)
+        if (hostPinned(H))
+          SavedHosts.push_back(H);
+    }
+  }
+
+  bool hostPinned(Reg H) const {
+    for (unsigned G = 0; G < NumPhysRegs; ++G)
+      if (Map->GuestToHost[G] == int(H))
+        return true;
+    return false;
+  }
+
+  static bool writesRd(MOpcode Op) {
+    switch (Op) {
+    case MOpcode::Store:
+    case MOpcode::Call:
+    case MOpcode::CallInd:
+    case MOpcode::Ret:
+    case MOpcode::Br:
+    case MOpcode::CondBr:
+    case MOpcode::Print:
+      return false;
+    default:
+      return true;
+    }
+  }
+
+  /// Body entry. Global map: one alignment pad, the pinned hosts are
+  /// already live program-wide. Per-procedure maps: save the pinned
+  /// callee-saved hosts (the caller's values -- possibly its own pins),
+  /// pad rsp back to 16-byte alignment, then load every pinned guest
+  /// from its canonical slot. The loads precede block 0's budget test
+  /// so the bail stubs' syncAllPinned always sees live hosts.
+  void emitProcPrologue(const MProc &Proc) {
+    (void)Proc;
+    if (!Maps.PerProc) {
+      A.aluRI(Alu::Sub, RSP, 8);
+      PadSlot = true;
+      return;
+    }
+    for (Reg H : SavedHosts)
+      A.pushR(H);
+    SlotOps += unsigned(SavedHosts.size());
+    // After the call rsp is 8 mod 16; an odd push count realigns it,
+    // an even one needs the pad.
+    PadSlot = (SavedHosts.size() % 2) == 0;
+    if (PadSlot)
+      A.aluRI(Alu::Sub, RSP, 8);
+    reloadAllPinned();
+    Dirty = 0;
   }
 
   /// Plants the StrayStore / ClobberBeyondSummary mutation at the top
@@ -675,6 +860,7 @@ private:
     int HD = hostOf(I.Rd);
     if (I.Rd == I.Rs && HD >= 0) {
       aluGuest(Op, Reg(HD), I.Rt);
+      markDirty(I.Rd);
       return;
     }
     loadGuest(RAX, I.Rs);
@@ -686,6 +872,7 @@ private:
     int HD = hostOf(I.Rd);
     if (I.Rd == I.Rs && HD >= 0) {
       imulGuest(Reg(HD), I.Rt);
+      markDirty(I.Rd);
       return;
     }
     loadGuest(RAX, I.Rs);
@@ -766,11 +953,14 @@ private:
     int HD = hostOf(I.Rd), HS = hostOf(I.Rs);
     if (HD >= 0) {
       loadGuest(Reg(HD), I.Rs);
+      markDirty(I.Rd);
     } else if (HS >= 0) {
       A.movMR(regSlot(I.Rd), Reg(HS));
+      ++SlotOps;
     } else {
       A.movRM(RAX, regSlot(I.Rs));
       A.movMR(regSlot(I.Rd), RAX);
+      SlotOps += 2;
     }
   }
 
@@ -778,11 +968,14 @@ private:
     int HD = hostOf(I.Rd);
     if (HD >= 0) {
       A.movRI(Reg(HD), I.Imm);
+      markDirty(I.Rd);
     } else if (fitsI32(I.Imm)) {
       A.movMI(regSlot(I.Rd), int32_t(I.Imm));
+      ++SlotOps;
     } else {
       A.movRI(RAX, I.Imm);
       A.movMR(regSlot(I.Rd), RAX);
+      ++SlotOps;
     }
   }
 
@@ -790,6 +983,7 @@ private:
     int HD = hostOf(I.Rd);
     if (I.Rd == I.Rs && HD >= 0 && fitsI32(I.Imm)) {
       A.aluRI(Alu::Add, Reg(HD), int32_t(I.Imm));
+      markDirty(I.Rd);
       return;
     }
     loadGuest(RAX, I.Rs);
@@ -857,26 +1051,45 @@ private:
     }
     if (Opts.Raw) {
       // Depth check without a cursor: the host stack IS the guest call
-      // depth (16 bytes per frame), so one compare against the floor
-      // the trampoline computed is the whole test.
+      // depth (fixed-size frames, see NativeRuntime.h), so one compare
+      // against the floor the trampoline computed is the whole test.
       A.aluRM(Alu::Cmp, RSP, ENV(ShadowLimit));
       A.jcc(Cond::BE, errStubSettled(NativeErr::CallDepth, false, RAX, 0));
-      CallPatches.push_back({A.callRelPatchable(), I.Callee});
+      if (Maps.PerProc) {
+        CallBoundary B = rawCallBoundary(
+            *Map, Maps.CallSync[I.Callee], Maps.CallReload[I.Callee],
+            Maps.HostClobber[I.Callee], Maps.agreementMapFor(I.Callee));
+        syncForCall(B.SyncNeed, Maps.CallReload[I.Callee]);
+        CallPatches.push_back({A.callRelPatchable(), I.Callee});
+        reloadAfterCall(B.ReloadNeed);
+      } else {
+        CallPatches.push_back({A.callRelPatchable(), I.Callee});
+      }
       return;
     }
     A.movRM(RAX, ENV(ShadowPtr));
     A.aluRM(Alu::Cmp, RAX, ENV(ShadowLimit));
     A.jcc(Cond::AE, errStubSettled(NativeErr::CallDepth, false, RAX, 0));
+    // Instrumented per-proc calls sync *every* dirty pin, not just the
+    // summary set: if the callee (or anything below it) bails, the
+    // careful tail reads NativeEnv::Regs as global truth for this frame
+    // too. Sync stores are plain movs, so rax (ShadowPtr) survives.
+    if (Maps.PerProc)
+      syncForCall(~0u, Maps.CallReload[I.Callee]);
     if (Opts.Check) {
-      syncAllPinned();
+      if (!Maps.PerProc)
+        syncAllPinned();
       A.movRI(RSI, I.Callee);
       A.movRR(RDI, R15);
       A.callM(ENV(FnSnapshot));
-      reloadCallerSavedPinned();
+      if (!Maps.PerProc)
+        reloadCallerSavedPinned();
       A.movRM(RAX, ENV(ShadowPtr));
     }
     pushShadowFrame(Idx);
     CallPatches.push_back({A.callRelPatchable(), I.Callee});
+    if (Maps.PerProc)
+      reloadAfterCall(Maps.CallReload[I.Callee] | VolPinnedMask);
     emitResumeCheck(Idx);
   }
 
@@ -897,7 +1110,18 @@ private:
     if (Opts.Raw) {
       A.aluRM(Alu::Cmp, RSP, ENV(ShadowLimit));
       A.jcc(Cond::BE, errStubSettled(NativeErr::CallDepth, false, RAX, 0));
-      A.callM(Mem{RAX, 0}); // ProcTableEntry::Entry
+      // Indirect callees published the default mask (address-taken
+      // procedures are forced open) and no usable host agreement; sync
+      // stores are movs, so the table pointer in rax survives.
+      if (Maps.PerProc) {
+        CallBoundary B = rawCallBoundary(*Map, Maps.IndSync, Maps.IndReload,
+                                         Maps.IndHostClobber, nullptr);
+        syncForCall(B.SyncNeed, Maps.IndReload);
+        A.callM(Mem{RAX, 0}); // ProcTableEntry::Entry
+        reloadAfterCall(B.ReloadNeed);
+      } else {
+        A.callM(Mem{RAX, 0}); // ProcTableEntry::Entry
+      }
       return;
     }
     A.movRM(RCX, ENV(ShadowPtr));
@@ -906,12 +1130,16 @@ private:
     // The snapshot helper clobbers all scratch; park the callee id in
     // the Env spill slot and rebuild the table pointer afterwards.
     A.movMR(ENV(ScratchA), RDX);
+    if (Maps.PerProc)
+      syncForCall(~0u, Maps.IndReload); // all dirty: bail soundness
     if (Opts.Check) {
-      syncAllPinned();
+      if (!Maps.PerProc)
+        syncAllPinned();
       A.movRM(RSI, ENV(ScratchA));
       A.movRR(RDI, R15);
       A.callM(ENV(FnSnapshot));
-      reloadCallerSavedPinned();
+      if (!Maps.PerProc)
+        reloadCallerSavedPinned();
     }
     A.movRM(RAX, ENV(ShadowPtr));
     pushShadowFrame(Idx);
@@ -919,24 +1147,53 @@ private:
     A.shlRI(RAX, 4);
     A.aluRM(Alu::Add, RAX, ENV(ProcTable));
     A.callM(Mem{RAX, 0});
+    if (Maps.PerProc)
+      reloadAfterCall(Maps.IndReload | VolPinnedMask);
     emitResumeCheck(Idx);
+  }
+
+  /// The epilogue's frame teardown: undo the pad, restore the saved
+  /// hosts (caller's values) in reverse push order.
+  void emitFrameTeardown() {
+    if (PadSlot)
+      A.aluRI(Alu::Add, RSP, 8);
+    for (size_t I = SavedHosts.size(); I--;)
+      A.popR(SavedHosts[I]);
+    SlotOps += unsigned(SavedHosts.size());
+  }
+
+  /// Writes back every dirty pin: at a return the canonical home for
+  /// the caller is the Regs slots (per-procedure maps).
+  void syncDirtyPinned() {
+    for (unsigned G = 0; G < NumPhysRegs; ++G)
+      if (Dirty & bit(G))
+        syncOne(G, Reg(hostOf(G)));
   }
 
   void lowerRet(size_t Idx) {
     if (Opts.Raw) {
-      // Depth tracking is the host stack itself; nothing to pop.
-      A.aluRI(Alu::Add, RSP, 8);
+      // Depth tracking is the host stack itself; nothing to pop beyond
+      // the frame.
+      if (Maps.PerProc)
+        syncDirtyPinned();
+      emitFrameTeardown();
       A.ret();
       return;
     }
     settleThrough(Idx);
+    // Per-procedure maps: the slots must be canonical before the
+    // convention checker reads them and stay canonical through the ret.
+    if (Maps.PerProc)
+      syncDirtyPinned();
     if (Opts.Check) {
-      syncAllPinned();
+      if (!Maps.PerProc)
+        syncAllPinned();
       A.movRR(RDI, R15);
       A.callM(ENV(FnCheckRet));
       A.testRR(RAX, RAX);
       A.jcc(Cond::NE, errStubSettled(NativeErr::Convention, false, RAX, 0));
-      reloadCallerSavedPinned();
+      if (!Maps.PerProc)
+        reloadCallerSavedPinned();
     }
     // Conditional pop: main's ret runs at shadow depth 0 and must not
     // underflow the cursor.
@@ -947,7 +1204,7 @@ private:
     A.aluRI(Alu::Sub, RAX, 16);
     A.movMR(ENV(ShadowPtr), RAX);
     A.bind(LSkip);
-    A.aluRI(Alu::Add, RSP, 8);
+    emitFrameTeardown();
     A.ret();
   }
 
@@ -957,10 +1214,15 @@ private:
 
   const MProgram &Prog;
   const NativeCodeGenOptions &Opts;
-  const RegisterMap &Map;
+  const RegMapTable &Maps;
   const std::vector<size_t> &ProfOff;
   NativeCode &Out;
   std::string &Err;
+
+  /// The map governing the region currently being emitted (per-proc
+  /// policy swaps this per body; the trampoline pins nothing then).
+  const RegisterMap *Map = nullptr;
+  RegisterMap NoPins;
 
   Assembler A;
   std::vector<std::pair<size_t, int>> CallPatches;
@@ -976,68 +1238,209 @@ private:
   uint32_t SegCnt[4] = {0, 0, 0, 0};
   std::vector<ErrStub> ErrStubs;
   std::vector<BailStub> BailStubs;
+
+  // Per-procedure map state (computeProcMasks).
+  uint32_t PinnedMask = 0;    ///< Guests pinned by the current map.
+  uint32_t VolPinnedMask = 0; ///< Pins living in volatile hosts.
+  uint32_t WrittenMask = 0;   ///< Pins the procedure's MIR may write.
+  uint32_t Dirty = 0;         ///< Pins whose host is newer than the slot.
+  /// Register-state memory ops emitted since the last reset: slot
+  /// loads/stores plus saved-host pushes/pops. emitProc resets it per
+  /// block and snapshots into NativeCode::BlockSlotOps/ProcEntryOps.
+  unsigned SlotOps = 0;
+  /// The call-boundary subset of SlotOps (syncForCall/reloadAfterCall
+  /// traffic only), snapshotted into NativeCode::BlockCallOps.
+  unsigned CallOps = 0;
+  std::vector<Reg> SavedHosts; ///< Callee-saved hosts this body pushes.
+  bool PadSlot = true;         ///< Whether the frame includes the 8-byte pad.
 };
+
+} // namespace
+
+namespace {
+
+/// Adds \p W per operand occurrence in \p B to \p Freq (the shared
+/// operand-use model of both register-map choosers).
+void countBlockUses(const MBlock &B, uint64_t W, uint64_t *Freq) {
+  auto Use = [&](unsigned R) {
+    if (R < NumPhysRegs)
+      Freq[R] += W;
+  };
+  for (const MInst &I : B.Insts) {
+    switch (I.Op) {
+    case MOpcode::Add:
+    case MOpcode::Sub:
+    case MOpcode::Mul:
+    case MOpcode::Div:
+    case MOpcode::Rem:
+    case MOpcode::And:
+    case MOpcode::Or:
+    case MOpcode::Xor:
+    case MOpcode::Shl:
+    case MOpcode::Shr:
+    case MOpcode::CmpEq:
+    case MOpcode::CmpNe:
+    case MOpcode::CmpLt:
+    case MOpcode::CmpLe:
+    case MOpcode::CmpGt:
+    case MOpcode::CmpGe:
+      Use(I.Rd);
+      Use(I.Rs);
+      Use(I.Rt);
+      break;
+    case MOpcode::Neg:
+    case MOpcode::Not:
+    case MOpcode::Move:
+    case MOpcode::AddImm:
+    case MOpcode::Load:
+      Use(I.Rd);
+      Use(I.Rs);
+      break;
+    case MOpcode::LoadImm:
+      Use(I.Rd);
+      break;
+    case MOpcode::Store:
+      Use(I.Rs);
+      Use(I.Rt);
+      break;
+    case MOpcode::CallInd:
+    case MOpcode::CondBr:
+    case MOpcode::Print:
+      Use(I.Rs);
+      break;
+    case MOpcode::Call:
+    case MOpcode::Ret:
+    case MOpcode::Br:
+      break;
+    }
+  }
+}
+
+constexpr Reg GlobalHosts[] = {RBX, RBP, R12, R13, RSI, RDI,
+                               R8,  R9,  R10, R11};
+constexpr Reg GlobalRawHosts[] = {RBX, RBP, RSI, RDI, R8, R9, R10, R11};
+
+/// Per-procedure map: pin this procedure's own hottest guests, weighting
+/// uses inside layout back-edge spans (a cheap loop-depth estimate) and
+/// charging each candidate its protocol cost -- entry load + return sync
+/// for a callee-saved host, plus sync/reload traffic around call sites
+/// for a volatile host. \p PreferredVol maps each guest to the volatile
+/// host the whole program agrees on (or -1): procedures that pin the
+/// same guest in the same host let their callers skip the post-call
+/// reload (see rawCallBoundary), so agreement is worth chasing.
+RegisterMap chooseProcMap(const MProc &P, bool Raw,
+                          const signed char *PreferredVol) {
+  RegisterMap M;
+  for (unsigned G = 0; G < NumPhysRegs; ++G)
+    M.GuestToHost[G] = -1;
+  M.NumPinned = 0;
+  if (P.Blocks.empty())
+    return M;
+
+  std::vector<uint64_t> W(P.Blocks.size(), 1);
+  for (unsigned B = 0; B < P.Blocks.size(); ++B) {
+    const MInst &T = P.Blocks[B].Insts.back();
+    for (int Tgt : {T.Target1, T.Target2})
+      if (Tgt >= 0 && unsigned(Tgt) <= B)
+        for (unsigned J = unsigned(Tgt); J <= B; ++J)
+          W[J] = std::min<uint64_t>(W[J] * 8, uint64_t(1) << 24);
+  }
+
+  uint64_t Freq[NumPhysRegs] = {};
+  uint64_t CallW = 0;
+  for (unsigned B = 0; B < P.Blocks.size(); ++B) {
+    countBlockUses(P.Blocks[B], W[B], Freq);
+    for (const MInst &I : P.Blocks[B].Insts)
+      if (I.Op == MOpcode::Call || I.Op == MOpcode::CallInd)
+        CallW += W[B];
+  }
+
+  unsigned Order[NumPhysRegs];
+  for (unsigned G = 0; G < NumPhysRegs; ++G)
+    Order[G] = G;
+  std::stable_sort(Order, Order + NumPhysRegs, [&Freq](unsigned A, unsigned B) {
+    return Freq[A] > Freq[B];
+  });
+
+  // Protocol cost per pin, in (weighted) memory ops per invocation:
+  // every pin pays the entry load + return sync pair; a callee-saved
+  // host adds its push/pop unless the raw frame pushes rbx/rbp anyway
+  // (bodies with calls do, for the fixed-size depth frames); a volatile
+  // host instead pays one sync + one reload around every weighted call
+  // site, because the call destroys it. Hotter-than-cost guests get the
+  // cheaper class first. rsi/rdi stay out of the volatile pool: they
+  // carry helper-call arguments, and a pin there would break the
+  // emitter's convention (and the verifier's model) that every write
+  // into a pinned host defines that guest's current value.
+  const bool HasCalls = CallW != 0;
+  const uint64_t CostCS = (Raw && HasCalls) ? 2 : 4;
+  // Raw mode carries unclobbered volatile pins across calls whose
+  // callee cannot touch the host (rawCallBoundary), so a weighted call
+  // site averages well under the full sync + reload pair; instrumented
+  // mode always pays both (careful-tail resumability).
+  const uint64_t CostVol = Raw ? 2 + CallW : 2 + 2 * CallW;
+  const Reg CSPool[] = {RBX, RBP, R12, R13};
+  const Reg VolPool[] = {R8, R9, R10, R11};
+  const unsigned NumCS = Raw ? 2 : 4;
+  const unsigned NumVol = sizeof(VolPool) / sizeof(VolPool[0]);
+  unsigned NextCS = 0, NumVolTaken = 0;
+  uint32_t VolTaken = 0;
+  const bool VolFirst = CostVol <= CostCS;
+  for (unsigned I = 0; I < NumPhysRegs; ++I) {
+    unsigned G = Order[I];
+    if (Freq[G] == 0)
+      break;
+    bool Assigned = false;
+    for (int Pass = 0; Pass < 2 && !Assigned; ++Pass) {
+      bool TryVol = (Pass == 0) == VolFirst;
+      if (TryVol && NumVolTaken < NumVol && Freq[G] > CostVol) {
+        // The program-wide preferred host if it is still free here,
+        // else any free pool host (agreement lost, still correct).
+        signed char H = PreferredVol ? PreferredVol[G] : -1;
+        if (H < 0 || (VolTaken & (1u << H)))
+          for (Reg Cand : VolPool)
+            if (!(VolTaken & (1u << Cand))) {
+              H = char(Cand);
+              break;
+            }
+        VolTaken |= 1u << H;
+        ++NumVolTaken;
+        M.GuestToHost[G] = H;
+        Assigned = true;
+      } else if (!TryVol && NextCS < NumCS && Freq[G] > CostCS) {
+        M.GuestToHost[G] = char(CSPool[NextCS++]);
+        Assigned = true;
+      }
+    }
+    if (Assigned) {
+      ++M.NumPinned;
+    } else if (Freq[G] <= CostCS && Freq[G] <= CostVol) {
+      break; // sorted descending: nothing colder can qualify either
+    }
+  }
+  return M;
+}
+
+/// Converts a published BitVector mask to the emitter's bitset form; an
+/// absent mask (hand-built programs carry no contracts) means "assume
+/// everything".
+uint32_t maskBits(const BitVector &BV) {
+  if (BV.size() == 0)
+    return ~0u;
+  uint32_t M = 0;
+  for (unsigned G = 0; G < NumPhysRegs && G < BV.size(); ++G)
+    if (BV.test(G))
+      M |= 1u << G;
+  return M;
+}
 
 } // namespace
 
 RegisterMap ipra::x64::chooseRegisterMap(const MProgram &Prog, bool Raw) {
   uint64_t Freq[NumPhysRegs] = {};
-  auto Use = [&Freq](unsigned R) {
-    if (R < NumPhysRegs)
-      ++Freq[R];
-  };
-  for (const MProc &P : Prog.Procs) {
-    for (const MBlock &B : P.Blocks) {
-      for (const MInst &I : B.Insts) {
-        switch (I.Op) {
-        case MOpcode::Add:
-        case MOpcode::Sub:
-        case MOpcode::Mul:
-        case MOpcode::Div:
-        case MOpcode::Rem:
-        case MOpcode::And:
-        case MOpcode::Or:
-        case MOpcode::Xor:
-        case MOpcode::Shl:
-        case MOpcode::Shr:
-        case MOpcode::CmpEq:
-        case MOpcode::CmpNe:
-        case MOpcode::CmpLt:
-        case MOpcode::CmpLe:
-        case MOpcode::CmpGt:
-        case MOpcode::CmpGe:
-          Use(I.Rd);
-          Use(I.Rs);
-          Use(I.Rt);
-          break;
-        case MOpcode::Neg:
-        case MOpcode::Not:
-        case MOpcode::Move:
-        case MOpcode::AddImm:
-        case MOpcode::Load:
-          Use(I.Rd);
-          Use(I.Rs);
-          break;
-        case MOpcode::LoadImm:
-          Use(I.Rd);
-          break;
-        case MOpcode::Store:
-          Use(I.Rs);
-          Use(I.Rt);
-          break;
-        case MOpcode::CallInd:
-        case MOpcode::CondBr:
-        case MOpcode::Print:
-          Use(I.Rs);
-          break;
-        case MOpcode::Call:
-        case MOpcode::Ret:
-        case MOpcode::Br:
-          break;
-        }
-      }
-    }
-  }
+  for (const MProc &P : Prog.Procs)
+    for (const MBlock &B : P.Blocks)
+      countBlockUses(B, 1, Freq);
 
   RegisterMap M;
   for (unsigned G = 0; G < NumPhysRegs; ++G)
@@ -1052,12 +1455,10 @@ RegisterMap ipra::x64::chooseRegisterMap(const MProgram &Prog, bool Raw) {
   // Hottest first into callee-saved hosts (no traffic at helper calls),
   // then caller-saved. Raw mode gives up r12/r13: they hold the step
   // and call accumulators instead of guest state.
-  static constexpr Reg Hosts[] = {RBX, RBP, R12, R13, RSI, RDI, R8, R9, R10, R11};
-  static constexpr Reg RawHosts[] = {RBX, RBP, RSI, RDI, R8, R9, R10, R11};
-  const Reg *Pool = Raw ? RawHosts : Hosts;
+  const Reg *Pool = Raw ? GlobalRawHosts : GlobalHosts;
   const unsigned NumHosts =
-      Raw ? sizeof(RawHosts) / sizeof(RawHosts[0])
-          : sizeof(Hosts) / sizeof(Hosts[0]);
+      Raw ? sizeof(GlobalRawHosts) / sizeof(GlobalRawHosts[0])
+          : sizeof(GlobalHosts) / sizeof(GlobalHosts[0]);
   unsigned N = 0;
   for (unsigned I = 0; I < NumPhysRegs && N < NumHosts; ++I) {
     unsigned G = Order[I];
@@ -1069,6 +1470,138 @@ RegisterMap ipra::x64::chooseRegisterMap(const MProgram &Prog, bool Raw) {
   return M;
 }
 
+uint32_t ipra::x64::volPinHostMask() {
+  return (1u << R8) | (1u << R9) | (1u << R10) | (1u << R11);
+}
+
+CallBoundary ipra::x64::rawCallBoundary(const RegisterMap &Caller,
+                                        uint32_t CalleeSync,
+                                        uint32_t CalleeReload,
+                                        uint32_t CalleeHostClobber,
+                                        const RegisterMap *Callee) {
+  CallBoundary B;
+  const uint32_t VolHosts = volPinHostMask();
+  for (unsigned G = 0; G < NumPhysRegs; ++G) {
+    int H = Caller.GuestToHost[G];
+    if (H < 0)
+      continue;
+    bool Vol = (VolHosts >> H) & 1;
+    // Same: the callee pins this guest in this same volatile host. Its
+    // entry reload reads the slot (so a dirty value must be synced) and
+    // its epilogue leaves the host holding the guest's current value
+    // (so the post-call reload is dead weight). Callee-saved hosts do
+    // not qualify: the callee's pop restores the *caller's* host value,
+    // which is outdated whenever the callee redefined the guest.
+    bool Same = Vol && Callee && Callee->GuestToHost[G] == H;
+    // Killed: the callee may overwrite the host with something that is
+    // not this guest's value, so the slot must be current before the
+    // call and the host reloaded after it.
+    bool Killed = Vol && !Same && ((CalleeHostClobber >> H) & 1);
+    if (Same || Killed || ((CalleeSync >> G) & 1))
+      B.SyncNeed |= 1u << G;
+    if (!Same && (Killed || ((CalleeReload >> G) & 1)))
+      B.ReloadNeed |= 1u << G;
+  }
+  return B;
+}
+
+RegMapTable ipra::x64::buildRegMapTable(const MProgram &Prog, bool Raw,
+                                        bool PerProc) {
+  RegMapTable T;
+  T.PerProc = PerProc;
+  T.Global = chooseRegisterMap(Prog, Raw);
+  if (!PerProc)
+    return T;
+
+  // Program-wide preferred volatile host per guest, by global weighted
+  // frequency: every procedure that volatile-pins a guest tries the
+  // same host first, maximizing the same-host agreement that lets
+  // callers skip post-call reloads.
+  constexpr Reg VolPool[] = {R8, R9, R10, R11};
+  signed char PreferredVol[NumPhysRegs];
+  {
+    uint64_t Freq[NumPhysRegs] = {};
+    for (const MProc &P : Prog.Procs)
+      for (const MBlock &B : P.Blocks)
+        countBlockUses(B, 1, Freq);
+    unsigned Order[NumPhysRegs];
+    for (unsigned G = 0; G < NumPhysRegs; ++G)
+      Order[G] = G;
+    std::stable_sort(Order, Order + NumPhysRegs,
+                     [&Freq](unsigned A, unsigned B) { return Freq[A] > Freq[B]; });
+    for (unsigned G = 0; G < NumPhysRegs; ++G)
+      PreferredVol[G] = -1;
+    for (unsigned I = 0; I < NumPhysRegs; ++I)
+      if (Freq[Order[I]] != 0)
+        PreferredVol[Order[I]] = char(VolPool[I % 4]);
+  }
+
+  T.Maps.reserve(Prog.Procs.size());
+  for (const MProc &P : Prog.Procs)
+    T.Maps.push_back(chooseProcMap(P, Raw, PreferredVol));
+
+  // A callee may *write* its clobber set and *read* its parameter
+  // registers plus the always-live machine registers (zero, sp, ra); a
+  // caller must make both current before the call, but only the writes
+  // invalidate the caller's cached copies.
+  const uint32_t AlwaysRead =
+      (1u << RegZero) | (1u << RegSP) | (1u << RegRA);
+  bool HaveMasks = Prog.ClobberMasks.size() == Prog.Procs.size();
+  bool HaveParams = Prog.ParamRegMasks.size() == Prog.Procs.size();
+  T.CallSync.reserve(Prog.Procs.size());
+  T.CallReload.reserve(Prog.Procs.size());
+  for (size_t P = 0; P < Prog.Procs.size(); ++P) {
+    uint32_t Clobber = HaveMasks ? maskBits(Prog.ClobberMasks[P]) : ~0u;
+    uint32_t Params = HaveParams ? maskBits(Prog.ParamRegMasks[P]) : ~0u;
+    T.CallReload.push_back(Clobber);
+    T.CallSync.push_back(Clobber | Params | AlwaysRead);
+  }
+  uint32_t IndClobber = maskBits(Prog.DefaultClobber);
+  T.IndReload = IndClobber;
+  T.IndSync = IndClobber == ~0u ? ~0u : (IndClobber | AlwaysRead);
+
+  // Transitive host-clobber summaries: which volatile pin hosts each
+  // procedure may overwrite on a path that returns. Base facts: its own
+  // volatile pins (the entry reload writes them), and everything if it
+  // can reach a returning helper call (Print clobbers all SysV
+  // caller-saved hosts) or an indirect call (unknown callee). Bail and
+  // error stubs never return to JIT code, so they contribute nothing.
+  // Direct calls union in the callee's mask; iterate to a fixpoint so
+  // recursion and deep chains saturate.
+  const uint32_t AllVol = volPinHostMask();
+  T.IndHostClobber = AllVol;
+  T.HostClobber.assign(Prog.Procs.size(), 0);
+  for (size_t P = 0; P < Prog.Procs.size(); ++P) {
+    uint32_t M = 0;
+    for (unsigned G = 0; G < NumPhysRegs; ++G) {
+      int H = T.Maps[P].GuestToHost[G];
+      if (H >= 0 && ((AllVol >> H) & 1))
+        M |= 1u << H;
+    }
+    for (const MBlock &B : Prog.Procs[P].Blocks)
+      for (const MInst &I : B.Insts)
+        if (I.Op == MOpcode::Print || I.Op == MOpcode::CallInd)
+          M |= AllVol;
+    T.HostClobber[P] = M;
+  }
+  for (bool Changed = true; Changed;) {
+    Changed = false;
+    for (size_t P = 0; P < Prog.Procs.size(); ++P) {
+      uint32_t M = T.HostClobber[P];
+      for (const MBlock &B : Prog.Procs[P].Blocks)
+        for (const MInst &I : B.Insts)
+          if (I.Op == MOpcode::Call && I.Callee >= 0 &&
+              size_t(I.Callee) < Prog.Procs.size())
+            M |= T.HostClobber[I.Callee];
+      if (M != T.HostClobber[P]) {
+        T.HostClobber[P] = M;
+        Changed = true;
+      }
+    }
+  }
+  return T;
+}
+
 void ipra::x64::setNativeCodeGenTestHooks(const NativeCodeGenTestHooks *Hooks) {
   TestHooks = Hooks;
 }
@@ -1077,11 +1610,36 @@ const NativeCodeGenTestHooks *ipra::x64::nativeCodeGenTestHooks() {
   return TestHooks;
 }
 
+uint64_t
+ipra::x64::nativeMapTraffic(const MProgram &Prog, const NativeCode &Code,
+                            const std::vector<std::vector<uint64_t>> &Counts,
+                            bool CallBoundaryOnly) {
+  const auto &PerBlock = CallBoundaryOnly ? Code.BlockCallOps : Code.BlockSlotOps;
+  uint64_t Traffic = 0;
+  for (size_t P = 0; P < Prog.Procs.size() && P < Counts.size(); ++P) {
+    if (P >= PerBlock.size())
+      break;
+    const auto &Ops = PerBlock[P];
+    const auto &C = Counts[P];
+    uint64_t Activations = 0;
+    for (size_t B = 0; B < Ops.size() && B < C.size(); ++B) {
+      Traffic += C[B] * Ops[B];
+      // A block executes its Ret terminator once per execution, so the
+      // summed counts of returning blocks are the activation count.
+      if (Prog.Procs[P].Blocks[B].Insts.back().Op == MOpcode::Ret)
+        Activations += C[B];
+    }
+    if (!CallBoundaryOnly && P < Code.ProcEntryOps.size())
+      Traffic += Activations * Code.ProcEntryOps[P];
+  }
+  return Traffic;
+}
+
 bool ipra::x64::emitNativeProgram(const MProgram &Prog,
                                   const NativeCodeGenOptions &Opts,
-                                  const RegisterMap &Map,
+                                  const RegMapTable &Maps,
                                   const std::vector<size_t> &ProfOff,
                                   NativeCode &Out, std::string &Err) {
   Out = NativeCode();
-  return Emitter(Prog, Opts, Map, ProfOff, Out, Err).run();
+  return Emitter(Prog, Opts, Maps, ProfOff, Out, Err).run();
 }

@@ -55,14 +55,117 @@ struct RegisterMap {
   unsigned NumPinned = 0;
 };
 
-/// Chooses the pinned set by static operand-use frequency over \p Prog
-/// (hotter guest registers get callee-saved hosts, which survive helper
-/// calls without a reload). Instrumented mode pins the ten hottest; raw
-/// mode pins eight, because it dedicates r12 to the step count and r13
-/// to the call count so straight-line blocks never touch NativeEnv's
-/// counters (the memory read-modify-write chain those adds form is the
-/// dominant cost on call-heavy programs).
+/// Chooses the program-wide pinned set by static operand-use frequency
+/// over \p Prog (hotter guest registers get callee-saved hosts, which
+/// survive helper calls without a reload). Instrumented mode pins the
+/// ten hottest; raw mode pins eight, because it dedicates r12 to the
+/// step count and r13 to the call count so straight-line blocks never
+/// touch NativeEnv's counters. This is the global policy: zero
+/// per-activation cost (the trampoline loads the pins once per run),
+/// which on small programs makes it a hard wall-clock baseline for the
+/// per-procedure policy -- see the honest comparison in EXPERIMENTS.md.
 RegisterMap chooseRegisterMap(const MProgram &Prog, bool Raw);
+
+/// The register-map policy as one shared artifact: either the single
+/// program-wide map (PerProc == false; Maps empty) or one map per
+/// procedure, chosen from that procedure's own loop-weighted operand
+/// frequencies, plus the summary-derived call-boundary masks the sync
+/// protocol consumes (see NativeRuntime.h). Bit g of a mask is guest
+/// register g; an all-ones mask means "no contract, assume everything"
+/// (hand-built programs, indirect calls without a default clobber).
+struct RegMapTable {
+  bool PerProc = false;
+  RegisterMap Global;
+  std::vector<RegisterMap> Maps; ///< Per procedure (PerProc only).
+  /// Per callee: guests a caller must write back before a direct call
+  /// (clobber mask U param regs U {zero, sp, ra}).
+  std::vector<uint32_t> CallSync;
+  /// Per callee: guests a caller must reload after a direct call (the
+  /// clobber mask alone -- reads do not invalidate cached values).
+  std::vector<uint32_t> CallReload;
+  uint32_t IndSync = ~0u;   ///< Indirect-call sync set (default clobber).
+  uint32_t IndReload = ~0u; ///< Indirect-call reload set.
+  /// Per callee: volatile pin hosts the callee may (transitively)
+  /// overwrite -- its own volatile pins, everything if it can reach a
+  /// returning helper call (Print) or an indirect call, plus its direct
+  /// callees' masks. Bit h is *host* register h (contrast the guest
+  /// masks above). Callee-saved hosts never appear: push/pop discipline
+  /// restores them on every path that returns. A caller's volatile pin
+  /// survives a call whose callee cannot touch its host (raw mode; see
+  /// rawCallBoundary), which is the paper's penalty elision applied to
+  /// the hosts themselves.
+  std::vector<uint32_t> HostClobber;
+  uint32_t IndHostClobber = ~0u; ///< Indirect calls: assume all hosts.
+
+  /// Ablation: call boundaries carry no interprocedural information
+  /// (see blindBoundaries). Emitter and verifier both honor it through
+  /// agreementMapFor, so the pair stays consistent.
+  bool SummaryBlind = false;
+
+  const RegisterMap &mapFor(size_t Proc) const {
+    return PerProc ? Maps[Proc] : Global;
+  }
+
+  /// The callee map rawCallBoundary may use for same-host agreement at
+  /// a direct call, or null under the summary-blind ablation (a
+  /// convention-only caller knows nothing about the callee's map).
+  const RegisterMap *agreementMapFor(size_t Callee) const {
+    return SummaryBlind ? nullptr : &Maps[Callee];
+  }
+
+  /// Degrades every call boundary to the paper's convention-only
+  /// baseline: saturated sync/reload/host-clobber masks and no
+  /// same-host agreement, i.e. each call site assumes the callee reads
+  /// and clobbers everything. The per-procedure maps themselves are
+  /// untouched -- only the interprocedural information is withheld, so
+  /// comparing traffic against an unblinded image isolates exactly
+  /// what the summaries buy.
+  void blindBoundaries() {
+    SummaryBlind = true;
+    for (uint32_t &M : CallSync)
+      M = ~0u;
+    for (uint32_t &M : CallReload)
+      M = ~0u;
+    for (uint32_t &M : HostClobber)
+      M = ~0u;
+  }
+};
+static_assert(NumPhysRegs <= 32, "sync masks are uint32_t bitsets");
+
+/// Hosts the per-procedure chooser may hand out as volatile pins: SysV
+/// caller-saved registers the emitter never uses as scratch or helper
+/// arguments. Bit h of the mask is hardware register number h.
+uint32_t volPinHostMask();
+
+/// One raw-mode call boundary under per-procedure maps, as guest-register
+/// sets over the caller's pinned guests. SyncNeed: guests whose slot must
+/// be current before the call (sync if dirty). ReloadNeed: guests whose
+/// host must be reloaded from its slot after the call. A volatile-hosted
+/// pin outside both sets is *carried*: the callee provably leaves its
+/// host untouched and its value unredefined, so it rides through the
+/// call in the register -- no penalty. When the callee pins the same
+/// guest in the same volatile host, the caller must still sync (the
+/// callee's entry reload reads the slot) but skips the reload (the
+/// callee's epilogue leaves the host holding the guest's current value).
+struct CallBoundary {
+  uint32_t SyncNeed = 0;
+  uint32_t ReloadNeed = 0;
+};
+
+/// Computes the boundary for a direct call from a procedure mapped by
+/// \p Caller to a callee with sync/reload masks \p CalleeSync /
+/// \p CalleeReload, host-clobber mask \p CalleeHostClobber and map
+/// \p Callee (null for indirect calls: no host agreement possible).
+/// Shared by the emitter and the native verifier so the emitted shapes
+/// and the checked obligations cannot drift apart.
+CallBoundary rawCallBoundary(const RegisterMap &Caller, uint32_t CalleeSync,
+                             uint32_t CalleeReload, uint32_t CalleeHostClobber,
+                             const RegisterMap *Callee);
+
+/// Builds the whole map policy for \p Prog: chooseRegisterMap when
+/// \p PerProc is false, otherwise per-procedure maps plus the sync/reload
+/// masks derived from MProgram::ClobberMasks / ParamRegMasks.
+RegMapTable buildRegMapTable(const MProgram &Prog, bool Raw, bool PerProc);
 
 struct NativeCode {
   std::vector<uint8_t> Bytes;
@@ -76,7 +179,53 @@ struct NativeCode {
   /// decoded engine's CallBad/CallExt ops).
   std::vector<size_t> ProcEntry;
   uint64_t ProcsEmitted = 0;
+
+  /// Static map-policy counters (surfaced as sim.native.map.*): total
+  /// pins across emitted bodies, sync/reload stores emitted at guest
+  /// call sites, and dirty-pin syncs the callee's summary proved
+  /// unnecessary (the paper's penalty actually avoided).
+  uint64_t MapPins = 0;
+  uint64_t CallSyncStores = 0;
+  uint64_t CallReloadLoads = 0;
+  uint64_t CallSyncsAvoided = 0;
+
+  /// Per procedure, per MIR block: register-state memory operations on
+  /// the block's straight-line path -- guest-slot loads and stores for
+  /// unpinned operands, call-boundary sync stores and reload loads,
+  /// and epilogue restores/write-backs. Out-of-line stubs (bail, error)
+  /// are excluded; they never run on an error-free run. Weighted by
+  /// per-block execution counts this is the dynamic register-state
+  /// memory traffic of the emitted code -- the host-level analogue of
+  /// the paper's register usage penalty (memory operations spent
+  /// keeping guest register state consistent).
+  std::vector<std::vector<uint32_t>> BlockSlotOps;
+  /// The call-boundary subset of BlockSlotOps: sync stores and reload
+  /// loads emitted at guest call sites (also included in BlockSlotOps).
+  /// Weighted by block counts this is the paper's register usage
+  /// penalty at procedure calls -- the traffic the summary-driven
+  /// boundary exists to minimize.
+  std::vector<std::vector<uint32_t>> BlockCallOps;
+  /// Per procedure: activation overhead (prologue host-register saves
+  /// plus pinned-guest entry reloads), charged once per return when
+  /// computing traffic. Zero under the global map, whose pins live for
+  /// the whole run.
+  std::vector<uint32_t> ProcEntryOps;
 };
+
+/// Dynamic register-state memory traffic of an emitted image: sum over
+/// blocks of execution count times the chosen per-block op counts, plus
+/// (when \p CallBoundaryOnly is false) each procedure's ProcEntryOps
+/// charged once per executed return. With \p CallBoundaryOnly true only
+/// BlockCallOps is summed -- the paper's penalty metric, register
+/// save/restore traffic at procedure-call sites. \p BlockCounts is
+/// RunStats::Profile's per-procedure, per-block execution counts
+/// (machine blocks map 1:1 onto profile blocks); procedures or blocks
+/// outside its coverage contribute nothing. Deterministic: depends only
+/// on the program, the map policy, and the profile -- never on
+/// wall-clock timing.
+uint64_t nativeMapTraffic(const MProgram &Prog, const NativeCode &Code,
+                          const std::vector<std::vector<uint64_t>> &BlockCounts,
+                          bool CallBoundaryOnly = false);
 
 /// Emits the whole program. \p ProfOff[p] is procedure p's word offset
 /// into the flat profile-counter array (ignored unless Opts.Profile).
@@ -84,7 +233,7 @@ struct NativeCode {
 /// fit the encoder's disp32/imm32 envelope (callers must reject the
 /// run cleanly, not crash).
 bool emitNativeProgram(const MProgram &Prog, const NativeCodeGenOptions &Opts,
-                       const RegisterMap &Map,
+                       const RegMapTable &Maps,
                        const std::vector<size_t> &ProfOff, NativeCode &Out,
                        std::string &Err);
 
@@ -97,6 +246,10 @@ enum class NativeDefect {
   SkipBudgetCheck,      ///< First back-edge-target block loses its test.
   ClobberBeyondSummary, ///< Writes a guest register outside the summary.
   CorruptByte,          ///< First body entry byte becomes undecodable.
+  SkipCallSync,         ///< Per-proc maps: call-site sync set omits one
+                        ///< dirty register the callee's summary covers.
+  SkipCallReload,       ///< Per-proc maps: post-call reload of summary-
+                        ///< clobbered pins is dropped (stale hosts).
 };
 
 struct NativeCodeGenTestHooks {

@@ -394,6 +394,12 @@ struct CachedImage {
   uint64_t ProcsEmitted = 0;
   uint64_t NumBytes = 0;
   uint64_t Check = 0; ///< Secondary fingerprint (collision guard).
+  /// Static register-map counters, copied out of NativeCode so cache
+  /// hits report the same sim.native.map.* numbers as the compiling run.
+  uint64_t MapPins = 0;
+  uint64_t CallSyncStores = 0;
+  uint64_t CallReloadLoads = 0;
+  uint64_t CallSyncsAvoided = 0;
   /// Native-verifier verdict, established before the image was published
   /// (images are immutable, so one clean audit covers every later run).
   /// A hit that is not Verified under a VerifyNative run is treated as a
@@ -409,25 +415,46 @@ struct Fingerprint {
 
 /// Hashes every input the emitted bytes depend on: the whole MIR
 /// instruction stream, the block/procedure shape (which also fixes the
-/// profile-slot offsets and the register map), the main id, and the
-/// codegen options (MaxSteps and the memory bound become immediates).
+/// profile-slot offsets and the register maps), the main id, the
+/// codegen options (MaxSteps and the memory bound become immediates;
+/// the map policy picks the emitter's whole call-boundary protocol),
+/// the published clobber/param summaries the per-procedure sync sets
+/// derive from, and whether the image was built for a verifying run
+/// (so an unaudited image is never served where an audited one is
+/// expected, independent of the CachedImage::Verified fallback).
 /// Procedure names, the global image and MaxCallDepth are runtime
 /// inputs and deliberately excluded. Two independent 64-bit hashes are
 /// compared on lookup, so a false hit needs a simultaneous collision
 /// in both.
 Fingerprint fingerprintProgram(const MProgram &Prog,
-                               const NativeCodeGenOptions &CG) {
+                               const NativeCodeGenOptions &CG, bool PerProc,
+                               bool VerifyNative) {
   uint64_t H1 = 1469598103934665603ull;
   uint64_t H2 = 0x9e3779b97f4a7c15ull;
   auto Mix = [&H1, &H2](uint64_t V) {
     H1 = (H1 ^ V) * 1099511628211ull;
     H2 = (H2 ^ (V + (H2 << 6) + (H2 >> 2))) * 0xff51afd7ed558ccdull;
   };
-  Mix(uint64_t(CG.Raw) | uint64_t(CG.Profile) << 1 | uint64_t(CG.Check) << 2);
+  auto MixMask = [&Mix](const BitVector &M) {
+    uint64_t W = 1; // non-empty masks never hash like an absent one
+    for (unsigned B = 0; B < M.size(); ++B)
+      W = (W << 1) | uint64_t(M.test(B));
+    Mix(W);
+  };
+  Mix(uint64_t(CG.Raw) | uint64_t(CG.Profile) << 1 |
+      uint64_t(CG.Check) << 2 | uint64_t(PerProc) << 3 |
+      uint64_t(VerifyNative) << 4);
   Mix(CG.MaxSteps);
   Mix(CG.MemWords);
   Mix(uint64_t(int64_t(Prog.MainProcId)));
   Mix(Prog.Procs.size());
+  Mix(Prog.ClobberMasks.size());
+  for (const BitVector &M : Prog.ClobberMasks)
+    MixMask(M);
+  Mix(Prog.ParamRegMasks.size());
+  for (const BitVector &M : Prog.ParamRegMasks)
+    MixMask(M);
+  MixMask(Prog.DefaultClobber);
   for (const MProc &P : Prog.Procs) {
     Mix(uint64_t(P.IsExternal));
     Mix(P.Blocks.size());
@@ -579,7 +606,8 @@ RunStats ipra::runNativeProgram(const MProgram &Prog, const SimOptions &Opts) {
       CG.MaxBlockCost = std::max(CG.MaxBlockCost, uint64_t(B.Insts.size()));
   }
 
-  Fingerprint FP = fingerprintProgram(Prog, CG);
+  const bool PerProc = Opts.NativeMap == SimOptions::NativeMapPolicy::PerProc;
+  Fingerprint FP = fingerprintProgram(Prog, CG, PerProc, Opts.VerifyNative);
   // Armed test hooks make the emitter nondeterministic relative to the
   // fingerprint (planted defects), so mutated images must neither be
   // served from nor published to the cache.
@@ -590,15 +618,15 @@ RunStats ipra::runNativeProgram(const MProgram &Prog, const SimOptions &Opts) {
   if (Img && Opts.VerifyNative && !Img->Verified)
     Img = nullptr; // cached by an unaudited run; recompile and audit
   if (!Img) {
-    RegisterMap Map = chooseRegisterMap(Prog, Opts.NativeRaw);
+    RegMapTable Maps = buildRegMapTable(Prog, Opts.NativeRaw, PerProc);
     NativeCode Code;
     std::string Err;
-    if (!emitNativeProgram(Prog, CG, Map, ProfOff, Code, Err))
+    if (!emitNativeProgram(Prog, CG, Maps, ProfOff, Code, Err))
       return failStats("native code generation failed: " + Err);
 
     NVerifyResult Audit;
     if (Opts.VerifyNative) {
-      Audit = verifyNativeCode(Prog, CG, Map, ProfOff, Code);
+      Audit = verifyNativeCode(Prog, CG, Maps, ProfOff, Code);
       if (!Audit.ok()) {
         RunStats S = failStats(
             "native verifier rejected the compiled image (" +
@@ -620,6 +648,10 @@ RunStats ipra::runNativeProgram(const MProgram &Prog, const SimOptions &Opts) {
     Fresh->TrampolineOff = Code.TrampolineOff;
     Fresh->ProcsEmitted = Code.ProcsEmitted;
     Fresh->NumBytes = Code.Bytes.size();
+    Fresh->MapPins = Code.MapPins;
+    Fresh->CallSyncStores = Code.CallSyncStores;
+    Fresh->CallReloadLoads = Code.CallReloadLoads;
+    Fresh->CallSyncsAvoided = Code.CallSyncsAvoided;
     Fresh->Check = FP.Check;
     Fresh->Verified = Opts.VerifyNative;
     Fresh->VerifiedProcs = Audit.ProceduresChecked;
@@ -661,13 +693,19 @@ RunStats ipra::runNativeProgram(const MProgram &Prog, const SimOptions &Opts) {
   Env.MaxSteps = Opts.MaxSteps;
   Env.Regs[RegSP] = int64_t(Opts.MemWords);
   if (Opts.NativeRaw) {
-    // No shadow frames at all: the host stack mirrors guest depth at 16
-    // bytes per frame. ShadowLimit is pre-seeded with the span of
+    // No shadow frames at all: the host stack mirrors guest depth at a
+    // fixed byte cost per frame that depends on the register-map policy
+    // (see NativeRuntime.h). ShadowLimit is pre-seeded with the span of
     // MaxCallDepth frames (plus the trampoline-to-body rsp delta); the
     // trampoline rewrites it in place as an absolute rsp floor for the
     // one-compare depth check at call sites.
     Env.ShadowBase = Env.ShadowPtr = 0;
-    Env.ShadowLimit = uint64_t(Opts.MaxCallDepth) * sizeof(ShadowFrame) + 24;
+    Env.ShadowLimit =
+        PerProc
+            ? uint64_t(Opts.MaxCallDepth) * RawFrameBytesPerProc +
+                  RawFrameSlackPerProc
+            : uint64_t(Opts.MaxCallDepth) * RawFrameBytesGlobal +
+                  RawFrameSlackGlobal;
   } else {
     Ctx.Shadow.reset(new ShadowFrame[Opts.MaxCallDepth]);
     Env.ShadowBase = Env.ShadowPtr = uint64_t(uintptr_t(Ctx.Shadow.get()));
@@ -728,6 +766,10 @@ RunStats ipra::runNativeProgram(const MProgram &Prog, const SimOptions &Opts) {
   Stats.NativeProcs = Img->ProcsEmitted;
   Stats.NativeCodeBytes = Img->NumBytes;
   Stats.NativeBailouts = Ctx.Bailouts;
+  Stats.NativeMapPins = Img->MapPins;
+  Stats.NativeMapSyncStores = Img->CallSyncStores;
+  Stats.NativeMapReloadLoads = Img->CallReloadLoads;
+  Stats.NativeMapSyncsAvoided = Img->CallSyncsAvoided;
   if (Img->Verified)
     Stats.NativeVerifiedProcs = Img->VerifiedProcs; // violations stay 0
   return Stats;

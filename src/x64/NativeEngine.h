@@ -31,10 +31,12 @@ namespace ipra {
 /// same reason as a clean RunStats error, never a crash.
 bool nativeEngineSupported(std::string *Why = nullptr);
 
-/// Host-stack budget cap: each guest frame costs 16 host bytes, so
-/// deeper MaxCallDepth settings are rejected cleanly rather than
-/// risking a host stack overflow.
-constexpr unsigned NativeMaxCallDepth = 262144;
+/// Host-stack budget cap: each guest frame costs up to 48 host bytes
+/// (per-procedure maps, instrumented: ret address + four callee-saved
+/// pushes + the alignment pad), so deeper MaxCallDepth settings are
+/// rejected cleanly rather than risking a host stack overflow
+/// (131072 * 48 bytes = 6 MiB inside the common 8 MiB rlimit).
+constexpr unsigned NativeMaxCallDepth = 131072;
 
 /// Executes \p Prog natively (the SimEngine::Native dispatch target).
 /// Same contract as runProgram: never throws, failures land in

@@ -64,6 +64,55 @@ static_assert(sizeof(ProcTableEntry) == 16);
 
 struct NativeContext; // C++-side state (NativeEngine.cpp)
 
+/// Host-stack shape of one raw-mode guest frame, per register-map policy.
+/// Raw mode's call-depth check is `cmp rsp, [ShadowLimit]`, so the limit
+/// pre-seed must know exactly how many host bytes one guest call consumes:
+///
+///  * global map: ret address (8) + the body's alignment pad (8) = 16;
+///    the pre-seed slack covers the trampoline's own pad + call (24).
+///  * per-procedure maps: every raw body additionally pushes rbx and rbp
+///    (always both, so frames stay fixed-size and the rsp floor stays an
+///    exact depth count) = 32; slack grows by the extra 16 in the first
+///    frame (40).
+constexpr uint64_t RawFrameBytesGlobal = 16;
+constexpr uint64_t RawFrameSlackGlobal = 24;
+constexpr uint64_t RawFrameBytesPerProc = 32;
+constexpr uint64_t RawFrameSlackPerProc = 40;
+
+/// Call-boundary sync protocol (per-procedure register maps)
+/// ---------------------------------------------------------
+/// With per-procedure maps the *canonical* home of every guest register
+/// at a procedure boundary is its NativeEnv::Regs slot. Each body:
+///
+///  * on entry pushes its pinned callee-saved hosts (raw mode: always
+///    rbx+rbp, see above), then loads every pinned guest from its slot;
+///  * before a guest call writes back dirty pinned guests the callee may
+///    observe -- raw mode computes rawCallBoundary() from the callee's
+///    published summaries (clobber mask U param-reg mask U {zero, sp,
+///    ra}, the transitive host-clobber mask, and the callee's own map);
+///    instrumented mode writes back *all* dirty pins because a bailing
+///    callee's careful tail reads NativeEnv::Regs as global truth;
+///  * after the call reloads pinned guests whose host no longer holds
+///    their current value: the callee's clobber mask, plus volatile
+///    hosts its transitive host-clobber summary says it may overwrite.
+///    A volatile-hosted pin outside both is *carried* -- it rides
+///    through the call in its register, still dirty, with no sync and
+///    no reload (the paper's penalty elision applied to the hosts);
+///    when caller and callee pin the same guest in the same volatile
+///    host, the caller syncs (the callee's entry reload reads the slot)
+///    but skips the reload (the callee's epilogue leaves the host
+///    holding the current value). Instrumented mode reloads every
+///    volatile pin unconditionally;
+///  * on return syncs dirty pins back to their slots, pops its saved
+///    hosts, and leaves everything canonical for the caller.
+///
+/// Trampoline and indirect calls go through the same slots: the callee's
+/// own prologue/epilogue is its canonical map, so callers never need the
+/// callee's host assignment for correctness -- the masks (and, for the
+/// same-host agreement, the published maps) are consulted purely to
+/// elide traffic, and RegMapTable::blindBoundaries() can withhold all
+/// of it to recover the convention-only baseline.
+
 /// The single block of state JIT code addresses through r15.
 struct NativeEnv {
   /// Guest register file. Pinned guest registers are synced here around

@@ -519,6 +519,72 @@ TEST(NativeGuardTest, MissingMainMatchesInterpreters) {
   EXPECT_EQ(S2.Error, "main procedure has no body");
 }
 
+//===----------------------------------------------------------------------===//
+// Code cache: every codegen-relevant option keys the cache.
+//===----------------------------------------------------------------------===//
+
+// Flips each option that changes what the JIT emits -- raw mode, the
+// register-map policy, native verification -- while running one program
+// repeatedly in the same process. The second pass is served from the
+// cache, and each flip must still surface an image compiled under
+// exactly the requested options: the static image counters (code bytes,
+// pins, call-sync stores, audited procedures) are the fingerprint a
+// stale image would smudge.
+TEST(NativeCacheTest, CodegenOptionsKeyTheCodeCache) {
+  SKIP_WITHOUT_NATIVE();
+  DiagnosticEngine Diags;
+  auto Compiled = compileProgram(findBenchmark("dhrystone")->Source,
+                                 optionsFor(PaperConfig::C), Diags);
+  ASSERT_NE(Compiled, nullptr) << Diags.str();
+
+  struct Shape {
+    uint64_t CodeBytes, Pins, SyncStores, VerifiedProcs;
+    bool operator==(const Shape &O) const {
+      return CodeBytes == O.CodeBytes && Pins == O.Pins &&
+             SyncStores == O.SyncStores && VerifiedProcs == O.VerifiedProcs;
+    }
+  };
+  auto shapeOf = [](const RunStats &S) {
+    return Shape{S.NativeCodeBytes, S.NativeMapPins, S.NativeMapSyncStores,
+                 S.NativeVerifiedProcs};
+  };
+
+  std::vector<SimOptions> Combos;
+  for (bool Raw : {false, true})
+    for (bool PerProc : {false, true})
+      for (bool Verify : {false, true}) {
+        SimOptions O;
+        O.Engine = SimEngine::Native;
+        O.NativeRaw = Raw;
+        O.NativeMap = PerProc ? SimOptions::NativeMapPolicy::PerProc
+                              : SimOptions::NativeMapPolicy::Global;
+        O.VerifyNative = Verify;
+        Combos.push_back(O);
+      }
+
+  std::vector<Shape> First;
+  for (const SimOptions &O : Combos) {
+    RunStats S = runProgram(Compiled->Program, O);
+    ASSERT_TRUE(S.OK) << S.Error;
+    // The request must be honoured on the cold compile already.
+    EXPECT_EQ(S.NativeMapSyncStores > 0,
+              O.NativeMap == SimOptions::NativeMapPolicy::PerProc);
+    EXPECT_EQ(S.NativeVerifiedProcs > 0, O.VerifyNative);
+    First.push_back(shapeOf(S));
+  }
+  for (size_t I = 0; I < Combos.size(); ++I) {
+    RunStats S = runProgram(Compiled->Program, Combos[I]);
+    ASSERT_TRUE(S.OK) << S.Error;
+    EXPECT_TRUE(shapeOf(S) == First[I])
+        << "combo " << I << " served a stale image: bytes "
+        << S.NativeCodeBytes << "/" << First[I].CodeBytes << ", pins "
+        << S.NativeMapPins << "/" << First[I].Pins << ", syncs "
+        << S.NativeMapSyncStores << "/" << First[I].SyncStores
+        << ", verified " << S.NativeVerifiedProcs << "/"
+        << First[I].VerifiedProcs;
+  }
+}
+
 // Fan-out determinism: the same job list through BatchRunner with the
 // native engine must reproduce the inline baseline at any thread count
 // (each run JITs its own buffer; nothing may be shared mutable state).

@@ -19,6 +19,7 @@
 #include "bench/BenchUtil.h"
 #include "driver/Pipeline.h"
 #include "programs/Programs.h"
+#include "x64/NativeCodeGen.h"
 #include "x64/NativeEngine.h"
 
 #include <gtest/gtest.h>
@@ -84,6 +85,161 @@ TEST(NativePerfTest, RawModeBeatsDecodedOnDhrystone) {
   EXPECT_GE(RawIPS, 5.0 * DecodedIPS)
       << "raw native " << bench::formatInstrPerSec(RawIPS)
       << " vs decoded " << bench::formatInstrPerSec(DecodedIPS);
+}
+
+// The per-procedure policy's gate is the paper's own metric. Measured
+// honestly, per-procedure maps do NOT beat the global map on raw
+// wall-clock throughput here: the global map pins the eight hottest
+// registers program-wide for free (one trampoline setup per run, zero
+// call-boundary traffic), which on programs this small is Wall's
+// link-time global allocation -- the known-hard baseline -- while the
+// per-procedure policy pays prologue/epilogue and boundary traffic on
+// every activation. What the paper actually claims, and what this gate
+// holds, is that summary-driven call boundaries minimize the register
+// usage penalty AT CALLS: against the convention-only baseline (every
+// call site assumes the callee reads and clobbers everything --
+// RegMapTable::blindBoundaries), the published clobber summaries plus
+// host-agreement must cut dynamic call-boundary sync/reload traffic by
+// >= 1.25x on the call-heavy gate program. The metric is computed from
+// emission-time per-block op counts weighted by a decoded-engine block
+// profile, so it is exactly reproducible -- no timing noise, and any
+// regression that weakens the summaries trips it deterministically.
+// (Measured: 1.28x on dhrystone/C, 1.58x on stanford/C; EXPERIMENTS.md
+// has the full table.)
+TEST(NativePerfTest, SummaryBoundariesCutCallPenaltyOnDhrystone) {
+  std::string Why;
+  if (!nativeEngineSupported(&Why))
+    GTEST_SKIP() << Why;
+
+  DiagnosticEngine Diags;
+  auto Compiled = compileProgram(findBenchmark("dhrystone")->Source,
+                                 optionsFor(PaperConfig::C), Diags);
+  ASSERT_NE(Compiled, nullptr) << Diags.str();
+  const MProgram &Prog = Compiled->Program;
+
+  SimOptions Prof;
+  Prof.Engine = SimEngine::Decoded;
+  Prof.CollectBlockProfile = true;
+  RunStats Stats = runProgram(Prog, Prof);
+  ASSERT_TRUE(Stats.OK) << Stats.Error;
+  ASSERT_FALSE(Stats.Profile.empty());
+
+  x64::NativeCodeGenOptions CG;
+  CG.Raw = true;
+  CG.MaxSteps = 1u << 30;
+  CG.MemWords = 1u << 16;
+  CG.MaxBlockCost = 1;
+  std::vector<size_t> ProfOff(Prog.Procs.size(), 0);
+  size_t Total = 0;
+  for (size_t P = 0; P < Prog.Procs.size(); ++P) {
+    ProfOff[P] = Total;
+    Total += Prog.Procs[P].Blocks.size();
+    for (const MBlock &B : Prog.Procs[P].Blocks)
+      CG.MaxBlockCost = std::max(CG.MaxBlockCost, uint64_t(B.Insts.size()));
+  }
+
+  uint64_t Penalty[2] = {0, 0}; // [0]=summary-driven, [1]=blind
+  for (int Blind = 0; Blind < 2; ++Blind) {
+    x64::RegMapTable Maps = x64::buildRegMapTable(Prog, true, true);
+    if (Blind)
+      Maps.blindBoundaries();
+    x64::NativeCode Code;
+    std::string Err;
+    ASSERT_TRUE(x64::emitNativeProgram(Prog, CG, Maps, ProfOff, Code, Err))
+        << Err;
+    Penalty[Blind] = x64::nativeMapTraffic(Prog, Code,
+                                           Stats.Profile.BlockCounts,
+                                           /*CallBoundaryOnly=*/true);
+  }
+  ASSERT_GT(Penalty[0], 0u);
+
+  double Ratio = double(Penalty[1]) / double(Penalty[0]);
+  RecordProperty("call_penalty_summary", std::to_string(Penalty[0]));
+  RecordProperty("call_penalty_blind", std::to_string(Penalty[1]));
+  std::printf("dhrystone: call penalty %llu (summary) vs %llu "
+              "(convention-only baseline), %.3fx\n",
+              (unsigned long long)Penalty[0], (unsigned long long)Penalty[1],
+              Ratio);
+
+  EXPECT_GE(double(Penalty[1]), 1.25 * double(Penalty[0]))
+      << "summaries only cut call-boundary traffic by " << Ratio << "x";
+}
+
+// Wall-clock guard for the same policy: per-procedure maps may not beat
+// the global map on these small benchmarks (see above), but they must
+// stay within striking distance -- the measured figure is ~0.94x on
+// dhrystone/C (perproc wins on stanford), gated at 0.75x for shared-CI
+// headroom. A regression that makes boundary code expensive in practice
+// (not just in the traffic model) lands here.
+TEST(NativePerfTest, PerProcMapWallClockNonRegression) {
+  std::string Why;
+  if (!nativeEngineSupported(&Why))
+    GTEST_SKIP() << Why;
+
+  DiagnosticEngine Diags;
+  auto Compiled = compileProgram(findBenchmark("dhrystone")->Source,
+                                 optionsFor(PaperConfig::C), Diags);
+  ASSERT_NE(Compiled, nullptr) << Diags.str();
+
+  SimOptions Global;
+  Global.Engine = SimEngine::Native;
+  Global.NativeRaw = true;
+  Global.NativeMap = SimOptions::NativeMapPolicy::Global;
+  SimOptions PerProc = Global;
+  PerProc.NativeMap = SimOptions::NativeMapPolicy::PerProc;
+
+  ASSERT_TRUE(runProgram(Compiled->Program, Global).OK);
+  ASSERT_TRUE(runProgram(Compiled->Program, PerProc).OK);
+
+  const int Runs = 5;
+  double GlobalIPS = bestInstrPerSec(Compiled->Program, Global, Runs);
+  double PerProcIPS = bestInstrPerSec(Compiled->Program, PerProc, Runs);
+  ASSERT_GT(GlobalIPS, 0.0);
+  ASSERT_GT(PerProcIPS, 0.0);
+
+  RecordProperty("global_map_instr_per_sec",
+                 bench::formatInstrPerSec(GlobalIPS));
+  RecordProperty("perproc_map_instr_per_sec",
+                 bench::formatInstrPerSec(PerProcIPS));
+  std::printf("dhrystone: global-map %s, perproc-map %s (%.2fx)\n",
+              bench::formatInstrPerSec(GlobalIPS).c_str(),
+              bench::formatInstrPerSec(PerProcIPS).c_str(),
+              PerProcIPS / GlobalIPS);
+
+  EXPECT_GE(PerProcIPS, 0.75 * GlobalIPS)
+      << "perproc " << bench::formatInstrPerSec(PerProcIPS) << " vs global "
+      << bench::formatInstrPerSec(GlobalIPS);
+}
+
+// The two map policies must be observationally identical: byte-equal
+// RunStats in both native modes on the gate program. (The whole-suite
+// three-way differential in NativeEngineTest covers the default policy
+// against the interpreters; this pins global against perproc directly,
+// at smoke scale, under the perf label.)
+TEST(NativePerfTest, MapPolicyDifferentialOnDhrystone) {
+  std::string Why;
+  if (!nativeEngineSupported(&Why))
+    GTEST_SKIP() << Why;
+
+  DiagnosticEngine Diags;
+  auto Compiled = compileProgram(findBenchmark("dhrystone")->Source,
+                                 optionsFor(PaperConfig::C), Diags);
+  ASSERT_NE(Compiled, nullptr) << Diags.str();
+
+  for (bool Raw : {false, true}) {
+    SimOptions Opts;
+    Opts.Engine = SimEngine::Native;
+    Opts.NativeRaw = Raw;
+    Opts.NativeMap = SimOptions::NativeMapPolicy::Global;
+    RunStats G = runProgram(Compiled->Program, Opts);
+    ASSERT_TRUE(G.OK) << G.Error;
+    Opts.NativeMap = SimOptions::NativeMapPolicy::PerProc;
+    RunStats P = runProgram(Compiled->Program, Opts);
+    ASSERT_TRUE(P.OK) << P.Error;
+    EXPECT_TRUE(G.sameExecution(P))
+        << (Raw ? "raw" : "instrumented")
+        << ": global and perproc maps diverged";
+  }
 }
 
 } // namespace

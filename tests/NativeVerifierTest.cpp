@@ -48,14 +48,15 @@ MProgram compileBench(const char *Name, PaperConfig Config) {
 /// Everything verifyNativeCode needs alongside the image.
 struct Emitted {
   NativeCodeGenOptions CG;
-  RegisterMap Map;
+  RegMapTable Maps;
   std::vector<size_t> ProfOff;
   NativeCode Code;
 };
 
 /// Mirrors runNativeProgram's codegen setup (budget immediates, block
-/// cost ceiling, profile offsets, register map) without executing.
-bool emitImage(const MProgram &Prog, bool Raw, Emitted &E, std::string &Err) {
+/// cost ceiling, profile offsets, register maps) without executing.
+bool emitImage(const MProgram &Prog, bool Raw, bool PerProc, Emitted &E,
+               std::string &Err) {
   E.CG = NativeCodeGenOptions();
   E.CG.Raw = Raw;
   E.CG.MaxSteps = 1u << 20;
@@ -70,44 +71,49 @@ bool emitImage(const MProgram &Prog, bool Raw, Emitted &E, std::string &Err) {
       E.CG.MaxBlockCost =
           std::max(E.CG.MaxBlockCost, uint64_t(B.Insts.size()));
   }
-  E.Map = chooseRegisterMap(Prog, Raw);
+  E.Maps = buildRegMapTable(Prog, Raw, PerProc);
   E.Code = NativeCode();
-  return emitNativeProgram(Prog, E.CG, E.Map, E.ProfOff, E.Code, Err);
+  return emitNativeProgram(Prog, E.CG, E.Maps, E.ProfOff, E.Code, Err);
 }
 
 /// Emits \p Prog with \p Defect planted and audits the mutant.
-NVerifyResult auditMutant(const MProgram &Prog, bool Raw, NativeDefect Defect,
-                          unsigned GuestReg = 0) {
+NVerifyResult auditMutant(const MProgram &Prog, bool Raw, bool PerProc,
+                          NativeDefect Defect, unsigned GuestReg = 0) {
   NativeCodeGenTestHooks H;
   H.Defect = Defect;
   H.GuestReg = GuestReg;
   setNativeCodeGenTestHooks(&H);
   Emitted E;
   std::string Err;
-  bool OK = emitImage(Prog, Raw, E, Err);
+  bool OK = emitImage(Prog, Raw, PerProc, E, Err);
   setNativeCodeGenTestHooks(nullptr);
   EXPECT_TRUE(OK) << Err;
   if (!OK)
     return NVerifyResult();
-  return verifyNativeCode(Prog, E.CG, E.Map, E.ProfOff, E.Code);
+  return verifyNativeCode(Prog, E.CG, E.Maps, E.ProfOff, E.Code);
 }
 
-TEST(NativeVerifierTest, CleanImageAuditsCleanBothModes) {
+TEST(NativeVerifierTest, CleanImageAuditsCleanBothModesBothPolicies) {
   MProgram Prog = compileBench("dhrystone", PaperConfig::C);
-  for (bool Raw : {false, true}) {
-    Emitted E;
-    std::string Err;
-    ASSERT_TRUE(emitImage(Prog, Raw, E, Err)) << Err;
-    NVerifyResult R = verifyNativeCode(Prog, E.CG, E.Map, E.ProfOff, E.Code);
-    EXPECT_TRUE(R.ok()) << (Raw ? "raw" : "instrumented") << ":\n" << R.str();
-    EXPECT_EQ(uint64_t(R.ProceduresChecked), E.Code.ProcsEmitted);
-    EXPECT_GT(R.InstructionsDecoded, 0u);
+  for (bool PerProc : {false, true}) {
+    for (bool Raw : {false, true}) {
+      Emitted E;
+      std::string Err;
+      ASSERT_TRUE(emitImage(Prog, Raw, PerProc, E, Err)) << Err;
+      NVerifyResult R = verifyNativeCode(Prog, E.CG, E.Maps, E.ProfOff, E.Code);
+      EXPECT_TRUE(R.ok()) << (Raw ? "raw" : "instrumented")
+                          << (PerProc ? " perproc" : " global") << ":\n"
+                          << R.str();
+      EXPECT_EQ(uint64_t(R.ProceduresChecked), E.Code.ProcsEmitted);
+      EXPECT_GT(R.InstructionsDecoded, 0u);
+    }
   }
 }
 
 TEST(NativeVerifierTest, CorruptByteCaughtAsDecode) {
   MProgram Prog = compileBench("dhrystone", PaperConfig::C);
-  NVerifyResult R = auditMutant(Prog, /*Raw=*/false, NativeDefect::CorruptByte);
+  NVerifyResult R = auditMutant(Prog, /*Raw=*/false, /*PerProc=*/false,
+                                NativeDefect::CorruptByte);
   EXPECT_FALSE(R.ok());
   EXPECT_TRUE(R.hasCode(NVCode::Decode)) << R.str();
 }
@@ -119,7 +125,8 @@ TEST(NativeVerifierTest, DroppedCalleeSaveCaughtBothModes) {
   // can no longer prove the SysV entry value survives.
   MProgram Prog = compileBench("dhrystone", PaperConfig::C);
   for (bool Raw : {false, true}) {
-    NVerifyResult R = auditMutant(Prog, Raw, NativeDefect::DropCalleeSave);
+    NVerifyResult R =
+        auditMutant(Prog, Raw, /*PerProc=*/false, NativeDefect::DropCalleeSave);
     EXPECT_FALSE(R.ok()) << (Raw ? "raw" : "instrumented");
     EXPECT_TRUE(R.hasCode(NVCode::HostCalleeSavedNotPreserved))
         << (Raw ? "raw" : "instrumented") << ":\n"
@@ -129,7 +136,8 @@ TEST(NativeVerifierTest, DroppedCalleeSaveCaughtBothModes) {
 
 TEST(NativeVerifierTest, StrayStoreCaught) {
   MProgram Prog = compileBench("dhrystone", PaperConfig::C);
-  NVerifyResult R = auditMutant(Prog, /*Raw=*/false, NativeDefect::StrayStore);
+  NVerifyResult R = auditMutant(Prog, /*Raw=*/false, /*PerProc=*/false,
+                                NativeDefect::StrayStore);
   EXPECT_FALSE(R.ok());
   EXPECT_TRUE(R.hasCode(NVCode::StrayStore)) << R.str();
 }
@@ -139,8 +147,8 @@ TEST(NativeVerifierTest, SkippedBudgetCheckCaught) {
   // is a layout back-edge target, exactly the set the verifier's
   // obligation (e) covers. Any benchmark with a loop qualifies.
   MProgram Prog = compileBench("dhrystone", PaperConfig::C);
-  NVerifyResult R =
-      auditMutant(Prog, /*Raw=*/true, NativeDefect::SkipBudgetCheck);
+  NVerifyResult R = auditMutant(Prog, /*Raw=*/true, /*PerProc=*/false,
+                                NativeDefect::SkipBudgetCheck);
   EXPECT_FALSE(R.ok());
   EXPECT_TRUE(R.hasCode(NVCode::MissingBudgetCheck)) << R.str();
 }
@@ -166,15 +174,39 @@ TEST(NativeVerifierTest, ClobberBeyondSummaryCaught) {
     }
   ASSERT_NE(Guest, 0u) << "first procedure clobbers every register";
 
-  NVerifyResult R = auditMutant(Prog, /*Raw=*/false,
+  NVerifyResult R = auditMutant(Prog, /*Raw=*/false, /*PerProc=*/false,
                                 NativeDefect::ClobberBeyondSummary, Guest);
   EXPECT_FALSE(R.ok());
   EXPECT_TRUE(R.hasCode(NVCode::GuestClobberBeyondSummary)) << R.str();
 }
 
+TEST(NativeVerifierTest, SkipCallSyncCaughtPerProc) {
+  // Per-proc raw mode: the hook drops one summary-required sync store at
+  // every guest call site, so a dirty cached value never reaches its
+  // NativeEnv slot before a call whose callee may read it. The audit's
+  // sync-set obligation must name it at the call.
+  MProgram Prog = compileBench("dhrystone", PaperConfig::C);
+  NVerifyResult R = auditMutant(Prog, /*Raw=*/true, /*PerProc=*/true,
+                                NativeDefect::SkipCallSync);
+  EXPECT_FALSE(R.ok());
+  EXPECT_TRUE(R.hasCode(NVCode::CallSyncMissing)) << R.str();
+}
+
+TEST(NativeVerifierTest, SkipCallReloadCaughtPerProc) {
+  // Per-proc: the hook skips the post-call reload of pinned hosts the
+  // callee's summary clobbers, so later reads see pre-call stale copies.
+  // The staleness obligation must fire at the first such read.
+  MProgram Prog = compileBench("dhrystone", PaperConfig::C);
+  NVerifyResult R = auditMutant(Prog, /*Raw=*/true, /*PerProc=*/true,
+                                NativeDefect::SkipCallReload);
+  EXPECT_FALSE(R.ok());
+  EXPECT_TRUE(R.hasCode(NVCode::StaleCachedValue)) << R.str();
+}
+
 TEST(NativeVerifierTest, DiagnosticsCarryCodeProcAndOffset) {
   MProgram Prog = compileBench("dhrystone", PaperConfig::C);
-  NVerifyResult R = auditMutant(Prog, /*Raw=*/false, NativeDefect::StrayStore);
+  NVerifyResult R = auditMutant(Prog, /*Raw=*/false, /*PerProc=*/false,
+                                NativeDefect::StrayStore);
   ASSERT_FALSE(R.Violations.empty());
   const NVerifyDiag &D = R.Violations.front();
   std::string S = D.str();
@@ -222,17 +254,20 @@ TEST_P(NativeVerifierSweepTest, WholeSuiteAllConfigsBothModesAuditClean) {
     ASSERT_NE(Compiled, nullptr)
         << B.Name << " under " << paperConfigName(Config) << ":\n"
         << Diags.str();
-    for (bool Raw : {false, true}) {
-      Emitted E;
-      std::string Err;
-      ASSERT_TRUE(emitImage(Compiled->Program, Raw, E, Err))
-          << B.Name << ": " << Err;
-      NVerifyResult R =
-          verifyNativeCode(Compiled->Program, E.CG, E.Map, E.ProfOff, E.Code);
-      EXPECT_TRUE(R.ok()) << B.Name << " under " << paperConfigName(Config)
-                          << (Raw ? " (raw)" : " (instrumented)") << ":\n"
-                          << R.str();
-      EXPECT_EQ(uint64_t(R.ProceduresChecked), E.Code.ProcsEmitted) << B.Name;
+    for (bool PerProc : {false, true}) {
+      for (bool Raw : {false, true}) {
+        Emitted E;
+        std::string Err;
+        ASSERT_TRUE(emitImage(Compiled->Program, Raw, PerProc, E, Err))
+            << B.Name << ": " << Err;
+        NVerifyResult R =
+            verifyNativeCode(Compiled->Program, E.CG, E.Maps, E.ProfOff, E.Code);
+        EXPECT_TRUE(R.ok()) << B.Name << " under " << paperConfigName(Config)
+                            << (Raw ? " (raw" : " (instrumented")
+                            << (PerProc ? ", perproc)" : ", global)") << ":\n"
+                            << R.str();
+        EXPECT_EQ(uint64_t(R.ProceduresChecked), E.Code.ProcsEmitted) << B.Name;
+      }
     }
   }
 }

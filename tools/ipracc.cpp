@@ -51,6 +51,12 @@
 //                        exact counters on error-free runs, approximate
 //                        budget enforcement, no profiling/convention
 //                        checks)
+//   --native-map=global|perproc
+//                        native engines only: host-register map policy.
+//                        perproc (default) gives each procedure its own
+//                        pinned set with summary-driven sync at call
+//                        boundaries; global is the legacy single
+//                        program-wide map
 //   --stats              print compile-time statistics, and the pixie
 //                        counters after the run
 //   --stats-json=<file>  write the machine-readable statistics report
@@ -120,6 +126,7 @@ void usage(const char *Argv0) {
                "[--emit-ir] [--emit-mir] [--summaries] [--run] [--stats]\n"
                "              [--sim-engine=reference|decoded|native|"
                "native-raw]\n"
+               "              [--native-map=global|perproc]\n"
                "              [--stats-json=<file>] [--trace-json=<file>]\n"
                "              [--benchmark=<name>] file.mc [file2.mc ...]\n",
                Argv0);
@@ -200,6 +207,17 @@ bool parseArgs(int Argc, char **Argv, ToolOptions &Opts) {
       } else {
         std::fprintf(stderr, "ipracc: unknown sim engine '%s'\n",
                      Engine.c_str());
+        return false;
+      }
+    } else if (Arg.rfind("--native-map=", 0) == 0) {
+      std::string Policy = Arg.substr(std::strlen("--native-map="));
+      if (Policy == "global") {
+        Opts.Sim.NativeMap = SimOptions::NativeMapPolicy::Global;
+      } else if (Policy == "perproc") {
+        Opts.Sim.NativeMap = SimOptions::NativeMapPolicy::PerProc;
+      } else {
+        std::fprintf(stderr, "ipracc: unknown native map policy '%s'\n",
+                     Policy.c_str());
         return false;
       }
     } else if (Arg.rfind("--stats-json=", 0) == 0) {
